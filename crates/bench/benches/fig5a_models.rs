@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 5a: per-step cost of LEM vs ACO on the
+//! parallel virtual GPU (the wall-clock series itself is produced by the
+//! `fig5` binary; this bench gives statistically robust per-step numbers
+//! at two spot populations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pedsim_core::prelude::*;
+use simt::Device;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_step_cost");
+    group.sample_size(10);
+    let device = Device::parallel();
+    for &agents in &[2_560usize, 25_600] {
+        for (name, model) in [("LEM", ModelKind::lem()), ("ACO", ModelKind::aco())] {
+            group.bench_with_input(
+                BenchmarkId::new(name, agents),
+                &agents,
+                |b, &agents| {
+                    let env = EnvConfig::small(480, 480, agents / 2).with_seed(1);
+                    let cfg = SimConfig::new(env, model)
+                        .with_checked(false)
+                        .with_metrics(false);
+                    let mut engine = GpuEngine::new(cfg, device.clone());
+                    b.iter(|| engine.step());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figures 5b/5c: per-step cost of the ACO model on
+//! the single-threaded CPU engine vs the parallel virtual GPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pedsim_core::prelude::*;
+use simt::Device;
+
+fn bench_cpu_vs_gpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_step_cost");
+    group.sample_size(10);
+    let device = Device::parallel();
+    for &agents in &[2_560usize, 25_600] {
+        let env = EnvConfig::small(480, 480, agents / 2).with_seed(1);
+        let cfg = SimConfig::new(env, ModelKind::aco())
+            .with_checked(false)
+            .with_metrics(false);
+        group.bench_with_input(BenchmarkId::new("cpu", agents), &agents, |b, _| {
+            let mut engine = CpuEngine::new(cfg);
+            b.iter(|| engine.step());
+        });
+        group.bench_with_input(BenchmarkId::new("gpu", agents), &agents, |b, _| {
+            let mut engine = GpuEngine::new(cfg, device.clone());
+            b.iter(|| engine.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_vs_gpu);
+criterion_main!(benches);

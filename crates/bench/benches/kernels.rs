@@ -1,0 +1,113 @@
+//! Per-kernel microbenches and the §IV technique ablations as criterion
+//! benchmarks: one launch per iteration on the paper's 480×480 geometry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pedsim_bench::ablation;
+use pedsim_core::kernels::{DeviceState, InitialCalcKernel, MovementKernel, TourKernel};
+use pedsim_core::prelude::*;
+use pedsim_core::params::ModelKind;
+use simt::exec::LaunchConfig;
+use simt::{Device, Dim2};
+
+fn bench_kernels(c: &mut Criterion) {
+    let env = Environment::new(&EnvConfig::small(480, 480, 12_800).with_seed(7));
+    let state = DeviceState::upload(&env, ModelKind::aco(), false);
+    let device = Device::parallel();
+    let cells = LaunchConfig::tiled_over(Dim2::square(480), Dim2::square(16)).with_seed(7);
+    let rows = LaunchConfig::new(
+        Dim2::new((state.n as u32).div_ceil(256), 1),
+        Dim2::new(256, 1),
+    )
+    .with_seed(7);
+
+    let mut group = c.benchmark_group("kernels_480x480_25600agents");
+    group.sample_size(20);
+
+    group.bench_function("initial_calc_aco", |b| {
+        b.iter(|| {
+            let k = InitialCalcKernel {
+                w: state.w,
+                h: state.h,
+                mat_in: state.mat[0].as_slice(),
+                index_in: state.index[0].as_slice(),
+                dist: state.dist.as_slice(),
+                pher_in: state
+                    .pher
+                    .as_ref()
+                    .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice())),
+                model: ModelKind::aco(),
+                scan_val: state.scan_val.view(),
+                scan_idx: state.scan_idx.view(),
+                front: state.front.view(),
+            };
+            device.launch(&cells, &k).expect("launch");
+        })
+    });
+
+    group.bench_function("tour_aco", |b| {
+        b.iter(|| {
+            let k = TourKernel {
+                n: state.n,
+                n_per_side: state.n_per_side,
+                scan_val: state.scan_val.as_slice(),
+                scan_idx: state.scan_idx.as_slice(),
+                front: state.front.as_slice(),
+                row: state.row.as_slice(),
+                col: state.col.as_slice(),
+                future_row: state.future_row.view(),
+                future_col: state.future_col.view(),
+                model: ModelKind::aco(),
+            };
+            device.launch(&rows, &k).expect("launch");
+        })
+    });
+
+    group.bench_function("movement_aco", |b| {
+        let aco = match ModelKind::aco() {
+            ModelKind::Aco(p) => Some(p),
+            _ => None,
+        };
+        b.iter(|| {
+            let k = MovementKernel {
+                w: state.w,
+                h: state.h,
+                mat_in: state.mat[0].as_slice(),
+                index_in: state.index[0].as_slice(),
+                future_row: state.future_row.as_slice(),
+                future_col: state.future_col.as_slice(),
+                id: &state.id,
+                row: state.row.view(),
+                col: state.col.view(),
+                tour: state.tour.view(),
+                mat_out: state.mat[1].view(),
+                index_out: state.index[1].view(),
+                pher_in: state
+                    .pher
+                    .as_ref()
+                    .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice())),
+                pher_out: state
+                    .pher
+                    .as_ref()
+                    .map(|p| (p.top[1].view(), p.bottom[1].view())),
+                aco,
+            };
+            device.launch(&cells, &k).expect("launch");
+        })
+    });
+    group.finish();
+
+    // The §IV ablations at bench rigor (small geometry; the binary covers
+    // the full-size comparison).
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("movement_gather_vs_atomic", |b| {
+        b.iter(|| ablation::movement_variants(96, 1024, 1))
+    });
+    group.bench_function("tiled_vs_direct", |b| {
+        b.iter(|| ablation::tiled_variants(96, 1024, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

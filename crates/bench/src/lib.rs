@@ -1,0 +1,31 @@
+//! # pedsim-bench — the paper's evaluation, regenerated
+//!
+//! One module per experiment (see DESIGN.md §4 for the index):
+//!
+//! * [`fig5`] — execution-time comparisons: LEM vs ACO on the virtual GPU
+//!   (Fig. 5a), ACO on CPU vs GPU (Fig. 5b), and the derived speedup curve
+//!   (Fig. 5c);
+//! * [`fig6`] — throughput: LEM vs ACO on the GPU across densities
+//!   (Fig. 6a) and CPU vs GPU with the binomial-GLM significance test
+//!   (Fig. 6b);
+//! * [`table1`] — the hardware table and the property-matrix schema;
+//! * [`ablation`] — the §IV implementation-technique claims measured:
+//!   scatter-to-gather vs atomics, tiled vs direct global access,
+//!   branchless vs branchy selection, and model-parameter sweeps;
+//! * [`report`] — Markdown/CSV emitters (the MATLAB-plotting substitute);
+//! * [`scale`] — the `--paper` / default / `--smoke` protocol scales.
+//!
+//! Binaries `fig5`, `fig6`, `table1`, `ablation` drive these and write
+//! `results/*.csv` next to a Markdown rendition on stdout.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod scale;
+pub mod table1;
+
+pub use report::Table;
+pub use scale::Scale;

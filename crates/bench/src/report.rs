@@ -1,0 +1,131 @@
+//! Result tables: Markdown to stdout, CSV to `results/`.
+//!
+//! The paper plotted with MATLAB; this reproduction emits the same series
+//! as machine-readable CSV plus a human-readable Markdown table (the
+//! substitution noted in DESIGN.md §2).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-oriented result table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as GitHub Markdown.
+    pub fn markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "| {} |", row.join(" | "));
+        }
+        s
+    }
+
+    /// Render as CSV.
+    pub fn csv(&self) -> String {
+        let mut s = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                s,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        s
+    }
+
+    /// Write the CSV into `results/<name>.csv` under `base` (creating the
+    /// directory), returning the path written.
+    pub fn save_csv(&self, base: &Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = base.join("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.csv())?;
+        Ok(path)
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_roundtrip() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["x,y", "z\"q\""]);
+        let md = t.markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = t.csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"z\"\"q\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1"]);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("pedsim_bench_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut t = Table::new(vec!["h"]);
+        t.push_row(vec!["v"]);
+        let p = t.save_csv(&dir, "unit").unwrap();
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "h\nv\n");
+    }
+}

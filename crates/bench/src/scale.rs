@@ -1,0 +1,75 @@
+//! Protocol scales.
+//!
+//! The paper's full protocol (480×480 cells, 25,000 steps, 10 repeats,
+//! populations to 102,400) is hours-to-days of compute on a host-parallel
+//! substrate. Every harness therefore supports three scales:
+//!
+//! * `Paper` — the full protocol, parameter-for-parameter;
+//! * `Default` — a shape-preserving reduction (same *fill fractions* and
+//!   steps-per-row budget on a smaller grid, fewer repeats) that runs in
+//!   minutes; EXPERIMENTS.md records which scale produced each number;
+//! * `Smoke` — seconds; CI/sanity only.
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The paper's full protocol.
+    Paper,
+    /// Shape-preserving reduced protocol (the default).
+    #[default]
+    Default,
+    /// Tiny sanity scale.
+    Smoke,
+}
+
+impl Scale {
+    /// Parse from CLI args (`--paper`, `--smoke`; default otherwise).
+    pub fn from_args(args: &[String]) -> Self {
+        if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else if args.iter().any(|a| a == "--smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// Short label for file names and table captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Default => "default",
+            Scale::Smoke => "smoke",
+        }
+    }
+}
+
+/// Parse `--flag value` style options.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_scales() {
+        assert_eq!(Scale::from_args(&v(&["--paper"])), Scale::Paper);
+        assert_eq!(Scale::from_args(&v(&["--smoke"])), Scale::Smoke);
+        assert_eq!(Scale::from_args(&v(&["--part", "a"])), Scale::Default);
+    }
+
+    #[test]
+    fn parses_values() {
+        let args = v(&["--part", "b", "--paper"]);
+        assert_eq!(arg_value(&args, "--part").as_deref(), Some("b"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+}

@@ -1,0 +1,462 @@
+//! The single-threaded reference engine (the paper's CPU implementation).
+//!
+//! A direct sequential port of the four-kernel pipeline: the same pure
+//! model functions the GPU kernels call, in plain nested loops, over the
+//! host-side matrices. Randomness uses the same `(seed, entity, salt)`
+//! keying as the virtual-GPU kernels, so this engine's trajectory is
+//! bit-identical to `GpuEngine`'s for the same configuration — the
+//! strongest possible form of the paper's CPU-vs-GPU consistency check.
+
+use pedsim_grid::cell::{Group, CELL_EMPTY, CELL_WALL, NEIGHBOR_OFFSETS};
+use pedsim_grid::property::NO_FUTURE;
+use pedsim_grid::scan::{ScanMatrix, TourLengths};
+use pedsim_grid::{DistanceTables, EnvConfig, Environment, Matrix, PheromoneField};
+use philox::StreamRng;
+
+use crate::metrics::{Geometry, Metrics};
+use crate::model::{aco_scan_row, aco_select, front_status, gather_winner};
+use crate::model::{lem_scan_row, lem_select, ScanRow};
+use crate::params::{ModelKind, SimConfig};
+
+use super::{Engine, KERNEL_MOVE, KERNEL_TOUR};
+
+/// The sequential reference engine.
+pub struct CpuEngine {
+    cfg: SimConfig,
+    geom: Geometry,
+    env: Environment,
+    mat_next: Matrix<u8>,
+    index_next: Matrix<u32>,
+    scan: ScanMatrix,
+    tour: TourLengths,
+    pher: Option<PheromoneField>,
+    pher_next: Option<PheromoneField>,
+    dist: DistanceTables,
+    seed: u64,
+    step_no: u64,
+    metrics: Option<Metrics>,
+}
+
+impl CpuEngine {
+    /// Build the engine (runs the data-preparation stage, §IV.a).
+    pub fn new(cfg: SimConfig) -> Self {
+        let env = Environment::new(&cfg.env);
+        let geom = Geometry {
+            width: env.width(),
+            height: env.height(),
+            spawn_rows: env.spawn_rows,
+            agents_per_side: env.agents_per_side,
+        };
+        let n = env.total_agents();
+        let dist = DistanceTables::new(env.height());
+        let (pher, pher_next) = match cfg.model {
+            ModelKind::Aco(p) => (
+                Some(PheromoneField::new(env.height(), env.width(), p.tau0)),
+                Some(PheromoneField::new(env.height(), env.width(), p.tau0)),
+            ),
+            ModelKind::Lem(_) => (None, None),
+        };
+        let metrics = cfg.track_metrics.then(|| {
+            Metrics::new(geom, &env.props.row, &env.props.col)
+        });
+        let (h, w) = (env.height(), env.width());
+        Self {
+            cfg,
+            geom,
+            mat_next: Matrix::filled(h, w, CELL_EMPTY),
+            index_next: Matrix::filled(h, w, 0u32),
+            scan: ScanMatrix::new(n),
+            tour: TourLengths::new(n),
+            pher,
+            pher_next,
+            dist,
+            seed: cfg.env.seed,
+            step_no: 0,
+            metrics,
+            env,
+        }
+    }
+
+    /// Borrow the current environment state.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Replace the model parameters mid-run (the panic-alarm extension).
+    /// Panics when the model *variant* changes — a LEM run has no
+    /// pheromone substrate to become an ACO run.
+    pub fn set_model(&mut self, model: ModelKind) {
+        assert!(
+            model.is_aco() == self.cfg.model.is_aco(),
+            "model variant cannot change mid-run"
+        );
+        self.cfg.model = model;
+    }
+
+    /// Borrow the pheromone field (ACO only).
+    pub fn pheromone(&self) -> Option<&PheromoneField> {
+        self.pher.as_ref()
+    }
+
+    /// Borrow accumulated tour lengths.
+    pub fn tour_lengths(&self) -> &TourLengths {
+        &self.tour
+    }
+
+    fn stage_init(&mut self) {
+        // Supporting kernel (§IV.e): clear scan + FUTURE.
+        self.scan.clear();
+        self.env.props.future_row.fill(NO_FUTURE);
+        self.env.props.future_col.fill(NO_FUTURE);
+    }
+
+    fn stage_initial_calc(&mut self) {
+        // §IV.b: per occupied cell, score the neighbourhood into the scan
+        // matrix and record the front-cell status.
+        let (h, w) = (self.geom.height, self.geom.width);
+        let mat = &self.env.mat;
+        let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
+        for r in 0..h {
+            for c in 0..w {
+                let a = self.env.index.get(r, c);
+                if a == 0 {
+                    continue;
+                }
+                let label = mat.get(r, c);
+                let g = Group::from_label(label).expect("indexed cell has group label");
+                let row: ScanRow = match self.cfg.model {
+                    ModelKind::Lem(p) => lem_scan_row(
+                        &occ,
+                        self.dist.as_slice(),
+                        h,
+                        g,
+                        r as i64,
+                        c as i64,
+                        p.scan_range,
+                    ),
+                    ModelKind::Aco(p) => {
+                        let field = self.pher.as_ref().expect("ACO has pheromone");
+                        let tf = field.of(g);
+                        let tau = |rr: i64, cc: i64| tf.get_or(rr, cc, 0.0);
+                        aco_scan_row(
+                            &occ,
+                            &tau,
+                            self.dist.as_slice(),
+                            h,
+                            &p,
+                            g,
+                            r as i64,
+                            c as i64,
+                        )
+                    }
+                };
+                let ai = a as usize;
+                for slot in 0..8 {
+                    self.scan.set(ai, slot, row.vals[slot], row.idxs[slot]);
+                }
+                self.env.props.front[ai] = front_status(&occ, g, r as i64, c as i64);
+            }
+        }
+    }
+
+    fn stage_tour(&mut self) {
+        // §IV.c: every agent picks its future cell.
+        let salt = self.step_no * 4 + KERNEL_TOUR;
+        let n = self.geom.total_agents();
+        for i in 1..=n {
+            let g = self.geom.group_of(i);
+            let mut rng = StreamRng::with_offset(self.seed, i as u64, salt << 4);
+            let row = ScanRow {
+                vals: self.scan.row_vals(i).try_into().expect("8 slots"),
+                idxs: self.scan.row_idxs(i).try_into().expect("8 slots"),
+            };
+            let front = self.env.props.front[i];
+            let k = match self.cfg.model {
+                ModelKind::Lem(p) => lem_select(&row, front, g, &p, &mut rng),
+                ModelKind::Aco(p) => aco_select(&row, front, g, &p, &mut rng),
+            };
+            match k {
+                Some(k) => {
+                    let (dr, dc) = NEIGHBOR_OFFSETS[k];
+                    let (ar, ac) = self.env.props.position(i);
+                    self.env.props.future_row[i] = (i64::from(ar) + dr) as u16;
+                    self.env.props.future_col[i] = (i64::from(ac) + dc) as u16;
+                }
+                None => {
+                    self.env.props.future_row[i] = NO_FUTURE;
+                    self.env.props.future_col[i] = NO_FUTURE;
+                }
+            }
+        }
+    }
+
+    fn stage_movement(&mut self) {
+        // §IV.d: scatter-to-gather movement + pheromone update.
+        let salt = self.step_no * 4 + KERNEL_MOVE;
+        let (h, w) = (self.geom.height, self.geom.width);
+        let aco = match self.cfg.model {
+            ModelKind::Aco(p) => Some(p),
+            ModelKind::Lem(_) => None,
+        };
+        let counter_base = salt << 4;
+        {
+            let mat = &self.env.mat;
+            let index = &self.env.index;
+            let props = &self.env.props;
+            let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
+            let idx = |r: i64, c: i64| index.get_or(r, c, 0);
+            let fut = |a: u32| (props.future_row[a as usize], props.future_col[a as usize]);
+            for r in 0..h {
+                for c in 0..w {
+                    let lin = (r * w + c) as u64;
+                    let mut rng = StreamRng::with_offset(self.seed, lin, counter_base);
+                    let arrival =
+                        gather_winner(&occ, &idx, &fut, r as i64, c as i64, &mut rng);
+                    let own = index.get(r, c);
+                    let (new_label, new_index) = if let Some(arr) = arrival {
+                        (props.id[arr.agent as usize], arr.agent)
+                    } else if own != 0 && props.future_row[own as usize] != NO_FUTURE {
+                        // Recompute the decision at our agent's target with
+                        // the target cell's own stream — identical draw.
+                        let fr = i64::from(props.future_row[own as usize]);
+                        let fc = i64::from(props.future_col[own as usize]);
+                        let tlin = (fr as usize * w + fc as usize) as u64;
+                        let mut trng = StreamRng::with_offset(self.seed, tlin, counter_base);
+                        let wins = gather_winner(&occ, &idx, &fut, fr, fc, &mut trng)
+                            .is_some_and(|a| a.agent == own);
+                        if wins {
+                            (CELL_EMPTY, 0)
+                        } else {
+                            (mat.get(r, c), own)
+                        }
+                    } else {
+                        (mat.get(r, c), own)
+                    };
+                    self.mat_next.set(r, c, new_label);
+                    self.index_next.set(r, c, new_index);
+
+                    // Pheromone: evaporate everywhere, deposit on arrival.
+                    if let Some(p) = aco {
+                        let (dep_top, dep_bot) = match arrival {
+                            Some(arr) => {
+                                let a = arr.agent as usize;
+                                let l_new = self.tour.get(a) + arr.step_len();
+                                let dep = p.q / l_new;
+                                if props.id[a] == Group::Top.label() {
+                                    (dep, 0.0)
+                                } else {
+                                    (0.0, dep)
+                                }
+                            }
+                            None => (0.0, 0.0),
+                        };
+                        let pin = self.pher.as_ref().expect("ACO pheromone");
+                        let pout = self.pher_next.as_mut().expect("ACO pheromone");
+                        let t = PheromoneField::fused_update(
+                            pin.top.get(r, c),
+                            p.tau0,
+                            p.rho,
+                            dep_top,
+                        );
+                        let b = PheromoneField::fused_update(
+                            pin.bottom.get(r, c),
+                            p.tau0,
+                            p.rho,
+                            dep_bot,
+                        );
+                        pout.top.set(r, c, t);
+                        pout.bottom.set(r, c, b);
+                    }
+                }
+            }
+        }
+
+        // Apply the winners' property/tour updates (owned by the target
+        // cell in the GPU formulation; sequential here).
+        for r in 0..h {
+            for c in 0..w {
+                let a = self.index_next.get(r, c);
+                if a != 0 && self.env.index.get(r, c) != a {
+                    let ai = a as usize;
+                    let (or, oc) = self.env.props.position(ai);
+                    let dr = (r as i64 - i64::from(or)).unsigned_abs();
+                    let dc = (c as i64 - i64::from(oc)).unsigned_abs();
+                    let step_len = if dr + dc == 2 {
+                        std::f32::consts::SQRT_2
+                    } else {
+                        1.0
+                    };
+                    self.env.props.row[ai] = r as u16;
+                    self.env.props.col[ai] = c as u16;
+                    if aco.is_some() {
+                        self.tour.add(ai, step_len);
+                    }
+                }
+            }
+        }
+
+        std::mem::swap(&mut self.env.mat, &mut self.mat_next);
+        std::mem::swap(&mut self.env.index, &mut self.index_next);
+        if aco.is_some() {
+            std::mem::swap(&mut self.pher, &mut self.pher_next);
+        }
+    }
+}
+
+impl Engine for CpuEngine {
+    fn step(&mut self) {
+        self.stage_init();
+        self.stage_initial_calc();
+        self.stage_tour();
+        self.stage_movement();
+        self.step_no += 1;
+        if let Some(m) = self.metrics.as_mut() {
+            m.observe(&self.env.props.row, &self.env.props.col);
+        }
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.step_no
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
+    fn model(&self) -> ModelKind {
+        self.cfg.model
+    }
+
+    fn mat_snapshot(&self) -> Matrix<u8> {
+        self.env.mat.clone()
+    }
+
+    fn positions(&self) -> (Vec<u16>, Vec<u16>) {
+        (self.env.props.row.clone(), self.env.props.col.clone())
+    }
+}
+
+/// Convenience: build a CPU engine for a small scenario (tests/examples).
+pub fn cpu_engine_small(
+    width: usize,
+    height: usize,
+    per_side: usize,
+    model: ModelKind,
+    seed: u64,
+) -> CpuEngine {
+    let env = EnvConfig::small(width, height, per_side).with_seed(seed);
+    CpuEngine::new(SimConfig::new(env, model).with_checked(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{AcoParams, LemParams};
+
+    fn run_small(model: ModelKind, steps: u64) -> CpuEngine {
+        let mut e = cpu_engine_small(32, 32, 30, model, 42);
+        e.run(steps);
+        e
+    }
+
+    #[test]
+    fn agents_conserved_lem() {
+        let e = run_small(ModelKind::lem(), 50);
+        e.environment().check_consistency().expect("consistent");
+    }
+
+    #[test]
+    fn agents_conserved_aco() {
+        let e = run_small(ModelKind::aco(), 50);
+        e.environment().check_consistency().expect("consistent");
+    }
+
+    #[test]
+    fn agents_make_progress() {
+        let e = run_small(ModelKind::lem(), 100);
+        let m = e.metrics().expect("metrics on");
+        assert!(m.total_moves > 0, "nobody moved in 100 steps");
+        // On a 32-row grid with ~4 spawn rows, 100 steps crosses many.
+        assert!(m.throughput() > 0, "no crossings after 100 steps");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_small(ModelKind::aco(), 30);
+        let b = run_small(ModelKind::aco(), 30);
+        assert_eq!(a.mat_snapshot(), b.mat_snapshot());
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn seeds_change_trajectories() {
+        let mut a = cpu_engine_small(32, 32, 30, ModelKind::lem(), 1);
+        let mut b = cpu_engine_small(32, 32, 30, ModelKind::lem(), 2);
+        a.run(20);
+        b.run(20);
+        assert_ne!(a.mat_snapshot(), b.mat_snapshot());
+    }
+
+    #[test]
+    fn moves_are_single_cell() {
+        let mut e = cpu_engine_small(24, 24, 20, ModelKind::lem(), 7);
+        let (mut pr, mut pc) = e.positions();
+        for _ in 0..30 {
+            e.step();
+            let (r, c) = e.positions();
+            for i in 1..r.len() {
+                let dr = (i64::from(r[i]) - i64::from(pr[i])).abs();
+                let dc = (i64::from(c[i]) - i64::from(pc[i])).abs();
+                assert!(dr <= 1 && dc <= 1, "agent {i} jumped ({dr},{dc})");
+            }
+            pr = r;
+            pc = c;
+        }
+    }
+
+    #[test]
+    fn pheromone_stays_positive_and_grows_on_trails() {
+        let e = run_small(ModelKind::aco(), 40);
+        let p = e.pheromone().expect("ACO field");
+        assert!(p.top.as_slice().iter().all(|&v| v >= p.tau0 * 0.999));
+        // Somewhere, someone deposited.
+        let max = p.top.as_slice().iter().cloned().fold(0.0f32, f32::max);
+        assert!(max > p.tau0, "no deposits after 40 steps");
+    }
+
+    #[test]
+    fn tour_lengths_accumulate_for_aco() {
+        let e = run_small(ModelKind::aco(), 40);
+        let total: f32 = e.tour_lengths().len.iter().sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn forward_priority_off_still_works() {
+        let model = ModelKind::Lem(LemParams {
+            forward_priority: false,
+            ..LemParams::default()
+        });
+        let e = run_small(model, 30);
+        e.environment().check_consistency().expect("consistent");
+    }
+
+    #[test]
+    fn high_evaporation_keeps_field_near_floor() {
+        let model = ModelKind::Aco(AcoParams {
+            rho: 1.0,
+            ..AcoParams::default()
+        });
+        let e = run_small(model, 20);
+        let p = e.pheromone().expect("field");
+        // With ρ=1 everything evaporates to the floor each step except
+        // fresh deposits.
+        let above = p
+            .top
+            .as_slice()
+            .iter()
+            .filter(|&&v| v > p.tau0 * 1.5)
+            .count();
+        assert!(above < 40, "{above} cells hold stale pheromone");
+    }
+}

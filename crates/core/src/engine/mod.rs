@@ -1,0 +1,56 @@
+//! Simulation engines.
+//!
+//! Two engines implement the identical model:
+//!
+//! * [`cpu::CpuEngine`] — the single-threaded reference (the paper's
+//!   "sequential counterpart running on a single threaded CPU");
+//! * [`gpu::GpuEngine`] — the data-driven kernel pipeline on the `simt`
+//!   virtual GPU (sequential or parallel execution policy).
+//!
+//! Both consume counter-based randomness keyed by `(seed, entity id, step
+//! salt)`, so for equal configurations their trajectories are
+//! **bit-identical** — asserted by `validate::engines_agree` and the
+//! integration tests, and then relaxed into the paper's statistical
+//! CPU-vs-GPU comparison for Figure 6b.
+
+pub mod cpu;
+pub mod gpu;
+
+use pedsim_grid::Matrix;
+
+use crate::metrics::Metrics;
+use crate::params::ModelKind;
+
+/// Salted kernel indices within a step: `salt = step * 4 + KERNEL_*`.
+pub(crate) const KERNEL_TOUR: u64 = 2;
+/// Movement kernel salt offset.
+pub(crate) const KERNEL_MOVE: u64 = 3;
+
+/// Common engine interface.
+pub trait Engine {
+    /// Advance one time step (all four kernels).
+    fn step(&mut self);
+
+    /// Steps completed so far.
+    fn steps_done(&self) -> u64;
+
+    /// Metrics, when tracking is enabled.
+    fn metrics(&self) -> Option<&Metrics>;
+
+    /// The movement model in use.
+    fn model(&self) -> ModelKind;
+
+    /// Snapshot of the environment matrix (cell labels).
+    fn mat_snapshot(&self) -> Matrix<u8>;
+
+    /// Snapshot of agent positions: `(row, col)` vectors indexed by agent
+    /// (slot 0 = sentinel).
+    fn positions(&self) -> (Vec<u16>, Vec<u16>);
+
+    /// Run `n` steps.
+    fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The supporting kernel (§IV.e): re-initialise the scan matrix and the
+//! FUTURE fields before each step.
+
+use pedsim_grid::property::NO_FUTURE;
+use pedsim_grid::scan::SCAN_INVALID;
+use simt::exec::{BlockCtx, BlockKernel};
+use simt::memory::ScatterView;
+
+/// One thread per property-table row (including the 0th sentinel row).
+pub struct InitKernel<'a> {
+    /// Rows to clear (`N + 1`).
+    pub rows: usize,
+    /// Scan values to zero.
+    pub scan_val: ScatterView<'a, f32>,
+    /// Scan indices to invalidate.
+    pub scan_idx: ScatterView<'a, u8>,
+    /// FUTURE ROW to reset.
+    pub future_row: ScatterView<'a, u16>,
+    /// FUTURE COLUMN to reset.
+    pub future_col: ScatterView<'a, u16>,
+}
+
+impl BlockKernel for InitKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let rows = self.rows;
+        ctx.threads(|t| {
+            let i = t.global_linear();
+            if i < rows {
+                for s in 0..8 {
+                    self.scan_val.write(i * 8 + s, 0.0);
+                    self.scan_idx.write(i * 8 + s, SCAN_INVALID);
+                }
+                self.future_row.write(i, NO_FUTURE);
+                self.future_col.write(i, NO_FUTURE);
+                t.note_global_stores(10);
+            }
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "init"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::exec::LaunchConfig;
+    use simt::memory::ScatterBuffer;
+    use simt::{Device, Dim2};
+
+    #[test]
+    fn clears_everything() {
+        let rows = 300usize;
+        let scan_val = ScatterBuffer::new(rows * 8, 5.0f32, true);
+        let scan_idx = ScatterBuffer::new(rows * 8, 3u8, true);
+        let fr = ScatterBuffer::new(rows, 7u16, true);
+        let fc = ScatterBuffer::new(rows, 7u16, true);
+        for b in [&fr, &fc] {
+            b.begin_epoch();
+        }
+        scan_val.begin_epoch();
+        scan_idx.begin_epoch();
+        let k = InitKernel {
+            rows,
+            scan_val: scan_val.view(),
+            scan_idx: scan_idx.view(),
+            future_row: fr.view(),
+            future_col: fc.view(),
+        };
+        let device = Device::sequential();
+        let blocks = (rows as u32).div_ceil(256);
+        let cfg = LaunchConfig::new(Dim2::new(blocks, 1), Dim2::new(256, 1));
+        device.launch(&cfg, &k).expect("launch");
+        assert!(scan_val.as_slice().iter().all(|&v| v == 0.0));
+        assert!(scan_idx.as_slice().iter().all(|&v| v == SCAN_INVALID));
+        assert!(fr.as_slice().iter().all(|&v| v == NO_FUTURE));
+        assert!(fc.as_slice().iter().all(|&v| v == NO_FUTURE));
+    }
+}

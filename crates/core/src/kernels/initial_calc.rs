@@ -1,0 +1,202 @@
+//! The initial calculation phase (§IV.b): one thread per environment cell,
+//! 16×16 blocks over an 18×18 shared tile (Figure 3).
+//!
+//! Occupied-cell threads score their agent's eight neighbours — eq. (1)
+//! candidates for LEM, eq. (2) numerators for ACO — into the agent's scan
+//! row, and record the FRONT CELL status. Control flow is uniform in the
+//! paper's sense: the occupied/empty distinction is a *predicated* path
+//! (the paper routes empty threads' results to the sacrificial 0th scan
+//! row; here the masked lanes simply skip the stores), so the kernel
+//! records no warp divergence.
+
+use pedsim_grid::cell::Group;
+use pedsim_grid::cell::CELL_WALL;
+use simt::exec::{BlockCtx, BlockKernel};
+use simt::memory::ScatterView;
+use simt::Dim2;
+
+use crate::model::{aco_scan_row, front_status, lem_scan_row};
+use crate::params::ModelKind;
+
+/// Per-cell scoring kernel.
+pub struct InitialCalcKernel<'a> {
+    /// Environment width.
+    pub w: usize,
+    /// Environment height.
+    pub h: usize,
+    /// Current cell labels (read as 18×18 tiles).
+    pub mat_in: &'a [u8],
+    /// Current agent indices (own-cell read).
+    pub index_in: &'a [u32],
+    /// Constant-memory distance tables.
+    pub dist: &'a [f32],
+    /// Current pheromone fields (ACO): `(top, bottom)`.
+    pub pher_in: Option<(&'a [f32], &'a [f32])>,
+    /// Movement model.
+    pub model: ModelKind,
+    /// Scan values out.
+    pub scan_val: ScatterView<'a, f32>,
+    /// Scan indices out.
+    pub scan_idx: ScatterView<'a, u8>,
+    /// FRONT CELL out.
+    pub front: ScatterView<'a, u8>,
+}
+
+impl InitialCalcKernel<'_> {
+    /// Halo width the mat tile needs: 1 for the baseline, the scan range
+    /// when the look-ahead extension is active.
+    fn halo(&self) -> u32 {
+        match self.model {
+            ModelKind::Lem(p) => u32::from(p.scan_range.max(1)),
+            ModelKind::Aco(_) => 1,
+        }
+    }
+}
+
+impl BlockKernel for InitialCalcKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let dims = Dim2::new(self.w as u32, self.h as u32);
+        let mat_tile = ctx.load_tile(self.mat_in, dims, self.halo(), CELL_WALL);
+        // The paper's stacked 36×18 local pheromone matrix: both group
+        // fields tiled together, selected by the agent's label.
+        let pher_tile = self
+            .pher_in
+            .map(|(top, bottom)| ctx.load_dual_tile(top, bottom, dims, 1, 0.0f32));
+        ctx.sync();
+        let (w, h) = (self.w, self.h);
+        ctx.threads(|t| {
+            let (r, c) = t.global_rc();
+            if (r as usize) < h && (c as usize) < w {
+                let (ri, ci) = (i64::from(r), i64::from(c));
+                let occ = |rr: i64, cc: i64| mat_tile.get(rr, cc);
+                let label = occ(ri, ci);
+                // Predicated path: empty lanes skip the stores (the paper
+                // instead routes them to scan row 0 — same warp timing,
+                // same effect).
+                if let Some(g) = Group::from_label(label) {
+                    let a = self.index_in[r as usize * w + c as usize] as usize;
+                    t.note_global_loads(1);
+                    debug_assert!(a > 0, "occupied cell must be indexed");
+                    let row = match self.model {
+                        ModelKind::Lem(p) => {
+                            lem_scan_row(&occ, self.dist, h, g, ri, ci, p.scan_range)
+                        }
+                        ModelKind::Aco(p) => {
+                            let tile = pher_tile.as_ref().expect("ACO pheromone tile");
+                            let which = g.index();
+                            let tau = |rr: i64, cc: i64| tile.get(which, rr, cc);
+                            aco_scan_row(&occ, &tau, self.dist, h, &p, g, ri, ci)
+                        }
+                    };
+                    for s in 0..8 {
+                        self.scan_val.write(a * 8 + s, row.vals[s]);
+                        self.scan_idx.write(a * 8 + s, row.idxs[s]);
+                    }
+                    self.front.write(a, front_status(&occ, g, ri, ci));
+                    t.note_global_stores(17);
+                    t.note_shared_loads(9);
+                    t.alu(32);
+                }
+            }
+        });
+    }
+
+    fn shared_bytes(&self) -> u32 {
+        // (16+2·halo)² mat tile + (ACO) two 18×18 f32 pheromone tiles.
+        let side = 16 + 2 * self.halo();
+        let mat = side * side;
+        let pher = if self.pher_in.is_some() { 2 * 18 * 18 * 4 } else { 0 };
+        mat + pher
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        20
+    }
+
+    fn name(&self) -> &'static str {
+        "initial_calc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::DeviceState;
+    use pedsim_grid::scan::SCAN_INVALID;
+    use pedsim_grid::{EnvConfig, Environment};
+    use simt::exec::LaunchConfig;
+    use simt::Device;
+
+    fn run(model: ModelKind) -> (Environment, DeviceState) {
+        let env = Environment::new(&EnvConfig::small(32, 32, 25).with_seed(9));
+        let state = DeviceState::upload(&env, model, true);
+        state.scan_val.begin_epoch();
+        state.scan_idx.begin_epoch();
+        state.front.begin_epoch();
+        let pher_in = state
+            .pher
+            .as_ref()
+            .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice()));
+        let k = InitialCalcKernel {
+            w: state.w,
+            h: state.h,
+            mat_in: state.mat[0].as_slice(),
+            index_in: state.index[0].as_slice(),
+            dist: state.dist.as_slice(),
+            pher_in,
+            model,
+            scan_val: state.scan_val.view(),
+            scan_idx: state.scan_idx.view(),
+            front: state.front.view(),
+        };
+        let cfg = LaunchConfig::tiled_over(Dim2::new(32, 32), Dim2::square(16));
+        Device::sequential().launch(&cfg, &k).expect("launch");
+        (env, state)
+    }
+
+    #[test]
+    fn lem_scan_rows_match_reference() {
+        let (env, state) = run(ModelKind::lem());
+        let dist = pedsim_grid::DistanceTables::new(32);
+        let occ = |r: i64, c: i64| env.mat.get_or(r, c, CELL_WALL);
+        for i in 1..=env.total_agents() {
+            let (r, c) = env.props.position(i);
+            let g = env.group_of(i);
+            let expect =
+                lem_scan_row(&occ, dist.as_slice(), 32, g, i64::from(r), i64::from(c), 1);
+            let vals = &state.scan_val.as_slice()[i * 8..i * 8 + 8];
+            let idxs = &state.scan_idx.as_slice()[i * 8..i * 8 + 8];
+            assert_eq!(idxs, &expect.idxs, "agent {i} idxs");
+            assert_eq!(vals, &expect.vals, "agent {i} vals");
+        }
+    }
+
+    #[test]
+    fn aco_rows_are_by_neighbour_index() {
+        let (env, state) = run(ModelKind::aco());
+        for i in 1..=env.total_agents() {
+            let idxs = &state.scan_idx.as_slice()[i * 8..i * 8 + 8];
+            assert_eq!(idxs, &[0, 1, 2, 3, 4, 5, 6, 7], "agent {i}");
+        }
+    }
+
+    #[test]
+    fn sentinel_row_untouched() {
+        let (_, state) = run(ModelKind::lem());
+        assert!(state.scan_val.as_slice()[..8].iter().all(|&v| v == 0.0));
+        assert!(state.scan_idx.as_slice()[..8]
+            .iter()
+            .all(|&v| v == SCAN_INVALID));
+    }
+
+    #[test]
+    fn front_status_recorded() {
+        let (env, state) = run(ModelKind::lem());
+        let occ = |r: i64, c: i64| env.mat.get_or(r, c, CELL_WALL);
+        for i in 1..=env.total_agents() {
+            let (r, c) = env.props.position(i);
+            let expect = front_status(&occ, env.group_of(i), i64::from(r), i64::from(c));
+            assert_eq!(state.front.as_slice()[i], expect, "agent {i}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The four simulation kernels (§IV.b–e) for the virtual GPU, plus the
+//! device-resident buffer set they operate on.
+//!
+//! Buffer discipline (what makes the launches race-free *and* faithful to
+//! the paper's scatter-to-gather design):
+//!
+//! * `mat` and `index` are **ping-pong pairs**: each movement launch reads
+//!   tiles of the *in* buffer and writes every cell of the *out* buffer
+//!   exactly once (copy-through for unchanged cells, decided by the
+//!   deterministic winner recomputation — see
+//!   [`crate::model::movement`]);
+//! * `row`/`col`/`tour` are written in place, but only for arriving agents
+//!   and only by the unique thread of the arrival cell;
+//! * `scan`/`front`/`future` are rewritten wholesale by their producing
+//!   kernel each step;
+//! * the pheromone fields are ping-pong pairs updated by the movement
+//!   kernel (evaporate everywhere + deposit at arrivals).
+//!
+//! In checked mode every one of those "exactly once" claims is enforced at
+//! runtime by the `ScatterBuffer` conflict detector.
+
+pub mod init;
+pub mod initial_calc;
+pub mod movement;
+pub mod movement_atomic;
+pub mod tour;
+
+pub use init::InitKernel;
+pub use initial_calc::InitialCalcKernel;
+pub use movement::MovementKernel;
+pub use movement_atomic::AtomicMovementKernel;
+pub use tour::TourKernel;
+
+use pedsim_grid::cell::CELL_EMPTY;
+use pedsim_grid::property::NO_FUTURE;
+use pedsim_grid::scan::SCAN_INVALID;
+use pedsim_grid::{DistanceTables, Environment};
+use simt::memory::{ConstantBuffer, ScatterBuffer};
+
+use crate::params::{AcoParams, ModelKind};
+
+/// Ping-pong pheromone buffers (ACO only).
+pub struct PherBuffers {
+    /// Top-group field, `[current, next]` by the owner's `cur` flag.
+    pub top: [ScatterBuffer<f32>; 2],
+    /// Bottom-group field.
+    pub bottom: [ScatterBuffer<f32>; 2],
+    /// ACO parameters the kernels need.
+    pub params: AcoParams,
+}
+
+/// All device-resident state (the output of the data-preparation stage,
+/// §IV.a).
+pub struct DeviceState {
+    /// Environment width.
+    pub w: usize,
+    /// Environment height.
+    pub h: usize,
+    /// Total agents.
+    pub n: usize,
+    /// Agents per side (group boundary in the index range).
+    pub n_per_side: usize,
+    /// Cell labels, ping-pong.
+    pub mat: [ScatterBuffer<u8>; 2],
+    /// Agent indices per cell, ping-pong.
+    pub index: [ScatterBuffer<u32>; 2],
+    /// Which side of each ping-pong pair is current.
+    pub cur: usize,
+    /// Agent rows (in-place, arrival-owned writes).
+    pub row: ScatterBuffer<u16>,
+    /// Agent columns.
+    pub col: ScatterBuffer<u16>,
+    /// Chosen future rows.
+    pub future_row: ScatterBuffer<u16>,
+    /// Chosen future columns.
+    pub future_col: ScatterBuffer<u16>,
+    /// Front-cell status per agent.
+    pub front: ScatterBuffer<u8>,
+    /// Scan values, `(N+1)×8`.
+    pub scan_val: ScatterBuffer<f32>,
+    /// Scan neighbour indices, `(N+1)×8`.
+    pub scan_idx: ScatterBuffer<u8>,
+    /// Accumulated tour lengths.
+    pub tour: ScatterBuffer<f32>,
+    /// Pheromone fields (ACO only).
+    pub pher: Option<PherBuffers>,
+    /// Immutable agent labels (1 top / 2 bottom), sentinel at 0.
+    pub id: Vec<u8>,
+    /// Constant-memory distance tables.
+    pub dist: ConstantBuffer<f32>,
+}
+
+impl DeviceState {
+    /// Upload an environment (the host→device copy of §IV.a).
+    pub fn upload(env: &Environment, model: ModelKind, checked: bool) -> Self {
+        let (h, w) = (env.height(), env.width());
+        let n = env.total_agents();
+        let pher = match model {
+            ModelKind::Aco(p) => Some(PherBuffers {
+                top: [
+                    ScatterBuffer::new(h * w, p.tau0, checked),
+                    ScatterBuffer::new(h * w, p.tau0, checked),
+                ],
+                bottom: [
+                    ScatterBuffer::new(h * w, p.tau0, checked),
+                    ScatterBuffer::new(h * w, p.tau0, checked),
+                ],
+                params: p,
+            }),
+            ModelKind::Lem(_) => None,
+        };
+        Self {
+            w,
+            h,
+            n,
+            n_per_side: env.agents_per_side,
+            mat: [
+                ScatterBuffer::from_vec(env.mat.as_slice().to_vec(), checked),
+                ScatterBuffer::new(h * w, CELL_EMPTY, checked),
+            ],
+            index: [
+                ScatterBuffer::from_vec(env.index.as_slice().to_vec(), checked),
+                ScatterBuffer::new(h * w, 0u32, checked),
+            ],
+            cur: 0,
+            row: ScatterBuffer::from_vec(env.props.row.clone(), checked),
+            col: ScatterBuffer::from_vec(env.props.col.clone(), checked),
+            future_row: ScatterBuffer::new(n + 1, NO_FUTURE, checked),
+            future_col: ScatterBuffer::new(n + 1, NO_FUTURE, checked),
+            front: ScatterBuffer::new(n + 1, CELL_EMPTY, checked),
+            scan_val: ScatterBuffer::new((n + 1) * 8, 0.0f32, checked),
+            scan_idx: ScatterBuffer::new((n + 1) * 8, SCAN_INVALID, checked),
+            tour: ScatterBuffer::new(n + 1, 0.0f32, checked),
+            pher,
+            id: env.props.id.clone(),
+            dist: ConstantBuffer::new(DistanceTables::new(h).as_slice().to_vec()),
+        }
+    }
+
+    /// Download the device state back into a host [`Environment`]
+    /// (device→host copy for validation and snapshots).
+    pub fn download(&self, spawn_rows: usize, seed: u64) -> Environment {
+        use pedsim_grid::{Matrix, PropertyTable};
+        let mut props = PropertyTable::new(self.n);
+        props.id = self.id.clone();
+        props.row = self.row.as_slice().to_vec();
+        props.col = self.col.as_slice().to_vec();
+        props.future_row = self.future_row.as_slice().to_vec();
+        props.future_col = self.future_col.as_slice().to_vec();
+        props.front = self.front.as_slice().to_vec();
+        Environment {
+            mat: Matrix::from_vec(self.h, self.w, self.mat[self.cur].as_slice().to_vec()),
+            index: Matrix::from_vec(self.h, self.w, self.index[self.cur].as_slice().to_vec()),
+            props,
+            spawn_rows,
+            agents_per_side: self.n_per_side,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedsim_grid::EnvConfig;
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let env = Environment::new(&EnvConfig::small(32, 32, 20).with_seed(3));
+        let state = DeviceState::upload(&env, ModelKind::aco(), true);
+        let back = state.download(env.spawn_rows, env.seed);
+        assert_eq!(back.mat, env.mat);
+        assert_eq!(back.index, env.index);
+        assert_eq!(back.props.row, env.props.row);
+        back.check_consistency().expect("round-trips consistent");
+        assert!(state.pher.is_some());
+    }
+
+    #[test]
+    fn lem_state_has_no_pheromone() {
+        let env = Environment::new(&EnvConfig::small(16, 16, 5));
+        let state = DeviceState::upload(&env, ModelKind::lem(), false);
+        assert!(state.pher.is_none());
+        assert_eq!(state.n, 10);
+    }
+}

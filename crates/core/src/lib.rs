@@ -1,0 +1,57 @@
+//! # pedsim-core — nature-inspired bi-directional pedestrian simulation
+//!
+//! The primary contribution of Dutta, McLeod & Friesen (IPDPS-W 2014):
+//! large-scale bi-directional pedestrian movement under two nature-inspired
+//! models — the **Least Effort Model** (eq. 1) and a **modified Ant
+//! System** (eqs. 2–5) — implemented as a data-driven four-kernel GPU
+//! pipeline plus a single-threaded reference.
+//!
+//! ## Layout
+//!
+//! * [`params`] — model parameters and [`params::SimConfig`];
+//! * [`model`] — the pure decision functions (scoring, selection, conflict
+//!   resolution) both engines share;
+//! * [`kernels`] — the four `simt` kernels (§IV.b–e) and the device buffer
+//!   set, plus the atomic-CAS movement variant kept for ablations;
+//! * [`engine`] — [`engine::cpu::CpuEngine`] (sequential reference) and
+//!   [`engine::gpu::GpuEngine`] (virtual GPU, sequential or parallel
+//!   policy);
+//! * [`metrics`] — throughput (the paper's §VI result metric), gridlock,
+//!   lane formation;
+//! * [`validate`] — exact cross-engine trajectory comparison;
+//! * [`extensions`] — the paper's future-work features, implemented
+//!   (panic alarm; widened scanning ranges).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pedsim_core::prelude::*;
+//!
+//! let env = EnvConfig::small(32, 32, 30).with_seed(7);
+//! let cfg = SimConfig::new(env, ModelKind::aco());
+//! let mut engine = GpuEngine::new(cfg, simt::Device::parallel());
+//! engine.run(50);
+//! let m = engine.metrics().expect("metrics on by default");
+//! println!("throughput after 50 steps: {}", m.throughput());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod extensions;
+pub mod kernels;
+pub mod metrics;
+pub mod model;
+pub mod params;
+pub mod validate;
+
+/// The commonly-used public surface.
+pub mod prelude {
+    pub use crate::engine::cpu::CpuEngine;
+    pub use crate::engine::gpu::GpuEngine;
+    pub use crate::engine::Engine;
+    pub use crate::metrics::{lane_index, Geometry, Metrics};
+    pub use crate::params::{AcoParams, LemParams, ModelKind, SimConfig};
+    pub use crate::validate::engines_agree;
+    pub use pedsim_grid::{EnvConfig, Environment};
+}

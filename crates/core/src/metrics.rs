@@ -1,0 +1,242 @@
+//! Throughput and movement metrics (§VI).
+//!
+//! The paper's headline result metric is **throughput**: "the number of
+//! pedestrians able to cross the environment and reach the other side"
+//! within the step budget. Crossing is sticky — once an agent has reached
+//! the opposite spawn band it counts even if it later wanders back out.
+//! [`Metrics`] also tracks per-step movement (for gridlock detection) and a
+//! lane-formation index used by the analysis examples.
+
+use pedsim_grid::cell::Group;
+use pedsim_grid::Matrix;
+
+/// Static scenario geometry the metrics need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Environment width.
+    pub width: usize,
+    /// Environment height.
+    pub height: usize,
+    /// Spawn-band rows at each edge.
+    pub spawn_rows: usize,
+    /// Agents per group.
+    pub agents_per_side: usize,
+}
+
+impl Geometry {
+    /// Whether a group-`g` agent in `row` is past the crossing line.
+    #[inline]
+    pub fn has_crossed(&self, g: Group, row: usize) -> bool {
+        match g {
+            Group::Top => row >= self.height - self.spawn_rows,
+            Group::Bottom => row < self.spawn_rows,
+        }
+    }
+
+    /// Total agents.
+    #[inline]
+    pub fn total_agents(&self) -> usize {
+        self.agents_per_side * 2
+    }
+
+    /// Group of agent `idx` under the index-range convention.
+    #[inline]
+    pub fn group_of(&self, idx: usize) -> Group {
+        if idx <= self.agents_per_side {
+            Group::Top
+        } else {
+            Group::Bottom
+        }
+    }
+}
+
+/// Running simulation metrics.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    geom: Geometry,
+    /// Sticky per-agent crossed flags (index 0 unused).
+    crossed: Vec<bool>,
+    /// Agents of the top group that have crossed.
+    pub crossed_top: usize,
+    /// Agents of the bottom group that have crossed.
+    pub crossed_bottom: usize,
+    /// Agents that changed cell in the most recent step.
+    pub moved_last_step: usize,
+    /// Total cell changes across all steps.
+    pub total_moves: u64,
+    /// Steps observed.
+    pub steps: u64,
+    prev_row: Vec<u16>,
+    prev_col: Vec<u16>,
+}
+
+impl Metrics {
+    /// Fresh metrics for a scenario; `row`/`col` are the initial agent
+    /// positions (index 0 = sentinel).
+    pub fn new(geom: Geometry, row: &[u16], col: &[u16]) -> Self {
+        Self {
+            geom,
+            crossed: vec![false; geom.total_agents() + 1],
+            crossed_top: 0,
+            crossed_bottom: 0,
+            moved_last_step: 0,
+            total_moves: 0,
+            steps: 0,
+            prev_row: row.to_vec(),
+            prev_col: col.to_vec(),
+        }
+    }
+
+    /// Observe the post-step agent positions.
+    pub fn observe(&mut self, row: &[u16], col: &[u16]) {
+        let n = self.geom.total_agents();
+        let mut moved = 0usize;
+        for i in 1..=n {
+            if row[i] != self.prev_row[i] || col[i] != self.prev_col[i] {
+                moved += 1;
+                self.prev_row[i] = row[i];
+                self.prev_col[i] = col[i];
+            }
+            if !self.crossed[i] {
+                let g = self.geom.group_of(i);
+                if self.geom.has_crossed(g, row[i] as usize) {
+                    self.crossed[i] = true;
+                    match g {
+                        Group::Top => self.crossed_top += 1,
+                        Group::Bottom => self.crossed_bottom += 1,
+                    }
+                }
+            }
+        }
+        self.moved_last_step = moved;
+        self.total_moves += moved as u64;
+        self.steps += 1;
+    }
+
+    /// Total crossed agents (both groups) — the paper's throughput number.
+    #[inline]
+    pub fn throughput(&self) -> usize {
+        self.crossed_top + self.crossed_bottom
+    }
+
+    /// Whether agent `i` has crossed.
+    #[inline]
+    pub fn agent_crossed(&self, i: usize) -> bool {
+        self.crossed[i]
+    }
+
+    /// True when fewer than `threshold` agents moved in the last step — the
+    /// paper's "total gridlock" regime past 51,200 agents.
+    #[inline]
+    pub fn is_gridlocked(&self, threshold: usize) -> bool {
+        self.steps > 0 && self.moved_last_step < threshold
+    }
+
+    /// The scenario geometry.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+}
+
+/// Lane-formation index of a configuration: the mean over rows of
+/// |top − bottom| / (top + bottom) within same-column runs… simplified to a
+/// column-segregation measure: for each column, the fraction of its agents
+/// belonging to the column's majority group, averaged over non-empty
+/// columns, rescaled to [0, 1] (0 = perfectly mixed, 1 = fully segregated
+/// columns). Bi-directional lane formation drives this up.
+pub fn lane_index(mat: &Matrix<u8>) -> f64 {
+    use pedsim_grid::cell::{CELL_BOTTOM, CELL_TOP};
+    let mut acc = 0.0f64;
+    let mut cols = 0usize;
+    for c in 0..mat.width() {
+        let mut top = 0usize;
+        let mut bottom = 0usize;
+        for r in 0..mat.height() {
+            match mat.get(r, c) {
+                CELL_TOP => top += 1,
+                CELL_BOTTOM => bottom += 1,
+                _ => {}
+            }
+        }
+        let n = top + bottom;
+        if n > 0 {
+            let maj = top.max(bottom) as f64 / n as f64; // in [0.5, 1]
+            acc += (maj - 0.5) * 2.0;
+            cols += 1;
+        }
+    }
+    if cols == 0 {
+        0.0
+    } else {
+        acc / cols as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedsim_grid::cell::{CELL_BOTTOM, CELL_EMPTY, CELL_TOP};
+
+    fn geom() -> Geometry {
+        Geometry {
+            width: 16,
+            height: 16,
+            spawn_rows: 3,
+            agents_per_side: 2,
+        }
+    }
+
+    #[test]
+    fn crossing_is_sticky() {
+        let g = geom();
+        // Agents 1,2 top; 3,4 bottom. Initial rows 0 and 15.
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        // Agent 1 jumps to row 13 (crossed), agent 3 to row 2 (crossed).
+        m.observe(&[0, 13, 1, 2, 15], &[0, 0, 1, 0, 1]);
+        assert_eq!(m.crossed_top, 1);
+        assert_eq!(m.crossed_bottom, 1);
+        assert_eq!(m.throughput(), 2);
+        assert_eq!(m.moved_last_step, 2);
+        // Agent 1 wanders back out of the band — still counted.
+        m.observe(&[0, 10, 1, 2, 15], &[0, 0, 1, 0, 1]);
+        assert_eq!(m.crossed_top, 1);
+        assert!(m.agent_crossed(1));
+        assert_eq!(m.steps, 2);
+        assert_eq!(m.total_moves, 3);
+    }
+
+    #[test]
+    fn gridlock_detection() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        assert!(!m.is_gridlocked(1)); // no steps yet
+        m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]); // nobody moved
+        assert!(m.is_gridlocked(1));
+        assert_eq!(m.moved_last_step, 0);
+    }
+
+    #[test]
+    fn lane_index_extremes() {
+        // Fully segregated: column 0 all top, column 1 all bottom.
+        let mut seg = Matrix::filled(4, 2, CELL_EMPTY);
+        for r in 0..4 {
+            seg.set(r, 0, CELL_TOP);
+            seg.set(r, 1, CELL_BOTTOM);
+        }
+        assert!((lane_index(&seg) - 1.0).abs() < 1e-12);
+
+        // Perfectly mixed columns.
+        let mut mix = Matrix::filled(4, 2, CELL_EMPTY);
+        for r in 0..4 {
+            let v = if r % 2 == 0 { CELL_TOP } else { CELL_BOTTOM };
+            mix.set(r, 0, v);
+            mix.set(r, 1, v);
+        }
+        assert!(lane_index(&mix).abs() < 1e-12);
+
+        // Empty grid.
+        let empty = Matrix::filled(4, 2, CELL_EMPTY);
+        assert_eq!(lane_index(&empty), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Movement-conflict resolution: the scatter-to-gather winner pick (§IV.d).
+//!
+//! After the tour phase, several agents may have chosen the same empty
+//! cell. The paper resolves this from the *empty cell's* perspective: its
+//! thread counts the neighbouring agents whose FUTURE cell is this cell and
+//! picks one uniformly at random (Figure 4). Because every agent names
+//! exactly one future cell, each agent is a candidate at exactly one cell —
+//! so every write this resolution produces has a unique owner, and no
+//! atomics are needed.
+//!
+//! [`gather_winner`] is that decision as a pure function. Crucially it is
+//! keyed by the *cell's* RNG stream, so any thread can recompute any cell's
+//! decision and get the identical answer. The engines use this in two
+//! places: the empty cell applies its own arrival, and an occupied cell
+//! whose agent targeted `F` recomputes `gather_winner(F)` to learn whether
+//! its agent left — giving a race-free, deterministic, double-buffered
+//! update with every slot written by exactly one thread.
+
+use pedsim_grid::cell::{CELL_EMPTY, MOVE_LEN, NEIGHBOR_OFFSETS};
+use pedsim_grid::property::NO_FUTURE;
+use philox::StreamRng;
+
+/// The outcome of a cell's gather: which agent arrives and from where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Winning agent's index (≥ 1).
+    pub agent: u32,
+    /// The neighbour slot (0–7) the winner comes *from*, i.e. the winner
+    /// stands at `cell + NEIGHBOR_OFFSETS[from_k]`.
+    pub from_k: usize,
+}
+
+impl Arrival {
+    /// Euclidean length of the winning step (the constant-memory
+    /// tour-length increment).
+    #[inline]
+    pub fn step_len(&self) -> f32 {
+        MOVE_LEN[self.from_k]
+    }
+}
+
+/// Resolve the arrival at cell `(r, c)`.
+///
+/// * `occ`/`idx` read the *pre-movement* cell label and agent index
+///   (snapshot semantics; [`pedsim_grid::CELL_WALL`]/0 outside);
+/// * `future` maps an agent index to its chosen `(row, col)`
+///   (`NO_FUTURE` when none);
+/// * `rng` must be the stream keyed by this *cell* and the movement salt.
+///
+/// Returns `None` if the cell is occupied or no neighbour targets it.
+/// Candidates are scanned in neighbour order 0–7, and the winner is drawn
+/// uniformly among them with a single bounded draw — both engines and the
+/// recomputing neighbour threads therefore agree exactly.
+pub fn gather_winner(
+    occ: &impl Fn(i64, i64) -> u8,
+    idx: &impl Fn(i64, i64) -> u32,
+    future: &impl Fn(u32) -> (u16, u16),
+    r: i64,
+    c: i64,
+    rng: &mut StreamRng,
+) -> Option<Arrival> {
+    if occ(r, c) != CELL_EMPTY {
+        // Agents only target empty cells, so an occupied cell gathers
+        // nothing (the uniform-count formulation of Figure 4).
+        return None;
+    }
+    let mut candidates: [(u32, u8); 8] = [(0, 0); 8];
+    let mut count = 0usize;
+    for (k, (dr, dc)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+        let (nr, nc) = (r + dr, c + dc);
+        let a = idx(nr, nc);
+        if a != 0 {
+            let (fr, fc) = future(a);
+            if fr != NO_FUTURE && i64::from(fr) == r && i64::from(fc) == c {
+                candidates[count] = (a, k as u8);
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let pick = if count == 1 {
+        // Deterministic: skip the draw so RNG usage matches across
+        // recomputations trivially (it would anyway, but this also keeps
+        // the single-candidate fast path draw-free, as on the GPU where
+        // curand_uniform is only invoked for contended cells).
+        0
+    } else {
+        rng.bounded_u32(count as u32) as usize
+    };
+    let (agent, from_k) = candidates[pick];
+    Some(Arrival {
+        agent,
+        from_k: from_k as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedsim_grid::cell::{CELL_TOP, CELL_WALL};
+
+    /// A tiny fixture: agents listed as (index, r, c, future_r, future_c).
+    struct World {
+        agents: Vec<(u32, i64, i64, u16, u16)>,
+    }
+
+    impl World {
+        fn occ(&self) -> impl Fn(i64, i64) -> u8 + '_ {
+            move |r, c| {
+                if !(0..10).contains(&r) || !(0..10).contains(&c) {
+                    return CELL_WALL;
+                }
+                if self.agents.iter().any(|&(_, ar, ac, _, _)| (ar, ac) == (r, c)) {
+                    CELL_TOP
+                } else {
+                    CELL_EMPTY
+                }
+            }
+        }
+
+        fn idx(&self) -> impl Fn(i64, i64) -> u32 + '_ {
+            move |r, c| {
+                self.agents
+                    .iter()
+                    .find(|&&(_, ar, ac, _, _)| (ar, ac) == (r, c))
+                    .map(|&(i, ..)| i)
+                    .unwrap_or(0)
+            }
+        }
+
+        fn future(&self) -> impl Fn(u32) -> (u16, u16) + '_ {
+            move |a| {
+                self.agents
+                    .iter()
+                    .find(|&&(i, ..)| i == a)
+                    .map(|&(_, _, _, fr, fc)| (fr, fc))
+                    .unwrap_or((NO_FUTURE, NO_FUTURE))
+            }
+        }
+    }
+
+    #[test]
+    fn single_candidate_wins_without_draw() {
+        let w = World {
+            agents: vec![(1, 4, 5, 5, 5)],
+        };
+        let mut rng = StreamRng::new(9, 55);
+        let arr = gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut rng).unwrap();
+        assert_eq!(arr.agent, 1);
+        assert_eq!(arr.from_k, 5); // winner is at (4,5) = cell + offset #6 (N)
+        assert_eq!(arr.step_len(), 1.0);
+        // No randomness consumed.
+        let mut rng2 = StreamRng::new(9, 55);
+        assert_eq!(rng.next_u32(), rng2.next_u32());
+    }
+
+    #[test]
+    fn contended_cell_draws_uniformly() {
+        // Figure 4: five agents all targeting (5,5).
+        let w = World {
+            agents: vec![
+                (1, 4, 4, 5, 5),
+                (2, 4, 5, 5, 5),
+                (3, 4, 6, 5, 5),
+                (4, 5, 4, 5, 5),
+                (5, 6, 5, 5, 5),
+            ],
+        };
+        let mut counts = [0usize; 6];
+        for salt in 0..3000u64 {
+            let mut rng = StreamRng::with_offset(1, 55, salt << 4);
+            let arr = gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut rng).unwrap();
+            counts[arr.agent as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for a in 1..=5 {
+            let f = counts[a] as f64 / 3000.0;
+            assert!((f - 0.2).abs() < 0.05, "agent {a} won {f}");
+        }
+    }
+
+    #[test]
+    fn occupied_cell_gathers_nothing() {
+        let w = World {
+            agents: vec![(1, 5, 5, 4, 5), (2, 6, 5, 5, 5)],
+        };
+        let mut rng = StreamRng::new(0, 0);
+        // (5,5) holds agent 1 — even though agent 2 "targets" it (stale
+        // future), the occupied guard refuses.
+        assert!(gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn cell_without_suitors_stays_empty() {
+        let w = World {
+            agents: vec![(1, 4, 4, 3, 3)],
+        };
+        let mut rng = StreamRng::new(0, 0);
+        assert!(gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn recomputation_agrees() {
+        let w = World {
+            agents: vec![(1, 4, 4, 5, 5), (2, 6, 6, 5, 5), (3, 4, 5, 5, 5)],
+        };
+        // Two independent recomputations with the same cell stream agree.
+        let mut r1 = StreamRng::with_offset(123, 55, 7 << 4);
+        let mut r2 = StreamRng::with_offset(123, 55, 7 << 4);
+        let a = gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut r1);
+        let b = gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn agents_without_future_are_not_candidates() {
+        let w = World {
+            agents: vec![(1, 4, 5, NO_FUTURE, NO_FUTURE), (2, 6, 5, 5, 5)],
+        };
+        let mut rng = StreamRng::new(5, 0);
+        let arr = gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut rng).unwrap();
+        assert_eq!(arr.agent, 2);
+    }
+
+    #[test]
+    fn diagonal_step_length() {
+        let w = World {
+            agents: vec![(1, 4, 4, 5, 5)],
+        };
+        let mut rng = StreamRng::new(5, 0);
+        let arr = gather_winner(&w.occ(), &w.idx(), &w.future(), 5, 5, &mut rng).unwrap();
+        // Winner at (4,4) relative to (5,5) is offset (-1,-1) = slot 6 (NW).
+        assert_eq!(arr.from_k, 6);
+        assert!((arr.step_len() - std::f32::consts::SQRT_2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! Model and simulation parameters.
+//!
+//! The paper leaves several constants unspecified; the defaults here are
+//! the values EXPERIMENTS.md was produced with, and each is swept by an
+//! ablation bench:
+//!
+//! * `LemParams::sigma` — the spread of the truncated-normal rank draw
+//!   (§II.A gives the clamping rule but not the σ);
+//! * `AcoParams::{alpha, beta}` — eq. (2)'s exponents (Ant System
+//!   convention α = 1, β = 2…5; we default to 1 and 2);
+//! * `AcoParams::rho` — eq. (3)'s evaporation rate;
+//! * `AcoParams::q` — the deposit numerator of eq. (5) (`Δτ = Q / L_k`);
+//! * `AcoParams::tau0` — initial pheromone level and evaporation floor.
+
+/// Least-Effort-Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LemParams {
+    /// Standard deviation of the normal rank draw. Larger σ spreads choice
+    /// probability toward worse-ranked cells.
+    pub sigma: f64,
+    /// The paper's modification (§IV.c): "forward movement is given the
+    /// highest priority" — an empty forward cell is taken without scoring.
+    pub forward_priority: bool,
+    /// Scanning range (§VII future work, implemented in
+    /// `extensions::ranges`): cells looked ahead per ray when scoring.
+    /// `1` reproduces the paper's baseline exactly.
+    pub scan_range: u8,
+}
+
+impl Default for LemParams {
+    fn default() -> Self {
+        Self {
+            sigma: 1.0,
+            forward_priority: true,
+            scan_range: 1,
+        }
+    }
+}
+
+/// Modified-Ant-System parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcoParams {
+    /// Pheromone weight α of eq. (2).
+    pub alpha: f32,
+    /// Heuristic weight β of eq. (2) (η = 1/distance-to-target).
+    pub beta: f32,
+    /// Evaporation rate ρ of eq. (3), in (0, 1].
+    pub rho: f32,
+    /// Deposit numerator Q of eq. (5): an arriving agent deposits `Q/L_k`.
+    pub q: f32,
+    /// Initial pheromone and evaporation floor τ₀.
+    pub tau0: f32,
+    /// Forward-cell priority, as in LEM.
+    pub forward_priority: bool,
+}
+
+impl Default for AcoParams {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 2.0,
+            rho: 0.02,
+            q: 8.0,
+            tau0: 0.1,
+            forward_priority: true,
+        }
+    }
+}
+
+/// Which movement model drives the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelKind {
+    /// Least Effort Model (eq. 1).
+    Lem(LemParams),
+    /// Modified Ant System (eqs. 2–5).
+    Aco(AcoParams),
+}
+
+impl ModelKind {
+    /// Default-parameter LEM.
+    pub fn lem() -> Self {
+        ModelKind::Lem(LemParams::default())
+    }
+
+    /// Default-parameter ACO.
+    pub fn aco() -> Self {
+        ModelKind::Aco(AcoParams::default())
+    }
+
+    /// True for the ACO variant.
+    pub fn is_aco(&self) -> bool {
+        matches!(self, ModelKind::Aco(_))
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Lem(_) => "LEM",
+            ModelKind::Aco(_) => "ACO",
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Environment geometry and population.
+    pub env: pedsim_grid::EnvConfig,
+    /// Movement model.
+    pub model: ModelKind,
+    /// Enable scatter-conflict checking on all device buffers (tests on,
+    /// wall-clock benches off).
+    pub checked: bool,
+    /// Track crossing/movement metrics each step (small O(N) cost).
+    pub track_metrics: bool,
+}
+
+impl SimConfig {
+    /// A configuration over `env` with `model` and metrics on.
+    pub fn new(env: pedsim_grid::EnvConfig, model: ModelKind) -> Self {
+        Self {
+            env,
+            model,
+            checked: false,
+            track_metrics: true,
+        }
+    }
+
+    /// Builder: toggle conflict checking.
+    pub fn with_checked(mut self, on: bool) -> Self {
+        self.checked = on;
+        self
+    }
+
+    /// Builder: toggle metrics tracking.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.track_metrics = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let l = LemParams::default();
+        assert!(l.sigma > 0.0 && l.forward_priority);
+        let a = AcoParams::default();
+        assert!(a.alpha > 0.0 && a.beta > 0.0);
+        assert!((0.0..=1.0).contains(&a.rho));
+        assert!(a.tau0 > 0.0);
+    }
+
+    #[test]
+    fn model_kind_names() {
+        assert_eq!(ModelKind::lem().name(), "LEM");
+        assert_eq!(ModelKind::aco().name(), "ACO");
+        assert!(ModelKind::aco().is_aco());
+        assert!(!ModelKind::lem().is_aco());
+    }
+}

@@ -1,0 +1,188 @@
+//! Cell labels, pedestrian groups, and the Figure-1 neighbourhood.
+//!
+//! The environment matrix stores one byte per cell: `0` empty, `1` a
+//! top-group pedestrian, `2` a bottom-group pedestrian (paper §IV.a). A
+//! fourth value, [`CELL_WALL`], is used only as the halo fill outside the
+//! environment so border agents see the outside as unavailable.
+//!
+//! ## Neighbour numbering
+//!
+//! The paper's Figure 1 numbers the Moore neighbourhood 1–8 such that for a
+//! *top* agent (moving toward higher rows) Cell #1 is the forward cell and
+//! #2/#3 the forward diagonals, while for a *bottom* agent the forward cell
+//! is #6 ("the first element of each row … Cell #1 for top placed agents
+//! and Cell #6 for bottom placed", §IV.c). [`NEIGHBOR_OFFSETS`] fixes that
+//! numbering (0-based: offset `k` is the paper's Cell #(k+1)):
+//!
+//! | k | paper # | (dr, dc) | top-group meaning | bottom-group meaning |
+//! |---|---------|----------|-------------------|----------------------|
+//! | 0 | 1 | (+1, 0) | forward | backward |
+//! | 1 | 2 | (+1, −1) | forward-left | backward |
+//! | 2 | 3 | (+1, +1) | forward-right | backward |
+//! | 3 | 4 | (0, −1) | lateral | lateral |
+//! | 4 | 5 | (0, +1) | lateral | lateral |
+//! | 5 | 6 | (−1, 0) | backward | forward |
+//! | 6 | 7 | (−1, −1) | backward | forward-left |
+//! | 7 | 8 | (−1, +1) | backward | forward-right |
+
+/// Empty cell label.
+pub const CELL_EMPTY: u8 = 0;
+/// Top-group pedestrian label.
+pub const CELL_TOP: u8 = 1;
+/// Bottom-group pedestrian label.
+pub const CELL_BOTTOM: u8 = 2;
+/// Outside-the-environment fill label (never stored in the matrix itself).
+pub const CELL_WALL: u8 = 255;
+
+/// The eight Moore-neighbourhood offsets `(dr, dc)` in the paper's
+/// Figure-1 order (see module docs).
+pub const NEIGHBOR_OFFSETS: [(i64, i64); 8] = [
+    (1, 0),
+    (1, -1),
+    (1, 1),
+    (0, -1),
+    (0, 1),
+    (-1, 0),
+    (-1, -1),
+    (-1, 1),
+];
+
+/// Euclidean step length for each neighbour (the tour-length increments the
+/// paper stores in constant memory, §IV.d).
+pub const MOVE_LEN: [f32; 8] = [
+    1.0,
+    std::f32::consts::SQRT_2,
+    std::f32::consts::SQRT_2,
+    1.0,
+    1.0,
+    1.0,
+    std::f32::consts::SQRT_2,
+    std::f32::consts::SQRT_2,
+];
+
+/// One of the two pedestrian populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Spawns in the top rows; target is the bottom edge (higher rows).
+    Top,
+    /// Spawns in the bottom rows; target is the top edge (row 0).
+    Bottom,
+}
+
+impl Group {
+    /// The cell label of this group's agents.
+    #[inline]
+    pub const fn label(self) -> u8 {
+        match self {
+            Group::Top => CELL_TOP,
+            Group::Bottom => CELL_BOTTOM,
+        }
+    }
+
+    /// Group from a cell label (`None` for empty/wall).
+    #[inline]
+    pub const fn from_label(label: u8) -> Option<Group> {
+        match label {
+            CELL_TOP => Some(Group::Top),
+            CELL_BOTTOM => Some(Group::Bottom),
+            _ => None,
+        }
+    }
+
+    /// The opposite group.
+    #[inline]
+    pub const fn opposite(self) -> Group {
+        match self {
+            Group::Top => Group::Bottom,
+            Group::Bottom => Group::Top,
+        }
+    }
+
+    /// Index of this group's *forward* neighbour in [`NEIGHBOR_OFFSETS`]
+    /// (paper Cell #1 for top, Cell #6 for bottom).
+    #[inline]
+    pub const fn forward_index(self) -> usize {
+        match self {
+            Group::Top => 0,
+            Group::Bottom => 5,
+        }
+    }
+
+    /// Target row of this group (the far edge).
+    #[inline]
+    pub const fn target_row(self, height: usize) -> usize {
+        match self {
+            Group::Top => height - 1,
+            Group::Bottom => 0,
+        }
+    }
+
+    /// Signed forward direction along the row axis (+1 for top, −1 for
+    /// bottom).
+    #[inline]
+    pub const fn forward_dr(self) -> i64 {
+        match self {
+            Group::Top => 1,
+            Group::Bottom => -1,
+        }
+    }
+
+    /// 0 for top, 1 for bottom — the index used to pick the pheromone half
+    /// in the stacked dual tile.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Group::Top => 0,
+            Group::Bottom => 1,
+        }
+    }
+
+    /// Both groups.
+    pub const BOTH: [Group; 2] = [Group::Top, Group::Bottom];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for g in Group::BOTH {
+            assert_eq!(Group::from_label(g.label()), Some(g));
+        }
+        assert_eq!(Group::from_label(CELL_EMPTY), None);
+        assert_eq!(Group::from_label(CELL_WALL), None);
+    }
+
+    #[test]
+    fn forward_cells_match_paper() {
+        // Paper §IV.c: first (least-distance) cell is #1 for top, #6 for bottom.
+        assert_eq!(NEIGHBOR_OFFSETS[Group::Top.forward_index()], (1, 0));
+        assert_eq!(NEIGHBOR_OFFSETS[Group::Bottom.forward_index()], (-1, 0));
+    }
+
+    #[test]
+    fn offsets_are_the_moore_neighbourhood() {
+        let mut set: Vec<_> = NEIGHBOR_OFFSETS.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 8);
+        assert!(!set.contains(&(0, 0)));
+        assert!(set.iter().all(|&(r, c)| r.abs() <= 1 && c.abs() <= 1));
+    }
+
+    #[test]
+    fn move_lengths_match_geometry() {
+        for (k, &(dr, dc)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+            let expect = (((dr * dr) + (dc * dc)) as f32).sqrt();
+            assert!((MOVE_LEN[k] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn targets_are_opposite_edges() {
+        assert_eq!(Group::Top.target_row(480), 479);
+        assert_eq!(Group::Bottom.target_row(480), 0);
+        assert_eq!(Group::Top.opposite(), Group::Bottom);
+    }
+}

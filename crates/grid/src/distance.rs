@@ -1,0 +1,160 @@
+//! Pre-computed distance tables (the paper's constant-memory distance
+//! matrix, §IV.a).
+//!
+//! For an agent of group *g* standing in row *r*, the paper needs the
+//! distance from each of its eight neighbour cells to the agent's target —
+//! the far edge of the environment. The distance is measured to the point
+//! of the target row directly ahead of the agent, so a lateral offset
+//! *does* cost: with vertical distance `d = |target_row − (r + dr)|` and
+//! lateral offset `dc`, the table holds `√(d² + dc²)`.
+//!
+//! This reproduces the strict ordering the paper states for a top agent
+//! (§IV.b): Cell #1 (forward, `d−1`) < #2 = #3 (forward diagonals,
+//! `√((d−1)²+1)`) < #4 = #5 (lateral, `√(d²+1)`) < #6 (backward, `d+1`)
+//! < #7 = #8 (backward diagonals) — and symmetrically for bottom agents.
+//!
+//! Distances are clamped to a small positive floor so eq. (1)'s
+//! `D_min / D_i` and eq. (2)'s `η = 1/D` stay finite for agents standing on
+//! the target row itself (the paper requires `D_i ≠ 0`).
+
+use crate::cell::{Group, NEIGHBOR_OFFSETS};
+
+/// Floor applied to all distances (cells); keeps `1/D` finite.
+pub const DISTANCE_FLOOR: f32 = 0.5;
+
+/// Per-(group, row, neighbour) distances to target, laid out for constant
+/// memory: `[group][row][k]` flattened row-major.
+#[derive(Debug, Clone)]
+pub struct DistanceTables {
+    height: usize,
+    /// `2 * height * 8` entries.
+    data: Vec<f32>,
+}
+
+impl DistanceTables {
+    /// Build the tables for an environment of `height` rows.
+    pub fn new(height: usize) -> Self {
+        assert!(height >= 2, "environment must have at least two rows");
+        let mut data = Vec::with_capacity(2 * height * 8);
+        for group in Group::BOTH {
+            let target = group.target_row(height) as i64;
+            for row in 0..height as i64 {
+                for (dr, dc) in NEIGHBOR_OFFSETS {
+                    let vert = (target - (row + dr)) as f32;
+                    let lat = dc as f32;
+                    let d = (vert * vert + lat * lat).sqrt();
+                    data.push(d.max(DISTANCE_FLOOR));
+                }
+            }
+        }
+        Self { height, data }
+    }
+
+    /// Distance from the `k`-th neighbour of a group-`g` agent in `row` to
+    /// that agent's target.
+    #[inline]
+    pub fn get(&self, g: Group, row: usize, k: usize) -> f32 {
+        debug_assert!(row < self.height && k < 8);
+        self.data[(g.index() * self.height + row) * 8 + k]
+    }
+
+    /// Minimum over the eight neighbours (eq. (1)'s `D_min`).
+    #[inline]
+    pub fn min_for(&self, g: Group, row: usize) -> f32 {
+        let base = (g.index() * self.height + row) * 8;
+        self.data[base..base + 8]
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// The raw flattened table (for upload into a `ConstantBuffer`).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Environment height the tables were built for.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Compute the same value as [`DistanceTables::get`] from the raw slice
+    /// (used by kernels that hold only the constant buffer).
+    #[inline]
+    pub fn lookup(data: &[f32], height: usize, g: Group, row: usize, k: usize) -> f32 {
+        data[(g.index() * height + row) * 8 + k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ordering_for_top_agent() {
+        let t = DistanceTables::new(480);
+        let row = 100; // mid-environment, target row 479, d = 379
+        let d: Vec<f32> = (0..8).map(|k| t.get(Group::Top, row, k)).collect();
+        // #1 < #2 = #3 < #4 = #5 < #6 < #7 = #8 (0-based indices 0..8)
+        assert!(d[0] < d[1]);
+        assert!((d[1] - d[2]).abs() < 1e-6);
+        assert!(d[2] < d[3]);
+        assert!((d[3] - d[4]).abs() < 1e-6);
+        assert!(d[4] < d[5]);
+        assert!(d[5] < d[6]);
+        assert!((d[6] - d[7]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_ordering_for_bottom_agent_mirrors() {
+        let t = DistanceTables::new(480);
+        let row = 300; // target row 0
+        // For a bottom agent the forward cell is k=5 (#6).
+        let d: Vec<f32> = (0..8).map(|k| t.get(Group::Bottom, row, k)).collect();
+        assert!(d[5] < d[6]);
+        assert!((d[6] - d[7]).abs() < 1e-6);
+        assert!(d[6] < d[3]);
+        assert!(d[3] < d[0]);
+        assert!(d[0] < d[1]);
+    }
+
+    #[test]
+    fn forward_distance_decrements_per_row() {
+        let t = DistanceTables::new(100);
+        // Top agent: forward distance from row r is (99 - (r+1)).
+        assert!((t.get(Group::Top, 10, 0) - 88.0).abs() < 1e-5);
+        assert!((t.get(Group::Top, 97, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn floor_applies_at_target() {
+        let t = DistanceTables::new(100);
+        // One row short of the target: the forward cell *is* the target
+        // (distance zero) → floored to keep 1/D finite.
+        assert_eq!(t.get(Group::Top, 98, 0), DISTANCE_FLOOR);
+        assert_eq!(t.get(Group::Bottom, 1, 5), DISTANCE_FLOOR);
+        assert!(t.as_slice().iter().all(|&d| d >= DISTANCE_FLOOR));
+    }
+
+    #[test]
+    fn min_is_forward_cell_mid_grid() {
+        let t = DistanceTables::new(480);
+        assert_eq!(t.min_for(Group::Top, 200), t.get(Group::Top, 200, 0));
+        assert_eq!(t.min_for(Group::Bottom, 200), t.get(Group::Bottom, 200, 5));
+    }
+
+    #[test]
+    fn lookup_matches_get() {
+        let t = DistanceTables::new(64);
+        for row in [0, 10, 63] {
+            for k in 0..8 {
+                assert_eq!(
+                    DistanceTables::lookup(t.as_slice(), 64, Group::Bottom, row, k),
+                    t.get(Group::Bottom, row, k)
+                );
+            }
+        }
+    }
+}

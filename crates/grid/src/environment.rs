@@ -1,0 +1,308 @@
+//! The assembled simulation environment: `mat`, index matrix, property
+//! table, and the scenario geometry (the paper's data-preparation output).
+
+use philox::StreamRng;
+
+use crate::cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP};
+use crate::matrix::Matrix;
+use crate::placement::place_confined;
+use crate::property::PropertyTable;
+
+/// Scenario geometry and population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvConfig {
+    /// Environment width in cells (the paper uses 480).
+    pub width: usize,
+    /// Environment height in cells (480).
+    pub height: usize,
+    /// Pedestrians per group (half the total population).
+    pub agents_per_side: usize,
+    /// Rows of the spawn band at each edge. `None` derives it from
+    /// [`EnvConfig::spawn_fill`].
+    pub spawn_rows: Option<usize>,
+    /// Target occupancy of the spawn band when deriving `spawn_rows`.
+    /// The paper's Figure 2a example has 29 agents in a 3×16 band ≈ 0.6.
+    pub spawn_fill: f64,
+    /// Placement seed (stream 0/1 of this seed drive the two groups).
+    pub seed: u64,
+}
+
+impl EnvConfig {
+    /// The paper's evaluation geometry: 480×480 cells, spawn bands derived
+    /// at 0.6 fill. `total_agents` is split evenly between the groups.
+    pub fn paper(total_agents: usize) -> Self {
+        Self {
+            width: 480,
+            height: 480,
+            agents_per_side: total_agents / 2,
+            spawn_rows: None,
+            spawn_fill: 0.6,
+            seed: 0,
+        }
+    }
+
+    /// A reduced geometry for tests and examples.
+    pub fn small(width: usize, height: usize, agents_per_side: usize) -> Self {
+        Self {
+            width,
+            height,
+            agents_per_side,
+            spawn_rows: None,
+            spawn_fill: 0.6,
+            seed: 0,
+        }
+    }
+
+    /// Set the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Explicit spawn-band rows (builder style).
+    pub fn with_spawn_rows(mut self, rows: usize) -> Self {
+        self.spawn_rows = Some(rows);
+        self
+    }
+
+    /// The effective spawn-band rows: enough rows that the band sits at
+    /// roughly [`EnvConfig::spawn_fill`] occupancy (rounded to the nearest
+    /// row count), but never fewer than the agents strictly require.
+    pub fn effective_spawn_rows(&self) -> usize {
+        self.spawn_rows.unwrap_or_else(|| {
+            let by_fill =
+                (self.agents_per_side as f64 / (self.width as f64 * self.spawn_fill)).round();
+            let minimum = self.agents_per_side.div_ceil(self.width);
+            (by_fill as usize).max(minimum).max(1)
+        })
+    }
+
+    /// Total population.
+    pub fn total_agents(&self) -> usize {
+        self.agents_per_side * 2
+    }
+}
+
+/// The environment state: cell labels, agent indices, agent properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    /// Cell labels (`mat` in the paper): 0 empty, 1 top, 2 bottom.
+    pub mat: Matrix<u8>,
+    /// Agent index per cell (0 = none); indexes the property table.
+    pub index: Matrix<u32>,
+    /// Per-agent records.
+    pub props: PropertyTable,
+    /// Rows of each spawn band.
+    pub spawn_rows: usize,
+    /// Agents per group.
+    pub agents_per_side: usize,
+    /// Seed the environment was built with.
+    pub seed: u64,
+}
+
+impl Environment {
+    /// Build and populate an environment.
+    ///
+    /// Top agents receive indices `1..=per_side`, bottom agents
+    /// `per_side+1..=2·per_side` (the paper's single index sequence over
+    /// both groups, Figure 2b).
+    pub fn new(cfg: &EnvConfig) -> Self {
+        assert!(cfg.width >= 2 && cfg.height >= 4, "environment too small");
+        let spawn_rows = cfg.effective_spawn_rows();
+        assert!(
+            spawn_rows * 2 <= cfg.height,
+            "spawn bands overlap: {spawn_rows} rows each in height {}",
+            cfg.height
+        );
+        let n = cfg.agents_per_side;
+        let mut mat = Matrix::filled(cfg.height, cfg.width, CELL_EMPTY);
+        let mut index = Matrix::filled(cfg.height, cfg.width, 0u32);
+        let mut props = PropertyTable::new(2 * n);
+        // Dedicated placement streams, far away from the per-cell streams
+        // the kernels use (which are < width·height).
+        let mut rng_top = StreamRng::new(cfg.seed, u64::MAX - 1);
+        let mut rng_bot = StreamRng::new(cfg.seed, u64::MAX - 2);
+        place_confined(
+            &mut mat, &mut index, &mut props, Group::Top, n, spawn_rows, 1, &mut rng_top,
+        );
+        place_confined(
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Bottom,
+            n,
+            spawn_rows,
+            (n + 1) as u32,
+            &mut rng_bot,
+        );
+        Self {
+            mat,
+            index,
+            props,
+            spawn_rows,
+            agents_per_side: n,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Environment width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.mat.width()
+    }
+
+    /// Environment height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.mat.height()
+    }
+
+    /// Total agents.
+    #[inline]
+    pub fn total_agents(&self) -> usize {
+        self.agents_per_side * 2
+    }
+
+    /// The group of agent `idx` (by the index-range convention).
+    #[inline]
+    pub fn group_of(&self, idx: usize) -> Group {
+        debug_assert!(idx >= 1 && idx <= self.total_agents());
+        if idx <= self.agents_per_side {
+            Group::Top
+        } else {
+            Group::Bottom
+        }
+    }
+
+    /// Whether a group-`g` agent standing in `row` has crossed: reached the
+    /// *opposite* spawn band (the paper's "14th row in the opposite end"
+    /// example — the first row of the far band).
+    #[inline]
+    pub fn has_crossed(&self, g: Group, row: usize) -> bool {
+        match g {
+            Group::Top => row >= self.height() - self.spawn_rows,
+            Group::Bottom => row < self.spawn_rows,
+        }
+    }
+
+    /// Count agents of `g` currently past the crossing line.
+    pub fn crossed_count(&self, g: Group) -> usize {
+        (1..=self.total_agents())
+            .filter(|&i| self.props.id[i] == g.label())
+            .filter(|&i| self.has_crossed(g, self.props.row[i] as usize))
+            .count()
+    }
+
+    /// Verify the three matrices tell one consistent story; returns a
+    /// description of the first inconsistency.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.total_agents() + 1];
+        for (r, c, v) in self.index.iter_cells() {
+            let label = self.mat.get(r, c);
+            if v == 0 {
+                if label != CELL_EMPTY {
+                    return Err(format!("cell ({r},{c}) labelled {label} but index 0"));
+                }
+                continue;
+            }
+            let idx = v as usize;
+            if idx > self.total_agents() {
+                return Err(format!("cell ({r},{c}) holds out-of-range index {idx}"));
+            }
+            if seen[idx] {
+                return Err(format!("agent {idx} appears in two cells"));
+            }
+            seen[idx] = true;
+            if label != CELL_TOP && label != CELL_BOTTOM {
+                return Err(format!("cell ({r},{c}) indexed but labelled {label}"));
+            }
+            if self.props.id[idx] != label {
+                return Err(format!(
+                    "agent {idx}: property id {} != mat label {label}",
+                    self.props.id[idx]
+                ));
+            }
+            if self.props.position(idx) != (r as u16, c as u16) {
+                return Err(format!(
+                    "agent {idx}: property position {:?} != cell ({r},{c})",
+                    self.props.position(idx)
+                ));
+            }
+            if self.group_of(idx).label() != label {
+                return Err(format!("agent {idx}: index range disagrees with label"));
+            }
+        }
+        if let Some(missing) = (1..=self.total_agents()).find(|&i| !seen[i]) {
+            return Err(format!("agent {missing} not present in the index matrix"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_geometry() {
+        let cfg = EnvConfig::paper(2560);
+        assert_eq!(cfg.width, 480);
+        assert_eq!(cfg.agents_per_side, 1280);
+        // 1280 agents at 0.6 fill of 480-wide rows → round(4.44) = 4 rows.
+        assert_eq!(cfg.effective_spawn_rows(), 4);
+    }
+
+    #[test]
+    fn figure_2a_spawn_rows() {
+        // The paper's 16×16 sample with 29 agents per side in 3 rows.
+        let cfg = EnvConfig::small(16, 16, 29);
+        assert_eq!(cfg.effective_spawn_rows(), 3);
+    }
+
+    #[test]
+    fn build_is_consistent() {
+        let env = Environment::new(&EnvConfig::small(32, 32, 40).with_seed(11));
+        env.check_consistency().expect("consistent");
+        assert_eq!(env.mat.count(CELL_TOP), 40);
+        assert_eq!(env.mat.count(CELL_BOTTOM), 40);
+    }
+
+    #[test]
+    fn group_index_ranges() {
+        let env = Environment::new(&EnvConfig::small(32, 32, 10));
+        assert_eq!(env.group_of(1), Group::Top);
+        assert_eq!(env.group_of(10), Group::Top);
+        assert_eq!(env.group_of(11), Group::Bottom);
+        assert_eq!(env.group_of(20), Group::Bottom);
+    }
+
+    #[test]
+    fn crossing_line_is_opposite_band() {
+        let env = Environment::new(&EnvConfig::small(16, 16, 29)); // 3 spawn rows
+        assert!(env.has_crossed(Group::Top, 13));
+        assert!(!env.has_crossed(Group::Top, 12));
+        assert!(env.has_crossed(Group::Bottom, 2));
+        assert!(!env.has_crossed(Group::Bottom, 3));
+        // Nobody crossed at t=0.
+        assert_eq!(env.crossed_count(Group::Top), 0);
+        assert_eq!(env.crossed_count(Group::Bottom), 0);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = Environment::new(&EnvConfig::small(32, 32, 40).with_seed(1));
+        let b = Environment::new(&EnvConfig::small(32, 32, 40).with_seed(2));
+        assert_ne!(a.mat, b.mat);
+        let a2 = Environment::new(&EnvConfig::small(32, 32, 40).with_seed(1));
+        assert_eq!(a.mat, a2.mat);
+    }
+
+    #[test]
+    fn consistency_detects_corruption() {
+        let mut env = Environment::new(&EnvConfig::small(32, 32, 5));
+        // Clobber one agent's label.
+        let (r, c) = env.props.position(1);
+        env.mat.set(r as usize, c as usize, CELL_BOTTOM);
+        assert!(env.check_consistency().is_err());
+    }
+}

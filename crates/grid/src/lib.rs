@@ -1,0 +1,41 @@
+//! # pedsim-grid — the simulation environment substrate
+//!
+//! Everything the paper's *data preparation stage* (§IV.a) builds, as plain
+//! host data structures:
+//!
+//! * [`matrix::Matrix`] — the row-major 2-D container behind the
+//!   environment (`mat`), index, and pheromone matrices;
+//! * [`cell`] — cell labels (empty / top / bottom / wall), groups, and the
+//!   paper's Figure-1 neighbourhood numbering;
+//! * [`property::PropertyTable`] — the per-agent record of the paper's
+//!   Table I (ID, ROW, COLUMN, FUTURE ROW, FUTURE COLUMN, FRONT CELL) with
+//!   the 0th sentinel row, stored struct-of-arrays so each kernel touches
+//!   disjoint fields;
+//! * [`scan::ScanMatrix`] — the `(N+1)×8` scan matrix holding eq. (1)
+//!   values (LEM) or eq. (2) numerators (ACO);
+//! * [`distance::DistanceTables`] — the pre-computed constant-memory
+//!   distance and move-length tables;
+//! * [`pheromone::PheromoneField`] — the two per-group pheromone matrices;
+//! * [`placement`] / [`environment`] — random confined placement and the
+//!   assembled [`environment::Environment`].
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod distance;
+pub mod environment;
+pub mod matrix;
+pub mod pheromone;
+pub mod placement;
+pub mod property;
+pub mod scan;
+
+pub use cell::{
+    Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP, CELL_WALL, MOVE_LEN, NEIGHBOR_OFFSETS,
+};
+pub use distance::DistanceTables;
+pub use environment::{EnvConfig, Environment};
+pub use matrix::Matrix;
+pub use pheromone::PheromoneField;
+pub use property::{PropertyTable, NO_FUTURE};
+pub use scan::ScanMatrix;

@@ -1,0 +1,183 @@
+//! A row-major 2-D matrix, the backing store of the environment (`mat`),
+//! index, and pheromone fields.
+
+/// Row-major 2-D container addressed as `(row, col)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    height: usize,
+    width: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Matrix<T> {
+    /// A `height × width` matrix filled with `fill`.
+    pub fn filled(height: usize, width: usize, fill: T) -> Self {
+        Self {
+            height,
+            width,
+            data: vec![fill; height * width],
+        }
+    }
+
+    /// Wrap an existing row-major vector.
+    ///
+    /// Panics if `data.len() != height * width`.
+    pub fn from_vec(height: usize, width: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), height * width, "matrix extent mismatch");
+        Self {
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Rows.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Columns.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether `(r, c)` lies inside the matrix (signed, so neighbourhood
+    /// arithmetic can probe without casts).
+    #[inline]
+    pub fn in_bounds(&self, r: i64, c: i64) -> bool {
+        r >= 0 && c >= 0 && (r as usize) < self.height && (c as usize) < self.width
+    }
+
+    /// Linear index of `(r, c)`.
+    #[inline]
+    pub fn linear(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.height && c < self.width);
+        r * self.width + c
+    }
+
+    /// Read `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.data[self.linear(r, c)]
+    }
+
+    /// Read `(r, c)` with signed coordinates, `fill` outside bounds.
+    #[inline]
+    pub fn get_or(&self, r: i64, c: i64, fill: T) -> T {
+        if self.in_bounds(r, c) {
+            self.get(r as usize, c as usize)
+        } else {
+            fill
+        }
+    }
+
+    /// Write `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        let i = self.linear(r, c);
+        self.data[i] = v;
+    }
+
+    /// The raw row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The raw row-major slice, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the raw vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.width..(r + 1) * self.width]
+    }
+
+    /// Iterate `(r, c, value)` in row-major order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / self.width, i % self.width, v))
+    }
+
+    /// Overwrite every cell.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+}
+
+impl<T: Copy + PartialEq> Matrix<T> {
+    /// Count cells equal to `v`.
+    pub fn count(&self, v: T) -> usize {
+        self.data.iter().filter(|&&x| x == v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::filled(4, 6, 0u8);
+        m.set(3, 5, 9);
+        assert_eq!(m.get(3, 5), 9);
+        assert_eq!(m.as_slice()[3 * 6 + 5], 9);
+    }
+
+    #[test]
+    fn bounds() {
+        let m = Matrix::filled(4, 6, 0u8);
+        assert!(m.in_bounds(0, 0));
+        assert!(m.in_bounds(3, 5));
+        assert!(!m.in_bounds(-1, 0));
+        assert!(!m.in_bounds(0, 6));
+        assert!(!m.in_bounds(4, 0));
+        assert_eq!(m.get_or(-1, 0, 7), 7);
+        assert_eq!(m.get_or(2, 2, 7), 0);
+    }
+
+    #[test]
+    fn rows_and_iter() {
+        let m = Matrix::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        let cells: Vec<_> = m.iter_cells().collect();
+        assert_eq!(cells[4], (1, 1, 5));
+    }
+
+    #[test]
+    fn count_values() {
+        let m = Matrix::from_vec(2, 2, vec![1u8, 0, 1, 1]);
+        assert_eq!(m.count(1), 3);
+        assert_eq!(m.count(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "extent mismatch")]
+    fn from_vec_checks_extent() {
+        let _ = Matrix::from_vec(2, 3, vec![0u8; 5]);
+    }
+}

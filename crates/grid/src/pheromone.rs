@@ -1,0 +1,134 @@
+//! The two per-group pheromone fields (§III, §IV.a: "Two separate matrices
+//! are used to keep track of pheromones deposited by the top and bottom
+//! pedestrians").
+//!
+//! Pheromone here models "the visual proposition to follow predecessors in
+//! a densely populated environment" — a top-group agent is attracted by
+//! pheromone that *other top-group agents* deposited, which is what makes
+//! lanes form in the bi-directional flow.
+
+use crate::cell::Group;
+use crate::matrix::Matrix;
+
+/// The paired pheromone matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PheromoneField {
+    /// Deposits by the top group.
+    pub top: Matrix<f32>,
+    /// Deposits by the bottom group.
+    pub bottom: Matrix<f32>,
+    /// Initial/floor level τ₀ (evaporation never drops below it, keeping
+    /// eq. (2) probabilities non-degenerate).
+    pub tau0: f32,
+}
+
+impl PheromoneField {
+    /// Uniform fields at `tau0`.
+    pub fn new(height: usize, width: usize, tau0: f32) -> Self {
+        assert!(tau0 > 0.0, "tau0 must be positive");
+        Self {
+            top: Matrix::filled(height, width, tau0),
+            bottom: Matrix::filled(height, width, tau0),
+            tau0,
+        }
+    }
+
+    /// The matrix a given group *deposits into and follows*.
+    #[inline]
+    pub fn of(&self, g: Group) -> &Matrix<f32> {
+        match g {
+            Group::Top => &self.top,
+            Group::Bottom => &self.bottom,
+        }
+    }
+
+    /// Mutable access to a group's matrix.
+    #[inline]
+    pub fn of_mut(&mut self, g: Group) -> &mut Matrix<f32> {
+        match g {
+            Group::Top => &mut self.top,
+            Group::Bottom => &mut self.bottom,
+        }
+    }
+
+    /// Apply eq. (3) everywhere: `τ ← max(τ0·floor?, (1−ρ)·τ)`.
+    ///
+    /// The floor keeps unvisited cells selectable, playing the role of the
+    /// τ_min bound in MAX-MIN ant systems.
+    pub fn evaporate(&mut self, rho: f32) {
+        debug_assert!((0.0..=1.0).contains(&rho));
+        let keep = 1.0 - rho;
+        let floor = self.tau0;
+        for m in [&mut self.top, &mut self.bottom] {
+            for v in m.as_mut_slice() {
+                *v = (*v * keep).max(floor);
+            }
+        }
+    }
+
+    /// Deposit `amount` at `(r, c)` on group `g`'s matrix (eq. (4)).
+    #[inline]
+    pub fn deposit(&mut self, g: Group, r: usize, c: usize, amount: f32) {
+        let m = self.of_mut(g);
+        let cur = m.get(r, c);
+        m.set(r, c, cur + amount);
+    }
+
+    /// Evaporate-then-deposit for a single cell, the fused per-cell update
+    /// the movement kernel applies in shared memory before write-back.
+    #[inline]
+    pub fn fused_update(tau: f32, tau0: f32, rho: f32, deposit: f32) -> f32 {
+        ((1.0 - rho) * tau).max(tau0) + deposit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uniform() {
+        let p = PheromoneField::new(4, 4, 0.1);
+        assert!(p.top.as_slice().iter().all(|&v| v == 0.1));
+        assert!(p.bottom.as_slice().iter().all(|&v| v == 0.1));
+    }
+
+    #[test]
+    fn evaporation_decays_toward_floor() {
+        let mut p = PheromoneField::new(2, 2, 0.1);
+        p.deposit(Group::Top, 0, 0, 1.0);
+        for _ in 0..100 {
+            p.evaporate(0.1);
+        }
+        let v = p.top.get(0, 0);
+        assert!((v - 0.1).abs() < 1e-4, "decayed to floor, got {v}");
+        // The floor is never undershot anywhere.
+        assert!(p.top.as_slice().iter().all(|&v| v >= 0.1));
+    }
+
+    #[test]
+    fn deposit_targets_group_matrix() {
+        let mut p = PheromoneField::new(2, 2, 0.1);
+        p.deposit(Group::Bottom, 1, 1, 0.5);
+        assert!((p.bottom.get(1, 1) - 0.6).abs() < 1e-6);
+        assert_eq!(p.top.get(1, 1), 0.1);
+    }
+
+    #[test]
+    fn fused_matches_sequential() {
+        let tau = 0.7f32;
+        let (tau0, rho, dep) = (0.1f32, 0.05f32, 0.2f32);
+        let mut p = PheromoneField::new(1, 1, tau0);
+        p.top.set(0, 0, tau);
+        p.evaporate(rho);
+        p.deposit(Group::Top, 0, 0, dep);
+        let fused = PheromoneField::fused_update(tau, tau0, rho, dep);
+        assert!((p.top.get(0, 0) - fused).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau0 must be positive")]
+    fn zero_tau0_rejected() {
+        let _ = PheromoneField::new(2, 2, 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Random confined placement (§III: "Initially the agents on both sides of
+//! the environment are placed randomly but kept confined to the pre-defined
+//! number of rows").
+
+use philox::StreamRng;
+
+use crate::cell::{Group, CELL_EMPTY};
+use crate::matrix::Matrix;
+use crate::property::PropertyTable;
+
+/// Place `count` agents of `group` uniformly at random into the group's
+/// spawn band (`spawn_rows` rows at the group's own edge), assigning agent
+/// indices `first_index..first_index + count`.
+///
+/// Uses a partial Fisher–Yates shuffle over the band's cells, so placement
+/// is uniform over all `C(band, count)` configurations and deterministic in
+/// the RNG stream.
+///
+/// Panics if the band cannot hold `count` agents or any band cell is
+/// already occupied.
+#[allow(clippy::too_many_arguments)]
+pub fn place_confined(
+    mat: &mut Matrix<u8>,
+    index: &mut Matrix<u32>,
+    props: &mut PropertyTable,
+    group: Group,
+    count: usize,
+    spawn_rows: usize,
+    first_index: u32,
+    rng: &mut StreamRng,
+) {
+    let width = mat.width();
+    let height = mat.height();
+    assert!(spawn_rows <= height / 2, "spawn bands must not overlap");
+    let capacity = spawn_rows * width;
+    assert!(
+        count <= capacity,
+        "cannot place {count} agents in a band of {capacity} cells"
+    );
+
+    let row0 = match group {
+        Group::Top => 0,
+        Group::Bottom => height - spawn_rows,
+    };
+
+    // Band cells as (r, c), then partial Fisher–Yates for the first `count`.
+    let mut cells: Vec<(u16, u16)> = (row0..row0 + spawn_rows)
+        .flat_map(|r| (0..width).map(move |c| (r as u16, c as u16)))
+        .collect();
+    for i in 0..count {
+        let j = i + rng.bounded_u32((capacity - i) as u32) as usize;
+        cells.swap(i, j);
+    }
+
+    let label = group.label();
+    for (k, &(r, c)) in cells[..count].iter().enumerate() {
+        let idx = first_index + k as u32;
+        assert_eq!(
+            mat.get(r as usize, c as usize),
+            CELL_EMPTY,
+            "spawn cell ({r},{c}) already occupied"
+        );
+        mat.set(r as usize, c as usize, label);
+        index.set(r as usize, c as usize, idx);
+        props.place(idx as usize, label, r, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CELL_BOTTOM, CELL_TOP};
+
+    fn setup(n: usize) -> (Matrix<u8>, Matrix<u32>, PropertyTable) {
+        (
+            Matrix::filled(32, 16, CELL_EMPTY),
+            Matrix::filled(32, 16, 0u32),
+            PropertyTable::new(n),
+        )
+    }
+
+    #[test]
+    fn places_exact_count_in_band() {
+        let (mut mat, mut index, mut props) = setup(20);
+        let mut rng = StreamRng::new(1, 0);
+        place_confined(&mut mat, &mut index, &mut props, Group::Top, 20, 3, 1, &mut rng);
+        assert_eq!(mat.count(CELL_TOP), 20);
+        // Confined to rows 0..3.
+        for (r, _, v) in mat.iter_cells() {
+            if v == CELL_TOP {
+                assert!(r < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_band_is_at_far_edge() {
+        let (mut mat, mut index, mut props) = setup(10);
+        let mut rng = StreamRng::new(2, 0);
+        place_confined(
+            &mut mat, &mut index, &mut props, Group::Bottom, 10, 2, 1, &mut rng,
+        );
+        for (r, _, v) in mat.iter_cells() {
+            if v == CELL_BOTTOM {
+                assert!(r >= 30);
+            }
+        }
+    }
+
+    #[test]
+    fn index_and_props_consistent() {
+        let (mut mat, mut index, mut props) = setup(12);
+        let mut rng = StreamRng::new(3, 0);
+        place_confined(&mut mat, &mut index, &mut props, Group::Top, 12, 2, 1, &mut rng);
+        for (r, c, v) in index.iter_cells() {
+            if v != 0 {
+                assert_eq!(props.position(v as usize), (r as u16, c as u16));
+                assert_eq!(props.id[v as usize], mat.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (mut m1, mut i1, mut p1) = setup(15);
+        let (mut m2, mut i2, mut p2) = setup(15);
+        place_confined(&mut m1, &mut i1, &mut p1, Group::Top, 15, 3, 1, &mut StreamRng::new(7, 0));
+        place_confined(&mut m2, &mut i2, &mut p2, Group::Top, 15, 3, 1, &mut StreamRng::new(7, 0));
+        assert_eq!(m1, m2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn full_band_fills_every_cell() {
+        let (mut mat, mut index, mut props) = setup(48);
+        let mut rng = StreamRng::new(5, 0);
+        place_confined(&mut mat, &mut index, &mut props, Group::Top, 48, 3, 1, &mut rng);
+        for r in 0..3 {
+            for c in 0..16 {
+                assert_eq!(mat.get(r, c), CELL_TOP);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn overfull_band_rejected() {
+        let (mut mat, mut index, mut props) = setup(49);
+        let mut rng = StreamRng::new(5, 0);
+        place_confined(&mut mat, &mut index, &mut props, Group::Top, 49, 3, 1, &mut rng);
+    }
+}

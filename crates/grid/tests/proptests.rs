@@ -1,0 +1,104 @@
+//! Property-based tests for the environment substrate.
+
+use pedsim_grid::cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP};
+use pedsim_grid::{DistanceTables, EnvConfig, Environment, Matrix, PheromoneField};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any buildable scenario is internally consistent and has the exact
+    /// requested population confined to its bands.
+    #[test]
+    fn environments_build_consistent(
+        width in 8usize..80,
+        height in 8usize..80,
+        seed in any::<u64>(),
+        fill in 1usize..100,
+    ) {
+        // Population that always fits: ≤ 40 % of a half-grid band budget.
+        let per_side = (width * (height / 2) * fill / 250).max(1);
+        let cfg = EnvConfig::small(width, height, per_side).with_seed(seed);
+        prop_assume!(cfg.effective_spawn_rows() * 2 <= height);
+        let env = Environment::new(&cfg);
+        prop_assert!(env.check_consistency().is_ok());
+        prop_assert_eq!(env.mat.count(CELL_TOP), per_side);
+        prop_assert_eq!(env.mat.count(CELL_BOTTOM), per_side);
+        // Bands at the right edges.
+        for (r, _, v) in env.mat.iter_cells() {
+            if v == CELL_TOP {
+                prop_assert!(r < env.spawn_rows);
+            } else if v == CELL_BOTTOM {
+                prop_assert!(r >= height - env.spawn_rows);
+            }
+        }
+        // Placement is seed-deterministic.
+        let env2 = Environment::new(&cfg);
+        prop_assert_eq!(env.mat, env2.mat);
+    }
+
+    /// Distance tables: forward strictly dominates mid-grid, floors hold,
+    /// and group symmetry (top at row r ≡ bottom at row H−1−r).
+    #[test]
+    fn distance_tables_symmetry(height in 8usize..200, row in 0usize..200) {
+        prop_assume!(row < height);
+        let t = DistanceTables::new(height);
+        let mirror = height - 1 - row;
+        for k in 0..8 {
+            // Mirror a neighbour offset vertically: (dr,dc) → (−dr,dc),
+            // which permutes k: 0↔5, 1↔6, 2↔7, 3↔3, 4↔4.
+            let mk = match k {
+                0 => 5,
+                1 => 6,
+                2 => 7,
+                5 => 0,
+                6 => 1,
+                7 => 2,
+                other => other,
+            };
+            let a = t.get(Group::Top, row, k);
+            let b = t.get(Group::Bottom, mirror, mk);
+            prop_assert!((a - b).abs() < 1e-4, "k={k} mk={mk} a={a} b={b}");
+        }
+    }
+
+    /// Pheromone evaporation decays monotonically to the floor and deposit
+    /// adds exactly the requested amount.
+    #[test]
+    fn pheromone_dynamics(
+        tau0 in 0.01f32..1.0,
+        rho in 0.0f32..1.0,
+        deposit in 0.0f32..10.0,
+        steps in 1usize..200,
+    ) {
+        let mut p = PheromoneField::new(4, 4, tau0);
+        p.deposit(Group::Top, 1, 1, deposit);
+        let mut last = p.top.get(1, 1);
+        prop_assert!((last - (tau0 + deposit)).abs() < 1e-5);
+        for _ in 0..steps {
+            p.evaporate(rho);
+            let now = p.top.get(1, 1);
+            prop_assert!(now <= last + 1e-6);
+            prop_assert!(now >= tau0 - 1e-6);
+            last = now;
+        }
+    }
+
+    /// Matrix round-trips under linearisation for any geometry.
+    #[test]
+    fn matrix_roundtrip(
+        w in 1usize..64,
+        h in 1usize..64,
+        values in prop::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        prop_assume!(values.len() >= w * h);
+        let m = Matrix::from_vec(h, w, values[..w * h].to_vec());
+        for r in 0..h {
+            for c in 0..w {
+                prop_assert_eq!(m.get(r, c), m.as_slice()[m.linear(r, c)]);
+            }
+        }
+        prop_assert_eq!(m.count(values[0]),
+            m.as_slice().iter().filter(|&&v| v == values[0]).count());
+    }
+}

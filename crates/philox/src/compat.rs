@@ -1,0 +1,98 @@
+//! `rand` ecosystem interop.
+//!
+//! Property-based tests (proptest) and any downstream code written against
+//! `rand` traits can use [`PhiloxRng`], a thin adapter over
+//! [`crate::StreamRng`].
+
+use std::convert::Infallible;
+
+use rand::rand_core::TryRng;
+use rand::SeedableRng;
+
+use crate::StreamRng;
+
+/// A [`rand::Rng`]-compatible adapter over a Philox stream.
+///
+/// Implements the infallible [`TryRng`], which gives the blanket
+/// [`rand::Rng`] implementation.
+#[derive(Debug, Clone)]
+pub struct PhiloxRng(StreamRng);
+
+impl PhiloxRng {
+    /// Wrap an explicit `(seed, stream)` pair.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        Self(StreamRng::new(seed, stream))
+    }
+
+    /// Access the underlying stream.
+    pub fn stream(&mut self) -> &mut StreamRng {
+        &mut self.0
+    }
+}
+
+impl TryRng for PhiloxRng {
+    type Error = Infallible;
+
+    #[inline]
+    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+        Ok(self.0.next_u32())
+    }
+
+    #[inline]
+    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+        Ok(self.0.next_u64())
+    }
+
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+        let mut chunks = dst.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.0.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.0.next_u32().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+        Ok(())
+    }
+}
+
+impl SeedableRng for PhiloxRng {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let k = u64::from_le_bytes(seed[..8].try_into().expect("8 bytes"));
+        let s = u64::from_le_bytes(seed[8..].try_into().expect("8 bytes"));
+        Self::new(k, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = PhiloxRng::new(1, 2);
+        let mut b = PhiloxRng::new(1, 2);
+        let mut buf = [0u8; 10];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..], &w2[..2]);
+    }
+
+    #[test]
+    fn from_seed_roundtrip() {
+        let mut seed = [0u8; 16];
+        seed[..8].copy_from_slice(&42u64.to_le_bytes());
+        seed[8..].copy_from_slice(&7u64.to_le_bytes());
+        let mut a = PhiloxRng::from_seed(seed);
+        let mut b = PhiloxRng::new(42, 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

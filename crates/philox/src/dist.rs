@@ -1,0 +1,176 @@
+//! Distribution transforms over raw Philox words.
+//!
+//! All transforms are pure functions of their input words so that kernels
+//! can combine them with the stateless [`crate::draw4`] API and stay
+//! schedule-independent.
+
+/// Map a 32-bit word to `f32` uniform in `[0, 1)` using the high 24 bits.
+#[inline(always)]
+pub fn uniform_f32(w: u32) -> f32 {
+    // 2^-24; the high bits of a multiplicative generator are the strongest.
+    (w >> 8) as f32 * (1.0 / 16_777_216.0)
+}
+
+/// Map a 64-bit word to `f64` uniform in `[0, 1)` using the high 53 bits.
+#[inline(always)]
+pub fn uniform_f64(w: u64) -> f64 {
+    (w >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Lemire's nearly-divisionless bounded integer: returns `(value, accept)`.
+///
+/// When `accept` is false the caller must retry with a fresh word (the
+/// rejection zone removes modulo bias). For `bound` ≤ 8, rejection occurs
+/// with probability < 2⁻²⁹.
+#[inline(always)]
+pub fn lemire_bounded(w: u32, bound: u32) -> (u32, bool) {
+    let m = u64::from(w) * u64::from(bound);
+    let lo = m as u32;
+    if lo < bound {
+        // Threshold = 2^32 mod bound, computed without u64 division by bound
+        // being hot: bound is tiny here so a plain rem is fine.
+        let threshold = bound.wrapping_neg() % bound;
+        if lo < threshold {
+            return ((m >> 32) as u32, false);
+        }
+    }
+    ((m >> 32) as u32, true)
+}
+
+/// Box–Muller from two 32-bit words: returns one standard-normal `f32`.
+#[inline]
+pub fn normal_f32(a: u32, b: u32) -> f32 {
+    let (z0, _) = box_muller(f64::from(uniform_f32(a)), f64::from(uniform_f32(b)));
+    z0 as f32
+}
+
+/// Box–Muller from two 64-bit words: returns one standard-normal `f64`.
+#[inline]
+pub fn normal_f64(a: u64, b: u64) -> f64 {
+    let (z0, _) = box_muller(uniform_f64(a), uniform_f64(b));
+    z0
+}
+
+/// The Box–Muller transform: two uniforms in `[0,1)` → two independent
+/// standard normals. `u1` is nudged away from zero to keep `ln` finite.
+#[inline]
+pub fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
+    let u1 = u1.max(1e-300);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// The paper's LEM selection draw: a normal sample with "negative numbers
+/// converted to zeroes and numbers more than the highest rank rounded off to
+/// the highest" (§II.A). Encapsulated here so the CPU and GPU engines share
+/// one definition.
+#[derive(Debug, Clone, Copy)]
+pub struct ClampedNormal {
+    /// Standard deviation of the underlying normal (the paper does not give
+    /// one; see `pedsim-core::params::LemParams::sigma`).
+    pub sigma: f64,
+}
+
+impl ClampedNormal {
+    /// Create a clamped-normal sampler with the given spread.
+    #[inline]
+    pub fn new(sigma: f64) -> Self {
+        Self { sigma }
+    }
+
+    /// Map two raw words to a rank in `[0, max_rank]` (inclusive).
+    ///
+    /// Negative draws clamp to rank 0 (the least-distance cell); draws past
+    /// `max_rank` clamp to `max_rank`; otherwise the draw is rounded to the
+    /// nearest integer rank.
+    #[inline]
+    pub fn rank(&self, a: u32, b: u32, max_rank: u32) -> u32 {
+        let z = f64::from(normal_f32(a, b)) * self.sigma;
+        if z <= 0.0 {
+            0
+        } else {
+            let r = z.round();
+            if r >= f64::from(max_rank) {
+                max_rank
+            } else {
+                r as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamRng;
+
+    #[test]
+    fn uniform_f32_bounds() {
+        assert_eq!(uniform_f32(0), 0.0);
+        assert!(uniform_f32(u32::MAX) < 1.0);
+    }
+
+    #[test]
+    fn uniform_f64_bounds() {
+        assert_eq!(uniform_f64(0), 0.0);
+        assert!(uniform_f64(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn lemire_small_bounds_exact_distribution() {
+        // For bound=3, count acceptance-region hits per value over the whole
+        // 16-bit prefix space scaled down — cheap smoke check of uniformity.
+        let mut counts = [0u32; 3];
+        for w in (0..1u64 << 20).map(|x| (x << 12) as u32) {
+            let (v, ok) = lemire_bounded(w, 3);
+            if ok {
+                counts[v as usize] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.01, "counts {counts:?}");
+    }
+
+    #[test]
+    fn box_muller_zero_u1_is_finite() {
+        let (z0, z1) = box_muller(0.0, 0.25);
+        assert!(z0.is_finite() && z1.is_finite());
+    }
+
+    #[test]
+    fn clamped_normal_rank_bounds() {
+        let cn = ClampedNormal::new(1.5);
+        let mut s = StreamRng::new(7, 7);
+        for _ in 0..5000 {
+            let r = cn.rank(s.next_u32(), s.next_u32(), 7);
+            assert!(r <= 7);
+        }
+    }
+
+    #[test]
+    fn clamped_normal_prefers_rank_zero() {
+        // Half of the normal mass is negative → rank 0 at least ~50%.
+        let cn = ClampedNormal::new(1.0);
+        let mut s = StreamRng::new(3, 1);
+        let n = 10_000;
+        let zeros = (0..n)
+            .filter(|_| cn.rank(s.next_u32(), s.next_u32(), 7) == 0)
+            .count();
+        assert!(
+            zeros as f64 > 0.55 * n as f64,
+            "rank-0 fraction {}",
+            zeros as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn clamped_normal_max_rank_zero_degenerates() {
+        let cn = ClampedNormal::new(10.0);
+        let mut s = StreamRng::new(11, 0);
+        for _ in 0..100 {
+            assert_eq!(cn.rank(s.next_u32(), s.next_u32(), 0), 0);
+        }
+    }
+}

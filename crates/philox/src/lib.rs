@@ -1,0 +1,54 @@
+//! # philox — counter-based random numbers for data-parallel simulation
+//!
+//! The paper this repository reproduces uses NVIDIA's CURAND library to give
+//! every GPU thread an independent random stream. CURAND's default
+//! generators are *counter-based*: the n-th draw of stream s under seed k is
+//! a pure function `f(k, s, n)`, so any thread can produce its numbers
+//! without shared state and without caring about scheduling order.
+//!
+//! This crate provides the same facility on the host: the
+//! [Philox4x32-10](https://dl.acm.org/doi/10.1145/2063384.2063405)
+//! generator of Salmon et al. (SC'11, "Parallel random numbers: as easy as
+//! 1, 2, 3"), which is also one of CURAND's shipped generators. The
+//! implementation is pinned to the published Random123 known-answer vectors.
+//!
+//! Three layers are exposed:
+//!
+//! * [`philox4x32`] / [`Philox4x32`] — the raw bijection: 128-bit counter ×
+//!   64-bit key → 128 random bits.
+//! * [`StreamRng`] — a CURAND-style sequential stream `(seed, stream id)`
+//!   with `next_u32`, `uniform_f32`, `normal_f32`, … This is what simulation
+//!   kernels hold per thread.
+//! * [`draw`] helpers — single stateless draws `f(seed, stream, counter)`,
+//!   used where a kernel needs exactly one number per (cell, step) and wants
+//!   determinism independent of execution order.
+//!
+//! ## Example
+//!
+//! ```
+//! use philox::StreamRng;
+//!
+//! // Two cells get decorrelated streams under one experiment seed.
+//! let mut a = StreamRng::new(42, 0);
+//! let mut b = StreamRng::new(42, 1);
+//! assert_ne!(a.next_u32(), b.next_u32());
+//!
+//! // Streams are reproducible.
+//! let mut a2 = StreamRng::new(42, 0);
+//! assert_eq!(StreamRng::new(42, 0).next_u32(), a2.next_u32());
+//! ```
+
+#![warn(missing_docs)]
+
+mod compat;
+mod dist;
+mod philox;
+mod stream;
+
+pub use compat::PhiloxRng;
+pub use dist::{
+    box_muller, lemire_bounded, normal_f32, normal_f64, uniform_f32, uniform_f64,
+    ClampedNormal,
+};
+pub use philox::{philox4x32, philox4x32_rounds, Philox4x32, PHILOX_DEFAULT_ROUNDS};
+pub use stream::{draw, draw2, draw4, StreamRng};

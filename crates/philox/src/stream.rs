@@ -1,0 +1,260 @@
+//! CURAND-style streams on top of the Philox bijection.
+//!
+//! A stream is identified by `(seed, stream id)`. The 64-bit seed becomes
+//! the Philox key; the 64-bit stream id occupies the high counter words, so
+//! distinct streams are distinct counter subspaces of the same bijection and
+//! never overlap. Within a stream the low 64 counter bits count draws.
+//!
+//! This layout mirrors `curand_init(seed, subsequence, offset, &state)`:
+//! `seed → key`, `stream → subsequence`, `counter → offset`.
+
+use crate::philox::philox4x32;
+
+#[inline(always)]
+fn ctr_for(stream: u64, counter: u64) -> [u32; 4] {
+    [
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ]
+}
+
+#[inline(always)]
+fn key_for(seed: u64) -> [u32; 2] {
+    [seed as u32, (seed >> 32) as u32]
+}
+
+/// One stateless 128-bit draw: `f(seed, stream, counter)`.
+///
+/// Kernels that need a handful of numbers per (cell, step) call this with
+/// `stream = cell id` and `counter = step` — the result is independent of
+/// which host thread executes the cell and in what order, which is what
+/// makes the sequential and parallel execution policies bit-identical.
+#[inline]
+pub fn draw4(seed: u64, stream: u64, counter: u64) -> [u32; 4] {
+    philox4x32(ctr_for(stream, counter), key_for(seed))
+}
+
+/// One stateless 64-bit draw (the first two words of [`draw4`]).
+#[inline]
+pub fn draw2(seed: u64, stream: u64, counter: u64) -> [u32; 2] {
+    let b = draw4(seed, stream, counter);
+    [b[0], b[1]]
+}
+
+/// One stateless 32-bit draw (the first word of [`draw4`]).
+#[inline]
+pub fn draw(seed: u64, stream: u64, counter: u64) -> u32 {
+    draw4(seed, stream, counter)[0]
+}
+
+/// A sequential random stream: `(seed, stream id)` plus a draw counter.
+///
+/// Each call produces one 128-bit Philox block and serves it out in 32-bit
+/// words, so consecutive `next_u32` calls cost one Philox evaluation per
+/// four words. `Copy` is deliberate: a kernel may freely fork the stream
+/// state into a local variable (matching CURAND's value-type `curandState`).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamRng {
+    seed: u64,
+    stream: u64,
+    counter: u64,
+    /// Buffered block and the number of words already consumed from it.
+    buf: [u32; 4],
+    used: u8,
+}
+
+impl StreamRng {
+    /// Open stream `stream` under `seed`, positioned at the first draw.
+    #[inline]
+    pub fn new(seed: u64, stream: u64) -> Self {
+        Self {
+            seed,
+            stream,
+            counter: 0,
+            buf: [0; 4],
+            used: 4,
+        }
+    }
+
+    /// Open a stream positioned `offset` *blocks* (4 words each) in.
+    #[inline]
+    pub fn with_offset(seed: u64, stream: u64, offset: u64) -> Self {
+        Self {
+            seed,
+            stream,
+            counter: offset,
+            buf: [0; 4],
+            used: 4,
+        }
+    }
+
+    /// The stream identifier.
+    #[inline]
+    pub fn stream_id(&self) -> u64 {
+        self.stream
+    }
+
+    /// The experiment seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next raw 32-bit word.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.used == 4 {
+            self.buf = draw4(self.seed, self.stream, self.counter);
+            self.counter = self.counter.wrapping_add(1);
+            self.used = 0;
+        }
+        let w = self.buf[self.used as usize];
+        self.used += 1;
+        w
+    }
+
+    /// Next raw 64-bit word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        crate::dist::uniform_f32(self.next_u32())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        crate::dist::uniform_f64(self.next_u64())
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias (Lemire).
+    ///
+    /// `bound` must be non-zero.
+    #[inline]
+    pub fn bounded_u32(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0, "bounded_u32 requires bound > 0");
+        let (mut val, mut ok) = crate::dist::lemire_bounded(self.next_u32(), bound);
+        // The rejection branch is vanishingly rare for small bounds (the
+        // simulation draws bounds ≤ 8), but must loop for correctness.
+        while !ok {
+            let (v, o) = crate::dist::lemire_bounded(self.next_u32(), bound);
+            val = v;
+            ok = o;
+        }
+        val
+    }
+
+    /// Standard normal `f32` via Box–Muller (one of the pair is discarded —
+    /// CURAND's `curand_normal` does the same for its scalar variant).
+    #[inline]
+    pub fn normal_f32(&mut self) -> f32 {
+        let a = self.next_u32();
+        let b = self.next_u32();
+        crate::dist::normal_f32(a, b)
+    }
+
+    /// Standard normal `f64` via Box–Muller.
+    #[inline]
+    pub fn normal_f64(&mut self) -> f64 {
+        let a = self.next_u64();
+        let b = self.next_u64();
+        crate::dist::normal_f64(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = StreamRng::new(123, 5);
+        let mut b = StreamRng::new(123, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_decorrelate() {
+        let mut a = StreamRng::new(123, 5);
+        let mut b = StreamRng::new(123, 6);
+        let hits = (0..256).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(hits <= 1, "streams nearly identical: {hits} matching words");
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate() {
+        let mut a = StreamRng::new(1, 0);
+        let mut b = StreamRng::new(2, 0);
+        let hits = (0..256).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(hits <= 1);
+    }
+
+    #[test]
+    fn stateless_draw_matches_stream_blocks() {
+        let mut s = StreamRng::new(77, 9);
+        let words: Vec<u32> = (0..8).map(|_| s.next_u32()).collect();
+        let b0 = draw4(77, 9, 0);
+        let b1 = draw4(77, 9, 1);
+        assert_eq!(&words[..4], &b0);
+        assert_eq!(&words[4..], &b1);
+    }
+
+    #[test]
+    fn with_offset_skips_blocks() {
+        let mut a = StreamRng::new(5, 1);
+        for _ in 0..8 {
+            a.next_u32();
+        }
+        let mut b = StreamRng::with_offset(5, 1, 2);
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+
+    #[test]
+    fn bounded_u32_in_range_and_covers() {
+        let mut s = StreamRng::new(99, 0);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = s.bounded_u32(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "1000 draws should cover 0..8");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut s = StreamRng::new(42, 3);
+        for _ in 0..1000 {
+            let u = s.uniform_f32();
+            assert!((0.0..1.0).contains(&u));
+            let v = s.uniform_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_plausible() {
+        let mut s = StreamRng::new(2024, 0);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = f64::from(s.normal_f32());
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the Philox generator.
+
+use philox::{draw4, philox4x32, ClampedNormal, Philox4x32, StreamRng};
+use proptest::prelude::*;
+
+proptest! {
+    /// The bijection is a pure function: same inputs, same outputs.
+    #[test]
+    fn deterministic(ctr in any::<[u32; 4]>(), key in any::<[u32; 2]>()) {
+        prop_assert_eq!(philox4x32(ctr, key), philox4x32(ctr, key));
+    }
+
+    /// Flipping any single counter bit changes the output block.
+    #[test]
+    fn counter_avalanche(ctr in any::<[u32; 4]>(), key in any::<[u32; 2]>(), bit in 0usize..128) {
+        let mut flipped = ctr;
+        flipped[bit / 32] ^= 1 << (bit % 32);
+        prop_assert_ne!(philox4x32(ctr, key), philox4x32(flipped, key));
+    }
+
+    /// Flipping any single key bit changes the output block.
+    #[test]
+    fn key_avalanche(ctr in any::<[u32; 4]>(), key in any::<[u32; 2]>(), bit in 0usize..64) {
+        let mut flipped = key;
+        flipped[bit / 32] ^= 1 << (bit % 32);
+        prop_assert_ne!(philox4x32(ctr, key), philox4x32(ctr, flipped));
+    }
+
+    /// Skip-ahead equals sequential stepping for arbitrary distances.
+    #[test]
+    fn advance_consistency(key in any::<[u32; 2]>(), n in 0u64..500) {
+        let mut seq = Philox4x32::new(key);
+        for _ in 0..n {
+            seq.next_block();
+        }
+        let mut skip = Philox4x32::new(key);
+        skip.advance(n);
+        prop_assert_eq!(seq.counter(), skip.counter());
+    }
+
+    /// Stream draws never depend on evaluation order: the stateless draw of
+    /// block k equals the k-th block of the stateful stream.
+    #[test]
+    fn stream_blocks_match_stateless(seed in any::<u64>(), stream in any::<u64>(), k in 0u64..64) {
+        let mut s = StreamRng::new(seed, stream);
+        let mut last = [0u32; 4];
+        for i in 0..=k {
+            let b = [s.next_u32(), s.next_u32(), s.next_u32(), s.next_u32()];
+            if i == k {
+                last = b;
+            }
+        }
+        prop_assert_eq!(last, draw4(seed, stream, k));
+    }
+
+    /// Bounded draws honour their bound.
+    #[test]
+    fn bounded_in_range(seed in any::<u64>(), bound in 1u32..100) {
+        let mut s = StreamRng::new(seed, 0);
+        for _ in 0..64 {
+            prop_assert!(s.bounded_u32(bound) < bound);
+        }
+    }
+
+    /// LEM rank draws stay within [0, max_rank].
+    #[test]
+    fn clamped_normal_in_range(seed in any::<u64>(), sigma in 0.1f64..5.0, max_rank in 0u32..8) {
+        let cn = ClampedNormal::new(sigma);
+        let mut s = StreamRng::new(seed, 1);
+        for _ in 0..64 {
+            prop_assert!(cn.rank(s.next_u32(), s.next_u32(), max_rank) <= max_rank);
+        }
+    }
+
+    /// Uniforms live in the unit interval.
+    #[test]
+    fn uniforms_unit_interval(seed in any::<u64>()) {
+        let mut s = StreamRng::new(seed, 2);
+        for _ in 0..64 {
+            let u = s.uniform_f32();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Device descriptions and the device handle kernels are launched on.
+//!
+//! [`DeviceProps`] carries the hardware attributes the paper's Table I
+//! lists; [`Device`] couples a property set with an execution policy and a
+//! worker pool.
+
+use std::sync::Arc;
+
+use crate::exec::pool::WorkerPool;
+use crate::exec::ExecPolicy;
+
+/// Static properties of a (real or virtual) device.
+///
+/// The fields mirror the CUDA device attributes the paper's implementation
+/// depends on: they feed the occupancy calculator and the cycle model, and
+/// `table1` prints them next to the paper's hardware table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProps {
+    /// Marketing name.
+    pub name: String,
+    /// Compute capability `(major, minor)`; `(0, 0)` for host CPUs.
+    pub compute_capability: (u32, u32),
+    /// Number of streaming multiprocessors (or host cores).
+    pub sm_count: u32,
+    /// Scalar cores per SM (32 on Fermi).
+    pub cores_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// Hardware limit on resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Hardware limit on resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM, bytes.
+    pub shared_mem_per_sm: u32,
+    /// Shared memory limit per block, bytes.
+    pub shared_mem_per_block: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Core clock, MHz.
+    pub clock_mhz: u32,
+    /// Device memory, MiB.
+    pub global_mem_mib: u32,
+}
+
+impl DeviceProps {
+    /// The paper's GPU: GeForce GTX 560 Ti (448-core edition), Fermi CC 2.0,
+    /// 14 SMs × 32 cores, 1.464 GHz, 1.25 GB GDDR5 (paper Table I).
+    pub fn gtx_560_ti_448() -> Self {
+        Self {
+            name: "NVIDIA GeForce GTX 560 Ti (448 cores)".into(),
+            compute_capability: (2, 0),
+            sm_count: 14,
+            cores_per_sm: 32,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            shared_mem_per_sm: 48 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            regs_per_sm: 32 * 1024,
+            clock_mhz: 1464,
+            global_mem_mib: 1280,
+        }
+    }
+
+    /// The paper's CPU: Intel Core i7-930 (4 cores, 2.8 GHz, 6 GB DDR3).
+    pub fn i7_930() -> Self {
+        Self {
+            name: "Intel Core i7-930".into(),
+            compute_capability: (0, 0),
+            sm_count: 4,
+            cores_per_sm: 1,
+            warp_size: 1,
+            max_threads_per_block: 1,
+            max_threads_per_sm: 2,
+            max_blocks_per_sm: 1,
+            shared_mem_per_sm: 256 * 1024,
+            shared_mem_per_block: 256 * 1024,
+            regs_per_sm: 0,
+            clock_mhz: 2800,
+            global_mem_mib: 6 * 1024,
+        }
+    }
+
+    /// A descriptor for the host this binary runs on (the actual substrate
+    /// executing the virtual GPU). Core count is introspected.
+    pub fn host() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1);
+        Self {
+            name: format!("host CPU ({cores} hardware threads)"),
+            compute_capability: (0, 0),
+            sm_count: cores,
+            cores_per_sm: 1,
+            warp_size: 1,
+            max_threads_per_block: 1,
+            max_threads_per_sm: 2,
+            max_blocks_per_sm: 1,
+            shared_mem_per_sm: 0,
+            shared_mem_per_block: 0,
+            regs_per_sm: 0,
+            clock_mhz: 0,
+            global_mem_mib: 0,
+        }
+    }
+}
+
+impl Default for DeviceProps {
+    fn default() -> Self {
+        Self::gtx_560_ti_448()
+    }
+}
+
+/// A virtual device: properties + execution policy (+ worker pool when
+/// parallel). Cheap to clone (`Arc` inside).
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+struct DeviceInner {
+    props: DeviceProps,
+    policy: ExecPolicy,
+    pool: Option<WorkerPool>,
+    profiling: bool,
+}
+
+impl Device {
+    /// Start building a device.
+    pub fn builder() -> DeviceBuilder {
+        DeviceBuilder::default()
+    }
+
+    /// Shorthand: sequential device with default (paper GPU) properties.
+    pub fn sequential() -> Self {
+        Self::builder().policy(ExecPolicy::Sequential).build()
+    }
+
+    /// Shorthand: parallel device using all host cores.
+    pub fn parallel() -> Self {
+        Self::builder().policy(ExecPolicy::parallel_auto()).build()
+    }
+
+    /// Device properties.
+    pub fn props(&self) -> &DeviceProps {
+        &self.inner.props
+    }
+
+    /// The execution policy this device launches with.
+    pub fn policy(&self) -> ExecPolicy {
+        self.inner.policy
+    }
+
+    /// Whether launches collect `KernelProfile` counters.
+    pub fn profiling(&self) -> bool {
+        self.inner.profiling
+    }
+
+    pub(crate) fn pool(&self) -> Option<&WorkerPool> {
+        self.inner.pool.as_ref()
+    }
+
+    /// Number of host worker threads used by the parallel policy (1 when
+    /// sequential).
+    pub fn worker_count(&self) -> usize {
+        match self.inner.policy {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Parallel { workers } => workers.max(1),
+        }
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("name", &self.inner.props.name)
+            .field("policy", &self.inner.policy)
+            .field("profiling", &self.inner.profiling)
+            .finish()
+    }
+}
+
+/// Builder for [`Device`].
+#[derive(Debug, Default)]
+pub struct DeviceBuilder {
+    props: Option<DeviceProps>,
+    policy: Option<ExecPolicy>,
+    profiling: bool,
+}
+
+impl DeviceBuilder {
+    /// Set the device property sheet (defaults to the paper's GTX 560 Ti).
+    pub fn props(mut self, props: DeviceProps) -> Self {
+        self.props = Some(props);
+        self
+    }
+
+    /// Set the execution policy (defaults to parallel over all host cores).
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enable per-launch profiling counters (divergence, memory ops).
+    /// Off by default; wall-clock benches should leave it off.
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Construct the device (spawning the worker pool if parallel).
+    pub fn build(self) -> Device {
+        let policy = self.policy.unwrap_or_else(ExecPolicy::parallel_auto);
+        let pool = match policy {
+            ExecPolicy::Sequential => None,
+            ExecPolicy::Parallel { workers } => Some(WorkerPool::new(workers.max(1))),
+        };
+        Device {
+            inner: Arc::new(DeviceInner {
+                props: self.props.unwrap_or_default(),
+                policy,
+                pool,
+                profiling: self.profiling,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gpu_matches_table1() {
+        let g = DeviceProps::gtx_560_ti_448();
+        // Paper Table I: 448 processor cores, 1.464 GHz, 1.25 GB.
+        assert_eq!(g.sm_count * g.cores_per_sm, 448);
+        assert_eq!(g.clock_mhz, 1464);
+        assert_eq!(g.global_mem_mib, 1280);
+        assert_eq!(g.compute_capability, (2, 0));
+    }
+
+    #[test]
+    fn paper_cpu_matches_table1() {
+        let c = DeviceProps::i7_930();
+        assert_eq!(c.sm_count, 4);
+        assert_eq!(c.clock_mhz, 2800);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let d = Device::builder().build();
+        assert_eq!(d.props().name, DeviceProps::gtx_560_ti_448().name);
+        assert!(d.worker_count() >= 1);
+    }
+
+    #[test]
+    fn sequential_has_no_pool() {
+        let d = Device::sequential();
+        assert!(d.pool().is_none());
+        assert_eq!(d.worker_count(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Two-dimensional launch geometry.
+//!
+//! The paper's kernels are all 2-D (the environment is a 2-D grid; the tour
+//! kernel is agents × 8), so the launch hierarchy is fixed at two
+//! dimensions. `x` is the fast (column) axis, `y` the slow (row) axis,
+//! matching CUDA's `threadIdx.x` being contiguous within a warp.
+
+/// A 2-D extent or index: `x` columns (fast axis), `y` rows (slow axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim2 {
+    /// Extent along the fast (column) axis.
+    pub x: u32,
+    /// Extent along the slow (row) axis.
+    pub y: u32,
+}
+
+impl Dim2 {
+    /// Construct from `(x, y)`.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// A square extent.
+    #[inline]
+    pub const fn square(n: u32) -> Self {
+        Self { x: n, y: n }
+    }
+
+    /// Total number of elements (`x · y`).
+    #[inline]
+    pub const fn count(self) -> usize {
+        self.x as usize * self.y as usize
+    }
+
+    /// Row-major linearisation of an index within this extent.
+    #[inline]
+    pub const fn linear(self, idx: Dim2) -> usize {
+        idx.y as usize * self.x as usize + idx.x as usize
+    }
+
+    /// Inverse of [`Dim2::linear`].
+    #[inline]
+    pub const fn delinear(self, lin: usize) -> Dim2 {
+        Dim2 {
+            x: (lin % self.x as usize) as u32,
+            y: (lin / self.x as usize) as u32,
+        }
+    }
+
+    /// Number of tiles of size `tile` needed to cover this extent
+    /// (ceiling division per axis).
+    #[inline]
+    pub const fn tiles(self, tile: Dim2) -> Dim2 {
+        Dim2 {
+            x: self.x.div_ceil(tile.x),
+            y: self.y.div_ceil(tile.y),
+        }
+    }
+
+    /// True when both extents are non-zero.
+    #[inline]
+    pub const fn is_nonempty(self) -> bool {
+        self.x > 0 && self.y > 0
+    }
+}
+
+impl std::fmt::Display for Dim2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_roundtrip() {
+        let d = Dim2::new(480, 480);
+        for &(x, y) in &[(0, 0), (479, 0), (0, 479), (479, 479), (13, 250)] {
+            let idx = Dim2::new(x, y);
+            assert_eq!(d.delinear(d.linear(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn linear_is_row_major() {
+        let d = Dim2::new(10, 4);
+        assert_eq!(d.linear(Dim2::new(3, 2)), 23);
+    }
+
+    #[test]
+    fn tiles_cover() {
+        // 480 is a multiple of 16 (the paper chooses the environment to be):
+        assert_eq!(Dim2::square(480).tiles(Dim2::square(16)), Dim2::square(30));
+        // non-multiples round up:
+        assert_eq!(Dim2::new(17, 33).tiles(Dim2::square(16)), Dim2::new(2, 3));
+    }
+
+    #[test]
+    fn count_matches() {
+        assert_eq!(Dim2::new(16, 16).count(), 256);
+        assert_eq!(Dim2::new(0, 5).count(), 0);
+        assert!(!Dim2::new(0, 5).is_nonempty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Launch-time error types.
+
+use crate::dim::Dim2;
+
+/// Result alias for launch operations.
+pub type Result<T> = std::result::Result<T, LaunchError>;
+
+/// Reasons a kernel launch can be rejected before any block runs.
+///
+/// These mirror the CUDA runtime's `cudaErrorInvalidConfiguration` family:
+/// the virtual device enforces the same structural limits a real device
+/// would, so kernels that would not launch on the paper's GPU do not launch
+/// here either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Grid or block extent has a zero component.
+    EmptyLaunch {
+        /// Offending grid extent.
+        grid: Dim2,
+        /// Offending block extent.
+        block: Dim2,
+    },
+    /// Block exceeds the device's `max_threads_per_block`.
+    BlockTooLarge {
+        /// Requested threads per block.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// Declared shared memory exceeds the per-block limit.
+    SharedMemTooLarge {
+        /// Requested bytes.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::EmptyLaunch { grid, block } => {
+                write!(f, "empty launch: grid {grid}, block {block}")
+            }
+            LaunchError::BlockTooLarge { requested, limit } => {
+                write!(f, "block of {requested} threads exceeds device limit {limit}")
+            }
+            LaunchError::SharedMemTooLarge { requested, limit } => {
+                write!(
+                    f,
+                    "shared memory request of {requested} B exceeds per-block limit {limit} B"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LaunchError::BlockTooLarge {
+            requested: 2048,
+            limit: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2048") && s.contains("1024"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Block and thread execution contexts.
+//!
+//! A kernel body receives a [`BlockCtx`] and structures its work as
+//! *phases*: cooperative tile loads, [`BlockCtx::sync`] barriers, and
+//! [`BlockCtx::threads`] passes that run every thread of the block in warp
+//! order. Phase boundaries are the block barriers — the same structure a
+//! CUDA kernel has around `__syncthreads()`, made explicit so that a single
+//! host thread can execute a block without per-thread stacks.
+//!
+//! Each [`ThreadCtx`] exposes the SIMT identity (`threadIdx`/`blockIdx`
+//! equivalents), a counter-based RNG stream (the CURAND substitute), and
+//! the profiling hooks: [`ThreadCtx::branch`] for data-dependent branches
+//! (recorded per warp for divergence accounting) and [`ThreadCtx::select`]
+//! for the branchless logical-operator selection the paper uses instead.
+
+use philox::StreamRng;
+
+use crate::dim::Dim2;
+use crate::memory::{DualTile, Tile};
+use crate::profile::KernelProfile;
+use crate::warp::{WarpDivergence, WARP_SIZE};
+
+/// Per-block execution context.
+pub struct BlockCtx {
+    pub(crate) block_idx: Dim2,
+    pub(crate) grid: Dim2,
+    pub(crate) block_dim: Dim2,
+    pub(crate) seed: u64,
+    pub(crate) salt: u64,
+    pub(crate) profiling: bool,
+    pub(crate) profile: KernelProfile,
+    pub(crate) warp: WarpDivergence,
+}
+
+impl BlockCtx {
+    pub(crate) fn new(
+        block_idx: Dim2,
+        grid: Dim2,
+        block_dim: Dim2,
+        seed: u64,
+        salt: u64,
+        profiling: bool,
+    ) -> Self {
+        Self {
+            block_idx,
+            grid,
+            block_dim,
+            seed,
+            salt,
+            profiling,
+            profile: KernelProfile::default(),
+            warp: WarpDivergence::new(),
+        }
+    }
+
+    /// This block's index within the grid.
+    #[inline]
+    pub fn block_idx(&self) -> Dim2 {
+        self.block_idx
+    }
+
+    /// Threads per block.
+    #[inline]
+    pub fn block_dim(&self) -> Dim2 {
+        self.block_dim
+    }
+
+    /// Blocks per grid.
+    #[inline]
+    pub fn grid_dim(&self) -> Dim2 {
+        self.grid
+    }
+
+    /// Global `(row, col)` of this block's thread `(0, 0)`.
+    #[inline]
+    pub fn origin(&self) -> (u32, u32) {
+        (
+            self.block_idx.y * self.block_dim.y,
+            self.block_idx.x * self.block_dim.x,
+        )
+    }
+
+    /// A block-level barrier marker (`__syncthreads`). Phases separated by
+    /// [`BlockCtx::threads`] calls are already ordered; this records the
+    /// barrier in the profile so kernel structure is costed.
+    #[inline]
+    pub fn sync(&mut self) {
+        if self.profiling {
+            self.profile.barriers += 1;
+        }
+    }
+
+    /// Cooperatively load a shared tile covering this block's cells plus a
+    /// `halo` ring (the paper's 18×18 load, Figure 3).
+    pub fn load_tile<T: Copy>(&mut self, src: &[T], src_dim: Dim2, halo: u32, fill: T) -> Tile<T> {
+        let (tile, loads) =
+            Tile::load_with_halo(src, src_dim, self.origin(), self.block_dim, halo, fill);
+        if self.profiling {
+            self.profile.global_loads += loads;
+            self.profile.shared_stores += tile.area() as u64;
+        }
+        tile
+    }
+
+    /// Cooperatively load the stacked two-group tile (the paper's combined
+    /// local pheromone matrix).
+    pub fn load_dual_tile<T: Copy>(
+        &mut self,
+        src0: &[T],
+        src1: &[T],
+        src_dim: Dim2,
+        halo: u32,
+        fill: T,
+    ) -> DualTile<T> {
+        let (tile, loads) = DualTile::load_with_halo(
+            src0,
+            src1,
+            src_dim,
+            self.origin(),
+            self.block_dim,
+            halo,
+            fill,
+        );
+        if self.profiling {
+            self.profile.global_loads += loads;
+            self.profile.shared_stores += (tile.bytes() / std::mem::size_of::<T>()) as u64;
+        }
+        tile
+    }
+
+    /// Run one phase: every thread of the block, in warp order (row-major
+    /// `(ty, tx)`, 32 lanes per warp). Divergence recorded by
+    /// [`ThreadCtx::branch`] is folded into the block profile per warp.
+    pub fn threads<F: FnMut(&mut ThreadCtx)>(&mut self, mut f: F) {
+        let bw = self.block_dim.x;
+        let bh = self.block_dim.y;
+        let n = bw * bh;
+        for linear in 0..n {
+            let tx = linear % bw;
+            let ty = linear / bw;
+            let mut t = ThreadCtx {
+                tx,
+                ty,
+                linear,
+                block_idx: self.block_idx,
+                grid: self.grid,
+                block_dim: self.block_dim,
+                seed: self.seed,
+                salt: self.salt,
+                profiling: self.profiling,
+                profile: &mut self.profile,
+                warp: &mut self.warp,
+                site: 0,
+            };
+            f(&mut t);
+            if self.profiling {
+                self.warp.lane_done();
+                self.profile.threads += 1;
+                if linear % WARP_SIZE == WARP_SIZE - 1 || linear == n - 1 {
+                    let (div, uni) = self.warp.finish();
+                    self.profile.divergent_branches += div;
+                    self.profile.uniform_branches += uni;
+                }
+            }
+        }
+    }
+
+    /// Record `n` global-memory loads performed outside a tile helper.
+    #[inline]
+    pub fn note_global_loads(&mut self, n: u64) {
+        if self.profiling {
+            self.profile.global_loads += n;
+        }
+    }
+
+    /// Record `n` global-memory stores performed outside a tile helper.
+    #[inline]
+    pub fn note_global_stores(&mut self, n: u64) {
+        if self.profiling {
+            self.profile.global_stores += n;
+        }
+    }
+
+    /// The block-local profile accumulated so far.
+    #[inline]
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+}
+
+/// Per-thread execution context for one [`BlockCtx::threads`] phase.
+pub struct ThreadCtx<'b> {
+    /// Thread x (column) within the block.
+    pub tx: u32,
+    /// Thread y (row) within the block.
+    pub ty: u32,
+    linear: u32,
+    block_idx: Dim2,
+    grid: Dim2,
+    block_dim: Dim2,
+    seed: u64,
+    salt: u64,
+    profiling: bool,
+    profile: &'b mut KernelProfile,
+    warp: &'b mut WarpDivergence,
+    site: usize,
+}
+
+impl ThreadCtx<'_> {
+    /// Global `(row, col)` of this thread (row = y axis).
+    #[inline]
+    pub fn global_rc(&self) -> (u32, u32) {
+        (
+            self.block_idx.y * self.block_dim.y + self.ty,
+            self.block_idx.x * self.block_dim.x + self.tx,
+        )
+    }
+
+    /// Row-major linear id over the whole launch extent
+    /// (`grid.x·block.x` columns wide).
+    #[inline]
+    pub fn global_linear(&self) -> usize {
+        let (r, c) = self.global_rc();
+        r as usize * (self.grid.x as usize * self.block_dim.x as usize) + c as usize
+    }
+
+    /// Linear thread index within the block.
+    #[inline]
+    pub fn linear_in_block(&self) -> u32 {
+        self.linear
+    }
+
+    /// Lane within the warp.
+    #[inline]
+    pub fn lane(&self) -> u32 {
+        self.linear % WARP_SIZE
+    }
+
+    /// Warp index within the block.
+    #[inline]
+    pub fn warp(&self) -> u32 {
+        self.linear / WARP_SIZE
+    }
+
+    /// The thread's CURAND-style stream for this launch: stream id = global
+    /// thread id, counter offset = launch salt. Draws are independent of
+    /// execution order and identical under both execution policies.
+    #[inline]
+    pub fn rng(&self) -> StreamRng {
+        StreamRng::with_offset(self.seed, self.global_linear() as u64, self.salt << 4)
+    }
+
+    /// A stream for an arbitrary id (e.g. keyed by *cell* rather than by
+    /// thread, so a recomputing neighbour derives the identical draw — the
+    /// trick the movement kernel uses to stay scatter-free).
+    #[inline]
+    pub fn rng_for(&self, stream: u64) -> StreamRng {
+        StreamRng::with_offset(self.seed, stream, self.salt << 4)
+    }
+
+    /// Evaluate a data-dependent branch condition, recording it for warp
+    /// divergence accounting. Use for genuinely divergent control flow; use
+    /// [`ThreadCtx::select`] for the paper's branchless alternative.
+    #[inline]
+    pub fn branch(&mut self, cond: bool) -> bool {
+        if self.profiling {
+            self.warp.record(self.site, cond);
+            self.site += 1;
+        }
+        cond
+    }
+
+    /// Branchless select (the paper's "index operation and logical
+    /// operators avoiding any warp divergence"). Counted as one ALU op, not
+    /// a branch site.
+    #[inline]
+    pub fn select<T: Copy>(&mut self, cond: bool, if_true: T, if_false: T) -> T {
+        if self.profiling {
+            self.profile.alu_ops += 1;
+        }
+        // Both operands are already evaluated (no short-circuit), which is
+        // precisely the SIMT-friendly property; the conditional move below
+        // compiles branch-free.
+        if cond {
+            if_true
+        } else {
+            if_false
+        }
+    }
+
+    /// Record `n` plain ALU operations.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        if self.profiling {
+            self.profile.alu_ops += n;
+        }
+    }
+
+    /// Record `n` shared-memory reads.
+    #[inline]
+    pub fn note_shared_loads(&mut self, n: u64) {
+        if self.profiling {
+            self.profile.shared_loads += n;
+        }
+    }
+
+    /// Record `n` global-memory loads.
+    #[inline]
+    pub fn note_global_loads(&mut self, n: u64) {
+        if self.profiling {
+            self.profile.global_loads += n;
+        }
+    }
+
+    /// Record `n` global-memory stores.
+    #[inline]
+    pub fn note_global_stores(&mut self, n: u64) {
+        if self.profiling {
+            self.profile.global_stores += n;
+        }
+    }
+
+    /// Record `n` atomic operations (the ablation's movement variant).
+    #[inline]
+    pub fn note_atomics(&mut self, n: u64) {
+        if self.profiling {
+            self.profile.atomic_ops += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(profiling: bool) -> BlockCtx {
+        BlockCtx::new(
+            Dim2::new(1, 2),
+            Dim2::new(4, 4),
+            Dim2::new(16, 16),
+            7,
+            3,
+            profiling,
+        )
+    }
+
+    #[test]
+    fn thread_identity() {
+        let mut c = ctx(false);
+        let mut seen = Vec::new();
+        c.threads(|t| {
+            if t.linear_in_block() == 17 {
+                seen.push((t.tx, t.ty, t.lane(), t.warp(), t.global_rc()));
+            }
+        });
+        // linear 17 in a 16-wide block: tx=1, ty=1; lane 17, warp 0.
+        // block (x=1,y=2) → global row = 2*16+1 = 33, col = 1*16+1 = 17.
+        assert_eq!(seen, vec![(1, 1, 17, 0, (33, 17))]);
+    }
+
+    #[test]
+    fn global_linear_is_row_major_over_launch() {
+        let mut c = BlockCtx::new(
+            Dim2::new(0, 0),
+            Dim2::new(2, 2),
+            Dim2::new(8, 8),
+            0,
+            0,
+            false,
+        );
+        let mut ids = Vec::new();
+        c.threads(|t| ids.push(t.global_linear()));
+        // Launch extent is 16 columns wide; block (0,0) covers rows 0..8,
+        // cols 0..8 → first row ids 0..8, second row 16..24.
+        assert_eq!(&ids[0..3], &[0, 1, 2]);
+        assert_eq!(ids[8], 16);
+    }
+
+    #[test]
+    fn divergence_counted_per_warp() {
+        let mut c = ctx(true);
+        c.threads(|t| {
+            let lane = t.lane();
+            t.branch(lane < 16); // diverges in every warp
+            t.branch(true); // uniform in every warp
+        });
+        // 256 threads = 8 warps.
+        assert_eq!(c.profile().divergent_branches, 8);
+        assert_eq!(c.profile().uniform_branches, 8);
+        assert_eq!(c.profile().threads, 256);
+    }
+
+    #[test]
+    fn select_records_alu_not_branch() {
+        let mut c = ctx(true);
+        c.threads(|t| {
+            let v = t.select(t.lane() < 16, 1u32, 2u32);
+            assert!(v == 1 || v == 2);
+        });
+        assert_eq!(c.profile().divergent_branches, 0);
+        assert_eq!(c.profile().alu_ops, 256);
+    }
+
+    #[test]
+    fn rng_streams_are_per_thread_and_stable() {
+        let mut c1 = ctx(false);
+        let mut c2 = ctx(false);
+        let mut draws1 = Vec::new();
+        let mut draws2 = Vec::new();
+        c1.threads(|t| draws1.push(t.rng().next_u32()));
+        c2.threads(|t| draws2.push(t.rng().next_u32()));
+        assert_eq!(draws1, draws2);
+        // distinct threads, distinct draws (overwhelmingly)
+        let unique: std::collections::HashSet<_> = draws1.iter().collect();
+        assert!(unique.len() > 250);
+    }
+
+    #[test]
+    fn rng_for_shared_stream_agrees_across_threads() {
+        let mut c = ctx(false);
+        let mut draws = Vec::new();
+        c.threads(|t| draws.push(t.rng_for(999).next_u32()));
+        assert!(draws.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn profiling_off_costs_nothing() {
+        let mut c = ctx(false);
+        c.threads(|t| {
+            t.branch(t.lane() == 0);
+            t.alu(5);
+        });
+        assert_eq!(c.profile(), &KernelProfile::default());
+    }
+
+    #[test]
+    fn tile_load_counts() {
+        let src = vec![1u8; 64 * 64];
+        let mut c = BlockCtx::new(
+            Dim2::new(1, 1),
+            Dim2::new(4, 4),
+            Dim2::new(16, 16),
+            0,
+            0,
+            true,
+        );
+        let tile = c.load_tile(&src, Dim2::square(64), 1, 0u8);
+        assert_eq!(tile.area(), 18 * 18);
+        assert_eq!(c.profile().global_loads, 18 * 18); // fully interior
+        assert_eq!(c.profile().shared_stores, 18 * 18);
+    }
+}

@@ -1,0 +1,316 @@
+//! Kernel launch machinery: configs, policies, contexts, and the launcher.
+
+pub mod ctx;
+pub mod pool;
+
+pub use ctx::{BlockCtx, ThreadCtx};
+
+use std::time::{Duration, Instant};
+
+use crate::device::Device;
+use crate::dim::Dim2;
+use crate::error::{LaunchError, Result};
+use crate::occupancy::{occupancy, Occupancy};
+use crate::profile::{KernelProfile, ProfileSink};
+
+/// How blocks are executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// One host thread, blocks in row-major order. Deterministic and the
+    /// baseline for the speedup figures.
+    Sequential,
+    /// Blocks distributed over a persistent worker pool — the virtual
+    /// GPU's "SM array".
+    Parallel {
+        /// Number of host worker threads.
+        workers: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// Parallel over all available host cores.
+    pub fn parallel_auto() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecPolicy::Parallel { workers }
+    }
+}
+
+/// A kernel body, executed once per block.
+///
+/// Implementations must be `Sync`: under the parallel policy many blocks
+/// run concurrently, sharing `&self`. All mutable state flows through the
+/// memory-space types (`ScatterBuffer` views, block-local tiles).
+pub trait BlockKernel: Sync {
+    /// Execute one block.
+    fn block(&self, ctx: &mut BlockCtx);
+
+    /// Shared-memory bytes this kernel allocates per block (tile
+    /// footprints). Used for launch validation and occupancy reporting.
+    fn shared_bytes(&self) -> u32 {
+        0
+    }
+
+    /// Estimated registers per thread (occupancy reporting only).
+    fn regs_per_thread(&self) -> u32 {
+        0
+    }
+
+    /// Kernel name for diagnostics.
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+}
+
+/// Grid/block geometry plus the RNG keying for one launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchConfig {
+    /// Blocks per grid.
+    pub grid: Dim2,
+    /// Threads per block.
+    pub block: Dim2,
+    /// Experiment seed (feeds every thread's RNG stream).
+    pub seed: u64,
+    /// Launch salt: must differ between launches that should draw fresh
+    /// randomness (the engine uses `step * kernel_count + kernel_index`).
+    pub salt: u64,
+}
+
+impl LaunchConfig {
+    /// A grid of `grid` blocks of `block` threads.
+    pub fn new(grid: Dim2, block: Dim2) -> Self {
+        Self {
+            grid,
+            block,
+            seed: 0,
+            salt: 0,
+        }
+    }
+
+    /// Enough `tile`-sized blocks to cover `extent` cells (the paper's
+    /// "each thread is assigned to each cell" layout: 480×480 cells → 30×30
+    /// blocks of 16×16).
+    pub fn tiled_over(extent: Dim2, tile: Dim2) -> Self {
+        Self::new(extent.tiles(tile), tile)
+    }
+
+    /// Set the experiment seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the launch salt.
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Total threads launched.
+    pub fn total_threads(&self) -> u64 {
+        self.grid.count() as u64 * self.block.count() as u64
+    }
+}
+
+/// What a launch reports back.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Blocks executed.
+    pub blocks: usize,
+    /// Threads executed.
+    pub threads: u64,
+    /// Wall-clock duration of the launch.
+    pub duration: Duration,
+    /// Event counters (only when the device has profiling enabled).
+    pub profile: Option<KernelProfile>,
+    /// Occupancy of this configuration on the device's property sheet.
+    pub occupancy: Option<Occupancy>,
+}
+
+impl Device {
+    /// Launch `kernel` over `cfg`, blocking until every block has run.
+    pub fn launch<K: BlockKernel>(&self, cfg: &LaunchConfig, kernel: &K) -> Result<LaunchStats> {
+        if !cfg.grid.is_nonempty() || !cfg.block.is_nonempty() {
+            return Err(LaunchError::EmptyLaunch {
+                grid: cfg.grid,
+                block: cfg.block,
+            });
+        }
+        let threads_per_block = cfg.block.count() as u32;
+        if threads_per_block > self.props().max_threads_per_block {
+            return Err(LaunchError::BlockTooLarge {
+                requested: threads_per_block,
+                limit: self.props().max_threads_per_block,
+            });
+        }
+        let shared = kernel.shared_bytes();
+        if shared > self.props().shared_mem_per_block {
+            return Err(LaunchError::SharedMemTooLarge {
+                requested: shared,
+                limit: self.props().shared_mem_per_block,
+            });
+        }
+
+        let profiling = self.profiling();
+        let sink = ProfileSink::new();
+        let n_blocks = cfg.grid.count();
+        let grid = cfg.grid;
+        let block = cfg.block;
+        let (seed, salt) = (cfg.seed, cfg.salt);
+
+        let run_block = |i: usize| {
+            let bidx = grid.delinear(i);
+            let mut ctx = BlockCtx::new(bidx, grid, block, seed, salt, profiling);
+            kernel.block(&mut ctx);
+            if profiling {
+                sink.add(ctx.profile());
+            }
+        };
+
+        let start = Instant::now();
+        match self.pool() {
+            None => {
+                for i in 0..n_blocks {
+                    run_block(i);
+                }
+            }
+            Some(pool) => pool.run(n_blocks, &run_block),
+        }
+        let duration = start.elapsed();
+
+        Ok(LaunchStats {
+            blocks: n_blocks,
+            threads: cfg.total_threads(),
+            duration,
+            profile: profiling.then(|| sink.snapshot()),
+            occupancy: occupancy(
+                self.props(),
+                threads_per_block,
+                kernel.regs_per_thread(),
+                shared,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::ScatterBuffer;
+
+    struct Iota<'a> {
+        out: &'a ScatterBuffer<u32>,
+        width: u32,
+    }
+
+    impl BlockKernel for Iota<'_> {
+        fn block(&self, ctx: &mut BlockCtx) {
+            let view = self.out.view();
+            let width = self.width;
+            ctx.threads(|t| {
+                let (r, c) = t.global_rc();
+                if r < width && c < width {
+                    view.write((r * width + c) as usize, r * 1000 + c);
+                }
+            });
+        }
+        fn name(&self) -> &'static str {
+            "iota"
+        }
+    }
+
+    fn run_iota(device: &Device, width: u32) -> Vec<u32> {
+        let out = ScatterBuffer::<u32>::zeroed((width * width) as usize, true);
+        out.begin_epoch();
+        let cfg = LaunchConfig::tiled_over(Dim2::square(width), Dim2::square(16)).with_seed(1);
+        device
+            .launch(&cfg, &Iota { out: &out, width })
+            .expect("launch");
+        out.as_slice().to_vec()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = Device::sequential();
+        let par = Device::builder()
+            .policy(ExecPolicy::Parallel { workers: 4 })
+            .build();
+        assert_eq!(run_iota(&seq, 48), run_iota(&par, 48));
+    }
+
+    #[test]
+    fn non_multiple_extent_guarded_by_kernel() {
+        let d = Device::sequential();
+        let vals = run_iota(&d, 20); // 20 is not a multiple of 16
+        assert_eq!(vals[19 * 20 + 19], 19 * 1000 + 19);
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        let d = Device::sequential();
+        let cfg = LaunchConfig::new(Dim2::new(0, 1), Dim2::square(16));
+        let out = ScatterBuffer::<u32>::zeroed(1, false);
+        let err = d.launch(&cfg, &Iota { out: &out, width: 1 }).unwrap_err();
+        assert!(matches!(err, LaunchError::EmptyLaunch { .. }));
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let d = Device::sequential();
+        let cfg = LaunchConfig::new(Dim2::square(1), Dim2::square(64)); // 4096 threads
+        let out = ScatterBuffer::<u32>::zeroed(1, false);
+        let err = d.launch(&cfg, &Iota { out: &out, width: 1 }).unwrap_err();
+        assert!(matches!(err, LaunchError::BlockTooLarge { .. }));
+    }
+
+    struct SharedHog;
+    impl BlockKernel for SharedHog {
+        fn block(&self, _ctx: &mut BlockCtx) {}
+        fn shared_bytes(&self) -> u32 {
+            64 * 1024
+        }
+    }
+
+    #[test]
+    fn oversized_shared_rejected() {
+        let d = Device::sequential();
+        let cfg = LaunchConfig::new(Dim2::square(1), Dim2::square(16));
+        let err = d.launch(&cfg, &SharedHog).unwrap_err();
+        assert!(matches!(err, LaunchError::SharedMemTooLarge { .. }));
+    }
+
+    #[test]
+    fn stats_report_geometry_and_occupancy() {
+        let d = Device::sequential();
+        let out = ScatterBuffer::<u32>::zeroed(48 * 48, false);
+        let cfg = LaunchConfig::tiled_over(Dim2::square(48), Dim2::square(16));
+        let stats = d.launch(&cfg, &Iota { out: &out, width: 48 }).unwrap();
+        assert_eq!(stats.blocks, 9);
+        assert_eq!(stats.threads, 9 * 256);
+        let occ = stats.occupancy.expect("occupancy");
+        assert!((occ.occupancy - 1.0).abs() < 1e-12); // 256-thread blocks
+        assert!(stats.profile.is_none()); // profiling off by default
+    }
+
+    #[test]
+    fn profiling_device_collects_counters() {
+        let d = Device::builder()
+            .policy(ExecPolicy::Sequential)
+            .profiling(true)
+            .build();
+        let out = ScatterBuffer::<u32>::zeroed(32 * 32, false);
+        let cfg = LaunchConfig::tiled_over(Dim2::square(32), Dim2::square(16));
+        let stats = d.launch(&cfg, &Iota { out: &out, width: 32 }).unwrap();
+        let p = stats.profile.expect("profile");
+        assert_eq!(p.threads, 4 * 256);
+    }
+
+    #[test]
+    fn parallel_launch_is_repeatable() {
+        let par = Device::parallel();
+        let a = run_iota(&par, 64);
+        let b = run_iota(&par, 64);
+        assert_eq!(a, b);
+    }
+}

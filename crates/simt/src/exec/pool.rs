@@ -1,0 +1,242 @@
+//! A persistent worker pool for block dispatch.
+//!
+//! The virtual device launches on the order of 10⁵ kernels per simulation
+//! (four kernels × 25,000 steps), so the pool keeps its workers alive
+//! across launches — spawning threads per launch would dominate runtime.
+//! Blocks are claimed from a shared atomic cursor in small chunks
+//! (work-stealing by competition, like the GPU's hardware block scheduler
+//! handing CTAs to free SMs).
+//!
+//! The pool is deliberately not rayon: the launch semantics (one job at a
+//! time, all workers on it, caller blocked until completion, per-launch
+//! profiling) mirror a CUDA stream's behaviour and are part of the
+//! substrate being reproduced.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// The job payload workers execute: a lifetime-erased `Fn(block_index)`.
+struct Job {
+    /// Type- and lifetime-erased closure pointer. Valid for the duration of
+    /// the `run` call that installed it (see SAFETY in [`WorkerPool::run`]).
+    f: *const (dyn Fn(usize) + Sync),
+    /// Number of items (blocks) in the job.
+    n: usize,
+    /// Items claimed per cursor grab.
+    chunk: usize,
+}
+
+// SAFETY: the raw pointer is only dereferenced while the installing `run`
+// call is blocked waiting for completion, which keeps the referent alive.
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+    /// Bumped once per job; workers use it to detect new work.
+    generation: u64,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    cursor: AtomicUsize,
+}
+
+/// A fixed-size pool of block-execution workers.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("simt-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn simt worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `f(0..n)` across the pool; returns when every index ran.
+    ///
+    /// Panics in workers are contained per item? No — a worker panic will
+    /// poison the pool; kernels are expected not to panic except on
+    /// contract violations (which abort the test anyway).
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // SAFETY: we erase the lifetime of `f` to store it in the shared
+        // state. The reference stays valid because this function does not
+        // return until all workers have finished the job and decremented
+        // `active`, after which no worker touches the pointer again.
+        let f_static: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                f as *const _,
+            )
+        };
+        let chunk = (n / (self.workers * 4)).max(1);
+        let mut st = self.shared.state.lock();
+        debug_assert!(st.job.is_none(), "pool supports one job at a time");
+        self.shared.cursor.store(0, Ordering::Relaxed);
+        st.job = Some(Job {
+            f: f_static,
+            n,
+            chunk,
+        });
+        st.generation += 1;
+        st.active = self.workers;
+        self.shared.work_cv.notify_all();
+        while st.active > 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_generation = 0u64;
+    loop {
+        let (f, n, chunk) = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen_generation {
+                    seen_generation = st.generation;
+                    let job = st.job.as_ref().expect("generation bumped without job");
+                    break (job.f, job.n, job.chunk);
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+        // SAFETY: see `run` — the closure outlives the job execution.
+        let f = unsafe { &*f };
+        loop {
+            let start = shared.cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                f(i);
+            }
+        }
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_workers() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(64, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * (63 * 64 / 2));
+    }
+
+    #[test]
+    fn zero_items_is_noop() {
+        let pool = WorkerPool::new(2);
+        pool.run(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = WorkerPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = WorkerPool::new(8);
+        pool.run(100, &|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn captures_environment() {
+        let pool = WorkerPool::new(2);
+        let data = vec![1u64; 256];
+        let sum = AtomicU64::new(0);
+        pool.run(data.len(), &|i| {
+            sum.fetch_add(data[i], Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 256);
+    }
+}

@@ -1,0 +1,78 @@
+//! # simt — a virtual GPU for data-driven simulation kernels
+//!
+//! The paper this repository reproduces runs its pedestrian models as CUDA
+//! kernels on a Fermi-class GPU (GeForce GTX 560 Ti, compute capability
+//! 2.0). No GPU is available here, so this crate rebuilds the *execution
+//! model* the paper's contribution lives in:
+//!
+//! * a **launch hierarchy** — kernels run over a grid of blocks of threads,
+//!   threads grouped into warps of 32 ([`exec`]);
+//! * **memory spaces** — global buffers, read-only constant buffers, and
+//!   per-block shared tiles with the paper's 18×18 halo loads ([`memory`]);
+//! * **scatter-to-gather enforcement** — scattered global writes go through
+//!   a [`memory::ScatterBuffer`] whose checked mode panics on any write
+//!   race, which is exactly the property the paper's scatter-to-gather
+//!   transformation establishes on real hardware;
+//! * a **warp-divergence profiler** and a simple cycle model ([`profile`]),
+//!   so the paper's "avoid warp divergence with logical operators" claims
+//!   become measurable;
+//! * the **Fermi occupancy calculator** ([`occupancy`]), verifying the
+//!   paper's "256 threads per block keeps 100 % occupancy" configuration;
+//! * two execution policies ([`exec::ExecPolicy`]): `Sequential`
+//!   (deterministic, single host thread) and `Parallel` (blocks distributed
+//!   over a persistent crossbeam worker pool). Because all randomness is
+//!   counter-based (`philox`), both policies produce **bit-identical**
+//!   simulation trajectories; only wall-clock differs.
+//!
+//! The crate is model-agnostic: nothing in it knows about pedestrians. The
+//! pedestrian kernels live in `pedsim-core`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use simt::exec::{BlockKernel, BlockCtx, ExecPolicy, LaunchConfig};
+//! use simt::memory::ScatterBuffer;
+//! use simt::{Device, Dim2};
+//!
+//! // A kernel that writes each cell's global linear id into a buffer.
+//! struct Iota<'a> {
+//!     out: &'a ScatterBuffer<u32>,
+//! }
+//!
+//! impl BlockKernel for Iota<'_> {
+//!     fn block(&self, ctx: &mut BlockCtx) {
+//!         let out = self.out.view();
+//!         ctx.threads(|t| {
+//!             let gid = t.global_linear();
+//!             if gid < out.len() {
+//!                 out.write(gid, gid as u32);
+//!             }
+//!         });
+//!     }
+//! }
+//!
+//! let device = Device::builder().policy(ExecPolicy::Sequential).build();
+//! let out = ScatterBuffer::<u32>::zeroed(64, true);
+//! let cfg = LaunchConfig::tiled_over(Dim2::new(8, 8), Dim2::new(4, 4));
+//! device.launch(&cfg, &Iota { out: &out }).unwrap();
+//! assert_eq!(out.as_slice()[63], 63);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod dim;
+pub mod error;
+pub mod exec;
+pub mod memory;
+pub mod occupancy;
+pub mod profile;
+pub mod warp;
+
+pub use device::{Device, DeviceBuilder, DeviceProps};
+pub use dim::Dim2;
+pub use error::{LaunchError, Result};
+pub use exec::{BlockCtx, BlockKernel, ExecPolicy, LaunchConfig, LaunchStats, ThreadCtx};
+pub use occupancy::{Limiter, Occupancy};
+pub use profile::{CycleModel, KernelProfile};
+pub use warp::WARP_SIZE;

@@ -1,0 +1,68 @@
+//! Constant memory: small read-only buffers shared by all threads.
+//!
+//! The paper keeps two tables here: the pre-computed distance matrix
+//! (§IV.a — "This distance matrix is copied to the constant memory of the
+//! GPU, as the values in the matrix remain constant") and the per-direction
+//! tour-length increments (§IV.d). On hardware, constant memory is cached
+//! and broadcast; here the analogue is an immutable `Arc` the launcher can
+//! hand to every block for free.
+
+use std::sync::Arc;
+
+/// An immutable device-resident table.
+#[derive(Debug, Clone)]
+pub struct ConstantBuffer<T> {
+    data: Arc<[T]>,
+}
+
+impl<T: Copy> ConstantBuffer<T> {
+    /// Upload a table.
+    pub fn new(data: Vec<T>) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// The whole table.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for ConstantBuffer<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cheap_clone() {
+        let c = ConstantBuffer::new(vec![1.0f32, 2.0, 3.0]);
+        let d = c.clone();
+        assert_eq!(c.get(1), 2.0);
+        assert_eq!(d.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+}

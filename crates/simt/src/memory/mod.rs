@@ -1,0 +1,21 @@
+//! Device memory spaces.
+//!
+//! Three spaces mirror the CUDA hierarchy the paper uses:
+//!
+//! * [`global`] — large buffers all threads can read, plus
+//!   [`ScatterBuffer`] for the *disjoint scattered writes* that the paper's
+//!   scatter-to-gather transformation guarantees (checked at runtime in
+//!   tests), and [`AtomicBuffer`] for the atomic-operation alternative the
+//!   paper rejects (kept for the ablation benches);
+//! * [`constant`] — small read-only buffers (the paper's pre-computed
+//!   distance matrix and move-length table live here);
+//! * [`shared`] — per-block tiles with the 18×18 halo-load pattern of the
+//!   paper's Figure 3.
+
+pub mod constant;
+pub mod global;
+pub mod shared;
+
+pub use constant::ConstantBuffer;
+pub use global::{AtomicBuffer, ScatterBuffer, ScatterView};
+pub use shared::{DualTile, Tile};

@@ -1,0 +1,260 @@
+//! Per-block shared-memory tiles and halo loading.
+//!
+//! The paper's stencil kernels give each 16×16 thread block an 18×18 shared
+//! tile: the 16×16 *internal* elements plus a one-cell *halo* ring loaded
+//! from the neighbouring tiles (Figure 3). Cells outside the environment
+//! read as a caller-chosen fill value (a wall for the occupancy matrix).
+//!
+//! On hardware the halo load is a hand-written warp index mapping to avoid
+//! divergence; here [`Tile::load_with_halo`] performs the same data
+//! movement and reports how many global words it touched so the profiler
+//! can account for it. Tiles are block-local values — created inside
+//! `BlockKernel::block`, dropped at block end — which is exactly the
+//! lifetime shared memory has.
+
+use crate::dim::Dim2;
+
+/// A block-local 2-D tile with a halo ring, addressed in *global*
+/// coordinates.
+#[derive(Debug, Clone)]
+pub struct Tile<T> {
+    /// Global row of the first (top-left) element held, i.e. inner origin − halo.
+    base_r: i64,
+    /// Global column of the first element held.
+    base_c: i64,
+    /// Tile width including halo.
+    w: usize,
+    /// Tile height including halo.
+    h: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Tile<T> {
+    /// Load a tile covering `inner` cells at `origin` (global coords) plus a
+    /// `halo`-cell ring, from a row-major `src` of extent `src_dim`.
+    /// Out-of-bounds cells are filled with `fill`.
+    ///
+    /// Returns the tile and the number of in-bounds global words read (the
+    /// profiler's `global_loads` contribution; the shared-store count is
+    /// simply the tile area).
+    pub fn load_with_halo(
+        src: &[T],
+        src_dim: Dim2,
+        origin: (u32, u32),
+        inner: Dim2,
+        halo: u32,
+        fill: T,
+    ) -> (Self, u64) {
+        debug_assert_eq!(src.len(), src_dim.count(), "source extent mismatch");
+        let base_r = i64::from(origin.0) - i64::from(halo);
+        let base_c = i64::from(origin.1) - i64::from(halo);
+        let h = (inner.y + 2 * halo) as usize;
+        let w = (inner.x + 2 * halo) as usize;
+        let mut data = Vec::with_capacity(w * h);
+        let mut loads = 0u64;
+        for dr in 0..h as i64 {
+            let r = base_r + dr;
+            if r < 0 || r >= i64::from(src_dim.y) {
+                data.extend(std::iter::repeat_n(fill, w));
+                continue;
+            }
+            let row_off = r as usize * src_dim.x as usize;
+            for dc in 0..w as i64 {
+                let c = base_c + dc;
+                if c < 0 || c >= i64::from(src_dim.x) {
+                    data.push(fill);
+                } else {
+                    data.push(src[row_off + c as usize]);
+                    loads += 1;
+                }
+            }
+        }
+        (
+            Self {
+                base_r,
+                base_c,
+                w,
+                h,
+                data,
+            },
+            loads,
+        )
+    }
+
+    /// Read the element at global coordinates `(r, c)`.
+    ///
+    /// Panics (debug) if the coordinate is outside the tile+halo extent —
+    /// the shared-memory out-of-bounds access the paper's Figure 3 exists
+    /// to prevent.
+    #[inline]
+    pub fn get(&self, r: i64, c: i64) -> T {
+        let lr = r - self.base_r;
+        let lc = c - self.base_c;
+        debug_assert!(
+            lr >= 0 && (lr as usize) < self.h && lc >= 0 && (lc as usize) < self.w,
+            "tile access ({r},{c}) outside tile based at ({},{}) size {}x{}",
+            self.base_r,
+            self.base_c,
+            self.w,
+            self.h,
+        );
+        self.data[lr as usize * self.w + lc as usize]
+    }
+
+    /// Overwrite the element at global coordinates `(r, c)` (e.g. the
+    /// paper's in-tile pheromone evaporation before write-back).
+    #[inline]
+    pub fn set(&mut self, r: i64, c: i64, v: T) {
+        let lr = (r - self.base_r) as usize;
+        let lc = (c - self.base_c) as usize;
+        debug_assert!(lr < self.h && lc < self.w);
+        self.data[lr * self.w + lc] = v;
+    }
+
+    /// Total elements held (inner + halo) — the shared-memory footprint.
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.w * self.h
+    }
+
+    /// Shared-memory bytes this tile occupies.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.area() * std::mem::size_of::<T>()
+    }
+}
+
+/// Two same-shape tiles selected by a binary group index.
+///
+/// Models the paper's single 36×18 (and 32×16) local pheromone matrix that
+/// stacks the top-group and bottom-group fields so that "a pedestrian label
+/// is used to access proper cells, avoiding warp divergences" (§IV.b).
+#[derive(Debug, Clone)]
+pub struct DualTile<T> {
+    tiles: [Tile<T>; 2],
+}
+
+impl<T: Copy> DualTile<T> {
+    /// Load both halves with identical geometry from two sources.
+    #[allow(clippy::too_many_arguments)]
+    pub fn load_with_halo(
+        src0: &[T],
+        src1: &[T],
+        src_dim: Dim2,
+        origin: (u32, u32),
+        inner: Dim2,
+        halo: u32,
+        fill: T,
+    ) -> (Self, u64) {
+        let (t0, l0) = Tile::load_with_halo(src0, src_dim, origin, inner, halo, fill);
+        let (t1, l1) = Tile::load_with_halo(src1, src_dim, origin, inner, halo, fill);
+        (Self { tiles: [t0, t1] }, l0 + l1)
+    }
+
+    /// Read from half `which` (0 or 1) at global `(r, c)`.
+    #[inline]
+    pub fn get(&self, which: usize, r: i64, c: i64) -> T {
+        self.tiles[which].get(r, c)
+    }
+
+    /// Write to half `which` at global `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, which: usize, r: i64, c: i64, v: T) {
+        self.tiles[which].set(r, c, v);
+    }
+
+    /// Combined shared-memory bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.tiles[0].bytes() + self.tiles[1].bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_8x8() -> Vec<u32> {
+        (0..64).collect()
+    }
+
+    #[test]
+    fn interior_tile_matches_source() {
+        let src = grid_8x8();
+        let (tile, loads) =
+            Tile::load_with_halo(&src, Dim2::square(8), (2, 2), Dim2::square(4), 1, 999);
+        // 6x6 tile fully interior → all 36 loads from global.
+        assert_eq!(loads, 36);
+        for r in 1..7 {
+            for c in 1..7 {
+                assert_eq!(tile.get(r, c), (r * 8 + c) as u32);
+            }
+        }
+        assert_eq!(tile.area(), 36);
+    }
+
+    #[test]
+    fn border_tile_fills_outside() {
+        let src = grid_8x8();
+        let (tile, loads) =
+            Tile::load_with_halo(&src, Dim2::square(8), (0, 0), Dim2::square(4), 1, 999);
+        // Top and left halo rows are outside: 5x5 in-bounds of a 6x6 tile.
+        assert_eq!(loads, 25);
+        assert_eq!(tile.get(-1, -1), 999);
+        assert_eq!(tile.get(-1, 3), 999);
+        assert_eq!(tile.get(3, -1), 999);
+        assert_eq!(tile.get(0, 0), 0);
+        assert_eq!(tile.get(4, 4), 36);
+    }
+
+    #[test]
+    fn paper_geometry_18x18() {
+        // The paper's exact configuration: 16x16 inner + halo = 18x18.
+        let src = vec![7u8; 480 * 480];
+        let (tile, _) =
+            Tile::load_with_halo(&src, Dim2::square(480), (16, 32), Dim2::square(16), 1, 0);
+        assert_eq!(tile.area(), 18 * 18);
+        assert_eq!(tile.bytes(), 324);
+        assert_eq!(tile.get(15, 31), 7); // halo cell from the neighbour tile
+        assert_eq!(tile.get(32, 48), 7); // far corner halo
+    }
+
+    #[test]
+    fn set_then_get() {
+        let src = vec![0f32; 64];
+        let (mut tile, _) =
+            Tile::load_with_halo(&src, Dim2::square(8), (0, 0), Dim2::square(4), 1, 0.0);
+        tile.set(2, 2, 3.5);
+        assert_eq!(tile.get(2, 2), 3.5);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_tile_access_panics() {
+        let src = grid_8x8();
+        let (tile, _) =
+            Tile::load_with_halo(&src, Dim2::square(8), (2, 2), Dim2::square(4), 1, 0);
+        // (2,2) origin, 4x4 inner, halo 1 → valid global rows 1..=6.
+        tile.get(7, 2);
+    }
+
+    #[test]
+    fn dual_tile_selects_half() {
+        let top = vec![1.0f32; 64];
+        let bot = vec![2.0f32; 64];
+        let (dual, loads) = DualTile::load_with_halo(
+            &top,
+            &bot,
+            Dim2::square(8),
+            (2, 2),
+            Dim2::square(4),
+            1,
+            0.0,
+        );
+        assert_eq!(loads, 72);
+        assert_eq!(dual.get(0, 3, 3), 1.0);
+        assert_eq!(dual.get(1, 3, 3), 2.0);
+        assert_eq!(dual.bytes(), 2 * 36 * 4);
+    }
+}

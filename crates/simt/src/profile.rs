@@ -1,0 +1,290 @@
+//! Launch profiling: SIMT event counters and a first-order cycle model.
+//!
+//! The paper argues for three implementation techniques — branchless
+//! selection (no warp divergence), shared-memory tiling (fewer global
+//! transactions), and scatter-to-gather (no atomics). The profiler makes
+//! each of those claims measurable on the virtual device: kernels report
+//! events through [`crate::exec::ThreadCtx`]/[`crate::exec::BlockCtx`], the
+//! launcher aggregates them, and [`CycleModel`] converts the totals into a
+//! modelled execution time on a given [`DeviceProps`].
+//!
+//! The cycle model is deliberately first-order (throughput-only, no
+//! latency hiding curve); it exists to *rank* kernel variants the way a
+//! Fermi would, not to predict absolute runtimes. Wall-clock figures in the
+//! benches always come from real timers, never from this model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::device::DeviceProps;
+use crate::warp::WARP_SIZE;
+
+/// Event totals for one kernel launch (or a sum over launches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Branch sites where a warp's lanes disagreed (serialised paths).
+    pub divergent_branches: u64,
+    /// Branch sites where all lanes agreed (free on SIMT).
+    pub uniform_branches: u64,
+    /// 32-bit words read from global memory.
+    pub global_loads: u64,
+    /// 32-bit words written to global memory.
+    pub global_stores: u64,
+    /// 32-bit words read from shared tiles.
+    pub shared_loads: u64,
+    /// 32-bit words written to shared tiles.
+    pub shared_stores: u64,
+    /// Atomic read-modify-write operations on global memory.
+    pub atomic_ops: u64,
+    /// Block-level barriers (`__syncthreads` equivalents).
+    pub barriers: u64,
+    /// Plain ALU operations reported by kernels (select/arith helpers).
+    pub alu_ops: u64,
+    /// Threads executed.
+    pub threads: u64,
+}
+
+impl KernelProfile {
+    /// Component-wise sum.
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            divergent_branches: self.divergent_branches + other.divergent_branches,
+            uniform_branches: self.uniform_branches + other.uniform_branches,
+            global_loads: self.global_loads + other.global_loads,
+            global_stores: self.global_stores + other.global_stores,
+            shared_loads: self.shared_loads + other.shared_loads,
+            shared_stores: self.shared_stores + other.shared_stores,
+            atomic_ops: self.atomic_ops + other.atomic_ops,
+            barriers: self.barriers + other.barriers,
+            alu_ops: self.alu_ops + other.alu_ops,
+            threads: self.threads + other.threads,
+        }
+    }
+
+    /// Fraction of branch sites that diverged (0 when there were none).
+    pub fn divergence_ratio(&self) -> f64 {
+        let total = self.divergent_branches + self.uniform_branches;
+        if total == 0 {
+            0.0
+        } else {
+            self.divergent_branches as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe accumulator the launcher aggregates block profiles into.
+#[derive(Debug, Default)]
+pub struct ProfileSink {
+    divergent_branches: AtomicU64,
+    uniform_branches: AtomicU64,
+    global_loads: AtomicU64,
+    global_stores: AtomicU64,
+    shared_loads: AtomicU64,
+    shared_stores: AtomicU64,
+    atomic_ops: AtomicU64,
+    barriers: AtomicU64,
+    alu_ops: AtomicU64,
+    threads: AtomicU64,
+}
+
+impl ProfileSink {
+    /// New zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one block's local counters.
+    pub fn add(&self, p: &KernelProfile) {
+        self.divergent_branches
+            .fetch_add(p.divergent_branches, Ordering::Relaxed);
+        self.uniform_branches
+            .fetch_add(p.uniform_branches, Ordering::Relaxed);
+        self.global_loads.fetch_add(p.global_loads, Ordering::Relaxed);
+        self.global_stores
+            .fetch_add(p.global_stores, Ordering::Relaxed);
+        self.shared_loads.fetch_add(p.shared_loads, Ordering::Relaxed);
+        self.shared_stores
+            .fetch_add(p.shared_stores, Ordering::Relaxed);
+        self.atomic_ops.fetch_add(p.atomic_ops, Ordering::Relaxed);
+        self.barriers.fetch_add(p.barriers, Ordering::Relaxed);
+        self.alu_ops.fetch_add(p.alu_ops, Ordering::Relaxed);
+        self.threads.fetch_add(p.threads, Ordering::Relaxed);
+    }
+
+    /// Snapshot the totals.
+    pub fn snapshot(&self) -> KernelProfile {
+        KernelProfile {
+            divergent_branches: self.divergent_branches.load(Ordering::Relaxed),
+            uniform_branches: self.uniform_branches.load(Ordering::Relaxed),
+            global_loads: self.global_loads.load(Ordering::Relaxed),
+            global_stores: self.global_stores.load(Ordering::Relaxed),
+            shared_loads: self.shared_loads.load(Ordering::Relaxed),
+            shared_stores: self.shared_stores.load(Ordering::Relaxed),
+            atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            alu_ops: self.alu_ops.load(Ordering::Relaxed),
+            threads: self.threads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// First-order SIMT cost model: counters → modelled cycles on a device.
+///
+/// Costs are per-warp issue slots:
+/// * ALU op: 1 cycle per warp (32 lanes issue together);
+/// * shared access: 2 cycles per warp access (bank-conflict-free);
+/// * global access: `global_cycles` per warp transaction of 32 words
+///   (coalesced; Fermi ≈ 400–800 cycles latency, throughput-amortised
+///   default 16);
+/// * divergent branch: the warp pays `divergence_penalty` extra issue
+///   slots (both paths serialised);
+/// * atomic: `atomic_cycles` serialised cycles each — this is what makes
+///   the paper's atomic-free movement kernel win in the ablation;
+/// * barrier: `barrier_cycles` per block barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// Cycles per warp-wide global transaction (32 words, coalesced).
+    pub global_cycles: f64,
+    /// Cycles per warp-wide shared access.
+    pub shared_cycles: f64,
+    /// Extra cycles per divergent branch site per warp.
+    pub divergence_penalty: f64,
+    /// Cycles per atomic operation (serialised).
+    pub atomic_cycles: f64,
+    /// Cycles per block barrier.
+    pub barrier_cycles: f64,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        Self {
+            global_cycles: 16.0,
+            shared_cycles: 2.0,
+            divergence_penalty: 24.0,
+            atomic_cycles: 64.0,
+            barrier_cycles: 16.0,
+        }
+    }
+}
+
+impl CycleModel {
+    /// Modelled cycles for a profile, before dividing across SMs.
+    pub fn cycles(&self, p: &KernelProfile) -> f64 {
+        let warp = f64::from(WARP_SIZE);
+        let alu = p.alu_ops as f64 / warp;
+        let sh = (p.shared_loads + p.shared_stores) as f64 / warp * self.shared_cycles;
+        let gl = (p.global_loads + p.global_stores) as f64 / warp * self.global_cycles;
+        let div = p.divergent_branches as f64 * self.divergence_penalty;
+        let uni = p.uniform_branches as f64 / warp;
+        let at = p.atomic_ops as f64 * self.atomic_cycles;
+        let bar = p.barriers as f64 * self.barrier_cycles;
+        alu + sh + gl + div + uni + at + bar
+    }
+
+    /// Modelled wall time on `props`, assuming perfect SM load balance.
+    pub fn seconds(&self, p: &KernelProfile, props: &DeviceProps) -> f64 {
+        let cycles = self.cycles(p) / f64::from(props.sm_count.max(1));
+        cycles / (f64::from(props.clock_mhz.max(1)) * 1e6)
+    }
+
+    /// Modelled cycles of the same work executed **serially, one lane at a
+    /// time** — the single-threaded CPU reading of the counters. No warp
+    /// amortisation, no divergence penalty (a scalar core just branches),
+    /// cache-backed memory costs.
+    pub fn serial_cycles(&self, p: &KernelProfile) -> f64 {
+        let alu = p.alu_ops as f64;
+        let branches = (p.divergent_branches + p.uniform_branches) as f64;
+        let sh = (p.shared_loads + p.shared_stores) as f64; // L1-resident
+        let gl = (p.global_loads + p.global_stores) as f64 * 2.0; // L2/DRAM mix
+        let at = p.atomic_ops as f64 * 4.0; // uncontended lock-prefixed op
+        alu + branches + sh + gl + at
+    }
+
+    /// Modelled serial wall time on a host described by `props` (uses the
+    /// clock only; core count is irrelevant for a single thread).
+    pub fn serial_seconds(&self, p: &KernelProfile, props: &DeviceProps) -> f64 {
+        self.serial_cycles(p) / (f64::from(props.clock_mhz.max(1)) * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(divergent: u64, atomics: u64) -> KernelProfile {
+        KernelProfile {
+            divergent_branches: divergent,
+            uniform_branches: 100,
+            global_loads: 3200,
+            global_stores: 320,
+            shared_loads: 6400,
+            shared_stores: 640,
+            atomic_ops: atomics,
+            barriers: 2,
+            alu_ops: 32_000,
+            threads: 256,
+        }
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let a = profile(1, 2);
+        let b = profile(3, 4);
+        let m = a.merged(b);
+        assert_eq!(m.divergent_branches, 4);
+        assert_eq!(m.atomic_ops, 6);
+        assert_eq!(m.threads, 512);
+    }
+
+    #[test]
+    fn divergence_ratio() {
+        assert_eq!(profile(0, 0).divergence_ratio(), 0.0);
+        assert!((profile(100, 0).divergence_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(KernelProfile::default().divergence_ratio(), 0.0);
+    }
+
+    #[test]
+    fn model_penalises_divergence_and_atomics() {
+        let m = CycleModel::default();
+        assert!(m.cycles(&profile(50, 0)) > m.cycles(&profile(0, 0)));
+        assert!(m.cycles(&profile(0, 50)) > m.cycles(&profile(0, 0)));
+    }
+
+    #[test]
+    fn more_sms_is_faster() {
+        let m = CycleModel::default();
+        let p = profile(0, 0);
+        let gpu = DeviceProps::gtx_560_ti_448();
+        let mut half = gpu.clone();
+        half.sm_count = 7;
+        assert!(m.seconds(&p, &gpu) < m.seconds(&p, &half));
+    }
+
+    #[test]
+    fn serial_model_is_much_slower_than_simt() {
+        // The whole point of the data-driven port: the same counters cost
+        // far more executed one lane at a time on the paper's CPU than
+        // warp-wide on the paper's GPU.
+        let m = CycleModel::default();
+        let p = profile(0, 0);
+        let gpu = DeviceProps::gtx_560_ti_448();
+        let cpu = DeviceProps::i7_930();
+        assert!(m.serial_seconds(&p, &cpu) > 3.0 * m.seconds(&p, &gpu));
+    }
+
+    #[test]
+    fn sink_accumulates_concurrently() {
+        let sink = ProfileSink::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        sink.add(&profile(1, 1));
+                    }
+                });
+            }
+        });
+        let total = sink.snapshot();
+        assert_eq!(total.divergent_branches, 400);
+        assert_eq!(total.threads, 400 * 256);
+    }
+}

@@ -1,0 +1,162 @@
+//! Warp decomposition and divergence tracking.
+//!
+//! Threads of a block execute in warps of 32. Lane order within a block is
+//! row-major over `(ty, tx)` — the same order CUDA assigns `threadIdx` to
+//! lanes — so a 16×16 block is 8 warps of two rows each, exactly the layout
+//! the paper's halo-load index mapping relies on ("There are 32 threads
+//! involved for the first 2 rows … this whole warp is used to load the halo
+//! elements").
+//!
+//! Divergence is tracked structurally: every call to
+//! [`crate::exec::ThreadCtx::branch`] is a *branch site*, identified by its
+//! ordinal position in the thread's execution. After a warp finishes a
+//! phase, a site counts as **divergent** if its lanes did not all evaluate
+//! the same condition (or did not all reach it), and **uniform** otherwise.
+//! This is the SIMT reconvergence-stack view of divergence, reduced to
+//! counting.
+
+/// Threads per warp, fixed at the CUDA value.
+pub const WARP_SIZE: u32 = 32;
+
+/// Lane index of a thread within its block (row-major thread order).
+#[inline]
+pub fn lane_of(thread_linear: u32) -> u32 {
+    thread_linear % WARP_SIZE
+}
+
+/// Warp index of a thread within its block (row-major thread order).
+#[inline]
+pub fn warp_of(thread_linear: u32) -> u32 {
+    thread_linear / WARP_SIZE
+}
+
+/// Number of warps needed for `threads` threads (ceiling).
+#[inline]
+pub fn warps_for(threads: u32) -> u32 {
+    threads.div_ceil(WARP_SIZE)
+}
+
+/// Per-warp branch-site bookkeeping for one phase of one warp.
+///
+/// `record(site, cond)` is called by each lane as it executes; `finish`
+/// folds the sites into (divergent, uniform) counts and resets.
+#[derive(Debug, Default)]
+pub struct WarpDivergence {
+    /// Per-site: (lanes that reached the site, lanes that evaluated true).
+    sites: Vec<(u32, u32)>,
+    /// Lanes that executed in this warp this phase.
+    lanes_seen: u32,
+}
+
+impl WarpDivergence {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that the current lane evaluated branch site `site` as `cond`.
+    #[inline]
+    pub fn record(&mut self, site: usize, cond: bool) {
+        if self.sites.len() <= site {
+            self.sites.resize(site + 1, (0, 0));
+        }
+        let entry = &mut self.sites[site];
+        entry.0 += 1;
+        entry.1 += u32::from(cond);
+    }
+
+    /// Note that one more lane ran this phase.
+    #[inline]
+    pub fn lane_done(&mut self) {
+        self.lanes_seen += 1;
+    }
+
+    /// Fold the recorded sites into `(divergent, uniform)` counts and reset
+    /// the tracker for the next warp.
+    pub fn finish(&mut self) -> (u64, u64) {
+        let lanes = self.lanes_seen;
+        let mut divergent = 0;
+        let mut uniform = 0;
+        for &(reached, true_count) in &self.sites {
+            // A site is uniform iff every lane reached it and all lanes
+            // agreed. Lanes skipping the site (early return / guard) is
+            // itself divergence.
+            if reached == lanes && (true_count == 0 || true_count == reached) {
+                uniform += 1;
+            } else {
+                divergent += 1;
+            }
+        }
+        self.sites.clear();
+        self.lanes_seen = 0;
+        (divergent, uniform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_and_warp_layout() {
+        // 16x16 block: thread (ty=0..16, tx=0..16), linear = ty*16+tx.
+        // First two rows (linear 0..32) form warp 0 — the paper's halo warp.
+        assert_eq!(warp_of(0), 0);
+        assert_eq!(warp_of(31), 0);
+        assert_eq!(warp_of(32), 1);
+        assert_eq!(lane_of(33), 1);
+        assert_eq!(warps_for(256), 8);
+        assert_eq!(warps_for(1), 1);
+        assert_eq!(warps_for(0), 0);
+    }
+
+    #[test]
+    fn uniform_branch_counts_uniform() {
+        let mut w = WarpDivergence::new();
+        for _ in 0..32 {
+            w.record(0, true);
+            w.lane_done();
+        }
+        assert_eq!(w.finish(), (0, 1));
+    }
+
+    #[test]
+    fn split_branch_counts_divergent() {
+        let mut w = WarpDivergence::new();
+        for lane in 0..32 {
+            w.record(0, lane < 16);
+            w.lane_done();
+        }
+        assert_eq!(w.finish(), (1, 0));
+    }
+
+    #[test]
+    fn skipped_site_counts_divergent() {
+        let mut w = WarpDivergence::new();
+        for lane in 0..32 {
+            w.record(0, true);
+            if lane == 0 {
+                w.record(1, true); // only lane 0 reaches site 1
+            }
+            w.lane_done();
+        }
+        let (div, uni) = w.finish();
+        assert_eq!((div, uni), (1, 1));
+    }
+
+    #[test]
+    fn finish_resets() {
+        let mut w = WarpDivergence::new();
+        for lane in 0..32 {
+            w.record(0, lane == 0);
+            w.lane_done();
+        }
+        assert_eq!(w.finish(), (1, 0));
+        // Fresh phase: all uniform again.
+        for _ in 0..32 {
+            w.record(0, false);
+            w.lane_done();
+        }
+        assert_eq!(w.finish(), (0, 1));
+    }
+}

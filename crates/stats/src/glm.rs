@@ -1,0 +1,294 @@
+//! Binomial generalized linear model with logit link, fitted by IRLS.
+//!
+//! Reproduces the paper's Figure-6b analysis: R's
+//! `glm(cbind(crossed, total - crossed) ~ agents + is_gpu, family = binomial)`
+//! followed by a significance test on the `is_gpu` coefficient
+//! (paper: p = 0.6145, i.e. no CPU/GPU difference).
+//!
+//! The fit is classical iteratively reweighted least squares on grouped
+//! binomial data; coefficient significance is the Wald test (the statistic
+//! R's `summary.glm` prints as "z value" and the paper calls a t-test).
+
+use crate::linalg::SmallMatrix;
+use crate::special::normal_p_two_sided;
+
+/// One grouped-binomial observation.
+#[derive(Debug, Clone)]
+struct Obs {
+    /// Covariates (without intercept; the model adds it).
+    x: Vec<f64>,
+    /// Successes (agents that crossed).
+    y: f64,
+    /// Trials (agents present).
+    n: f64,
+}
+
+/// Why a fit failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlmError {
+    /// Fewer observations than coefficients.
+    TooFewObservations,
+    /// Covariate dimensions differ between observations.
+    RaggedDesign,
+    /// The weighted normal equations became singular (e.g. perfect
+    /// separation or a constant covariate).
+    Singular,
+}
+
+impl std::fmt::Display for GlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GlmError::TooFewObservations => write!(f, "fewer observations than coefficients"),
+            GlmError::RaggedDesign => write!(f, "observations have differing covariate counts"),
+            GlmError::Singular => write!(f, "normal equations singular (separation or collinearity)"),
+        }
+    }
+}
+
+impl std::error::Error for GlmError {}
+
+/// A fitted binomial GLM.
+#[derive(Debug, Clone)]
+pub struct GlmFit {
+    /// Coefficients: `[intercept, covariates…]`.
+    pub coef: Vec<f64>,
+    /// Wald standard errors per coefficient.
+    pub se: Vec<f64>,
+    /// Wald statistics `coef / se`.
+    pub z: Vec<f64>,
+    /// Two-sided p-values of the Wald statistics.
+    pub p: Vec<f64>,
+    /// Residual deviance.
+    pub deviance: f64,
+    /// IRLS iterations used.
+    pub iterations: usize,
+    /// Whether the coefficient change dropped below tolerance.
+    pub converged: bool,
+}
+
+/// Builder/fitter for grouped binomial data.
+#[derive(Debug, Clone, Default)]
+pub struct BinomialGlm {
+    rows: Vec<Obs>,
+}
+
+impl BinomialGlm {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation: `successes` of `trials` at `covariates`.
+    pub fn push(&mut self, covariates: &[f64], successes: u64, trials: u64) -> &mut Self {
+        assert!(successes <= trials, "successes exceed trials");
+        assert!(trials > 0, "zero-trial observation");
+        self.rows.push(Obs {
+            x: covariates.to_vec(),
+            y: successes as f64,
+            n: trials as f64,
+        });
+        self
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fit by IRLS (max 50 iterations, tolerance 1e-10 on coefficients).
+    #[allow(clippy::needless_range_loop)]
+    pub fn fit(&self) -> Result<GlmFit, GlmError> {
+        let k = match self.rows.first() {
+            None => return Err(GlmError::TooFewObservations),
+            Some(o) => o.x.len(),
+        };
+        if self.rows.iter().any(|o| o.x.len() != k) {
+            return Err(GlmError::RaggedDesign);
+        }
+        let p = k + 1; // + intercept
+        if self.rows.len() < p {
+            return Err(GlmError::TooFewObservations);
+        }
+
+        const MAX_ITER: usize = 50;
+        const TOL: f64 = 1e-10;
+        const W_FLOOR: f64 = 1e-10;
+
+        let design = |o: &Obs, j: usize| -> f64 {
+            if j == 0 {
+                1.0
+            } else {
+                o.x[j - 1]
+            }
+        };
+
+        let mut beta = vec![0.0; p];
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut xtwx = SmallMatrix::zeros(p);
+        for _ in 0..MAX_ITER {
+            iterations += 1;
+            xtwx = SmallMatrix::zeros(p);
+            let mut xtwz = vec![0.0; p];
+            for o in &self.rows {
+                let eta: f64 = (0..p).map(|j| design(o, j) * beta[j]).sum();
+                let mu = 1.0 / (1.0 + (-eta).exp());
+                let w = (o.n * mu * (1.0 - mu)).max(W_FLOOR);
+                let z = eta + (o.y - o.n * mu) / w;
+                for a in 0..p {
+                    let xa = design(o, a);
+                    for b in a..p {
+                        xtwx.add(a, b, w * xa * design(o, b));
+                    }
+                    xtwz[a] += w * xa * z;
+                }
+            }
+            // Mirror the upper triangle.
+            for a in 0..p {
+                for b in 0..a {
+                    let v = xtwx.get(b, a);
+                    xtwx.set(a, b, v);
+                }
+            }
+            let new_beta = xtwx.solve(&xtwz).ok_or(GlmError::Singular)?;
+            let delta = beta
+                .iter()
+                .zip(&new_beta)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            beta = new_beta;
+            if delta < TOL {
+                converged = true;
+                break;
+            }
+        }
+
+        let cov = xtwx.inverse().ok_or(GlmError::Singular)?;
+        let se: Vec<f64> = (0..p).map(|j| cov.get(j, j).max(0.0).sqrt()).collect();
+        let z: Vec<f64> = beta
+            .iter()
+            .zip(&se)
+            .map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 })
+            .collect();
+        let pvals: Vec<f64> = z.iter().map(|&z| normal_p_two_sided(z)).collect();
+
+        // Residual deviance: 2 Σ [y ln(y/μ̂) + (n−y) ln((n−y)/(n−μ̂))].
+        let mut deviance = 0.0;
+        for o in &self.rows {
+            let eta: f64 = (0..p).map(|j| design(o, j) * beta[j]).sum();
+            let mu = o.n / (1.0 + (-eta).exp());
+            let term = |obs: f64, fit: f64| -> f64 {
+                if obs <= 0.0 {
+                    0.0
+                } else {
+                    obs * (obs / fit.max(1e-300)).ln()
+                }
+            };
+            deviance += 2.0 * (term(o.y, mu) + term(o.n - o.y, o.n - mu));
+        }
+
+        Ok(GlmFit {
+            coef: beta,
+            se,
+            z,
+            p: pvals,
+            deviance,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-group design has a closed-form MLE:
+    /// intercept = logit(p₀), slope = logit(p₁) − logit(p₀),
+    /// SE(slope) = √(1/(n₀p₀q₀) + 1/(n₁p₁q₁)).
+    #[test]
+    fn two_group_exact_mle() {
+        let mut m = BinomialGlm::new();
+        m.push(&[0.0], 30, 100).push(&[1.0], 60, 100);
+        let fit = m.fit().expect("fit");
+        assert!(fit.converged);
+        let logit = |p: f64| (p / (1.0 - p)).ln();
+        assert!((fit.coef[0] - logit(0.3)).abs() < 1e-8, "{:?}", fit.coef);
+        assert!((fit.coef[1] - (logit(0.6) - logit(0.3))).abs() < 1e-8);
+        let se_expect = (1.0f64 / (100.0 * 0.3 * 0.7) + 1.0 / (100.0 * 0.6 * 0.4)).sqrt();
+        assert!((fit.se[1] - se_expect).abs() < 1e-8, "{:?}", fit.se);
+        // Saturated two-parameter model on two observations: deviance 0.
+        assert!(fit.deviance.abs() < 1e-8);
+    }
+
+    /// With data generated exactly on the model surface, IRLS recovers the
+    /// generating coefficients.
+    #[test]
+    fn recovers_continuous_coefficients() {
+        let (b0, b1) = (0.5, 0.8);
+        let mut m = BinomialGlm::new();
+        let n = 1_000_000u64;
+        for x in [-2.0, -1.0, 0.0, 1.0, 2.0] {
+            let p = 1.0 / (1.0 + (-(b0 + b1 * x) as f64).exp());
+            let y = (n as f64 * p).round() as u64;
+            m.push(&[x], y, n);
+        }
+        let fit = m.fit().expect("fit");
+        assert!((fit.coef[0] - b0).abs() < 1e-3, "{:?}", fit.coef);
+        assert!((fit.coef[1] - b1).abs() < 1e-3, "{:?}", fit.coef);
+    }
+
+    /// An indicator with no real effect gets a large p-value; the paper's
+    /// Figure 6b conclusion has this form.
+    #[test]
+    fn null_indicator_not_significant() {
+        let mut m = BinomialGlm::new();
+        // Same crossing profile for "cpu" (0) and "gpu" (1) across sizes.
+        for (x, frac) in [(1.0, 0.95), (2.0, 0.8), (3.0, 0.5), (4.0, 0.2)] {
+            for ind in [0.0, 1.0] {
+                let n = 1000u64;
+                let y = (n as f64 * frac) as u64;
+                m.push(&[x, ind], y, n);
+            }
+        }
+        let fit = m.fit().expect("fit");
+        assert!(fit.p[2] > 0.9, "indicator p = {}", fit.p[2]);
+        // The size covariate, in contrast, matters enormously.
+        assert!(fit.p[1] < 1e-10, "size p = {}", fit.p[1]);
+    }
+
+    #[test]
+    fn real_effect_is_detected() {
+        let mut m = BinomialGlm::new();
+        for (x, f_cpu, f_gpu) in [(1.0, 0.9, 0.6), (2.0, 0.8, 0.5), (3.0, 0.7, 0.4)] {
+            m.push(&[x, 0.0], (1000.0 * f_cpu) as u64, 1000);
+            m.push(&[x, 1.0], (1000.0 * f_gpu) as u64, 1000);
+        }
+        let fit = m.fit().expect("fit");
+        assert!(fit.p[2] < 1e-10, "indicator p = {}", fit.p[2]);
+        assert!(fit.coef[2] < 0.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            BinomialGlm::new().fit().unwrap_err(),
+            GlmError::TooFewObservations
+        );
+        let mut ragged = BinomialGlm::new();
+        ragged.push(&[1.0], 1, 2).push(&[1.0, 2.0], 1, 2);
+        assert_eq!(ragged.fit().unwrap_err(), GlmError::RaggedDesign);
+        let mut collinear = BinomialGlm::new();
+        // Constant covariate == intercept → singular.
+        collinear
+            .push(&[1.0], 10, 20)
+            .push(&[1.0], 12, 20)
+            .push(&[1.0], 8, 20);
+        assert_eq!(collinear.fit().unwrap_err(), GlmError::Singular);
+    }
+}

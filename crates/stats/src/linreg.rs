@@ -1,0 +1,135 @@
+//! Ordinary least squares, for trend summaries (e.g. "speedup declines
+//! with population" in Figure 5c).
+
+use crate::linalg::SmallMatrix;
+use crate::special::t_p_two_sided;
+
+/// A fitted OLS line (or plane).
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Coefficients `[intercept, slopes…]`.
+    pub coef: Vec<f64>,
+    /// Standard errors.
+    pub se: Vec<f64>,
+    /// t statistics.
+    pub t: Vec<f64>,
+    /// Two-sided p-values (t distribution, n − p df).
+    pub p: Vec<f64>,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Residual degrees of freedom.
+    pub df: f64,
+}
+
+#[allow(clippy::needless_range_loop)]
+/// Fit `y ~ 1 + x₁ + …` by OLS. `xs[i]` is observation i's covariates
+/// (without intercept). Returns `None` if the normal equations are
+/// singular or there are not more observations than coefficients.
+pub fn ols(xs: &[Vec<f64>], y: &[f64]) -> Option<OlsFit> {
+    let n = y.len();
+    if n == 0 || xs.len() != n {
+        return None;
+    }
+    let k = xs[0].len();
+    let p = k + 1;
+    if n <= p || xs.iter().any(|x| x.len() != k) {
+        return None;
+    }
+    let design = |i: usize, j: usize| -> f64 {
+        if j == 0 {
+            1.0
+        } else {
+            xs[i][j - 1]
+        }
+    };
+    let mut xtx = SmallMatrix::zeros(p);
+    let mut xty = vec![0.0; p];
+    for i in 0..n {
+        for a in 0..p {
+            let xa = design(i, a);
+            for b in a..p {
+                xtx.add(a, b, xa * design(i, b));
+            }
+            xty[a] += xa * y[i];
+        }
+    }
+    for a in 0..p {
+        for b in 0..a {
+            let v = xtx.get(b, a);
+            xtx.set(a, b, v);
+        }
+    }
+    let coef = xtx.solve(&xty)?;
+    let cov = xtx.inverse()?;
+
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..n {
+        let fit: f64 = (0..p).map(|j| design(i, j) * coef[j]).sum();
+        ss_res += (y[i] - fit) * (y[i] - fit);
+        ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+    }
+    let df = (n - p) as f64;
+    let sigma2 = ss_res / df;
+    let se: Vec<f64> = (0..p).map(|j| (sigma2 * cov.get(j, j)).max(0.0).sqrt()).collect();
+    let t: Vec<f64> = coef
+        .iter()
+        .zip(&se)
+        .map(|(c, s)| if *s > 0.0 { c / s } else { 0.0 })
+        .collect();
+    let pvals: Vec<f64> = t.iter().map(|&t| t_p_two_sided(t, df)).collect();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Some(OlsFit {
+        coef,
+        se,
+        t,
+        p: pvals,
+        r2,
+        df,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let fit = ols(&xs, &y).unwrap();
+        assert!((fit.coef[0] - 3.0).abs() < 1e-10);
+        assert!((fit.coef[1] - 2.0).abs() < 1e-10);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    /// Anscombe's first quartet: slope 0.5001, intercept 3.0001, R² 0.6665.
+    #[test]
+    fn anscombe_first_quartet() {
+        let x = [10.0, 8.0, 13.0, 9.0, 11.0, 14.0, 6.0, 4.0, 12.0, 7.0, 5.0];
+        let y = [
+            8.04, 6.95, 7.58, 8.81, 8.33, 9.96, 7.24, 4.26, 10.84, 4.82, 5.68,
+        ];
+        let xs: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let fit = ols(&xs, &y).unwrap();
+        assert!((fit.coef[1] - 0.5001).abs() < 1e-3, "{:?}", fit.coef);
+        assert!((fit.coef[0] - 3.0001).abs() < 1e-3, "{:?}", fit.coef);
+        assert!((fit.r2 - 0.6665).abs() < 1e-3, "r2 = {}", fit.r2);
+    }
+
+    #[test]
+    fn flat_data_slope_not_significant() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 5.1 } else { 4.9 }).collect();
+        let fit = ols(&xs, &y).unwrap();
+        assert!(fit.p[1] > 0.3, "slope p = {}", fit.p[1]);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(ols(&[], &[]).is_none());
+        let xs = vec![vec![1.0], vec![1.0]];
+        assert!(ols(&xs, &[1.0, 2.0]).is_none()); // n == p
+    }
+}

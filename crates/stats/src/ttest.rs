@@ -1,0 +1,142 @@
+//! Welch's and paired t-tests.
+
+use crate::describe::Summary;
+use crate::special::t_p_two_sided;
+
+/// Result of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for the unequal-variance
+    /// test; n−1 for the paired test).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+    /// Difference of means (x − y).
+    pub mean_diff: f64,
+}
+
+/// Welch's unequal-variance two-sample t-test.
+///
+/// Degenerate inputs (both variances zero) return `t = 0, p = 1` when the
+/// means are equal, and `t = ±inf, p = 0` otherwise.
+pub fn welch_t_test(x: &[f64], y: &[f64]) -> TTestResult {
+    assert!(x.len() >= 2 && y.len() >= 2, "need at least 2 observations per sample");
+    let sx = Summary::of(x);
+    let sy = Summary::of(y);
+    let vx = sx.var / sx.n as f64;
+    let vy = sy.var / sy.n as f64;
+    let mean_diff = sx.mean - sy.mean;
+    if vx + vy == 0.0 {
+        let (t, p) = if mean_diff == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY.copysign(mean_diff), 0.0)
+        };
+        return TTestResult {
+            t,
+            df: (sx.n + sy.n - 2) as f64,
+            p,
+            mean_diff,
+        };
+    }
+    let t = mean_diff / (vx + vy).sqrt();
+    let df = (vx + vy) * (vx + vy)
+        / (vx * vx / (sx.n as f64 - 1.0) + vy * vy / (sy.n as f64 - 1.0));
+    TTestResult {
+        t,
+        df,
+        p: t_p_two_sided(t, df),
+        mean_diff,
+    }
+}
+
+/// Paired-sample t-test on the per-pair differences.
+pub fn paired_t_test(x: &[f64], y: &[f64]) -> TTestResult {
+    assert_eq!(x.len(), y.len(), "paired test needs equal lengths");
+    assert!(x.len() >= 2, "need at least 2 pairs");
+    let diffs: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).collect();
+    let s = Summary::of(&diffs);
+    let df = (s.n - 1) as f64;
+    if s.sem == 0.0 {
+        let (t, p) = if s.mean == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY.copysign(s.mean), 0.0)
+        };
+        return TTestResult {
+            t,
+            df,
+            p,
+            mean_diff: s.mean,
+        };
+    }
+    let t = s.mean / s.sem;
+    TTestResult {
+        t,
+        df,
+        p: t_p_two_sided(t, df),
+        mean_diff: s.mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = welch_t_test(&x, &x);
+        assert!(r.t.abs() < 1e-12);
+        assert!((r.p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clearly_shifted_samples_significant() {
+        let x = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02];
+        let y = [5.0, 5.1, 4.9, 5.05, 4.95, 5.02];
+        let r = welch_t_test(&x, &y);
+        assert!(r.p < 1e-6, "p = {}", r.p);
+        assert!(r.mean_diff < 0.0);
+    }
+
+    /// Hand-checked Welch example:
+    /// x̄ = 20.6, s²ₓ = 1.3; ȳ = 22.2, s²ᵧ = 0.7 →
+    /// t = −1.6/√0.4 = −2.529822…, df = 0.16/0.0218 = 7.33945…
+    #[test]
+    fn welch_hand_checked() {
+        let x = [19.0, 20.0, 21.0, 22.0, 21.0];
+        let y = [23.0, 22.0, 21.0, 22.0, 23.0];
+        let r = welch_t_test(&x, &y);
+        assert!((r.t + 1.6 / 0.4f64.sqrt()).abs() < 1e-9, "t = {}", r.t);
+        assert!((r.df - 0.16 / 0.0218).abs() < 1e-9, "df = {}", r.df);
+        // p for |t| = 2.53 at df ≈ 7.34 lands near 0.039.
+        assert!((0.030..0.048).contains(&r.p), "p = {}", r.p);
+    }
+
+    /// Paired test, hand-checked: diffs = [0.3, 0.2, 0.4, 0.3],
+    /// mean 0.3, var 0.02/3 → t = 0.3/(√(0.02/3)/2) = 7.348469…, df = 3.
+    #[test]
+    fn paired_hand_checked() {
+        let x = [5.1, 4.9, 6.0, 5.5];
+        let y = [4.8, 4.7, 5.6, 5.2];
+        let r = paired_t_test(&x, &y);
+        let expect_t = 0.3 / ((0.02f64 / 3.0).sqrt() / 2.0);
+        assert!((r.t - expect_t).abs() < 1e-9, "t = {}", r.t);
+        assert_eq!(r.df, 3.0);
+        assert!((0.002..0.010).contains(&r.p), "p = {}", r.p);
+    }
+
+    #[test]
+    fn degenerate_zero_variance() {
+        let x = [2.0, 2.0, 2.0];
+        let y = [2.0, 2.0, 2.0];
+        let r = welch_t_test(&x, &y);
+        assert_eq!(r.p, 1.0);
+        let z = [3.0, 3.0, 3.0];
+        let r = welch_t_test(&x, &z);
+        assert_eq!(r.p, 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Lane formation in bi-directional flow: the mechanism behind the
+//! paper's Figure-6a result. ACO's pheromone trails make same-direction
+//! pedestrians follow each other, so opposing streams self-organise into
+//! lanes (Helbing et al.'s classic observation, paper ref. [24]); LEM has
+//! no such coupling. This example tracks the lane index over time for
+//! both models at a density where the effect decides throughput.
+//!
+//! ```text
+//! cargo run --release --example lane_formation
+//! ```
+
+use pedsim::core::metrics::lane_index;
+use pedsim::prelude::*;
+
+fn main() {
+    let env = EnvConfig::small(72, 72, 700).with_seed(31); // ~27 % fill
+    let device = simt::Device::parallel();
+    let checkpoints = [50u64, 100, 200, 400, 800, 1_600];
+
+    println!("lane index over time (0 = mixed, 1 = segregated columns)\n");
+    println!("{:>8} {:>10} {:>10}", "step", "LEM", "ACO");
+
+    let mut lem = GpuEngine::new(SimConfig::new(env, ModelKind::lem()), device.clone());
+    let mut aco = GpuEngine::new(SimConfig::new(env, ModelKind::aco()), device.clone());
+    let mut done = 0u64;
+    for &cp in &checkpoints {
+        let burst = cp - done;
+        lem.run(burst);
+        aco.run(burst);
+        done = cp;
+        println!(
+            "{:>8} {:>10.3} {:>10.3}",
+            cp,
+            lane_index(&lem.mat_snapshot()),
+            lane_index(&aco.mat_snapshot())
+        );
+    }
+
+    let lem_m = lem.metrics().expect("metrics");
+    let aco_m = aco.metrics().expect("metrics");
+    println!(
+        "\nthroughput after {} steps — LEM: {}, ACO: {}",
+        done,
+        lem_m.throughput(),
+        aco_m.throughput()
+    );
+    println!(
+        "\nthe ACO column should climb faster and higher: trails are the \
+         lane-formation mechanism, and lanes are why ACO sustains throughput \
+         at medium density where LEM collapses (paper Fig. 6a, density 10+)."
+    );
+}

@@ -1,0 +1,19 @@
+//! # pedsim — facade crate
+//!
+//! Re-exports the whole workspace behind one dependency. See the README for
+//! the architecture overview and `DESIGN.md` for the paper mapping.
+
+#![warn(missing_docs)]
+
+pub use pedsim_core as core;
+pub use pedsim_grid as grid;
+pub use pedsim_stats as stats;
+pub use philox;
+pub use simt;
+
+/// The commonly-used surface of the whole workspace.
+pub mod prelude {
+    pub use pedsim_core::prelude::*;
+}
+
+pub use prelude::*;
