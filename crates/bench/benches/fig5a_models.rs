@@ -13,18 +13,14 @@ fn bench_models(c: &mut Criterion) {
     let device = Device::parallel();
     for &agents in &[2_560usize, 25_600] {
         for (name, model) in [("LEM", ModelKind::lem()), ("ACO", ModelKind::aco())] {
-            group.bench_with_input(
-                BenchmarkId::new(name, agents),
-                &agents,
-                |b, &agents| {
-                    let env = EnvConfig::small(480, 480, agents / 2).with_seed(1);
-                    let cfg = SimConfig::new(env, model)
-                        .with_checked(false)
-                        .with_metrics(false);
-                    let mut engine = GpuEngine::new(cfg, device.clone());
-                    b.iter(|| engine.step());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, agents), &agents, |b, &agents| {
+                let env = EnvConfig::small(480, 480, agents / 2).with_seed(1);
+                let cfg = SimConfig::new(env, model)
+                    .with_checked(false)
+                    .with_metrics(false);
+                let mut engine = GpuEngine::new(cfg, device.clone());
+                b.iter(|| engine.step());
+            });
         }
     }
     group.finish();

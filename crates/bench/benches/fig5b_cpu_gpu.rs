@@ -15,11 +15,11 @@ fn bench_cpu_vs_gpu(c: &mut Criterion) {
             .with_checked(false)
             .with_metrics(false);
         group.bench_with_input(BenchmarkId::new("cpu", agents), &agents, |b, _| {
-            let mut engine = CpuEngine::new(cfg);
+            let mut engine = CpuEngine::new(cfg.clone());
             b.iter(|| engine.step());
         });
         group.bench_with_input(BenchmarkId::new("gpu", agents), &agents, |b, _| {
-            let mut engine = GpuEngine::new(cfg, device.clone());
+            let mut engine = GpuEngine::new(cfg.clone(), device.clone());
             b.iter(|| engine.step());
         });
     }

@@ -1,0 +1,49 @@
+//! Criterion bench for flow-field construction at the paper's 480×480
+//! scale: the one-time data-preparation cost a scenario world adds over
+//! the row-table fast path, for three obstacle densities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pedsim_grid::{DistanceTables, GridDistanceField};
+use pedsim_scenario::registry;
+
+fn bench_flow_field(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_field_480");
+    group.sample_size(10);
+
+    // Baseline: the paper's row tables (2·480·8 entries, closed form).
+    group.bench_function("row_tables", |b| {
+        b.iter(|| black_box(DistanceTables::new(480)));
+    });
+
+    // Dijkstra flow fields over 2·480·480 cells.
+    for (name, scenario) in [
+        (
+            "open",
+            registry::paper_corridor(&pedsim_grid::EnvConfig::paper(25_600)),
+        ),
+        ("doorway_gap8", registry::doorway(480, 480, 12_800, 8)),
+        ("pillar_hall", registry::pillar_hall(480, 480, 12_800, 6)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("grid_dijkstra", name),
+            &scenario,
+            |b, s| {
+                b.iter(|| {
+                    black_box(GridDistanceField::compute(
+                        s.height(),
+                        s.width(),
+                        |r, c| s.is_wall(r, c),
+                        [
+                            s.target(pedsim_grid::Group::Top).cells(),
+                            s.target(pedsim_grid::Group::Bottom).cells(),
+                        ],
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_field);
+criterion_main!(benches);

@@ -4,14 +4,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pedsim_bench::ablation;
 use pedsim_core::kernels::{DeviceState, InitialCalcKernel, MovementKernel, TourKernel};
-use pedsim_core::prelude::*;
 use pedsim_core::params::ModelKind;
+use pedsim_core::prelude::*;
 use simt::exec::LaunchConfig;
 use simt::{Device, Dim2};
 
 fn bench_kernels(c: &mut Criterion) {
     let env = Environment::new(&EnvConfig::small(480, 480, 12_800).with_seed(7));
-    let state = DeviceState::upload(&env, ModelKind::aco(), false);
+    let dist = pedsim_grid::DistanceData::rows(env.height());
+    let state = DeviceState::upload(&env, &dist, ModelKind::aco(), false);
     let device = Device::parallel();
     let cells = LaunchConfig::tiled_over(Dim2::square(480), Dim2::square(16)).with_seed(7);
     let rows = LaunchConfig::new(
@@ -30,7 +31,7 @@ fn bench_kernels(c: &mut Criterion) {
                 h: state.h,
                 mat_in: state.mat[0].as_slice(),
                 index_in: state.index[0].as_slice(),
-                dist: state.dist.as_slice(),
+                dist: state.dist_ref(),
                 pher_in: state
                     .pher
                     .as_ref()
@@ -39,6 +40,7 @@ fn bench_kernels(c: &mut Criterion) {
                 scan_val: state.scan_val.view(),
                 scan_idx: state.scan_idx.view(),
                 front: state.front.view(),
+                front_k: state.front_k.view(),
             };
             device.launch(&cells, &k).expect("launch");
         })
@@ -48,10 +50,10 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             let k = TourKernel {
                 n: state.n,
-                n_per_side: state.n_per_side,
                 scan_val: state.scan_val.as_slice(),
                 scan_idx: state.scan_idx.as_slice(),
                 front: state.front.as_slice(),
+                front_k: state.front_k.as_slice(),
                 row: state.row.as_slice(),
                 col: state.col.as_slice(),
                 future_row: state.future_row.view(),

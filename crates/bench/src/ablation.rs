@@ -34,32 +34,32 @@ use crate::report::{f3, secs, Table};
 /// once), ready for movement-kernel experiments.
 fn prepared_state(side: usize, agents: usize, seed: u64) -> DeviceState {
     let env = Environment::new(&EnvConfig::small(side, side, agents / 2).with_seed(seed));
-    let state = DeviceState::upload(&env, ModelKind::lem(), false);
+    let dist = pedsim_grid::DistanceData::rows(env.height());
+    let state = DeviceState::upload(&env, &dist, ModelKind::lem(), false);
     let device = Device::sequential();
     let calc = InitialCalcKernel {
         w: state.w,
         h: state.h,
         mat_in: state.mat[0].as_slice(),
         index_in: state.index[0].as_slice(),
-        dist: state.dist.as_slice(),
+        dist: state.dist_ref(),
         pher_in: None,
         model: ModelKind::lem(),
         scan_val: state.scan_val.view(),
         scan_idx: state.scan_idx.view(),
         front: state.front.view(),
+        front_k: state.front_k.view(),
     };
-    let cells = LaunchConfig::tiled_over(
-        Dim2::new(state.w as u32, state.h as u32),
-        Dim2::square(16),
-    )
-    .with_seed(seed);
+    let cells =
+        LaunchConfig::tiled_over(Dim2::new(state.w as u32, state.h as u32), Dim2::square(16))
+            .with_seed(seed);
     device.launch(&cells, &calc).expect("calc");
     let tour = TourKernel {
         n: state.n,
-        n_per_side: state.n_per_side,
         scan_val: state.scan_val.as_slice(),
         scan_idx: state.scan_idx.as_slice(),
         front: state.front.as_slice(),
+        front_k: state.front_k.as_slice(),
         row: state.row.as_slice(),
         col: state.col.as_slice(),
         future_row: state.future_row.view(),
@@ -97,12 +97,10 @@ pub fn movement_variants(side: usize, agents: usize, reps: usize) -> MovementAbl
         .policy(ExecPolicy::parallel_auto())
         .profiling(true)
         .build();
-    let cells = LaunchConfig::tiled_over(
-        Dim2::new(state.w as u32, state.h as u32),
-        Dim2::square(16),
-    )
-    .with_seed(97)
-    .with_salt(3);
+    let cells =
+        LaunchConfig::tiled_over(Dim2::new(state.w as u32, state.h as u32), Dim2::square(16))
+            .with_seed(97)
+            .with_salt(3);
     let rows_cfg = LaunchConfig::new(
         Dim2::new((state.n as u32).div_ceil(256), 1),
         Dim2::new(256, 1),
@@ -142,7 +140,11 @@ pub fn movement_variants(side: usize, agents: usize, reps: usize) -> MovementAbl
     // Atomic CAS: mutates in place → reload outside the timed region.
     let mat_atomic = AtomicBuffer::new(state.w * state.h, 0);
     let index_atomic = AtomicBuffer::new(state.w * state.h, 0);
-    let mat_src: Vec<u32> = state.mat[0].as_slice().iter().map(|&v| u32::from(v)).collect();
+    let mat_src: Vec<u32> = state.mat[0]
+        .as_slice()
+        .iter()
+        .map(|&v| u32::from(v))
+        .collect();
     let index_src: Vec<u32> = state.index[0].as_slice().to_vec();
     let row_scratch = ScatterBuffer::from_vec(state.row.as_slice().to_vec(), false);
     let col_scratch = ScatterBuffer::from_vec(state.col.as_slice().to_vec(), false);
@@ -220,7 +222,11 @@ impl BlockKernel for BranchlessKernel<'_> {
             let i = t.global_linear();
             if i < self.data.len() {
                 let x = self.data[i];
-                let v = t.select(x.is_multiple_of(2), x / 2, x.wrapping_mul(3).wrapping_add(1));
+                let v = t.select(
+                    x.is_multiple_of(2),
+                    x / 2,
+                    x.wrapping_mul(3).wrapping_add(1),
+                );
                 t.alu(2);
                 self.out.write(i, v);
             }
@@ -234,7 +240,9 @@ impl BlockKernel for BranchlessKernel<'_> {
 /// Divergence-profile comparison of the two styles; returns
 /// `(branchy, branchless)` profiles over one launch each.
 pub fn divergence_demo(cells: usize) -> (KernelProfile, KernelProfile) {
-    let data: Vec<u32> = (0..cells as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let data: Vec<u32> = (0..cells as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     let out = ScatterBuffer::<u32>::zeroed(cells, false);
     let device = Device::builder()
         .policy(ExecPolicy::Sequential)
@@ -246,13 +254,25 @@ pub fn divergence_demo(cells: usize) -> (KernelProfile, KernelProfile) {
     );
     out.begin_epoch();
     let branchy = device
-        .launch(&cfg, &BranchyKernel { data: &data, out: out.view() })
+        .launch(
+            &cfg,
+            &BranchyKernel {
+                data: &data,
+                out: out.view(),
+            },
+        )
         .expect("branchy")
         .profile
         .expect("profiling on");
     out.begin_epoch();
     let branchless = device
-        .launch(&cfg, &BranchlessKernel { data: &data, out: out.view() })
+        .launch(
+            &cfg,
+            &BranchlessKernel {
+                data: &data,
+                out: out.view(),
+            },
+        )
         .expect("branchless")
         .profile
         .expect("profiling on");
@@ -287,7 +307,7 @@ struct UntiledCalcKernel<'a> {
     h: usize,
     mat_in: &'a [u8],
     index_in: &'a [u32],
-    dist: &'a [f32],
+    dist: pedsim_grid::DistRef<'a>,
     scan_val: ScatterView<'a, f32>,
     scan_idx: ScatterView<'a, u8>,
     front: ScatterView<'a, u8>,
@@ -304,13 +324,14 @@ impl BlockKernel for UntiledCalcKernel<'_> {
                 let occ = |rr: i64, cc: i64| mat.get_or(rr, cc, CELL_WALL);
                 if let Some(g) = Group::from_label(occ(ri, ci)) {
                     let a = self.index_in[r as usize * w + c as usize] as usize;
-                    let row = lem_scan_row(&occ, self.dist, h, g, ri, ci, 1);
+                    let row = lem_scan_row(&occ, self.dist, g, ri, ci, 1);
                     t.note_global_loads(10);
                     for s in 0..8 {
                         self.scan_val.write(a * 8 + s, row.vals[s]);
                         self.scan_idx.write(a * 8 + s, row.idxs[s]);
                     }
-                    self.front.write(a, front_status(&occ, g, ri, ci));
+                    let fk = self.dist.front_k(g, ri, ci);
+                    self.front.write(a, front_status(&occ, fk, ri, ci));
                 }
             }
         });
@@ -338,10 +359,8 @@ pub fn tiled_variants(side: usize, agents: usize, reps: usize) -> TiledAblation 
         .policy(ExecPolicy::parallel_auto())
         .profiling(true)
         .build();
-    let cells = LaunchConfig::tiled_over(
-        Dim2::new(state.w as u32, state.h as u32),
-        Dim2::square(16),
-    );
+    let cells =
+        LaunchConfig::tiled_over(Dim2::new(state.w as u32, state.h as u32), Dim2::square(16));
     let mut tiled_time = Duration::ZERO;
     let mut direct_time = Duration::ZERO;
     let mut tiled_profile = KernelProfile::default();
@@ -352,12 +371,13 @@ pub fn tiled_variants(side: usize, agents: usize, reps: usize) -> TiledAblation 
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
-            dist: state.dist.as_slice(),
+            dist: state.dist_ref(),
             pher_in: None,
             model: ModelKind::lem(),
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),
             front: state.front.view(),
+            front_k: state.front_k.view(),
         };
         let s = device.launch(&cells, &k).expect("tiled");
         tiled_time += s.duration;
@@ -369,7 +389,7 @@ pub fn tiled_variants(side: usize, agents: usize, reps: usize) -> TiledAblation 
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
-            dist: state.dist.as_slice(),
+            dist: state.dist_ref(),
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),
             front: state.front.view(),
@@ -453,7 +473,12 @@ pub fn movement_table(a: &MovementAblation) -> Table {
     let model = CycleModel::default();
     let fermi = DeviceProps::gtx_560_ti_448();
     let (gp, ap) = &a.profiles;
-    let mut t = Table::new(vec!["variant", "host_time_s", "atomic_ops", "modelled_fermi_us"]);
+    let mut t = Table::new(vec![
+        "variant",
+        "host_time_s",
+        "atomic_ops",
+        "modelled_fermi_us",
+    ]);
     t.push_row(vec![
         "scatter-to-gather (paper)".to_string(),
         secs(a.gather_time),

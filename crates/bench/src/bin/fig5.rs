@@ -68,7 +68,11 @@ fn main() {
             "\nhost workers: {workers} (the wall-clock speedup ceiling of this \
              substrate; the paper's ceiling was 448 CUDA cores → 18x…11x)"
         );
-        let profile_steps = if matches!(scale, pedsim_bench::Scale::Smoke) { 2 } else { 5 };
+        let profile_steps = if matches!(scale, pedsim_bench::Scale::Smoke) {
+            2
+        } else {
+            5
+        };
         emit(
             &format!("fig5c_modeled_{}", scale.label()),
             "Figure 5b/5c — modelled on the paper's hardware (GTX 560 Ti vs i7-930, cycle model)",

@@ -142,7 +142,12 @@ pub fn overall_aco_gain(rows: &[Fig6aRow]) -> f64 {
 
 /// Render Fig. 6a.
 pub fn table_6a(rows: &[Fig6aRow]) -> Table {
-    let mut t = Table::new(vec!["density", "agents", "lem_throughput", "aco_throughput"]);
+    let mut t = Table::new(vec![
+        "density",
+        "agents",
+        "lem_throughput",
+        "aco_throughput",
+    ]);
     for r in rows {
         t.push_row(vec![
             r.density.to_string(),
@@ -237,7 +242,12 @@ pub fn run_6b(cfg: &Fig6Config) -> Fig6bAnalysis {
 
 /// Render Fig. 6b's series.
 pub fn table_6b(analysis: &Fig6bAnalysis) -> Table {
-    let mut t = Table::new(vec!["density", "agents", "cpu_throughput", "gpu_throughput"]);
+    let mut t = Table::new(vec![
+        "density",
+        "agents",
+        "cpu_throughput",
+        "gpu_throughput",
+    ]);
     for r in &analysis.rows {
         t.push_row(vec![
             r.density.to_string(),

@@ -61,13 +61,29 @@ pub fn property_schema() -> Table {
     let mut t = Table::new(vec!["field", "description", "this reproduction"]);
     for (f, d, r) in [
         ("ID", "identity of the pedestrian, 1 or 2", "props.id (u8)"),
-        ("INDEX NO", "index into the property/scan matrices", "implicit (row number)"),
+        (
+            "INDEX NO",
+            "index into the property/scan matrices",
+            "implicit (row number)",
+        ),
         ("ROW", "present row position", "props.row (u16)"),
         ("COLUMN", "present column position", "props.col (u16)"),
         ("EMPTY", "unused", "dropped"),
-        ("FUTURE ROW", "chosen next row, reset each step", "props.future_row (u16, NO_FUTURE sentinel)"),
-        ("FUTURE COLUMN", "chosen next column", "props.future_col (u16)"),
-        ("FRONT CELL", "contents of the forward cell", "props.front (u8)"),
+        (
+            "FUTURE ROW",
+            "chosen next row, reset each step",
+            "props.future_row (u16, NO_FUTURE sentinel)",
+        ),
+        (
+            "FUTURE COLUMN",
+            "chosen next column",
+            "props.future_col (u16)",
+        ),
+        (
+            "FRONT CELL",
+            "contents of the forward cell",
+            "props.front (u8)",
+        ),
     ] {
         t.push_row(vec![f, d, r]);
     }

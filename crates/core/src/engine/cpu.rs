@@ -10,7 +10,7 @@
 use pedsim_grid::cell::{Group, CELL_EMPTY, CELL_WALL, NEIGHBOR_OFFSETS};
 use pedsim_grid::property::NO_FUTURE;
 use pedsim_grid::scan::{ScanMatrix, TourLengths};
-use pedsim_grid::{DistanceTables, EnvConfig, Environment, Matrix, PheromoneField};
+use pedsim_grid::{DistanceData, EnvConfig, Environment, Matrix, PheromoneField};
 use philox::StreamRng;
 
 use crate::metrics::{Geometry, Metrics};
@@ -18,7 +18,7 @@ use crate::model::{aco_scan_row, aco_select, front_status, gather_winner};
 use crate::model::{lem_scan_row, lem_select, ScanRow};
 use crate::params::{ModelKind, SimConfig};
 
-use super::{Engine, KERNEL_MOVE, KERNEL_TOUR};
+use super::{build_world, Engine, KERNEL_MOVE, KERNEL_TOUR};
 
 /// The sequential reference engine.
 pub struct CpuEngine {
@@ -31,16 +31,17 @@ pub struct CpuEngine {
     tour: TourLengths,
     pher: Option<PheromoneField>,
     pher_next: Option<PheromoneField>,
-    dist: DistanceTables,
+    dist: std::sync::Arc<DistanceData>,
     seed: u64,
     step_no: u64,
     metrics: Option<Metrics>,
 }
 
 impl CpuEngine {
-    /// Build the engine (runs the data-preparation stage, §IV.a).
+    /// Build the engine (runs the data-preparation stage, §IV.a — from the
+    /// attached scenario when present, else the classic corridor).
     pub fn new(cfg: SimConfig) -> Self {
-        let env = Environment::new(&cfg.env);
+        let (env, dist) = build_world(&cfg);
         let geom = Geometry {
             width: env.width(),
             height: env.height(),
@@ -48,7 +49,6 @@ impl CpuEngine {
             agents_per_side: env.agents_per_side,
         };
         let n = env.total_agents();
-        let dist = DistanceTables::new(env.height());
         let (pher, pher_next) = match cfg.model {
             ModelKind::Aco(p) => (
                 Some(PheromoneField::new(env.height(), env.width(), p.tau0)),
@@ -57,9 +57,10 @@ impl CpuEngine {
             ModelKind::Lem(_) => (None, None),
         };
         let metrics = cfg.track_metrics.then(|| {
-            Metrics::new(geom, &env.props.row, &env.props.col)
+            Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col)
         });
         let (h, w) = (env.height(), env.width());
+        let seed = cfg.env.seed;
         Self {
             cfg,
             geom,
@@ -70,7 +71,7 @@ impl CpuEngine {
             pher,
             pher_next,
             dist,
-            seed: cfg.env.seed,
+            seed,
             step_no: 0,
             metrics,
             env,
@@ -115,6 +116,7 @@ impl CpuEngine {
         // matrix and record the front-cell status.
         let (h, w) = (self.geom.height, self.geom.width);
         let mat = &self.env.mat;
+        let dist = self.dist.dist_ref();
         let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
         for r in 0..h {
             for c in 0..w {
@@ -125,36 +127,23 @@ impl CpuEngine {
                 let label = mat.get(r, c);
                 let g = Group::from_label(label).expect("indexed cell has group label");
                 let row: ScanRow = match self.cfg.model {
-                    ModelKind::Lem(p) => lem_scan_row(
-                        &occ,
-                        self.dist.as_slice(),
-                        h,
-                        g,
-                        r as i64,
-                        c as i64,
-                        p.scan_range,
-                    ),
+                    ModelKind::Lem(p) => {
+                        lem_scan_row(&occ, dist, g, r as i64, c as i64, p.scan_range)
+                    }
                     ModelKind::Aco(p) => {
                         let field = self.pher.as_ref().expect("ACO has pheromone");
                         let tf = field.of(g);
                         let tau = |rr: i64, cc: i64| tf.get_or(rr, cc, 0.0);
-                        aco_scan_row(
-                            &occ,
-                            &tau,
-                            self.dist.as_slice(),
-                            h,
-                            &p,
-                            g,
-                            r as i64,
-                            c as i64,
-                        )
+                        aco_scan_row(&occ, &tau, dist, &p, g, r as i64, c as i64)
                     }
                 };
                 let ai = a as usize;
                 for slot in 0..8 {
                     self.scan.set(ai, slot, row.vals[slot], row.idxs[slot]);
                 }
-                self.env.props.front[ai] = front_status(&occ, g, r as i64, c as i64);
+                let fk = dist.front_k(g, r as i64, c as i64);
+                self.env.props.front[ai] = front_status(&occ, fk, r as i64, c as i64);
+                self.env.props.front_k[ai] = fk as u8;
             }
         }
     }
@@ -164,16 +153,16 @@ impl CpuEngine {
         let salt = self.step_no * 4 + KERNEL_TOUR;
         let n = self.geom.total_agents();
         for i in 1..=n {
-            let g = self.geom.group_of(i);
             let mut rng = StreamRng::with_offset(self.seed, i as u64, salt << 4);
             let row = ScanRow {
                 vals: self.scan.row_vals(i).try_into().expect("8 slots"),
                 idxs: self.scan.row_idxs(i).try_into().expect("8 slots"),
             };
             let front = self.env.props.front[i];
+            let front_k = self.env.props.front_k[i] as usize;
             let k = match self.cfg.model {
-                ModelKind::Lem(p) => lem_select(&row, front, g, &p, &mut rng),
-                ModelKind::Aco(p) => aco_select(&row, front, g, &p, &mut rng),
+                ModelKind::Lem(p) => lem_select(&row, front, front_k, &p, &mut rng),
+                ModelKind::Aco(p) => aco_select(&row, front, front_k, &p, &mut rng),
             };
             match k {
                 Some(k) => {
@@ -210,8 +199,7 @@ impl CpuEngine {
                 for c in 0..w {
                     let lin = (r * w + c) as u64;
                     let mut rng = StreamRng::with_offset(self.seed, lin, counter_base);
-                    let arrival =
-                        gather_winner(&occ, &idx, &fut, r as i64, c as i64, &mut rng);
+                    let arrival = gather_winner(&occ, &idx, &fut, r as i64, c as i64, &mut rng);
                     let own = index.get(r, c);
                     let (new_label, new_index) = if let Some(arr) = arrival {
                         (props.id[arr.agent as usize], arr.agent)
@@ -252,12 +240,8 @@ impl CpuEngine {
                         };
                         let pin = self.pher.as_ref().expect("ACO pheromone");
                         let pout = self.pher_next.as_mut().expect("ACO pheromone");
-                        let t = PheromoneField::fused_update(
-                            pin.top.get(r, c),
-                            p.tau0,
-                            p.rho,
-                            dep_top,
-                        );
+                        let t =
+                            PheromoneField::fused_update(pin.top.get(r, c), p.tau0, p.rho, dep_top);
                         let b = PheromoneField::fused_update(
                             pin.bottom.get(r, c),
                             p.tau0,

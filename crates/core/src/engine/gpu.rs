@@ -20,7 +20,7 @@ use crate::kernels::{DeviceState, InitKernel, InitialCalcKernel, MovementKernel,
 use crate::metrics::{Geometry, Metrics};
 use crate::params::{ModelKind, SimConfig};
 
-use super::Engine;
+use super::{build_world, Engine};
 
 /// Per-kernel cumulative timing/profile, indexed init/calc/tour/move.
 #[derive(Debug, Clone, Default)]
@@ -44,19 +44,21 @@ pub struct GpuEngine {
 }
 
 impl GpuEngine {
-    /// Build the engine on `device` (runs data preparation and upload).
+    /// Build the engine on `device` (runs data preparation and upload —
+    /// from the attached scenario when present, else the classic
+    /// corridor).
     pub fn new(cfg: SimConfig, device: Device) -> Self {
-        let env = Environment::new(&cfg.env);
+        let (env, dist) = build_world(&cfg);
         let geom = Geometry {
             width: env.width(),
             height: env.height(),
             spawn_rows: env.spawn_rows,
             agents_per_side: env.agents_per_side,
         };
-        let state = DeviceState::upload(&env, cfg.model, cfg.checked);
-        let metrics = cfg
-            .track_metrics
-            .then(|| Metrics::new(geom, &env.props.row, &env.props.col));
+        let state = DeviceState::upload(&env, &dist, cfg.model, cfg.checked);
+        let metrics = cfg.track_metrics.then(|| {
+            Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col)
+        });
         Self {
             cfg,
             geom,
@@ -106,7 +108,11 @@ impl GpuEngine {
         let cur = self.state.cur;
         Some((
             Matrix::from_vec(self.state.h, self.state.w, p.top[cur].as_slice().to_vec()),
-            Matrix::from_vec(self.state.h, self.state.w, p.bottom[cur].as_slice().to_vec()),
+            Matrix::from_vec(
+                self.state.h,
+                self.state.w,
+                p.bottom[cur].as_slice().to_vec(),
+            ),
         ))
     }
 
@@ -165,6 +171,7 @@ impl Engine for GpuEngine {
         st.scan_val.begin_epoch();
         st.scan_idx.begin_epoch();
         st.front.begin_epoch();
+        st.front_k.begin_epoch();
         let pher_in = st
             .pher
             .as_ref()
@@ -174,12 +181,13 @@ impl Engine for GpuEngine {
             h: st.h,
             mat_in: st.mat[cur].as_slice(),
             index_in: st.index[cur].as_slice(),
-            dist: st.dist.as_slice(),
+            dist: st.dist_ref(),
             pher_in,
             model: self.cfg.model,
             scan_val: st.scan_val.view(),
             scan_idx: st.scan_idx.view(),
             front: st.front.view(),
+            front_k: st.front_k.view(),
         };
         let stats = self
             .device
@@ -195,10 +203,10 @@ impl Engine for GpuEngine {
         st.future_col.begin_epoch();
         let tour = TourKernel {
             n: st.n,
-            n_per_side: st.n_per_side,
             scan_val: st.scan_val.as_slice(),
             scan_idx: st.scan_idx.as_slice(),
             front: st.front.as_slice(),
+            front_k: st.front_k.as_slice(),
             row: st.row.as_slice(),
             col: st.col.as_slice(),
             future_row: st.future_row.view(),

@@ -16,10 +16,27 @@
 pub mod cpu;
 pub mod gpu;
 
-use pedsim_grid::Matrix;
+use std::sync::Arc;
+
+use pedsim_grid::{DistanceData, Environment, Matrix};
 
 use crate::metrics::Metrics;
-use crate::params::ModelKind;
+use crate::params::{ModelKind, SimConfig};
+
+/// Materialise the configured world: the declarative scenario when one is
+/// attached (walls, regions, row-fast-path or flow-field routing), else
+/// the paper's classic corridor from the `EnvConfig` alone. Both engines
+/// run the data-preparation stage through this single door so they always
+/// agree on the world they simulate.
+pub(crate) fn build_world(cfg: &SimConfig) -> (Environment, Arc<DistanceData>) {
+    match &cfg.scenario {
+        Some(s) => (s.build_environment(), s.distance_data()),
+        None => (
+            Environment::new(&cfg.env),
+            Arc::new(DistanceData::rows(cfg.env.height)),
+        ),
+    }
+}
 
 /// Salted kernel indices within a step: `salt = step * 4 + KERNEL_*`.
 pub(crate) const KERNEL_TOUR: u64 = 2;

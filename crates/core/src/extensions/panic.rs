@@ -156,7 +156,7 @@ mod tests {
             beta_factor: 2.0,
         });
         let c = cfg(ModelKind::aco(), 13);
-        let mut cpu = CpuEngine::new(c);
+        let mut cpu = CpuEngine::new(c.clone());
         let mut gpu = GpuEngine::new(c, Device::parallel());
         alarm.run(&mut cpu, 25);
         alarm.run(&mut gpu, 25);

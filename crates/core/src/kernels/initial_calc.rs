@@ -11,6 +11,7 @@
 
 use pedsim_grid::cell::Group;
 use pedsim_grid::cell::CELL_WALL;
+use pedsim_grid::DistRef;
 use simt::exec::{BlockCtx, BlockKernel};
 use simt::memory::ScatterView;
 use simt::Dim2;
@@ -28,8 +29,8 @@ pub struct InitialCalcKernel<'a> {
     pub mat_in: &'a [u8],
     /// Current agent indices (own-cell read).
     pub index_in: &'a [u32],
-    /// Constant-memory distance tables.
-    pub dist: &'a [f32],
+    /// Constant-memory distance field (layout-tagged view).
+    pub dist: DistRef<'a>,
     /// Current pheromone fields (ACO): `(top, bottom)`.
     pub pher_in: Option<(&'a [f32], &'a [f32])>,
     /// Movement model.
@@ -38,8 +39,10 @@ pub struct InitialCalcKernel<'a> {
     pub scan_val: ScatterView<'a, f32>,
     /// Scan indices out.
     pub scan_idx: ScatterView<'a, u8>,
-    /// FRONT CELL out.
+    /// FRONT CELL status out.
     pub front: ScatterView<'a, u8>,
+    /// FRONT CELL neighbour slot out.
+    pub front_k: ScatterView<'a, u8>,
 }
 
 impl InitialCalcKernel<'_> {
@@ -78,22 +81,22 @@ impl BlockKernel for InitialCalcKernel<'_> {
                     t.note_global_loads(1);
                     debug_assert!(a > 0, "occupied cell must be indexed");
                     let row = match self.model {
-                        ModelKind::Lem(p) => {
-                            lem_scan_row(&occ, self.dist, h, g, ri, ci, p.scan_range)
-                        }
+                        ModelKind::Lem(p) => lem_scan_row(&occ, self.dist, g, ri, ci, p.scan_range),
                         ModelKind::Aco(p) => {
                             let tile = pher_tile.as_ref().expect("ACO pheromone tile");
                             let which = g.index();
                             let tau = |rr: i64, cc: i64| tile.get(which, rr, cc);
-                            aco_scan_row(&occ, &tau, self.dist, h, &p, g, ri, ci)
+                            aco_scan_row(&occ, &tau, self.dist, &p, g, ri, ci)
                         }
                     };
                     for s in 0..8 {
                         self.scan_val.write(a * 8 + s, row.vals[s]);
                         self.scan_idx.write(a * 8 + s, row.idxs[s]);
                     }
-                    self.front.write(a, front_status(&occ, g, ri, ci));
-                    t.note_global_stores(17);
+                    let fk = self.dist.front_k(g, ri, ci);
+                    self.front.write(a, front_status(&occ, fk, ri, ci));
+                    self.front_k.write(a, fk as u8);
+                    t.note_global_stores(18);
                     t.note_shared_loads(9);
                     t.alu(32);
                 }
@@ -105,7 +108,11 @@ impl BlockKernel for InitialCalcKernel<'_> {
         // (16+2·halo)² mat tile + (ACO) two 18×18 f32 pheromone tiles.
         let side = 16 + 2 * self.halo();
         let mat = side * side;
-        let pher = if self.pher_in.is_some() { 2 * 18 * 18 * 4 } else { 0 };
+        let pher = if self.pher_in.is_some() {
+            2 * 18 * 18 * 4
+        } else {
+            0
+        };
         mat + pher
     }
 
@@ -129,10 +136,12 @@ mod tests {
 
     fn run(model: ModelKind) -> (Environment, DeviceState) {
         let env = Environment::new(&EnvConfig::small(32, 32, 25).with_seed(9));
-        let state = DeviceState::upload(&env, model, true);
+        let dist = pedsim_grid::DistanceData::rows(env.height());
+        let state = DeviceState::upload(&env, &dist, model, true);
         state.scan_val.begin_epoch();
         state.scan_idx.begin_epoch();
         state.front.begin_epoch();
+        state.front_k.begin_epoch();
         let pher_in = state
             .pher
             .as_ref()
@@ -142,12 +151,13 @@ mod tests {
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
-            dist: state.dist.as_slice(),
+            dist: state.dist_ref(),
             pher_in,
             model,
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),
             front: state.front.view(),
+            front_k: state.front_k.view(),
         };
         let cfg = LaunchConfig::tiled_over(Dim2::new(32, 32), Dim2::square(16));
         Device::sequential().launch(&cfg, &k).expect("launch");
@@ -157,13 +167,12 @@ mod tests {
     #[test]
     fn lem_scan_rows_match_reference() {
         let (env, state) = run(ModelKind::lem());
-        let dist = pedsim_grid::DistanceTables::new(32);
+        let dist = pedsim_grid::DistanceData::rows(32);
         let occ = |r: i64, c: i64| env.mat.get_or(r, c, CELL_WALL);
         for i in 1..=env.total_agents() {
             let (r, c) = env.props.position(i);
             let g = env.group_of(i);
-            let expect =
-                lem_scan_row(&occ, dist.as_slice(), 32, g, i64::from(r), i64::from(c), 1);
+            let expect = lem_scan_row(&occ, dist.dist_ref(), g, i64::from(r), i64::from(c), 1);
             let vals = &state.scan_val.as_slice()[i * 8..i * 8 + 8];
             let idxs = &state.scan_idx.as_slice()[i * 8..i * 8 + 8];
             assert_eq!(idxs, &expect.idxs, "agent {i} idxs");
@@ -195,8 +204,11 @@ mod tests {
         let occ = |r: i64, c: i64| env.mat.get_or(r, c, CELL_WALL);
         for i in 1..=env.total_agents() {
             let (r, c) = env.props.position(i);
-            let expect = front_status(&occ, env.group_of(i), i64::from(r), i64::from(c));
+            let fwd = env.group_of(i).forward_index();
+            let expect = front_status(&occ, fwd, i64::from(r), i64::from(c));
             assert_eq!(state.front.as_slice()[i], expect, "agent {i}");
+            // Row-table worlds: the front slot is the group-forward cell.
+            assert_eq!(state.front_k.as_slice()[i] as usize, fwd, "agent {i}");
         }
     }
 }

@@ -34,7 +34,7 @@ pub use tour::TourKernel;
 use pedsim_grid::cell::CELL_EMPTY;
 use pedsim_grid::property::NO_FUTURE;
 use pedsim_grid::scan::SCAN_INVALID;
-use pedsim_grid::{DistanceTables, Environment};
+use pedsim_grid::{DistRef, DistanceData, DistanceKind, Environment};
 use simt::memory::{ConstantBuffer, ScatterBuffer};
 
 use crate::params::{AcoParams, ModelKind};
@@ -76,6 +76,8 @@ pub struct DeviceState {
     pub future_col: ScatterBuffer<u16>,
     /// Front-cell status per agent.
     pub front: ScatterBuffer<u8>,
+    /// Front-cell neighbour slot (0–7) per agent.
+    pub front_k: ScatterBuffer<u8>,
     /// Scan values, `(N+1)×8`.
     pub scan_val: ScatterBuffer<f32>,
     /// Scan neighbour indices, `(N+1)×8`.
@@ -86,13 +88,19 @@ pub struct DeviceState {
     pub pher: Option<PherBuffers>,
     /// Immutable agent labels (1 top / 2 bottom), sentinel at 0.
     pub id: Vec<u8>,
-    /// Constant-memory distance tables.
+    /// Constant-memory distance field (row tables or flow field).
     pub dist: ConstantBuffer<f32>,
+    /// Layout of `dist`.
+    pub dist_kind: DistanceKind,
+    /// Per-cell target bitmask carried for download (scenario worlds).
+    pub targets: Option<std::sync::Arc<pedsim_grid::Matrix<u8>>>,
 }
 
 impl DeviceState {
-    /// Upload an environment (the host→device copy of §IV.a).
-    pub fn upload(env: &Environment, model: ModelKind, checked: bool) -> Self {
+    /// Upload an environment and its distance field (the host→device copy
+    /// of §IV.a). For the classic corridor pass
+    /// [`DistanceData::rows`]`(env.height())`.
+    pub fn upload(env: &Environment, dist: &DistanceData, model: ModelKind, checked: bool) -> Self {
         let (h, w) = (env.height(), env.width());
         let n = env.total_agents();
         let pher = match model {
@@ -128,12 +136,26 @@ impl DeviceState {
             future_row: ScatterBuffer::new(n + 1, NO_FUTURE, checked),
             future_col: ScatterBuffer::new(n + 1, NO_FUTURE, checked),
             front: ScatterBuffer::new(n + 1, CELL_EMPTY, checked),
+            front_k: ScatterBuffer::new(n + 1, 0u8, checked),
             scan_val: ScatterBuffer::new((n + 1) * 8, 0.0f32, checked),
             scan_idx: ScatterBuffer::new((n + 1) * 8, SCAN_INVALID, checked),
             tour: ScatterBuffer::new(n + 1, 0.0f32, checked),
             pher,
             id: env.props.id.clone(),
-            dist: ConstantBuffer::new(DistanceTables::new(h).as_slice().to_vec()),
+            dist: ConstantBuffer::new(dist.data.clone()),
+            dist_kind: dist.kind,
+            targets: env.targets.clone(),
+        }
+    }
+
+    /// The layout-tagged distance view the kernels consume.
+    #[inline]
+    pub fn dist_ref(&self) -> DistRef<'_> {
+        DistRef {
+            kind: self.dist_kind,
+            height: self.h,
+            width: self.w,
+            data: self.dist.as_slice(),
         }
     }
 
@@ -148,6 +170,7 @@ impl DeviceState {
         props.future_row = self.future_row.as_slice().to_vec();
         props.future_col = self.future_col.as_slice().to_vec();
         props.front = self.front.as_slice().to_vec();
+        props.front_k = self.front_k.as_slice().to_vec();
         Environment {
             mat: Matrix::from_vec(self.h, self.w, self.mat[self.cur].as_slice().to_vec()),
             index: Matrix::from_vec(self.h, self.w, self.index[self.cur].as_slice().to_vec()),
@@ -155,6 +178,7 @@ impl DeviceState {
             spawn_rows,
             agents_per_side: self.n_per_side,
             seed,
+            targets: self.targets.clone(),
         }
     }
 }
@@ -167,7 +191,8 @@ mod tests {
     #[test]
     fn upload_download_roundtrip() {
         let env = Environment::new(&EnvConfig::small(32, 32, 20).with_seed(3));
-        let state = DeviceState::upload(&env, ModelKind::aco(), true);
+        let dist = DistanceData::rows(env.height());
+        let state = DeviceState::upload(&env, &dist, ModelKind::aco(), true);
         let back = state.download(env.spawn_rows, env.seed);
         assert_eq!(back.mat, env.mat);
         assert_eq!(back.index, env.index);
@@ -179,7 +204,7 @@ mod tests {
     #[test]
     fn lem_state_has_no_pheromone() {
         let env = Environment::new(&EnvConfig::small(16, 16, 5));
-        let state = DeviceState::upload(&env, ModelKind::lem(), false);
+        let state = DeviceState::upload(&env, &DistanceData::rows(16), ModelKind::lem(), false);
         assert!(state.pher.is_none());
         assert_eq!(state.n, 10);
     }

@@ -73,12 +73,7 @@ impl BlockKernel for MovementKernel<'_> {
             let lin = r as usize * w + c as usize;
             let occ = |rr: i64, cc: i64| mat_tile.get(rr, cc);
             let idx = |rr: i64, cc: i64| idx_tile.get(rr, cc);
-            let fut = |a: u32| {
-                (
-                    self.future_row[a as usize],
-                    self.future_col[a as usize],
-                )
-            };
+            let fut = |a: u32| (self.future_row[a as usize], self.future_col[a as usize]);
             let mut rng = t.rng_for(lin as u64);
             let arrival = gather_winner(&occ, &idx, &fut, ri, ci, &mut rng);
             let own = idx(ri, ci);
@@ -171,7 +166,8 @@ mod tests {
     /// Run init-free single step of calc→tour→movement on a checked state.
     fn one_step(model: ModelKind, seed: u64, policy: ExecPolicy) -> (Environment, DeviceState) {
         let env = Environment::new(&EnvConfig::small(32, 32, 60).with_seed(seed));
-        let state = DeviceState::upload(&env, model, true);
+        let dist = pedsim_grid::DistanceData::rows(env.height());
+        let state = DeviceState::upload(&env, &dist, model, true);
         let device = Device::builder().policy(policy).build();
         let cells = LaunchConfig::tiled_over(Dim2::new(32, 32), Dim2::square(16)).with_seed(seed);
         let rows = LaunchConfig::new(
@@ -183,6 +179,7 @@ mod tests {
         state.scan_val.begin_epoch();
         state.scan_idx.begin_epoch();
         state.front.begin_epoch();
+        state.front_k.begin_epoch();
         let pher_in = state
             .pher
             .as_ref()
@@ -192,12 +189,13 @@ mod tests {
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
-            dist: state.dist.as_slice(),
+            dist: state.dist_ref(),
             pher_in,
             model,
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),
             front: state.front.view(),
+            front_k: state.front_k.view(),
         };
         device.launch(&cells.with_salt(1), &calc).expect("calc");
 
@@ -205,10 +203,10 @@ mod tests {
         state.future_col.begin_epoch();
         let tour = TourKernel {
             n: state.n,
-            n_per_side: state.n_per_side,
             scan_val: state.scan_val.as_slice(),
             scan_idx: state.scan_idx.as_slice(),
             front: state.front.as_slice(),
+            front_k: state.front_k.as_slice(),
             row: state.row.as_slice(),
             col: state.col.as_slice(),
             future_row: state.future_row.view(),
@@ -316,8 +314,7 @@ mod tests {
         // Cells without arrivals only evaporate (stay at the floor).
         let arrivals: std::collections::HashSet<usize> = (1..=state.n)
             .filter(|&i| {
-                env.props.position(i)
-                    != (state.row.as_slice()[i], state.col.as_slice()[i])
+                env.props.position(i) != (state.row.as_slice()[i], state.col.as_slice()[i])
                     && state.id[i] == Group::Top.label()
             })
             .map(|i| state.row.as_slice()[i] as usize * state.w + state.col.as_slice()[i] as usize)

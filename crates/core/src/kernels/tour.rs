@@ -9,7 +9,7 @@
 //! DESIGN.md §6). CURAND draws become the agent-keyed Philox streams, so
 //! the CPU reference produces the same selections.
 
-use pedsim_grid::cell::{Group, NEIGHBOR_OFFSETS};
+use pedsim_grid::cell::NEIGHBOR_OFFSETS;
 use pedsim_grid::property::NO_FUTURE;
 use simt::exec::{BlockCtx, BlockKernel};
 use simt::memory::ScatterView;
@@ -21,14 +21,14 @@ use crate::params::ModelKind;
 pub struct TourKernel<'a> {
     /// Total agents.
     pub n: usize,
-    /// Agents per side (group boundary).
-    pub n_per_side: usize,
     /// Scan values (read).
     pub scan_val: &'a [f32],
     /// Scan indices (read).
     pub scan_idx: &'a [u8],
     /// FRONT CELL status (read).
     pub front: &'a [u8],
+    /// FRONT CELL neighbour slot (read).
+    pub front_k: &'a [u8],
     /// Agent rows (read).
     pub row: &'a [u16],
     /// Agent columns (read).
@@ -44,15 +44,9 @@ pub struct TourKernel<'a> {
 impl BlockKernel for TourKernel<'_> {
     fn block(&self, ctx: &mut BlockCtx) {
         let n = self.n;
-        let n_per_side = self.n_per_side;
         ctx.threads(|t| {
             let agent = t.global_linear() + 1;
             if agent <= n {
-                let g = if agent <= n_per_side {
-                    Group::Top
-                } else {
-                    Group::Bottom
-                };
                 let scan = ScanRow {
                     vals: self.scan_val[agent * 8..agent * 8 + 8]
                         .try_into()
@@ -61,12 +55,13 @@ impl BlockKernel for TourKernel<'_> {
                         .try_into()
                         .expect("8 slots"),
                 };
-                t.note_global_loads(19);
+                t.note_global_loads(20);
                 let front = self.front[agent];
+                let front_k = self.front_k[agent] as usize;
                 let mut rng = t.rng_for(agent as u64);
                 let k = match self.model {
-                    ModelKind::Lem(p) => lem_select(&scan, front, g, &p, &mut rng),
-                    ModelKind::Aco(p) => aco_select(&scan, front, g, &p, &mut rng),
+                    ModelKind::Lem(p) => lem_select(&scan, front, front_k, &p, &mut rng),
+                    ModelKind::Aco(p) => aco_select(&scan, front, front_k, &p, &mut rng),
                 };
                 t.alu(16);
                 match k {
@@ -109,12 +104,14 @@ mod tests {
         // Two spawn rows so plenty of agents face a blocked forward cell
         // and actually consume randomness.
         let env = Environment::new(&EnvConfig::small(32, 32, 40).with_seed(seed));
-        let state = DeviceState::upload(&env, model, true);
+        let dist = pedsim_grid::DistanceData::rows(env.height());
+        let state = DeviceState::upload(&env, &dist, model, true);
         let device = Device::sequential();
         // Stage 2 first so the scan matrix is populated.
         state.scan_val.begin_epoch();
         state.scan_idx.begin_epoch();
         state.front.begin_epoch();
+        state.front_k.begin_epoch();
         let pher_in = state
             .pher
             .as_ref()
@@ -124,12 +121,13 @@ mod tests {
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
-            dist: state.dist.as_slice(),
+            dist: state.dist_ref(),
             pher_in,
             model,
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),
             front: state.front.view(),
+            front_k: state.front_k.view(),
         };
         device
             .launch(
@@ -142,10 +140,10 @@ mod tests {
         state.future_col.begin_epoch();
         let tour = TourKernel {
             n: state.n,
-            n_per_side: state.n_per_side,
             scan_val: state.scan_val.as_slice(),
             scan_idx: state.scan_idx.as_slice(),
             front: state.front.as_slice(),
+            front_k: state.front_k.as_slice(),
             row: state.row.as_slice(),
             col: state.col.as_slice(),
             future_row: state.future_row.view(),
@@ -174,7 +172,10 @@ mod tests {
             let (r, c) = env.props.position(i);
             let dr = (i64::from(fr[i]) - i64::from(r)).abs();
             let dc = (i64::from(fc[i]) - i64::from(c)).abs();
-            assert!(dr <= 1 && dc <= 1 && dr + dc > 0, "agent {i} target not adjacent");
+            assert!(
+                dr <= 1 && dc <= 1 && dr + dc > 0,
+                "agent {i} target not adjacent"
+            );
             assert_eq!(
                 env.mat.get(fr[i] as usize, fc[i] as usize),
                 CELL_EMPTY,

@@ -8,7 +8,9 @@
 //!
 //! ## Layout
 //!
-//! * [`params`] — model parameters and [`params::SimConfig`];
+//! * [`params`] — model parameters and [`params::SimConfig`] (which may
+//!   carry a `pedsim-scenario` world: interior obstacles, arbitrary
+//!   spawn/target regions, flow-field routing);
 //! * [`model`] — the pure decision functions (scoring, selection, conflict
 //!   resolution) both engines share;
 //! * [`kernels`] — the four `simt` kernels (§IV.b–e) and the device buffer
@@ -21,6 +23,12 @@
 //! * [`validate`] — exact cross-engine trajectory comparison;
 //! * [`extensions`] — the paper's future-work features, implemented
 //!   (panic alarm; widened scanning ranges).
+//!
+//! The `scenario` layer (crate `pedsim-scenario`, re-exported through the
+//! prelude) sits between `pedsim-grid` and the engines: declarative worlds
+//! — named spawn/target regions and interior obstacle cells — compile to
+//! an [`pedsim_grid::Environment`] plus a distance field, and both engines
+//! consume them through [`params::SimConfig::from_scenario`].
 //!
 //! ## Quickstart
 //!
@@ -54,4 +62,5 @@ pub mod prelude {
     pub use crate::params::{AcoParams, LemParams, ModelKind, SimConfig};
     pub use crate::validate::engines_agree;
     pub use pedsim_grid::{EnvConfig, Environment};
+    pub use pedsim_scenario::{registry as scenarios, Region, Scenario, ScenarioBuilder};
 }

@@ -3,9 +3,13 @@
 //! The paper's headline result metric is **throughput**: "the number of
 //! pedestrians able to cross the environment and reach the other side"
 //! within the step budget. Crossing is sticky — once an agent has reached
-//! the opposite spawn band it counts even if it later wanders back out.
+//! its goal it counts even if it later wanders back out. The goal is the
+//! opposite spawn band in the classic corridor, or the group's declared
+//! target region in scenario worlds (doorways, crossings, halls).
 //! [`Metrics`] also tracks per-step movement (for gridlock detection) and a
 //! lane-formation index used by the analysis examples.
+
+use std::sync::Arc;
 
 use pedsim_grid::cell::Group;
 use pedsim_grid::Matrix;
@@ -54,6 +58,9 @@ impl Geometry {
 #[derive(Debug, Clone)]
 pub struct Metrics {
     geom: Geometry,
+    /// Per-cell target bitmask ([`Group::target_bit`]); `None` uses the
+    /// classic opposite-band convention from `geom`.
+    targets: Option<Arc<Matrix<u8>>>,
     /// Sticky per-agent crossed flags (index 0 unused).
     crossed: Vec<bool>,
     /// Agents of the top group that have crossed.
@@ -71,11 +78,24 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Fresh metrics for a scenario; `row`/`col` are the initial agent
-    /// positions (index 0 = sentinel).
+    /// Fresh metrics for a classic corridor; `row`/`col` are the initial
+    /// agent positions (index 0 = sentinel).
     pub fn new(geom: Geometry, row: &[u16], col: &[u16]) -> Self {
+        Self::with_targets(geom, None, row, col)
+    }
+
+    /// Fresh metrics with an optional per-cell target mask (scenario
+    /// worlds count arrivals inside the mask instead of past the band
+    /// line).
+    pub fn with_targets(
+        geom: Geometry,
+        targets: Option<Arc<Matrix<u8>>>,
+        row: &[u16],
+        col: &[u16],
+    ) -> Self {
         Self {
             geom,
+            targets,
             crossed: vec![false; geom.total_agents() + 1],
             crossed_top: 0,
             crossed_bottom: 0,
@@ -99,7 +119,11 @@ impl Metrics {
             }
             if !self.crossed[i] {
                 let g = self.geom.group_of(i);
-                if self.geom.has_crossed(g, row[i] as usize) {
+                let arrived = match &self.targets {
+                    Some(mask) => mask.get(row[i] as usize, col[i] as usize) & g.target_bit() != 0,
+                    None => self.geom.has_crossed(g, row[i] as usize),
+                };
+                if arrived {
                     self.crossed[i] = true;
                     match g {
                         Group::Top => self.crossed_top += 1,
@@ -204,6 +228,33 @@ mod tests {
         assert!(m.agent_crossed(1));
         assert_eq!(m.steps, 2);
         assert_eq!(m.total_moves, 3);
+    }
+
+    #[test]
+    fn target_mask_counts_region_arrivals() {
+        let g = geom();
+        // Top group's target is a single interior doorway cell (8, 4);
+        // bottom group's target is the top-left corner.
+        let mut mask = Matrix::filled(16, 16, 0u8);
+        mask.set(8, 4, Group::Top.target_bit());
+        mask.set(0, 0, Group::Bottom.target_bit());
+        let mut m = Metrics::with_targets(
+            g,
+            Some(Arc::new(mask)),
+            &[0, 0, 1, 15, 15],
+            &[0, 0, 1, 0, 1],
+        );
+        // Agent 1 reaches row 15 — past the classic band line, but NOT its
+        // region → no crossing counted.
+        m.observe(&[0, 15, 1, 15, 15], &[0, 9, 1, 0, 1]);
+        assert_eq!(m.throughput(), 0);
+        // Agent 1 steps onto the doorway cell; agent 3 reaches (0,0).
+        m.observe(&[0, 8, 1, 0, 15], &[0, 4, 1, 0, 1]);
+        assert_eq!(m.crossed_top, 1);
+        assert_eq!(m.crossed_bottom, 1);
+        // The other group's bit does not count: agent 4 on (8,4).
+        m.observe(&[0, 8, 1, 0, 8], &[0, 4, 1, 0, 4]);
+        assert_eq!(m.crossed_bottom, 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! proportional rule), with the forward-cell priority short-circuit.
 
 use pedsim_grid::cell::{Group, CELL_EMPTY, NEIGHBOR_OFFSETS};
-use pedsim_grid::distance::DistanceTables;
+use pedsim_grid::distance::DistRef;
 use philox::StreamRng;
 
 use crate::params::AcoParams;
@@ -25,13 +25,13 @@ use super::ScanRow;
 /// unavailable.
 ///
 /// `occ` reads cell labels ([`pedsim_grid::CELL_WALL`] outside), `tau`
-/// reads the agent's group pheromone field at *global* coordinates.
+/// reads the agent's group pheromone field at *global* coordinates, and
+/// `dist` is the layout-tagged distance view (row tables or flow field).
 #[allow(clippy::too_many_arguments)]
 pub fn aco_scan_row(
     occ: &impl Fn(i64, i64) -> u8,
     tau: &impl Fn(i64, i64) -> f32,
-    dist: &[f32],
-    height: usize,
+    dist: DistRef<'_>,
     params: &AcoParams,
     g: Group,
     r: i64,
@@ -43,7 +43,7 @@ pub fn aco_scan_row(
         let available = occ(nr, nc) == CELL_EMPTY;
         row.idxs[k] = k as u8;
         if available {
-            let d = DistanceTables::lookup(dist, height, g, r as usize, k);
+            let d = dist.neighbor(g, r, c, k);
             let eta = 1.0 / d;
             let t = tau(nr, nc).max(0.0);
             row.vals[k] = t.powf(params.alpha) * eta.powf(params.beta);
@@ -54,22 +54,23 @@ pub fn aco_scan_row(
     row
 }
 
-/// Apply the random proportional rule to an ACO scan row. Returns the
-/// chosen neighbour index, or `None` when every numerator is zero (boxed
-/// in).
+/// Apply the random proportional rule to an ACO scan row whose front cell
+/// (neighbour slot `front_k`, from [`DistRef::front_k`]) has status
+/// `front`. Returns the chosen neighbour index, or `None` when every
+/// numerator is zero (boxed in).
 ///
 /// Consumes at most one 32-bit draw.
 pub fn aco_select(
     row: &ScanRow,
     front: u8,
-    g: Group,
+    front_k: usize,
     params: &AcoParams,
     rng: &mut StreamRng,
 ) -> Option<usize> {
     if params.forward_priority && front == CELL_EMPTY {
         // "If the front cell is empty, then the pedestrian decides to move
         // forward immediately" (§IV.c). No randomness consumed.
-        return Some(g.forward_index());
+        return Some(front_k);
     }
     // The reduction the paper performs across the agent's 8 worker threads.
     let denom: f32 = row.vals.iter().sum();
@@ -112,17 +113,20 @@ mod tests {
         0.1
     }
 
-    fn tables() -> DistanceTables {
-        DistanceTables::new(100)
+    fn tables() -> pedsim_grid::DistanceTables {
+        pedsim_grid::DistanceTables::new(100)
+    }
+
+    fn view(t: &pedsim_grid::DistanceTables) -> DistRef<'_> {
+        use pedsim_grid::DistanceField as _;
+        t.dist_ref()
     }
 
     #[test]
     fn numerators_follow_distance_ordering() {
         let t = tables();
         let p = AcoParams::default();
-        let row = aco_scan_row(
-            &open_world, &flat_tau, t.as_slice(), 100, &p, Group::Top, 50, 50,
-        );
+        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::Top, 50, 50);
         // With flat pheromone, numerator ordering is pure heuristic:
         // forward (k=0) largest, backward diagonals (6,7) smallest.
         assert!(row.vals[0] > row.vals[1]);
@@ -143,7 +147,7 @@ mod tests {
                 open_world(r, c)
             }
         };
-        let row = aco_scan_row(&occ, &flat_tau, t.as_slice(), 100, &p, Group::Top, 50, 50);
+        let row = aco_scan_row(&occ, &flat_tau, view(&t), &p, Group::Top, 50, 50);
         assert_eq!(row.vals[0], 0.0);
         assert!(row.vals[1] > 0.0);
     }
@@ -163,12 +167,12 @@ mod tests {
                 0.05
             }
         };
-        let row = aco_scan_row(&open_world, &tau, t.as_slice(), 100, &p, Group::Top, 50, 50);
+        let row = aco_scan_row(&open_world, &tau, view(&t), &p, Group::Top, 50, 50);
         let mut rng = StreamRng::new(5, 11);
         let mut left = 0;
         let n = 2000;
         for _ in 0..n {
-            if aco_select(&row, CELL_TOP, Group::Top, &p, &mut rng) == Some(1) {
+            if aco_select(&row, CELL_TOP, Group::Top.forward_index(), &p, &mut rng) == Some(1) {
                 left += 1;
             }
         }
@@ -182,11 +186,15 @@ mod tests {
     fn forward_priority_short_circuits() {
         let t = tables();
         let p = AcoParams::default();
-        let row = aco_scan_row(
-            &open_world, &flat_tau, t.as_slice(), 100, &p, Group::Bottom, 50, 50,
-        );
+        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::Bottom, 50, 50);
         let mut rng = StreamRng::new(0, 1);
-        let k = aco_select(&row, CELL_EMPTY, Group::Bottom, &p, &mut rng);
+        let k = aco_select(
+            &row,
+            CELL_EMPTY,
+            Group::Bottom.forward_index(),
+            &p,
+            &mut rng,
+        );
         assert_eq!(k, Some(Group::Bottom.forward_index()));
         let mut rng2 = StreamRng::new(0, 1);
         assert_eq!(rng.next_u32(), rng2.next_u32()); // nothing consumed
@@ -200,7 +208,10 @@ mod tests {
         };
         let p = AcoParams::default();
         let mut rng = StreamRng::new(1, 1);
-        assert_eq!(aco_select(&row, CELL_TOP, Group::Top, &p, &mut rng), None);
+        assert_eq!(
+            aco_select(&row, CELL_TOP, Group::Top.forward_index(), &p, &mut rng),
+            None
+        );
     }
 
     #[test]
@@ -218,7 +229,7 @@ mod tests {
         let n = 10_000;
         let mut k2 = 0;
         for _ in 0..n {
-            match aco_select(&row, CELL_TOP, Group::Top, &p, &mut rng) {
+            match aco_select(&row, CELL_TOP, Group::Top.forward_index(), &p, &mut rng) {
                 Some(2) => k2 += 1,
                 Some(4) => {}
                 other => panic!("unexpected selection {other:?}"),
@@ -236,9 +247,7 @@ mod tests {
             forward_priority: false,
             ..AcoParams::default()
         };
-        let row = aco_scan_row(
-            &open_world, &flat_tau, t.as_slice(), 100, &p, Group::Top, 50, 50,
-        );
+        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::Top, 50, 50);
         // All equal numerators with flat pheromone.
         let first = row.vals[0];
         assert!(row.vals.iter().all(|&v| (v - first).abs() < 1e-9));

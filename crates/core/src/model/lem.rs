@@ -13,7 +13,7 @@
 //! is chosen most often — the "least effort" in the model's name.
 
 use pedsim_grid::cell::{Group, CELL_EMPTY, NEIGHBOR_OFFSETS};
-use pedsim_grid::distance::DistanceTables;
+use pedsim_grid::distance::DistRef;
 use pedsim_grid::scan::SCAN_INVALID;
 use philox::{ClampedNormal, StreamRng};
 
@@ -26,14 +26,13 @@ use super::ScanRow;
 /// neighbour index, so the ordering is total and engine-independent).
 ///
 /// `occ(r, c)` must return the cell label, [`pedsim_grid::CELL_WALL`]
-/// outside the environment. `dist` is the flattened
-/// [`DistanceTables`] slice and `height` the environment height.
+/// outside the environment. `dist` is the layout-tagged distance view —
+/// row tables for the paper's corridor, a flow field for obstacle worlds.
 /// `scan_range > 1` enables the look-ahead congestion penalty of
 /// `extensions::ranges` (paper future work); `1` is the paper baseline.
 pub fn lem_scan_row(
     occ: &impl Fn(i64, i64) -> u8,
-    dist: &[f32],
-    height: usize,
+    dist: DistRef<'_>,
     g: Group,
     r: i64,
     c: i64,
@@ -44,10 +43,9 @@ pub fn lem_scan_row(
     for (k, (dr, dc)) in NEIGHBOR_OFFSETS.iter().enumerate() {
         let available = occ(r + dr, c + dc) == CELL_EMPTY;
         if available {
-            let mut d = DistanceTables::lookup(dist, height, g, r as usize, k);
+            let mut d = dist.neighbor(g, r, c, k);
             if scan_range > 1 {
-                let cong =
-                    crate::extensions::ranges::ray_congestion(occ, r, c, k, scan_range);
+                let cong = crate::extensions::ranges::ray_congestion(occ, r, c, k, scan_range);
                 d = crate::extensions::ranges::penalised_distance(d, cong);
             }
             // Insertion sort into the prefix [0, filled): 8 elements max.
@@ -65,23 +63,24 @@ pub fn lem_scan_row(
     row
 }
 
-/// Pick the next cell for a group-`g` agent with scan row `row` whose
-/// forward cell status is `front`. Returns the chosen neighbour index, or
-/// `None` when no move is possible.
+/// Pick the next cell for an agent with scan row `row` whose front cell
+/// (neighbour slot `front_k`, from [`DistRef::front_k`]) has status
+/// `front`. Returns the chosen neighbour index, or `None` when no move is
+/// possible.
 ///
 /// Consumes at most two 32-bit draws from `rng` — call with a stream keyed
 /// by the agent index and the step salt so both engines agree.
 pub fn lem_select(
     row: &ScanRow,
     front: u8,
-    g: Group,
+    front_k: usize,
     params: &LemParams,
     rng: &mut StreamRng,
 ) -> Option<usize> {
     if params.forward_priority && front == CELL_EMPTY {
         // The paper's modification: an empty forward cell is taken without
         // further calculation (§III). No randomness consumed.
-        return Some(g.forward_index());
+        return Some(front_k);
     }
     let candidates = row.idxs.iter().take_while(|&&i| i != SCAN_INVALID).count();
     if candidates == 0 {
@@ -105,14 +104,19 @@ mod tests {
         }
     }
 
-    fn tables() -> DistanceTables {
-        DistanceTables::new(100)
+    fn tables() -> pedsim_grid::DistanceTables {
+        pedsim_grid::DistanceTables::new(100)
+    }
+
+    fn view(t: &pedsim_grid::DistanceTables) -> DistRef<'_> {
+        use pedsim_grid::DistanceField as _;
+        t.dist_ref()
     }
 
     #[test]
     fn open_neighbourhood_sorted_ascending() {
         let t = tables();
-        let row = lem_scan_row(&open_world, t.as_slice(), 100, Group::Top, 50, 50, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::Top, 50, 50, 1);
         // All 8 available; first is the forward cell (k=0), last a backward
         // diagonal (k=6 or 7).
         assert_eq!(row.idxs[0], 0);
@@ -144,15 +148,19 @@ mod tests {
                 open_world(r, c)
             }
         };
-        let row = lem_scan_row(&occ, t.as_slice(), 100, Group::Top, 50, 50, 1);
-        assert!(row.idxs.iter().take(7).all(|&i| i != 0 && i != SCAN_INVALID));
+        let row = lem_scan_row(&occ, view(&t), Group::Top, 50, 50, 1);
+        assert!(row
+            .idxs
+            .iter()
+            .take(7)
+            .all(|&i| i != 0 && i != SCAN_INVALID));
         assert_eq!(row.idxs[7], SCAN_INVALID);
     }
 
     #[test]
     fn corner_agent_sees_three_neighbours() {
         let t = tables();
-        let row = lem_scan_row(&open_world, t.as_slice(), 100, Group::Top, 0, 0, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::Top, 0, 0, 1);
         let n = row.idxs.iter().take_while(|&&i| i != SCAN_INVALID).count();
         assert_eq!(n, 3); // S, SE, E
     }
@@ -160,9 +168,15 @@ mod tests {
     #[test]
     fn forward_priority_is_deterministic() {
         let t = tables();
-        let row = lem_scan_row(&open_world, t.as_slice(), 100, Group::Top, 50, 50, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::Top, 50, 50, 1);
         let mut rng = StreamRng::new(0, 1);
-        let k = lem_select(&row, CELL_EMPTY, Group::Top, &LemParams::default(), &mut rng);
+        let k = lem_select(
+            &row,
+            CELL_EMPTY,
+            Group::Top.forward_index(),
+            &LemParams::default(),
+            &mut rng,
+        );
         assert_eq!(k, Some(0));
         // No randomness consumed: a fresh stream gives the same answer and
         // the two streams stay aligned.
@@ -175,7 +189,13 @@ mod tests {
         let row = ScanRow::empty();
         let mut rng = StreamRng::new(0, 2);
         assert_eq!(
-            lem_select(&row, CELL_TOP, Group::Top, &LemParams::default(), &mut rng),
+            lem_select(
+                &row,
+                CELL_TOP,
+                Group::Top.forward_index(),
+                &LemParams::default(),
+                &mut rng
+            ),
             None
         );
     }
@@ -190,20 +210,24 @@ mod tests {
                 open_world(r, c)
             }
         };
-        let row = lem_scan_row(&occ, t.as_slice(), 100, Group::Top, 50, 50, 1);
+        let row = lem_scan_row(&occ, view(&t), Group::Top, 50, 50, 1);
         let params = LemParams::default();
         let mut rng = StreamRng::new(42, 9);
         let mut counts = [0usize; 8];
         for _ in 0..4000 {
-            let k = lem_select(&row, CELL_TOP, Group::Top, &params, &mut rng).unwrap();
+            let k = lem_select(
+                &row,
+                CELL_TOP,
+                Group::Top.forward_index(),
+                &params,
+                &mut rng,
+            )
+            .unwrap();
             counts[k] += 1;
         }
         // Best-ranked candidates are the forward diagonals (k=1, k=2).
         let diag = counts[1] + counts[2];
-        assert!(
-            diag > 2000,
-            "forward diagonals should dominate: {counts:?}"
-        );
+        assert!(diag > 2000, "forward diagonals should dominate: {counts:?}");
         // Backward diagonals should be rare.
         assert!(counts[6] + counts[7] < diag / 2, "{counts:?}");
     }
@@ -211,7 +235,7 @@ mod tests {
     #[test]
     fn selection_respects_candidate_bound() {
         let t = tables();
-        let row = lem_scan_row(&open_world, t.as_slice(), 100, Group::Bottom, 0, 0, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::Bottom, 0, 0, 1);
         // Bottom agent at its own target edge: 3 candidates.
         let params = LemParams {
             sigma: 50.0, // extreme spread exercises the clamp
@@ -220,7 +244,14 @@ mod tests {
         };
         let mut rng = StreamRng::new(3, 3);
         for _ in 0..500 {
-            let k = lem_select(&row, CELL_TOP, Group::Top, &params, &mut rng).unwrap();
+            let k = lem_select(
+                &row,
+                CELL_TOP,
+                Group::Top.forward_index(),
+                &params,
+                &mut rng,
+            )
+            .unwrap();
             assert!(row.idxs[..3].contains(&(k as u8)));
         }
     }

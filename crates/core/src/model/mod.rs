@@ -16,7 +16,7 @@ pub use aco::{aco_scan_row, aco_select};
 pub use lem::{lem_scan_row, lem_select};
 pub use movement::{gather_winner, Arrival};
 
-use pedsim_grid::cell::{Group, CELL_EMPTY, NEIGHBOR_OFFSETS};
+use pedsim_grid::cell::{CELL_EMPTY, NEIGHBOR_OFFSETS};
 
 /// One agent's scan row: up to eight `(value, neighbour index)` slots.
 ///
@@ -41,12 +41,17 @@ impl ScanRow {
     }
 }
 
-/// The contents of a group-`g` agent's forward cell at `(r, c)`, reading
-/// occupancy through `occ` (which must return [`pedsim_grid::CELL_WALL`]
-/// outside the environment).
+/// The contents of an agent's *front cell* — neighbour slot `front_k` of
+/// the agent at `(r, c)` — reading occupancy through `occ` (which must
+/// return [`pedsim_grid::CELL_WALL`] outside the environment).
+///
+/// `front_k` comes from [`pedsim_grid::DistRef::front_k`]: the
+/// distance-argmin neighbour, which for the paper's row-distance corridor
+/// is exactly the group's row-forward cell (paper Cell #1/#6) and for
+/// flow-field worlds points downhill toward the target around obstacles.
 #[inline]
-pub fn front_status(occ: &impl Fn(i64, i64) -> u8, g: Group, r: i64, c: i64) -> u8 {
-    let (dr, dc) = NEIGHBOR_OFFSETS[g.forward_index()];
+pub fn front_status(occ: &impl Fn(i64, i64) -> u8, front_k: usize, r: i64, c: i64) -> u8 {
+    let (dr, dc) = NEIGHBOR_OFFSETS[front_k];
     occ(r + dr, c + dc)
 }
 
@@ -59,10 +64,10 @@ pub fn front_is_empty(front: u8) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pedsim_grid::cell::{CELL_TOP, CELL_WALL};
+    use pedsim_grid::cell::{Group, CELL_TOP, CELL_WALL};
 
     #[test]
-    fn front_status_reads_forward_cell() {
+    fn front_status_reads_front_cell() {
         // A 3x3 sandbox: top agent at (1,1), another agent at (2,1).
         let occ = |r: i64, c: i64| -> u8 {
             if !(0..3).contains(&r) || !(0..3).contains(&c) {
@@ -73,10 +78,19 @@ mod tests {
                 CELL_EMPTY
             }
         };
-        assert_eq!(front_status(&occ, Group::Top, 1, 1), CELL_TOP);
-        assert_eq!(front_status(&occ, Group::Bottom, 1, 1), CELL_EMPTY);
+        assert_eq!(
+            front_status(&occ, Group::Top.forward_index(), 1, 1),
+            CELL_TOP
+        );
+        assert_eq!(
+            front_status(&occ, Group::Bottom.forward_index(), 1, 1),
+            CELL_EMPTY
+        );
         // At the edge, the forward cell is the wall.
-        assert_eq!(front_status(&occ, Group::Bottom, 0, 1), CELL_WALL);
+        assert_eq!(
+            front_status(&occ, Group::Bottom.forward_index(), 0, 1),
+            CELL_WALL
+        );
         assert!(front_is_empty(CELL_EMPTY));
         assert!(!front_is_empty(CELL_WALL));
     }

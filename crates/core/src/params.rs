@@ -102,10 +102,23 @@ impl ModelKind {
 }
 
 /// Full simulation configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Cheap to clone: the scenario handle (when present) is an `Arc` to an
+/// immutable world description.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
-    /// Environment geometry and population.
+    /// Environment geometry and population. When a scenario handle is set,
+    /// this mirrors the scenario (same extents, population, and seed) and
+    /// exists for reporting and kernel seeding. Do not mutate it while
+    /// `scenario` is `Some`: kernels seed from `env.seed` but placement
+    /// seeds from the scenario, so a hand-edited seed would produce a
+    /// mixed-seed run. Reseed via `Scenario::with_seed` +
+    /// [`SimConfig::from_scenario`] instead.
     pub env: pedsim_grid::EnvConfig,
+    /// Declarative world description (spawn/target regions, interior
+    /// obstacles, flow-field routing). `None` runs the paper's classic
+    /// corridor from `env` alone.
+    pub scenario: Option<std::sync::Arc<pedsim_scenario::Scenario>>,
     /// Movement model.
     pub model: ModelKind,
     /// Enable scatter-conflict checking on all device buffers (tests on,
@@ -116,10 +129,24 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A configuration over `env` with `model` and metrics on.
+    /// A configuration over `env` with `model` and metrics on (the
+    /// classic corridor; no scenario handle).
     pub fn new(env: pedsim_grid::EnvConfig, model: ModelKind) -> Self {
         Self {
             env,
+            scenario: None,
+            model,
+            checked: false,
+            track_metrics: true,
+        }
+    }
+
+    /// A configuration over a declarative scenario with `model` and
+    /// metrics on. The `env` record is derived from the scenario.
+    pub fn from_scenario(scenario: pedsim_scenario::Scenario, model: ModelKind) -> Self {
+        Self {
+            env: scenario.env_config(),
+            scenario: Some(std::sync::Arc::new(scenario)),
             model,
             checked: false,
             track_metrics: true,
@@ -151,6 +178,26 @@ mod tests {
         assert!(a.alpha > 0.0 && a.beta > 0.0);
         assert!((0.0..=1.0).contains(&a.rho));
         assert!(a.tau0 > 0.0);
+    }
+
+    #[test]
+    fn from_scenario_mirrors_geometry() {
+        let cfg = pedsim_grid::EnvConfig::small(32, 32, 40).with_seed(3);
+        let sim = SimConfig::from_scenario(
+            pedsim_scenario::registry::paper_corridor(&cfg),
+            ModelKind::lem(),
+        );
+        assert_eq!(sim.env.width, 32);
+        assert_eq!(sim.env.height, 32);
+        assert_eq!(sim.env.agents_per_side, 40);
+        assert_eq!(sim.env.seed, 3);
+        assert!(sim.scenario.is_some());
+        // Clones share the scenario handle.
+        let clone = sim.clone();
+        assert!(std::sync::Arc::ptr_eq(
+            sim.scenario.as_ref().unwrap(),
+            clone.scenario.as_ref().unwrap()
+        ));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub fn engines_agree(
         ExecPolicy::Parallel { workers }
     };
     let device = Device::builder().policy(policy).build();
-    let mut cpu = CpuEngine::new(cfg);
+    let mut cpu = CpuEngine::new(cfg.clone());
     let mut gpu = GpuEngine::new(cfg, device);
     let check_every = check_every.max(1);
     let mut done = 0u64;
@@ -88,21 +88,15 @@ mod tests {
 
     #[test]
     fn cpu_matches_gpu_sequential_lem() {
-        let cfg = SimConfig::new(
-            EnvConfig::small(32, 32, 30).with_seed(21),
-            ModelKind::lem(),
-        )
-        .with_checked(true);
+        let cfg = SimConfig::new(EnvConfig::small(32, 32, 30).with_seed(21), ModelKind::lem())
+            .with_checked(true);
         assert_eq!(engines_agree(cfg, 30, 5, 0), None);
     }
 
     #[test]
     fn cpu_matches_gpu_parallel_aco() {
-        let cfg = SimConfig::new(
-            EnvConfig::small(32, 32, 30).with_seed(22),
-            ModelKind::aco(),
-        )
-        .with_checked(true);
+        let cfg = SimConfig::new(EnvConfig::small(32, 32, 30).with_seed(22), ModelKind::aco())
+            .with_checked(true);
         assert_eq!(engines_agree(cfg, 30, 5, 4), None);
     }
 }

@@ -1,9 +1,12 @@
 //! Cell labels, pedestrian groups, and the Figure-1 neighbourhood.
 //!
 //! The environment matrix stores one byte per cell: `0` empty, `1` a
-//! top-group pedestrian, `2` a bottom-group pedestrian (paper §IV.a). A
-//! fourth value, [`CELL_WALL`], is used only as the halo fill outside the
-//! environment so border agents see the outside as unavailable.
+//! top-group pedestrian, `2` a bottom-group pedestrian (paper §IV.a). The
+//! fourth value, [`CELL_WALL`], marks permanently occupied cells: the halo
+//! fill outside the environment (so border agents see the outside as
+//! unavailable) *and* interior obstacle cells placed by
+//! `pedsim-scenario` — doorjambs, pillars, corridor walls. Both read
+//! identically to the kernels: not empty, never a mover.
 //!
 //! ## Neighbour numbering
 //!
@@ -31,7 +34,8 @@ pub const CELL_EMPTY: u8 = 0;
 pub const CELL_TOP: u8 = 1;
 /// Bottom-group pedestrian label.
 pub const CELL_BOTTOM: u8 = 2;
-/// Outside-the-environment fill label (never stored in the matrix itself).
+/// Permanently occupied label: the outside-the-environment halo fill and
+/// interior obstacle cells (walls, pillars, doorway jambs).
 pub const CELL_WALL: u8 = 255;
 
 /// The eight Moore-neighbourhood offsets `(dr, dc)` in the paper's
@@ -135,6 +139,13 @@ impl Group {
             Group::Top => 0,
             Group::Bottom => 1,
         }
+    }
+
+    /// This group's bit in a per-cell target-region bitmask (bit 0 top,
+    /// bit 1 bottom).
+    #[inline]
+    pub const fn target_bit(self) -> u8 {
+        1 << self.index()
     }
 
     /// Both groups.

@@ -22,6 +22,159 @@ use crate::cell::{Group, NEIGHBOR_OFFSETS};
 /// Floor applied to all distances (cells); keeps `1/D` finite.
 pub const DISTANCE_FLOOR: f32 = 0.5;
 
+/// Memory layout of a flattened distance field (what the kernels receive
+/// in constant memory alongside the raw `&[f32]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceKind {
+    /// The paper's row-based tables: `[group][row][neighbour]`, `2·H·8`
+    /// entries. Valid only for obstacle-free worlds whose targets are the
+    /// full opposite edges.
+    Rows,
+    /// A per-group flow-field potential: `[group][row][col]`, `2·H·W`
+    /// entries holding each cell's (floored) shortest-path distance to the
+    /// group's target region; walls and unreachable cells hold `f32::MAX`.
+    Grid,
+}
+
+/// A borrowed, layout-tagged view over a flattened distance field — the
+/// form both engines and all kernels consume, so the constant-memory
+/// upload stays a plain `Vec<f32>` whichever layout backs it.
+#[derive(Debug, Clone, Copy)]
+pub struct DistRef<'a> {
+    /// Layout of `data`.
+    pub kind: DistanceKind,
+    /// Environment height.
+    pub height: usize,
+    /// Environment width.
+    pub width: usize,
+    /// The flattened field.
+    pub data: &'a [f32],
+}
+
+impl DistRef<'_> {
+    /// Distance from the `k`-th neighbour of a group-`g` agent at `(r, c)`
+    /// to that agent's target. Out-of-bounds neighbours (grid layout only)
+    /// read as `f32::MAX`; such neighbours are walls to the caller anyway.
+    #[inline]
+    pub fn neighbor(&self, g: Group, r: i64, c: i64, k: usize) -> f32 {
+        match self.kind {
+            DistanceKind::Rows => DistanceTables::lookup(self.data, self.height, g, r as usize, k),
+            DistanceKind::Grid => {
+                let (dr, dc) = NEIGHBOR_OFFSETS[k];
+                let (nr, nc) = (r + dr, c + dc);
+                if nr < 0 || nc < 0 || nr as usize >= self.height || nc as usize >= self.width {
+                    f32::MAX
+                } else {
+                    self.data[(g.index() * self.height + nr as usize) * self.width + nc as usize]
+                }
+            }
+        }
+    }
+
+    /// The neighbour slot a group-`g` agent at `(r, c)` treats as its
+    /// *front cell* (the forward-priority target): the distance-argmin
+    /// neighbour, ties broken toward the group's row-forward direction.
+    ///
+    /// For the row layout the argmin provably *is* the row-forward cell
+    /// (paper §IV.b's strict ordering; the only tie is with the backward
+    /// cell when the agent stands on its own target row, which the
+    /// tie-break resolves forward), so this returns
+    /// [`Group::forward_index`] without touching the data — the legacy
+    /// corridor behaviour, bit for bit.
+    #[inline]
+    pub fn front_k(&self, g: Group, r: i64, c: i64) -> usize {
+        match self.kind {
+            DistanceKind::Rows => g.forward_index(),
+            DistanceKind::Grid => {
+                let mut best = g.forward_index();
+                let mut best_d = self.neighbor(g, r, c, best);
+                for k in 0..8 {
+                    if k == g.forward_index() {
+                        continue;
+                    }
+                    let d = self.neighbor(g, r, c, k);
+                    if d < best_d {
+                        best = k;
+                        best_d = d;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// An owned, layout-tagged flattened distance field — what an engine holds
+/// and what gets uploaded into a constant buffer. Built from any
+/// [`DistanceField`] implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceData {
+    /// Layout of `data`.
+    pub kind: DistanceKind,
+    /// Environment height.
+    pub height: usize,
+    /// Environment width (0 for the row layout, which ignores it).
+    pub width: usize,
+    /// The flattened field.
+    pub data: Vec<f32>,
+}
+
+impl DistanceData {
+    /// Snapshot a field into owned form.
+    pub fn from_field(field: &impl DistanceField) -> Self {
+        Self {
+            kind: field.kind(),
+            height: field.field_height(),
+            width: field.field_width(),
+            data: field.flat().to_vec(),
+        }
+    }
+
+    /// The paper's row tables for an obstacle-free corridor of `height`.
+    pub fn rows(height: usize) -> Self {
+        Self::from_field(&DistanceTables::new(height))
+    }
+
+    /// A layout-tagged borrowed view.
+    #[inline]
+    pub fn dist_ref(&self) -> DistRef<'_> {
+        DistRef {
+            kind: self.kind,
+            height: self.height,
+            width: self.width,
+            data: &self.data,
+        }
+    }
+}
+
+/// A distance-to-target field usable by the simulation: the row-based
+/// [`DistanceTables`] fast path for obstacle-free corridors, or the
+/// per-group [`crate::flowfield::GridDistanceField`] for worlds with
+/// interior obstacles or non-edge targets.
+pub trait DistanceField {
+    /// Layout of the flattened data.
+    fn kind(&self) -> DistanceKind;
+
+    /// Environment height the field was built for.
+    fn field_height(&self) -> usize;
+
+    /// Environment width the field was built for.
+    fn field_width(&self) -> usize;
+
+    /// The flattened field (what gets uploaded to constant memory).
+    fn flat(&self) -> &[f32];
+
+    /// A layout-tagged borrowed view.
+    fn dist_ref(&self) -> DistRef<'_> {
+        DistRef {
+            kind: self.kind(),
+            height: self.field_height(),
+            width: self.field_width(),
+            data: self.flat(),
+        }
+    }
+}
+
 /// Per-(group, row, neighbour) distances to target, laid out for constant
 /// memory: `[group][row][k]` flattened row-major.
 #[derive(Debug, Clone)]
@@ -88,6 +241,26 @@ impl DistanceTables {
     }
 }
 
+impl DistanceField for DistanceTables {
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Rows
+    }
+
+    fn field_height(&self) -> usize {
+        self.height
+    }
+
+    /// The row layout is column-independent; the width slot of the view is
+    /// unused.
+    fn field_width(&self) -> usize {
+        0
+    }
+
+    fn flat(&self) -> &[f32] {
+        &self.data
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,7 +284,7 @@ mod tests {
     fn paper_ordering_for_bottom_agent_mirrors() {
         let t = DistanceTables::new(480);
         let row = 300; // target row 0
-        // For a bottom agent the forward cell is k=5 (#6).
+                       // For a bottom agent the forward cell is k=5 (#6).
         let d: Vec<f32> = (0..8).map(|k| t.get(Group::Bottom, row, k)).collect();
         assert!(d[5] < d[6]);
         assert!((d[6] - d[7]).abs() < 1e-6);
@@ -143,6 +316,47 @@ mod tests {
         let t = DistanceTables::new(480);
         assert_eq!(t.min_for(Group::Top, 200), t.get(Group::Top, 200, 0));
         assert_eq!(t.min_for(Group::Bottom, 200), t.get(Group::Bottom, 200, 5));
+    }
+
+    #[test]
+    fn dist_ref_matches_tables() {
+        let t = DistanceTables::new(64);
+        let v = t.dist_ref();
+        assert_eq!(v.kind, DistanceKind::Rows);
+        for row in [0i64, 17, 63] {
+            for k in 0..8 {
+                assert_eq!(
+                    v.neighbor(Group::Top, row, 30, k),
+                    t.get(Group::Top, row as usize, k)
+                );
+            }
+            // The row fast path's front cell is the group-forward cell.
+            assert_eq!(v.front_k(Group::Top, row, 30), Group::Top.forward_index());
+            assert_eq!(
+                v.front_k(Group::Bottom, row, 30),
+                Group::Bottom.forward_index()
+            );
+        }
+    }
+
+    #[test]
+    fn row_argmin_is_forward_everywhere() {
+        // The claim front_k relies on: over every row, no neighbour beats
+        // the group-forward cell (ties allowed).
+        for height in [4usize, 17, 480] {
+            let t = DistanceTables::new(height);
+            for g in Group::BOTH {
+                for row in 0..height {
+                    let fwd = t.get(g, row, g.forward_index());
+                    for k in 0..8 {
+                        assert!(
+                            t.get(g, row, k) >= fwd - 1e-6,
+                            "h={height} {g:?} row={row} k={k}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The assembled simulation environment: `mat`, index matrix, property
 //! table, and the scenario geometry (the paper's data-preparation output).
 
+use std::sync::Arc;
+
 use philox::StreamRng;
 
-use crate::cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP};
+use crate::cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP, CELL_WALL};
 use crate::matrix::Matrix;
 use crate::placement::place_confined;
 use crate::property::PropertyTable;
@@ -86,18 +88,24 @@ impl EnvConfig {
 /// The environment state: cell labels, agent indices, agent properties.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Environment {
-    /// Cell labels (`mat` in the paper): 0 empty, 1 top, 2 bottom.
+    /// Cell labels (`mat` in the paper): 0 empty, 1 top, 2 bottom,
+    /// 255 interior wall.
     pub mat: Matrix<u8>,
     /// Agent index per cell (0 = none); indexes the property table.
     pub index: Matrix<u32>,
     /// Per-agent records.
     pub props: PropertyTable,
-    /// Rows of each spawn band.
+    /// Rows of each spawn band (the classic corridor layout; scenario
+    /// worlds record their spawn extent here for reporting only).
     pub spawn_rows: usize,
     /// Agents per group.
     pub agents_per_side: usize,
     /// Seed the environment was built with.
     pub seed: u64,
+    /// Per-cell target-region bitmask ([`Group::target_bit`]); `None` means
+    /// the classic corridor convention "crossed = reached the opposite
+    /// spawn band".
+    pub targets: Option<Arc<Matrix<u8>>>,
 }
 
 impl Environment {
@@ -123,7 +131,14 @@ impl Environment {
         let mut rng_top = StreamRng::new(cfg.seed, u64::MAX - 1);
         let mut rng_bot = StreamRng::new(cfg.seed, u64::MAX - 2);
         place_confined(
-            &mut mat, &mut index, &mut props, Group::Top, n, spawn_rows, 1, &mut rng_top,
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Top,
+            n,
+            spawn_rows,
+            1,
+            &mut rng_top,
         );
         place_confined(
             &mut mat,
@@ -142,6 +157,7 @@ impl Environment {
             spawn_rows,
             agents_per_side: n,
             seed: cfg.seed,
+            targets: None,
         }
     }
 
@@ -174,22 +190,28 @@ impl Environment {
         }
     }
 
-    /// Whether a group-`g` agent standing in `row` has crossed: reached the
+    /// Whether a group-`g` agent standing at `(row, col)` has crossed:
+    /// reached the group's target region when one is defined, else the
     /// *opposite* spawn band (the paper's "14th row in the opposite end"
     /// example — the first row of the far band).
     #[inline]
-    pub fn has_crossed(&self, g: Group, row: usize) -> bool {
-        match g {
-            Group::Top => row >= self.height() - self.spawn_rows,
-            Group::Bottom => row < self.spawn_rows,
+    pub fn has_crossed(&self, g: Group, row: usize, col: usize) -> bool {
+        match &self.targets {
+            Some(mask) => mask.get(row, col) & g.target_bit() != 0,
+            None => match g {
+                Group::Top => row >= self.height() - self.spawn_rows,
+                Group::Bottom => row < self.spawn_rows,
+            },
         }
     }
 
-    /// Count agents of `g` currently past the crossing line.
+    /// Count agents of `g` currently inside their target region.
     pub fn crossed_count(&self, g: Group) -> usize {
         (1..=self.total_agents())
             .filter(|&i| self.props.id[i] == g.label())
-            .filter(|&i| self.has_crossed(g, self.props.row[i] as usize))
+            .filter(|&i| {
+                self.has_crossed(g, self.props.row[i] as usize, self.props.col[i] as usize)
+            })
             .count()
     }
 
@@ -200,7 +222,7 @@ impl Environment {
         for (r, c, v) in self.index.iter_cells() {
             let label = self.mat.get(r, c);
             if v == 0 {
-                if label != CELL_EMPTY {
+                if label != CELL_EMPTY && label != CELL_WALL {
                     return Err(format!("cell ({r},{c}) labelled {label} but index 0"));
                 }
                 continue;
@@ -279,13 +301,38 @@ mod tests {
     #[test]
     fn crossing_line_is_opposite_band() {
         let env = Environment::new(&EnvConfig::small(16, 16, 29)); // 3 spawn rows
-        assert!(env.has_crossed(Group::Top, 13));
-        assert!(!env.has_crossed(Group::Top, 12));
-        assert!(env.has_crossed(Group::Bottom, 2));
-        assert!(!env.has_crossed(Group::Bottom, 3));
+        assert!(env.has_crossed(Group::Top, 13, 0));
+        assert!(!env.has_crossed(Group::Top, 12, 0));
+        assert!(env.has_crossed(Group::Bottom, 2, 5));
+        assert!(!env.has_crossed(Group::Bottom, 3, 5));
         // Nobody crossed at t=0.
         assert_eq!(env.crossed_count(Group::Top), 0);
         assert_eq!(env.crossed_count(Group::Bottom), 0);
+    }
+
+    #[test]
+    fn target_mask_overrides_band_convention() {
+        use std::sync::Arc;
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 10));
+        let mut mask = Matrix::filled(16, 16, 0u8);
+        // Top group's target: a single doorway cell mid-grid.
+        mask.set(8, 8, Group::Top.target_bit());
+        mask.set(1, 1, Group::Bottom.target_bit());
+        env.targets = Some(Arc::new(mask));
+        assert!(env.has_crossed(Group::Top, 8, 8));
+        assert!(!env.has_crossed(Group::Top, 15, 0)); // far band no longer counts
+        assert!(env.has_crossed(Group::Bottom, 1, 1));
+        assert!(!env.has_crossed(Group::Bottom, 8, 8)); // other group's bit
+    }
+
+    #[test]
+    fn walls_are_consistent_with_index_zero() {
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 10));
+        env.mat.set(8, 8, crate::cell::CELL_WALL);
+        env.check_consistency().expect("walls carry index 0");
+        // But a wall with a stale index entry is corruption.
+        env.index.set(8, 8, 3);
+        assert!(env.check_consistency().is_err());
     }
 
     #[test]

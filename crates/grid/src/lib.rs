@@ -14,7 +14,10 @@
 //! * [`scan::ScanMatrix`] — the `(N+1)×8` scan matrix holding eq. (1)
 //!   values (LEM) or eq. (2) numerators (ACO);
 //! * [`distance::DistanceTables`] — the pre-computed constant-memory
-//!   distance and move-length tables;
+//!   distance and move-length tables, behind the [`distance::DistanceField`]
+//!   abstraction;
+//! * [`flowfield::GridDistanceField`] — per-group Dijkstra flow fields for
+//!   worlds with interior obstacles and arbitrary target regions;
 //! * [`pheromone::PheromoneField`] — the two per-group pheromone matrices;
 //! * [`placement`] / [`environment`] — random confined placement and the
 //!   assembled [`environment::Environment`].
@@ -24,18 +27,19 @@
 pub mod cell;
 pub mod distance;
 pub mod environment;
+pub mod flowfield;
 pub mod matrix;
 pub mod pheromone;
 pub mod placement;
 pub mod property;
 pub mod scan;
 
-pub use cell::{
-    Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP, CELL_WALL, MOVE_LEN, NEIGHBOR_OFFSETS,
-};
-pub use distance::DistanceTables;
+pub use cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP, CELL_WALL, MOVE_LEN, NEIGHBOR_OFFSETS};
+pub use distance::{DistRef, DistanceData, DistanceField, DistanceKind, DistanceTables};
 pub use environment::{EnvConfig, Environment};
+pub use flowfield::GridDistanceField;
 pub use matrix::Matrix;
 pub use pheromone::PheromoneField;
+pub use placement::place_in_cells;
 pub use property::{PropertyTable, NO_FUTURE};
 pub use scan::ScanMatrix;

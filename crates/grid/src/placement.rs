@@ -43,16 +43,55 @@ pub fn place_confined(
         Group::Bottom => height - spawn_rows,
     };
 
-    // Band cells as (r, c), then partial Fisher–Yates for the first `count`.
-    let mut cells: Vec<(u16, u16)> = (row0..row0 + spawn_rows)
+    // Band cells as (r, c) in row-major order — the enumeration order is
+    // part of the deterministic placement contract.
+    let cells: Vec<(u16, u16)> = (row0..row0 + spawn_rows)
         .flat_map(|r| (0..width).map(move |c| (r as u16, c as u16)))
         .collect();
+    place_in_cells(
+        mat,
+        index,
+        props,
+        group.label(),
+        cells,
+        count,
+        first_index,
+        rng,
+    );
+}
+
+/// Place `count` agents with `label` uniformly at random among `cells`
+/// (given in a caller-fixed order), assigning indices
+/// `first_index..first_index + count` — the region-general form of
+/// [`place_confined`] used by scenario spawn regions.
+///
+/// Uses a partial Fisher–Yates shuffle over `cells`, so placement is
+/// uniform over all `C(cells, count)` configurations and deterministic in
+/// the RNG stream *and* the cell order.
+///
+/// Panics if `cells` cannot hold `count` agents or any chosen cell is
+/// already occupied (spawn regions must be empty — in particular, disjoint
+/// from walls and from other groups' regions).
+#[allow(clippy::too_many_arguments)]
+pub fn place_in_cells(
+    mat: &mut Matrix<u8>,
+    index: &mut Matrix<u32>,
+    props: &mut PropertyTable,
+    label: u8,
+    mut cells: Vec<(u16, u16)>,
+    count: usize,
+    first_index: u32,
+    rng: &mut StreamRng,
+) {
+    let capacity = cells.len();
+    assert!(
+        count <= capacity,
+        "cannot place {count} agents in a region of {capacity} cells"
+    );
     for i in 0..count {
         let j = i + rng.bounded_u32((capacity - i) as u32) as usize;
         cells.swap(i, j);
     }
-
-    let label = group.label();
     for (k, &(r, c)) in cells[..count].iter().enumerate() {
         let idx = first_index + k as u32;
         assert_eq!(
@@ -83,7 +122,16 @@ mod tests {
     fn places_exact_count_in_band() {
         let (mut mat, mut index, mut props) = setup(20);
         let mut rng = StreamRng::new(1, 0);
-        place_confined(&mut mat, &mut index, &mut props, Group::Top, 20, 3, 1, &mut rng);
+        place_confined(
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Top,
+            20,
+            3,
+            1,
+            &mut rng,
+        );
         assert_eq!(mat.count(CELL_TOP), 20);
         // Confined to rows 0..3.
         for (r, _, v) in mat.iter_cells() {
@@ -98,7 +146,14 @@ mod tests {
         let (mut mat, mut index, mut props) = setup(10);
         let mut rng = StreamRng::new(2, 0);
         place_confined(
-            &mut mat, &mut index, &mut props, Group::Bottom, 10, 2, 1, &mut rng,
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Bottom,
+            10,
+            2,
+            1,
+            &mut rng,
         );
         for (r, _, v) in mat.iter_cells() {
             if v == CELL_BOTTOM {
@@ -111,7 +166,16 @@ mod tests {
     fn index_and_props_consistent() {
         let (mut mat, mut index, mut props) = setup(12);
         let mut rng = StreamRng::new(3, 0);
-        place_confined(&mut mat, &mut index, &mut props, Group::Top, 12, 2, 1, &mut rng);
+        place_confined(
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Top,
+            12,
+            2,
+            1,
+            &mut rng,
+        );
         for (r, c, v) in index.iter_cells() {
             if v != 0 {
                 assert_eq!(props.position(v as usize), (r as u16, c as u16));
@@ -124,8 +188,26 @@ mod tests {
     fn deterministic_in_seed() {
         let (mut m1, mut i1, mut p1) = setup(15);
         let (mut m2, mut i2, mut p2) = setup(15);
-        place_confined(&mut m1, &mut i1, &mut p1, Group::Top, 15, 3, 1, &mut StreamRng::new(7, 0));
-        place_confined(&mut m2, &mut i2, &mut p2, Group::Top, 15, 3, 1, &mut StreamRng::new(7, 0));
+        place_confined(
+            &mut m1,
+            &mut i1,
+            &mut p1,
+            Group::Top,
+            15,
+            3,
+            1,
+            &mut StreamRng::new(7, 0),
+        );
+        place_confined(
+            &mut m2,
+            &mut i2,
+            &mut p2,
+            Group::Top,
+            15,
+            3,
+            1,
+            &mut StreamRng::new(7, 0),
+        );
         assert_eq!(m1, m2);
         assert_eq!(p1, p2);
     }
@@ -134,10 +216,85 @@ mod tests {
     fn full_band_fills_every_cell() {
         let (mut mat, mut index, mut props) = setup(48);
         let mut rng = StreamRng::new(5, 0);
-        place_confined(&mut mat, &mut index, &mut props, Group::Top, 48, 3, 1, &mut rng);
+        place_confined(
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Top,
+            48,
+            3,
+            1,
+            &mut rng,
+        );
         for r in 0..3 {
             for c in 0..16 {
                 assert_eq!(mat.get(r, c), CELL_TOP);
+            }
+        }
+    }
+
+    #[test]
+    fn region_form_matches_band_form_exactly() {
+        // The scenario path must reproduce the legacy band placement bit
+        // for bit when handed the same cells in the same order.
+        let (mut m1, mut i1, mut p1) = setup(15);
+        let (mut m2, mut i2, mut p2) = setup(15);
+        place_confined(
+            &mut m1,
+            &mut i1,
+            &mut p1,
+            Group::Top,
+            15,
+            3,
+            1,
+            &mut StreamRng::new(9, 4),
+        );
+        let band: Vec<(u16, u16)> = (0..3u16)
+            .flat_map(|r| (0..16u16).map(move |c| (r, c)))
+            .collect();
+        place_in_cells(
+            &mut m2,
+            &mut i2,
+            &mut p2,
+            Group::Top.label(),
+            band,
+            15,
+            1,
+            &mut StreamRng::new(9, 4),
+        );
+        assert_eq!(m1, m2);
+        assert_eq!(i1, i2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn region_placement_confined_to_cells() {
+        let (mut mat, mut index, mut props) = setup(6);
+        // An L-shaped region.
+        let region = vec![
+            (5u16, 5u16),
+            (5, 6),
+            (6, 5),
+            (7, 5),
+            (8, 5),
+            (9, 9),
+            (2, 11),
+        ];
+        let mut rng = StreamRng::new(4, 0);
+        place_in_cells(
+            &mut mat,
+            &mut index,
+            &mut props,
+            CELL_TOP,
+            region.clone(),
+            6,
+            1,
+            &mut rng,
+        );
+        assert_eq!(mat.count(CELL_TOP), 6);
+        for (r, c, v) in mat.iter_cells() {
+            if v == CELL_TOP {
+                assert!(region.contains(&(r as u16, c as u16)), "({r},{c})");
             }
         }
     }
@@ -147,6 +304,15 @@ mod tests {
     fn overfull_band_rejected() {
         let (mut mat, mut index, mut props) = setup(49);
         let mut rng = StreamRng::new(5, 0);
-        place_confined(&mut mat, &mut index, &mut props, Group::Top, 49, 3, 1, &mut rng);
+        place_confined(
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Top,
+            49,
+            3,
+            1,
+            &mut rng,
+        );
     }
 }

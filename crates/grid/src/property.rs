@@ -31,9 +31,14 @@ pub struct PropertyTable {
     pub future_row: Vec<u16>,
     /// Chosen next column ([`NO_FUTURE`] when none).
     pub future_col: Vec<u16>,
-    /// Contents of the agent's forward cell, refreshed each step
+    /// Contents of the agent's front cell, refreshed each step
     /// (the Table-I FRONT CELL field).
     pub front: Vec<u8>,
+    /// Which neighbour slot (0–7) is the agent's front cell this step: the
+    /// distance-argmin neighbour. For the paper's row-distance corridor
+    /// this is always the group's row-forward cell; flow-field worlds
+    /// point it downhill around obstacles.
+    pub front_k: Vec<u8>,
 }
 
 impl PropertyTable {
@@ -48,6 +53,7 @@ impl PropertyTable {
             future_row: vec![NO_FUTURE; n],
             future_col: vec![NO_FUTURE; n],
             front: vec![0; n],
+            front_k: vec![0; n],
         }
     }
 
@@ -72,6 +78,7 @@ impl PropertyTable {
         self.future_row[idx] = NO_FUTURE;
         self.future_col[idx] = NO_FUTURE;
         self.front[idx] = 0;
+        self.front_k[idx] = 0;
     }
 
     /// Current position of agent `idx`.

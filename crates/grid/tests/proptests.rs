@@ -1,6 +1,6 @@
 //! Property-based tests for the environment substrate.
 
-use pedsim_grid::cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP};
+use pedsim_grid::cell::{Group, CELL_BOTTOM, CELL_TOP};
 use pedsim_grid::{DistanceTables, EnvConfig, Environment, Matrix, PheromoneField};
 use proptest::prelude::*;
 

@@ -47,8 +47,7 @@ mod stream;
 
 pub use compat::PhiloxRng;
 pub use dist::{
-    box_muller, lemire_bounded, normal_f32, normal_f64, uniform_f32, uniform_f64,
-    ClampedNormal,
+    box_muller, lemire_bounded, normal_f32, normal_f64, uniform_f32, uniform_f64, ClampedNormal,
 };
 pub use philox::{philox4x32, philox4x32_rounds, Philox4x32, PHILOX_DEFAULT_ROUNDS};
 pub use stream::{draw, draw2, draw4, StreamRng};

@@ -1,0 +1,32 @@
+//! # pedsim-scenario — declarative simulation worlds
+//!
+//! The paper evaluates exactly one geometry: a square bi-directional
+//! corridor with edge spawn bands. Its motivating use case — mass
+//! gatherings — is full of doorways, pillars, and crossing streams. This
+//! crate closes that gap declaratively:
+//!
+//! * [`Region`] — an ordered cell set (spawn areas, target areas);
+//! * [`Scenario`] / [`ScenarioBuilder`] — a validated world description:
+//!   geometry, interior obstacle cells, per-group spawn and target
+//!   regions, population, seed;
+//! * [`registry`] — ready-made worlds: `paper_corridor` (the paper's
+//!   geometry, bit-identical to the legacy `EnvConfig` path), `doorway`,
+//!   `pillar_hall`, and `crossing`.
+//!
+//! A scenario knows how to *materialise* itself
+//! ([`Scenario::build_environment`]) and how agents *route* through it
+//! ([`Scenario::distance_data`]): obstacle-free corridor worlds take the
+//! paper's row-based constant-memory tables, everything else gets a
+//! per-group Dijkstra flow field from `pedsim-grid`. The engines in
+//! `pedsim-core` consume both through one `DistRef` view, so the four
+//! kernels are geometry-agnostic.
+
+#![warn(missing_docs)]
+
+pub mod region;
+pub mod registry;
+#[allow(clippy::module_inception)]
+pub mod scenario;
+
+pub use region::Region;
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};

@@ -1,0 +1,207 @@
+//! Ready-made scenarios.
+//!
+//! Four canonical worlds, each exercising one routing regime:
+//!
+//! * [`paper_corridor`] — exactly the paper's evaluation geometry
+//!   (obstacle-free bi-directional corridor, edge spawn bands). Takes the
+//!   row-table fast path and reproduces the legacy `EnvConfig` trajectories
+//!   bit for bit.
+//! * [`doorway`] — the corridor pinched to a `gap`-cell doorway mid-height:
+//!   the classic bottleneck benchmark (cf. the CALM model's constrained
+//!   aisle geometries, arXiv:1910.05749).
+//! * [`pillar_hall`] — scattered interior pillars, a mass-gathering hall.
+//! * [`crossing`] — two orthogonal streams (top→bottom and left→right)
+//!   crossing mid-grid (cf. dynamic navigation fields for intersecting
+//!   flows, arXiv:1705.03569).
+
+use pedsim_grid::cell::Group;
+use pedsim_grid::EnvConfig;
+
+use crate::region::Region;
+use crate::scenario::Scenario;
+
+/// The registry's scenario names, in presentation order.
+pub fn names() -> &'static [&'static str] {
+    &["paper_corridor", "doorway", "pillar_hall", "crossing"]
+}
+
+/// Derive the spawn-band depth the legacy corridor would use for this
+/// population (the ~0.6-fill rule of [`EnvConfig::effective_spawn_rows`]).
+fn band_rows(width: usize, height: usize, per_side: usize) -> usize {
+    EnvConfig::small(width, height, per_side).effective_spawn_rows()
+}
+
+/// The paper's evaluation geometry as a declarative scenario, mirroring
+/// `cfg` (including its seed). Obstacle-free with full-width opposite-edge
+/// targets, so it routes by the row-table fast path — bit-identical to
+/// building the same [`EnvConfig`] directly.
+pub fn paper_corridor(cfg: &EnvConfig) -> Scenario {
+    let (w, h) = (cfg.width, cfg.height);
+    let s = cfg.effective_spawn_rows();
+    Scenario::builder("paper_corridor", w, h)
+        .spawn(Group::Top, Region::row_band(0, s, w))
+        .spawn(Group::Bottom, Region::row_band(h - s, s, w))
+        .target(Group::Top, Region::row_band(h - s, s, w))
+        .target(Group::Bottom, Region::row_band(0, s, w))
+        .agents_per_side(cfg.agents_per_side)
+        .seed(cfg.seed)
+        .build()
+        .expect("paper corridor geometry is always valid")
+}
+
+/// The corridor with a full wall at mid-height pierced by a centred
+/// `gap`-cell doorway. Shrinking `gap` turns lane formation into a
+/// bottleneck fight.
+pub fn doorway(width: usize, height: usize, per_side: usize, gap: usize) -> Scenario {
+    assert!(gap >= 1 && gap <= width, "doorway gap must be 1..=width");
+    let s = band_rows(width, height, per_side);
+    let mid = height / 2;
+    assert!(
+        mid >= s && mid < height - s,
+        "doorway corridor of {height} rows cannot seat {per_side} agents per side: \
+         the {s}-row spawn bands reach the mid-height wall"
+    );
+    let gap_start = (width - gap) / 2;
+    let mut b = Scenario::builder("doorway", width, height);
+    if gap_start > 0 {
+        b = b.wall_rect(mid, 0, 1, gap_start);
+    }
+    if gap_start + gap < width {
+        b = b.wall_rect(mid, gap_start + gap, 1, width - gap_start - gap);
+    }
+    b.spawn(Group::Top, Region::row_band(0, s, width))
+        .spawn(Group::Bottom, Region::row_band(height - s, s, width))
+        .target(Group::Top, Region::row_band(height - s, s, width))
+        .target(Group::Bottom, Region::row_band(0, s, width))
+        .agents_per_side(per_side)
+        .build()
+        .expect("doorway geometry is always valid")
+}
+
+/// A hall with pillars every `spacing` cells in the interior (outside both
+/// spawn bands, clear of the side margins).
+pub fn pillar_hall(width: usize, height: usize, per_side: usize, spacing: usize) -> Scenario {
+    assert!(spacing >= 2, "pillar spacing must be at least 2");
+    let s = band_rows(width, height, per_side);
+    let mut b = Scenario::builder("pillar_hall", width, height);
+    let mut r = s + 2;
+    while r + 2 + s < height {
+        let mut c = 2;
+        while c + 2 < width {
+            b = b.wall_cell(r, c);
+            c += spacing;
+        }
+        r += spacing;
+    }
+    b.spawn(Group::Top, Region::row_band(0, s, width))
+        .spawn(Group::Bottom, Region::row_band(height - s, s, width))
+        .target(Group::Top, Region::row_band(height - s, s, width))
+        .target(Group::Bottom, Region::row_band(0, s, width))
+        .agents_per_side(per_side)
+        .build()
+        .expect("pillar hall geometry is always valid")
+}
+
+/// Two orthogonal streams on a `side × side` plaza: the top group walks
+/// top→bottom, the bottom group walks left→right, crossing mid-grid. The
+/// column-band target makes this the first registry world whose routing
+/// cannot be expressed by row distances at all.
+pub fn crossing(side: usize, per_side: usize) -> Scenario {
+    // Smallest band depth whose rectangle (excluding the shared corner)
+    // seats the population at ≲ 60 % fill, mirroring the corridor rule.
+    let s = (1..side / 2)
+        .find(|&s| (s * (side - s)) as f64 * 0.6 >= per_side as f64)
+        .unwrap_or(side / 2)
+        .max(2);
+    assert!(
+        s * (side - s) >= per_side,
+        "crossing plaza of side {side} cannot seat {per_side} agents per stream"
+    );
+    Scenario::builder("crossing", side, side)
+        // Vertical stream: spawns across the top, right of the horizontal
+        // stream's band (regions must be disjoint).
+        .spawn(Group::Top, Region::rect(0, s, s, side - s))
+        .target(Group::Top, Region::row_band(side - s, s, side))
+        // Horizontal stream: spawns down the left side, below the vertical
+        // stream's band.
+        .spawn(Group::Bottom, Region::rect(s, 0, side - s, s))
+        .target(Group::Bottom, Region::col_band(side - s, s, side))
+        .agents_per_side(per_side)
+        .build()
+        .expect("crossing geometry is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedsim_grid::DistanceKind;
+
+    #[test]
+    fn paper_corridor_mirrors_env_config() {
+        let cfg = EnvConfig::small(32, 32, 40).with_seed(11);
+        let s = paper_corridor(&cfg);
+        assert!(s.uses_row_fast_path());
+        assert_eq!(s.distance_data().kind, DistanceKind::Rows);
+        // Same placement, bit for bit.
+        let legacy = pedsim_grid::Environment::new(&cfg);
+        let scen = s.build_environment();
+        assert_eq!(legacy.mat, scen.mat);
+        assert_eq!(legacy.index, scen.index);
+        assert_eq!(legacy.props, scen.props);
+        assert_eq!(legacy.spawn_rows, scen.spawn_rows);
+    }
+
+    #[test]
+    fn doorway_has_exactly_gap_passable_cells_mid_row() {
+        for gap in [1usize, 4, 9] {
+            let s = doorway(32, 32, 60, gap);
+            let mid = 16;
+            let open = (0..32).filter(|&c| !s.is_wall(mid, c)).count();
+            assert_eq!(open, gap, "gap {gap}");
+            assert_eq!(s.distance_data().kind, DistanceKind::Grid);
+            s.build_environment()
+                .check_consistency()
+                .expect("consistent");
+        }
+    }
+
+    #[test]
+    fn pillar_hall_keeps_bands_clear() {
+        let s = pillar_hall(48, 48, 200, 6);
+        assert!(!s.walls().is_empty());
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        // No pillar inside either spawn band.
+        for &(r, _) in s.walls() {
+            assert!((r as usize) >= env.spawn_rows);
+            assert!((r as usize) < 48 - env.spawn_rows);
+        }
+    }
+
+    #[test]
+    fn crossing_streams_are_disjoint_and_orthogonal() {
+        let s = crossing(40, 150);
+        assert_eq!(s.distance_data().kind, DistanceKind::Grid);
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        // The horizontal stream's target is a column band: crossing for
+        // bottom agents means "reached the right edge".
+        assert!(env.has_crossed(Group::Bottom, 20, 39));
+        assert!(!env.has_crossed(Group::Bottom, 20, 0));
+        // And the vertical stream still crosses downward.
+        assert!(env.has_crossed(Group::Top, 39, 20));
+    }
+
+    #[test]
+    fn registry_names_cover_all_constructors() {
+        assert_eq!(names().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reach the mid-height wall")]
+    fn doorway_rejects_bands_touching_the_wall() {
+        // 8 rows with 20 agents per side derives 4-row bands: the bottom
+        // band includes row 4 = the wall row.
+        let _ = doorway(8, 8, 20, 2);
+    }
+}

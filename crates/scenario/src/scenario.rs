@@ -1,0 +1,612 @@
+//! The declarative world description and its builder.
+
+use std::sync::{Arc, OnceLock};
+
+use pedsim_grid::cell::Group;
+use pedsim_grid::{
+    place_in_cells, DistanceData, DistanceTables, EnvConfig, Environment, GridDistanceField,
+    Matrix, PropertyTable, CELL_EMPTY, CELL_WALL,
+};
+use philox::StreamRng;
+
+use crate::region::Region;
+
+/// Why a scenario description is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The grid is smaller than the simulation substrate supports.
+    WorldTooSmall {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// A region or wall cell lies outside the grid.
+    OutOfBounds {
+        /// What was out of bounds.
+        what: &'static str,
+        /// The offending cell.
+        cell: (u16, u16),
+    },
+    /// A group's spawn region is missing.
+    MissingSpawn(&'static str),
+    /// A group's target region is missing.
+    MissingTarget(&'static str),
+    /// A spawn region overlaps a wall or the other group's spawn region.
+    SpawnOverlap {
+        /// What the spawn collides with.
+        with: &'static str,
+        /// The shared cell.
+        cell: (u16, u16),
+    },
+    /// A spawn region cannot hold the requested population.
+    SpawnTooSmall {
+        /// The group whose region is too small.
+        group: &'static str,
+        /// Requested agents.
+        agents: usize,
+        /// Region capacity.
+        capacity: usize,
+    },
+    /// Every cell of a group's target region is walled off.
+    TargetWalled(&'static str),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorldTooSmall { width, height } => {
+                write!(f, "world {width}x{height} is too small (need >= 2x4)")
+            }
+            Self::OutOfBounds { what, cell } => {
+                write!(f, "{what} cell ({}, {}) out of bounds", cell.0, cell.1)
+            }
+            Self::MissingSpawn(g) => write!(f, "{g} group has no spawn region"),
+            Self::MissingTarget(g) => write!(f, "{g} group has no target region"),
+            Self::SpawnOverlap { with, cell } => {
+                write!(
+                    f,
+                    "spawn region overlaps {with} at ({}, {})",
+                    cell.0, cell.1
+                )
+            }
+            Self::SpawnTooSmall {
+                group,
+                agents,
+                capacity,
+            } => write!(
+                f,
+                "{group} spawn region holds {capacity} cells, cannot seat {agents} agents"
+            ),
+            Self::TargetWalled(g) => write!(f, "every {g} target cell is a wall"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A declarative simulation world: geometry, interior obstacles, per-group
+/// spawn and target regions, and population.
+///
+/// Scenarios are immutable once built (construction goes through
+/// [`ScenarioBuilder`], which validates the description), so engines can
+/// share one behind an `Arc`; the distance field is computed once per
+/// instance and shared by every engine built from it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    width: usize,
+    height: usize,
+    /// Interior obstacle cells, sorted row-major and deduplicated.
+    walls: Vec<(u16, u16)>,
+    spawns: [Region; 2],
+    targets: [Region; 2],
+    agents_per_side: usize,
+    seed: u64,
+    /// Lazily computed distance field (seed-independent, so survives
+    /// `with_seed`); excluded from equality.
+    dist_cache: OnceLock<Arc<DistanceData>>,
+}
+
+impl PartialEq for Scenario {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.width == other.width
+            && self.height == other.height
+            && self.walls == other.walls
+            && self.spawns == other.spawns
+            && self.targets == other.targets
+            && self.agents_per_side == other.agents_per_side
+            && self.seed == other.seed
+    }
+}
+
+impl Scenario {
+    /// Start describing a `width × height` world.
+    pub fn builder(name: impl Into<String>, width: usize, height: usize) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            width,
+            height,
+            walls: Vec::new(),
+            spawns: [None, None],
+            targets: [None, None],
+            agents_per_side: 0,
+            seed: 0,
+        }
+    }
+
+    /// Scenario name (registry key / report label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Interior obstacle cells (sorted row-major).
+    pub fn walls(&self) -> &[(u16, u16)] {
+        &self.walls
+    }
+
+    /// Group `g`'s spawn region.
+    pub fn spawn(&self, g: Group) -> &Region {
+        &self.spawns[g.index()]
+    }
+
+    /// Group `g`'s target region.
+    pub fn target(&self, g: Group) -> &Region {
+        &self.targets[g.index()]
+    }
+
+    /// Agents per group.
+    pub fn agents_per_side(&self) -> usize {
+        self.agents_per_side
+    }
+
+    /// Total population.
+    pub fn total_agents(&self) -> usize {
+        self.agents_per_side * 2
+    }
+
+    /// Placement/kernel seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builder-style seed change (scenario validity is seed-independent).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether `(r, c)` is an interior wall cell.
+    pub fn is_wall(&self, r: usize, c: usize) -> bool {
+        r <= u16::MAX as usize
+            && c <= u16::MAX as usize
+            && self.walls.binary_search(&(r as u16, c as u16)).is_ok()
+    }
+
+    /// True when the world is obstacle-free *and* both targets are the
+    /// classic full-width opposite-edge bands — exactly the geometry the
+    /// paper's row-based distance tables encode. Such scenarios take the
+    /// [`DistanceTables`] fast path and reproduce the legacy corridor
+    /// trajectories bit for bit; everything else routes through a
+    /// [`GridDistanceField`].
+    pub fn uses_row_fast_path(&self) -> bool {
+        self.walls.is_empty()
+            && self.targets[Group::Top.index()].is_edge_row_band(self.width, self.height, false)
+            && self.targets[Group::Bottom.index()].is_edge_row_band(self.width, self.height, true)
+    }
+
+    /// The distance field this scenario routes by, in uploadable form.
+    /// Computed on first call and cached: every engine built from the same
+    /// scenario instance (CPU/GPU pairs, repeated runs) shares one field
+    /// instead of re-running the Dijkstra.
+    pub fn distance_data(&self) -> Arc<DistanceData> {
+        self.dist_cache
+            .get_or_init(|| {
+                Arc::new(if self.uses_row_fast_path() {
+                    DistanceData::from_field(&DistanceTables::new(self.height))
+                } else {
+                    let field = GridDistanceField::compute(
+                        self.height,
+                        self.width,
+                        |r, c| self.is_wall(r, c),
+                        [
+                            self.targets[Group::Top.index()].cells(),
+                            self.targets[Group::Bottom.index()].cells(),
+                        ],
+                    );
+                    DistanceData::from_field(&field)
+                })
+            })
+            .clone()
+    }
+
+    /// The per-cell target bitmask ([`Group::target_bit`] bits).
+    pub fn target_mask(&self) -> Matrix<u8> {
+        let mut mask = Matrix::filled(self.height, self.width, 0u8);
+        for g in Group::BOTH {
+            for &(r, c) in self.targets[g.index()].cells() {
+                let cur = mask.get(r as usize, c as usize);
+                mask.set(r as usize, c as usize, cur | g.target_bit());
+            }
+        }
+        mask
+    }
+
+    /// An [`EnvConfig`] mirroring this scenario's geometry (the record the
+    /// simulation configuration carries for reporting and kernel seeding).
+    ///
+    /// `spawn_rows` reports the *top* group's row extent and `spawn_fill`
+    /// the classic 0.6 convention; for asymmetric worlds (e.g. the
+    /// registry's `crossing`) these are reporting approximations only —
+    /// crossing semantics always come from the per-cell target mask, never
+    /// from this record.
+    pub fn env_config(&self) -> EnvConfig {
+        EnvConfig {
+            width: self.width,
+            height: self.height,
+            agents_per_side: self.agents_per_side,
+            spawn_rows: Some(self.spawns[0].row_extent()),
+            spawn_fill: 0.6,
+            seed: self.seed,
+        }
+    }
+
+    /// Build and populate the world (the paper's data-preparation stage
+    /// over a declarative description): walls stamped into `mat`, both
+    /// groups placed uniformly at random inside their spawn regions with
+    /// the same dedicated RNG streams the legacy corridor uses, target
+    /// bitmask attached.
+    pub fn build_environment(&self) -> Environment {
+        let n = self.agents_per_side;
+        let mut mat = Matrix::filled(self.height, self.width, CELL_EMPTY);
+        let mut index = Matrix::filled(self.height, self.width, 0u32);
+        let mut props = PropertyTable::new(2 * n);
+        for &(r, c) in &self.walls {
+            mat.set(r as usize, c as usize, CELL_WALL);
+        }
+        // The same dedicated placement streams Environment::new uses, far
+        // away from the per-cell streams the kernels draw from.
+        let mut rng_top = StreamRng::new(self.seed, u64::MAX - 1);
+        let mut rng_bot = StreamRng::new(self.seed, u64::MAX - 2);
+        place_in_cells(
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Top.label(),
+            self.spawns[Group::Top.index()].cells().to_vec(),
+            n,
+            1,
+            &mut rng_top,
+        );
+        place_in_cells(
+            &mut mat,
+            &mut index,
+            &mut props,
+            Group::Bottom.label(),
+            self.spawns[Group::Bottom.index()].cells().to_vec(),
+            n,
+            (n + 1) as u32,
+            &mut rng_bot,
+        );
+        Environment {
+            mat,
+            index,
+            props,
+            spawn_rows: self.spawns[0].row_extent(),
+            agents_per_side: n,
+            seed: self.seed,
+            targets: Some(Arc::new(self.target_mask())),
+        }
+    }
+}
+
+/// Builder for [`Scenario`] (validates on [`ScenarioBuilder::build`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    width: usize,
+    height: usize,
+    walls: Vec<(u16, u16)>,
+    spawns: [Option<Region>; 2],
+    targets: [Option<Region>; 2],
+    agents_per_side: usize,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// Add a single obstacle cell.
+    pub fn wall_cell(mut self, r: usize, c: usize) -> Self {
+        assert!(
+            r <= u16::MAX as usize && c <= u16::MAX as usize,
+            "wall cell ({r},{c}) exceeds u16 coordinates"
+        );
+        self.walls.push((r as u16, c as u16));
+        self
+    }
+
+    /// Add a rectangle of obstacle cells.
+    pub fn wall_rect(mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> Self {
+        assert!(
+            r0 + rows <= u16::MAX as usize && c0 + cols <= u16::MAX as usize,
+            "wall rectangle exceeds u16 coordinates"
+        );
+        for r in r0..r0 + rows {
+            for c in c0..c0 + cols {
+                self.walls.push((r as u16, c as u16));
+            }
+        }
+        self
+    }
+
+    /// Set group `g`'s spawn region.
+    pub fn spawn(mut self, g: Group, region: Region) -> Self {
+        self.spawns[g.index()] = Some(region);
+        self
+    }
+
+    /// Set group `g`'s target region.
+    pub fn target(mut self, g: Group, region: Region) -> Self {
+        self.targets[g.index()] = Some(region);
+        self
+    }
+
+    /// Set the per-group population.
+    pub fn agents_per_side(mut self, n: usize) -> Self {
+        self.agents_per_side = n;
+        self
+    }
+
+    /// Set the placement/kernel seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the description and produce the immutable [`Scenario`].
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let (w, h) = (self.width, self.height);
+        if w < 2 || h < 4 {
+            return Err(ScenarioError::WorldTooSmall {
+                width: w,
+                height: h,
+            });
+        }
+        let in_bounds = |&(r, c): &(u16, u16)| (r as usize) < h && (c as usize) < w;
+        let mut walls = self.walls;
+        walls.sort_unstable();
+        walls.dedup();
+        if let Some(&cell) = walls.iter().find(|c| !in_bounds(c)) {
+            return Err(ScenarioError::OutOfBounds { what: "wall", cell });
+        }
+        let group_name = |g: Group| match g {
+            Group::Top => "top",
+            Group::Bottom => "bottom",
+        };
+        let mut spawns = Vec::with_capacity(2);
+        let mut targets = Vec::with_capacity(2);
+        for g in Group::BOTH {
+            let spawn = self.spawns[g.index()]
+                .clone()
+                .ok_or(ScenarioError::MissingSpawn(group_name(g)))?;
+            if let Some(&cell) = spawn.cells().iter().find(|c| !in_bounds(c)) {
+                return Err(ScenarioError::OutOfBounds {
+                    what: "spawn",
+                    cell,
+                });
+            }
+            if let Some(&cell) = spawn
+                .cells()
+                .iter()
+                .find(|&&(r, c)| walls.binary_search(&(r, c)).is_ok())
+            {
+                return Err(ScenarioError::SpawnOverlap {
+                    with: "a wall",
+                    cell,
+                });
+            }
+            if spawn.len() < self.agents_per_side {
+                return Err(ScenarioError::SpawnTooSmall {
+                    group: group_name(g),
+                    agents: self.agents_per_side,
+                    capacity: spawn.len(),
+                });
+            }
+            let target = self.targets[g.index()]
+                .clone()
+                .ok_or(ScenarioError::MissingTarget(group_name(g)))?;
+            if let Some(&cell) = target.cells().iter().find(|c| !in_bounds(c)) {
+                return Err(ScenarioError::OutOfBounds {
+                    what: "target",
+                    cell,
+                });
+            }
+            if target
+                .cells()
+                .iter()
+                .all(|&(r, c)| walls.binary_search(&(r, c)).is_ok())
+            {
+                return Err(ScenarioError::TargetWalled(group_name(g)));
+            }
+            spawns.push(spawn);
+            targets.push(target);
+        }
+        let (bottom_spawn, top_spawn) = (spawns.pop().expect("two"), spawns.pop().expect("two"));
+        // Sorted probe list keeps this O((n+m) log m); regions reach ~10^4
+        // cells at paper scale and a linear-scan contains would go
+        // quadratic here.
+        let mut bottom_cells: Vec<(u16, u16)> = bottom_spawn.cells().to_vec();
+        bottom_cells.sort_unstable();
+        if let Some(&cell) = top_spawn
+            .cells()
+            .iter()
+            .find(|c| bottom_cells.binary_search(c).is_ok())
+        {
+            return Err(ScenarioError::SpawnOverlap {
+                with: "the other group's spawn region",
+                cell,
+            });
+        }
+        let (bottom_target, top_target) =
+            (targets.pop().expect("two"), targets.pop().expect("two"));
+        Ok(Scenario {
+            name: self.name,
+            width: w,
+            height: h,
+            walls,
+            spawns: [top_spawn, bottom_spawn],
+            targets: [top_target, bottom_target],
+            agents_per_side: self.agents_per_side,
+            seed: self.seed,
+            dist_cache: OnceLock::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corridor() -> Scenario {
+        Scenario::builder("t", 16, 16)
+            .spawn(Group::Top, Region::row_band(0, 3, 16))
+            .spawn(Group::Bottom, Region::row_band(13, 3, 16))
+            .target(Group::Top, Region::row_band(13, 3, 16))
+            .target(Group::Bottom, Region::row_band(0, 3, 16))
+            .agents_per_side(20)
+            .seed(5)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn corridor_takes_row_fast_path() {
+        let s = corridor();
+        assert!(s.uses_row_fast_path());
+        let d = s.distance_data();
+        assert_eq!(d.kind, pedsim_grid::DistanceKind::Rows);
+        assert_eq!(d.data.len(), 2 * 16 * 8);
+    }
+
+    #[test]
+    fn walls_force_grid_field() {
+        let s = Scenario::builder("t", 16, 16)
+            .wall_rect(8, 0, 1, 7)
+            .wall_rect(8, 9, 1, 7)
+            .spawn(Group::Top, Region::row_band(0, 3, 16))
+            .spawn(Group::Bottom, Region::row_band(13, 3, 16))
+            .target(Group::Top, Region::row_band(13, 3, 16))
+            .target(Group::Bottom, Region::row_band(0, 3, 16))
+            .agents_per_side(20)
+            .build()
+            .expect("valid");
+        assert!(!s.uses_row_fast_path());
+        let d = s.distance_data();
+        assert_eq!(d.kind, pedsim_grid::DistanceKind::Grid);
+        assert_eq!(d.data.len(), 2 * 16 * 16);
+        assert!(s.is_wall(8, 0) && !s.is_wall(8, 8));
+    }
+
+    #[test]
+    fn environment_matches_description() {
+        let s = Scenario::builder("t", 16, 16)
+            .wall_rect(8, 0, 1, 6)
+            .spawn(Group::Top, Region::row_band(0, 3, 16))
+            .spawn(Group::Bottom, Region::row_band(13, 3, 16))
+            .target(Group::Top, Region::row_band(13, 3, 16))
+            .target(Group::Bottom, Region::row_band(0, 3, 16))
+            .agents_per_side(12)
+            .seed(9)
+            .build()
+            .expect("valid");
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        assert_eq!(env.mat.count(CELL_WALL), 6);
+        assert_eq!(env.mat.count(Group::Top.label()), 12);
+        assert_eq!(env.mat.count(Group::Bottom.label()), 12);
+        assert!(env.targets.is_some());
+        assert!(env.has_crossed(Group::Top, 14, 3));
+        assert!(!env.has_crossed(Group::Top, 8, 3));
+    }
+
+    #[test]
+    fn validation_rejects_bad_descriptions() {
+        let base = || {
+            Scenario::builder("t", 16, 16)
+                .spawn(Group::Top, Region::row_band(0, 3, 16))
+                .spawn(Group::Bottom, Region::row_band(13, 3, 16))
+                .target(Group::Top, Region::row_band(13, 3, 16))
+                .target(Group::Bottom, Region::row_band(0, 3, 16))
+                .agents_per_side(10)
+        };
+        assert!(base().build().is_ok());
+        // Spawn overlapping a wall.
+        assert!(matches!(
+            base().wall_cell(1, 1).build(),
+            Err(ScenarioError::SpawnOverlap { .. })
+        ));
+        // Overcrowded spawn.
+        assert!(matches!(
+            base().agents_per_side(49).build(),
+            Err(ScenarioError::SpawnTooSmall { .. })
+        ));
+        // Out-of-bounds wall.
+        assert!(matches!(
+            base().wall_cell(20, 0).build(),
+            Err(ScenarioError::OutOfBounds { .. })
+        ));
+        // Missing target.
+        assert!(matches!(
+            Scenario::builder("t", 16, 16)
+                .spawn(Group::Top, Region::row_band(0, 3, 16))
+                .spawn(Group::Bottom, Region::row_band(13, 3, 16))
+                .target(Group::Top, Region::row_band(13, 3, 16))
+                .agents_per_side(10)
+                .build(),
+            Err(ScenarioError::MissingTarget("bottom"))
+        ));
+        // Fully-walled target.
+        assert!(matches!(
+            Scenario::builder("t", 16, 16)
+                .wall_rect(8, 0, 1, 16)
+                .spawn(Group::Top, Region::row_band(0, 3, 16))
+                .spawn(Group::Bottom, Region::row_band(13, 3, 16))
+                .target(Group::Top, Region::rect(8, 0, 1, 16))
+                .target(Group::Bottom, Region::row_band(0, 3, 16))
+                .agents_per_side(10)
+                .build(),
+            Err(ScenarioError::TargetWalled("top"))
+        ));
+        // Overlapping spawns.
+        assert!(matches!(
+            Scenario::builder("t", 16, 16)
+                .spawn(Group::Top, Region::row_band(0, 3, 16))
+                .spawn(Group::Bottom, Region::row_band(2, 3, 16))
+                .target(Group::Top, Region::row_band(13, 3, 16))
+                .target(Group::Bottom, Region::row_band(0, 3, 16))
+                .agents_per_side(10)
+                .build(),
+            Err(ScenarioError::SpawnOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn seed_round_trip_and_env_config() {
+        let s = corridor().with_seed(77);
+        assert_eq!(s.seed(), 77);
+        let ec = s.env_config();
+        assert_eq!(ec.width, 16);
+        assert_eq!(ec.seed, 77);
+        assert_eq!(ec.spawn_rows, Some(3));
+    }
+}

@@ -43,7 +43,10 @@ impl std::fmt::Display for LaunchError {
                 write!(f, "empty launch: grid {grid}, block {block}")
             }
             LaunchError::BlockTooLarge { requested, limit } => {
-                write!(f, "block of {requested} threads exceeds device limit {limit}")
+                write!(
+                    f,
+                    "block of {requested} threads exceeds device limit {limit}"
+                )
             }
             LaunchError::SharedMemTooLarge { requested, limit } => {
                 write!(

@@ -251,7 +251,15 @@ mod tests {
         let d = Device::sequential();
         let cfg = LaunchConfig::new(Dim2::new(0, 1), Dim2::square(16));
         let out = ScatterBuffer::<u32>::zeroed(1, false);
-        let err = d.launch(&cfg, &Iota { out: &out, width: 1 }).unwrap_err();
+        let err = d
+            .launch(
+                &cfg,
+                &Iota {
+                    out: &out,
+                    width: 1,
+                },
+            )
+            .unwrap_err();
         assert!(matches!(err, LaunchError::EmptyLaunch { .. }));
     }
 
@@ -260,7 +268,15 @@ mod tests {
         let d = Device::sequential();
         let cfg = LaunchConfig::new(Dim2::square(1), Dim2::square(64)); // 4096 threads
         let out = ScatterBuffer::<u32>::zeroed(1, false);
-        let err = d.launch(&cfg, &Iota { out: &out, width: 1 }).unwrap_err();
+        let err = d
+            .launch(
+                &cfg,
+                &Iota {
+                    out: &out,
+                    width: 1,
+                },
+            )
+            .unwrap_err();
         assert!(matches!(err, LaunchError::BlockTooLarge { .. }));
     }
 
@@ -285,7 +301,15 @@ mod tests {
         let d = Device::sequential();
         let out = ScatterBuffer::<u32>::zeroed(48 * 48, false);
         let cfg = LaunchConfig::tiled_over(Dim2::square(48), Dim2::square(16));
-        let stats = d.launch(&cfg, &Iota { out: &out, width: 48 }).unwrap();
+        let stats = d
+            .launch(
+                &cfg,
+                &Iota {
+                    out: &out,
+                    width: 48,
+                },
+            )
+            .unwrap();
         assert_eq!(stats.blocks, 9);
         assert_eq!(stats.threads, 9 * 256);
         let occ = stats.occupancy.expect("occupancy");
@@ -301,7 +325,15 @@ mod tests {
             .build();
         let out = ScatterBuffer::<u32>::zeroed(32 * 32, false);
         let cfg = LaunchConfig::tiled_over(Dim2::square(32), Dim2::square(16));
-        let stats = d.launch(&cfg, &Iota { out: &out, width: 32 }).unwrap();
+        let stats = d
+            .launch(
+                &cfg,
+                &Iota {
+                    out: &out,
+                    width: 32,
+                },
+            )
+            .unwrap();
         let p = stats.profile.expect("profile");
         assert_eq!(p.threads, 4 * 256);
     }

@@ -268,8 +268,7 @@ impl AtomicBuffer {
     /// return equals `expected`.
     #[inline]
     pub fn compare_and_swap(&self, slot: usize, expected: u32, new: u32) -> u32 {
-        match self.data[slot].compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
-        {
+        match self.data[slot].compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
             Ok(prev) | Err(prev) => prev,
         }
     }
@@ -282,7 +281,10 @@ impl AtomicBuffer {
 
     /// Snapshot into a vector (host phase).
     pub fn to_vec(&self) -> Vec<u32> {
-        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -345,7 +347,11 @@ mod tests {
                 });
             }
         });
-        assert!(buf.as_slice().iter().enumerate().all(|(i, &v)| v == i as u64));
+        assert!(buf
+            .as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as u64));
     }
 
     #[test]

@@ -233,8 +233,7 @@ mod tests {
     #[cfg(debug_assertions)]
     fn out_of_tile_access_panics() {
         let src = grid_8x8();
-        let (tile, _) =
-            Tile::load_with_halo(&src, Dim2::square(8), (2, 2), Dim2::square(4), 1, 0);
+        let (tile, _) = Tile::load_with_halo(&src, Dim2::square(8), (2, 2), Dim2::square(4), 1, 0);
         // (2,2) origin, 4x4 inner, halo 1 → valid global rows 1..=6.
         tile.get(7, 2);
     }
@@ -243,15 +242,8 @@ mod tests {
     fn dual_tile_selects_half() {
         let top = vec![1.0f32; 64];
         let bot = vec![2.0f32; 64];
-        let (dual, loads) = DualTile::load_with_halo(
-            &top,
-            &bot,
-            Dim2::square(8),
-            (2, 2),
-            Dim2::square(4),
-            1,
-            0.0,
-        );
+        let (dual, loads) =
+            DualTile::load_with_halo(&top, &bot, Dim2::square(8), (2, 2), Dim2::square(4), 1, 0.0);
         assert_eq!(loads, 72);
         assert_eq!(dual.get(0, 3, 3), 1.0);
         assert_eq!(dual.get(1, 3, 3), 2.0);

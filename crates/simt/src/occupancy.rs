@@ -77,8 +77,7 @@ pub fn occupancy(
     let limit_regs = if regs_per_thread == 0 {
         u32::MAX
     } else {
-        let regs_per_warp =
-            (regs_per_thread * WARP_SIZE).next_multiple_of(REG_ALLOC_GRANULARITY);
+        let regs_per_warp = (regs_per_thread * WARP_SIZE).next_multiple_of(REG_ALLOC_GRANULARITY);
         let regs_per_block = regs_per_warp * warps_per_block;
         if regs_per_block > props.regs_per_sm {
             0

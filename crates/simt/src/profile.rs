@@ -98,10 +98,12 @@ impl ProfileSink {
             .fetch_add(p.divergent_branches, Ordering::Relaxed);
         self.uniform_branches
             .fetch_add(p.uniform_branches, Ordering::Relaxed);
-        self.global_loads.fetch_add(p.global_loads, Ordering::Relaxed);
+        self.global_loads
+            .fetch_add(p.global_loads, Ordering::Relaxed);
         self.global_stores
             .fetch_add(p.global_stores, Ordering::Relaxed);
-        self.shared_loads.fetch_add(p.shared_loads, Ordering::Relaxed);
+        self.shared_loads
+            .fetch_add(p.shared_loads, Ordering::Relaxed);
         self.shared_stores
             .fetch_add(p.shared_stores, Ordering::Relaxed);
         self.atomic_ops.fetch_add(p.atomic_ops, Ordering::Relaxed);

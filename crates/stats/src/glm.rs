@@ -40,7 +40,9 @@ impl std::fmt::Display for GlmError {
         match self {
             GlmError::TooFewObservations => write!(f, "fewer observations than coefficients"),
             GlmError::RaggedDesign => write!(f, "observations have differing covariate counts"),
-            GlmError::Singular => write!(f, "normal equations singular (separation or collinearity)"),
+            GlmError::Singular => {
+                write!(f, "normal equations singular (separation or collinearity)")
+            }
         }
     }
 }
@@ -230,11 +232,11 @@ mod tests {
     /// generating coefficients.
     #[test]
     fn recovers_continuous_coefficients() {
-        let (b0, b1) = (0.5, 0.8);
+        let (b0, b1) = (0.5f64, 0.8f64);
         let mut m = BinomialGlm::new();
         let n = 1_000_000u64;
         for x in [-2.0, -1.0, 0.0, 1.0, 2.0] {
-            let p = 1.0 / (1.0 + (-(b0 + b1 * x) as f64).exp());
+            let p = 1.0 / (1.0 + (-(b0 + b1 * x)).exp());
             let y = (n as f64 * p).round() as u64;
             m.push(&[x], y, n);
         }

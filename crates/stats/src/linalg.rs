@@ -14,7 +14,10 @@ pub struct SmallMatrix {
 impl SmallMatrix {
     /// Zero matrix of side `n`.
     pub fn zeros(n: usize) -> Self {
-        Self { n, a: vec![0.0; n * n] }
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Side length.
@@ -51,7 +54,10 @@ impl SmallMatrix {
         for col in 0..n {
             // Pivot.
             let pivot = (col..n).max_by(|&i, &j| {
-                m[i * n + col].abs().partial_cmp(&m[j * n + col].abs()).expect("finite")
+                m[i * n + col]
+                    .abs()
+                    .partial_cmp(&m[j * n + col].abs())
+                    .expect("finite")
             })?;
             if m[pivot * n + col].abs() < 1e-12 {
                 return None;
@@ -128,9 +134,9 @@ mod tests {
         let b = [5.0, 2.0, 1.0];
         let x = m.solve(&b).unwrap();
         // Verify Ax = b.
-        for i in 0..3 {
+        for (i, &bi) in b.iter().enumerate() {
             let s: f64 = (0..3).map(|j| m.get(i, j) * x[j]).sum();
-            assert!((s - b[i]).abs() < 1e-10);
+            assert!((s - bi).abs() < 1e-10);
         }
     }
 

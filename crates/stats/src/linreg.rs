@@ -72,14 +72,20 @@ pub fn ols(xs: &[Vec<f64>], y: &[f64]) -> Option<OlsFit> {
     }
     let df = (n - p) as f64;
     let sigma2 = ss_res / df;
-    let se: Vec<f64> = (0..p).map(|j| (sigma2 * cov.get(j, j)).max(0.0).sqrt()).collect();
+    let se: Vec<f64> = (0..p)
+        .map(|j| (sigma2 * cov.get(j, j)).max(0.0).sqrt())
+        .collect();
     let t: Vec<f64> = coef
         .iter()
         .zip(&se)
         .map(|(c, s)| if *s > 0.0 { c / s } else { 0.0 })
         .collect();
     let pvals: Vec<f64> = t.iter().map(|&t| t_p_two_sided(t, df)).collect();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     Some(OlsFit {
         coef,
         se,
@@ -121,7 +127,9 @@ mod tests {
     #[test]
     fn flat_data_slope_not_significant() {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 5.1 } else { 4.9 }).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 5.1 } else { 4.9 })
+            .collect();
         let fit = ols(&xs, &y).unwrap();
         assert!(fit.p[1] > 0.3, "slope p = {}", fit.p[1]);
     }

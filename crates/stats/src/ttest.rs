@@ -22,7 +22,10 @@ pub struct TTestResult {
 /// Degenerate inputs (both variances zero) return `t = 0, p = 1` when the
 /// means are equal, and `t = ±inf, p = 0` otherwise.
 pub fn welch_t_test(x: &[f64], y: &[f64]) -> TTestResult {
-    assert!(x.len() >= 2 && y.len() >= 2, "need at least 2 observations per sample");
+    assert!(
+        x.len() >= 2 && y.len() >= 2,
+        "need at least 2 observations per sample"
+    );
     let sx = Summary::of(x);
     let sy = Summary::of(y);
     let vx = sx.var / sx.n as f64;
@@ -42,8 +45,8 @@ pub fn welch_t_test(x: &[f64], y: &[f64]) -> TTestResult {
         };
     }
     let t = mean_diff / (vx + vy).sqrt();
-    let df = (vx + vy) * (vx + vy)
-        / (vx * vx / (sx.n as f64 - 1.0) + vy * vy / (sy.n as f64 - 1.0));
+    let df =
+        (vx + vy) * (vx + vy) / (vx * vx / (sx.n as f64 - 1.0) + vy * vy / (sy.n as f64 - 1.0));
     TTestResult {
         t,
         df,

@@ -1,0 +1,105 @@
+//! Minimal in-repo stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access, so the tiny slice of the
+//! parking_lot API this workspace uses — non-poisoning [`Mutex`] and
+//! [`Condvar`] — is provided here over `std::sync`. Poisoning is handled by
+//! unwrapping: a panicked worker already aborts the test run, matching
+//! parking_lot's effective semantics for this codebase.
+
+#![warn(missing_docs)]
+
+use std::sync::{self, PoisonError};
+
+/// A mutex whose `lock` returns the guard directly (parking_lot style).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, ignoring poison (parking_lot has no poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable compatible with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the guard while waiting
+    /// (parking_lot signature: re-assigns through `&mut guard`).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY-free dance: std's wait consumes and returns the guard; we
+        // temporarily replace it through a take-and-restore.
+        take_mut(guard, |g| {
+            self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Replace `*slot` with `f(old)`. Aborts the process if `f` panics, which
+/// cannot happen here: `Condvar::wait` only unwinds on poison, which we
+/// map into the inner guard instead.
+fn take_mut<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    unsafe {
+        let old = std::ptr::read(slot);
+        let new = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old)))
+            .unwrap_or_else(|_| std::process::abort());
+        std::ptr::write(slot, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            *done = true;
+            cv.notify_all();
+            drop(done);
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        drop(done);
+        h.join().unwrap();
+        assert!(*pair.0.lock());
+    }
+}

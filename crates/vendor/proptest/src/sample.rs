@@ -1,0 +1,38 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy that picks uniformly from a fixed list.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Uniform choice among `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_listed_values() {
+        let s = select(vec![3u32, 7, 11]);
+        let mut rng = TestRng::deterministic("select");
+        for _ in 0..100 {
+            assert!([3, 7, 11].contains(&s.generate(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic case generation and run configuration.
+
+/// Per-test configuration (only `cases` is meaningful in this stub).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Ignored (shrinking is not implemented); kept so struct-update syntax
+    /// against `ProptestConfig::default()` matches real proptest usage.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a generated case did not count as a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — draw another.
+    Reject,
+}
+
+/// A splitmix64 stream, seeded deterministically from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream whose seed is a stable hash of `tag`.
+    pub fn deterministic(tag: &str) -> Self {
+        // FNV-1a over the tag bytes.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in tag.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_tag() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = TestRng::deterministic("unit");
+        for _ in 0..1000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

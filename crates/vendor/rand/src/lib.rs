@@ -1,0 +1,73 @@
+//! Minimal in-repo stand-in for the `rand` crate.
+//!
+//! The build environment has no network access; `philox::compat` only needs
+//! the trait skeleton — [`rand_core::TryRng`], [`SeedableRng`], and the
+//! blanket [`Rng`] over infallible generators — so exactly that skeleton is
+//! provided here.
+
+#![warn(missing_docs)]
+
+/// The core generator traits (the `rand_core` re-export surface).
+pub mod rand_core {
+    /// A fallible random generator. Infallible generators set
+    /// `Error = core::convert::Infallible` and receive the blanket
+    /// [`crate::Rng`] implementation.
+    pub trait TryRng {
+        /// Error produced by a failed draw.
+        type Error;
+
+        /// Draw 32 random bits.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+        /// Draw 64 random bits.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+        /// Fill `dst` with random bytes.
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// Infallible generator interface, blanket-implemented over
+/// [`rand_core::TryRng`] with an [`core::convert::Infallible`] error.
+pub trait Rng {
+    /// Draw 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Draw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R> Rng for R
+where
+    R: rand_core::TryRng<Error = core::convert::Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => (),
+        }
+    }
+}
+
+/// Construction from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed;
+
+    /// Build a generator from `seed`.
+    fn from_seed(seed: Self::Seed) -> Self;
+}

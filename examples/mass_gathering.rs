@@ -57,8 +57,6 @@ fn main() {
             "\ntotal gridlock from ~{a} agents — the paper sees the same \
              regime past 51,200 agents on its 480x480 grid"
         ),
-        None => println!(
-            "\nno total gridlock in this sweep; raise the density ceiling to find it"
-        ),
+        None => println!("\nno total gridlock in this sweep; raise the density ceiling to find it"),
     }
 }

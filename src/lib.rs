@@ -7,6 +7,7 @@
 
 pub use pedsim_core as core;
 pub use pedsim_grid as grid;
+pub use pedsim_scenario as scenario;
 pub use pedsim_stats as stats;
 pub use philox;
 pub use simt;

@@ -10,22 +10,34 @@ fn config(model: ModelKind, seed: u64, per_side: usize) -> SimConfig {
 
 #[test]
 fn lem_engines_agree_sparse() {
-    assert_eq!(engines_agree(config(ModelKind::lem(), 1, 40), 60, 10, 4), None);
+    assert_eq!(
+        engines_agree(config(ModelKind::lem(), 1, 40), 60, 10, 4),
+        None
+    );
 }
 
 #[test]
 fn lem_engines_agree_dense() {
-    assert_eq!(engines_agree(config(ModelKind::lem(), 2, 400), 40, 10, 4), None);
+    assert_eq!(
+        engines_agree(config(ModelKind::lem(), 2, 400), 40, 10, 4),
+        None
+    );
 }
 
 #[test]
 fn aco_engines_agree_sparse() {
-    assert_eq!(engines_agree(config(ModelKind::aco(), 3, 40), 60, 10, 4), None);
+    assert_eq!(
+        engines_agree(config(ModelKind::aco(), 3, 40), 60, 10, 4),
+        None
+    );
 }
 
 #[test]
 fn aco_engines_agree_dense() {
-    assert_eq!(engines_agree(config(ModelKind::aco(), 4, 400), 40, 10, 4), None);
+    assert_eq!(
+        engines_agree(config(ModelKind::aco(), 4, 400), 40, 10, 4),
+        None
+    );
 }
 
 #[test]

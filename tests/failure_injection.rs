@@ -74,8 +74,8 @@ fn checked_engines_run_clean() {
     // The whole pipeline under the conflict detector: any scatter bug in
     // any kernel would panic here.
     for model in [ModelKind::lem(), ModelKind::aco()] {
-        let cfg = SimConfig::new(EnvConfig::small(48, 48, 300).with_seed(8), model)
-            .with_checked(true);
+        let cfg =
+            SimConfig::new(EnvConfig::small(48, 48, 300).with_seed(8), model).with_checked(true);
         let mut e = GpuEngine::new(cfg, Device::parallel());
         e.run(50);
         e.download_environment()

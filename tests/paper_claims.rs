@@ -92,8 +92,16 @@ fn cpu_gpu_glm_not_significant() {
             let mut gpu = GpuEngine::new(SimConfig::new(envg, ModelKind::aco()), device.clone());
             gpu.run(500);
             let x = n as f64 / 100.0;
-            glm.push(&[x, 0.0], cpu.metrics().unwrap().throughput() as u64, n as u64);
-            glm.push(&[x, 1.0], gpu.metrics().unwrap().throughput() as u64, n as u64);
+            glm.push(
+                &[x, 0.0],
+                cpu.metrics().unwrap().throughput() as u64,
+                n as u64,
+            );
+            glm.push(
+                &[x, 1.0],
+                gpu.metrics().unwrap().throughput() as u64,
+                n as u64,
+            );
         }
     }
     let fit = glm.fit().expect("GLM fit");

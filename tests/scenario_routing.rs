@@ -1,0 +1,235 @@
+//! Scenario-subsystem acceptance: the declarative worlds run on both
+//! engines, obstacle routing never violates wall cells, the flow field is
+//! a true descent potential, and `paper_corridor` reproduces the legacy
+//! corridor bit for bit.
+
+use pedsim::grid::cell::{Group, CELL_WALL};
+use pedsim::grid::{DistanceField as _, GridDistanceField, NEIGHBOR_OFFSETS};
+use pedsim::prelude::*;
+use pedsim::scenario::registry;
+
+/// The four registry scenarios at test scale.
+fn registry_worlds(seed: u64) -> Vec<Scenario> {
+    vec![
+        registry::paper_corridor(&EnvConfig::small(32, 32, 60).with_seed(seed)),
+        registry::doorway(32, 32, 60, 4).with_seed(seed),
+        registry::pillar_hall(32, 32, 60, 5).with_seed(seed),
+        registry::crossing(32, 80).with_seed(seed),
+    ]
+}
+
+/// Assert no agent stands on a wall cell and walls survived untouched.
+fn assert_walls_respected(env: &Environment, scenario: &Scenario) {
+    let expected_walls = scenario.walls().len();
+    assert_eq!(
+        env.mat.count(CELL_WALL),
+        expected_walls,
+        "{}: wall count changed",
+        scenario.name()
+    );
+    for i in 1..=env.total_agents() {
+        let (r, c) = env.props.position(i);
+        assert!(
+            !scenario.is_wall(r as usize, c as usize),
+            "{}: agent {i} stands on wall ({r},{c})",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn all_registry_scenarios_run_on_both_engines() {
+    for scenario in registry_worlds(17) {
+        for model in [ModelKind::lem(), ModelKind::aco()] {
+            let cfg = SimConfig::from_scenario(scenario.clone(), model).with_checked(true);
+            let mut cpu = CpuEngine::new(cfg.clone());
+            let mut gpu = GpuEngine::new(cfg, pedsim::simt::Device::parallel());
+            cpu.run(40);
+            gpu.run(40);
+            let cpu_env = cpu.environment();
+            cpu_env
+                .check_consistency()
+                .unwrap_or_else(|e| panic!("{} {} cpu: {e}", scenario.name(), model.name()));
+            assert_walls_respected(cpu_env, &scenario);
+            let gpu_env = gpu.download_environment();
+            gpu_env
+                .check_consistency()
+                .unwrap_or_else(|e| panic!("{} {} gpu: {e}", scenario.name(), model.name()));
+            assert_walls_respected(&gpu_env, &scenario);
+            assert_eq!(
+                cpu.mat_snapshot(),
+                gpu.mat_snapshot(),
+                "{} {}: engines diverged",
+                scenario.name(),
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_obstacle_scenarios() {
+    // The acceptance bar: exact CPU/GPU agreement on a world with interior
+    // obstacles (grid flow-field routing), under the parallel policy.
+    for (model, workers) in [(ModelKind::lem(), 4), (ModelKind::aco(), 3)] {
+        let scenario = registry::doorway(32, 32, 80, 3).with_seed(23);
+        let cfg = SimConfig::from_scenario(scenario, model).with_checked(true);
+        assert_eq!(
+            engines_agree(cfg, 40, 10, workers),
+            None,
+            "{} diverged on the doorway scenario",
+            model.name()
+        );
+    }
+    // And on the orthogonal-streams world (no walls, non-band targets).
+    let cfg = SimConfig::from_scenario(registry::crossing(28, 60).with_seed(5), ModelKind::aco())
+        .with_checked(true);
+    assert_eq!(engines_agree(cfg, 30, 10, 4), None, "crossing diverged");
+}
+
+#[test]
+fn paper_corridor_reproduces_legacy_trajectories_exactly() {
+    // Same seed, same model: the scenario path must be bit-identical to
+    // the legacy EnvConfig path on both engines — placement, routing
+    // (row-table fast path), and metrics.
+    for model in [ModelKind::lem(), ModelKind::aco()] {
+        let env_cfg = EnvConfig::small(40, 40, 150).with_seed(91);
+        let legacy = SimConfig::new(env_cfg, model).with_checked(true);
+        let scenic =
+            SimConfig::from_scenario(registry::paper_corridor(&env_cfg), model).with_checked(true);
+
+        let mut legacy_gpu = GpuEngine::new(legacy.clone(), pedsim::simt::Device::parallel());
+        let mut scenic_gpu = GpuEngine::new(scenic.clone(), pedsim::simt::Device::parallel());
+        legacy_gpu.run(60);
+        scenic_gpu.run(60);
+        assert_eq!(
+            legacy_gpu.mat_snapshot(),
+            scenic_gpu.mat_snapshot(),
+            "{}: scenario corridor diverged from legacy",
+            model.name()
+        );
+        assert_eq!(legacy_gpu.positions(), scenic_gpu.positions());
+        assert_eq!(
+            legacy_gpu.metrics().unwrap().throughput(),
+            scenic_gpu.metrics().unwrap().throughput()
+        );
+
+        let mut legacy_cpu = CpuEngine::new(legacy);
+        legacy_cpu.run(60);
+        assert_eq!(legacy_cpu.mat_snapshot(), scenic_gpu.mat_snapshot());
+    }
+}
+
+#[test]
+fn crossing_streams_reach_their_targets() {
+    let cfg = SimConfig::from_scenario(registry::crossing(32, 60).with_seed(3), ModelKind::aco());
+    let mut e = GpuEngine::new(cfg, pedsim::simt::Device::parallel());
+    e.run(400);
+    let m = e.metrics().expect("metrics");
+    // Both the downward and the rightward stream must make it across.
+    assert!(m.crossed_top > 0, "vertical stream never arrived");
+    assert!(m.crossed_bottom > 0, "horizontal stream never arrived");
+}
+
+#[test]
+fn doorway_bottleneck_still_flows() {
+    // A 2-cell doorway chokes but must not deadlock at moderate load.
+    let cfg = SimConfig::from_scenario(
+        registry::doorway(32, 32, 40, 2).with_seed(7),
+        ModelKind::aco(),
+    );
+    let mut e = GpuEngine::new(cfg, pedsim::simt::Device::parallel());
+    e.run(600);
+    assert!(
+        e.metrics().expect("metrics").throughput() > 0,
+        "nobody made it through the doorway"
+    );
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+        /// No agent is ever placed on, or moves into, an obstacle cell —
+        /// across random doorway/pillar worlds, models, seeds, and steps.
+        #[test]
+        fn agents_never_touch_walls(
+            seed in 0u64..500,
+            gap in 1usize..8,
+            spacing in 3usize..8,
+            pillars in proptest::prelude::any::<bool>(),
+            aco in proptest::prelude::any::<bool>(),
+        ) {
+            let scenario = if pillars {
+                registry::pillar_hall(28, 28, 40, spacing).with_seed(seed)
+            } else {
+                registry::doorway(28, 28, 40, gap).with_seed(seed)
+            };
+            let model = if aco { ModelKind::aco() } else { ModelKind::lem() };
+            let cfg = SimConfig::from_scenario(scenario.clone(), model).with_checked(true);
+            let mut e = CpuEngine::new(cfg);
+            for _ in 0..15 {
+                e.step();
+                let env = e.environment();
+                prop_assert!(env.check_consistency().is_ok());
+                for i in 1..=env.total_agents() {
+                    let (r, c) = env.props.position(i);
+                    prop_assert!(
+                        !scenario.is_wall(r as usize, c as usize),
+                        "agent {i} on wall ({r},{c})"
+                    );
+                }
+            }
+        }
+
+        /// The flow field is a descent potential: from every reachable
+        /// passable cell, the front cell (distance-argmin neighbour — the
+        /// step forward-priority takes) never increases the distance to
+        /// target, and strictly decreases it away from the target region.
+        #[test]
+        fn flow_field_descends_along_chosen_steps(
+            seed in 0u64..200,
+            gap in 1usize..9,
+        ) {
+            let scenario = registry::doorway(24, 24, 30, gap).with_seed(seed);
+            let field = GridDistanceField::compute(
+                24,
+                24,
+                |r, c| scenario.is_wall(r, c),
+                [
+                    scenario.target(Group::Top).cells(),
+                    scenario.target(Group::Bottom).cells(),
+                ],
+            );
+            let view = field.dist_ref();
+            for g in Group::BOTH {
+                for r in 0..24usize {
+                    for c in 0..24usize {
+                        if scenario.is_wall(r, c) || !field.reachable(g, r, c) {
+                            continue;
+                        }
+                        let here = field.potential(g, r, c);
+                        let fk = view.front_k(g, r as i64, c as i64);
+                        let (dr, dc) = NEIGHBOR_OFFSETS[fk];
+                        let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+                        prop_assume!(nr >= 0 && nc >= 0 && (nr as usize) < 24 && (nc as usize) < 24);
+                        let next = field.potential(g, nr as usize, nc as usize);
+                        prop_assert!(
+                            next <= here,
+                            "{g:?} ({r},{c}): front step climbs {here} -> {next}"
+                        );
+                        if !scenario.target(g).contains(r as u16, c as u16) {
+                            prop_assert!(
+                                next < here,
+                                "{g:?} ({r},{c}): no strict descent off-target"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
