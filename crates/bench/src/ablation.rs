@@ -412,50 +412,64 @@ pub fn tiled_variants(side: usize, agents: usize, reps: usize) -> TiledAblation 
 /// Runs at a medium density (~28 % fill) with a tight step budget — the
 /// regime where Fig. 6a separates the models and where these constants
 /// actually move the outcome (at low density every setting crosses
-/// everyone and the sweep is flat).
+/// everyone and the sweep is flat). All twelve parameter settings run as
+/// one concurrent batch, each replica exiting early once everyone has
+/// arrived.
 pub fn param_sweep(side: usize, agents: usize, steps: u64) -> Table {
-    let device = Device::parallel();
-    let mut t = Table::new(vec!["model", "parameter", "value", "throughput"]);
+    use pedsim_core::engine::StopCondition;
+    use pedsim_runner::{Batch, Job};
+
     let agents = agents.max(side * side * 28 / 100);
-    let run = |model: ModelKind| -> usize {
-        let env = EnvConfig::small(side, side, agents / 2).with_seed(555);
-        let mut e = GpuEngine::new(SimConfig::new(env, model), device.clone());
-        e.run(steps);
-        e.metrics().expect("metrics").throughput()
-    };
-    for sigma in [0.5, 1.0, 2.0, 4.0] {
-        let tp = run(ModelKind::Lem(LemParams {
-            sigma,
-            ..LemParams::default()
-        }));
+    let env = EnvConfig::small(side, side, agents / 2).with_seed(555);
+    let points: Vec<(&str, &str, String, ModelKind)> = [0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&sigma| {
+            let model = ModelKind::Lem(LemParams {
+                sigma,
+                ..LemParams::default()
+            });
+            ("LEM", "sigma", format!("{sigma}"), model)
+        })
+        .chain([0.005f32, 0.02, 0.1, 0.5].iter().map(|&rho| {
+            let model = ModelKind::Aco(AcoParams {
+                rho,
+                ..AcoParams::default()
+            });
+            ("ACO", "rho", format!("{rho}"), model)
+        }))
+        .chain([0.5f32, 1.0, 2.0, 4.0].iter().map(|&beta| {
+            let model = ModelKind::Aco(AcoParams {
+                beta,
+                ..AcoParams::default()
+            });
+            ("ACO", "beta", format!("{beta}"), model)
+        }))
+        .collect();
+
+    let jobs: Vec<Job> = points
+        .iter()
+        .map(|(model_name, param, value, model)| {
+            Job::gpu(
+                format!("{model_name}/{param}/{value}"),
+                SimConfig::new(env, *model),
+                StopCondition::arrived_or_steps(steps),
+            )
+        })
+        .collect();
+    let report = Batch::auto().run(&jobs);
+
+    let mut t = Table::new(vec!["model", "parameter", "value", "throughput"]);
+    for (model_name, param, value, _) in &points {
+        let label = format!("{model_name}/{param}/{value}");
+        let tp = report
+            .with_label(&label)
+            .next()
+            .and_then(|r| r.throughput)
+            .expect("every sweep point tracked metrics");
         t.push_row(vec![
-            "LEM".to_string(),
-            "sigma".to_string(),
-            format!("{sigma}"),
-            tp.to_string(),
-        ]);
-    }
-    for rho in [0.005, 0.02, 0.1, 0.5] {
-        let tp = run(ModelKind::Aco(AcoParams {
-            rho,
-            ..AcoParams::default()
-        }));
-        t.push_row(vec![
-            "ACO".to_string(),
-            "rho".to_string(),
-            format!("{rho}"),
-            tp.to_string(),
-        ]);
-    }
-    for beta in [0.5, 1.0, 2.0, 4.0] {
-        let tp = run(ModelKind::Aco(AcoParams {
-            beta,
-            ..AcoParams::default()
-        }));
-        t.push_row(vec![
-            "ACO".to_string(),
-            "beta".to_string(),
-            format!("{beta}"),
+            (*model_name).to_string(),
+            (*param).to_string(),
+            value.clone(),
             tp.to_string(),
         ]);
     }

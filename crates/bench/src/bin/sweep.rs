@@ -1,0 +1,82 @@
+//! Scenario sweep: registry worlds × densities × seeds, one batched run,
+//! one JSON report.
+//!
+//! ```text
+//! cargo run -p pedsim-bench --release --bin sweep -- \
+//!     [--paper|--smoke] [--workers N] [--verify-determinism]
+//! ```
+//!
+//! Writes `results/sweep_<scale>.json` (the deterministic serialization —
+//! byte-identical for any worker count) plus a Markdown summary on
+//! stdout. `--verify-determinism` re-runs the whole sweep on 1 worker and
+//! asserts the JSON bytes match.
+
+use pedsim_bench::report;
+use pedsim_bench::scale::{arg_value, Scale};
+use pedsim_bench::sweep::SweepProtocol;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let workers = arg_value(&args, "--workers")
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let proto = SweepProtocol::for_scale(scale);
+
+    eprintln!(
+        "sweep [{}]: {} worlds x {} densities x {} seeds x 2 models = {} replicas on {} workers \
+         (budget {} steps, early exit on arrival/gridlock)…",
+        scale.label(),
+        proto.worlds.len(),
+        proto.per_sides.len(),
+        proto.seeds.len(),
+        proto.worlds.len() * proto.per_sides.len() * proto.seeds.len() * 2,
+        workers,
+        proto.steps,
+    );
+
+    let t0 = std::time::Instant::now();
+    let batch_report = proto.run(workers);
+    let elapsed = t0.elapsed();
+
+    println!("\n## Scenario sweep ({} scale)\n", scale.label());
+    print!("{}", proto.summary_table(&batch_report).markdown());
+    println!(
+        "\n{} replicas: {} arrived, {} gridlocked, {} exhausted the budget; \
+         {} simulated steps total (mean {:.1}/replica)",
+        batch_report.jobs,
+        batch_report.arrived,
+        batch_report.gridlocked,
+        batch_report.exhausted,
+        batch_report.steps_total,
+        batch_report.mean_steps,
+    );
+    eprintln!(
+        "wall: {:.2}s on {workers} workers ({:.2} CPU-seconds of simulation; critical path {:.2}s)",
+        elapsed.as_secs_f64(),
+        batch_report.wall_total.as_secs_f64(),
+        batch_report.wall_max.as_secs_f64(),
+    );
+
+    let base = std::path::Path::new(".");
+    let name = format!("sweep_{}", scale.label());
+    match report::save_json(base, &name, &batch_report.to_json()) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write {name}.json: {e}"),
+    }
+
+    if args.iter().any(|a| a == "--verify-determinism") {
+        eprintln!("re-running on 1 worker to verify determinism…");
+        let single = proto.run(1);
+        assert_eq!(
+            single.to_json(),
+            batch_report.to_json(),
+            "BatchReport diverged between {workers} workers and 1 worker"
+        );
+        eprintln!("OK: report bytes identical across worker counts");
+    }
+}

@@ -12,9 +12,10 @@
 //!   every population" and the ACO/LEM overhead ratio, not the absolute
 //!   factor.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pedsim_core::prelude::*;
+use pedsim_runner::{Batch, Job};
 use simt::Device;
 
 use crate::report::{f3, secs, Table};
@@ -86,25 +87,19 @@ impl Fig5Row {
     }
 }
 
-fn time_gpu(cfg: SimConfig, steps: u64, device: &Device) -> Duration {
-    let mut engine = GpuEngine::new(cfg, device.clone());
-    let t0 = Instant::now();
-    engine.run(steps);
-    t0.elapsed()
-}
-
-fn time_cpu(cfg: SimConfig, steps: u64) -> Duration {
-    let mut engine = CpuEngine::new(cfg);
-    let t0 = Instant::now();
-    engine.run(steps);
-    t0.elapsed()
-}
-
-/// Run the full Figure-5 timing protocol. Timing runs disable metrics and
-/// conflict checking (the paper measures "time spent solely for
-/// simulation").
+/// Run the full Figure-5 timing protocol through the batch runner.
+///
+/// Timing runs disable metrics and conflict checking (the paper measures
+/// "time spent solely for simulation") and stop on the fixed step budget
+/// — early termination would change the measured workload. The batch uses
+/// a **single** pool worker so replicas are timed one at a time with no
+/// cross-replica contention; the GPU jobs keep the parallel device (the
+/// thing being measured), the CPU job is the single-threaded reference.
+/// `RunResult::wall` covers the simulation loop alone, engine
+/// construction excluded, exactly as the hand-rolled timers did.
 pub fn run(cfg: &Fig5Config) -> Vec<Fig5Row> {
     let device = Device::parallel();
+    let timer = Batch::new(1);
     cfg.populations
         .iter()
         .map(|&agents| {
@@ -114,11 +109,38 @@ pub fn run(cfg: &Fig5Config) -> Vec<Fig5Row> {
                     .with_checked(false)
                     .with_metrics(false)
             };
+            let jobs = [
+                Job::on_device(
+                    "lem_gpu",
+                    scfg(ModelKind::lem()),
+                    device.clone(),
+                    StopCondition::Steps(cfg.steps),
+                ),
+                Job::on_device(
+                    "aco_gpu",
+                    scfg(ModelKind::aco()),
+                    device.clone(),
+                    StopCondition::Steps(cfg.steps),
+                ),
+                Job::cpu(
+                    "aco_cpu",
+                    scfg(ModelKind::aco()),
+                    StopCondition::Steps(cfg.steps),
+                ),
+            ];
+            let report = timer.run(&jobs);
+            let wall = |label: &str| {
+                report
+                    .with_label(label)
+                    .next()
+                    .expect("one result per label")
+                    .wall
+            };
             Fig5Row {
                 agents,
-                lem_gpu: time_gpu(scfg(ModelKind::lem()), cfg.steps, &device),
-                aco_gpu: time_gpu(scfg(ModelKind::aco()), cfg.steps, &device),
-                aco_cpu: time_cpu(scfg(ModelKind::aco()), cfg.steps),
+                lem_gpu: wall("lem_gpu"),
+                aco_gpu: wall("aco_gpu"),
+                aco_cpu: wall("aco_cpu"),
             }
         })
         .collect()

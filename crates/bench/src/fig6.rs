@@ -13,10 +13,17 @@
 //! Scale note: `Default` uses a 120×120 grid with the paper's *fill
 //! fractions* (density i ⇒ the same agents-per-cell as 2,560·i on 480²)
 //! and a steps budget proportional to the grid height.
+//!
+//! Execution: every (density, model, repeat) replica is an independent
+//! [`pedsim_runner::Job`] run concurrently on a [`pedsim_runner::Batch`]
+//! pool with `AllArrived` early termination — at low density a replica
+//! stops within a few hundred steps instead of burning the full budget,
+//! and throughput is unchanged by the early exit (it is sticky and
+//! capped, so it cannot grow after everyone has arrived).
 
 use pedsim_core::prelude::*;
+use pedsim_runner::{Batch, Job};
 use pedsim_stats::BinomialGlm;
-use simt::Device;
 
 use crate::report::{f3, Table};
 use crate::scale::Scale;
@@ -73,32 +80,32 @@ impl Fig6Config {
     }
 }
 
-/// Mean throughput of `model` on `engine_kind` for one density.
-fn mean_throughput(
+/// The jobs of one model/engine series: every density × repeat replica,
+/// seeded exactly as the legacy serial loop was (`seed_base + density ×
+/// 1000 + repeat`), labelled `d<density>/<suffix>` for aggregation.
+fn series_jobs(
     cfg: &Fig6Config,
-    density_index: usize,
-    agents: usize,
     model: ModelKind,
     use_cpu: bool,
-    device: &Device,
-) -> f64 {
-    let mut total = 0usize;
-    for k in 0..cfg.repeats {
-        let seed = cfg.seed + density_index as u64 * 1000 + k;
-        let env = EnvConfig::small(cfg.side, cfg.side, agents / 2).with_seed(seed);
-        let scfg = SimConfig::new(env, model).with_checked(false);
-        let throughput = if use_cpu {
-            let mut e = CpuEngine::new(scfg);
-            e.run(cfg.steps);
-            e.metrics().expect("metrics").throughput()
-        } else {
-            let mut e = GpuEngine::new(scfg, device.clone());
-            e.run(cfg.steps);
-            e.metrics().expect("metrics").throughput()
-        };
-        total += throughput;
+    seed_base: u64,
+    suffix: &str,
+) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(cfg.densities.len() * cfg.repeats as usize);
+    for (i, &agents) in cfg.densities.iter().enumerate() {
+        for k in 0..cfg.repeats {
+            let seed = seed_base + (i + 1) as u64 * 1000 + k;
+            let env = EnvConfig::small(cfg.side, cfg.side, agents / 2).with_seed(seed);
+            let scfg = SimConfig::new(env, model).with_checked(false);
+            let label = format!("d{:02}/{suffix}", i + 1);
+            let stop = StopCondition::arrived_or_steps(cfg.steps);
+            jobs.push(if use_cpu {
+                Job::cpu(label, scfg, stop)
+            } else {
+                Job::gpu(label, scfg, stop)
+            });
+        }
     }
-    total as f64 / cfg.repeats as f64
+    jobs
 }
 
 /// One density point of Fig. 6a.
@@ -114,17 +121,21 @@ pub struct Fig6aRow {
     pub aco: f64,
 }
 
-/// Run Fig. 6a: LEM vs ACO on the parallel virtual GPU.
+/// Run Fig. 6a: LEM vs ACO on the virtual GPU — one batch over every
+/// (density, model, repeat) replica, each exiting early once all agents
+/// have arrived.
 pub fn run_6a(cfg: &Fig6Config) -> Vec<Fig6aRow> {
-    let device = Device::parallel();
+    let mut jobs = series_jobs(cfg, ModelKind::lem(), false, cfg.seed, "LEM");
+    jobs.extend(series_jobs(cfg, ModelKind::aco(), false, cfg.seed, "ACO"));
+    let report = Batch::auto().run(&jobs);
     cfg.densities
         .iter()
         .enumerate()
         .map(|(i, &agents)| Fig6aRow {
             density: i + 1,
             agents,
-            lem: mean_throughput(cfg, i + 1, agents, ModelKind::lem(), false, &device),
-            aco: mean_throughput(cfg, i + 1, agents, ModelKind::aco(), false, &device),
+            lem: report.mean_throughput(&format!("d{:02}/LEM", i + 1)),
+            aco: report.mean_throughput(&format!("d{:02}/ACO", i + 1)),
         })
         .collect()
 }
@@ -193,26 +204,24 @@ pub struct Fig6bAnalysis {
 /// (`seed` offsets) so the comparison is statistical, not the trivial
 /// bit-equality that `validate::engines_agree` already proves.
 pub fn run_6b(cfg: &Fig6Config) -> Fig6bAnalysis {
-    let device = Device::parallel();
+    let mut jobs = series_jobs(cfg, ModelKind::aco(), true, cfg.seed, "cpu");
+    jobs.extend(series_jobs(
+        cfg,
+        ModelKind::aco(),
+        false,
+        cfg.seed + 500_000,
+        "gpu",
+    ));
+    let report = Batch::auto().run(&jobs);
     let rows: Vec<Fig6bRow> = cfg
         .densities
         .iter()
         .enumerate()
-        .map(|(i, &agents)| {
-            let cpu_cfg = Fig6Config {
-                seed: cfg.seed,
-                ..cfg.clone()
-            };
-            let gpu_cfg = Fig6Config {
-                seed: cfg.seed + 500_000,
-                ..cfg.clone()
-            };
-            Fig6bRow {
-                density: i + 1,
-                agents,
-                cpu: mean_throughput(&cpu_cfg, i + 1, agents, ModelKind::aco(), true, &device),
-                gpu: mean_throughput(&gpu_cfg, i + 1, agents, ModelKind::aco(), false, &device),
-            }
+        .map(|(i, &agents)| Fig6bRow {
+            density: i + 1,
+            agents,
+            cpu: report.mean_throughput(&format!("d{:02}/cpu", i + 1)),
+            gpu: report.mean_throughput(&format!("d{:02}/gpu", i + 1)),
         })
         .collect();
 

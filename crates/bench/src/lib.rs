@@ -12,11 +12,17 @@
 //! * [`ablation`] — the §IV implementation-technique claims measured:
 //!   scatter-to-gather vs atomics, tiled vs direct global access,
 //!   branchless vs branchy selection, and model-parameter sweeps;
-//! * [`report`] — Markdown/CSV emitters (the MATLAB-plotting substitute);
+//! * [`sweep`] — registry worlds × densities × seeds as one early-
+//!   terminating batch with a JSON `BatchReport`;
+//! * [`report`] — Markdown/CSV/JSON emitters (the MATLAB-plotting
+//!   substitute);
 //! * [`scale`] — the `--paper` / default / `--smoke` protocol scales.
 //!
-//! Binaries `fig5`, `fig6`, `table1`, `ablation` drive these and write
-//! `results/*.csv` next to a Markdown rendition on stdout.
+//! Binaries `fig5`, `fig6`, `table1`, `ablation`, `sweep` drive these and
+//! write `results/*.csv` / `results/*.json` next to a Markdown rendition
+//! on stdout. The sweeping experiments execute their replicas through
+//! `pedsim-runner` batches with per-replica stop conditions instead of
+//! hand-rolled serial loops.
 
 #![warn(missing_docs)]
 
@@ -25,6 +31,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod report;
 pub mod scale;
+pub mod sweep;
 pub mod table1;
 
 pub use report::Table;

@@ -91,6 +91,16 @@ impl Table {
     }
 }
 
+/// Write pre-serialized JSON (e.g. a `pedsim_runner::BatchReport`) into
+/// `results/<name>.json` under `base`, returning the path written.
+pub fn save_json(base: &Path, name: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = base.join("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Format seconds with sensible precision.
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())

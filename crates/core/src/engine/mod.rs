@@ -15,6 +15,7 @@
 
 pub mod cpu;
 pub mod gpu;
+pub mod stop;
 
 use std::sync::Arc;
 
@@ -22,6 +23,8 @@ use pedsim_grid::{DistanceData, Environment, Matrix};
 
 use crate::metrics::Metrics;
 use crate::params::{ModelKind, SimConfig};
+
+pub use stop::{StopCondition, StopReason};
 
 /// Materialise the configured world: the declarative scenario when one is
 /// attached (walls, regions, row-fast-path or flow-field routing), else
@@ -67,6 +70,25 @@ pub trait Engine {
     /// Run `n` steps.
     fn run(&mut self, n: u64) {
         for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run until `cond` is satisfied, returning why the run stopped.
+    ///
+    /// The condition is checked before the first step and after every
+    /// subsequent one, so a condition already satisfied at entry performs
+    /// zero steps. Metric-based conditions (`AllArrived`, `Gridlocked`)
+    /// require `track_metrics`; callers that cannot guarantee eventual
+    /// arrival should compose a [`StopCondition::Steps`] cap via
+    /// [`StopCondition::arrived_or_steps`] or
+    /// [`StopCondition::settled_or_steps`] — an unsatisfiable condition
+    /// loops forever.
+    fn run_until(&mut self, cond: &StopCondition) -> StopReason {
+        loop {
+            if let Some(reason) = cond.check(self.steps_done(), self.metrics()) {
+                return reason;
+            }
             self.step();
         }
     }

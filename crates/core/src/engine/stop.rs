@@ -1,0 +1,184 @@
+//! Stop conditions: declarative "when is this run over?" predicates.
+//!
+//! The paper's evaluation runs every simulation to a fixed 25,000-step
+//! budget, long after the interesting dynamics are finished — at low
+//! density every agent has crossed within a few hundred steps, and past
+//! 51,200 agents the crowd gridlocks and nothing changes for the rest of
+//! the budget. [`StopCondition`] makes the termination rule part of the
+//! run description so sweeps can exit early without changing any measured
+//! number: throughput is sticky and capped, so a run stopped at
+//! [`StopReason::AllArrived`] reports exactly the throughput it would have
+//! reported at the end of the step budget.
+//!
+//! Conditions are evaluated **between** steps (before the first one, after
+//! every subsequent one), purely from the engine's observable state
+//! (`steps_done`, [`Metrics`]) — no hidden evaluator state, so the same
+//! trajectory always stops at the same step with the same reason,
+//! regardless of host, schedule, or batch worker count.
+
+use crate::metrics::Metrics;
+
+/// When to stop a run. Composable via [`StopCondition::FirstOf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop once `steps_done` reaches the budget (the paper's protocol).
+    Steps(u64),
+    /// Stop once every agent has reached its target region. Requires
+    /// metrics tracking.
+    AllArrived,
+    /// Stop once fewer than `threshold` agents moved in each of the last
+    /// `patience` consecutive steps while not everyone has arrived (the
+    /// paper's "total gridlock" regime). Requires metrics tracking.
+    Gridlocked {
+        /// Moves-per-step floor below which a step counts as frozen.
+        threshold: usize,
+        /// Consecutive frozen steps required before declaring gridlock
+        /// (≤ [`crate::metrics::MAX_GRIDLOCK_PATIENCE`]).
+        patience: u64,
+    },
+    /// Stop when any member condition fires; the **first** (in list
+    /// order) that matches supplies the [`StopReason`].
+    FirstOf(Vec<StopCondition>),
+}
+
+/// Why a [`StopCondition`]-driven run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The step budget was exhausted.
+    StepBudget,
+    /// Every agent reached its target region.
+    AllArrived,
+    /// The crowd froze for the configured patience window.
+    Gridlocked,
+}
+
+impl StopReason {
+    /// Stable lower-case name for reports and JSON serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::StepBudget => "step_budget",
+            StopReason::AllArrived => "all_arrived",
+            StopReason::Gridlocked => "gridlocked",
+        }
+    }
+}
+
+impl StopCondition {
+    /// The common sweep rule: stop when everyone has arrived, else at the
+    /// step budget.
+    pub fn arrived_or_steps(steps: u64) -> Self {
+        StopCondition::FirstOf(vec![StopCondition::AllArrived, StopCondition::Steps(steps)])
+    }
+
+    /// The full early-exit rule: arrival, gridlock, or the step budget —
+    /// whichever comes first.
+    pub fn settled_or_steps(steps: u64, threshold: usize, patience: u64) -> Self {
+        StopCondition::FirstOf(vec![
+            StopCondition::AllArrived,
+            StopCondition::Gridlocked {
+                threshold,
+                patience,
+            },
+            StopCondition::Steps(steps),
+        ])
+    }
+
+    /// Whether the condition is satisfied for an engine that has run
+    /// `steps_done` steps with the given metrics, and if so, why.
+    ///
+    /// `AllArrived` and `Gridlocked` read [`Metrics`]; evaluating them on
+    /// an engine built with `track_metrics` off is a caller bug and
+    /// panics (the condition could otherwise never fire and the run would
+    /// never stop).
+    pub fn check(&self, steps_done: u64, metrics: Option<&Metrics>) -> Option<StopReason> {
+        let need_metrics = || {
+            metrics.expect("AllArrived/Gridlocked stop conditions require SimConfig::track_metrics")
+        };
+        match self {
+            StopCondition::Steps(budget) => {
+                (steps_done >= *budget).then_some(StopReason::StepBudget)
+            }
+            StopCondition::AllArrived => need_metrics()
+                .all_arrived()
+                .then_some(StopReason::AllArrived),
+            StopCondition::Gridlocked {
+                threshold,
+                patience,
+            } => need_metrics()
+                .is_gridlocked(*threshold, *patience)
+                .then_some(StopReason::Gridlocked),
+            StopCondition::FirstOf(conds) => {
+                conds.iter().find_map(|c| c.check(steps_done, metrics))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Geometry;
+
+    fn metrics_after_freeze(steps: usize) -> Metrics {
+        let geom = Geometry {
+            width: 16,
+            height: 16,
+            spawn_rows: 3,
+            agents_per_side: 2,
+        };
+        let mut m = Metrics::new(geom, &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        for _ in 0..steps {
+            m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        }
+        m
+    }
+
+    #[test]
+    fn steps_fires_at_budget() {
+        let c = StopCondition::Steps(10);
+        assert_eq!(c.check(9, None), None);
+        assert_eq!(c.check(10, None), Some(StopReason::StepBudget));
+        assert_eq!(c.check(11, None), Some(StopReason::StepBudget));
+    }
+
+    #[test]
+    fn gridlock_respects_patience() {
+        let c = StopCondition::Gridlocked {
+            threshold: 1,
+            patience: 3,
+        };
+        let m2 = metrics_after_freeze(2);
+        assert_eq!(c.check(2, Some(&m2)), None);
+        let m3 = metrics_after_freeze(3);
+        assert_eq!(c.check(3, Some(&m3)), Some(StopReason::Gridlocked));
+    }
+
+    #[test]
+    fn first_of_reports_first_match_in_list_order() {
+        let m = metrics_after_freeze(5);
+        let c = StopCondition::FirstOf(vec![
+            StopCondition::AllArrived,
+            StopCondition::Gridlocked {
+                threshold: 1,
+                patience: 2,
+            },
+            StopCondition::Steps(5),
+        ]);
+        // Both gridlock and the budget hold at step 5; gridlock is listed
+        // first among the satisfied members.
+        assert_eq!(c.check(5, Some(&m)), Some(StopReason::Gridlocked));
+    }
+
+    #[test]
+    #[should_panic(expected = "track_metrics")]
+    fn metric_conditions_without_metrics_panic() {
+        let _ = StopCondition::AllArrived.check(0, None);
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        assert_eq!(StopReason::StepBudget.name(), "step_budget");
+        assert_eq!(StopReason::AllArrived.name(), "all_arrived");
+        assert_eq!(StopReason::Gridlocked.name(), "gridlocked");
+    }
+}

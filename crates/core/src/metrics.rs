@@ -9,10 +9,16 @@
 //! [`Metrics`] also tracks per-step movement (for gridlock detection) and a
 //! lane-formation index used by the analysis examples.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pedsim_grid::cell::Group;
 use pedsim_grid::Matrix;
+
+/// Longest gridlock patience window [`Metrics`] retains movement history
+/// for. Bounds the per-engine memory at O(1) regardless of run length; a
+/// patience beyond this is a configuration error.
+pub const MAX_GRIDLOCK_PATIENCE: u64 = 256;
 
 /// Static scenario geometry the metrics need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,9 +50,13 @@ impl Geometry {
     }
 
     /// Group of agent `idx` under the index-range convention.
+    ///
+    /// Agent indices are **1-based**: slot 0 is the unused sentinel and is
+    /// not a member of either group.
     #[inline]
     pub fn group_of(&self, idx: usize) -> Group {
-        if idx <= self.agents_per_side {
+        debug_assert!(idx >= 1, "agent indices are 1-based; 0 is the sentinel");
+        if (1..=self.agents_per_side).contains(&idx) {
             Group::Top
         } else {
             Group::Bottom
@@ -73,6 +83,10 @@ pub struct Metrics {
     pub total_moves: u64,
     /// Steps observed.
     pub steps: u64,
+    /// Agents moved in each of the last ≤ [`MAX_GRIDLOCK_PATIENCE`]
+    /// observed steps (a bounded ring; the gridlock patience window reads
+    /// its tail).
+    moved_recent: VecDeque<u32>,
     prev_row: Vec<u16>,
     prev_col: Vec<u16>,
 }
@@ -102,6 +116,7 @@ impl Metrics {
             moved_last_step: 0,
             total_moves: 0,
             steps: 0,
+            moved_recent: VecDeque::with_capacity(MAX_GRIDLOCK_PATIENCE as usize),
             prev_row: row.to_vec(),
             prev_col: col.to_vec(),
         }
@@ -133,6 +148,10 @@ impl Metrics {
             }
         }
         self.moved_last_step = moved;
+        if self.moved_recent.len() == MAX_GRIDLOCK_PATIENCE as usize {
+            self.moved_recent.pop_front();
+        }
+        self.moved_recent.push_back(moved as u32);
         self.total_moves += moved as u64;
         self.steps += 1;
     }
@@ -149,11 +168,39 @@ impl Metrics {
         self.crossed[i]
     }
 
-    /// True when fewer than `threshold` agents moved in the last step — the
-    /// paper's "total gridlock" regime past 51,200 agents.
+    /// Whether every agent has reached its target — a run that can stop
+    /// early with nothing left to measure.
     #[inline]
-    pub fn is_gridlocked(&self, threshold: usize) -> bool {
-        self.steps > 0 && self.moved_last_step < threshold
+    pub fn all_arrived(&self) -> bool {
+        self.throughput() == self.geom.total_agents()
+    }
+
+    /// True when fewer than `threshold` agents moved in each of the last
+    /// `patience` observed steps — the paper's "total gridlock" regime past
+    /// 51,200 agents. A finished crowd is *not* gridlocked: once every
+    /// agent has arrived, standing still is success, so this returns
+    /// `false` regardless of movement. `patience` is clamped to ≥ 1 and
+    /// must not exceed [`MAX_GRIDLOCK_PATIENCE`] (asserted), and the
+    /// window must be fully observed (fewer than `patience` steps so far
+    /// ⇒ not gridlocked) so a single congested step cannot misfire.
+    #[inline]
+    pub fn is_gridlocked(&self, threshold: usize, patience: u64) -> bool {
+        assert!(
+            patience <= MAX_GRIDLOCK_PATIENCE,
+            "gridlock patience {patience} exceeds the retained history \
+             ({MAX_GRIDLOCK_PATIENCE} steps)"
+        );
+        if self.all_arrived() {
+            return false;
+        }
+        let window = patience.max(1) as usize;
+        self.moved_recent.len() >= window
+            && self
+                .moved_recent
+                .iter()
+                .rev()
+                .take(window)
+                .all(|&m| (m as usize) < threshold)
     }
 
     /// The scenario geometry.
@@ -261,10 +308,74 @@ mod tests {
     fn gridlock_detection() {
         let g = geom();
         let mut m = Metrics::new(g, &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
-        assert!(!m.is_gridlocked(1)); // no steps yet
+        assert!(!m.is_gridlocked(1, 1)); // no steps yet
         m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]); // nobody moved
-        assert!(m.is_gridlocked(1));
+        assert!(m.is_gridlocked(1, 1));
         assert_eq!(m.moved_last_step, 0);
+    }
+
+    #[test]
+    fn gridlock_patience_needs_consecutive_low_steps() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]); // frozen
+        m.observe(&[0, 6, 5, 10, 10], &[0, 1, 2, 1, 2]); // one moved
+        m.observe(&[0, 6, 5, 10, 10], &[0, 1, 2, 1, 2]); // frozen
+                                                         // Patience 2 needs two consecutive frozen steps; the last two are
+                                                         // (moved=1, moved=0), so threshold 1 is not yet gridlock.
+        assert!(!m.is_gridlocked(1, 2));
+        m.observe(&[0, 6, 5, 10, 10], &[0, 1, 2, 1, 2]); // frozen again
+        assert!(m.is_gridlocked(1, 2));
+        // A wider window than the history observed never fires.
+        assert!(!m.is_gridlocked(1, 64));
+    }
+
+    #[test]
+    fn gridlock_history_is_bounded() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        for _ in 0..(MAX_GRIDLOCK_PATIENCE + 50) {
+            m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        }
+        assert_eq!(m.moved_recent.len(), MAX_GRIDLOCK_PATIENCE as usize);
+        assert!(m.is_gridlocked(1, MAX_GRIDLOCK_PATIENCE));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the retained history")]
+    fn gridlock_patience_beyond_retention_is_rejected() {
+        let m = Metrics::new(geom(), &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        let _ = m.is_gridlocked(1, MAX_GRIDLOCK_PATIENCE + 1);
+    }
+
+    #[test]
+    fn arrived_crowd_is_not_gridlocked() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        // Everyone jumps straight into the opposite band, then freezes.
+        m.observe(&[0, 14, 14, 1, 1], &[0, 0, 1, 0, 1]);
+        m.observe(&[0, 14, 14, 1, 1], &[0, 0, 1, 0, 1]);
+        m.observe(&[0, 14, 14, 1, 1], &[0, 0, 1, 0, 1]);
+        assert!(m.all_arrived());
+        assert_eq!(m.throughput(), g.total_agents());
+        // Zero movement for several steps, but the run *succeeded*.
+        assert!(!m.is_gridlocked(1, 2));
+    }
+
+    #[test]
+    fn group_of_uses_one_based_boundary() {
+        let g = geom(); // agents_per_side = 2
+        assert_eq!(g.group_of(1), Group::Top);
+        assert_eq!(g.group_of(2), Group::Top);
+        assert_eq!(g.group_of(3), Group::Bottom);
+        assert_eq!(g.group_of(4), Group::Bottom);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    #[cfg(debug_assertions)]
+    fn group_of_rejects_sentinel() {
+        let _ = geom().group_of(0);
     }
 
     #[test]

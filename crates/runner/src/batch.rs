@@ -1,0 +1,200 @@
+//! The batch executor: a persistent worker pool running replica jobs.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pedsim_core::engine::cpu::CpuEngine;
+use pedsim_core::engine::gpu::GpuEngine;
+use pedsim_core::engine::Engine;
+use pedsim_core::metrics::lane_index;
+use simt::exec::pool::WorkerPool;
+
+use crate::job::{EngineSel, Job};
+use crate::report::{BatchReport, RunResult};
+
+/// Runs job lists on a persistent thread pool.
+///
+/// The pool is the same work-stealing block scheduler the virtual GPU
+/// dispatches kernels on (`simt::exec::pool::WorkerPool`), reused one
+/// level up with whole replicas as the work items: workers claim jobs
+/// from a shared cursor, the caller blocks until every job has finished,
+/// and a panicking replica is re-raised on the calling thread after the
+/// remaining jobs drain — the pool survives for the next batch.
+///
+/// Results are written into per-job slots and aggregated in canonical
+/// order, so the report is identical for any worker count.
+pub struct Batch {
+    pool: WorkerPool,
+}
+
+impl Batch {
+    /// A batch executor with `workers` pool threads (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            pool: WorkerPool::new(workers),
+        }
+    }
+
+    /// A batch executor sized to the host's available parallelism.
+    pub fn auto() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(workers)
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Execute every job and aggregate the report. Blocks until the whole
+    /// batch has finished; jobs run in work-stealing order but the report
+    /// is deterministic (see [`BatchReport::from_results`]).
+    pub fn run(&self, jobs: &[Job]) -> BatchReport {
+        let slots: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        self.pool.run(jobs.len(), &|i| {
+            let result = execute(&jobs[i]);
+            *slots[i].lock() = Some(result);
+        });
+        BatchReport::from_results(
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every job fills its slot"))
+                .collect(),
+        )
+    }
+}
+
+/// Run one job to completion on the current thread.
+pub fn execute(job: &Job) -> RunResult {
+    let world = job
+        .cfg
+        .scenario
+        .as_ref()
+        .map_or_else(|| "corridor".to_string(), |s| s.name().to_string());
+    match &job.engine {
+        EngineSel::Cpu => finish(job, world, CpuEngine::new(job.cfg.clone())),
+        EngineSel::Gpu(device) => {
+            finish(job, world, GpuEngine::new(job.cfg.clone(), device.clone()))
+        }
+    }
+}
+
+fn finish<E: Engine>(job: &Job, world: String, mut engine: E) -> RunResult {
+    // Time the simulation loop alone: engine construction (world
+    // materialisation, upload) and result extraction stay outside, per
+    // the paper's "time spent solely for simulation" protocol.
+    let t0 = Instant::now();
+    let stop = engine.run_until(&job.stop);
+    let wall = t0.elapsed();
+    let metrics = engine.metrics();
+    RunResult {
+        label: job.label.clone(),
+        world,
+        model: engine.model().name().to_string(),
+        engine: job.engine.name(),
+        seed: job.cfg.env.seed,
+        agents: job.cfg.env.total_agents(),
+        steps: engine.steps_done(),
+        stop,
+        throughput: metrics.map(|m| m.throughput()),
+        total_moves: metrics.map(|m| m.total_moves),
+        lane_index: metrics
+            .is_some()
+            .then(|| lane_index(&engine.mat_snapshot())),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedsim_core::engine::StopCondition;
+    use pedsim_core::params::{ModelKind, SimConfig};
+    use pedsim_grid::EnvConfig;
+
+    fn corridor_job(label: &str, seed: u64, steps: u64) -> Job {
+        let env = EnvConfig::small(24, 24, 16).with_seed(seed);
+        Job::gpu(
+            label,
+            SimConfig::new(env, ModelKind::lem()),
+            StopCondition::arrived_or_steps(steps),
+        )
+    }
+
+    #[test]
+    fn batch_runs_all_jobs() {
+        let jobs: Vec<Job> = (0..5).map(|s| corridor_job("j", s, 200)).collect();
+        let report = Batch::new(3).run(&jobs);
+        assert_eq!(report.jobs, 5);
+        assert!(report.results.iter().all(|r| r.steps > 0));
+        assert!(report.throughput_total > 0);
+    }
+
+    #[test]
+    fn early_termination_undershoots_the_budget() {
+        // A near-empty corridor crosses everyone long before 5,000 steps.
+        let env = EnvConfig::small(24, 24, 4).with_seed(3);
+        let job = Job::gpu(
+            "sparse",
+            SimConfig::new(env, ModelKind::lem()),
+            StopCondition::arrived_or_steps(5_000),
+        );
+        let report = Batch::new(1).run(&[job]);
+        let r = &report.results[0];
+        assert_eq!(r.stop, pedsim_core::engine::StopReason::AllArrived);
+        assert!(r.steps < 5_000, "ran all {} steps", r.steps);
+        assert_eq!(r.throughput, Some(8));
+    }
+
+    #[test]
+    fn cpu_and_gpu_jobs_agree_in_one_batch() {
+        let env = EnvConfig::small(24, 24, 16).with_seed(9);
+        let cfg = SimConfig::new(env, ModelKind::aco());
+        let jobs = vec![
+            Job::cpu("ref", cfg.clone(), StopCondition::Steps(40)),
+            Job::gpu("ref", cfg, StopCondition::Steps(40)),
+        ];
+        let report = Batch::new(2).run(&jobs);
+        let [a, b] = &report.results[..] else {
+            panic!("two results")
+        };
+        // Same configuration ⇒ bit-identical trajectories on both engines.
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.total_moves, b.total_moves);
+        assert_eq!(a.lane_index, b.lane_index);
+    }
+
+    #[test]
+    fn metrics_off_reports_nulls() {
+        let env = EnvConfig::small(24, 24, 8).with_seed(1);
+        let cfg = SimConfig::new(env, ModelKind::lem()).with_metrics(false);
+        let report = Batch::new(1).run(&[Job::gpu("t", cfg, StopCondition::Steps(10))]);
+        let r = &report.results[0];
+        assert_eq!(r.throughput, None);
+        assert_eq!(r.total_moves, None);
+        assert_eq!(r.lane_index, None);
+        assert_eq!(r.steps, 10);
+    }
+
+    #[test]
+    fn job_panic_reaches_caller_and_batch_survives() {
+        // A job whose stop condition needs metrics on a metrics-off
+        // engine panics inside the worker; the batch re-raises it here.
+        let env = EnvConfig::small(16, 16, 4).with_seed(1);
+        let bad = Job::gpu(
+            "bad",
+            SimConfig::new(env, ModelKind::lem()).with_metrics(false),
+            StopCondition::AllArrived,
+        );
+        let batch = Batch::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.run(&[bad]);
+        }));
+        assert!(caught.is_err());
+        // The pool drained cleanly; the next batch runs normally.
+        let ok = corridor_job("ok", 1, 50);
+        assert_eq!(batch.run(&[ok]).jobs, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Job descriptions: one independent replica per [`Job`].
+
+use pedsim_core::engine::StopCondition;
+use pedsim_core::params::SimConfig;
+use simt::Device;
+
+/// Which engine executes a job.
+///
+/// Batch parallelism comes from running many replicas concurrently, so
+/// the default GPU selection is a **sequential** device — nesting a
+/// parallel device inside every batch worker would oversubscribe the
+/// host without changing any trajectory (engines are schedule-
+/// independent). Pass an explicit parallel device (e.g. for a
+/// single-job timing batch) via [`EngineSel::Gpu`]; sharing one
+/// parallel device across concurrent jobs is safe (its pool serializes
+/// launches) but makes them take turns.
+#[derive(Debug, Clone)]
+pub enum EngineSel {
+    /// The single-threaded reference engine.
+    Cpu,
+    /// The virtual-GPU engine on the given device.
+    Gpu(Device),
+}
+
+impl EngineSel {
+    /// Stable name for reports ("cpu" / "gpu").
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineSel::Cpu => "cpu",
+            EngineSel::Gpu(_) => "gpu",
+        }
+    }
+}
+
+/// One replica: a configuration (scenario × model × seed), an engine, and
+/// a stop condition.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Caller-chosen label grouping related replicas in reports (e.g.
+    /// `"density07/ACO"`). Need not be unique: the canonical result
+    /// order falls back to world/model/engine/seed within a label.
+    pub label: String,
+    /// Full simulation configuration. Metric-based stop conditions and
+    /// per-run metrics in the report require `track_metrics` (on by
+    /// default); timing protocols may switch it off and stop on
+    /// [`StopCondition::Steps`] alone.
+    pub cfg: SimConfig,
+    /// Engine selection.
+    pub engine: EngineSel,
+    /// When this replica is done.
+    pub stop: StopCondition,
+}
+
+impl Job {
+    /// A GPU job on a fresh **sequential** device (the batch default; see
+    /// [`EngineSel`]).
+    pub fn gpu(label: impl Into<String>, cfg: SimConfig, stop: StopCondition) -> Self {
+        Self {
+            label: label.into(),
+            cfg,
+            engine: EngineSel::Gpu(Device::sequential()),
+            stop,
+        }
+    }
+
+    /// A GPU job on an explicit device (shared pools, parallel policies,
+    /// profiling devices).
+    pub fn on_device(
+        label: impl Into<String>,
+        cfg: SimConfig,
+        device: Device,
+        stop: StopCondition,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            cfg,
+            engine: EngineSel::Gpu(device),
+            stop,
+        }
+    }
+
+    /// A CPU-reference job.
+    pub fn cpu(label: impl Into<String>, cfg: SimConfig, stop: StopCondition) -> Self {
+        Self {
+            label: label.into(),
+            cfg,
+            engine: EngineSel::Cpu,
+            stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedsim_core::params::ModelKind;
+    use pedsim_grid::EnvConfig;
+
+    #[test]
+    fn constructors_select_engines() {
+        let cfg = SimConfig::new(EnvConfig::small(16, 16, 4), ModelKind::lem());
+        let g = Job::gpu("g", cfg.clone(), StopCondition::Steps(1));
+        let c = Job::cpu("c", cfg.clone(), StopCondition::Steps(1));
+        assert_eq!(g.engine.name(), "gpu");
+        assert_eq!(c.engine.name(), "cpu");
+        let d = Job::on_device("d", cfg, Device::parallel(), StopCondition::Steps(1));
+        assert_eq!(d.engine.name(), "gpu");
+    }
+}

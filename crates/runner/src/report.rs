@@ -1,0 +1,358 @@
+//! Per-replica results and the deterministic batch aggregate.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use pedsim_core::engine::StopReason;
+
+/// Outcome of one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The job's label.
+    pub label: String,
+    /// Scenario name, or `"corridor"` for the classic `EnvConfig` world.
+    pub world: String,
+    /// Model name (`"LEM"` / `"ACO"`).
+    pub model: String,
+    /// Engine name (`"cpu"` / `"gpu"`).
+    pub engine: &'static str,
+    /// Replica seed.
+    pub seed: u64,
+    /// Total agents simulated.
+    pub agents: usize,
+    /// Steps actually executed (≤ the budget under early termination).
+    pub steps: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Agents that reached their target (`None` when metrics were off).
+    pub throughput: Option<usize>,
+    /// Total cell changes over the run (`None` when metrics were off).
+    pub total_moves: Option<u64>,
+    /// Lane-formation index of the final configuration (`None` when
+    /// metrics were off).
+    pub lane_index: Option<f64>,
+    /// Wall time of the simulation loop alone (engine construction and
+    /// result extraction excluded). Non-deterministic; excluded from
+    /// [`BatchReport::to_json`].
+    pub wall: Duration,
+}
+
+impl RunResult {
+    /// Canonical ordering key: results sort by it so a report is
+    /// independent of completion *and* submission order.
+    fn key(&self) -> (&str, &str, &str, &str, u64, usize) {
+        (
+            &self.label,
+            &self.world,
+            &self.model,
+            self.engine,
+            self.seed,
+            self.agents,
+        )
+    }
+
+    fn json_object(&self, timing: bool) -> String {
+        let mut o = String::from("{");
+        push_str_field(&mut o, "label", &self.label);
+        push_str_field(&mut o, "world", &self.world);
+        push_str_field(&mut o, "model", &self.model);
+        push_str_field(&mut o, "engine", self.engine);
+        push_raw_field(&mut o, "seed", &self.seed.to_string());
+        push_raw_field(&mut o, "agents", &self.agents.to_string());
+        push_raw_field(&mut o, "steps", &self.steps.to_string());
+        push_str_field(&mut o, "stop", self.stop.name());
+        push_raw_field(&mut o, "throughput", &opt_num(self.throughput));
+        push_raw_field(&mut o, "moves", &opt_num(self.total_moves));
+        push_raw_field(
+            &mut o,
+            "lane_index",
+            &self.lane_index.map_or("null".into(), json_f64),
+        );
+        if timing {
+            push_raw_field(&mut o, "wall_s", &json_f64(self.wall.as_secs_f64()));
+        }
+        o.push('}');
+        o
+    }
+}
+
+/// Aggregate over a finished batch, with results in canonical order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-replica results, sorted by label/world/model/engine/seed.
+    pub results: Vec<RunResult>,
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Sum of agent populations across jobs.
+    pub agents_total: usize,
+    /// Sum of throughput over metric-tracked jobs.
+    pub throughput_total: usize,
+    /// Sum of moves over metric-tracked jobs.
+    pub moves_total: u64,
+    /// Sum of executed steps across jobs.
+    pub steps_total: u64,
+    /// Mean executed steps per job (0 for an empty batch).
+    pub mean_steps: f64,
+    /// Jobs that stopped with [`StopReason::AllArrived`].
+    pub arrived: usize,
+    /// Jobs that stopped with [`StopReason::Gridlocked`].
+    pub gridlocked: usize,
+    /// Jobs that ran out their step budget.
+    pub exhausted: usize,
+    /// Sum of per-job wall times (CPU-seconds of simulation).
+    pub wall_total: Duration,
+    /// Longest single job (the batch's wall-clock critical path).
+    pub wall_max: Duration,
+}
+
+impl BatchReport {
+    /// Aggregate `results` (any order) into a canonical report.
+    pub fn from_results(mut results: Vec<RunResult>) -> Self {
+        results.sort_by(|a, b| a.key().cmp(&b.key()));
+        let jobs = results.len();
+        let agents_total = results.iter().map(|r| r.agents).sum();
+        let throughput_total = results.iter().filter_map(|r| r.throughput).sum();
+        let moves_total = results.iter().filter_map(|r| r.total_moves).sum();
+        let steps_total: u64 = results.iter().map(|r| r.steps).sum();
+        let mean_steps = if jobs == 0 {
+            0.0
+        } else {
+            steps_total as f64 / jobs as f64
+        };
+        let count = |reason: StopReason| results.iter().filter(|r| r.stop == reason).count();
+        let wall_total = results.iter().map(|r| r.wall).sum();
+        let wall_max = results.iter().map(|r| r.wall).max().unwrap_or_default();
+        Self {
+            jobs,
+            agents_total,
+            throughput_total,
+            moves_total,
+            steps_total,
+            mean_steps,
+            arrived: count(StopReason::AllArrived),
+            gridlocked: count(StopReason::Gridlocked),
+            exhausted: count(StopReason::StepBudget),
+            wall_total,
+            wall_max,
+            results,
+        }
+    }
+
+    /// Results whose label matches `label` exactly (canonical order).
+    pub fn with_label<'a>(&'a self, label: &str) -> impl Iterator<Item = &'a RunResult> + 'a {
+        let label = label.to_string();
+        self.results.iter().filter(move |r| r.label == label)
+    }
+
+    /// Mean throughput over results with `label` (0 when none tracked
+    /// metrics or none matched).
+    pub fn mean_throughput(&self, label: &str) -> f64 {
+        let (mut sum, mut n) = (0usize, 0usize);
+        for r in self.with_label(label) {
+            if let Some(t) = r.throughput {
+                sum += t;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// **Deterministic** JSON: identical bytes for identical job sets
+    /// regardless of worker count or submission order. Wall-clock fields
+    /// are omitted; use [`BatchReport::to_json_with_timing`] to include
+    /// them.
+    pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// JSON including the (non-deterministic) wall-clock fields.
+    pub fn to_json_with_timing(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, timing: bool) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v1\",");
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"aggregate\": {{");
+        let _ = writeln!(s, "    \"agents_total\": {},", self.agents_total);
+        let _ = writeln!(s, "    \"throughput_total\": {},", self.throughput_total);
+        let _ = writeln!(s, "    \"moves_total\": {},", self.moves_total);
+        let _ = writeln!(s, "    \"steps_total\": {},", self.steps_total);
+        let _ = writeln!(s, "    \"mean_steps\": {},", json_f64(self.mean_steps));
+        let _ = write!(
+            s,
+            "    \"stops\": {{\"all_arrived\": {}, \"gridlocked\": {}, \"step_budget\": {}}}",
+            self.arrived, self.gridlocked, self.exhausted
+        );
+        if timing {
+            let _ = writeln!(s, ",");
+            let _ = writeln!(
+                s,
+                "    \"wall_total_s\": {},",
+                json_f64(self.wall_total.as_secs_f64())
+            );
+            let _ = writeln!(
+                s,
+                "    \"wall_max_s\": {}",
+                json_f64(self.wall_max.as_secs_f64())
+            );
+        } else {
+            let _ = writeln!(s);
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(s, "    {}{comma}", r.json_object(timing));
+        }
+        let _ = writeln!(s, "  ]");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Escape a string for a JSON literal (quotes, backslashes, controls).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite `f64` via Rust's shortest-roundtrip `Display` (itself
+/// deterministic); non-finite values become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn opt_num<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or("null".into(), |n| n.to_string())
+}
+
+fn push_str_field(buf: &mut String, key: &str, value: &str) {
+    if buf.len() > 1 {
+        buf.push_str(", ");
+    }
+    let _ = write!(buf, "\"{key}\": \"{}\"", json_escape(value));
+}
+
+fn push_raw_field(buf: &mut String, key: &str, raw: &str) {
+    if buf.len() > 1 {
+        buf.push_str(", ");
+    }
+    let _ = write!(buf, "\"{key}\": {raw}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(label: &str, seed: u64, stop: StopReason) -> RunResult {
+        RunResult {
+            label: label.into(),
+            world: "paper_corridor".into(),
+            model: "LEM".into(),
+            engine: "gpu",
+            seed,
+            agents: 40,
+            steps: 100,
+            stop,
+            throughput: Some(40),
+            total_moves: Some(1_000),
+            lane_index: Some(0.25),
+            wall: Duration::from_millis(seed),
+        }
+    }
+
+    #[test]
+    fn report_sorts_results_canonically() {
+        let a = BatchReport::from_results(vec![
+            result("b", 2, StopReason::AllArrived),
+            result("a", 9, StopReason::StepBudget),
+            result("b", 1, StopReason::Gridlocked),
+        ]);
+        let order: Vec<(String, u64)> = a
+            .results
+            .iter()
+            .map(|r| (r.label.clone(), r.seed))
+            .collect();
+        assert_eq!(
+            order,
+            vec![("a".into(), 9), ("b".into(), 1), ("b".into(), 2)]
+        );
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.arrived, 1);
+        assert_eq!(a.gridlocked, 1);
+        assert_eq!(a.exhausted, 1);
+        assert_eq!(a.throughput_total, 120);
+        assert_eq!(a.wall_max, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn json_is_order_invariant_and_excludes_wall() {
+        let fwd = BatchReport::from_results(vec![
+            result("a", 1, StopReason::AllArrived),
+            result("a", 2, StopReason::AllArrived),
+        ]);
+        let mut rev_results = vec![
+            result("a", 2, StopReason::AllArrived),
+            result("a", 1, StopReason::AllArrived),
+        ];
+        rev_results[0].wall = Duration::from_secs(5); // timing noise
+        let rev = BatchReport::from_results(rev_results);
+        assert_eq!(fwd.to_json(), rev.to_json());
+        assert!(!fwd.to_json().contains("wall"));
+        assert!(fwd.to_json_with_timing().contains("wall_total_s"));
+    }
+
+    #[test]
+    fn json_escapes_labels() {
+        let mut r = result("a", 1, StopReason::AllArrived);
+        r.label = "quote\" slash\\ tab\t".into();
+        let j = BatchReport::from_results(vec![r]).to_json();
+        assert!(j.contains("quote\\\" slash\\\\ tab\\t"));
+    }
+
+    #[test]
+    fn empty_batch_is_valid() {
+        let r = BatchReport::from_results(Vec::new());
+        assert_eq!(r.jobs, 0);
+        assert_eq!(r.mean_steps, 0.0);
+        assert!(r.to_json().contains("\"results\": [\n  ]"));
+    }
+
+    #[test]
+    fn mean_throughput_groups_by_label() {
+        let mut a = result("x", 1, StopReason::AllArrived);
+        a.throughput = Some(10);
+        let mut b = result("x", 2, StopReason::AllArrived);
+        b.throughput = Some(30);
+        let c = result("y", 3, StopReason::AllArrived);
+        let rep = BatchReport::from_results(vec![a, b, c]);
+        assert_eq!(rep.mean_throughput("x"), 20.0);
+        assert_eq!(rep.mean_throughput("y"), 40.0);
+        assert_eq!(rep.mean_throughput("zzz"), 0.0);
+    }
+}

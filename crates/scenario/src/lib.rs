@@ -11,7 +11,9 @@
 //!   regions, population, seed;
 //! * [`registry`] — ready-made worlds: `paper_corridor` (the paper's
 //!   geometry, bit-identical to the legacy `EnvConfig` path), `doorway`,
-//!   `pillar_hall`, and `crossing`.
+//!   `pillar_hall`, and `crossing`;
+//! * [`sweep`] — registry-world × population × seed grids, the input
+//!   enumeration for `pedsim-runner` batches.
 //!
 //! A scenario knows how to *materialise* itself
 //! ([`Scenario::build_environment`]) and how agents *route* through it
@@ -27,6 +29,8 @@ pub mod region;
 pub mod registry;
 #[allow(clippy::module_inception)]
 pub mod scenario;
+pub mod sweep;
 
 pub use region::Region;
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
+pub use sweep::SweepPoint;

@@ -1,0 +1,112 @@
+//! Sweep grids: registry world × population × seed enumeration.
+//!
+//! The paper's evaluation is built from sweeps — an agent-count ladder
+//! (Fig. 5), a density grid (Fig. 6), repeated seeds for significance —
+//! and every harness used to hand-roll its own nested loops. This module
+//! enumerates the cross product declaratively: a [`grid`] call yields one
+//! [`SweepPoint`] per (world, population, seed) triple, each carrying a
+//! ready-built, reseeded [`Scenario`]. The runner crate turns points into
+//! jobs; the ordering is deterministic (worlds outermost, then
+//! populations, then seeds) so downstream reports are reproducible.
+
+use pedsim_grid::EnvConfig;
+
+use crate::registry;
+use crate::scenario::Scenario;
+
+/// Build a registry world by name on a `side × side` grid with `per_side`
+/// agents per group, using each world's canonical interior parameters
+/// (doorway gap = side/6, pillar spacing = side/8, both floored to sane
+/// minima). Returns `None` for unknown names; see [`registry::names`].
+pub fn build_world(name: &str, side: usize, per_side: usize) -> Option<Scenario> {
+    match name {
+        "paper_corridor" => Some(registry::paper_corridor(&EnvConfig::small(
+            side, side, per_side,
+        ))),
+        "doorway" => Some(registry::doorway(side, side, per_side, (side / 6).max(2))),
+        "pillar_hall" => Some(registry::pillar_hall(
+            side,
+            side,
+            per_side,
+            (side / 8).max(4),
+        )),
+        "crossing" => Some(registry::crossing(side, per_side)),
+        _ => None,
+    }
+}
+
+/// One cell of a sweep grid: a world at a population and a seed.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Registry world name.
+    pub world: String,
+    /// Agents per group.
+    pub per_side: usize,
+    /// Replica seed (already applied to `scenario`).
+    pub seed: u64,
+    /// The materialisable world, reseeded for this replica.
+    pub scenario: Scenario,
+}
+
+/// Enumerate `worlds × per_sides × seeds` on a `side × side` grid, in
+/// deterministic order (worlds outermost, seeds innermost).
+///
+/// Panics on unknown world names — a sweep definition naming a world that
+/// does not exist is a caller bug, not a skippable cell.
+pub fn grid(worlds: &[&str], side: usize, per_sides: &[usize], seeds: &[u64]) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(worlds.len() * per_sides.len() * seeds.len());
+    for &world in worlds {
+        for &per_side in per_sides {
+            // Build once per (world, population); reseeding is cheap.
+            let base = build_world(world, side, per_side)
+                .unwrap_or_else(|| panic!("unknown registry world {world:?}"));
+            for &seed in seeds {
+                points.push(SweepPoint {
+                    world: world.to_string(),
+                    per_side,
+                    seed,
+                    scenario: base.clone().with_seed(seed),
+                });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_world_covers_the_registry() {
+        for &name in registry::names() {
+            let s = build_world(name, 48, 60).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(s.name(), name);
+            assert_eq!(s.agents_per_side(), 60);
+        }
+        assert!(build_world("no_such_world", 48, 60).is_none());
+    }
+
+    #[test]
+    fn grid_enumerates_the_cross_product_in_order() {
+        let pts = grid(&["paper_corridor", "doorway"], 32, &[20, 40], &[1, 2, 3]);
+        assert_eq!(pts.len(), 2 * 2 * 3);
+        // Worlds outermost, then populations, then seeds.
+        assert_eq!(pts[0].world, "paper_corridor");
+        assert_eq!((pts[0].per_side, pts[0].seed), (20, 1));
+        assert_eq!((pts[2].per_side, pts[2].seed), (20, 3));
+        assert_eq!((pts[3].per_side, pts[3].seed), (40, 1));
+        assert_eq!(pts[6].world, "doorway");
+        // The seed is applied to the scenario itself.
+        assert!(pts.iter().all(|p| p.scenario.seed() == p.seed));
+        assert!(pts
+            .iter()
+            .all(|p| p.scenario.agents_per_side() == p.per_side));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown registry world")]
+    fn grid_rejects_unknown_worlds() {
+        let _ = grid(&["atlantis"], 32, &[10], &[1]);
+    }
+}

@@ -12,6 +12,7 @@
 //! profiling) mirror a CUDA stream's behaviour and are part of the
 //! substrate being reproduced.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,6 +40,9 @@ struct State {
     generation: u64,
     /// Workers still executing the current job.
     active: usize,
+    /// First panic payload caught during the current job, re-raised on the
+    /// launching thread once every worker has drained.
+    panic: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -65,6 +69,7 @@ impl WorkerPool {
                 job: None,
                 generation: 0,
                 active: 0,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -94,9 +99,16 @@ impl WorkerPool {
 
     /// Execute `f(0..n)` across the pool; returns when every index ran.
     ///
-    /// Panics in workers are contained per item? No — a worker panic will
-    /// poison the pool; kernels are expected not to panic except on
-    /// contract violations (which abort the test anyway).
+    /// Launches are serialized: the pool runs one job at a time, and a
+    /// concurrent `run` (e.g. two batch replicas sharing one parallel
+    /// device) queues until the in-flight job drains instead of
+    /// corrupting it.
+    ///
+    /// Panics in workers are contained per claimed chunk: the panicking
+    /// chunk is abandoned at the faulting index, the remaining workers
+    /// drain the rest of the job, and the *first* panic payload is
+    /// re-raised here on the launching thread. The pool itself stays
+    /// usable — a subsequent `run` starts from clean state.
     pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
         if n == 0 {
             return;
@@ -112,7 +124,9 @@ impl WorkerPool {
         };
         let chunk = (n / (self.workers * 4)).max(1);
         let mut st = self.shared.state.lock();
-        debug_assert!(st.job.is_none(), "pool supports one job at a time");
+        while st.job.is_some() {
+            self.shared.done_cv.wait(&mut st);
+        }
         self.shared.cursor.store(0, Ordering::Relaxed);
         st.job = Some(Job {
             f: f_static,
@@ -126,6 +140,13 @@ impl WorkerPool {
             self.shared.done_cv.wait(&mut st);
         }
         st.job = None;
+        let payload = st.panic.take();
+        // Wake any launcher queued behind this job.
+        self.shared.done_cv.notify_all();
+        drop(st);
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -167,8 +188,19 @@ fn worker_loop(shared: &Shared) {
                 break;
             }
             let end = (start + chunk).min(n);
-            for i in start..end {
-                f(i);
+            // Contain panics per chunk so one faulting block cannot hang
+            // the pool: the chunk is abandoned, the first payload is kept
+            // for the launching thread, and this worker keeps claiming.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    f(i);
+                }
+            }));
+            if let Err(payload) = outcome {
+                let mut st = shared.state.lock();
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
             }
         }
         let mut st = shared.state.lock();
@@ -227,6 +259,70 @@ mod tests {
         let pool = WorkerPool::new(8);
         pool.run(100, &|_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn concurrent_launches_serialize_cleanly() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicU64> = (0..512).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        pool.run(512, &|i| {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        // 4 launchers × 20 jobs, each covering every index exactly once.
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 80));
+    }
+
+    #[test]
+    fn worker_panic_reraises_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicU64> = (0..200).map(|_| AtomicU64::new(0)).collect();
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(200, &|i| {
+                if i == 37 {
+                    panic!("kernel fault at {i}");
+                }
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let payload = res.expect_err("panic must reach the launching thread");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("kernel fault at 37"), "{msg}");
+        // No index ran twice, and the job did not hang.
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1));
+
+        // The next launch starts from clean state and runs every index.
+        let sum = AtomicU64::new(0);
+        pool.run(64, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 63 * 64 / 2);
+    }
+
+    #[test]
+    fn every_worker_panicking_still_drains() {
+        let pool = WorkerPool::new(3);
+        for _ in 0..3 {
+            let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(48, &|_| panic!("all items fault"));
+            }));
+            assert!(res.is_err());
+        }
+        let sum = AtomicU64::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
     }
 
     #[test]

@@ -5,44 +5,60 @@
 //! no such coupling. This example tracks the lane index over time for
 //! both models at a density where the effect decides throughput.
 //!
+//! The time series comes from a **batch**: one replica per (model,
+//! checkpoint) pair, all running concurrently on the `pedsim-runner`
+//! pool. Engines are deterministic, so a fresh replica stopped at step
+//! 400 is bit-identical to a 1,600-step run inspected mid-flight — which
+//! turns a serial checkpoint walk into an embarrassingly parallel job
+//! list.
+//!
 //! ```text
 //! cargo run --release --example lane_formation
 //! ```
 
-use pedsim::core::metrics::lane_index;
 use pedsim::prelude::*;
 
 fn main() {
     let env = EnvConfig::small(72, 72, 700).with_seed(31); // ~27 % fill
-    let device = simt::Device::parallel();
     let checkpoints = [50u64, 100, 200, 400, 800, 1_600];
+
+    let jobs: Vec<Job> = checkpoints
+        .iter()
+        .flat_map(|&cp| {
+            [ModelKind::lem(), ModelKind::aco()].map(|model| {
+                Job::gpu(
+                    format!("step{cp:05}/{}", model.name()),
+                    SimConfig::new(env, model),
+                    StopCondition::Steps(cp),
+                )
+            })
+        })
+        .collect();
+    let report = Batch::auto().run(&jobs);
+    let get = |cp: u64, model: &str| {
+        report
+            .with_label(&format!("step{cp:05}/{model}"))
+            .next()
+            .expect("one result per job")
+    };
 
     println!("lane index over time (0 = mixed, 1 = segregated columns)\n");
     println!("{:>8} {:>10} {:>10}", "step", "LEM", "ACO");
-
-    let mut lem = GpuEngine::new(SimConfig::new(env, ModelKind::lem()), device.clone());
-    let mut aco = GpuEngine::new(SimConfig::new(env, ModelKind::aco()), device.clone());
-    let mut done = 0u64;
     for &cp in &checkpoints {
-        let burst = cp - done;
-        lem.run(burst);
-        aco.run(burst);
-        done = cp;
         println!(
             "{:>8} {:>10.3} {:>10.3}",
             cp,
-            lane_index(&lem.mat_snapshot()),
-            lane_index(&aco.mat_snapshot())
+            get(cp, "LEM").lane_index.expect("metrics on"),
+            get(cp, "ACO").lane_index.expect("metrics on"),
         );
     }
 
-    let lem_m = lem.metrics().expect("metrics");
-    let aco_m = aco.metrics().expect("metrics");
+    let last = *checkpoints.last().expect("non-empty");
     println!(
         "\nthroughput after {} steps — LEM: {}, ACO: {}",
-        done,
-        lem_m.throughput(),
-        aco_m.throughput()
+        last,
+        get(last, "LEM").throughput.expect("metrics on"),
+        get(last, "ACO").throughput.expect("metrics on"),
     );
     println!(
         "\nthe ACO column should climb faster and higher: trails are the \

@@ -7,6 +7,7 @@
 
 pub use pedsim_core as core;
 pub use pedsim_grid as grid;
+pub use pedsim_runner as runner;
 pub use pedsim_scenario as scenario;
 pub use pedsim_stats as stats;
 pub use philox;
@@ -15,6 +16,7 @@ pub use simt;
 /// The commonly-used surface of the whole workspace.
 pub mod prelude {
     pub use pedsim_core::prelude::*;
+    pub use pedsim_runner::prelude::*;
 }
 
 pub use prelude::*;
