@@ -15,7 +15,8 @@ fn bench_flow_field(c: &mut Criterion) {
         b.iter(|| black_box(DistanceTables::new(480)));
     });
 
-    // Dijkstra flow fields over 2·480·480 cells.
+    // Dijkstra flow fields over G·480·480 cells (one plane per group; the
+    // four-way plaza measures the 4-group cost).
     for (name, scenario) in [
         (
             "open",
@@ -23,20 +24,20 @@ fn bench_flow_field(c: &mut Criterion) {
         ),
         ("doorway_gap8", registry::doorway(480, 480, 12_800, 8)),
         ("pillar_hall", registry::pillar_hall(480, 480, 12_800, 6)),
+        ("four_way", registry::four_way_crossing(480, 6_400)),
     ] {
         group.bench_with_input(
             BenchmarkId::new("grid_dijkstra", name),
             &scenario,
             |b, s| {
                 b.iter(|| {
+                    let targets: Vec<&[(u16, u16)]> =
+                        s.groups().iter().map(|g| g.target.cells()).collect();
                     black_box(GridDistanceField::compute(
                         s.height(),
                         s.width(),
                         |r, c| s.is_wall(r, c),
-                        [
-                            s.target(pedsim_grid::Group::Top).cells(),
-                            s.target(pedsim_grid::Group::Bottom).cells(),
-                        ],
+                        &targets,
                     ))
                 });
             },

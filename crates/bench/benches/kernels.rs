@@ -24,6 +24,9 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels_480x480_25600agents");
     group.sample_size(20);
 
+    let pher_slices = state.pher.as_ref().map(|p| p.slices(0));
+    let pher_views = state.pher.as_ref().map(|p| p.views(1));
+
     group.bench_function("initial_calc_aco", |b| {
         b.iter(|| {
             let k = InitialCalcKernel {
@@ -32,10 +35,7 @@ fn bench_kernels(c: &mut Criterion) {
                 mat_in: state.mat[0].as_slice(),
                 index_in: state.index[0].as_slice(),
                 dist: state.dist_ref(),
-                pher_in: state
-                    .pher
-                    .as_ref()
-                    .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice())),
+                pher_in: pher_slices.as_deref(),
                 model: ModelKind::aco(),
                 scan_val: state.scan_val.view(),
                 scan_idx: state.scan_idx.view(),
@@ -83,14 +83,8 @@ fn bench_kernels(c: &mut Criterion) {
                 tour: state.tour.view(),
                 mat_out: state.mat[1].view(),
                 index_out: state.index[1].view(),
-                pher_in: state
-                    .pher
-                    .as_ref()
-                    .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice())),
-                pher_out: state
-                    .pher
-                    .as_ref()
-                    .map(|p| (p.top[1].view(), p.bottom[1].view())),
+                pher_in: pher_slices.as_deref(),
+                pher_out: pher_views.as_deref(),
                 aco,
             };
             device.launch(&cells, &k).expect("launch");

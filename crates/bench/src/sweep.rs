@@ -187,7 +187,11 @@ mod tests {
     fn all_scales_have_enough_axes() {
         for scale in [Scale::Paper, Scale::Default, Scale::Smoke] {
             let p = SweepProtocol::for_scale(scale);
-            assert_eq!(p.worlds.len(), 4);
+            // Every registry world is swept — multi-group ones included,
+            // so they cannot rot outside CI's reach.
+            assert_eq!(p.worlds.len(), pedsim_scenario::registry::names().len());
+            assert!(p.worlds.contains(&"four_way_crossing"));
+            assert!(p.worlds.contains(&"t_junction_merge"));
             assert!(p.per_sides.len() >= 3);
             assert!(p.seeds.len() >= 5);
         }

@@ -42,17 +42,24 @@ impl CpuEngine {
     /// attached scenario when present, else the classic corridor).
     pub fn new(cfg: SimConfig) -> Self {
         let (env, dist) = build_world(&cfg);
-        let geom = Geometry {
-            width: env.width(),
-            height: env.height(),
-            spawn_rows: env.spawn_rows,
-            agents_per_side: env.agents_per_side,
-        };
+        let geom =
+            Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
         let n = env.total_agents();
+        let groups = env.n_groups();
         let (pher, pher_next) = match cfg.model {
             ModelKind::Aco(p) => (
-                Some(PheromoneField::new(env.height(), env.width(), p.tau0)),
-                Some(PheromoneField::new(env.height(), env.width(), p.tau0)),
+                Some(PheromoneField::with_groups(
+                    env.height(),
+                    env.width(),
+                    p.tau0,
+                    groups,
+                )),
+                Some(PheromoneField::with_groups(
+                    env.height(),
+                    env.width(),
+                    p.tau0,
+                    groups,
+                )),
             ),
             ModelKind::Lem(_) => (None, None),
         };
@@ -223,33 +230,32 @@ impl CpuEngine {
                     self.mat_next.set(r, c, new_label);
                     self.index_next.set(r, c, new_index);
 
-                    // Pheromone: evaporate everywhere, deposit on arrival.
+                    // Pheromone: evaporate everywhere, deposit on arrival
+                    // (credited to the arriving agent's group plane).
                     if let Some(p) = aco {
-                        let (dep_top, dep_bot) = match arrival {
-                            Some(arr) => {
-                                let a = arr.agent as usize;
-                                let l_new = self.tour.get(a) + arr.step_len();
-                                let dep = p.q / l_new;
-                                if props.id[a] == Group::Top.label() {
-                                    (dep, 0.0)
-                                } else {
-                                    (0.0, dep)
-                                }
-                            }
-                            None => (0.0, 0.0),
-                        };
+                        let deposit: Option<(usize, f32)> = arrival.map(|arr| {
+                            let a = arr.agent as usize;
+                            let l_new = self.tour.get(a) + arr.step_len();
+                            let g =
+                                Group::from_label(props.id[a]).expect("arrival has a group label");
+                            (g.index(), p.q / l_new)
+                        });
                         let pin = self.pher.as_ref().expect("ACO pheromone");
                         let pout = self.pher_next.as_mut().expect("ACO pheromone");
-                        let t =
-                            PheromoneField::fused_update(pin.top.get(r, c), p.tau0, p.rho, dep_top);
-                        let b = PheromoneField::fused_update(
-                            pin.bottom.get(r, c),
-                            p.tau0,
-                            p.rho,
-                            dep_bot,
-                        );
-                        pout.top.set(r, c, t);
-                        pout.bottom.set(r, c, b);
+                        for gi in 0..pin.groups() {
+                            let g = Group::new(gi);
+                            let dep = match deposit {
+                                Some((dg, amount)) if dg == gi => amount,
+                                _ => 0.0,
+                            };
+                            let next = PheromoneField::fused_update(
+                                pin.of(g).get(r, c),
+                                p.tau0,
+                                p.rho,
+                                dep,
+                            );
+                            pout.of_mut(g).set(r, c, next);
+                        }
                     }
                 }
             }
@@ -402,9 +408,18 @@ mod tests {
     fn pheromone_stays_positive_and_grows_on_trails() {
         let e = run_small(ModelKind::aco(), 40);
         let p = e.pheromone().expect("ACO field");
-        assert!(p.top.as_slice().iter().all(|&v| v >= p.tau0 * 0.999));
+        assert!(p
+            .of(Group::TOP)
+            .as_slice()
+            .iter()
+            .all(|&v| v >= p.tau0 * 0.999));
         // Somewhere, someone deposited.
-        let max = p.top.as_slice().iter().cloned().fold(0.0f32, f32::max);
+        let max = p
+            .of(Group::TOP)
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(0.0f32, f32::max);
         assert!(max > p.tau0, "no deposits after 40 steps");
     }
 
@@ -436,7 +451,7 @@ mod tests {
         // With ρ=1 everything evaporates to the floor each step except
         // fresh deposits.
         let above = p
-            .top
+            .of(Group::TOP)
             .as_slice()
             .iter()
             .filter(|&&v| v > p.tau0 * 1.5)

@@ -49,12 +49,8 @@ impl GpuEngine {
     /// corridor).
     pub fn new(cfg: SimConfig, device: Device) -> Self {
         let (env, dist) = build_world(&cfg);
-        let geom = Geometry {
-            width: env.width(),
-            height: env.height(),
-            spawn_rows: env.spawn_rows,
-            agents_per_side: env.agents_per_side,
-        };
+        let geom =
+            Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
         let state = DeviceState::upload(&env, &dist, cfg.model, cfg.checked);
         let metrics = cfg.track_metrics.then(|| {
             Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col)
@@ -102,18 +98,17 @@ impl GpuEngine {
         self.state.download(self.spawn_rows, self.cfg.env.seed)
     }
 
-    /// Current pheromone fields `(top, bottom)` (ACO only).
-    pub fn pheromone_snapshot(&self) -> Option<(Matrix<f32>, Matrix<f32>)> {
+    /// Current pheromone fields, one matrix per group in index order (ACO
+    /// only).
+    pub fn pheromone_snapshot(&self) -> Option<Vec<Matrix<f32>>> {
         let p = self.state.pher.as_ref()?;
         let cur = self.state.cur;
-        Some((
-            Matrix::from_vec(self.state.h, self.state.w, p.top[cur].as_slice().to_vec()),
-            Matrix::from_vec(
-                self.state.h,
-                self.state.w,
-                p.bottom[cur].as_slice().to_vec(),
-            ),
-        ))
+        Some(
+            p.fields
+                .iter()
+                .map(|f| Matrix::from_vec(self.state.h, self.state.w, f[cur].as_slice().to_vec()))
+                .collect(),
+        )
     }
 
     /// Accumulated tour lengths (sentinel at 0).
@@ -172,17 +167,14 @@ impl Engine for GpuEngine {
         st.scan_idx.begin_epoch();
         st.front.begin_epoch();
         st.front_k.begin_epoch();
-        let pher_in = st
-            .pher
-            .as_ref()
-            .map(|p| (p.top[cur].as_slice(), p.bottom[cur].as_slice()));
+        let pher_slices = st.pher.as_ref().map(|p| p.slices(cur));
         let calc = InitialCalcKernel {
             w: st.w,
             h: st.h,
             mat_in: st.mat[cur].as_slice(),
             index_in: st.index[cur].as_slice(),
             dist: st.dist_ref(),
-            pher_in,
+            pher_in: pher_slices.as_deref(),
             model: self.cfg.model,
             scan_val: st.scan_val.view(),
             scan_idx: st.scan_idx.view(),
@@ -229,13 +221,13 @@ impl Engine for GpuEngine {
         st.col.begin_epoch();
         st.tour.begin_epoch();
         if let Some(p) = st.pher.as_ref() {
-            p.top[nxt].begin_epoch();
-            p.bottom[nxt].begin_epoch();
+            p.begin_epoch(nxt);
         }
         let aco = match self.cfg.model {
             ModelKind::Aco(p) => Some(p),
             ModelKind::Lem(_) => None,
         };
+        let pher_views = st.pher.as_ref().map(|p| p.views(nxt));
         let mv = MovementKernel {
             w: st.w,
             h: st.h,
@@ -249,11 +241,8 @@ impl Engine for GpuEngine {
             tour: st.tour.view(),
             mat_out: st.mat[nxt].view(),
             index_out: st.index[nxt].view(),
-            pher_in,
-            pher_out: st
-                .pher
-                .as_ref()
-                .map(|p| (p.top[nxt].view(), p.bottom[nxt].view())),
+            pher_in: pher_slices.as_deref(),
+            pher_out: pher_views.as_deref(),
             aco,
         };
         let stats = self

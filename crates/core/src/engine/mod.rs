@@ -24,7 +24,7 @@ use pedsim_grid::{DistanceData, Environment, Matrix};
 use crate::metrics::Metrics;
 use crate::params::{ModelKind, SimConfig};
 
-pub use stop::{StopCondition, StopReason};
+pub use stop::{InvalidStopCondition, StopCondition, StopReason};
 
 /// Materialise the configured world: the declarative scenario when one is
 /// attached (walls, regions, row-fast-path or flow-field routing), else

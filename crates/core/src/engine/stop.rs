@@ -16,7 +16,35 @@
 //! trajectory always stops at the same step with the same reason,
 //! regardless of host, schedule, or batch worker count.
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MAX_GRIDLOCK_PATIENCE};
+
+/// Why a [`StopCondition`] is rejected by [`StopCondition::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidStopCondition {
+    /// A `Gridlocked` patience longer than the movement history the
+    /// metrics retain — it could never be evaluated and would panic deep
+    /// inside the engine loop instead of at configuration time.
+    PatienceExceedsRetention {
+        /// The requested patience.
+        patience: u64,
+        /// The retention bound ([`MAX_GRIDLOCK_PATIENCE`]).
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for InvalidStopCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PatienceExceedsRetention { patience, max } => write!(
+                f,
+                "gridlock patience {patience} exceeds the retained movement \
+                 history ({max} steps)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvalidStopCondition {}
 
 /// When to stop a run. Composable via [`StopCondition::FirstOf`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +111,25 @@ impl StopCondition {
         ])
     }
 
+    /// Check the condition's *parameters* (recursively through
+    /// [`StopCondition::FirstOf`]) without an engine: a `Gridlocked`
+    /// patience beyond [`MAX_GRIDLOCK_PATIENCE`] can never be evaluated,
+    /// so callers that accept run descriptions (the batch runner) reject
+    /// it here — at construction, with a typed error — instead of letting
+    /// a worker thread panic mid-batch.
+    pub fn validate(&self) -> Result<(), InvalidStopCondition> {
+        match self {
+            StopCondition::Gridlocked { patience, .. } if *patience > MAX_GRIDLOCK_PATIENCE => {
+                Err(InvalidStopCondition::PatienceExceedsRetention {
+                    patience: *patience,
+                    max: MAX_GRIDLOCK_PATIENCE,
+                })
+            }
+            StopCondition::FirstOf(conds) => conds.iter().try_for_each(StopCondition::validate),
+            _ => Ok(()),
+        }
+    }
+
     /// Whether the condition is satisfied for an engine that has run
     /// `steps_done` steps with the given metrics, and if so, why.
     ///
@@ -120,12 +167,7 @@ mod tests {
     use crate::metrics::Geometry;
 
     fn metrics_after_freeze(steps: usize) -> Metrics {
-        let geom = Geometry {
-            width: 16,
-            height: 16,
-            spawn_rows: 3,
-            agents_per_side: 2,
-        };
+        let geom = Geometry::two_sided(16, 16, 3, 2);
         let mut m = Metrics::new(geom, &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
         for _ in 0..steps {
             m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
@@ -180,5 +222,28 @@ mod tests {
         assert_eq!(StopReason::StepBudget.name(), "step_budget");
         assert_eq!(StopReason::AllArrived.name(), "all_arrived");
         assert_eq!(StopReason::Gridlocked.name(), "gridlocked");
+    }
+
+    #[test]
+    fn validate_rejects_oversized_patience_recursively() {
+        use crate::metrics::MAX_GRIDLOCK_PATIENCE;
+        let ok = StopCondition::settled_or_steps(100, 1, MAX_GRIDLOCK_PATIENCE);
+        assert_eq!(ok.validate(), Ok(()));
+        let bad = StopCondition::Gridlocked {
+            threshold: 1,
+            patience: MAX_GRIDLOCK_PATIENCE + 1,
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(InvalidStopCondition::PatienceExceedsRetention {
+                patience: MAX_GRIDLOCK_PATIENCE + 1,
+                max: MAX_GRIDLOCK_PATIENCE,
+            })
+        );
+        // Nested inside FirstOf, the same rejection surfaces.
+        let nested = StopCondition::FirstOf(vec![StopCondition::Steps(10), bad.clone()]);
+        assert!(nested.validate().is_err());
+        let msg = nested.validate().unwrap_err().to_string();
+        assert!(msg.contains("exceeds the retained movement history"));
     }
 }

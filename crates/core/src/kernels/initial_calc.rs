@@ -31,8 +31,9 @@ pub struct InitialCalcKernel<'a> {
     pub index_in: &'a [u32],
     /// Constant-memory distance field (layout-tagged view).
     pub dist: DistRef<'a>,
-    /// Current pheromone fields (ACO): `(top, bottom)`.
-    pub pher_in: Option<(&'a [f32], &'a [f32])>,
+    /// Current pheromone fields (ACO): one plane per group, in group-index
+    /// order.
+    pub pher_in: Option<&'a [&'a [f32]]>,
     /// Movement model.
     pub model: ModelKind,
     /// Scan values out.
@@ -60,11 +61,11 @@ impl BlockKernel for InitialCalcKernel<'_> {
     fn block(&self, ctx: &mut BlockCtx) {
         let dims = Dim2::new(self.w as u32, self.h as u32);
         let mat_tile = ctx.load_tile(self.mat_in, dims, self.halo(), CELL_WALL);
-        // The paper's stacked 36×18 local pheromone matrix: both group
+        // The paper's stacked 36×18 local pheromone matrix — all group
         // fields tiled together, selected by the agent's label.
         let pher_tile = self
             .pher_in
-            .map(|(top, bottom)| ctx.load_dual_tile(top, bottom, dims, 1, 0.0f32));
+            .map(|planes| ctx.load_multi_tile(planes, dims, 1, 0.0f32));
         ctx.sync();
         let (w, h) = (self.w, self.h);
         ctx.threads(|t| {
@@ -105,14 +106,13 @@ impl BlockKernel for InitialCalcKernel<'_> {
     }
 
     fn shared_bytes(&self) -> u32 {
-        // (16+2·halo)² mat tile + (ACO) two 18×18 f32 pheromone tiles.
+        // (16+2·halo)² mat tile + (ACO) one 18×18 f32 pheromone tile per
+        // group.
         let side = 16 + 2 * self.halo();
         let mat = side * side;
-        let pher = if self.pher_in.is_some() {
-            2 * 18 * 18 * 4
-        } else {
-            0
-        };
+        let pher = self
+            .pher_in
+            .map_or(0, |planes| planes.len() as u32 * 18 * 18 * 4);
         mat + pher
     }
 
@@ -142,17 +142,14 @@ mod tests {
         state.scan_idx.begin_epoch();
         state.front.begin_epoch();
         state.front_k.begin_epoch();
-        let pher_in = state
-            .pher
-            .as_ref()
-            .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice()));
+        let pher_slices = state.pher.as_ref().map(|p| p.slices(0));
         let k = InitialCalcKernel {
             w: state.w,
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
             dist: state.dist_ref(),
-            pher_in,
+            pher_in: pher_slices.as_deref(),
             model,
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),

@@ -13,8 +13,9 @@
 //!   and only by the unique thread of the arrival cell;
 //! * `scan`/`front`/`future` are rewritten wholesale by their producing
 //!   kernel each step;
-//! * the pheromone fields are ping-pong pairs updated by the movement
-//!   kernel (evaporate everywhere + deposit at arrivals).
+//! * the pheromone fields are ping-pong pairs — one pair per directional
+//!   group, indexed by [`pedsim_grid::cell::Group::index`] — updated by
+//!   the movement kernel (evaporate everywhere + deposit at arrivals).
 //!
 //! In checked mode every one of those "exactly once" claims is enforced at
 //! runtime by the `ScatterBuffer` conflict detector.
@@ -35,18 +36,37 @@ use pedsim_grid::cell::CELL_EMPTY;
 use pedsim_grid::property::NO_FUTURE;
 use pedsim_grid::scan::SCAN_INVALID;
 use pedsim_grid::{DistRef, DistanceData, DistanceKind, Environment};
-use simt::memory::{ConstantBuffer, ScatterBuffer};
+use simt::memory::{ConstantBuffer, ScatterBuffer, ScatterView};
 
 use crate::params::{AcoParams, ModelKind};
 
-/// Ping-pong pheromone buffers (ACO only).
+/// Ping-pong pheromone buffers (ACO only): one `[current, next]` pair per
+/// directional group, in group-index order.
 pub struct PherBuffers {
-    /// Top-group field, `[current, next]` by the owner's `cur` flag.
-    pub top: [ScatterBuffer<f32>; 2],
-    /// Bottom-group field.
-    pub bottom: [ScatterBuffer<f32>; 2],
+    /// Per-group fields, `[current, next]` by the owner's `cur` flag.
+    pub fields: Vec<[ScatterBuffer<f32>; 2]>,
     /// ACO parameters the kernels need.
     pub params: AcoParams,
+}
+
+impl PherBuffers {
+    /// Borrow every group's side-`side` plane (the kernels' read set).
+    pub fn slices(&self, side: usize) -> Vec<&[f32]> {
+        self.fields.iter().map(|f| f[side].as_slice()).collect()
+    }
+
+    /// Views over every group's side-`side` plane (the kernels' write
+    /// set).
+    pub fn views(&self, side: usize) -> Vec<ScatterView<'_, f32>> {
+        self.fields.iter().map(|f| f[side].view()).collect()
+    }
+
+    /// Begin a write epoch on every group's side-`side` plane.
+    pub fn begin_epoch(&self, side: usize) {
+        for f in &self.fields {
+            f[side].begin_epoch();
+        }
+    }
 }
 
 /// All device-resident state (the output of the data-preparation stage,
@@ -58,8 +78,9 @@ pub struct DeviceState {
     pub h: usize,
     /// Total agents.
     pub n: usize,
-    /// Agents per side (group boundary in the index range).
-    pub n_per_side: usize,
+    /// Per-group populations (agent indices are contiguous in group
+    /// order, 1-based).
+    pub group_sizes: Vec<usize>,
     /// Cell labels, ping-pong.
     pub mat: [ScatterBuffer<u8>; 2],
     /// Agent indices per cell, ping-pong.
@@ -86,12 +107,16 @@ pub struct DeviceState {
     pub tour: ScatterBuffer<f32>,
     /// Pheromone fields (ACO only).
     pub pher: Option<PherBuffers>,
-    /// Immutable agent labels (1 top / 2 bottom), sentinel at 0.
+    /// Immutable agent labels (`group index + 1`), sentinel at 0.
     pub id: Vec<u8>,
     /// Constant-memory distance field (row tables or flow field).
     pub dist: ConstantBuffer<f32>,
     /// Layout of `dist`.
     pub dist_kind: DistanceKind,
+    /// Group planes held by `dist`.
+    pub dist_groups: usize,
+    /// Per-group forward neighbour slots of `dist`.
+    pub dist_forward: Vec<u8>,
     /// Per-cell target bitmask carried for download (scenario worlds).
     pub targets: Option<std::sync::Arc<pedsim_grid::Matrix<u8>>>,
 }
@@ -103,16 +128,22 @@ impl DeviceState {
     pub fn upload(env: &Environment, dist: &DistanceData, model: ModelKind, checked: bool) -> Self {
         let (h, w) = (env.height(), env.width());
         let n = env.total_agents();
+        let groups = env.n_groups();
+        assert!(
+            dist.groups >= groups,
+            "distance field holds {} planes for {groups} groups",
+            dist.groups
+        );
         let pher = match model {
             ModelKind::Aco(p) => Some(PherBuffers {
-                top: [
-                    ScatterBuffer::new(h * w, p.tau0, checked),
-                    ScatterBuffer::new(h * w, p.tau0, checked),
-                ],
-                bottom: [
-                    ScatterBuffer::new(h * w, p.tau0, checked),
-                    ScatterBuffer::new(h * w, p.tau0, checked),
-                ],
+                fields: (0..groups)
+                    .map(|_| {
+                        [
+                            ScatterBuffer::new(h * w, p.tau0, checked),
+                            ScatterBuffer::new(h * w, p.tau0, checked),
+                        ]
+                    })
+                    .collect(),
                 params: p,
             }),
             ModelKind::Lem(_) => None,
@@ -121,7 +152,7 @@ impl DeviceState {
             w,
             h,
             n,
-            n_per_side: env.agents_per_side,
+            group_sizes: env.group_sizes.clone(),
             mat: [
                 ScatterBuffer::from_vec(env.mat.as_slice().to_vec(), checked),
                 ScatterBuffer::new(h * w, CELL_EMPTY, checked),
@@ -144,6 +175,8 @@ impl DeviceState {
             id: env.props.id.clone(),
             dist: ConstantBuffer::new(dist.data.clone()),
             dist_kind: dist.kind,
+            dist_groups: dist.groups,
+            dist_forward: dist.forward.clone(),
             targets: env.targets.clone(),
         }
     }
@@ -155,6 +188,8 @@ impl DeviceState {
             kind: self.dist_kind,
             height: self.h,
             width: self.w,
+            groups: self.dist_groups,
+            forward: &self.dist_forward,
             data: self.dist.as_slice(),
         }
     }
@@ -176,7 +211,7 @@ impl DeviceState {
             index: Matrix::from_vec(self.h, self.w, self.index[self.cur].as_slice().to_vec()),
             props,
             spawn_rows,
-            agents_per_side: self.n_per_side,
+            group_sizes: self.group_sizes.clone(),
             seed,
             targets: self.targets.clone(),
         }
@@ -197,8 +232,10 @@ mod tests {
         assert_eq!(back.mat, env.mat);
         assert_eq!(back.index, env.index);
         assert_eq!(back.props.row, env.props.row);
+        assert_eq!(back.group_sizes, env.group_sizes);
         back.check_consistency().expect("round-trips consistent");
-        assert!(state.pher.is_some());
+        let pher = state.pher.as_ref().expect("ACO pheromone");
+        assert_eq!(pher.fields.len(), 2);
     }
 
     #[test]
@@ -207,5 +244,6 @@ mod tests {
         let state = DeviceState::upload(&env, &DistanceData::rows(16), ModelKind::lem(), false);
         assert!(state.pher.is_none());
         assert_eq!(state.n, 10);
+        assert_eq!(state.dist_forward, vec![0, 5]);
     }
 }

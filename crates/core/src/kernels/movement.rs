@@ -49,10 +49,11 @@ pub struct MovementKernel<'a> {
     pub mat_out: ScatterView<'a, u8>,
     /// Next agent indices (every cell written once).
     pub index_out: ScatterView<'a, u32>,
-    /// Current pheromone fields (ACO): `(top, bottom)`.
-    pub pher_in: Option<(&'a [f32], &'a [f32])>,
-    /// Next pheromone fields (ACO).
-    pub pher_out: Option<(ScatterView<'a, f32>, ScatterView<'a, f32>)>,
+    /// Current pheromone fields (ACO): one plane per group, in group-index
+    /// order.
+    pub pher_in: Option<&'a [&'a [f32]]>,
+    /// Next pheromone fields (ACO), same order.
+    pub pher_out: Option<&'a [ScatterView<'a, f32>]>,
     /// ACO parameters (None for LEM runs).
     pub aco: Option<AcoParams>,
 }
@@ -80,8 +81,9 @@ impl BlockKernel for MovementKernel<'_> {
             t.note_shared_loads(18);
             t.alu(24);
 
-            let mut dep_top = 0.0f32;
-            let mut dep_bot = 0.0f32;
+            // Deposit of the arriving agent, credited to its group's
+            // plane: (group index, amount).
+            let mut deposit: Option<(usize, f32)> = None;
             if let Some(arr) = arrival {
                 let a = arr.agent as usize;
                 self.mat_out.write(lin, self.id[a]);
@@ -93,12 +95,8 @@ impl BlockKernel for MovementKernel<'_> {
                     // Exclusive RMW: only this thread touches slot `a`.
                     let l_new = self.tour.read(a) + arr.step_len();
                     self.tour.write(a, l_new);
-                    let dep = p.q / l_new;
-                    if self.id[a] == Group::Top.label() {
-                        dep_top = dep;
-                    } else {
-                        dep_bot = dep;
-                    }
+                    let g = Group::from_label(self.id[a]).expect("arrival has a group label");
+                    deposit = Some((g.index(), p.q / l_new));
                     t.note_global_stores(1);
                 }
             } else if own != 0 && fut(own).0 != NO_FUTURE {
@@ -126,15 +124,17 @@ impl BlockKernel for MovementKernel<'_> {
                 t.note_global_stores(2);
             }
 
-            if let (Some(p), Some((pin_top, pin_bot)), Some((pout_top, pout_bot))) =
-                (self.aco, self.pher_in, self.pher_out.as_ref())
-            {
-                let nt = PheromoneField::fused_update(pin_top[lin], p.tau0, p.rho, dep_top);
-                let nb = PheromoneField::fused_update(pin_bot[lin], p.tau0, p.rho, dep_bot);
-                pout_top.write(lin, nt);
-                pout_bot.write(lin, nb);
-                t.note_global_stores(2);
-                t.note_global_loads(2);
+            if let (Some(p), Some(pin), Some(pout)) = (self.aco, self.pher_in, self.pher_out) {
+                for (g, (plane_in, plane_out)) in pin.iter().zip(pout.iter()).enumerate() {
+                    let dep = match deposit {
+                        Some((dg, amount)) if dg == g => amount,
+                        _ => 0.0,
+                    };
+                    let next = PheromoneField::fused_update(plane_in[lin], p.tau0, p.rho, dep);
+                    plane_out.write(lin, next);
+                }
+                t.note_global_stores(pin.len() as u64);
+                t.note_global_loads(pin.len() as u64);
             }
         });
     }
@@ -180,17 +180,14 @@ mod tests {
         state.scan_idx.begin_epoch();
         state.front.begin_epoch();
         state.front_k.begin_epoch();
-        let pher_in = state
-            .pher
-            .as_ref()
-            .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice()));
+        let pher_slices = state.pher.as_ref().map(|p| p.slices(0));
         let calc = InitialCalcKernel {
             w: state.w,
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
             dist: state.dist_ref(),
-            pher_in,
+            pher_in: pher_slices.as_deref(),
             model,
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),
@@ -221,13 +218,13 @@ mod tests {
         state.col.begin_epoch();
         state.tour.begin_epoch();
         if let Some(p) = state.pher.as_ref() {
-            p.top[1].begin_epoch();
-            p.bottom[1].begin_epoch();
+            p.begin_epoch(1);
         }
         let aco = match model {
             ModelKind::Aco(p) => Some(p),
             ModelKind::Lem(_) => None,
         };
+        let pher_views = state.pher.as_ref().map(|p| p.views(1));
         let mv = MovementKernel {
             w: state.w,
             h: state.h,
@@ -241,11 +238,8 @@ mod tests {
             tour: state.tour.view(),
             mat_out: state.mat[1].view(),
             index_out: state.index[1].view(),
-            pher_in,
-            pher_out: state
-                .pher
-                .as_ref()
-                .map(|p| (p.top[1].view(), p.bottom[1].view())),
+            pher_in: pher_slices.as_deref(),
+            pher_out: pher_views.as_deref(),
             aco,
         };
         device.launch(&cells.with_salt(3), &mv).expect("movement");
@@ -299,11 +293,11 @@ mod tests {
         let (env, state) = one_step(ModelKind::aco(), 33, ExecPolicy::Sequential);
         let p = state.pher.as_ref().expect("ACO");
         let tau0 = p.params.tau0;
-        let top_out = p.top[1].as_slice();
+        let top_out = p.fields[Group::TOP.index()][1].as_slice();
         for i in 1..=state.n {
             let (or, oc) = env.props.position(i);
             let (nr, nc) = (state.row.as_slice()[i], state.col.as_slice()[i]);
-            if (or, oc) != (nr, nc) && state.id[i] == Group::Top.label() {
+            if (or, oc) != (nr, nc) && state.id[i] == Group::TOP.label() {
                 let cell = nr as usize * state.w + nc as usize;
                 assert!(
                     top_out[cell] > tau0,
@@ -315,7 +309,7 @@ mod tests {
         let arrivals: std::collections::HashSet<usize> = (1..=state.n)
             .filter(|&i| {
                 env.props.position(i) != (state.row.as_slice()[i], state.col.as_slice()[i])
-                    && state.id[i] == Group::Top.label()
+                    && state.id[i] == Group::TOP.label()
             })
             .map(|i| state.row.as_slice()[i] as usize * state.w + state.col.as_slice()[i] as usize)
             .collect();

@@ -112,17 +112,14 @@ mod tests {
         state.scan_idx.begin_epoch();
         state.front.begin_epoch();
         state.front_k.begin_epoch();
-        let pher_in = state
-            .pher
-            .as_ref()
-            .map(|p| (p.top[0].as_slice(), p.bottom[0].as_slice()));
+        let pher_slices = state.pher.as_ref().map(|p| p.slices(0));
         let calc = InitialCalcKernel {
             w: state.w,
             h: state.h,
             mat_in: state.mat[0].as_slice(),
             index_in: state.index[0].as_slice(),
             dist: state.dist_ref(),
-            pher_in,
+            pher_in: pher_slices.as_deref(),
             model,
             scan_val: state.scan_val.view(),
             scan_idx: state.scan_idx.view(),

@@ -8,11 +8,16 @@
 //! target region in scenario worlds (doorways, crossings, halls).
 //! [`Metrics`] also tracks per-step movement (for gridlock detection) and a
 //! lane-formation index used by the analysis examples.
+//!
+//! Populations may be asymmetric: [`Geometry`] carries one explicit
+//! (1-based, contiguous) agent-index range per directional group rather
+//! than assuming `agents_per_side * 2`, so per-group throughput and the
+//! `all_arrived` predicate stay correct for any group-size mix.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use pedsim_grid::cell::Group;
+use pedsim_grid::cell::{Group, CELL_EMPTY, CELL_WALL, MAX_GROUPS};
 use pedsim_grid::Matrix;
 
 /// Longest gridlock patience window [`Metrics`] retains movement history
@@ -27,40 +32,104 @@ pub struct Geometry {
     pub width: usize,
     /// Environment height.
     pub height: usize,
-    /// Spawn-band rows at each edge.
+    /// Spawn-band rows at each edge (classic corridor; reporting value for
+    /// scenario worlds).
     pub spawn_rows: usize,
-    /// Agents per group.
-    pub agents_per_side: usize,
+    /// 1-based start index per group plus an end sentinel: group `g` owns
+    /// agents `starts[g]..starts[g + 1]`.
+    starts: [u32; MAX_GROUPS + 1],
+    n_groups: u8,
 }
 
 impl Geometry {
-    /// Whether a group-`g` agent in `row` is past the crossing line.
+    /// Geometry with one explicit population per directional group.
+    /// Agent indices are 1-based and contiguous in group order.
+    pub fn with_groups(width: usize, height: usize, spawn_rows: usize, sizes: &[usize]) -> Self {
+        assert!(
+            (1..=MAX_GROUPS).contains(&sizes.len()),
+            "group count {} out of range 1..={MAX_GROUPS}",
+            sizes.len()
+        );
+        let mut starts = [0u32; MAX_GROUPS + 1];
+        let mut next = 1u32;
+        for (g, &size) in sizes.iter().enumerate() {
+            starts[g] = next;
+            next += u32::try_from(size).expect("group size fits u32");
+        }
+        for s in starts.iter_mut().skip(sizes.len()) {
+            *s = next;
+        }
+        Self {
+            width,
+            height,
+            spawn_rows,
+            starts,
+            n_groups: sizes.len() as u8,
+        }
+    }
+
+    /// The classic symmetric two-group corridor geometry.
+    pub fn two_sided(width: usize, height: usize, spawn_rows: usize, per_side: usize) -> Self {
+        Self::with_groups(width, height, spawn_rows, &[per_side, per_side])
+    }
+
+    /// Number of directional groups.
+    #[inline]
+    pub fn n_groups(&self) -> usize {
+        self.n_groups as usize
+    }
+
+    /// Population of group `g`.
+    #[inline]
+    pub fn group_size(&self, g: Group) -> usize {
+        (self.starts[g.index() + 1] - self.starts[g.index()]) as usize
+    }
+
+    /// The 1-based agent-index range of group `g`.
+    #[inline]
+    pub fn group_range(&self, g: Group) -> std::ops::Range<usize> {
+        self.starts[g.index()] as usize..self.starts[g.index() + 1] as usize
+    }
+
+    /// Whether a group-`g` agent in `row` is past the crossing line — the
+    /// classic corridor's opposite-band convention. Two-group corridors
+    /// only; worlds with more groups (or orthogonal streams) must count
+    /// arrivals through a per-cell target mask.
     #[inline]
     pub fn has_crossed(&self, g: Group, row: usize) -> bool {
-        match g {
-            Group::Top => row >= self.height - self.spawn_rows,
-            Group::Bottom => row < self.spawn_rows,
+        assert!(
+            self.n_groups == 2,
+            "the row-band crossing fallback is two-group only; \
+             multi-group worlds must carry a target mask"
+        );
+        if g == Group::TOP {
+            row >= self.height - self.spawn_rows
+        } else {
+            row < self.spawn_rows
         }
     }
 
     /// Total agents.
     #[inline]
     pub fn total_agents(&self) -> usize {
-        self.agents_per_side * 2
+        (self.starts[self.n_groups as usize] - 1) as usize
     }
 
     /// Group of agent `idx` under the index-range convention.
     ///
     /// Agent indices are **1-based**: slot 0 is the unused sentinel and is
-    /// not a member of either group.
+    /// not a member of any group.
     #[inline]
     pub fn group_of(&self, idx: usize) -> Group {
         debug_assert!(idx >= 1, "agent indices are 1-based; 0 is the sentinel");
-        if (1..=self.agents_per_side).contains(&idx) {
-            Group::Top
-        } else {
-            Group::Bottom
+        debug_assert!(idx <= self.total_agents(), "agent index out of range");
+        let idx = idx as u32;
+        for g in 0..self.n_groups as usize {
+            if idx < self.starts[g + 1] {
+                return Group::new(g);
+            }
         }
+        unreachable!("agent index beyond every group range")
     }
 }
 
@@ -73,10 +142,8 @@ pub struct Metrics {
     targets: Option<Arc<Matrix<u8>>>,
     /// Sticky per-agent crossed flags (index 0 unused).
     crossed: Vec<bool>,
-    /// Agents of the top group that have crossed.
-    pub crossed_top: usize,
-    /// Agents of the bottom group that have crossed.
-    pub crossed_bottom: usize,
+    /// Crossed-agent count per group.
+    crossed_per_group: [u32; MAX_GROUPS],
     /// Agents that changed cell in the most recent step.
     pub moved_last_step: usize,
     /// Total cell changes across all steps.
@@ -111,8 +178,7 @@ impl Metrics {
             geom,
             targets,
             crossed: vec![false; geom.total_agents() + 1],
-            crossed_top: 0,
-            crossed_bottom: 0,
+            crossed_per_group: [0; MAX_GROUPS],
             moved_last_step: 0,
             total_moves: 0,
             steps: 0,
@@ -140,10 +206,7 @@ impl Metrics {
                 };
                 if arrived {
                     self.crossed[i] = true;
-                    match g {
-                        Group::Top => self.crossed_top += 1,
-                        Group::Bottom => self.crossed_bottom += 1,
-                    }
+                    self.crossed_per_group[g.index()] += 1;
                 }
             }
         }
@@ -156,10 +219,32 @@ impl Metrics {
         self.steps += 1;
     }
 
-    /// Total crossed agents (both groups) — the paper's throughput number.
+    /// Agents of group `g` that have reached their target.
+    #[inline]
+    pub fn crossed(&self, g: Group) -> usize {
+        self.crossed_per_group[g.index()] as usize
+    }
+
+    /// Crossed agents of the classic top group (group 0).
+    #[inline]
+    pub fn crossed_top(&self) -> usize {
+        self.crossed(Group::TOP)
+    }
+
+    /// Crossed agents of the classic bottom group (group 1).
+    #[inline]
+    pub fn crossed_bottom(&self) -> usize {
+        self.crossed(Group::BOTTOM)
+    }
+
+    /// Total crossed agents over all groups — the paper's throughput
+    /// number.
     #[inline]
     pub fn throughput(&self) -> usize {
-        self.crossed_top + self.crossed_bottom
+        self.crossed_per_group[..self.geom.n_groups()]
+            .iter()
+            .map(|&c| c as usize)
+            .sum()
     }
 
     /// Whether agent `i` has crossed.
@@ -210,30 +295,30 @@ impl Metrics {
     }
 }
 
-/// Lane-formation index of a configuration: the mean over rows of
-/// |top − bottom| / (top + bottom) within same-column runs… simplified to a
-/// column-segregation measure: for each column, the fraction of its agents
-/// belonging to the column's majority group, averaged over non-empty
-/// columns, rescaled to [0, 1] (0 = perfectly mixed, 1 = fully segregated
-/// columns). Bi-directional lane formation drives this up.
+/// Lane-formation index of a configuration: for each column, the fraction
+/// of its agents belonging to the column's majority group, averaged over
+/// non-empty columns, rescaled to [0, 1] (0 = perfectly mixed, 1 = fully
+/// segregated columns). Any number of group labels participates; lane
+/// formation in directional flow drives this up.
 pub fn lane_index(mat: &Matrix<u8>) -> f64 {
-    use pedsim_grid::cell::{CELL_BOTTOM, CELL_TOP};
     let mut acc = 0.0f64;
     let mut cols = 0usize;
     for c in 0..mat.width() {
-        let mut top = 0usize;
-        let mut bottom = 0usize;
+        let mut counts = [0usize; MAX_GROUPS];
         for r in 0..mat.height() {
-            match mat.get(r, c) {
-                CELL_TOP => top += 1,
-                CELL_BOTTOM => bottom += 1,
-                _ => {}
+            let label = mat.get(r, c);
+            if label != CELL_EMPTY && label != CELL_WALL {
+                if let Some(g) = Group::from_label(label) {
+                    counts[g.index()] += 1;
+                }
             }
         }
-        let n = top + bottom;
+        let n: usize = counts.iter().sum();
         if n > 0 {
-            let maj = top.max(bottom) as f64 / n as f64; // in [0.5, 1]
-            acc += (maj - 0.5) * 2.0;
+            let maj = counts.iter().max().copied().unwrap_or(0) as f64 / n as f64;
+            // maj ∈ [1/groups, 1]; rescale against the two-group floor so
+            // legacy values are unchanged.
+            acc += ((maj - 0.5) * 2.0).max(0.0);
             cols += 1;
         }
     }
@@ -250,12 +335,7 @@ mod tests {
     use pedsim_grid::cell::{CELL_BOTTOM, CELL_EMPTY, CELL_TOP};
 
     fn geom() -> Geometry {
-        Geometry {
-            width: 16,
-            height: 16,
-            spawn_rows: 3,
-            agents_per_side: 2,
-        }
+        Geometry::two_sided(16, 16, 3, 2)
     }
 
     #[test]
@@ -265,13 +345,13 @@ mod tests {
         let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
         // Agent 1 jumps to row 13 (crossed), agent 3 to row 2 (crossed).
         m.observe(&[0, 13, 1, 2, 15], &[0, 0, 1, 0, 1]);
-        assert_eq!(m.crossed_top, 1);
-        assert_eq!(m.crossed_bottom, 1);
+        assert_eq!(m.crossed_top(), 1);
+        assert_eq!(m.crossed_bottom(), 1);
         assert_eq!(m.throughput(), 2);
         assert_eq!(m.moved_last_step, 2);
         // Agent 1 wanders back out of the band — still counted.
         m.observe(&[0, 10, 1, 2, 15], &[0, 0, 1, 0, 1]);
-        assert_eq!(m.crossed_top, 1);
+        assert_eq!(m.crossed_top(), 1);
         assert!(m.agent_crossed(1));
         assert_eq!(m.steps, 2);
         assert_eq!(m.total_moves, 3);
@@ -283,8 +363,8 @@ mod tests {
         // Top group's target is a single interior doorway cell (8, 4);
         // bottom group's target is the top-left corner.
         let mut mask = Matrix::filled(16, 16, 0u8);
-        mask.set(8, 4, Group::Top.target_bit());
-        mask.set(0, 0, Group::Bottom.target_bit());
+        mask.set(8, 4, Group::TOP.target_bit());
+        mask.set(0, 0, Group::BOTTOM.target_bit());
         let mut m = Metrics::with_targets(
             g,
             Some(Arc::new(mask)),
@@ -297,11 +377,55 @@ mod tests {
         assert_eq!(m.throughput(), 0);
         // Agent 1 steps onto the doorway cell; agent 3 reaches (0,0).
         m.observe(&[0, 8, 1, 0, 15], &[0, 4, 1, 0, 1]);
-        assert_eq!(m.crossed_top, 1);
-        assert_eq!(m.crossed_bottom, 1);
+        assert_eq!(m.crossed_top(), 1);
+        assert_eq!(m.crossed_bottom(), 1);
         // The other group's bit does not count: agent 4 on (8,4).
         m.observe(&[0, 8, 1, 0, 8], &[0, 4, 1, 0, 4]);
-        assert_eq!(m.crossed_bottom, 1);
+        assert_eq!(m.crossed_bottom(), 1);
+    }
+
+    #[test]
+    fn asymmetric_groups_attribute_crossings_correctly() {
+        // 1 top agent, 3 bottom agents — the old `agents_per_side * 2`
+        // convention would misclassify agent 2 as Top.
+        let g = Geometry::with_groups(16, 16, 3, &[1, 3]);
+        assert_eq!(g.total_agents(), 4);
+        assert_eq!(g.group_of(1), Group::TOP);
+        assert_eq!(g.group_of(2), Group::BOTTOM);
+        assert_eq!(g.group_of(4), Group::BOTTOM);
+        assert_eq!(g.group_range(Group::TOP), 1..2);
+        assert_eq!(g.group_range(Group::BOTTOM), 2..5);
+        let mut m = Metrics::new(g, &[0, 0, 15, 15, 15], &[0, 0, 0, 1, 2]);
+        // Agent 2 (bottom) reaches row 2: a *bottom* crossing.
+        m.observe(&[0, 0, 2, 15, 15], &[0, 0, 0, 1, 2]);
+        assert_eq!(m.crossed_bottom(), 1);
+        assert_eq!(m.crossed_top(), 0);
+        // All four arrive.
+        m.observe(&[0, 13, 2, 2, 2], &[0, 0, 0, 1, 2]);
+        assert!(m.all_arrived());
+        assert_eq!(m.crossed_top(), 1);
+        assert_eq!(m.crossed_bottom(), 3);
+    }
+
+    #[test]
+    fn four_group_geometry_ranges() {
+        let g = Geometry::with_groups(32, 32, 2, &[5, 7, 3, 9]);
+        assert_eq!(g.n_groups(), 4);
+        assert_eq!(g.total_agents(), 24);
+        assert_eq!(g.group_range(Group::new(0)), 1..6);
+        assert_eq!(g.group_range(Group::new(1)), 6..13);
+        assert_eq!(g.group_range(Group::new(2)), 13..16);
+        assert_eq!(g.group_range(Group::new(3)), 16..25);
+        assert_eq!(g.group_of(13), Group::new(2));
+        assert_eq!(g.group_of(24), Group::new(3));
+        assert_eq!(g.group_size(Group::new(3)), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-group only")]
+    fn band_fallback_rejects_multi_group() {
+        let g = Geometry::with_groups(16, 16, 3, &[2, 2, 2]);
+        let _ = g.has_crossed(Group::new(2), 0);
     }
 
     #[test]
@@ -364,11 +488,11 @@ mod tests {
 
     #[test]
     fn group_of_uses_one_based_boundary() {
-        let g = geom(); // agents_per_side = 2
-        assert_eq!(g.group_of(1), Group::Top);
-        assert_eq!(g.group_of(2), Group::Top);
-        assert_eq!(g.group_of(3), Group::Bottom);
-        assert_eq!(g.group_of(4), Group::Bottom);
+        let g = geom(); // 2 agents per side
+        assert_eq!(g.group_of(1), Group::TOP);
+        assert_eq!(g.group_of(2), Group::TOP);
+        assert_eq!(g.group_of(3), Group::BOTTOM);
+        assert_eq!(g.group_of(4), Group::BOTTOM);
     }
 
     #[test]
@@ -400,5 +524,23 @@ mod tests {
         // Empty grid.
         let empty = Matrix::filled(4, 2, CELL_EMPTY);
         assert_eq!(lane_index(&empty), 0.0);
+    }
+
+    #[test]
+    fn lane_index_sees_all_groups() {
+        // Four labels, one per column: fully segregated.
+        let mut seg = Matrix::filled(4, 4, CELL_EMPTY);
+        for r in 0..4 {
+            for c in 0..4u8 {
+                seg.set(r, c as usize, c + 1);
+            }
+        }
+        assert!((lane_index(&seg) - 1.0).abs() < 1e-12);
+        // One column with a 4-way even mix floors at 0.
+        let mut mix = Matrix::filled(4, 1, CELL_EMPTY);
+        for r in 0..4u8 {
+            mix.set(r as usize, 0, r + 1);
+        }
+        assert_eq!(lane_index(&mix), 0.0);
     }
 }

@@ -118,7 +118,6 @@ mod tests {
     }
 
     fn view(t: &pedsim_grid::DistanceTables) -> DistRef<'_> {
-        use pedsim_grid::DistanceField as _;
         t.dist_ref()
     }
 
@@ -126,7 +125,7 @@ mod tests {
     fn numerators_follow_distance_ordering() {
         let t = tables();
         let p = AcoParams::default();
-        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::Top, 50, 50);
+        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::TOP, 50, 50);
         // With flat pheromone, numerator ordering is pure heuristic:
         // forward (k=0) largest, backward diagonals (6,7) smallest.
         assert!(row.vals[0] > row.vals[1]);
@@ -147,7 +146,7 @@ mod tests {
                 open_world(r, c)
             }
         };
-        let row = aco_scan_row(&occ, &flat_tau, view(&t), &p, Group::Top, 50, 50);
+        let row = aco_scan_row(&occ, &flat_tau, view(&t), &p, Group::TOP, 50, 50);
         assert_eq!(row.vals[0], 0.0);
         assert!(row.vals[1] > 0.0);
     }
@@ -167,12 +166,12 @@ mod tests {
                 0.05
             }
         };
-        let row = aco_scan_row(&open_world, &tau, view(&t), &p, Group::Top, 50, 50);
+        let row = aco_scan_row(&open_world, &tau, view(&t), &p, Group::TOP, 50, 50);
         let mut rng = StreamRng::new(5, 11);
         let mut left = 0;
         let n = 2000;
         for _ in 0..n {
-            if aco_select(&row, CELL_TOP, Group::Top.forward_index(), &p, &mut rng) == Some(1) {
+            if aco_select(&row, CELL_TOP, Group::TOP.forward_index(), &p, &mut rng) == Some(1) {
                 left += 1;
             }
         }
@@ -186,16 +185,16 @@ mod tests {
     fn forward_priority_short_circuits() {
         let t = tables();
         let p = AcoParams::default();
-        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::Bottom, 50, 50);
+        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::BOTTOM, 50, 50);
         let mut rng = StreamRng::new(0, 1);
         let k = aco_select(
             &row,
             CELL_EMPTY,
-            Group::Bottom.forward_index(),
+            Group::BOTTOM.forward_index(),
             &p,
             &mut rng,
         );
-        assert_eq!(k, Some(Group::Bottom.forward_index()));
+        assert_eq!(k, Some(Group::BOTTOM.forward_index()));
         let mut rng2 = StreamRng::new(0, 1);
         assert_eq!(rng.next_u32(), rng2.next_u32()); // nothing consumed
     }
@@ -209,7 +208,7 @@ mod tests {
         let p = AcoParams::default();
         let mut rng = StreamRng::new(1, 1);
         assert_eq!(
-            aco_select(&row, CELL_TOP, Group::Top.forward_index(), &p, &mut rng),
+            aco_select(&row, CELL_TOP, Group::TOP.forward_index(), &p, &mut rng),
             None
         );
     }
@@ -229,7 +228,7 @@ mod tests {
         let n = 10_000;
         let mut k2 = 0;
         for _ in 0..n {
-            match aco_select(&row, CELL_TOP, Group::Top.forward_index(), &p, &mut rng) {
+            match aco_select(&row, CELL_TOP, Group::TOP.forward_index(), &p, &mut rng) {
                 Some(2) => k2 += 1,
                 Some(4) => {}
                 other => panic!("unexpected selection {other:?}"),
@@ -247,7 +246,7 @@ mod tests {
             forward_priority: false,
             ..AcoParams::default()
         };
-        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::Top, 50, 50);
+        let row = aco_scan_row(&open_world, &flat_tau, view(&t), &p, Group::TOP, 50, 50);
         // All equal numerators with flat pheromone.
         let first = row.vals[0];
         assert!(row.vals.iter().all(|&v| (v - first).abs() < 1e-9));

@@ -109,14 +109,13 @@ mod tests {
     }
 
     fn view(t: &pedsim_grid::DistanceTables) -> DistRef<'_> {
-        use pedsim_grid::DistanceField as _;
         t.dist_ref()
     }
 
     #[test]
     fn open_neighbourhood_sorted_ascending() {
         let t = tables();
-        let row = lem_scan_row(&open_world, view(&t), Group::Top, 50, 50, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::TOP, 50, 50, 1);
         // All 8 available; first is the forward cell (k=0), last a backward
         // diagonal (k=6 or 7).
         assert_eq!(row.idxs[0], 0);
@@ -148,7 +147,7 @@ mod tests {
                 open_world(r, c)
             }
         };
-        let row = lem_scan_row(&occ, view(&t), Group::Top, 50, 50, 1);
+        let row = lem_scan_row(&occ, view(&t), Group::TOP, 50, 50, 1);
         assert!(row
             .idxs
             .iter()
@@ -160,7 +159,7 @@ mod tests {
     #[test]
     fn corner_agent_sees_three_neighbours() {
         let t = tables();
-        let row = lem_scan_row(&open_world, view(&t), Group::Top, 0, 0, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::TOP, 0, 0, 1);
         let n = row.idxs.iter().take_while(|&&i| i != SCAN_INVALID).count();
         assert_eq!(n, 3); // S, SE, E
     }
@@ -168,12 +167,12 @@ mod tests {
     #[test]
     fn forward_priority_is_deterministic() {
         let t = tables();
-        let row = lem_scan_row(&open_world, view(&t), Group::Top, 50, 50, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::TOP, 50, 50, 1);
         let mut rng = StreamRng::new(0, 1);
         let k = lem_select(
             &row,
             CELL_EMPTY,
-            Group::Top.forward_index(),
+            Group::TOP.forward_index(),
             &LemParams::default(),
             &mut rng,
         );
@@ -192,7 +191,7 @@ mod tests {
             lem_select(
                 &row,
                 CELL_TOP,
-                Group::Top.forward_index(),
+                Group::TOP.forward_index(),
                 &LemParams::default(),
                 &mut rng
             ),
@@ -210,7 +209,7 @@ mod tests {
                 open_world(r, c)
             }
         };
-        let row = lem_scan_row(&occ, view(&t), Group::Top, 50, 50, 1);
+        let row = lem_scan_row(&occ, view(&t), Group::TOP, 50, 50, 1);
         let params = LemParams::default();
         let mut rng = StreamRng::new(42, 9);
         let mut counts = [0usize; 8];
@@ -218,7 +217,7 @@ mod tests {
             let k = lem_select(
                 &row,
                 CELL_TOP,
-                Group::Top.forward_index(),
+                Group::TOP.forward_index(),
                 &params,
                 &mut rng,
             )
@@ -235,7 +234,7 @@ mod tests {
     #[test]
     fn selection_respects_candidate_bound() {
         let t = tables();
-        let row = lem_scan_row(&open_world, view(&t), Group::Bottom, 0, 0, 1);
+        let row = lem_scan_row(&open_world, view(&t), Group::BOTTOM, 0, 0, 1);
         // Bottom agent at its own target edge: 3 candidates.
         let params = LemParams {
             sigma: 50.0, // extreme spread exercises the clamp
@@ -247,7 +246,7 @@ mod tests {
             let k = lem_select(
                 &row,
                 CELL_TOP,
-                Group::Top.forward_index(),
+                Group::TOP.forward_index(),
                 &params,
                 &mut rng,
             )

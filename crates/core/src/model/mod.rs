@@ -79,16 +79,16 @@ mod tests {
             }
         };
         assert_eq!(
-            front_status(&occ, Group::Top.forward_index(), 1, 1),
+            front_status(&occ, Group::TOP.forward_index(), 1, 1),
             CELL_TOP
         );
         assert_eq!(
-            front_status(&occ, Group::Bottom.forward_index(), 1, 1),
+            front_status(&occ, Group::BOTTOM.forward_index(), 1, 1),
             CELL_EMPTY
         );
         // At the edge, the forward cell is the wall.
         assert_eq!(
-            front_status(&occ, Group::Bottom.forward_index(), 0, 1),
+            front_status(&occ, Group::BOTTOM.forward_index(), 0, 1),
             CELL_WALL
         );
         assert!(front_is_empty(CELL_EMPTY));

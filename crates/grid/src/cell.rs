@@ -1,12 +1,31 @@
-//! Cell labels, pedestrian groups, and the Figure-1 neighbourhood.
+//! Cell labels, directional pedestrian groups, and the Figure-1
+//! neighbourhood.
 //!
-//! The environment matrix stores one byte per cell: `0` empty, `1` a
-//! top-group pedestrian, `2` a bottom-group pedestrian (paper §IV.a). The
-//! fourth value, [`CELL_WALL`], marks permanently occupied cells: the halo
-//! fill outside the environment (so border agents see the outside as
-//! unavailable) *and* interior obstacle cells placed by
+//! The environment matrix stores one byte per cell: `0` empty, `g + 1` a
+//! pedestrian of group `g` (the paper's two-stream special case uses `1`
+//! top, `2` bottom, §IV.a — exactly labels `Group::TOP`/`Group::BOTTOM`
+//! under the generalised scheme). The value [`CELL_WALL`] marks permanently
+//! occupied cells: the halo fill outside the environment (so border agents
+//! see the outside as unavailable) *and* interior obstacle cells placed by
 //! `pedsim-scenario` — doorjambs, pillars, corridor walls. Both read
 //! identically to the kernels: not empty, never a mover.
+//!
+//! ## Directional groups
+//!
+//! The paper hard-codes two opposing streams. This module generalises that
+//! to up to [`MAX_GROUPS`] *directional groups*, each identified by a dense
+//! index `0..n`: group `g` labels its agents `g + 1`, owns bit `g` of the
+//! per-cell target bitmask, reads plane `g` of every per-group field
+//! (pheromone, distance), and draws its placement RNG from stream
+//! `u64::MAX - 1 - g`. Groups 0 and 1 reproduce the paper's top/bottom
+//! streams bit for bit (same labels, same streams, same forward cells).
+//!
+//! A group's *travel direction* is a [`Heading`]; it selects the group's
+//! forward neighbour slot (the tie-break anchor of flow-field routing and
+//! the forward-priority cell of the row fast path). Headings are carried by
+//! the distance field (`pedsim_grid::DistanceData::forward`), not by
+//! [`Group`] itself — only the two classic corridor groups have an
+//! intrinsic heading.
 //!
 //! ## Neighbour numbering
 //!
@@ -17,26 +36,31 @@
 //! and Cell #6 for bottom placed", §IV.c). [`NEIGHBOR_OFFSETS`] fixes that
 //! numbering (0-based: offset `k` is the paper's Cell #(k+1)):
 //!
-//! | k | paper # | (dr, dc) | top-group meaning | bottom-group meaning |
-//! |---|---------|----------|-------------------|----------------------|
-//! | 0 | 1 | (+1, 0) | forward | backward |
-//! | 1 | 2 | (+1, −1) | forward-left | backward |
-//! | 2 | 3 | (+1, +1) | forward-right | backward |
-//! | 3 | 4 | (0, −1) | lateral | lateral |
-//! | 4 | 5 | (0, +1) | lateral | lateral |
-//! | 5 | 6 | (−1, 0) | backward | forward |
-//! | 6 | 7 | (−1, −1) | backward | forward-left |
-//! | 7 | 8 | (−1, +1) | backward | forward-right |
+//! | k | paper # | (dr, dc) | heading with this forward slot |
+//! |---|---------|----------|--------------------------------|
+//! | 0 | 1 | (+1, 0) | [`Heading::Down`] |
+//! | 1 | 2 | (+1, −1) | |
+//! | 2 | 3 | (+1, +1) | |
+//! | 3 | 4 | (0, −1) | [`Heading::Left`] |
+//! | 4 | 5 | (0, +1) | [`Heading::Right`] |
+//! | 5 | 6 | (−1, 0) | [`Heading::Up`] |
+//! | 6 | 7 | (−1, −1) | |
+//! | 7 | 8 | (−1, +1) | |
 
 /// Empty cell label.
 pub const CELL_EMPTY: u8 = 0;
-/// Top-group pedestrian label.
+/// Group-0 ("top") pedestrian label — the paper's top stream.
 pub const CELL_TOP: u8 = 1;
-/// Bottom-group pedestrian label.
+/// Group-1 ("bottom") pedestrian label — the paper's bottom stream.
 pub const CELL_BOTTOM: u8 = 2;
 /// Permanently occupied label: the outside-the-environment halo fill and
 /// interior obstacle cells (walls, pillars, doorway jambs).
 pub const CELL_WALL: u8 = 255;
+
+/// Maximum directional groups a world may declare. Bounded by the u8
+/// per-cell target bitmask (one bit per group); labels `1..=MAX_GROUPS`
+/// stay far away from [`CELL_WALL`].
+pub const MAX_GROUPS: usize = 8;
 
 /// The eight Moore-neighbourhood offsets `(dr, dc)` in the paper's
 /// Figure-1 order (see module docs).
@@ -64,92 +88,171 @@ pub const MOVE_LEN: [f32; 8] = [
     std::f32::consts::SQRT_2,
 ];
 
-/// One of the two pedestrian populations.
+/// A group's travel direction: which axis it walks and which way.
+///
+/// The heading determines the group's *forward* neighbour slot in
+/// [`NEIGHBOR_OFFSETS`] — the cell the forward-priority rule steps into on
+/// the row fast path, and the tie-break anchor of flow-field `front_k`
+/// resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Group {
-    /// Spawns in the top rows; target is the bottom edge (higher rows).
-    Top,
-    /// Spawns in the bottom rows; target is the top edge (row 0).
-    Bottom,
+pub enum Heading {
+    /// Toward higher rows (the paper's top group).
+    Down,
+    /// Toward row 0 (the paper's bottom group).
+    Up,
+    /// Toward higher columns.
+    Right,
+    /// Toward column 0.
+    Left,
 }
 
-impl Group {
-    /// The cell label of this group's agents.
-    #[inline]
-    pub const fn label(self) -> u8 {
-        match self {
-            Group::Top => CELL_TOP,
-            Group::Bottom => CELL_BOTTOM,
-        }
-    }
-
-    /// Group from a cell label (`None` for empty/wall).
-    #[inline]
-    pub const fn from_label(label: u8) -> Option<Group> {
-        match label {
-            CELL_TOP => Some(Group::Top),
-            CELL_BOTTOM => Some(Group::Bottom),
-            _ => None,
-        }
-    }
-
-    /// The opposite group.
-    #[inline]
-    pub const fn opposite(self) -> Group {
-        match self {
-            Group::Top => Group::Bottom,
-            Group::Bottom => Group::Top,
-        }
-    }
-
-    /// Index of this group's *forward* neighbour in [`NEIGHBOR_OFFSETS`]
-    /// (paper Cell #1 for top, Cell #6 for bottom).
+impl Heading {
+    /// Index of this heading's forward neighbour in [`NEIGHBOR_OFFSETS`]
+    /// (paper Cell #1 for down, #6 for up, #5 for right, #4 for left).
     #[inline]
     pub const fn forward_index(self) -> usize {
         match self {
-            Group::Top => 0,
-            Group::Bottom => 5,
+            Heading::Down => 0,
+            Heading::Up => 5,
+            Heading::Right => 4,
+            Heading::Left => 3,
         }
     }
 
-    /// Target row of this group (the far edge).
+    /// The forward step `(dr, dc)`.
     #[inline]
-    pub const fn target_row(self, height: usize) -> usize {
-        match self {
-            Group::Top => height - 1,
-            Group::Bottom => 0,
-        }
+    pub const fn delta(self) -> (i64, i64) {
+        NEIGHBOR_OFFSETS[self.forward_index()]
     }
 
-    /// Signed forward direction along the row axis (+1 for top, −1 for
-    /// bottom).
+    /// The heading whose forward displacement best matches `(dr, dc)`
+    /// (dominant axis wins; row beats column on a tie — the corridor
+    /// convention).
+    pub fn from_delta(dr: f64, dc: f64) -> Heading {
+        if dr.abs() >= dc.abs() {
+            if dr >= 0.0 {
+                Heading::Down
+            } else {
+                Heading::Up
+            }
+        } else if dc >= 0.0 {
+            Heading::Right
+        } else {
+            Heading::Left
+        }
+    }
+}
+
+/// One directional pedestrian group, identified by a dense index
+/// `0..`[`MAX_GROUPS`].
+///
+/// [`Group::TOP`] and [`Group::BOTTOM`] are the paper's two streams
+/// (indices 0 and 1); worlds with more streams allocate further indices
+/// via [`Group::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Group(u8);
+
+impl Group {
+    /// The paper's top stream (group 0, label 1, spawns in the top rows of
+    /// the classic corridor).
+    pub const TOP: Group = Group(0);
+    /// The paper's bottom stream (group 1, label 2).
+    pub const BOTTOM: Group = Group(1);
+
+    /// The two classic corridor groups, in index order.
+    pub const BOTH: [Group; 2] = [Group::TOP, Group::BOTTOM];
+
+    /// Group with the given index (`index < MAX_GROUPS`).
     #[inline]
-    pub const fn forward_dr(self) -> i64 {
-        match self {
-            Group::Top => 1,
-            Group::Bottom => -1,
-        }
+    pub const fn new(index: usize) -> Group {
+        assert!(index < MAX_GROUPS, "group index out of range");
+        Group(index as u8)
     }
 
-    /// 0 for top, 1 for bottom — the index used to pick the pheromone half
-    /// in the stacked dual tile.
+    /// This group's dense index: its plane in every per-group field
+    /// (pheromone, distance), its bit in the target mask, its slot in the
+    /// placement-stream sequence.
     #[inline]
     pub const fn index(self) -> usize {
-        match self {
-            Group::Top => 0,
-            Group::Bottom => 1,
+        self.0 as usize
+    }
+
+    /// The cell label of this group's agents (`index + 1`).
+    #[inline]
+    pub const fn label(self) -> u8 {
+        self.0 + 1
+    }
+
+    /// Group from a cell label (`None` for empty/wall/out-of-range).
+    #[inline]
+    pub const fn from_label(label: u8) -> Option<Group> {
+        if label >= 1 && label <= MAX_GROUPS as u8 {
+            Some(Group(label - 1))
+        } else {
+            None
         }
     }
 
     /// This group's bit in a per-cell target-region bitmask (bit 0 top,
-    /// bit 1 bottom).
+    /// bit 1 bottom, bit `g` for group `g`).
     #[inline]
     pub const fn target_bit(self) -> u8 {
-        1 << self.index()
+        1 << self.0
     }
 
-    /// Both groups.
-    pub const BOTH: [Group; 2] = [Group::Top, Group::Bottom];
+    /// The first `n` groups, in index order.
+    #[inline]
+    pub fn first_n(n: usize) -> impl Iterator<Item = Group> {
+        assert!(n <= MAX_GROUPS, "group count exceeds MAX_GROUPS");
+        (0..n).map(|i| Group(i as u8))
+    }
+
+    /// The opposite classic group (top ↔ bottom). Only meaningful for the
+    /// two corridor groups; asserts on others.
+    #[inline]
+    pub const fn opposite(self) -> Group {
+        assert!(self.0 < 2, "opposite() is a two-group corridor notion");
+        Group(1 - self.0)
+    }
+
+    /// The classic corridor heading of this group (down for top, up for
+    /// bottom). Only the two corridor groups have an intrinsic heading;
+    /// asserts on others — multi-group worlds carry their headings in the
+    /// distance field.
+    #[inline]
+    pub const fn heading(self) -> Heading {
+        match self.0 {
+            0 => Heading::Down,
+            1 => Heading::Up,
+            _ => panic!("only the two classic corridor groups have an intrinsic heading"),
+        }
+    }
+
+    /// Index of this group's *forward* neighbour in [`NEIGHBOR_OFFSETS`]
+    /// under the classic corridor convention (paper Cell #1 for top,
+    /// Cell #6 for bottom). Two-group corridor only, like
+    /// [`Group::heading`].
+    #[inline]
+    pub const fn forward_index(self) -> usize {
+        self.heading().forward_index()
+    }
+
+    /// Target row of this group in the classic corridor (the far edge).
+    /// Two-group corridor only.
+    #[inline]
+    pub const fn target_row(self, height: usize) -> usize {
+        match self.heading() {
+            Heading::Down => height - 1,
+            _ => 0,
+        }
+    }
+
+    /// Signed forward direction along the row axis (+1 for top, −1 for
+    /// bottom). Two-group corridor only.
+    #[inline]
+    pub const fn forward_dr(self) -> i64 {
+        self.heading().delta().0
+    }
 }
 
 #[cfg(test)]
@@ -158,18 +261,55 @@ mod tests {
 
     #[test]
     fn labels_roundtrip() {
-        for g in Group::BOTH {
+        for g in Group::first_n(MAX_GROUPS) {
             assert_eq!(Group::from_label(g.label()), Some(g));
+            assert_eq!(g.label() as usize, g.index() + 1);
         }
         assert_eq!(Group::from_label(CELL_EMPTY), None);
         assert_eq!(Group::from_label(CELL_WALL), None);
+        assert_eq!(Group::from_label(MAX_GROUPS as u8 + 1), None);
+    }
+
+    #[test]
+    fn classic_labels_unchanged() {
+        // The paper's two-stream labels are the generalised scheme's
+        // groups 0 and 1 — the bit-identity anchor for legacy worlds.
+        assert_eq!(Group::TOP.label(), CELL_TOP);
+        assert_eq!(Group::BOTTOM.label(), CELL_BOTTOM);
+        assert_eq!(Group::TOP.index(), 0);
+        assert_eq!(Group::BOTTOM.index(), 1);
+        assert_eq!(Group::TOP.target_bit(), 1);
+        assert_eq!(Group::BOTTOM.target_bit(), 2);
     }
 
     #[test]
     fn forward_cells_match_paper() {
         // Paper §IV.c: first (least-distance) cell is #1 for top, #6 for bottom.
-        assert_eq!(NEIGHBOR_OFFSETS[Group::Top.forward_index()], (1, 0));
-        assert_eq!(NEIGHBOR_OFFSETS[Group::Bottom.forward_index()], (-1, 0));
+        assert_eq!(NEIGHBOR_OFFSETS[Group::TOP.forward_index()], (1, 0));
+        assert_eq!(NEIGHBOR_OFFSETS[Group::BOTTOM.forward_index()], (-1, 0));
+    }
+
+    #[test]
+    fn headings_cover_all_axes() {
+        assert_eq!(Heading::Down.delta(), (1, 0));
+        assert_eq!(Heading::Up.delta(), (-1, 0));
+        assert_eq!(Heading::Right.delta(), (0, 1));
+        assert_eq!(Heading::Left.delta(), (0, -1));
+        let slots: Vec<usize> = [Heading::Down, Heading::Up, Heading::Right, Heading::Left]
+            .iter()
+            .map(|h| h.forward_index())
+            .collect();
+        assert_eq!(slots, vec![0, 5, 4, 3]);
+    }
+
+    #[test]
+    fn heading_from_delta_picks_dominant_axis() {
+        assert_eq!(Heading::from_delta(10.0, 3.0), Heading::Down);
+        assert_eq!(Heading::from_delta(-10.0, 3.0), Heading::Up);
+        assert_eq!(Heading::from_delta(2.0, 9.0), Heading::Right);
+        assert_eq!(Heading::from_delta(2.0, -9.0), Heading::Left);
+        // Row beats column on a tie (corridor convention).
+        assert_eq!(Heading::from_delta(5.0, 5.0), Heading::Down);
     }
 
     #[test]
@@ -192,8 +332,14 @@ mod tests {
 
     #[test]
     fn targets_are_opposite_edges() {
-        assert_eq!(Group::Top.target_row(480), 479);
-        assert_eq!(Group::Bottom.target_row(480), 0);
-        assert_eq!(Group::Top.opposite(), Group::Bottom);
+        assert_eq!(Group::TOP.target_row(480), 479);
+        assert_eq!(Group::BOTTOM.target_row(480), 0);
+        assert_eq!(Group::TOP.opposite(), Group::BOTTOM);
+    }
+
+    #[test]
+    #[should_panic(expected = "intrinsic heading")]
+    fn extra_groups_have_no_intrinsic_heading() {
+        let _ = Group::new(2).heading();
     }
 }

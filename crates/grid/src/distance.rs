@@ -1,5 +1,5 @@
 //! Pre-computed distance tables (the paper's constant-memory distance
-//! matrix, §IV.a).
+//! matrix, §IV.a), generalised to N directional groups.
 //!
 //! For an agent of group *g* standing in row *r*, the paper needs the
 //! distance from each of its eight neighbour cells to the agent's target —
@@ -16,8 +16,18 @@
 //! Distances are clamped to a small positive floor so eq. (1)'s
 //! `D_min / D_i` and eq. (2)'s `η = 1/D` stay finite for agents standing on
 //! the target row itself (the paper requires `D_i ≠ 0`).
+//!
+//! ## Group indexing
+//!
+//! A flattened field holds one plane per group, indexed by
+//! [`Group::index`]; alongside the planes it carries each group's *forward
+//! neighbour slot* (derived from the group's [`crate::cell::Heading`]),
+//! which anchors forward-priority movement and flow-field tie-breaking.
+//! The row-table fast path is inherently two-group (it encodes "how far is
+//! the far edge"); worlds with more groups or non-edge targets route
+//! through the grid layout.
 
-use crate::cell::{Group, NEIGHBOR_OFFSETS};
+use crate::cell::{Group, Heading, NEIGHBOR_OFFSETS};
 
 /// Floor applied to all distances (cells); keeps `1/D` finite.
 pub const DISTANCE_FLOOR: f32 = 0.5;
@@ -27,13 +37,24 @@ pub const DISTANCE_FLOOR: f32 = 0.5;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DistanceKind {
     /// The paper's row-based tables: `[group][row][neighbour]`, `2·H·8`
-    /// entries. Valid only for obstacle-free worlds whose targets are the
-    /// full opposite edges.
+    /// entries. Valid only for obstacle-free two-group worlds whose
+    /// targets are the full opposite edges.
     Rows,
-    /// A per-group flow-field potential: `[group][row][col]`, `2·H·W`
+    /// A per-group flow-field potential: `[group][row][col]`, `G·H·W`
     /// entries holding each cell's (floored) shortest-path distance to the
     /// group's target region; walls and unreachable cells hold `f32::MAX`.
     Grid,
+}
+
+/// The default forward slots when a field is built without explicit
+/// headings: groups 0/1 keep the paper's down/up corridor convention, and
+/// further groups cycle right/left — multi-group scenarios always override
+/// this with their derived headings.
+pub fn default_forward_slots(groups: usize) -> Vec<u8> {
+    const CYCLE: [Heading; 4] = [Heading::Down, Heading::Up, Heading::Right, Heading::Left];
+    (0..groups)
+        .map(|g| CYCLE[g % 4].forward_index() as u8)
+        .collect()
 }
 
 /// A borrowed, layout-tagged view over a flattened distance field — the
@@ -47,6 +68,11 @@ pub struct DistRef<'a> {
     pub height: usize,
     /// Environment width.
     pub width: usize,
+    /// Group planes held in `data`.
+    pub groups: usize,
+    /// Per-group forward neighbour slot (`forward[g]` is group `g`'s
+    /// heading's [`Heading::forward_index`]).
+    pub forward: &'a [u8],
     /// The flattened field.
     pub data: &'a [f32],
 }
@@ -57,6 +83,7 @@ impl DistRef<'_> {
     /// read as `f32::MAX`; such neighbours are walls to the caller anyway.
     #[inline]
     pub fn neighbor(&self, g: Group, r: i64, c: i64, k: usize) -> f32 {
+        debug_assert!(g.index() < self.groups, "group plane out of range");
         match self.kind {
             DistanceKind::Rows => DistanceTables::lookup(self.data, self.height, g, r as usize, k),
             DistanceKind::Grid => {
@@ -71,25 +98,32 @@ impl DistRef<'_> {
         }
     }
 
+    /// The forward neighbour slot of group `g` (its heading's
+    /// [`Heading::forward_index`]).
+    #[inline]
+    pub fn forward_k(&self, g: Group) -> usize {
+        self.forward[g.index()] as usize
+    }
+
     /// The neighbour slot a group-`g` agent at `(r, c)` treats as its
     /// *front cell* (the forward-priority target): the distance-argmin
-    /// neighbour, ties broken toward the group's row-forward direction.
+    /// neighbour, ties broken toward the group's forward slot.
     ///
-    /// For the row layout the argmin provably *is* the row-forward cell
-    /// (paper §IV.b's strict ordering; the only tie is with the backward
-    /// cell when the agent stands on its own target row, which the
-    /// tie-break resolves forward), so this returns
-    /// [`Group::forward_index`] without touching the data — the legacy
-    /// corridor behaviour, bit for bit.
+    /// For the row layout the argmin provably *is* the forward cell (paper
+    /// §IV.b's strict ordering; the only tie is with the backward cell
+    /// when the agent stands on its own target row, which the tie-break
+    /// resolves forward), so this returns the group's forward slot without
+    /// touching the data — the legacy corridor behaviour, bit for bit.
     #[inline]
     pub fn front_k(&self, g: Group, r: i64, c: i64) -> usize {
+        let fwd = self.forward_k(g);
         match self.kind {
-            DistanceKind::Rows => g.forward_index(),
+            DistanceKind::Rows => fwd,
             DistanceKind::Grid => {
-                let mut best = g.forward_index();
+                let mut best = fwd;
                 let mut best_d = self.neighbor(g, r, c, best);
                 for k in 0..8 {
-                    if k == g.forward_index() {
+                    if k == fwd {
                         continue;
                     }
                     let d = self.neighbor(g, r, c, k);
@@ -115,22 +149,43 @@ pub struct DistanceData {
     pub height: usize,
     /// Environment width (0 for the row layout, which ignores it).
     pub width: usize,
+    /// Group planes held in `data`.
+    pub groups: usize,
+    /// Per-group forward neighbour slots.
+    pub forward: Vec<u8>,
     /// The flattened field.
     pub data: Vec<f32>,
 }
 
 impl DistanceData {
-    /// Snapshot a field into owned form.
+    /// Snapshot a field into owned form, taking the field's own forward
+    /// slots ([`DistanceField::forward_slots`]).
     pub fn from_field(field: &impl DistanceField) -> Self {
+        let groups = field.field_groups();
         Self {
             kind: field.kind(),
             height: field.field_height(),
             width: field.field_width(),
+            groups,
+            forward: field.forward_slots(),
             data: field.flat().to_vec(),
         }
     }
 
-    /// The paper's row tables for an obstacle-free corridor of `height`.
+    /// Override the per-group forward slots (from scenario headings).
+    pub fn with_forward(mut self, forward: Vec<u8>) -> Self {
+        assert_eq!(
+            forward.len(),
+            self.groups,
+            "forward slots must cover every group plane"
+        );
+        assert!(forward.iter().all(|&k| (k as usize) < 8));
+        self.forward = forward;
+        self
+    }
+
+    /// The paper's row tables for an obstacle-free two-group corridor of
+    /// `height`.
     pub fn rows(height: usize) -> Self {
         Self::from_field(&DistanceTables::new(height))
     }
@@ -142,15 +197,17 @@ impl DistanceData {
             kind: self.kind,
             height: self.height,
             width: self.width,
+            groups: self.groups,
+            forward: &self.forward,
             data: &self.data,
         }
     }
 }
 
 /// A distance-to-target field usable by the simulation: the row-based
-/// [`DistanceTables`] fast path for obstacle-free corridors, or the
-/// per-group [`crate::flowfield::GridDistanceField`] for worlds with
-/// interior obstacles or non-edge targets.
+/// [`DistanceTables`] fast path for obstacle-free two-group corridors, or
+/// the per-group [`crate::flowfield::GridDistanceField`] for worlds with
+/// interior obstacles, non-edge targets, or more than two groups.
 pub trait DistanceField {
     /// Layout of the flattened data.
     fn kind(&self) -> DistanceKind;
@@ -161,22 +218,22 @@ pub trait DistanceField {
     /// Environment width the field was built for.
     fn field_width(&self) -> usize;
 
+    /// Group planes the field holds.
+    fn field_groups(&self) -> usize;
+
+    /// Per-group forward neighbour slots
+    /// (defaults to [`default_forward_slots`]).
+    fn forward_slots(&self) -> Vec<u8> {
+        default_forward_slots(self.field_groups())
+    }
+
     /// The flattened field (what gets uploaded to constant memory).
     fn flat(&self) -> &[f32];
-
-    /// A layout-tagged borrowed view.
-    fn dist_ref(&self) -> DistRef<'_> {
-        DistRef {
-            kind: self.kind(),
-            height: self.field_height(),
-            width: self.field_width(),
-            data: self.flat(),
-        }
-    }
 }
 
-/// Per-(group, row, neighbour) distances to target, laid out for constant
-/// memory: `[group][row][k]` flattened row-major.
+/// Per-(group, row, neighbour) distances to target for the classic
+/// two-group corridor, laid out for constant memory: `[group][row][k]`
+/// flattened row-major.
 #[derive(Debug, Clone)]
 pub struct DistanceTables {
     height: usize,
@@ -233,6 +290,20 @@ impl DistanceTables {
         self.height
     }
 
+    /// A layout-tagged borrowed view (the paper's two-group forward
+    /// convention).
+    pub fn dist_ref(&self) -> DistRef<'_> {
+        const ROWS_FORWARD: [u8; 2] = [0, 5];
+        DistRef {
+            kind: DistanceKind::Rows,
+            height: self.height,
+            width: 0,
+            groups: 2,
+            forward: &ROWS_FORWARD,
+            data: &self.data,
+        }
+    }
+
     /// Compute the same value as [`DistanceTables::get`] from the raw slice
     /// (used by kernels that hold only the constant buffer).
     #[inline]
@@ -256,6 +327,10 @@ impl DistanceField for DistanceTables {
         0
     }
 
+    fn field_groups(&self) -> usize {
+        2
+    }
+
     fn flat(&self) -> &[f32] {
         &self.data
     }
@@ -269,7 +344,7 @@ mod tests {
     fn paper_ordering_for_top_agent() {
         let t = DistanceTables::new(480);
         let row = 100; // mid-environment, target row 479, d = 379
-        let d: Vec<f32> = (0..8).map(|k| t.get(Group::Top, row, k)).collect();
+        let d: Vec<f32> = (0..8).map(|k| t.get(Group::TOP, row, k)).collect();
         // #1 < #2 = #3 < #4 = #5 < #6 < #7 = #8 (0-based indices 0..8)
         assert!(d[0] < d[1]);
         assert!((d[1] - d[2]).abs() < 1e-6);
@@ -285,7 +360,7 @@ mod tests {
         let t = DistanceTables::new(480);
         let row = 300; // target row 0
                        // For a bottom agent the forward cell is k=5 (#6).
-        let d: Vec<f32> = (0..8).map(|k| t.get(Group::Bottom, row, k)).collect();
+        let d: Vec<f32> = (0..8).map(|k| t.get(Group::BOTTOM, row, k)).collect();
         assert!(d[5] < d[6]);
         assert!((d[6] - d[7]).abs() < 1e-6);
         assert!(d[6] < d[3]);
@@ -297,8 +372,8 @@ mod tests {
     fn forward_distance_decrements_per_row() {
         let t = DistanceTables::new(100);
         // Top agent: forward distance from row r is (99 - (r+1)).
-        assert!((t.get(Group::Top, 10, 0) - 88.0).abs() < 1e-5);
-        assert!((t.get(Group::Top, 97, 0) - 1.0).abs() < 1e-5);
+        assert!((t.get(Group::TOP, 10, 0) - 88.0).abs() < 1e-5);
+        assert!((t.get(Group::TOP, 97, 0) - 1.0).abs() < 1e-5);
     }
 
     #[test]
@@ -306,16 +381,16 @@ mod tests {
         let t = DistanceTables::new(100);
         // One row short of the target: the forward cell *is* the target
         // (distance zero) → floored to keep 1/D finite.
-        assert_eq!(t.get(Group::Top, 98, 0), DISTANCE_FLOOR);
-        assert_eq!(t.get(Group::Bottom, 1, 5), DISTANCE_FLOOR);
+        assert_eq!(t.get(Group::TOP, 98, 0), DISTANCE_FLOOR);
+        assert_eq!(t.get(Group::BOTTOM, 1, 5), DISTANCE_FLOOR);
         assert!(t.as_slice().iter().all(|&d| d >= DISTANCE_FLOOR));
     }
 
     #[test]
     fn min_is_forward_cell_mid_grid() {
         let t = DistanceTables::new(480);
-        assert_eq!(t.min_for(Group::Top, 200), t.get(Group::Top, 200, 0));
-        assert_eq!(t.min_for(Group::Bottom, 200), t.get(Group::Bottom, 200, 5));
+        assert_eq!(t.min_for(Group::TOP, 200), t.get(Group::TOP, 200, 0));
+        assert_eq!(t.min_for(Group::BOTTOM, 200), t.get(Group::BOTTOM, 200, 5));
     }
 
     #[test]
@@ -323,18 +398,19 @@ mod tests {
         let t = DistanceTables::new(64);
         let v = t.dist_ref();
         assert_eq!(v.kind, DistanceKind::Rows);
+        assert_eq!(v.groups, 2);
         for row in [0i64, 17, 63] {
             for k in 0..8 {
                 assert_eq!(
-                    v.neighbor(Group::Top, row, 30, k),
-                    t.get(Group::Top, row as usize, k)
+                    v.neighbor(Group::TOP, row, 30, k),
+                    t.get(Group::TOP, row as usize, k)
                 );
             }
             // The row fast path's front cell is the group-forward cell.
-            assert_eq!(v.front_k(Group::Top, row, 30), Group::Top.forward_index());
+            assert_eq!(v.front_k(Group::TOP, row, 30), Group::TOP.forward_index());
             assert_eq!(
-                v.front_k(Group::Bottom, row, 30),
-                Group::Bottom.forward_index()
+                v.front_k(Group::BOTTOM, row, 30),
+                Group::BOTTOM.forward_index()
             );
         }
     }
@@ -365,10 +441,30 @@ mod tests {
         for row in [0, 10, 63] {
             for k in 0..8 {
                 assert_eq!(
-                    DistanceTables::lookup(t.as_slice(), 64, Group::Bottom, row, k),
-                    t.get(Group::Bottom, row, k)
+                    DistanceTables::lookup(t.as_slice(), 64, Group::BOTTOM, row, k),
+                    t.get(Group::BOTTOM, row, k)
                 );
             }
         }
+    }
+
+    #[test]
+    fn default_forward_slots_keep_corridor_convention() {
+        assert_eq!(default_forward_slots(2), vec![0, 5]);
+        assert_eq!(default_forward_slots(4), vec![0, 5, 4, 3]);
+    }
+
+    #[test]
+    fn with_forward_overrides_slots() {
+        let d = DistanceData::rows(16);
+        assert_eq!(d.forward, vec![0, 5]);
+        let d = d.with_forward(vec![0, 4]);
+        assert_eq!(d.dist_ref().forward_k(Group::BOTTOM), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every group plane")]
+    fn with_forward_rejects_wrong_arity() {
+        let _ = DistanceData::rows(16).with_forward(vec![0, 5, 4]);
     }
 }

@@ -5,12 +5,14 @@ use std::sync::Arc;
 
 use philox::StreamRng;
 
-use crate::cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP, CELL_WALL};
+use crate::cell::{Group, CELL_EMPTY, CELL_WALL, MAX_GROUPS};
 use crate::matrix::Matrix;
 use crate::placement::place_confined;
 use crate::property::PropertyTable;
 
-/// Scenario geometry and population.
+/// Scenario geometry and population for the paper's classic two-group
+/// corridor (scenario worlds describe themselves through
+/// `pedsim-scenario` instead).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnvConfig {
     /// Environment width in cells (the paper uses 480).
@@ -88,8 +90,8 @@ impl EnvConfig {
 /// The environment state: cell labels, agent indices, agent properties.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Environment {
-    /// Cell labels (`mat` in the paper): 0 empty, 1 top, 2 bottom,
-    /// 255 interior wall.
+    /// Cell labels (`mat` in the paper): 0 empty, `g + 1` a group-`g`
+    /// pedestrian, 255 interior wall.
     pub mat: Matrix<u8>,
     /// Agent index per cell (0 = none); indexes the property table.
     pub index: Matrix<u32>,
@@ -98,8 +100,11 @@ pub struct Environment {
     /// Rows of each spawn band (the classic corridor layout; scenario
     /// worlds record their spawn extent here for reporting only).
     pub spawn_rows: usize,
-    /// Agents per group.
-    pub agents_per_side: usize,
+    /// Per-group populations. Agent indices are assigned contiguously and
+    /// 1-based: group `g` owns `1 + Σ sizes[..g] ..= Σ sizes[..=g]` (the
+    /// paper's single index sequence over both groups, Figure 2b,
+    /// generalised).
+    pub group_sizes: Vec<usize>,
     /// Seed the environment was built with.
     pub seed: u64,
     /// Per-cell target-region bitmask ([`Group::target_bit`]); `None` means
@@ -109,7 +114,7 @@ pub struct Environment {
 }
 
 impl Environment {
-    /// Build and populate an environment.
+    /// Build and populate a classic two-group corridor.
     ///
     /// Top agents receive indices `1..=per_side`, bottom agents
     /// `per_side+1..=2·per_side` (the paper's single index sequence over
@@ -127,14 +132,15 @@ impl Environment {
         let mut index = Matrix::filled(cfg.height, cfg.width, 0u32);
         let mut props = PropertyTable::new(2 * n);
         // Dedicated placement streams, far away from the per-cell streams
-        // the kernels use (which are < width·height).
+        // the kernels use (which are < width·height): group g draws from
+        // stream u64::MAX - 1 - g.
         let mut rng_top = StreamRng::new(cfg.seed, u64::MAX - 1);
         let mut rng_bot = StreamRng::new(cfg.seed, u64::MAX - 2);
         place_confined(
             &mut mat,
             &mut index,
             &mut props,
-            Group::Top,
+            Group::TOP,
             n,
             spawn_rows,
             1,
@@ -144,7 +150,7 @@ impl Environment {
             &mut mat,
             &mut index,
             &mut props,
-            Group::Bottom,
+            Group::BOTTOM,
             n,
             spawn_rows,
             (n + 1) as u32,
@@ -155,7 +161,7 @@ impl Environment {
             index,
             props,
             spawn_rows,
-            agents_per_side: n,
+            group_sizes: vec![n, n],
             seed: cfg.seed,
             targets: None,
         }
@@ -173,35 +179,66 @@ impl Environment {
         self.mat.height()
     }
 
+    /// Number of directional groups.
+    #[inline]
+    pub fn n_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+
     /// Total agents.
     #[inline]
     pub fn total_agents(&self) -> usize {
-        self.agents_per_side * 2
+        self.group_sizes.iter().sum()
+    }
+
+    /// First (1-based) agent index of group `g`.
+    #[inline]
+    pub fn group_start(&self, g: Group) -> usize {
+        1 + self.group_sizes[..g.index()].iter().sum::<usize>()
+    }
+
+    /// Population of group `g`.
+    #[inline]
+    pub fn group_size(&self, g: Group) -> usize {
+        self.group_sizes[g.index()]
     }
 
     /// The group of agent `idx` (by the index-range convention).
     #[inline]
     pub fn group_of(&self, idx: usize) -> Group {
         debug_assert!(idx >= 1 && idx <= self.total_agents());
-        if idx <= self.agents_per_side {
-            Group::Top
-        } else {
-            Group::Bottom
+        let mut end = 0usize;
+        for (g, &size) in self.group_sizes.iter().enumerate() {
+            end += size;
+            if idx <= end {
+                return Group::new(g);
+            }
         }
+        unreachable!("agent index {idx} beyond every group range")
     }
 
     /// Whether a group-`g` agent standing at `(row, col)` has crossed:
     /// reached the group's target region when one is defined, else the
     /// *opposite* spawn band (the paper's "14th row in the opposite end"
-    /// example — the first row of the far band).
+    /// example — the first row of the far band). The band fallback is a
+    /// two-group corridor notion; worlds with more groups must carry a
+    /// target mask.
     #[inline]
     pub fn has_crossed(&self, g: Group, row: usize, col: usize) -> bool {
         match &self.targets {
             Some(mask) => mask.get(row, col) & g.target_bit() != 0,
-            None => match g {
-                Group::Top => row >= self.height() - self.spawn_rows,
-                Group::Bottom => row < self.spawn_rows,
-            },
+            None => {
+                assert!(
+                    self.n_groups() == 2,
+                    "the row-band crossing fallback is two-group only; \
+                     multi-group worlds must carry a target mask"
+                );
+                if g == Group::TOP {
+                    row >= self.height() - self.spawn_rows
+                } else {
+                    row < self.spawn_rows
+                }
+            }
         }
     }
 
@@ -218,6 +255,9 @@ impl Environment {
     /// Verify the three matrices tell one consistent story; returns a
     /// description of the first inconsistency.
     pub fn check_consistency(&self) -> Result<(), String> {
+        if self.n_groups() > MAX_GROUPS {
+            return Err(format!("{} groups exceed MAX_GROUPS", self.n_groups()));
+        }
         let mut seen = vec![false; self.total_agents() + 1];
         for (r, c, v) in self.index.iter_cells() {
             let label = self.mat.get(r, c);
@@ -235,7 +275,10 @@ impl Environment {
                 return Err(format!("agent {idx} appears in two cells"));
             }
             seen[idx] = true;
-            if label != CELL_TOP && label != CELL_BOTTOM {
+            let in_range = Group::from_label(label)
+                .map(|g| g.index() < self.n_groups())
+                .unwrap_or(false);
+            if !in_range {
                 return Err(format!("cell ({r},{c}) indexed but labelled {label}"));
             }
             if self.props.id[idx] != label {
@@ -264,6 +307,7 @@ impl Environment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cell::{CELL_BOTTOM, CELL_TOP};
 
     #[test]
     fn paper_config_geometry() {
@@ -287,27 +331,43 @@ mod tests {
         env.check_consistency().expect("consistent");
         assert_eq!(env.mat.count(CELL_TOP), 40);
         assert_eq!(env.mat.count(CELL_BOTTOM), 40);
+        assert_eq!(env.n_groups(), 2);
     }
 
     #[test]
     fn group_index_ranges() {
         let env = Environment::new(&EnvConfig::small(32, 32, 10));
-        assert_eq!(env.group_of(1), Group::Top);
-        assert_eq!(env.group_of(10), Group::Top);
-        assert_eq!(env.group_of(11), Group::Bottom);
-        assert_eq!(env.group_of(20), Group::Bottom);
+        assert_eq!(env.group_of(1), Group::TOP);
+        assert_eq!(env.group_of(10), Group::TOP);
+        assert_eq!(env.group_of(11), Group::BOTTOM);
+        assert_eq!(env.group_of(20), Group::BOTTOM);
+        assert_eq!(env.group_start(Group::TOP), 1);
+        assert_eq!(env.group_start(Group::BOTTOM), 11);
+    }
+
+    #[test]
+    fn asymmetric_group_ranges() {
+        // Hand-build an environment with uneven groups: 3 + 7 agents.
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 5));
+        env.group_sizes = vec![3, 7];
+        assert_eq!(env.total_agents(), 10);
+        assert_eq!(env.group_of(3), Group::TOP);
+        assert_eq!(env.group_of(4), Group::BOTTOM);
+        assert_eq!(env.group_of(10), Group::BOTTOM);
+        assert_eq!(env.group_start(Group::BOTTOM), 4);
+        assert_eq!(env.group_size(Group::BOTTOM), 7);
     }
 
     #[test]
     fn crossing_line_is_opposite_band() {
         let env = Environment::new(&EnvConfig::small(16, 16, 29)); // 3 spawn rows
-        assert!(env.has_crossed(Group::Top, 13, 0));
-        assert!(!env.has_crossed(Group::Top, 12, 0));
-        assert!(env.has_crossed(Group::Bottom, 2, 5));
-        assert!(!env.has_crossed(Group::Bottom, 3, 5));
+        assert!(env.has_crossed(Group::TOP, 13, 0));
+        assert!(!env.has_crossed(Group::TOP, 12, 0));
+        assert!(env.has_crossed(Group::BOTTOM, 2, 5));
+        assert!(!env.has_crossed(Group::BOTTOM, 3, 5));
         // Nobody crossed at t=0.
-        assert_eq!(env.crossed_count(Group::Top), 0);
-        assert_eq!(env.crossed_count(Group::Bottom), 0);
+        assert_eq!(env.crossed_count(Group::TOP), 0);
+        assert_eq!(env.crossed_count(Group::BOTTOM), 0);
     }
 
     #[test]
@@ -316,13 +376,21 @@ mod tests {
         let mut env = Environment::new(&EnvConfig::small(16, 16, 10));
         let mut mask = Matrix::filled(16, 16, 0u8);
         // Top group's target: a single doorway cell mid-grid.
-        mask.set(8, 8, Group::Top.target_bit());
-        mask.set(1, 1, Group::Bottom.target_bit());
+        mask.set(8, 8, Group::TOP.target_bit());
+        mask.set(1, 1, Group::BOTTOM.target_bit());
         env.targets = Some(Arc::new(mask));
-        assert!(env.has_crossed(Group::Top, 8, 8));
-        assert!(!env.has_crossed(Group::Top, 15, 0)); // far band no longer counts
-        assert!(env.has_crossed(Group::Bottom, 1, 1));
-        assert!(!env.has_crossed(Group::Bottom, 8, 8)); // other group's bit
+        assert!(env.has_crossed(Group::TOP, 8, 8));
+        assert!(!env.has_crossed(Group::TOP, 15, 0)); // far band no longer counts
+        assert!(env.has_crossed(Group::BOTTOM, 1, 1));
+        assert!(!env.has_crossed(Group::BOTTOM, 8, 8)); // other group's bit
+    }
+
+    #[test]
+    #[should_panic(expected = "two-group only")]
+    fn band_fallback_rejects_multi_group_worlds() {
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 6));
+        env.group_sizes = vec![4, 4, 4];
+        let _ = env.has_crossed(Group::new(2), 0, 0);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //!
 //! * [`matrix::Matrix`] — the row-major 2-D container behind the
 //!   environment (`mat`), index, and pheromone matrices;
-//! * [`cell`] — cell labels (empty / top / bottom / wall), groups, and the
-//!   paper's Figure-1 neighbourhood numbering;
+//! * [`cell`] — cell labels (empty / per-group / wall), directional groups
+//!   (up to [`cell::MAX_GROUPS`]), headings, and the paper's Figure-1
+//!   neighbourhood numbering;
 //! * [`property::PropertyTable`] — the per-agent record of the paper's
 //!   Table I (ID, ROW, COLUMN, FUTURE ROW, FUTURE COLUMN, FRONT CELL) with
 //!   the 0th sentinel row, stored struct-of-arrays so each kernel touches
@@ -18,7 +19,7 @@
 //!   abstraction;
 //! * [`flowfield::GridDistanceField`] — per-group Dijkstra flow fields for
 //!   worlds with interior obstacles and arbitrary target regions;
-//! * [`pheromone::PheromoneField`] — the two per-group pheromone matrices;
+//! * [`pheromone::PheromoneField`] — the per-group pheromone matrices;
 //! * [`placement`] / [`environment`] — random confined placement and the
 //!   assembled [`environment::Environment`].
 
@@ -34,7 +35,10 @@ pub mod placement;
 pub mod property;
 pub mod scan;
 
-pub use cell::{Group, CELL_BOTTOM, CELL_EMPTY, CELL_TOP, CELL_WALL, MOVE_LEN, NEIGHBOR_OFFSETS};
+pub use cell::{
+    Group, Heading, CELL_BOTTOM, CELL_EMPTY, CELL_TOP, CELL_WALL, MAX_GROUPS, MOVE_LEN,
+    NEIGHBOR_OFFSETS,
+};
 pub use distance::{DistRef, DistanceData, DistanceField, DistanceKind, DistanceTables};
 pub use environment::{EnvConfig, Environment};
 pub use flowfield::GridDistanceField;

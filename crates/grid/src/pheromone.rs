@@ -1,54 +1,67 @@
-//! The two per-group pheromone fields (§III, §IV.a: "Two separate matrices
+//! The per-group pheromone fields (§III, §IV.a: "Two separate matrices
 //! are used to keep track of pheromones deposited by the top and bottom
-//! pedestrians").
+//! pedestrians" — generalised to one matrix per directional group).
 //!
 //! Pheromone here models "the visual proposition to follow predecessors in
-//! a densely populated environment" — a top-group agent is attracted by
-//! pheromone that *other top-group agents* deposited, which is what makes
-//! lanes form in the bi-directional flow.
+//! a densely populated environment" — an agent is attracted by pheromone
+//! that *other agents of its own group* deposited, which is what makes
+//! lanes form in multi-directional flow.
 
-use crate::cell::Group;
+use crate::cell::{Group, MAX_GROUPS};
 use crate::matrix::Matrix;
 
-/// The paired pheromone matrices.
+/// The per-group pheromone matrices (plane `g` belongs to group `g`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PheromoneField {
-    /// Deposits by the top group.
-    pub top: Matrix<f32>,
-    /// Deposits by the bottom group.
-    pub bottom: Matrix<f32>,
+    fields: Vec<Matrix<f32>>,
     /// Initial/floor level τ₀ (evaporation never drops below it, keeping
     /// eq. (2) probabilities non-degenerate).
     pub tau0: f32,
 }
 
 impl PheromoneField {
-    /// Uniform fields at `tau0`.
+    /// Uniform two-group fields at `tau0` (the paper's layout).
     pub fn new(height: usize, width: usize, tau0: f32) -> Self {
+        Self::with_groups(height, width, tau0, 2)
+    }
+
+    /// Uniform fields at `tau0` for `groups` directional groups.
+    pub fn with_groups(height: usize, width: usize, tau0: f32, groups: usize) -> Self {
         assert!(tau0 > 0.0, "tau0 must be positive");
+        assert!(
+            (1..=MAX_GROUPS).contains(&groups),
+            "group count {groups} out of range 1..={MAX_GROUPS}"
+        );
         Self {
-            top: Matrix::filled(height, width, tau0),
-            bottom: Matrix::filled(height, width, tau0),
+            fields: (0..groups)
+                .map(|_| Matrix::filled(height, width, tau0))
+                .collect(),
             tau0,
         }
+    }
+
+    /// Number of group planes.
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.fields.len()
     }
 
     /// The matrix a given group *deposits into and follows*.
     #[inline]
     pub fn of(&self, g: Group) -> &Matrix<f32> {
-        match g {
-            Group::Top => &self.top,
-            Group::Bottom => &self.bottom,
-        }
+        &self.fields[g.index()]
     }
 
     /// Mutable access to a group's matrix.
     #[inline]
     pub fn of_mut(&mut self, g: Group) -> &mut Matrix<f32> {
-        match g {
-            Group::Top => &mut self.top,
-            Group::Bottom => &mut self.bottom,
-        }
+        &mut self.fields[g.index()]
+    }
+
+    /// All group planes, in index order.
+    #[inline]
+    pub fn planes(&self) -> &[Matrix<f32>] {
+        &self.fields
     }
 
     /// Apply eq. (3) everywhere: `τ ← max(τ0·floor?, (1−ρ)·τ)`.
@@ -59,7 +72,7 @@ impl PheromoneField {
         debug_assert!((0.0..=1.0).contains(&rho));
         let keep = 1.0 - rho;
         let floor = self.tau0;
-        for m in [&mut self.top, &mut self.bottom] {
+        for m in &mut self.fields {
             for v in m.as_mut_slice() {
                 *v = (*v * keep).max(floor);
             }
@@ -89,29 +102,40 @@ mod tests {
     #[test]
     fn starts_uniform() {
         let p = PheromoneField::new(4, 4, 0.1);
-        assert!(p.top.as_slice().iter().all(|&v| v == 0.1));
-        assert!(p.bottom.as_slice().iter().all(|&v| v == 0.1));
+        assert_eq!(p.groups(), 2);
+        for g in Group::BOTH {
+            assert!(p.of(g).as_slice().iter().all(|&v| v == 0.1));
+        }
+    }
+
+    #[test]
+    fn four_group_field_has_four_planes() {
+        let p = PheromoneField::with_groups(4, 4, 0.2, 4);
+        assert_eq!(p.groups(), 4);
+        assert!(p.planes().iter().all(|m| m.get(0, 0) == 0.2));
     }
 
     #[test]
     fn evaporation_decays_toward_floor() {
         let mut p = PheromoneField::new(2, 2, 0.1);
-        p.deposit(Group::Top, 0, 0, 1.0);
+        p.deposit(Group::TOP, 0, 0, 1.0);
         for _ in 0..100 {
             p.evaporate(0.1);
         }
-        let v = p.top.get(0, 0);
+        let v = p.of(Group::TOP).get(0, 0);
         assert!((v - 0.1).abs() < 1e-4, "decayed to floor, got {v}");
         // The floor is never undershot anywhere.
-        assert!(p.top.as_slice().iter().all(|&v| v >= 0.1));
+        assert!(p.of(Group::TOP).as_slice().iter().all(|&v| v >= 0.1));
     }
 
     #[test]
     fn deposit_targets_group_matrix() {
-        let mut p = PheromoneField::new(2, 2, 0.1);
-        p.deposit(Group::Bottom, 1, 1, 0.5);
-        assert!((p.bottom.get(1, 1) - 0.6).abs() < 1e-6);
-        assert_eq!(p.top.get(1, 1), 0.1);
+        let mut p = PheromoneField::with_groups(2, 2, 0.1, 3);
+        let third = Group::new(2);
+        p.deposit(third, 1, 1, 0.5);
+        assert!((p.of(third).get(1, 1) - 0.6).abs() < 1e-6);
+        assert_eq!(p.of(Group::TOP).get(1, 1), 0.1);
+        assert_eq!(p.of(Group::BOTTOM).get(1, 1), 0.1);
     }
 
     #[test]
@@ -119,16 +143,22 @@ mod tests {
         let tau = 0.7f32;
         let (tau0, rho, dep) = (0.1f32, 0.05f32, 0.2f32);
         let mut p = PheromoneField::new(1, 1, tau0);
-        p.top.set(0, 0, tau);
+        p.of_mut(Group::TOP).set(0, 0, tau);
         p.evaporate(rho);
-        p.deposit(Group::Top, 0, 0, dep);
+        p.deposit(Group::TOP, 0, 0, dep);
         let fused = PheromoneField::fused_update(tau, tau0, rho, dep);
-        assert!((p.top.get(0, 0) - fused).abs() < 1e-6);
+        assert!((p.of(Group::TOP).get(0, 0) - fused).abs() < 1e-6);
     }
 
     #[test]
     #[should_panic(expected = "tau0 must be positive")]
     fn zero_tau0_rejected() {
         let _ = PheromoneField::new(2, 2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_groups_rejected() {
+        let _ = PheromoneField::with_groups(2, 2, 0.1, MAX_GROUPS + 1);
     }
 }

@@ -38,9 +38,15 @@ pub fn place_confined(
         "cannot place {count} agents in a band of {capacity} cells"
     );
 
-    let row0 = match group {
-        Group::Top => 0,
-        Group::Bottom => height - spawn_rows,
+    assert!(
+        group.index() < 2,
+        "band placement is a two-group corridor notion; scenario worlds \
+         place through place_in_cells"
+    );
+    let row0 = if group == Group::TOP {
+        0
+    } else {
+        height - spawn_rows
     };
 
     // Band cells as (r, c) in row-major order — the enumeration order is
@@ -126,7 +132,7 @@ mod tests {
             &mut mat,
             &mut index,
             &mut props,
-            Group::Top,
+            Group::TOP,
             20,
             3,
             1,
@@ -149,7 +155,7 @@ mod tests {
             &mut mat,
             &mut index,
             &mut props,
-            Group::Bottom,
+            Group::BOTTOM,
             10,
             2,
             1,
@@ -170,7 +176,7 @@ mod tests {
             &mut mat,
             &mut index,
             &mut props,
-            Group::Top,
+            Group::TOP,
             12,
             2,
             1,
@@ -192,7 +198,7 @@ mod tests {
             &mut m1,
             &mut i1,
             &mut p1,
-            Group::Top,
+            Group::TOP,
             15,
             3,
             1,
@@ -202,7 +208,7 @@ mod tests {
             &mut m2,
             &mut i2,
             &mut p2,
-            Group::Top,
+            Group::TOP,
             15,
             3,
             1,
@@ -220,7 +226,7 @@ mod tests {
             &mut mat,
             &mut index,
             &mut props,
-            Group::Top,
+            Group::TOP,
             48,
             3,
             1,
@@ -243,7 +249,7 @@ mod tests {
             &mut m1,
             &mut i1,
             &mut p1,
-            Group::Top,
+            Group::TOP,
             15,
             3,
             1,
@@ -256,7 +262,7 @@ mod tests {
             &mut m2,
             &mut i2,
             &mut p2,
-            Group::Top.label(),
+            Group::TOP.label(),
             band,
             15,
             1,
@@ -308,7 +314,7 @@ mod tests {
             &mut mat,
             &mut index,
             &mut props,
-            Group::Top,
+            Group::TOP,
             49,
             3,
             1,

@@ -56,8 +56,8 @@ proptest! {
                 7 => 2,
                 other => other,
             };
-            let a = t.get(Group::Top, row, k);
-            let b = t.get(Group::Bottom, mirror, mk);
+            let a = t.get(Group::TOP, row, k);
+            let b = t.get(Group::BOTTOM, mirror, mk);
             prop_assert!((a - b).abs() < 1e-4, "k={k} mk={mk} a={a} b={b}");
         }
     }
@@ -72,12 +72,12 @@ proptest! {
         steps in 1usize..200,
     ) {
         let mut p = PheromoneField::new(4, 4, tau0);
-        p.deposit(Group::Top, 1, 1, deposit);
-        let mut last = p.top.get(1, 1);
+        p.deposit(Group::TOP, 1, 1, deposit);
+        let mut last = p.of(Group::TOP).get(1, 1);
         prop_assert!((last - (tau0 + deposit)).abs() < 1e-5);
         for _ in 0..steps {
             p.evaporate(rho);
-            let now = p.top.get(1, 1);
+            let now = p.of(Group::TOP).get(1, 1);
             prop_assert!(now <= last + 1e-6);
             prop_assert!(now >= tau0 - 1e-6);
             last = now;

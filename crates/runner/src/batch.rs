@@ -9,7 +9,7 @@ use pedsim_core::engine::Engine;
 use pedsim_core::metrics::lane_index;
 use simt::exec::pool::WorkerPool;
 
-use crate::job::{EngineSel, Job};
+use crate::job::{EngineSel, Job, JobError};
 use crate::report::{BatchReport, RunResult};
 
 /// Runs job lists on a persistent thread pool.
@@ -48,21 +48,35 @@ impl Batch {
         self.pool.workers()
     }
 
-    /// Execute every job and aggregate the report. Blocks until the whole
-    /// batch has finished; jobs run in work-stealing order but the report
-    /// is deterministic (see [`BatchReport::from_results`]).
-    pub fn run(&self, jobs: &[Job]) -> BatchReport {
+    /// Execute every job and aggregate the report, validating each job's
+    /// run description first: a misconfigured stop condition (e.g. a
+    /// gridlock patience beyond the retained movement history) returns a
+    /// typed [`JobError`] before any worker thread starts, instead of
+    /// panicking inside the pool mid-batch. Blocks until the whole batch
+    /// has finished; jobs run in work-stealing order but the report is
+    /// deterministic (see [`BatchReport::from_results`]).
+    pub fn try_run(&self, jobs: &[Job]) -> Result<BatchReport, JobError> {
+        for job in jobs {
+            job.validate()?;
+        }
         let slots: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         self.pool.run(jobs.len(), &|i| {
             let result = execute(&jobs[i]);
             *slots[i].lock() = Some(result);
         });
-        BatchReport::from_results(
+        Ok(BatchReport::from_results(
             slots
                 .into_iter()
                 .map(|slot| slot.into_inner().expect("every job fills its slot"))
                 .collect(),
-        )
+        ))
+    }
+
+    /// [`Batch::try_run`], panicking (on the calling thread, with the
+    /// typed error's message) when a job is invalid.
+    pub fn run(&self, jobs: &[Job]) -> BatchReport {
+        self.try_run(jobs)
+            .unwrap_or_else(|e| panic!("invalid batch: {e}"))
     }
 }
 
@@ -73,15 +87,26 @@ pub fn execute(job: &Job) -> RunResult {
         .scenario
         .as_ref()
         .map_or_else(|| "corridor".to_string(), |s| s.name().to_string());
+    // The scenario's population sum is authoritative: the EnvConfig record
+    // only mirrors group 0 and would misreport asymmetric or multi-group
+    // worlds as `agents_per_side * 2`.
+    let agents = job
+        .cfg
+        .scenario
+        .as_ref()
+        .map_or_else(|| job.cfg.env.total_agents(), |s| s.total_agents());
     match &job.engine {
-        EngineSel::Cpu => finish(job, world, CpuEngine::new(job.cfg.clone())),
-        EngineSel::Gpu(device) => {
-            finish(job, world, GpuEngine::new(job.cfg.clone(), device.clone()))
-        }
+        EngineSel::Cpu => finish(job, world, agents, CpuEngine::new(job.cfg.clone())),
+        EngineSel::Gpu(device) => finish(
+            job,
+            world,
+            agents,
+            GpuEngine::new(job.cfg.clone(), device.clone()),
+        ),
     }
 }
 
-fn finish<E: Engine>(job: &Job, world: String, mut engine: E) -> RunResult {
+fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> RunResult {
     // Time the simulation loop alone: engine construction (world
     // materialisation, upload) and result extraction stay outside, per
     // the paper's "time spent solely for simulation" protocol.
@@ -95,7 +120,7 @@ fn finish<E: Engine>(job: &Job, world: String, mut engine: E) -> RunResult {
         model: engine.model().name().to_string(),
         engine: job.engine.name(),
         seed: job.cfg.env.seed,
-        agents: job.cfg.env.total_agents(),
+        agents,
         steps: engine.steps_done(),
         stop,
         throughput: metrics.map(|m| m.throughput()),
@@ -176,6 +201,64 @@ mod tests {
         assert_eq!(r.total_moves, None);
         assert_eq!(r.lane_index, None);
         assert_eq!(r.steps, 10);
+    }
+
+    #[test]
+    fn oversized_gridlock_patience_is_a_typed_error_not_a_worker_panic() {
+        use pedsim_core::metrics::MAX_GRIDLOCK_PATIENCE;
+        let env = EnvConfig::small(16, 16, 4).with_seed(1);
+        let bad = Job::gpu(
+            "too-patient",
+            SimConfig::new(env, ModelKind::lem()),
+            StopCondition::Gridlocked {
+                threshold: 1,
+                patience: MAX_GRIDLOCK_PATIENCE + 1,
+            },
+        );
+        let good = corridor_job("ok", 1, 50);
+        let batch = Batch::new(2);
+        // try_run rejects the whole batch up front — before any worker
+        // executes anything (the good job never runs).
+        let err = batch.try_run(&[good.clone(), bad]).unwrap_err();
+        assert!(
+            matches!(err, crate::job::JobError::InvalidStop { ref label, .. }
+                if label == "too-patient")
+        );
+        // run() panics on the *calling* thread with the typed message.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let bad = Job::gpu(
+                "too-patient",
+                SimConfig::new(env, ModelKind::lem()),
+                StopCondition::Gridlocked {
+                    threshold: 1,
+                    patience: MAX_GRIDLOCK_PATIENCE + 1,
+                },
+            );
+            batch.run(&[bad]);
+        }));
+        let panic_msg = *caught.unwrap_err().downcast::<String>().expect("string");
+        assert!(panic_msg.contains("gridlock patience"), "{panic_msg}");
+        // The pool is untouched; the next batch runs normally.
+        assert_eq!(batch.run(&[good]).jobs, 1);
+    }
+
+    #[test]
+    fn asymmetric_world_reports_true_population() {
+        // The EnvConfig record mirrors only group 0; the report must count
+        // the scenario's full (uneven) population.
+        let scenario = pedsim_scenario::registry::asymmetric_corridor(24, 24, 30, 10).with_seed(4);
+        let job = Job::gpu(
+            "asym",
+            SimConfig::from_scenario(scenario, ModelKind::lem()),
+            StopCondition::arrived_or_steps(300),
+        );
+        let report = Batch::new(1).run(&[job]);
+        let r = &report.results[0];
+        assert_eq!(r.agents, 40);
+        assert_eq!(report.agents_total, 40);
+        if r.stop == pedsim_core::engine::StopReason::AllArrived {
+            assert_eq!(r.throughput, Some(40));
+        }
     }
 
     #[test]

@@ -1,8 +1,42 @@
 //! Job descriptions: one independent replica per [`Job`].
 
-use pedsim_core::engine::StopCondition;
+use pedsim_core::engine::{InvalidStopCondition, StopCondition};
 use pedsim_core::params::SimConfig;
 use simt::Device;
+
+/// Why a [`Job`] is rejected before execution.
+///
+/// Caught at batch construction — the alternative is a panic deep inside
+/// a `WorkerPool` worker mid-batch, long after the configuration mistake
+/// was made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's stop condition can never be evaluated.
+    InvalidStop {
+        /// The offending job's label.
+        label: String,
+        /// What is wrong with the condition.
+        source: InvalidStopCondition,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidStop { label, source } => {
+                write!(f, "job {label:?}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidStop { source, .. } => Some(source),
+        }
+    }
+}
 
 /// Which engine executes a job.
 ///
@@ -88,6 +122,19 @@ impl Job {
             stop,
         }
     }
+
+    /// Check the job's run description without executing it — the batch
+    /// runner validates every job up front so a misconfigured stop
+    /// condition surfaces as a typed error on the calling thread, never a
+    /// worker panic mid-batch.
+    pub fn validate(&self) -> Result<(), JobError> {
+        self.stop
+            .validate()
+            .map_err(|source| JobError::InvalidStop {
+                label: self.label.clone(),
+                source,
+            })
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +152,28 @@ mod tests {
         assert_eq!(c.engine.name(), "cpu");
         let d = Job::on_device("d", cfg, Device::parallel(), StopCondition::Steps(1));
         assert_eq!(d.engine.name(), "gpu");
+    }
+
+    #[test]
+    fn validate_flags_oversized_gridlock_patience() {
+        use pedsim_core::metrics::MAX_GRIDLOCK_PATIENCE;
+        let cfg = SimConfig::new(EnvConfig::small(16, 16, 4), ModelKind::lem());
+        let ok = Job::gpu(
+            "ok",
+            cfg.clone(),
+            StopCondition::settled_or_steps(100, 1, 32),
+        );
+        assert_eq!(ok.validate(), Ok(()));
+        let bad = Job::cpu(
+            "too-patient",
+            cfg,
+            StopCondition::Gridlocked {
+                threshold: 1,
+                patience: MAX_GRIDLOCK_PATIENCE + 7,
+            },
+        );
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, JobError::InvalidStop { ref label, .. } if label == "too-patient"));
+        assert!(err.to_string().contains("gridlock patience"));
     }
 }

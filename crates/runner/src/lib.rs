@@ -56,13 +56,13 @@ pub mod job;
 pub mod report;
 
 pub use batch::Batch;
-pub use job::{EngineSel, Job};
-pub use pedsim_core::engine::{StopCondition, StopReason};
+pub use job::{EngineSel, Job, JobError};
+pub use pedsim_core::engine::{InvalidStopCondition, StopCondition, StopReason};
 pub use report::{BatchReport, RunResult};
 
 /// The commonly-used surface of the runner.
 pub mod prelude {
     pub use crate::batch::Batch;
-    pub use crate::job::{EngineSel, Job};
+    pub use crate::job::{EngineSel, Job, JobError};
     pub use crate::report::{BatchReport, RunResult};
 }

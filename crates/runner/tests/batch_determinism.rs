@@ -14,12 +14,19 @@ use pedsim_grid::EnvConfig;
 use pedsim_runner::{Batch, Job};
 use pedsim_scenario::sweep;
 
-/// A small but heterogeneous job set: two registry worlds × two
-/// populations × three seeds × both models, GPU engines, with a CPU
-/// replica mixed in.
+/// A small but heterogeneous job set: four registry worlds — including
+/// the four-group plaza, the shared-exit T-junction, and the asymmetric
+/// corridor — × two populations × three seeds × both models, GPU engines,
+/// with a CPU replica mixed in.
 fn job_set() -> Vec<Job> {
     let mut jobs = Vec::new();
-    for point in sweep::grid(&["paper_corridor", "doorway"], 24, &[8, 16], &[1, 2, 3]) {
+    let worlds = [
+        "paper_corridor",
+        "four_way_crossing",
+        "t_junction_merge",
+        "asymmetric_corridor",
+    ];
+    for point in sweep::grid(&worlds, 24, &[8, 16], &[1, 2, 3]) {
         for model in [ModelKind::lem(), ModelKind::aco()] {
             let label = format!("{}/n{}/{}", point.world, point.per_side * 2, model.name());
             let cfg = SimConfig::from_scenario(point.scenario.clone(), model);
@@ -48,8 +55,39 @@ fn report_is_identical_across_worker_counts() {
         let json = Batch::new(workers).run(&jobs).to_json();
         assert_eq!(baseline, json, "batch report diverged at {workers} workers");
     }
-    // Sanity: the report actually contains every job.
-    assert!(baseline.contains("\"jobs\": 25"));
+    // Sanity: the report actually contains every job, multi-group worlds
+    // included.
+    assert!(baseline.contains("\"jobs\": 49"));
+    assert!(baseline.contains("four_way_crossing"));
+    assert!(baseline.contains("t_junction_merge"));
+    assert!(baseline.contains("asymmetric_corridor"));
+}
+
+#[test]
+fn cpu_and_gpu_agree_on_multi_group_worlds_in_a_batch() {
+    // Bit-identity across engines holds for every new registry world:
+    // identical throughput/moves/lane metrics per (world, seed) pair.
+    for world in [
+        "four_way_crossing",
+        "t_junction_merge",
+        "asymmetric_corridor",
+    ] {
+        let scenario = sweep::build_world(world, 24, 12)
+            .unwrap_or_else(|| panic!("{world} missing"))
+            .with_seed(31);
+        let cfg = SimConfig::from_scenario(scenario, ModelKind::aco());
+        let jobs = vec![
+            Job::cpu("pair", cfg.clone(), StopCondition::Steps(30)),
+            Job::gpu("pair", cfg, StopCondition::Steps(30)),
+        ];
+        let report = Batch::new(2).run(&jobs);
+        let [a, b] = &report.results[..] else {
+            panic!("two results")
+        };
+        assert_eq!(a.throughput, b.throughput, "{world}");
+        assert_eq!(a.total_moves, b.total_moves, "{world}");
+        assert_eq!(a.lane_index, b.lane_index, "{world}");
+    }
 }
 
 #[test]

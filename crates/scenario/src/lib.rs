@@ -7,11 +7,14 @@
 //!
 //! * [`Region`] — an ordered cell set (spawn areas, target areas);
 //! * [`Scenario`] / [`ScenarioBuilder`] — a validated world description:
-//!   geometry, interior obstacle cells, per-group spawn and target
-//!   regions, population, seed;
+//!   geometry, interior obstacle cells, and up to
+//!   [`pedsim_grid::cell::MAX_GROUPS`] directional groups, each with its
+//!   own spawn/target regions, population (asymmetric mixes allowed), and
+//!   heading;
 //! * [`registry`] — ready-made worlds: `paper_corridor` (the paper's
 //!   geometry, bit-identical to the legacy `EnvConfig` path), `doorway`,
-//!   `pillar_hall`, and `crossing`;
+//!   `pillar_hall`, `crossing`, `four_way_crossing`, `t_junction_merge`,
+//!   and `asymmetric_corridor`;
 //! * [`sweep`] — registry-world × population × seed grids, the input
 //!   enumeration for `pedsim-runner` batches.
 //!
@@ -32,5 +35,5 @@ pub mod scenario;
 pub mod sweep;
 
 pub use region::Region;
-pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
+pub use scenario::{GroupDesc, Scenario, ScenarioBuilder, ScenarioError};
 pub use sweep::SweepPoint;

@@ -1,6 +1,6 @@
 //! Ready-made scenarios.
 //!
-//! Four canonical worlds, each exercising one routing regime:
+//! Seven canonical worlds, each exercising one routing/grouping regime:
 //!
 //! * [`paper_corridor`] — exactly the paper's evaluation geometry
 //!   (obstacle-free bi-directional corridor, edge spawn bands). Takes the
@@ -12,7 +12,17 @@
 //! * [`pillar_hall`] — scattered interior pillars, a mass-gathering hall.
 //! * [`crossing`] — two orthogonal streams (top→bottom and left→right)
 //!   crossing mid-grid (cf. dynamic navigation fields for intersecting
-//!   flows, arXiv:1705.03569).
+//!   flows, arXiv:1705.03569). The horizontal stream is a true
+//!   second-axis group: its heading derives as rightward, so its
+//!   forward-priority cell and per-group metrics describe the flow it
+//!   actually is (it used to be mislabelled as a "bottom" stream).
+//! * [`four_way_crossing`] — four orthogonal streams on a plaza, one per
+//!   edge, all crossing mid-grid: the first world needing more than two
+//!   directional groups.
+//! * [`t_junction_merge`] — two streams entering a top corridor from its
+//!   ends and merging down a single stem toward a shared exit.
+//! * [`asymmetric_corridor`] — the paper corridor with uneven group
+//!   populations (exercising the explicit per-group index ranges).
 
 use pedsim_grid::cell::Group;
 use pedsim_grid::EnvConfig;
@@ -22,7 +32,15 @@ use crate::scenario::Scenario;
 
 /// The registry's scenario names, in presentation order.
 pub fn names() -> &'static [&'static str] {
-    &["paper_corridor", "doorway", "pillar_hall", "crossing"]
+    &[
+        "paper_corridor",
+        "doorway",
+        "pillar_hall",
+        "crossing",
+        "four_way_crossing",
+        "t_junction_merge",
+        "asymmetric_corridor",
+    ]
 }
 
 /// Derive the spawn-band depth the legacy corridor would use for this
@@ -39,10 +57,10 @@ pub fn paper_corridor(cfg: &EnvConfig) -> Scenario {
     let (w, h) = (cfg.width, cfg.height);
     let s = cfg.effective_spawn_rows();
     Scenario::builder("paper_corridor", w, h)
-        .spawn(Group::Top, Region::row_band(0, s, w))
-        .spawn(Group::Bottom, Region::row_band(h - s, s, w))
-        .target(Group::Top, Region::row_band(h - s, s, w))
-        .target(Group::Bottom, Region::row_band(0, s, w))
+        .spawn(Group::TOP, Region::row_band(0, s, w))
+        .spawn(Group::BOTTOM, Region::row_band(h - s, s, w))
+        .target(Group::TOP, Region::row_band(h - s, s, w))
+        .target(Group::BOTTOM, Region::row_band(0, s, w))
         .agents_per_side(cfg.agents_per_side)
         .seed(cfg.seed)
         .build()
@@ -69,10 +87,10 @@ pub fn doorway(width: usize, height: usize, per_side: usize, gap: usize) -> Scen
     if gap_start + gap < width {
         b = b.wall_rect(mid, gap_start + gap, 1, width - gap_start - gap);
     }
-    b.spawn(Group::Top, Region::row_band(0, s, width))
-        .spawn(Group::Bottom, Region::row_band(height - s, s, width))
-        .target(Group::Top, Region::row_band(height - s, s, width))
-        .target(Group::Bottom, Region::row_band(0, s, width))
+    b.spawn(Group::TOP, Region::row_band(0, s, width))
+        .spawn(Group::BOTTOM, Region::row_band(height - s, s, width))
+        .target(Group::TOP, Region::row_band(height - s, s, width))
+        .target(Group::BOTTOM, Region::row_band(0, s, width))
         .agents_per_side(per_side)
         .build()
         .expect("doorway geometry is always valid")
@@ -93,19 +111,20 @@ pub fn pillar_hall(width: usize, height: usize, per_side: usize, spacing: usize)
         }
         r += spacing;
     }
-    b.spawn(Group::Top, Region::row_band(0, s, width))
-        .spawn(Group::Bottom, Region::row_band(height - s, s, width))
-        .target(Group::Top, Region::row_band(height - s, s, width))
-        .target(Group::Bottom, Region::row_band(0, s, width))
+    b.spawn(Group::TOP, Region::row_band(0, s, width))
+        .spawn(Group::BOTTOM, Region::row_band(height - s, s, width))
+        .target(Group::TOP, Region::row_band(height - s, s, width))
+        .target(Group::BOTTOM, Region::row_band(0, s, width))
         .agents_per_side(per_side)
         .build()
         .expect("pillar hall geometry is always valid")
 }
 
-/// Two orthogonal streams on a `side × side` plaza: the top group walks
-/// top→bottom, the bottom group walks left→right, crossing mid-grid. The
-/// column-band target makes this the first registry world whose routing
-/// cannot be expressed by row distances at all.
+/// Two orthogonal streams on a `side × side` plaza: group 0 walks
+/// top→bottom, group 1 walks left→right, crossing mid-grid. The second
+/// group's rightward heading is derived from its regions, so its
+/// forward-priority cell, distance plane, and target-mask metrics all
+/// describe a genuine second-axis flow.
 pub fn crossing(side: usize, per_side: usize) -> Scenario {
     // Smallest band depth whose rectangle (excluding the shared corner)
     // seats the population at ≲ 60 % fill, mirroring the corridor rule.
@@ -120,21 +139,125 @@ pub fn crossing(side: usize, per_side: usize) -> Scenario {
     Scenario::builder("crossing", side, side)
         // Vertical stream: spawns across the top, right of the horizontal
         // stream's band (regions must be disjoint).
-        .spawn(Group::Top, Region::rect(0, s, s, side - s))
-        .target(Group::Top, Region::row_band(side - s, s, side))
+        .spawn(Group::TOP, Region::rect(0, s, s, side - s))
+        .target(Group::TOP, Region::row_band(side - s, s, side))
         // Horizontal stream: spawns down the left side, below the vertical
         // stream's band.
-        .spawn(Group::Bottom, Region::rect(s, 0, side - s, s))
-        .target(Group::Bottom, Region::col_band(side - s, s, side))
+        .spawn(Group::BOTTOM, Region::rect(s, 0, side - s, s))
+        .target(Group::BOTTOM, Region::col_band(side - s, s, side))
         .agents_per_side(per_side)
         .build()
         .expect("crossing geometry is always valid")
 }
 
+/// Band depth for a four-way plaza: each edge band spans `side - 2·depth`
+/// cells per row (corners are cut so the four spawn regions stay
+/// disjoint). Prefers the ~0.6-fill corridor convention, falling back to
+/// the smallest band that physically seats the population.
+fn four_way_band(side: usize, per_group: usize) -> usize {
+    let cap = |s: usize| s * side.saturating_sub(2 * s);
+    let max_s = side / 3;
+    (2..=max_s)
+        .find(|&s| cap(s) as f64 * 0.6 >= per_group as f64)
+        .or_else(|| (2..=max_s).find(|&s| cap(s) >= per_group))
+        .unwrap_or_else(|| {
+            panic!("four-way plaza of side {side} cannot seat {per_group} agents per stream")
+        })
+}
+
+/// Four orthogonal streams on a `side × side` plaza, one entering from
+/// each edge and exiting through the opposite edge — all four cross
+/// mid-grid. Groups are indexed north (0, down), south (1, up),
+/// west (2, right), east (3, left); each spawn band excludes the plaza
+/// corners so the four regions stay disjoint.
+pub fn four_way_crossing(side: usize, per_group: usize) -> Scenario {
+    let s = four_way_band(side, per_group);
+    let span = side - 2 * s;
+    let north = Region::rect(0, s, s, span);
+    let south = Region::rect(side - s, s, s, span);
+    let west = Region::rect(s, 0, span, s);
+    let east = Region::rect(s, side - s, span, s);
+    Scenario::builder("four_way_crossing", side, side)
+        .group(north.clone(), south.clone(), per_group)
+        .group(south, north, per_group)
+        .group(west.clone(), east.clone(), per_group)
+        .group(east, west, per_group)
+        .build()
+        .expect("four-way crossing geometry is always valid")
+}
+
+/// Two streams entering a top corridor from its left and right ends and
+/// merging down a single central stem toward one shared exit band at the
+/// bottom — the classic T-junction merge. Both groups share the exit's
+/// target cells (their mask bits overlap), so throughput measures the
+/// merged flow.
+pub fn t_junction_merge(side: usize, per_group: usize) -> Scenario {
+    assert!(side >= 16, "t-junction needs a side of at least 16");
+    let bar = side / 4; // top corridor height
+    let stem_w = (side / 4).max(2);
+    let stem_c0 = (side - stem_w) / 2;
+    // Spawn width at each corridor end: prefer ~0.6 fill, fall back to
+    // the smallest width that seats the group; both ends stay disjoint.
+    let max_w = side / 2;
+    let spawn_w = (1..=max_w)
+        .find(|&w| (bar * w) as f64 * 0.6 >= per_group as f64)
+        .or_else(|| (1..=max_w).find(|&w| bar * w >= per_group))
+        .unwrap_or_else(|| {
+            panic!("t-junction of side {side} cannot seat {per_group} agents per stream")
+        });
+    let exit_rows = 2usize;
+    let mut b = Scenario::builder("t_junction_merge", side, side);
+    // Everything below the corridor is wall except the stem.
+    if stem_c0 > 0 {
+        b = b.wall_rect(bar, 0, side - bar, stem_c0);
+    }
+    if stem_c0 + stem_w < side {
+        b = b.wall_rect(bar, stem_c0 + stem_w, side - bar, side - stem_c0 - stem_w);
+    }
+    let exit = Region::rect(side - exit_rows, stem_c0, exit_rows, stem_w);
+    b.group(Region::rect(0, 0, bar, spawn_w), exit.clone(), per_group)
+        .group(
+            Region::rect(0, side - spawn_w, bar, spawn_w),
+            exit,
+            per_group,
+        )
+        .build()
+        .expect("t-junction geometry is always valid")
+}
+
+/// The paper corridor with uneven populations: `top` agents walking down
+/// against `bottom` agents walking up. Obstacle-free with opposite-edge
+/// band targets, so it still takes the row-table fast path — asymmetric
+/// index ranges on the legacy routing, exactly the case the old
+/// `agents_per_side * 2` bookkeeping got wrong.
+pub fn asymmetric_corridor(width: usize, height: usize, top: usize, bottom: usize) -> Scenario {
+    let s_top = band_rows(width, height, top);
+    let s_bottom = band_rows(width, height, bottom);
+    assert!(
+        s_top + s_bottom <= height,
+        "corridor of {height} rows cannot seat {top}+{bottom} agents: spawn bands overlap"
+    );
+    Scenario::builder("asymmetric_corridor", width, height)
+        .spawn(Group::TOP, Region::row_band(0, s_top, width))
+        .spawn(
+            Group::BOTTOM,
+            Region::row_band(height - s_bottom, s_bottom, width),
+        )
+        .target(
+            Group::TOP,
+            Region::row_band(height - s_bottom, s_bottom, width),
+        )
+        .target(Group::BOTTOM, Region::row_band(0, s_top, width))
+        .population(Group::TOP, top)
+        .population(Group::BOTTOM, bottom)
+        .build()
+        .expect("asymmetric corridor geometry is always valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pedsim_grid::DistanceKind;
+    use pedsim_grid::{DistanceKind, Heading};
 
     #[test]
     fn paper_corridor_mirrors_env_config() {
@@ -149,6 +272,7 @@ mod tests {
         assert_eq!(legacy.index, scen.index);
         assert_eq!(legacy.props, scen.props);
         assert_eq!(legacy.spawn_rows, scen.spawn_rows);
+        assert_eq!(legacy.group_sizes, scen.group_sizes);
     }
 
     #[test]
@@ -182,19 +306,73 @@ mod tests {
     fn crossing_streams_are_disjoint_and_orthogonal() {
         let s = crossing(40, 150);
         assert_eq!(s.distance_data().kind, DistanceKind::Grid);
+        // The horizontal stream is a true second-axis group now: its
+        // heading is rightward and its forward slot follows.
+        assert_eq!(s.group(Group::BOTTOM).heading, Heading::Right);
+        assert_eq!(s.distance_data().forward, vec![0, 4]);
         let env = s.build_environment();
         env.check_consistency().expect("consistent");
         // The horizontal stream's target is a column band: crossing for
-        // bottom agents means "reached the right edge".
-        assert!(env.has_crossed(Group::Bottom, 20, 39));
-        assert!(!env.has_crossed(Group::Bottom, 20, 0));
+        // its agents means "reached the right edge".
+        assert!(env.has_crossed(Group::BOTTOM, 20, 39));
+        assert!(!env.has_crossed(Group::BOTTOM, 20, 0));
         // And the vertical stream still crosses downward.
-        assert!(env.has_crossed(Group::Top, 39, 20));
+        assert!(env.has_crossed(Group::TOP, 39, 20));
+    }
+
+    #[test]
+    fn four_way_crossing_has_four_disjoint_streams() {
+        let s = four_way_crossing(40, 100);
+        assert_eq!(s.n_groups(), 4);
+        assert_eq!(s.distance_data().kind, DistanceKind::Grid);
+        assert_eq!(s.distance_data().groups, 4);
+        assert_eq!(s.distance_data().forward, vec![0, 5, 4, 3]);
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        assert_eq!(env.total_agents(), 400);
+        // Each stream's target sits at the opposite edge.
+        assert!(env.has_crossed(Group::new(0), 39, 20)); // north → bottom
+        assert!(env.has_crossed(Group::new(1), 0, 20)); // south → top
+        assert!(env.has_crossed(Group::new(2), 20, 39)); // west → right
+        assert!(env.has_crossed(Group::new(3), 20, 0)); // east → left
+        assert!(!env.has_crossed(Group::new(2), 20, 0));
+    }
+
+    #[test]
+    fn t_junction_walls_leave_only_the_stem() {
+        let s = t_junction_merge(32, 40);
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        // Below the corridor, only stem columns are passable.
+        let bar = 8;
+        let open: Vec<usize> = (0..32).filter(|&c| !s.is_wall(bar, c)).collect();
+        assert_eq!(open, (12..20).collect::<Vec<_>>());
+        // Both groups share the exit cells: both mask bits set.
+        let mask = s.target_mask();
+        assert_eq!(
+            mask.get(31, 15),
+            Group::TOP.target_bit() | Group::BOTTOM.target_bit()
+        );
+        // Both headings derive downward (the merge direction).
+        assert_eq!(s.group(Group::TOP).heading, Heading::Down);
+        assert_eq!(s.group(Group::BOTTOM).heading, Heading::Down);
+    }
+
+    #[test]
+    fn asymmetric_corridor_keeps_fast_path_with_uneven_groups() {
+        let s = asymmetric_corridor(32, 32, 60, 20);
+        assert!(s.uses_row_fast_path());
+        assert_eq!(s.populations(), vec![60, 20]);
+        assert_eq!(s.total_agents(), 80);
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        assert_eq!(env.group_of(60), Group::TOP);
+        assert_eq!(env.group_of(61), Group::BOTTOM);
     }
 
     #[test]
     fn registry_names_cover_all_constructors() {
-        assert_eq!(names().len(), 4);
+        assert_eq!(names().len(), 7);
     }
 
     #[test]

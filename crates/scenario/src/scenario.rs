@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use pedsim_grid::cell::Group;
+use pedsim_grid::cell::{Group, Heading, MAX_GROUPS};
 use pedsim_grid::{
     place_in_cells, DistanceData, DistanceTables, EnvConfig, Environment, GridDistanceField,
     Matrix, PropertyTable, CELL_EMPTY, CELL_WALL,
@@ -21,6 +21,13 @@ pub enum ScenarioError {
         /// Requested height.
         height: usize,
     },
+    /// No directional group was declared.
+    NoGroups,
+    /// More groups than the label/bitmask scheme supports.
+    TooManyGroups {
+        /// Declared group count.
+        groups: usize,
+    },
     /// A region or wall cell lies outside the grid.
     OutOfBounds {
         /// What was out of bounds.
@@ -29,10 +36,10 @@ pub enum ScenarioError {
         cell: (u16, u16),
     },
     /// A group's spawn region is missing.
-    MissingSpawn(&'static str),
+    MissingSpawn(usize),
     /// A group's target region is missing.
-    MissingTarget(&'static str),
-    /// A spawn region overlaps a wall or the other group's spawn region.
+    MissingTarget(usize),
+    /// A spawn region overlaps a wall or another group's spawn region.
     SpawnOverlap {
         /// What the spawn collides with.
         with: &'static str,
@@ -42,14 +49,14 @@ pub enum ScenarioError {
     /// A spawn region cannot hold the requested population.
     SpawnTooSmall {
         /// The group whose region is too small.
-        group: &'static str,
+        group: usize,
         /// Requested agents.
         agents: usize,
         /// Region capacity.
         capacity: usize,
     },
     /// Every cell of a group's target region is walled off.
-    TargetWalled(&'static str),
+    TargetWalled(usize),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -58,11 +65,15 @@ impl std::fmt::Display for ScenarioError {
             Self::WorldTooSmall { width, height } => {
                 write!(f, "world {width}x{height} is too small (need >= 2x4)")
             }
+            Self::NoGroups => write!(f, "scenario declares no directional groups"),
+            Self::TooManyGroups { groups } => {
+                write!(f, "{groups} groups exceed the supported {MAX_GROUPS}")
+            }
             Self::OutOfBounds { what, cell } => {
                 write!(f, "{what} cell ({}, {}) out of bounds", cell.0, cell.1)
             }
-            Self::MissingSpawn(g) => write!(f, "{g} group has no spawn region"),
-            Self::MissingTarget(g) => write!(f, "{g} group has no target region"),
+            Self::MissingSpawn(g) => write!(f, "group {g} has no spawn region"),
+            Self::MissingTarget(g) => write!(f, "group {g} has no target region"),
             Self::SpawnOverlap { with, cell } => {
                 write!(
                     f,
@@ -76,17 +87,34 @@ impl std::fmt::Display for ScenarioError {
                 capacity,
             } => write!(
                 f,
-                "{group} spawn region holds {capacity} cells, cannot seat {agents} agents"
+                "group {group} spawn region holds {capacity} cells, cannot seat {agents} agents"
             ),
-            Self::TargetWalled(g) => write!(f, "every {g} target cell is a wall"),
+            Self::TargetWalled(g) => write!(f, "every group-{g} target cell is a wall"),
         }
     }
 }
 
 impl std::error::Error for ScenarioError {}
 
-/// A declarative simulation world: geometry, interior obstacles, per-group
-/// spawn and target regions, and population.
+/// One directional group of a scenario: where it spawns, where it is
+/// headed, and how many agents it fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDesc {
+    /// Spawn region (cells enumerated in the deterministic placement
+    /// order).
+    pub spawn: Region,
+    /// Target region (arrival cells; may overlap other groups' targets).
+    pub target: Region,
+    /// Agents this group fields. Groups may be asymmetric.
+    pub population: usize,
+    /// Travel direction — the forward-priority anchor. Derived from the
+    /// spawn→target displacement unless overridden in the builder.
+    pub heading: Heading,
+}
+
+/// A declarative simulation world: geometry, interior obstacles, and one
+/// spawn/target/population description per directional group (up to
+/// [`MAX_GROUPS`]).
 ///
 /// Scenarios are immutable once built (construction goes through
 /// [`ScenarioBuilder`], which validates the description), so engines can
@@ -99,9 +127,7 @@ pub struct Scenario {
     height: usize,
     /// Interior obstacle cells, sorted row-major and deduplicated.
     walls: Vec<(u16, u16)>,
-    spawns: [Region; 2],
-    targets: [Region; 2],
-    agents_per_side: usize,
+    groups: Vec<GroupDesc>,
     seed: u64,
     /// Lazily computed distance field (seed-independent, so survives
     /// `with_seed`); excluded from equality.
@@ -114,9 +140,7 @@ impl PartialEq for Scenario {
             && self.width == other.width
             && self.height == other.height
             && self.walls == other.walls
-            && self.spawns == other.spawns
-            && self.targets == other.targets
-            && self.agents_per_side == other.agents_per_side
+            && self.groups == other.groups
             && self.seed == other.seed
     }
 }
@@ -129,9 +153,8 @@ impl Scenario {
             width,
             height,
             walls: Vec::new(),
-            spawns: [None, None],
-            targets: [None, None],
-            agents_per_side: 0,
+            slots: Vec::new(),
+            default_population: 0,
             seed: 0,
         }
     }
@@ -156,24 +179,46 @@ impl Scenario {
         &self.walls
     }
 
+    /// Number of directional groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Group `g`'s full description.
+    pub fn group(&self, g: Group) -> &GroupDesc {
+        &self.groups[g.index()]
+    }
+
+    /// All group descriptions, in index order.
+    pub fn groups(&self) -> &[GroupDesc] {
+        &self.groups
+    }
+
     /// Group `g`'s spawn region.
     pub fn spawn(&self, g: Group) -> &Region {
-        &self.spawns[g.index()]
+        &self.groups[g.index()].spawn
     }
 
     /// Group `g`'s target region.
     pub fn target(&self, g: Group) -> &Region {
-        &self.targets[g.index()]
+        &self.groups[g.index()].target
     }
 
-    /// Agents per group.
+    /// Per-group populations, in index order.
+    pub fn populations(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.population).collect()
+    }
+
+    /// Group 0's population — the per-side count of the classic symmetric
+    /// corridor (reporting convenience; asymmetric worlds should read
+    /// [`Scenario::populations`]).
     pub fn agents_per_side(&self) -> usize {
-        self.agents_per_side
+        self.groups[0].population
     }
 
-    /// Total population.
+    /// Total population over all groups.
     pub fn total_agents(&self) -> usize {
-        self.agents_per_side * 2
+        self.groups.iter().map(|g| g.population).sum()
     }
 
     /// Placement/kernel seed.
@@ -194,16 +239,23 @@ impl Scenario {
             && self.walls.binary_search(&(r as u16, c as u16)).is_ok()
     }
 
-    /// True when the world is obstacle-free *and* both targets are the
-    /// classic full-width opposite-edge bands — exactly the geometry the
-    /// paper's row-based distance tables encode. Such scenarios take the
-    /// [`DistanceTables`] fast path and reproduce the legacy corridor
-    /// trajectories bit for bit; everything else routes through a
-    /// [`GridDistanceField`].
+    /// True when the world is an obstacle-free two-group corridor whose
+    /// targets are the classic full-width opposite-edge bands — exactly
+    /// the geometry the paper's row-based distance tables encode. Such
+    /// scenarios take the [`DistanceTables`] fast path and reproduce the
+    /// legacy corridor trajectories bit for bit; everything else routes
+    /// through a [`GridDistanceField`].
     pub fn uses_row_fast_path(&self) -> bool {
-        self.walls.is_empty()
-            && self.targets[Group::Top.index()].is_edge_row_band(self.width, self.height, false)
-            && self.targets[Group::Bottom.index()].is_edge_row_band(self.width, self.height, true)
+        self.groups.len() == 2
+            && self.walls.is_empty()
+            && self.groups[0]
+                .target
+                .is_edge_row_band(self.width, self.height, false)
+            && self.groups[1]
+                .target
+                .is_edge_row_band(self.width, self.height, true)
+            && self.groups[0].heading == Heading::Down
+            && self.groups[1].heading == Heading::Up
     }
 
     /// The distance field this scenario routes by, in uploadable form.
@@ -216,15 +268,20 @@ impl Scenario {
                 Arc::new(if self.uses_row_fast_path() {
                     DistanceData::from_field(&DistanceTables::new(self.height))
                 } else {
+                    let targets: Vec<&[(u16, u16)]> =
+                        self.groups.iter().map(|g| g.target.cells()).collect();
+                    let forward: Vec<u8> = self
+                        .groups
+                        .iter()
+                        .map(|g| g.heading.forward_index() as u8)
+                        .collect();
                     let field = GridDistanceField::compute(
                         self.height,
                         self.width,
                         |r, c| self.is_wall(r, c),
-                        [
-                            self.targets[Group::Top.index()].cells(),
-                            self.targets[Group::Bottom.index()].cells(),
-                        ],
-                    );
+                        &targets,
+                    )
+                    .with_forward(forward);
                     DistanceData::from_field(&field)
                 })
             })
@@ -234,10 +291,11 @@ impl Scenario {
     /// The per-cell target bitmask ([`Group::target_bit`] bits).
     pub fn target_mask(&self) -> Matrix<u8> {
         let mut mask = Matrix::filled(self.height, self.width, 0u8);
-        for g in Group::BOTH {
-            for &(r, c) in self.targets[g.index()].cells() {
+        for (gi, group) in self.groups.iter().enumerate() {
+            let bit = Group::new(gi).target_bit();
+            for &(r, c) in group.target.cells() {
                 let cur = mask.get(r as usize, c as usize);
-                mask.set(r as usize, c as usize, cur | g.target_bit());
+                mask.set(r as usize, c as usize, cur | bit);
             }
         }
         mask
@@ -246,69 +304,73 @@ impl Scenario {
     /// An [`EnvConfig`] mirroring this scenario's geometry (the record the
     /// simulation configuration carries for reporting and kernel seeding).
     ///
-    /// `spawn_rows` reports the *top* group's row extent and `spawn_fill`
-    /// the classic 0.6 convention; for asymmetric worlds (e.g. the
-    /// registry's `crossing`) these are reporting approximations only —
-    /// crossing semantics always come from the per-cell target mask, never
-    /// from this record.
+    /// `agents_per_side` reports group 0's population, `spawn_rows` group
+    /// 0's row extent, and `spawn_fill` the classic 0.6 convention; for
+    /// multi-group or asymmetric worlds these are reporting approximations
+    /// only — populations and crossing semantics always come from the
+    /// scenario itself, never from this record.
     pub fn env_config(&self) -> EnvConfig {
         EnvConfig {
             width: self.width,
             height: self.height,
-            agents_per_side: self.agents_per_side,
-            spawn_rows: Some(self.spawns[0].row_extent()),
+            agents_per_side: self.groups[0].population,
+            spawn_rows: Some(self.groups[0].spawn.row_extent()),
             spawn_fill: 0.6,
             seed: self.seed,
         }
     }
 
     /// Build and populate the world (the paper's data-preparation stage
-    /// over a declarative description): walls stamped into `mat`, both
-    /// groups placed uniformly at random inside their spawn regions with
-    /// the same dedicated RNG streams the legacy corridor uses, target
-    /// bitmask attached.
+    /// over a declarative description): walls stamped into `mat`, each
+    /// group placed uniformly at random inside its spawn region with its
+    /// dedicated RNG stream (`u64::MAX - 1 - g`, so the two legacy groups
+    /// keep the exact streams the classic corridor uses), target bitmask
+    /// attached.
     pub fn build_environment(&self) -> Environment {
-        let n = self.agents_per_side;
+        let total = self.total_agents();
         let mut mat = Matrix::filled(self.height, self.width, CELL_EMPTY);
         let mut index = Matrix::filled(self.height, self.width, 0u32);
-        let mut props = PropertyTable::new(2 * n);
+        let mut props = PropertyTable::new(total);
         for &(r, c) in &self.walls {
             mat.set(r as usize, c as usize, CELL_WALL);
         }
-        // The same dedicated placement streams Environment::new uses, far
-        // away from the per-cell streams the kernels draw from.
-        let mut rng_top = StreamRng::new(self.seed, u64::MAX - 1);
-        let mut rng_bot = StreamRng::new(self.seed, u64::MAX - 2);
-        place_in_cells(
-            &mut mat,
-            &mut index,
-            &mut props,
-            Group::Top.label(),
-            self.spawns[Group::Top.index()].cells().to_vec(),
-            n,
-            1,
-            &mut rng_top,
-        );
-        place_in_cells(
-            &mut mat,
-            &mut index,
-            &mut props,
-            Group::Bottom.label(),
-            self.spawns[Group::Bottom.index()].cells().to_vec(),
-            n,
-            (n + 1) as u32,
-            &mut rng_bot,
-        );
+        let mut first_index = 1u32;
+        for (gi, group) in self.groups.iter().enumerate() {
+            // The dedicated placement streams, far away from the per-cell
+            // streams the kernels draw from.
+            let mut rng = StreamRng::new(self.seed, u64::MAX - 1 - gi as u64);
+            place_in_cells(
+                &mut mat,
+                &mut index,
+                &mut props,
+                Group::new(gi).label(),
+                group.spawn.cells().to_vec(),
+                group.population,
+                first_index,
+                &mut rng,
+            );
+            first_index += group.population as u32;
+        }
         Environment {
             mat,
             index,
             props,
-            spawn_rows: self.spawns[0].row_extent(),
-            agents_per_side: n,
+            spawn_rows: self.groups[0].spawn.row_extent(),
+            group_sizes: self.populations(),
             seed: self.seed,
             targets: Some(Arc::new(self.target_mask())),
         }
     }
+}
+
+/// One group being described: regions, and optional population/heading
+/// overrides resolved at [`ScenarioBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+struct GroupSlot {
+    spawn: Option<Region>,
+    target: Option<Region>,
+    population: Option<usize>,
+    heading: Option<Heading>,
 }
 
 /// Builder for [`Scenario`] (validates on [`ScenarioBuilder::build`]).
@@ -318,9 +380,8 @@ pub struct ScenarioBuilder {
     width: usize,
     height: usize,
     walls: Vec<(u16, u16)>,
-    spawns: [Option<Region>; 2],
-    targets: [Option<Region>; 2],
-    agents_per_side: usize,
+    slots: Vec<GroupSlot>,
+    default_population: usize,
     seed: u64,
 }
 
@@ -349,21 +410,50 @@ impl ScenarioBuilder {
         self
     }
 
+    fn slot_mut(&mut self, g: Group) -> &mut GroupSlot {
+        while self.slots.len() <= g.index() {
+            self.slots.push(GroupSlot::default());
+        }
+        &mut self.slots[g.index()]
+    }
+
     /// Set group `g`'s spawn region.
     pub fn spawn(mut self, g: Group, region: Region) -> Self {
-        self.spawns[g.index()] = Some(region);
+        self.slot_mut(g).spawn = Some(region);
         self
     }
 
     /// Set group `g`'s target region.
     pub fn target(mut self, g: Group, region: Region) -> Self {
-        self.targets[g.index()] = Some(region);
+        self.slot_mut(g).target = Some(region);
         self
     }
 
-    /// Set the per-group population.
+    /// Set group `g`'s population (overrides
+    /// [`ScenarioBuilder::agents_per_side`], enabling asymmetric worlds).
+    pub fn population(mut self, g: Group, agents: usize) -> Self {
+        self.slot_mut(g).population = Some(agents);
+        self
+    }
+
+    /// Override group `g`'s heading (otherwise derived from the
+    /// spawn→target centroid displacement).
+    pub fn heading(mut self, g: Group, heading: Heading) -> Self {
+        self.slot_mut(g).heading = Some(heading);
+        self
+    }
+
+    /// Append a fully-specified group at the next free index.
+    pub fn group(mut self, spawn: Region, target: Region, population: usize) -> Self {
+        let g = Group::new(self.slots.len());
+        self = self.spawn(g, spawn).target(g, target);
+        self.population(g, population)
+    }
+
+    /// Set the default per-group population (any group without an explicit
+    /// [`ScenarioBuilder::population`] uses this).
     pub fn agents_per_side(mut self, n: usize) -> Self {
-        self.agents_per_side = n;
+        self.default_population = n;
         self
     }
 
@@ -382,6 +472,14 @@ impl ScenarioBuilder {
                 height: h,
             });
         }
+        if self.slots.is_empty() {
+            return Err(ScenarioError::NoGroups);
+        }
+        if self.slots.len() > MAX_GROUPS {
+            return Err(ScenarioError::TooManyGroups {
+                groups: self.slots.len(),
+            });
+        }
         let in_bounds = |&(r, c): &(u16, u16)| (r as usize) < h && (c as usize) < w;
         let mut walls = self.walls;
         walls.sort_unstable();
@@ -389,16 +487,13 @@ impl ScenarioBuilder {
         if let Some(&cell) = walls.iter().find(|c| !in_bounds(c)) {
             return Err(ScenarioError::OutOfBounds { what: "wall", cell });
         }
-        let group_name = |g: Group| match g {
-            Group::Top => "top",
-            Group::Bottom => "bottom",
-        };
-        let mut spawns = Vec::with_capacity(2);
-        let mut targets = Vec::with_capacity(2);
-        for g in Group::BOTH {
-            let spawn = self.spawns[g.index()]
-                .clone()
-                .ok_or(ScenarioError::MissingSpawn(group_name(g)))?;
+        let mut groups: Vec<GroupDesc> = Vec::with_capacity(self.slots.len());
+        // Hash set of every earlier spawn cell keeps the pairwise
+        // disjointness check O(total cells); regions reach ~10^4 cells at
+        // paper scale and a linear-scan contains would go quadratic here.
+        let mut earlier_spawns: std::collections::HashSet<(u16, u16)> = Default::default();
+        for (gi, slot) in self.slots.iter().enumerate() {
+            let spawn = slot.spawn.clone().ok_or(ScenarioError::MissingSpawn(gi))?;
             if let Some(&cell) = spawn.cells().iter().find(|c| !in_bounds(c)) {
                 return Err(ScenarioError::OutOfBounds {
                     what: "spawn",
@@ -415,16 +510,24 @@ impl ScenarioBuilder {
                     cell,
                 });
             }
-            if spawn.len() < self.agents_per_side {
+            if let Some(&cell) = spawn.cells().iter().find(|c| earlier_spawns.contains(c)) {
+                return Err(ScenarioError::SpawnOverlap {
+                    with: "another group's spawn region",
+                    cell,
+                });
+            }
+            let population = slot.population.unwrap_or(self.default_population);
+            if spawn.len() < population {
                 return Err(ScenarioError::SpawnTooSmall {
-                    group: group_name(g),
-                    agents: self.agents_per_side,
+                    group: gi,
+                    agents: population,
                     capacity: spawn.len(),
                 });
             }
-            let target = self.targets[g.index()]
+            let target = slot
+                .target
                 .clone()
-                .ok_or(ScenarioError::MissingTarget(group_name(g)))?;
+                .ok_or(ScenarioError::MissingTarget(gi))?;
             if let Some(&cell) = target.cells().iter().find(|c| !in_bounds(c)) {
                 return Err(ScenarioError::OutOfBounds {
                     what: "target",
@@ -436,41 +539,48 @@ impl ScenarioBuilder {
                 .iter()
                 .all(|&(r, c)| walls.binary_search(&(r, c)).is_ok())
             {
-                return Err(ScenarioError::TargetWalled(group_name(g)));
+                return Err(ScenarioError::TargetWalled(gi));
             }
-            spawns.push(spawn);
-            targets.push(target);
-        }
-        let (bottom_spawn, top_spawn) = (spawns.pop().expect("two"), spawns.pop().expect("two"));
-        // Sorted probe list keeps this O((n+m) log m); regions reach ~10^4
-        // cells at paper scale and a linear-scan contains would go
-        // quadratic here.
-        let mut bottom_cells: Vec<(u16, u16)> = bottom_spawn.cells().to_vec();
-        bottom_cells.sort_unstable();
-        if let Some(&cell) = top_spawn
-            .cells()
-            .iter()
-            .find(|c| bottom_cells.binary_search(c).is_ok())
-        {
-            return Err(ScenarioError::SpawnOverlap {
-                with: "the other group's spawn region",
-                cell,
+            let heading = slot
+                .heading
+                .unwrap_or_else(|| derive_heading(&spawn, &target));
+            earlier_spawns.extend(spawn.cells().iter().copied());
+            groups.push(GroupDesc {
+                spawn,
+                target,
+                population,
+                heading,
             });
         }
-        let (bottom_target, top_target) =
-            (targets.pop().expect("two"), targets.pop().expect("two"));
         Ok(Scenario {
             name: self.name,
             width: w,
             height: h,
             walls,
-            spawns: [top_spawn, bottom_spawn],
-            targets: [top_target, bottom_target],
-            agents_per_side: self.agents_per_side,
+            groups,
             seed: self.seed,
             dist_cache: OnceLock::new(),
         })
     }
+}
+
+/// Derive a group's heading from the displacement between its spawn and
+/// target centroids (dominant axis wins; rows beat columns on a tie, so
+/// the classic corridor derives down/up exactly).
+fn derive_heading(spawn: &Region, target: &Region) -> Heading {
+    let centroid = |region: &Region| {
+        let n = region.len() as f64;
+        let (sr, sc) = region
+            .cells()
+            .iter()
+            .fold((0.0f64, 0.0f64), |(ar, ac), &(r, c)| {
+                (ar + r as f64, ac + c as f64)
+            });
+        (sr / n, sc / n)
+    };
+    let (spawn_r, spawn_c) = centroid(spawn);
+    let (target_r, target_c) = centroid(target);
+    Heading::from_delta(target_r - spawn_r, target_c - spawn_c)
 }
 
 #[cfg(test)]
@@ -479,10 +589,10 @@ mod tests {
 
     fn corridor() -> Scenario {
         Scenario::builder("t", 16, 16)
-            .spawn(Group::Top, Region::row_band(0, 3, 16))
-            .spawn(Group::Bottom, Region::row_band(13, 3, 16))
-            .target(Group::Top, Region::row_band(13, 3, 16))
-            .target(Group::Bottom, Region::row_band(0, 3, 16))
+            .spawn(Group::TOP, Region::row_band(0, 3, 16))
+            .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+            .target(Group::TOP, Region::row_band(13, 3, 16))
+            .target(Group::BOTTOM, Region::row_band(0, 3, 16))
             .agents_per_side(20)
             .seed(5)
             .build()
@@ -493,9 +603,12 @@ mod tests {
     fn corridor_takes_row_fast_path() {
         let s = corridor();
         assert!(s.uses_row_fast_path());
+        assert_eq!(s.group(Group::TOP).heading, Heading::Down);
+        assert_eq!(s.group(Group::BOTTOM).heading, Heading::Up);
         let d = s.distance_data();
         assert_eq!(d.kind, pedsim_grid::DistanceKind::Rows);
         assert_eq!(d.data.len(), 2 * 16 * 8);
+        assert_eq!(d.forward, vec![0, 5]);
     }
 
     #[test]
@@ -503,10 +616,10 @@ mod tests {
         let s = Scenario::builder("t", 16, 16)
             .wall_rect(8, 0, 1, 7)
             .wall_rect(8, 9, 1, 7)
-            .spawn(Group::Top, Region::row_band(0, 3, 16))
-            .spawn(Group::Bottom, Region::row_band(13, 3, 16))
-            .target(Group::Top, Region::row_band(13, 3, 16))
-            .target(Group::Bottom, Region::row_band(0, 3, 16))
+            .spawn(Group::TOP, Region::row_band(0, 3, 16))
+            .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+            .target(Group::TOP, Region::row_band(13, 3, 16))
+            .target(Group::BOTTOM, Region::row_band(0, 3, 16))
             .agents_per_side(20)
             .build()
             .expect("valid");
@@ -514,6 +627,7 @@ mod tests {
         let d = s.distance_data();
         assert_eq!(d.kind, pedsim_grid::DistanceKind::Grid);
         assert_eq!(d.data.len(), 2 * 16 * 16);
+        assert_eq!(d.forward, vec![0, 5]);
         assert!(s.is_wall(8, 0) && !s.is_wall(8, 8));
     }
 
@@ -521,10 +635,10 @@ mod tests {
     fn environment_matches_description() {
         let s = Scenario::builder("t", 16, 16)
             .wall_rect(8, 0, 1, 6)
-            .spawn(Group::Top, Region::row_band(0, 3, 16))
-            .spawn(Group::Bottom, Region::row_band(13, 3, 16))
-            .target(Group::Top, Region::row_band(13, 3, 16))
-            .target(Group::Bottom, Region::row_band(0, 3, 16))
+            .spawn(Group::TOP, Region::row_band(0, 3, 16))
+            .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+            .target(Group::TOP, Region::row_band(13, 3, 16))
+            .target(Group::BOTTOM, Region::row_band(0, 3, 16))
             .agents_per_side(12)
             .seed(9)
             .build()
@@ -532,21 +646,71 @@ mod tests {
         let env = s.build_environment();
         env.check_consistency().expect("consistent");
         assert_eq!(env.mat.count(CELL_WALL), 6);
-        assert_eq!(env.mat.count(Group::Top.label()), 12);
-        assert_eq!(env.mat.count(Group::Bottom.label()), 12);
+        assert_eq!(env.mat.count(Group::TOP.label()), 12);
+        assert_eq!(env.mat.count(Group::BOTTOM.label()), 12);
         assert!(env.targets.is_some());
-        assert!(env.has_crossed(Group::Top, 14, 3));
-        assert!(!env.has_crossed(Group::Top, 8, 3));
+        assert!(env.has_crossed(Group::TOP, 14, 3));
+        assert!(!env.has_crossed(Group::TOP, 8, 3));
+    }
+
+    #[test]
+    fn asymmetric_populations_build() {
+        let s = Scenario::builder("t", 16, 16)
+            .spawn(Group::TOP, Region::row_band(0, 3, 16))
+            .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+            .target(Group::TOP, Region::row_band(13, 3, 16))
+            .target(Group::BOTTOM, Region::row_band(0, 3, 16))
+            .population(Group::TOP, 5)
+            .population(Group::BOTTOM, 30)
+            .build()
+            .expect("valid");
+        assert_eq!(s.populations(), vec![5, 30]);
+        assert_eq!(s.total_agents(), 35);
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        assert_eq!(env.group_sizes, vec![5, 30]);
+        assert_eq!(env.mat.count(Group::TOP.label()), 5);
+        assert_eq!(env.mat.count(Group::BOTTOM.label()), 30);
+        // Index ranges are contiguous: agent 6 belongs to the bottom group.
+        assert_eq!(env.group_of(5), Group::TOP);
+        assert_eq!(env.group_of(6), Group::BOTTOM);
+    }
+
+    #[test]
+    fn four_groups_build_and_label() {
+        let s = Scenario::builder("plaza", 24, 24)
+            .group(Region::rect(0, 4, 4, 16), Region::rect(20, 4, 4, 16), 10)
+            .group(Region::rect(20, 4, 4, 16), Region::rect(0, 4, 4, 16), 10)
+            .group(Region::rect(4, 0, 16, 4), Region::rect(4, 20, 16, 4), 10)
+            .group(Region::rect(4, 20, 16, 4), Region::rect(4, 0, 16, 4), 10)
+            .build()
+            .expect("valid");
+        assert_eq!(s.n_groups(), 4);
+        assert_eq!(s.group(Group::new(0)).heading, Heading::Down);
+        assert_eq!(s.group(Group::new(1)).heading, Heading::Up);
+        assert_eq!(s.group(Group::new(2)).heading, Heading::Right);
+        assert_eq!(s.group(Group::new(3)).heading, Heading::Left);
+        let d = s.distance_data();
+        assert_eq!(d.groups, 4);
+        assert_eq!(d.forward, vec![0, 5, 4, 3]);
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        for gi in 0..4u8 {
+            assert_eq!(env.mat.count(gi + 1), 10, "group {gi}");
+        }
+        // Orthogonal groups' target bits land in the mask.
+        let mask = s.target_mask();
+        assert_eq!(mask.get(10, 22) & Group::new(2).target_bit(), 4);
     }
 
     #[test]
     fn validation_rejects_bad_descriptions() {
         let base = || {
             Scenario::builder("t", 16, 16)
-                .spawn(Group::Top, Region::row_band(0, 3, 16))
-                .spawn(Group::Bottom, Region::row_band(13, 3, 16))
-                .target(Group::Top, Region::row_band(13, 3, 16))
-                .target(Group::Bottom, Region::row_band(0, 3, 16))
+                .spawn(Group::TOP, Region::row_band(0, 3, 16))
+                .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+                .target(Group::TOP, Region::row_band(13, 3, 16))
+                .target(Group::BOTTOM, Region::row_band(0, 3, 16))
                 .agents_per_side(10)
         };
         assert!(base().build().is_ok());
@@ -568,36 +732,57 @@ mod tests {
         // Missing target.
         assert!(matches!(
             Scenario::builder("t", 16, 16)
-                .spawn(Group::Top, Region::row_band(0, 3, 16))
-                .spawn(Group::Bottom, Region::row_band(13, 3, 16))
-                .target(Group::Top, Region::row_band(13, 3, 16))
+                .spawn(Group::TOP, Region::row_band(0, 3, 16))
+                .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+                .target(Group::TOP, Region::row_band(13, 3, 16))
                 .agents_per_side(10)
                 .build(),
-            Err(ScenarioError::MissingTarget("bottom"))
+            Err(ScenarioError::MissingTarget(1))
+        ));
+        // No groups at all.
+        assert!(matches!(
+            Scenario::builder("t", 16, 16).build(),
+            Err(ScenarioError::NoGroups)
         ));
         // Fully-walled target.
         assert!(matches!(
             Scenario::builder("t", 16, 16)
                 .wall_rect(8, 0, 1, 16)
-                .spawn(Group::Top, Region::row_band(0, 3, 16))
-                .spawn(Group::Bottom, Region::row_band(13, 3, 16))
-                .target(Group::Top, Region::rect(8, 0, 1, 16))
-                .target(Group::Bottom, Region::row_band(0, 3, 16))
+                .spawn(Group::TOP, Region::row_band(0, 3, 16))
+                .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+                .target(Group::TOP, Region::rect(8, 0, 1, 16))
+                .target(Group::BOTTOM, Region::row_band(0, 3, 16))
                 .agents_per_side(10)
                 .build(),
-            Err(ScenarioError::TargetWalled("top"))
+            Err(ScenarioError::TargetWalled(0))
         ));
         // Overlapping spawns.
         assert!(matches!(
             Scenario::builder("t", 16, 16)
-                .spawn(Group::Top, Region::row_band(0, 3, 16))
-                .spawn(Group::Bottom, Region::row_band(2, 3, 16))
-                .target(Group::Top, Region::row_band(13, 3, 16))
-                .target(Group::Bottom, Region::row_band(0, 3, 16))
+                .spawn(Group::TOP, Region::row_band(0, 3, 16))
+                .spawn(Group::BOTTOM, Region::row_band(2, 3, 16))
+                .target(Group::TOP, Region::row_band(13, 3, 16))
+                .target(Group::BOTTOM, Region::row_band(0, 3, 16))
                 .agents_per_side(10)
                 .build(),
             Err(ScenarioError::SpawnOverlap { .. })
         ));
+    }
+
+    #[test]
+    fn heading_override_beats_derivation() {
+        let s = Scenario::builder("t", 16, 16)
+            .spawn(Group::TOP, Region::row_band(0, 3, 16))
+            .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+            .target(Group::TOP, Region::row_band(13, 3, 16))
+            .target(Group::BOTTOM, Region::row_band(0, 3, 16))
+            .heading(Group::TOP, Heading::Right)
+            .agents_per_side(10)
+            .build()
+            .expect("valid");
+        assert_eq!(s.group(Group::TOP).heading, Heading::Right);
+        // A non-corridor heading disables the row fast path.
+        assert!(!s.uses_row_fast_path());
     }
 
     #[test]

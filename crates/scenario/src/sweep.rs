@@ -17,7 +17,11 @@ use crate::scenario::Scenario;
 /// Build a registry world by name on a `side × side` grid with `per_side`
 /// agents per group, using each world's canonical interior parameters
 /// (doorway gap = side/6, pillar spacing = side/8, both floored to sane
-/// minima). Returns `None` for unknown names; see [`registry::names`].
+/// minima). Multi-group and asymmetric worlds split `per_side` so every
+/// world fields roughly `2 × per_side` agents in total: the four-way
+/// plaza runs `per_side / 2` per stream, the T-junction `per_side` per
+/// stream, and the asymmetric corridor a 2:1 `per_side` vs `per_side / 2`
+/// mix. Returns `None` for unknown names; see [`registry::names`].
 pub fn build_world(name: &str, side: usize, per_side: usize) -> Option<Scenario> {
     match name {
         "paper_corridor" => Some(registry::paper_corridor(&EnvConfig::small(
@@ -31,6 +35,14 @@ pub fn build_world(name: &str, side: usize, per_side: usize) -> Option<Scenario>
             (side / 8).max(4),
         )),
         "crossing" => Some(registry::crossing(side, per_side)),
+        "four_way_crossing" => Some(registry::four_way_crossing(side, (per_side / 2).max(1))),
+        "t_junction_merge" => Some(registry::t_junction_merge(side, per_side)),
+        "asymmetric_corridor" => Some(registry::asymmetric_corridor(
+            side,
+            side,
+            per_side,
+            (per_side / 2).max(1),
+        )),
         _ => None,
     }
 }
@@ -82,7 +94,14 @@ mod tests {
         for &name in registry::names() {
             let s = build_world(name, 48, 60).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name(), name);
-            assert_eq!(s.agents_per_side(), 60);
+            // Every world fields roughly 2 × per_side agents in total (the
+            // four-way plaza splits per_side across stream pairs; the
+            // asymmetric corridor runs a 2:1 mix).
+            let expected_total = match name {
+                "asymmetric_corridor" => 90,
+                _ => 120,
+            };
+            assert_eq!(s.total_agents(), expected_total, "{name}");
         }
         assert!(build_world("no_such_world", 48, 60).is_none());
     }

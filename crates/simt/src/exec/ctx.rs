@@ -16,7 +16,7 @@
 use philox::StreamRng;
 
 use crate::dim::Dim2;
-use crate::memory::{DualTile, Tile};
+use crate::memory::{MultiTile, Tile};
 use crate::profile::KernelProfile;
 use crate::warp::{WarpDivergence, WARP_SIZE};
 
@@ -102,25 +102,18 @@ impl BlockCtx {
         tile
     }
 
-    /// Cooperatively load the stacked two-group tile (the paper's combined
-    /// local pheromone matrix).
-    pub fn load_dual_tile<T: Copy>(
+    /// Cooperatively load one stacked tile per group plane (the combined
+    /// local matrix of §IV.b — the paper's two-group 36×18 pheromone
+    /// stack, generalised to N directional groups).
+    pub fn load_multi_tile<T: Copy>(
         &mut self,
-        src0: &[T],
-        src1: &[T],
+        srcs: &[&[T]],
         src_dim: Dim2,
         halo: u32,
         fill: T,
-    ) -> DualTile<T> {
-        let (tile, loads) = DualTile::load_with_halo(
-            src0,
-            src1,
-            src_dim,
-            self.origin(),
-            self.block_dim,
-            halo,
-            fill,
-        );
+    ) -> MultiTile<T> {
+        let (tile, loads) =
+            MultiTile::load_with_halo(srcs, src_dim, self.origin(), self.block_dim, halo, fill);
         if self.profiling {
             self.profile.global_loads += loads;
             self.profile.shared_stores += (tile.bytes() / std::mem::size_of::<T>()) as u64;

@@ -18,4 +18,4 @@ pub mod shared;
 
 pub use constant::ConstantBuffer;
 pub use global::{AtomicBuffer, ScatterBuffer, ScatterView};
-pub use shared::{DualTile, Tile};
+pub use shared::{MultiTile, Tile};

@@ -124,40 +124,51 @@ impl<T: Copy> Tile<T> {
     }
 }
 
-/// Two same-shape tiles selected by a binary group index.
-///
-/// Models the paper's single 36×18 (and 32×16) local pheromone matrix that
-/// stacks the top-group and bottom-group fields so that "a pedestrian label
+/// N same-shape tiles selected by a group index: one stacked local matrix
+/// per directional group's field, addressed so that "a pedestrian label
 /// is used to access proper cells, avoiding warp divergences" (§IV.b).
+/// The paper's single 36×18 (and 32×16) combined top/bottom pheromone
+/// matrix is the two-plane special case.
 #[derive(Debug, Clone)]
-pub struct DualTile<T> {
-    tiles: [Tile<T>; 2],
+pub struct MultiTile<T> {
+    tiles: Vec<Tile<T>>,
 }
 
-impl<T: Copy> DualTile<T> {
-    /// Load both halves with identical geometry from two sources.
-    #[allow(clippy::too_many_arguments)]
+impl<T: Copy> MultiTile<T> {
+    /// Load every plane with identical geometry from `srcs` (one source
+    /// slice per group, all of extent `src_dim`).
     pub fn load_with_halo(
-        src0: &[T],
-        src1: &[T],
+        srcs: &[&[T]],
         src_dim: Dim2,
         origin: (u32, u32),
         inner: Dim2,
         halo: u32,
         fill: T,
     ) -> (Self, u64) {
-        let (t0, l0) = Tile::load_with_halo(src0, src_dim, origin, inner, halo, fill);
-        let (t1, l1) = Tile::load_with_halo(src1, src_dim, origin, inner, halo, fill);
-        (Self { tiles: [t0, t1] }, l0 + l1)
+        assert!(!srcs.is_empty(), "multi tile needs at least one plane");
+        let mut tiles = Vec::with_capacity(srcs.len());
+        let mut loads = 0u64;
+        for src in srcs {
+            let (t, l) = Tile::load_with_halo(src, src_dim, origin, inner, halo, fill);
+            tiles.push(t);
+            loads += l;
+        }
+        (Self { tiles }, loads)
     }
 
-    /// Read from half `which` (0 or 1) at global `(r, c)`.
+    /// Number of planes held.
+    #[inline]
+    pub fn planes(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Read from plane `which` at global `(r, c)`.
     #[inline]
     pub fn get(&self, which: usize, r: i64, c: i64) -> T {
         self.tiles[which].get(r, c)
     }
 
-    /// Write to half `which` at global `(r, c)`.
+    /// Write to plane `which` at global `(r, c)`.
     #[inline]
     pub fn set(&mut self, which: usize, r: i64, c: i64, v: T) {
         self.tiles[which].set(r, c, v);
@@ -166,7 +177,7 @@ impl<T: Copy> DualTile<T> {
     /// Combined shared-memory bytes.
     #[inline]
     pub fn bytes(&self) -> usize {
-        self.tiles[0].bytes() + self.tiles[1].bytes()
+        self.tiles.iter().map(Tile::bytes).sum()
     }
 }
 
@@ -239,11 +250,33 @@ mod tests {
     }
 
     #[test]
-    fn dual_tile_selects_half() {
+    fn multi_tile_selects_plane() {
+        let planes: Vec<Vec<f32>> = (0..4).map(|g| vec![g as f32; 64]).collect();
+        let refs: Vec<&[f32]> = planes.iter().map(Vec::as_slice).collect();
+        let (multi, loads) =
+            MultiTile::load_with_halo(&refs, Dim2::square(8), (2, 2), Dim2::square(4), 1, -1.0);
+        assert_eq!(multi.planes(), 4);
+        assert_eq!(loads, 4 * 36);
+        for g in 0..4 {
+            assert_eq!(multi.get(g, 3, 3), g as f32);
+        }
+        assert_eq!(multi.bytes(), 4 * 36 * 4);
+    }
+
+    #[test]
+    fn multi_tile_two_planes_match_the_paper_dual_layout() {
+        // The paper's combined top/bottom local matrix is the two-plane
+        // case: each plane reads exactly its own source with halo fill.
         let top = vec![1.0f32; 64];
         let bot = vec![2.0f32; 64];
-        let (dual, loads) =
-            DualTile::load_with_halo(&top, &bot, Dim2::square(8), (2, 2), Dim2::square(4), 1, 0.0);
+        let (dual, loads) = MultiTile::load_with_halo(
+            &[&top, &bot],
+            Dim2::square(8),
+            (2, 2),
+            Dim2::square(4),
+            1,
+            0.0,
+        );
         assert_eq!(loads, 72);
         assert_eq!(dual.get(0, 3, 3), 1.0);
         assert_eq!(dual.get(1, 3, 3), 2.0);

@@ -4,17 +4,21 @@
 //! corridor bit for bit.
 
 use pedsim::grid::cell::{Group, CELL_WALL};
-use pedsim::grid::{DistanceField as _, GridDistanceField, NEIGHBOR_OFFSETS};
+use pedsim::grid::{GridDistanceField, NEIGHBOR_OFFSETS};
 use pedsim::prelude::*;
 use pedsim::scenario::registry;
 
-/// The four registry scenarios at test scale.
+/// The registry scenarios at test scale (all seven worlds, multi-group
+/// and asymmetric included).
 fn registry_worlds(seed: u64) -> Vec<Scenario> {
     vec![
         registry::paper_corridor(&EnvConfig::small(32, 32, 60).with_seed(seed)),
         registry::doorway(32, 32, 60, 4).with_seed(seed),
         registry::pillar_hall(32, 32, 60, 5).with_seed(seed),
         registry::crossing(32, 80).with_seed(seed),
+        registry::four_way_crossing(32, 40).with_seed(seed),
+        registry::t_junction_merge(32, 48).with_seed(seed),
+        registry::asymmetric_corridor(32, 32, 80, 30).with_seed(seed),
     ]
 }
 
@@ -127,8 +131,8 @@ fn crossing_streams_reach_their_targets() {
     e.run(400);
     let m = e.metrics().expect("metrics");
     // Both the downward and the rightward stream must make it across.
-    assert!(m.crossed_top > 0, "vertical stream never arrived");
-    assert!(m.crossed_bottom > 0, "horizontal stream never arrived");
+    assert!(m.crossed_top() > 0, "vertical stream never arrived");
+    assert!(m.crossed_bottom() > 0, "horizontal stream never arrived");
 }
 
 #[test]
@@ -199,9 +203,9 @@ mod properties {
                 24,
                 24,
                 |r, c| scenario.is_wall(r, c),
-                [
-                    scenario.target(Group::Top).cells(),
-                    scenario.target(Group::Bottom).cells(),
+                &[
+                    scenario.target(Group::TOP).cells(),
+                    scenario.target(Group::BOTTOM).cells(),
                 ],
             );
             let view = field.dist_ref();
