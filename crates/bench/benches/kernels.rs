@@ -50,6 +50,7 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             let k = TourKernel {
                 n: state.n,
+                alive: &state.alive,
                 scan_val: state.scan_val.as_slice(),
                 scan_idx: state.scan_idx.as_slice(),
                 front: state.front.as_slice(),

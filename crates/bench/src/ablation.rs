@@ -56,6 +56,7 @@ fn prepared_state(side: usize, agents: usize, seed: u64) -> DeviceState {
     device.launch(&cells, &calc).expect("calc");
     let tour = TourKernel {
         n: state.n,
+        alive: &state.alive,
         scan_val: state.scan_val.as_slice(),
         scan_idx: state.scan_idx.as_slice(),
         front: state.front.as_slice(),

@@ -9,7 +9,7 @@ use pedsim_bench::scale::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::from_args(&args);
+    let scale = Scale::from_args_or_exit(&args);
     let (side, agents, reps, sweep_steps) = match scale {
         Scale::Paper => (480, 25_600, 50, 4_000),
         Scale::Default => (240, 6_400, 20, 1_000),

@@ -11,7 +11,7 @@ use pedsim_bench::{fig5, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::from_args(&args);
+    let scale = Scale::from_args_or_exit(&args);
     let part = arg_value(&args, "--part").unwrap_or_else(|| "all".into());
     let cfg = fig5::Fig5Config::for_scale(scale);
 

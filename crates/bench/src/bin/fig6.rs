@@ -14,7 +14,7 @@ use pedsim_bench::{fig6, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::from_args(&args);
+    let scale = Scale::from_args_or_exit(&args);
     let part = arg_value(&args, "--part").unwrap_or_else(|| "all".into());
     let cfg = fig6::Fig6Config::for_scale(scale);
     let base = std::path::Path::new(".");

@@ -1,0 +1,83 @@
+//! Fundamental diagram of the open corridor: sweep the inflow rate,
+//! measure steady-state flux, density, and steps/second.
+//!
+//! ```text
+//! cargo run -p pedsim-bench --release --bin fundamental_diagram -- \
+//!     [--paper|--smoke] [--workers N]
+//! ```
+//!
+//! Writes `results/fundamental_diagram_<scale>.{csv,json}` plus the
+//! repo-root `BENCH_fundamental_diagram.json` perf-trajectory record, and
+//! prints a Markdown table. Exits non-zero when the smoke-scale curve
+//! fails the rises-then-saturates sanity check.
+
+use pedsim_bench::fundamental_diagram as fd;
+use pedsim_bench::report;
+use pedsim_bench::scale::{arg_value, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args_or_exit(&args);
+    let workers = arg_value(&args, "--workers")
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let cfg = fd::FdConfig::for_scale(scale);
+    let base = std::path::Path::new(".");
+
+    eprintln!(
+        "fundamental_diagram [{}]: open {side}x{side} corridor, {} rates x {} repeats, \
+         budget {} steps, flux window {}, on {workers} workers…",
+        scale.label(),
+        cfg.rates.len(),
+        cfg.repeats,
+        cfg.steps,
+        cfg.window,
+        side = cfg.side,
+    );
+
+    let t0 = std::time::Instant::now();
+    let rows = fd::run(&cfg, workers);
+    let elapsed = t0.elapsed();
+
+    println!("\n## Fundamental diagram ({} scale)\n", scale.label());
+    let table = fd::table(&rows);
+    print!("{}", table.markdown());
+
+    let name = format!("fundamental_diagram_{}", scale.label());
+    match table.save_csv(base, &name) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write {name}.csv: {e}"),
+    }
+    match report::save_json(base, &name, &fd::to_json(scale, &cfg, &rows)) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write {name}.json: {e}"),
+    }
+    let bench_path = base.join("BENCH_fundamental_diagram.json");
+    match std::fs::write(&bench_path, fd::to_bench_json(scale, &cfg, &rows)) {
+        Ok(()) => eprintln!("wrote {}", bench_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", bench_path.display()),
+    }
+    eprintln!("wall: {:.2}s on {workers} workers", elapsed.as_secs_f64());
+
+    let ok = fd::curve_rises_then_saturates(&rows);
+    println!(
+        "\nflux curve {} (low-rate flux {:.3}, high-rate flux {:.3})",
+        if ok {
+            "rises with inflow then saturates — as expected"
+        } else {
+            "does NOT show the expected rise-then-saturate shape"
+        },
+        rows.first().map_or(0.0, |r| r.flux),
+        rows.last().map_or(0.0, |r| r.flux),
+    );
+    // The shape check is the CI acceptance gate, calibrated for the smoke
+    // ladder; research-scale ladders may legitimately sit entirely in
+    // free flow or entirely congested, so larger scales only report.
+    if !ok && scale == Scale::Smoke {
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,7 @@ use pedsim_bench::sweep::SweepProtocol;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::from_args(&args);
+    let scale = Scale::from_args_or_exit(&args);
     let workers = arg_value(&args, "--workers")
         .and_then(|w| w.parse().ok())
         .unwrap_or_else(|| {
@@ -46,11 +46,12 @@ fn main() {
     println!("\n## Scenario sweep ({} scale)\n", scale.label());
     print!("{}", proto.summary_table(&batch_report).markdown());
     println!(
-        "\n{} replicas: {} arrived, {} gridlocked, {} exhausted the budget; \
-         {} simulated steps total (mean {:.1}/replica)",
+        "\n{} replicas: {} arrived, {} gridlocked, {} flux-steady, {} exhausted the \
+         budget; {} simulated steps total (mean {:.1}/replica)",
         batch_report.jobs,
         batch_report.arrived,
         batch_report.gridlocked,
+        batch_report.steady,
         batch_report.exhausted,
         batch_report.steps_total,
         batch_report.mean_steps,

@@ -1,0 +1,349 @@
+//! Fundamental diagram of the open corridor: flux vs density vs inflow.
+//!
+//! The paper reports throughput of one transient wave; corridor studies
+//! (uni/bi-directional straight-corridor flow, dynamic-navigation-field
+//! models) report the **fundamental diagram** — steady-state flux as a
+//! function of density at a sustained inflow. The open-boundary lifecycle
+//! makes that measurable here: this harness sweeps the inflow rate of
+//! [`pedsim_scenario::registry::open_corridor`], lets every replica run to
+//! flux steady state (or the step budget), and records windowed flux,
+//! live density, and wall-clock steps/second.
+//!
+//! Expected shape: flux tracks the inflow at low rates (free flow), then
+//! saturates once the opposing streams' lane capacity is reached — the
+//! rising-then-flat curve the smoke acceptance checks.
+//!
+//! Every (rate, repeat) replica is an independent [`pedsim_runner::Job`]
+//! on a [`pedsim_runner::Batch`] pool; results aggregate per rate.
+
+use std::time::Duration;
+
+use pedsim_core::prelude::*;
+use pedsim_runner::{Batch, Job, FLUX_REPORT_WINDOW};
+use pedsim_scenario::registry;
+
+use crate::report::{f3, Table};
+use crate::scale::Scale;
+
+/// Fundamental-diagram protocol parameters.
+#[derive(Debug, Clone)]
+pub struct FdConfig {
+    /// Corridor side (square grid).
+    pub side: usize,
+    /// Inflow ladder: expected arrivals per step per group.
+    pub rates: Vec<f64>,
+    /// Step budget per replica (the steady-state backstop).
+    pub steps: u64,
+    /// Repeats averaged per rate.
+    pub repeats: u64,
+    /// Base seed; repeat `k` of rate index `i` uses
+    /// `seed + (i + 1) * 1000 + k`.
+    pub seed: u64,
+    /// Flux window for the steady-state stop (and the reported flux).
+    pub window: u64,
+    /// Steady-state epsilon as a *fraction* of the inflow rate (absolute
+    /// floor 0.2 crossings/step), so denser ladders tolerate
+    /// proportionally more flux noise.
+    pub epsilon_frac: f64,
+}
+
+impl FdConfig {
+    /// Protocol for `scale`.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Self {
+                side: 480,
+                rates: vec![2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0],
+                steps: 25_000,
+                repeats: 3,
+                seed: 7_100,
+                window: FLUX_REPORT_WINDOW,
+                epsilon_frac: 0.15,
+            },
+            Scale::Default => Self {
+                side: 96,
+                rates: vec![0.5, 1.0, 2.0, 4.0, 8.0, 12.0],
+                steps: 2_000,
+                repeats: 2,
+                seed: 7_100,
+                window: FLUX_REPORT_WINDOW,
+                epsilon_frac: 0.2,
+            },
+            Scale::Smoke => Self {
+                side: 32,
+                rates: vec![0.25, 0.5, 1.0, 2.0, 4.0],
+                steps: 400,
+                repeats: 2,
+                seed: 7_100,
+                window: FLUX_REPORT_WINDOW,
+                epsilon_frac: 0.3,
+            },
+        }
+    }
+
+    /// Slot capacity per group for an inflow of `rate`: four transit
+    /// times' worth of arrivals (so congestion — not the recycling pool —
+    /// is what saturates the flux at moderate rates), capped at a third of
+    /// the grid per group (beyond that the corridor physically cannot hold
+    /// the crowd anyway).
+    pub fn capacity_for(&self, rate: f64) -> usize {
+        let by_inflow = (rate * self.side as f64 * 4.0).ceil() as usize;
+        by_inflow.clamp(32, (self.side * self.side / 3).max(32))
+    }
+
+    /// The job list: every rate × repeat replica, ACO model, stopping at
+    /// flux steady state or the budget.
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.rates.len() * self.repeats as usize);
+        for (i, &rate) in self.rates.iter().enumerate() {
+            let epsilon = (rate * self.epsilon_frac).max(0.2);
+            let stop = StopCondition::steady_or_steps(self.steps, epsilon, self.window);
+            for k in 0..self.repeats {
+                let seed = self.seed + (i + 1) as u64 * 1000 + k;
+                let scenario =
+                    registry::open_corridor(self.side, self.side, self.capacity_for(rate), rate)
+                        .with_seed(seed);
+                let cfg = SimConfig::from_scenario(scenario, ModelKind::aco());
+                jobs.push(Job::gpu(format!("r{i:02}/{rate}"), cfg, stop.clone()));
+            }
+        }
+        jobs
+    }
+}
+
+/// One rate point of the diagram (repeats aggregated).
+#[derive(Debug, Clone)]
+pub struct FdRow {
+    /// Inflow rate (arrivals per step per group).
+    pub rate: f64,
+    /// Mean windowed flux at stop (crossings per step, both streams).
+    pub flux: f64,
+    /// Mean live density at stop (agents per cell).
+    pub density: f64,
+    /// Mean live agents at stop.
+    pub live: f64,
+    /// Mean steps to stop.
+    pub steps: f64,
+    /// Replicas that stopped at [`StopReason::SteadyState`].
+    pub steady: usize,
+    /// Replicas at this rate.
+    pub replicas: usize,
+    /// Simulated steps per wall-clock second (all replicas at this rate;
+    /// non-deterministic — excluded from the deterministic JSON).
+    pub steps_per_sec: f64,
+}
+
+/// Run the sweep on `workers` pool threads and aggregate per rate.
+pub fn run(cfg: &FdConfig, workers: usize) -> Vec<FdRow> {
+    let report = Batch::new(workers).run(&cfg.jobs());
+    let cells = (cfg.side * cfg.side) as f64;
+    cfg.rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let rows: Vec<_> = report
+                .results
+                .iter()
+                .filter(|r| r.label.starts_with(&format!("r{i:02}/")))
+                .collect();
+            let mean = |vals: Vec<f64>| -> f64 {
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            };
+            let flux = mean(rows.iter().filter_map(|r| r.flux).collect());
+            let live = mean(
+                rows.iter()
+                    .filter_map(|r| r.live.map(|l| l as f64))
+                    .collect(),
+            );
+            let steps = mean(rows.iter().map(|r| r.steps as f64).collect());
+            let steady = rows
+                .iter()
+                .filter(|r| r.stop == StopReason::SteadyState)
+                .count();
+            let wall: Duration = rows.iter().map(|r| r.wall).sum();
+            let total_steps: u64 = rows.iter().map(|r| r.steps).sum();
+            FdRow {
+                rate,
+                flux,
+                density: live / cells,
+                live,
+                steps,
+                steady,
+                replicas: rows.len(),
+                steps_per_sec: if wall.is_zero() {
+                    0.0
+                } else {
+                    total_steps as f64 / wall.as_secs_f64()
+                },
+            }
+        })
+        .collect()
+}
+
+/// The rising-then-saturating sanity check the smoke run asserts, in
+/// terms of *served load*: the offered load at rate `r` is `2r` crossings
+/// per step (two streams). Free flow serves most of it, so flux rises
+/// with the inflow; past the corridor's capacity the served fraction
+/// collapses (plateau, then the jam branch), so the top of the ladder
+/// serves a much smaller share than the bottom.
+pub fn curve_rises_then_saturates(rows: &[FdRow]) -> bool {
+    if rows.len() < 3 {
+        return false;
+    }
+    let served = |r: &FdRow| r.flux / (2.0 * r.rate).max(1e-9);
+    let first = rows.first().expect("non-empty");
+    let last = rows.last().expect("non-empty");
+    let peak_flux = rows.iter().map(|r| r.flux).fold(0.0f64, f64::max);
+    // Rise: some rung clearly out-fluxes the bottom of the ladder.
+    let rises = peak_flux > first.flux * 1.5;
+    // Free flow at the bottom, saturation at the top.
+    let free_flow = served(first) >= 0.5;
+    let saturated = served(last) <= 0.6 * served(first);
+    rises && free_flow && saturated
+}
+
+/// Render the diagram as a table (Markdown/CSV).
+pub fn table(rows: &[FdRow]) -> Table {
+    let mut t = Table::new(vec![
+        "rate",
+        "flux",
+        "density",
+        "live",
+        "mean_steps",
+        "steady",
+        "steps_per_sec",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            f3(r.rate),
+            f3(r.flux),
+            format!("{:.5}", r.density),
+            f3(r.live),
+            f3(r.steps),
+            format!("{}/{}", r.steady, r.replicas),
+            format!("{:.0}", r.steps_per_sec),
+        ]);
+    }
+    t
+}
+
+/// Deterministic JSON for `results/` (wall-clock series excluded).
+pub fn to_json(scale: Scale, cfg: &FdConfig, rows: &[FdRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"pedsim.fundamental_diagram.v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
+    s.push_str(&format!("  \"side\": {},\n", cfg.side));
+    s.push_str(&format!("  \"window\": {},\n", cfg.window));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"rate\": {}, \"flux\": {}, \"density\": {}, \"live\": {}, \
+             \"mean_steps\": {}, \"steady\": {}, \"replicas\": {}}}{comma}\n",
+            r.rate, r.flux, r.density, r.live, r.steps, r.steady, r.replicas
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The repo-root perf-trajectory record (`BENCH_fundamental_diagram.json`):
+/// the flux/density curve plus the wall-clock steps/second series.
+pub fn to_bench_json(scale: Scale, cfg: &FdConfig, rows: &[FdRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fundamental_diagram\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
+    s.push_str(&format!("  \"side\": {},\n", cfg.side));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"rate\": {}, \"flux\": {:.4}, \"density\": {:.6}, \
+             \"steps_per_sec\": {:.1}}}{comma}\n",
+            r.rate, r.flux, r.density, r.steps_per_sec
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_protocol_is_small_and_jobs_cover_the_ladder() {
+        let cfg = FdConfig::for_scale(Scale::Smoke);
+        let jobs = cfg.jobs();
+        assert_eq!(jobs.len(), cfg.rates.len() * cfg.repeats as usize);
+        assert!(cfg.steps <= 500);
+        for job in &jobs {
+            assert!(job.validate().is_ok());
+            let scenario = job.cfg.scenario.as_ref().expect("open world");
+            assert!(scenario.is_open());
+        }
+    }
+
+    #[test]
+    fn capacity_scales_with_rate() {
+        let cfg = FdConfig::for_scale(Scale::Smoke);
+        assert!(cfg.capacity_for(4.0) > cfg.capacity_for(0.25));
+        assert!(cfg.capacity_for(0.0) >= 32);
+    }
+
+    #[test]
+    fn saturation_check_wants_rise_and_capacity_collapse() {
+        let mk = |points: &[(f64, f64)]| -> Vec<FdRow> {
+            points
+                .iter()
+                .map(|&(rate, flux)| FdRow {
+                    rate,
+                    flux,
+                    density: 0.0,
+                    live: 0.0,
+                    steps: 0.0,
+                    steady: 0,
+                    replicas: 1,
+                    steps_per_sec: 0.0,
+                })
+                .collect()
+        };
+        // Free flow at the bottom (≈ 90 % of the offered 2r served), peak
+        // mid-ladder, jam branch at the top: the expected shape.
+        assert!(curve_rises_then_saturates(&mk(&[
+            (0.25, 0.45),
+            (1.0, 1.7),
+            (2.0, 3.5),
+            (4.0, 2.0),
+        ])));
+        // A plateau (no decline) also counts as saturation.
+        assert!(curve_rises_then_saturates(&mk(&[
+            (0.25, 0.45),
+            (1.0, 1.7),
+            (2.0, 3.3),
+            (4.0, 3.5),
+        ])));
+        // Perfectly proportional flux never saturates.
+        assert!(!curve_rises_then_saturates(&mk(&[
+            (0.25, 0.5),
+            (1.0, 2.0),
+            (2.0, 4.0),
+            (4.0, 8.0),
+        ])));
+        // Flat from the start: no free-flow rise.
+        assert!(!curve_rises_then_saturates(&mk(&[
+            (0.25, 0.1),
+            (1.0, 0.1),
+            (2.0, 0.1),
+            (4.0, 0.1),
+        ])));
+        // Too short.
+        assert!(!curve_rises_then_saturates(&mk(&[(0.25, 0.5), (4.0, 3.0)])));
+    }
+}

@@ -14,6 +14,9 @@
 //!   branchless vs branchy selection, and model-parameter sweeps;
 //! * [`sweep`] — registry worlds × densities × seeds as one early-
 //!   terminating batch with a JSON `BatchReport`;
+//! * [`fundamental_diagram`] — the open corridor's flux/density curve
+//!   across an inflow ladder (steady-state stop, windowed flux), seeding
+//!   the repo-root `BENCH_fundamental_diagram.json` perf trajectory;
 //! * [`report`] — Markdown/CSV/JSON emitters (the MATLAB-plotting
 //!   substitute);
 //! * [`scale`] — the `--paper` / default / `--smoke` protocol scales.
@@ -29,6 +32,7 @@
 pub mod ablation;
 pub mod fig5;
 pub mod fig6;
+pub mod fundamental_diagram;
 pub mod report;
 pub mod scale;
 pub mod sweep;

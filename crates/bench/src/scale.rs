@@ -22,16 +22,44 @@ pub enum Scale {
     Smoke,
 }
 
+/// Conflicting scale flags on one command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleConflict;
+
+impl std::fmt::Display for ScaleConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "--paper and --smoke are mutually exclusive; pass at most one scale flag"
+        )
+    }
+}
+
+impl std::error::Error for ScaleConflict {}
+
 impl Scale {
     /// Parse from CLI args (`--paper`, `--smoke`; default otherwise).
-    pub fn from_args(args: &[String]) -> Self {
-        if args.iter().any(|a| a == "--paper") {
-            Scale::Paper
-        } else if args.iter().any(|a| a == "--smoke") {
-            Scale::Smoke
-        } else {
-            Scale::Default
+    /// Passing both flags is an error — silently preferring `--paper`
+    /// used to launch an hours-long run when the caller asked for a
+    /// seconds-long one.
+    pub fn from_args(args: &[String]) -> Result<Self, ScaleConflict> {
+        let paper = args.iter().any(|a| a == "--paper");
+        let smoke = args.iter().any(|a| a == "--smoke");
+        match (paper, smoke) {
+            (true, true) => Err(ScaleConflict),
+            (true, false) => Ok(Scale::Paper),
+            (false, true) => Ok(Scale::Smoke),
+            (false, false) => Ok(Scale::Default),
         }
+    }
+
+    /// [`Scale::from_args`] for binaries: exits with a usage message on
+    /// conflicting flags instead of panicking.
+    pub fn from_args_or_exit(args: &[String]) -> Self {
+        Self::from_args(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Short label for file names and table captions.
@@ -61,9 +89,17 @@ mod tests {
 
     #[test]
     fn parses_scales() {
-        assert_eq!(Scale::from_args(&v(&["--paper"])), Scale::Paper);
-        assert_eq!(Scale::from_args(&v(&["--smoke"])), Scale::Smoke);
-        assert_eq!(Scale::from_args(&v(&["--part", "a"])), Scale::Default);
+        assert_eq!(Scale::from_args(&v(&["--paper"])), Ok(Scale::Paper));
+        assert_eq!(Scale::from_args(&v(&["--smoke"])), Ok(Scale::Smoke));
+        assert_eq!(Scale::from_args(&v(&["--part", "a"])), Ok(Scale::Default));
+    }
+
+    #[test]
+    fn conflicting_scale_flags_are_rejected() {
+        // Both orders: the old code silently picked --paper.
+        let err = Scale::from_args(&v(&["--paper", "--smoke"])).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+        assert!(Scale::from_args(&v(&["--smoke", "--x", "--paper"])).is_err());
     }
 
     #[test]

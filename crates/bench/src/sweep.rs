@@ -10,7 +10,7 @@
 //! for any pool worker count and any job submission order.
 
 use pedsim_core::prelude::*;
-use pedsim_runner::{Batch, BatchReport, Job};
+use pedsim_runner::{Batch, BatchReport, Job, FLUX_REPORT_WINDOW};
 use pedsim_scenario::sweep as grids;
 
 use crate::report::{f3, Table};
@@ -33,6 +33,10 @@ pub struct SweepProtocol {
     pub gridlock_threshold: usize,
     /// Consecutive frozen steps before a replica stops as gridlocked.
     pub gridlock_patience: u64,
+    /// Steady-state epsilon (crossings per step) for open-boundary worlds.
+    pub steady_epsilon: f64,
+    /// Steady-state flux window for open-boundary worlds.
+    pub steady_window: u64,
 }
 
 impl SweepProtocol {
@@ -49,6 +53,8 @@ impl SweepProtocol {
                 steps: 25_000,
                 gridlock_threshold: 4,
                 gridlock_patience: 50,
+                steady_epsilon: 0.5,
+                steady_window: FLUX_REPORT_WINDOW,
             },
             Scale::Default => Self {
                 side: 64,
@@ -58,6 +64,8 @@ impl SweepProtocol {
                 steps: 1_500,
                 gridlock_threshold: 2,
                 gridlock_patience: 30,
+                steady_epsilon: 0.5,
+                steady_window: FLUX_REPORT_WINDOW,
             },
             Scale::Smoke => Self {
                 side: 32,
@@ -67,20 +75,43 @@ impl SweepProtocol {
                 steps: 250,
                 gridlock_threshold: 1,
                 gridlock_patience: 10,
+                steady_epsilon: 0.75,
+                // At least the report window: a replica that stops
+                // SteadyState has always observed it, so its flux field
+                // is never null.
+                steady_window: FLUX_REPORT_WINDOW,
             },
         }
     }
 
-    /// The job list: worlds × densities × seeds × both models.
+    /// The job list: worlds × densities × seeds × both models. Closed
+    /// worlds stop on arrival/gridlock/budget; open worlds (which never
+    /// "arrive") stop on steady flux, gridlock, or the budget.
     pub fn jobs(&self) -> Vec<Job> {
-        let stop = StopCondition::settled_or_steps(
+        let closed_stop = StopCondition::settled_or_steps(
             self.steps,
             self.gridlock_threshold,
             self.gridlock_patience,
         );
+        let open_stop = StopCondition::FirstOf(vec![
+            StopCondition::SteadyState {
+                epsilon: self.steady_epsilon,
+                window: self.steady_window,
+            },
+            StopCondition::Gridlocked {
+                threshold: self.gridlock_threshold,
+                patience: self.gridlock_patience,
+            },
+            StopCondition::Steps(self.steps),
+        ]);
         let points = grids::grid(&self.worlds, self.side, &self.per_sides, &self.seeds);
         let mut jobs = Vec::with_capacity(points.len() * 2);
         for point in &points {
+            let stop = if point.scenario.is_open() {
+                &open_stop
+            } else {
+                &closed_stop
+            };
             for model in [ModelKind::lem(), ModelKind::aco()] {
                 let label = format!(
                     "{}/n{:06}/{}",
@@ -114,6 +145,7 @@ impl SweepProtocol {
             "mean_throughput",
             "arrived",
             "gridlocked",
+            "steady",
             "mean_steps",
         ]);
         let mut labels: Vec<&str> = report.results.iter().map(|r| r.label.as_str()).collect();
@@ -129,6 +161,10 @@ impl SweepProtocol {
                 .iter()
                 .filter(|r| r.stop == StopReason::Gridlocked)
                 .count();
+            let steady = rows
+                .iter()
+                .filter(|r| r.stop == StopReason::SteadyState)
+                .count();
             let mean_steps = rows.iter().map(|r| r.steps).sum::<u64>() as f64 / n as f64;
             let first = rows[0];
             t.push_row(vec![
@@ -139,6 +175,7 @@ impl SweepProtocol {
                 f3(report.mean_throughput(label)),
                 format!("{arrived}/{n}"),
                 format!("{gridlocked}/{n}"),
+                format!("{steady}/{n}"),
                 f3(mean_steps),
             ]);
         }
@@ -159,6 +196,8 @@ mod tests {
             steps: 150,
             gridlock_threshold: 1,
             gridlock_patience: 8,
+            steady_epsilon: 0.5,
+            steady_window: 32,
         }
     }
 
@@ -170,7 +209,7 @@ mod tests {
         let report = proto.run(2);
         assert_eq!(report.jobs, 16);
         let json = report.to_json();
-        assert!(json.contains("pedsim.batch_report.v1"));
+        assert!(json.contains("pedsim.batch_report.v2"));
         assert!(json.contains("paper_corridor"));
         assert_eq!(proto.summary_table(&report).rows.len(), 8);
     }
@@ -187,13 +226,33 @@ mod tests {
     fn all_scales_have_enough_axes() {
         for scale in [Scale::Paper, Scale::Default, Scale::Smoke] {
             let p = SweepProtocol::for_scale(scale);
-            // Every registry world is swept — multi-group ones included,
-            // so they cannot rot outside CI's reach.
+            // Every registry world is swept — multi-group and open-
+            // boundary ones included, so they cannot rot outside CI's
+            // reach.
             assert_eq!(p.worlds.len(), pedsim_scenario::registry::names().len());
             assert!(p.worlds.contains(&"four_way_crossing"));
             assert!(p.worlds.contains(&"t_junction_merge"));
+            assert!(p.worlds.contains(&"open_corridor"));
+            assert!(p.worlds.contains(&"open_crossing"));
             assert!(p.per_sides.len() >= 3);
             assert!(p.seeds.len() >= 5);
+        }
+    }
+
+    #[test]
+    fn open_worlds_get_the_steady_stop() {
+        let mut p = tiny();
+        p.worlds = vec!["paper_corridor", "open_corridor"];
+        let jobs = p.jobs();
+        for job in &jobs {
+            let open = job.cfg.scenario.as_ref().is_some_and(|s| s.is_open());
+            let has_steady = matches!(
+                &job.stop,
+                StopCondition::FirstOf(cs)
+                    if cs.iter().any(|c| matches!(c, StopCondition::SteadyState { .. }))
+            );
+            assert_eq!(open, has_steady, "job {}", job.label);
+            assert!(job.validate().is_ok());
         }
     }
 }

@@ -18,7 +18,8 @@ use crate::model::{aco_scan_row, aco_select, front_status, gather_winner};
 use crate::model::{lem_scan_row, lem_select, ScanRow};
 use crate::params::{ModelKind, SimConfig};
 
-use super::{build_world, Engine, KERNEL_MOVE, KERNEL_TOUR};
+use super::lifecycle::{LifecycleWorld, OpenLifecycle};
+use super::{build_world, swap_model, Engine, ModelSwapError, KERNEL_MOVE, KERNEL_TOUR};
 
 /// The sequential reference engine.
 pub struct CpuEngine {
@@ -35,6 +36,39 @@ pub struct CpuEngine {
     seed: u64,
     step_no: u64,
     metrics: Option<Metrics>,
+    /// Open-boundary despawn/spawn phases (open scenarios only).
+    lifecycle: Option<OpenLifecycle>,
+}
+
+/// The lifecycle's view of the CPU engine's world: the host environment
+/// plus the tour lengths (a recycled slot starts a fresh tour).
+struct CpuWorld<'a> {
+    env: &'a mut Environment,
+    tour: &'a mut TourLengths,
+}
+
+impl LifecycleWorld for CpuWorld<'_> {
+    fn is_alive(&self, i: usize) -> bool {
+        self.env.is_alive(i)
+    }
+
+    fn position(&self, i: usize) -> (u16, u16) {
+        self.env.props.position(i)
+    }
+
+    fn is_cell_empty(&self, r: u16, c: u16) -> bool {
+        self.env.mat.get(r as usize, c as usize) == CELL_EMPTY
+    }
+
+    fn despawn(&mut self, g: Group, i: usize) {
+        self.env.despawn(g, i);
+    }
+
+    fn spawn(&mut self, g: Group, r: u16, c: u16) -> Option<u32> {
+        let idx = self.env.spawn_from_free(g, r, c)?;
+        self.tour.len[idx as usize] = 0.0;
+        Some(idx)
+    }
 }
 
 impl CpuEngine {
@@ -63,8 +97,18 @@ impl CpuEngine {
             ),
             ModelKind::Lem(_) => (None, None),
         };
+        let lifecycle = cfg
+            .scenario
+            .as_deref()
+            .and_then(|s| OpenLifecycle::from_scenario(s, geom, env.targets.clone()));
         let metrics = cfg.track_metrics.then(|| {
-            Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col)
+            let mut m =
+                Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col);
+            if lifecycle.is_some() {
+                let passable = env.width() * env.height() - env.mat.count(CELL_WALL);
+                m.enable_open(passable, &env.alive);
+            }
+            m
         });
         let (h, w) = (env.height(), env.width());
         let seed = cfg.env.seed;
@@ -81,6 +125,7 @@ impl CpuEngine {
             seed,
             step_no: 0,
             metrics,
+            lifecycle,
             env,
         }
     }
@@ -91,14 +136,10 @@ impl CpuEngine {
     }
 
     /// Replace the model parameters mid-run (the panic-alarm extension).
-    /// Panics when the model *variant* changes — a LEM run has no
+    /// A model-*variant* change is a typed error — a LEM run has no
     /// pheromone substrate to become an ACO run.
-    pub fn set_model(&mut self, model: ModelKind) {
-        assert!(
-            model.is_aco() == self.cfg.model.is_aco(),
-            "model variant cannot change mid-run"
-        );
-        self.cfg.model = model;
+    pub fn set_model(&mut self, model: ModelKind) -> Result<(), ModelSwapError> {
+        swap_model(&mut self.cfg.model, model)
     }
 
     /// Borrow the pheromone field (ACO only).
@@ -160,6 +201,12 @@ impl CpuEngine {
         let salt = self.step_no * 4 + KERNEL_TOUR;
         let n = self.geom.total_agents();
         for i in 1..=n {
+            // Dead slots (open-boundary recycling pool) are not on the
+            // grid and make no decision; their future stays NO_FUTURE from
+            // the init stage.
+            if !self.env.alive[i] {
+                continue;
+            }
             let mut rng = StreamRng::with_offset(self.seed, i as u64, salt << 4);
             let row = ScanRow {
                 vals: self.scan.row_vals(i).try_into().expect("8 slots"),
@@ -303,6 +350,15 @@ impl Engine for CpuEngine {
         if let Some(m) = self.metrics.as_mut() {
             m.observe(&self.env.props.row, &self.env.props.col);
         }
+        // Open-boundary phases: sinks drain arrivals (already counted by
+        // the observation above), sources feed the next step.
+        if let Some(lc) = &self.lifecycle {
+            let mut world = CpuWorld {
+                env: &mut self.env,
+                tour: &mut self.tour,
+            };
+            lc.run_step(&mut world, self.step_no, self.metrics.as_mut());
+        }
     }
 
     fn steps_done(&self) -> u64 {
@@ -428,6 +484,23 @@ mod tests {
         let e = run_small(ModelKind::aco(), 40);
         let total: f32 = e.tour_lengths().len.iter().sum();
         assert!(total > 0.0);
+    }
+
+    #[test]
+    fn set_model_rejects_variant_change_with_typed_error() {
+        let mut e = cpu_engine_small(16, 16, 4, ModelKind::lem(), 1);
+        let err = e.set_model(ModelKind::aco()).unwrap_err();
+        assert_eq!(err.running, "LEM");
+        assert_eq!(err.requested, "ACO");
+        assert!(err.to_string().contains("variant"));
+        // Parameter overlays within the running variant stay fine — the
+        // panic-alarm extension's happy path.
+        let overlay = ModelKind::Lem(LemParams {
+            sigma: 4.0,
+            ..LemParams::default()
+        });
+        assert!(e.set_model(overlay).is_ok());
+        assert_eq!(e.model(), overlay);
     }
 
     #[test]

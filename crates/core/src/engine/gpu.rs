@@ -11,6 +11,7 @@
 
 use std::time::Duration;
 
+use pedsim_grid::cell::{Group, CELL_EMPTY};
 use pedsim_grid::{Environment, Matrix};
 use simt::exec::LaunchConfig;
 use simt::profile::KernelProfile;
@@ -20,7 +21,50 @@ use crate::kernels::{DeviceState, InitKernel, InitialCalcKernel, MovementKernel,
 use crate::metrics::{Geometry, Metrics};
 use crate::params::{ModelKind, SimConfig};
 
-use super::{build_world, Engine};
+use super::lifecycle::{LifecycleWorld, OpenLifecycle};
+use super::{build_world, swap_model, Engine, ModelSwapError};
+
+/// The open-boundary lifecycle drives the device state directly: the
+/// launches are synchronous, so between steps the buffers are in their
+/// host phase and plain mutation is the device-memory host write.
+impl LifecycleWorld for DeviceState {
+    fn is_alive(&self, i: usize) -> bool {
+        self.alive[i] != 0
+    }
+
+    fn position(&self, i: usize) -> (u16, u16) {
+        (self.row.as_slice()[i], self.col.as_slice()[i])
+    }
+
+    fn is_cell_empty(&self, r: u16, c: u16) -> bool {
+        self.mat[self.cur].as_slice()[r as usize * self.w + c as usize] == CELL_EMPTY
+    }
+
+    fn despawn(&mut self, g: Group, i: usize) {
+        let lin = self.row.as_slice()[i] as usize * self.w + self.col.as_slice()[i] as usize;
+        let cur = self.cur;
+        debug_assert_eq!(self.index[cur].as_slice()[lin], i as u32);
+        self.mat[cur].as_mut_slice()[lin] = CELL_EMPTY;
+        self.index[cur].as_mut_slice()[lin] = 0;
+        self.alive[i] = 0;
+        self.live -= 1;
+        self.free[g.index()].insert(i as u32);
+    }
+
+    fn spawn(&mut self, g: Group, r: u16, c: u16) -> Option<u32> {
+        let idx = self.free[g.index()].pop_first()?;
+        let lin = r as usize * self.w + c as usize;
+        let cur = self.cur;
+        self.mat[cur].as_mut_slice()[lin] = g.label();
+        self.index[cur].as_mut_slice()[lin] = idx;
+        self.row.as_mut_slice()[idx as usize] = r;
+        self.col.as_mut_slice()[idx as usize] = c;
+        self.tour.as_mut_slice()[idx as usize] = 0.0;
+        self.alive[idx as usize] = 1;
+        self.live += 1;
+        Some(idx)
+    }
+}
 
 /// Per-kernel cumulative timing/profile, indexed init/calc/tour/move.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +84,8 @@ pub struct GpuEngine {
     spawn_rows: usize,
     step_no: u64,
     metrics: Option<Metrics>,
+    /// Open-boundary despawn/spawn phases (open scenarios only).
+    lifecycle: Option<OpenLifecycle>,
     report: KernelReport,
 }
 
@@ -52,8 +98,18 @@ impl GpuEngine {
         let geom =
             Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
         let state = DeviceState::upload(&env, &dist, cfg.model, cfg.checked);
+        let lifecycle = cfg
+            .scenario
+            .as_deref()
+            .and_then(|s| OpenLifecycle::from_scenario(s, geom, env.targets.clone()));
         let metrics = cfg.track_metrics.then(|| {
-            Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col)
+            let mut m =
+                Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col);
+            if lifecycle.is_some() {
+                let passable = env.width() * env.height() - env.mat.count(pedsim_grid::CELL_WALL);
+                m.enable_open(passable, &env.alive);
+            }
+            m
         });
         Self {
             cfg,
@@ -63,6 +119,7 @@ impl GpuEngine {
             spawn_rows: env.spawn_rows,
             step_no: 0,
             metrics,
+            lifecycle,
             report: KernelReport::default(),
         }
     }
@@ -73,14 +130,10 @@ impl GpuEngine {
     }
 
     /// Replace the model parameters mid-run (the panic-alarm extension).
-    /// Panics when the model *variant* changes — a LEM run has no
+    /// A model-*variant* change is a typed error — a LEM run has no
     /// pheromone substrate to become an ACO run.
-    pub fn set_model(&mut self, model: ModelKind) {
-        assert!(
-            model.is_aco() == self.cfg.model.is_aco(),
-            "model variant cannot change mid-run"
-        );
-        self.cfg.model = model;
+    pub fn set_model(&mut self, model: ModelKind) -> Result<(), ModelSwapError> {
+        swap_model(&mut self.cfg.model, model)
     }
 
     /// Cumulative per-kernel timing and profiles.
@@ -195,6 +248,7 @@ impl Engine for GpuEngine {
         st.future_col.begin_epoch();
         let tour = TourKernel {
             n: st.n,
+            alive: &st.alive,
             scan_val: st.scan_val.as_slice(),
             scan_idx: st.scan_idx.as_slice(),
             front: st.front.as_slice(),
@@ -258,6 +312,12 @@ impl Engine for GpuEngine {
         self.step_no += 1;
         if let Some(m) = self.metrics.as_mut() {
             m.observe(self.state.row.as_slice(), self.state.col.as_slice());
+        }
+        // Open-boundary phases on the host side of the synchronous step:
+        // sinks drain arrivals (already counted above), sources feed the
+        // next launch.
+        if let Some(lc) = &self.lifecycle {
+            lc.run_step(&mut self.state, self.step_no, self.metrics.as_mut());
         }
     }
 
@@ -362,6 +422,15 @@ mod tests {
         assert_eq!(e.report().profile[1].divergent_branches, 0);
         assert_eq!(e.report().profile[3].divergent_branches, 0);
         assert!(e.report().profile[1].threads > 0);
+    }
+
+    #[test]
+    fn set_model_rejects_variant_change_with_typed_error() {
+        let mut e = engine(ModelKind::aco(), ExecPolicy::Sequential, 1);
+        let err = e.set_model(ModelKind::lem()).unwrap_err();
+        assert_eq!(err.running, "ACO");
+        assert_eq!(err.requested, "LEM");
+        assert!(e.set_model(ModelKind::aco()).is_ok());
     }
 
     #[test]

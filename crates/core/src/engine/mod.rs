@@ -15,6 +15,7 @@
 
 pub mod cpu;
 pub mod gpu;
+pub(crate) mod lifecycle;
 pub mod stop;
 
 use std::sync::Arc;
@@ -24,7 +25,47 @@ use pedsim_grid::{DistanceData, Environment, Matrix};
 use crate::metrics::Metrics;
 use crate::params::{ModelKind, SimConfig};
 
+pub use lifecycle::source_stream;
 pub use stop::{InvalidStopCondition, StopCondition, StopReason};
+
+/// Why a mid-run model swap was rejected: the model *variant* changed. A
+/// LEM run has no pheromone substrate to become an ACO run (and an ACO
+/// run's trails mean nothing to LEM), so engines only accept parameter
+/// overlays within the running variant — the panic-alarm extension's
+/// use case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSwapError {
+    /// The variant the engine is running.
+    pub running: &'static str,
+    /// The variant the caller asked for.
+    pub requested: &'static str,
+}
+
+impl std::fmt::Display for ModelSwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model variant cannot change mid-run: engine runs {}, swap requested {}",
+            self.running, self.requested
+        )
+    }
+}
+
+impl std::error::Error for ModelSwapError {}
+
+/// Shared implementation of the engines' `set_model`: accept a parameter
+/// overlay within the running variant, reject a variant change with a
+/// typed error.
+pub(crate) fn swap_model(current: &mut ModelKind, model: ModelKind) -> Result<(), ModelSwapError> {
+    if model.is_aco() != current.is_aco() {
+        return Err(ModelSwapError {
+            running: current.name(),
+            requested: model.name(),
+        });
+    }
+    *current = model;
+    Ok(())
+}
 
 /// Materialise the configured world: the declarative scenario when one is
 /// attached (walls, regions, row-fast-path or flow-field routing), else

@@ -16,7 +16,7 @@
 //! trajectory always stops at the same step with the same reason,
 //! regardless of host, schedule, or batch worker count.
 
-use crate::metrics::{Metrics, MAX_GRIDLOCK_PATIENCE};
+use crate::metrics::{Metrics, MAX_FLUX_WINDOW, MAX_GRIDLOCK_PATIENCE};
 
 /// Why a [`StopCondition`] is rejected by [`StopCondition::validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,18 @@ pub enum InvalidStopCondition {
         /// The retention bound ([`MAX_GRIDLOCK_PATIENCE`]).
         max: u64,
     },
+    /// A `SteadyState` window outside the evaluable range: the two halves
+    /// each need at least one step, and the metrics only retain
+    /// [`MAX_FLUX_WINDOW`] steps of flux history.
+    FluxWindowOutOfRange {
+        /// The requested window.
+        window: u64,
+        /// The retention bound ([`MAX_FLUX_WINDOW`]).
+        max: u64,
+    },
+    /// A `SteadyState` epsilon that is negative, NaN, or infinite — the
+    /// flux-variation comparison could never be meaningful.
+    InvalidEpsilon,
 }
 
 impl std::fmt::Display for InvalidStopCondition {
@@ -40,6 +52,14 @@ impl std::fmt::Display for InvalidStopCondition {
                 "gridlock patience {patience} exceeds the retained movement \
                  history ({max} steps)"
             ),
+            Self::FluxWindowOutOfRange { window, max } => write!(
+                f,
+                "steady-state window {window} outside the evaluable range \
+                 2..={max}"
+            ),
+            Self::InvalidEpsilon => {
+                write!(f, "steady-state epsilon must be finite and non-negative")
+            }
         }
     }
 }
@@ -47,12 +67,13 @@ impl std::fmt::Display for InvalidStopCondition {
 impl std::error::Error for InvalidStopCondition {}
 
 /// When to stop a run. Composable via [`StopCondition::FirstOf`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StopCondition {
     /// Stop once `steps_done` reaches the budget (the paper's protocol).
     Steps(u64),
     /// Stop once every agent has reached its target region. Requires
-    /// metrics tracking.
+    /// metrics tracking. Never fires on an open-boundary world (the
+    /// inflow never finishes) — compose a `Steps` cap.
     AllArrived,
     /// Stop once fewer than `threshold` agents moved in each of the last
     /// `patience` consecutive steps while not everyone has arrived (the
@@ -63,6 +84,19 @@ pub enum StopCondition {
         /// Consecutive frozen steps required before declaring gridlock
         /// (≤ [`crate::metrics::MAX_GRIDLOCK_PATIENCE`]).
         patience: u64,
+    },
+    /// Stop once the windowed flux has settled: the last `window` steps
+    /// are fully observed, saw at least one crossing, and the mean flux of
+    /// the window's two halves differs by at most `epsilon` (crossings per
+    /// step). The steady-state detector for open-boundary worlds; requires
+    /// metrics tracking.
+    SteadyState {
+        /// Largest allowed half-to-half flux difference, in crossings per
+        /// step.
+        epsilon: f64,
+        /// Steps of flux history compared
+        /// (2..=[`crate::metrics::MAX_FLUX_WINDOW`]).
+        window: u64,
     },
     /// Stop when any member condition fires; the **first** (in list
     /// order) that matches supplies the [`StopReason`].
@@ -78,6 +112,8 @@ pub enum StopReason {
     AllArrived,
     /// The crowd froze for the configured patience window.
     Gridlocked,
+    /// The windowed flux settled within epsilon.
+    SteadyState,
 }
 
 impl StopReason {
@@ -87,6 +123,7 @@ impl StopReason {
             StopReason::StepBudget => "step_budget",
             StopReason::AllArrived => "all_arrived",
             StopReason::Gridlocked => "gridlocked",
+            StopReason::SteadyState => "steady_state",
         }
     }
 }
@@ -111,6 +148,15 @@ impl StopCondition {
         ])
     }
 
+    /// The open-boundary sweep rule: stop when the flux settles, else at
+    /// the step budget (arrival never fires on an open world).
+    pub fn steady_or_steps(steps: u64, epsilon: f64, window: u64) -> Self {
+        StopCondition::FirstOf(vec![
+            StopCondition::SteadyState { epsilon, window },
+            StopCondition::Steps(steps),
+        ])
+    }
+
     /// Check the condition's *parameters* (recursively through
     /// [`StopCondition::FirstOf`]) without an engine: a `Gridlocked`
     /// patience beyond [`MAX_GRIDLOCK_PATIENCE`] can never be evaluated,
@@ -124,6 +170,19 @@ impl StopCondition {
                     patience: *patience,
                     max: MAX_GRIDLOCK_PATIENCE,
                 })
+            }
+            StopCondition::SteadyState { window, .. }
+                if !(2..=MAX_FLUX_WINDOW).contains(window) =>
+            {
+                Err(InvalidStopCondition::FluxWindowOutOfRange {
+                    window: *window,
+                    max: MAX_FLUX_WINDOW,
+                })
+            }
+            StopCondition::SteadyState { epsilon, .. }
+                if !epsilon.is_finite() || *epsilon < 0.0 =>
+            {
+                Err(InvalidStopCondition::InvalidEpsilon)
             }
             StopCondition::FirstOf(conds) => conds.iter().try_for_each(StopCondition::validate),
             _ => Ok(()),
@@ -154,6 +213,9 @@ impl StopCondition {
             } => need_metrics()
                 .is_gridlocked(*threshold, *patience)
                 .then_some(StopReason::Gridlocked),
+            StopCondition::SteadyState { epsilon, window } => need_metrics()
+                .is_steady(*epsilon, *window)
+                .then_some(StopReason::SteadyState),
             StopCondition::FirstOf(conds) => {
                 conds.iter().find_map(|c| c.check(steps_done, metrics))
             }
@@ -222,6 +284,59 @@ mod tests {
         assert_eq!(StopReason::StepBudget.name(), "step_budget");
         assert_eq!(StopReason::AllArrived.name(), "all_arrived");
         assert_eq!(StopReason::Gridlocked.name(), "gridlocked");
+        assert_eq!(StopReason::SteadyState.name(), "steady_state");
+    }
+
+    #[test]
+    fn validate_rejects_bad_steady_state_parameters() {
+        use crate::metrics::MAX_FLUX_WINDOW;
+        let ok = StopCondition::steady_or_steps(100, 0.5, 32);
+        assert_eq!(ok.validate(), Ok(()));
+        for window in [0u64, 1, MAX_FLUX_WINDOW + 1] {
+            let bad = StopCondition::SteadyState {
+                epsilon: 0.5,
+                window,
+            };
+            assert_eq!(
+                bad.validate(),
+                Err(InvalidStopCondition::FluxWindowOutOfRange {
+                    window,
+                    max: MAX_FLUX_WINDOW,
+                }),
+                "window {window}"
+            );
+        }
+        for epsilon in [-0.1, f64::NAN, f64::INFINITY] {
+            let bad = StopCondition::SteadyState { epsilon, window: 8 };
+            assert_eq!(bad.validate(), Err(InvalidStopCondition::InvalidEpsilon));
+        }
+        // Nested inside FirstOf, the same rejection surfaces.
+        let nested = StopCondition::FirstOf(vec![
+            StopCondition::Steps(5),
+            StopCondition::SteadyState {
+                epsilon: -1.0,
+                window: 8,
+            },
+        ]);
+        assert!(nested.validate().is_err());
+    }
+
+    #[test]
+    fn steady_state_fires_once_flux_settles() {
+        use crate::metrics::Geometry;
+        let geom = Geometry::two_sided(16, 16, 3, 2);
+        let mut m = Metrics::new(geom, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        let c = StopCondition::SteadyState {
+            epsilon: 0.75,
+            window: 4,
+        };
+        assert_eq!(c.check(0, Some(&m)), None);
+        // One crossing per window half — sustained, settled flow.
+        m.observe(&[0, 13, 1, 15, 15], &[0, 0, 1, 0, 1]); // agent 1 crosses
+        m.observe(&[0, 13, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        m.observe(&[0, 13, 13, 15, 15], &[0, 0, 1, 0, 1]); // agent 2 crosses
+        m.observe(&[0, 13, 13, 15, 15], &[0, 0, 1, 0, 1]);
+        assert_eq!(c.check(4, Some(&m)), Some(StopReason::SteadyState));
     }
 
     #[test]

@@ -48,13 +48,13 @@ pub trait ModelSwitch {
 
 impl ModelSwitch for CpuEngine {
     fn switch_model(&mut self, model: ModelKind) {
-        self.set_model(model);
+        self.set_model(model).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
 impl ModelSwitch for GpuEngine {
     fn switch_model(&mut self, model: ModelKind) {
-        self.set_model(model);
+        self.set_model(model).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

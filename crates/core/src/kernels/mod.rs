@@ -109,6 +109,15 @@ pub struct DeviceState {
     pub pher: Option<PherBuffers>,
     /// Immutable agent labels (`group index + 1`), sentinel at 0.
     pub id: Vec<u8>,
+    /// Per-slot liveness mask (1 live, 0 dead; sentinel 0 at index 0).
+    /// Host-managed between launches by the open-boundary lifecycle; read
+    /// by the tour kernel so dead slots make no decision.
+    pub alive: Vec<u8>,
+    /// Recyclable property slots per group (`pop_first()` yields the
+    /// smallest — the shared deterministic recycling order).
+    pub free: Vec<pedsim_grid::environment::FreeSlots>,
+    /// Live agents currently on the grid.
+    pub live: usize,
     /// Constant-memory distance field (row tables or flow field).
     pub dist: ConstantBuffer<f32>,
     /// Layout of `dist`.
@@ -173,6 +182,9 @@ impl DeviceState {
             tour: ScatterBuffer::new(n + 1, 0.0f32, checked),
             pher,
             id: env.props.id.clone(),
+            alive: env.alive.iter().map(|&a| u8::from(a)).collect(),
+            free: env.free.clone(),
+            live: env.live,
             dist: ConstantBuffer::new(dist.data.clone()),
             dist_kind: dist.kind,
             dist_groups: dist.groups,
@@ -214,6 +226,9 @@ impl DeviceState {
             group_sizes: self.group_sizes.clone(),
             seed,
             targets: self.targets.clone(),
+            alive: self.alive.iter().map(|&a| a != 0).collect(),
+            free: self.free.clone(),
+            live: self.live,
         }
     }
 }

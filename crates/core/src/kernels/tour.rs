@@ -21,6 +21,11 @@ use crate::params::ModelKind;
 pub struct TourKernel<'a> {
     /// Total agents.
     pub n: usize,
+    /// Per-slot liveness mask (read): dead slots — the open-boundary
+    /// recycling pool — are not on the grid and make no decision (their
+    /// future stays NO_FUTURE from the init kernel). Closed worlds pass an
+    /// all-ones mask, so the predicated skip never fires there.
+    pub alive: &'a [u8],
     /// Scan values (read).
     pub scan_val: &'a [f32],
     /// Scan indices (read).
@@ -46,7 +51,7 @@ impl BlockKernel for TourKernel<'_> {
         let n = self.n;
         ctx.threads(|t| {
             let agent = t.global_linear() + 1;
-            if agent <= n {
+            if agent <= n && self.alive[agent] != 0 {
                 let scan = ScanRow {
                     vals: self.scan_val[agent * 8..agent * 8 + 8]
                         .try_into()
@@ -137,6 +142,7 @@ mod tests {
         state.future_col.begin_epoch();
         let tour = TourKernel {
             n: state.n,
+            alive: &state.alive,
             scan_val: state.scan_val.as_slice(),
             scan_idx: state.scan_idx.as_slice(),
             front: state.front.as_slice(),

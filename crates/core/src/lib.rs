@@ -57,7 +57,9 @@ pub mod validate;
 pub mod prelude {
     pub use crate::engine::cpu::CpuEngine;
     pub use crate::engine::gpu::GpuEngine;
-    pub use crate::engine::{Engine, InvalidStopCondition, StopCondition, StopReason};
+    pub use crate::engine::{
+        Engine, InvalidStopCondition, ModelSwapError, StopCondition, StopReason,
+    };
     pub use crate::metrics::{lane_index, Geometry, Metrics};
     pub use crate::params::{AcoParams, LemParams, ModelKind, SimConfig};
     pub use crate::validate::engines_agree;

@@ -25,6 +25,12 @@ use pedsim_grid::Matrix;
 /// patience beyond this is a configuration error.
 pub const MAX_GRIDLOCK_PATIENCE: u64 = 256;
 
+/// Longest flux window [`Metrics`] retains per-step crossing counts for
+/// (the sliding window behind [`Metrics::windowed_flux`] and the
+/// steady-state stop condition). Same O(1)-memory rationale as
+/// [`MAX_GRIDLOCK_PATIENCE`].
+pub const MAX_FLUX_WINDOW: u64 = 256;
+
 /// Static scenario geometry the metrics need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Geometry {
@@ -154,6 +160,21 @@ pub struct Metrics {
     /// observed steps (a bounded ring; the gridlock patience window reads
     /// its tail).
     moved_recent: VecDeque<u32>,
+    /// New crossings observed in each of the last ≤ [`MAX_FLUX_WINDOW`]
+    /// steps (the sliding window behind [`Metrics::windowed_flux`]).
+    crossed_recent: VecDeque<u32>,
+    /// Per-slot liveness (index 0 unused). Closed worlds keep every slot
+    /// live; open-boundary engines report lifecycle events through
+    /// [`Metrics::note_spawn`] / [`Metrics::note_despawn`].
+    live: Vec<bool>,
+    live_count: usize,
+    /// Non-wall cells of the world (the denominator of
+    /// [`Metrics::live_density`]).
+    passable_cells: usize,
+    /// Open-boundary mode: throughput counts crossing *events* (recycled
+    /// slots may cross repeatedly) and [`Metrics::all_arrived`] never
+    /// fires — open runs are measured by flux, not arrival.
+    open: bool,
     prev_row: Vec<u16>,
     prev_col: Vec<u16>,
 }
@@ -174,25 +195,52 @@ impl Metrics {
         row: &[u16],
         col: &[u16],
     ) -> Self {
+        let n = geom.total_agents();
+        let mut live = vec![true; n + 1];
+        live[0] = false;
         Self {
             geom,
             targets,
-            crossed: vec![false; geom.total_agents() + 1],
+            crossed: vec![false; n + 1],
             crossed_per_group: [0; MAX_GROUPS],
             moved_last_step: 0,
             total_moves: 0,
             steps: 0,
             moved_recent: VecDeque::with_capacity(MAX_GRIDLOCK_PATIENCE as usize),
+            crossed_recent: VecDeque::with_capacity(MAX_FLUX_WINDOW as usize),
+            live,
+            live_count: n,
+            passable_cells: geom.width * geom.height,
+            open: false,
             prev_row: row.to_vec(),
             prev_col: col.to_vec(),
         }
     }
 
-    /// Observe the post-step agent positions.
+    /// Switch to open-boundary accounting: liveness is seeded from the
+    /// environment's per-slot flags, `passable_cells` becomes the density
+    /// denominator (grid cells minus walls), throughput counts crossing
+    /// *events*, and [`Metrics::all_arrived`] is permanently false (open
+    /// runs stop on steps, gridlock, or steady flux instead).
+    pub fn enable_open(&mut self, passable_cells: usize, alive: &[bool]) {
+        assert_eq!(alive.len(), self.live.len(), "liveness table size");
+        self.open = true;
+        self.passable_cells = passable_cells.max(1);
+        self.live.copy_from_slice(alive);
+        self.live[0] = false;
+        self.live_count = self.live.iter().filter(|&&a| a).count();
+    }
+
+    /// Observe the post-step agent positions. Dead slots (open-boundary
+    /// worlds) are skipped for both movement and crossing accounting.
     pub fn observe(&mut self, row: &[u16], col: &[u16]) {
         let n = self.geom.total_agents();
         let mut moved = 0usize;
+        let mut crossings = 0u32;
         for i in 1..=n {
+            if !self.live[i] {
+                continue;
+            }
             if row[i] != self.prev_row[i] || col[i] != self.prev_col[i] {
                 moved += 1;
                 self.prev_row[i] = row[i];
@@ -207,6 +255,7 @@ impl Metrics {
                 if arrived {
                     self.crossed[i] = true;
                     self.crossed_per_group[g.index()] += 1;
+                    crossings += 1;
                 }
             }
         }
@@ -214,9 +263,124 @@ impl Metrics {
         if self.moved_recent.len() == MAX_GRIDLOCK_PATIENCE as usize {
             self.moved_recent.pop_front();
         }
-        self.moved_recent.push_back(moved as u32);
+        // A step with no live agents is idle, not frozen: record a
+        // never-below-threshold sentinel so an open world's empty warm-up
+        // steps cannot satisfy the gridlock window once the first agent
+        // spawns.
+        self.moved_recent.push_back(if self.live_count == 0 {
+            u32::MAX
+        } else {
+            moved as u32
+        });
+        if self.crossed_recent.len() == MAX_FLUX_WINDOW as usize {
+            self.crossed_recent.pop_front();
+        }
+        self.crossed_recent.push_back(crossings);
         self.total_moves += moved as u64;
         self.steps += 1;
+    }
+
+    /// Record that the lifecycle removed the agent in slot `i` at its sink
+    /// (open-boundary worlds). The slot's sticky crossed flag is cleared so
+    /// its next occupant can cross again — the cumulative per-group counts
+    /// (and hence [`Metrics::throughput`]) keep the event.
+    pub fn note_despawn(&mut self, i: usize) {
+        debug_assert!(self.live[i], "despawn of a dead slot {i}");
+        self.live[i] = false;
+        self.live_count -= 1;
+        self.crossed[i] = false;
+    }
+
+    /// Record that the lifecycle spawned a new agent into slot `i` at
+    /// `(r, c)` (open-boundary worlds). The previous-position shadow is
+    /// reset so the recycled slot's first step is not miscounted as a
+    /// teleporting move.
+    pub fn note_spawn(&mut self, i: usize, r: u16, c: u16) {
+        debug_assert!(!self.live[i], "spawn into a live slot {i}");
+        self.live[i] = true;
+        self.live_count += 1;
+        self.crossed[i] = false;
+        self.prev_row[i] = r;
+        self.prev_col[i] = c;
+    }
+
+    /// Live agents currently on the grid (equals the population for closed
+    /// worlds).
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Live agents per passable cell — the density axis of the
+    /// fundamental diagram.
+    #[inline]
+    pub fn live_density(&self) -> f64 {
+        self.live_count as f64 / self.passable_cells as f64
+    }
+
+    /// Mean crossings per step over the last `window` observed steps —
+    /// the flux axis of the fundamental diagram. `None` until `window`
+    /// steps have been observed. `window` is clamped to ≥ 1 and must not
+    /// exceed [`MAX_FLUX_WINDOW`] (asserted).
+    pub fn windowed_flux(&self, window: u64) -> Option<f64> {
+        assert!(
+            window <= MAX_FLUX_WINDOW,
+            "flux window {window} exceeds the retained history ({MAX_FLUX_WINDOW} steps)"
+        );
+        let window = window.max(1) as usize;
+        if self.crossed_recent.len() < window {
+            return None;
+        }
+        let sum: u64 = self
+            .crossed_recent
+            .iter()
+            .rev()
+            .take(window)
+            .map(|&c| u64::from(c))
+            .sum();
+        Some(sum as f64 / window as f64)
+    }
+
+    /// True when the flux has settled: the window is fully observed,
+    /// **both** halves saw at least one crossing (a warming-up world whose
+    /// first arrivals land in the recent half is ramping, not steady), and
+    /// the mean flux of the two halves differs by at most `epsilon`.
+    /// `window` must be 2..=[`MAX_FLUX_WINDOW`] (asserted; the halves each
+    /// need at least one step).
+    pub fn is_steady(&self, epsilon: f64, window: u64) -> bool {
+        assert!(
+            (2..=MAX_FLUX_WINDOW).contains(&window),
+            "steady-state window {window} outside 2..={MAX_FLUX_WINDOW}"
+        );
+        let window = window as usize;
+        if self.crossed_recent.len() < window {
+            return false;
+        }
+        // Newest-first over the ring: the recent half vs the older half
+        // before it (no allocation — this runs every step of every open
+        // replica through the stop-condition check).
+        let half = window / 2;
+        let recent: u64 = self
+            .crossed_recent
+            .iter()
+            .rev()
+            .take(half)
+            .map(|&c| u64::from(c))
+            .sum();
+        let older: u64 = self
+            .crossed_recent
+            .iter()
+            .rev()
+            .skip(half)
+            .take(window - half)
+            .map(|&c| u64::from(c))
+            .sum();
+        if recent == 0 || older == 0 {
+            return false;
+        }
+        let recent_mean = recent as f64 / half as f64;
+        let older_mean = older as f64 / (window - half) as f64;
+        (recent_mean - older_mean).abs() <= epsilon
     }
 
     /// Agents of group `g` that have reached their target.
@@ -254,10 +418,12 @@ impl Metrics {
     }
 
     /// Whether every agent has reached its target — a run that can stop
-    /// early with nothing left to measure.
+    /// early with nothing left to measure. Always false for open-boundary
+    /// worlds: the inflow never "finishes", and the cumulative event count
+    /// crossing the slot capacity means nothing there.
     #[inline]
     pub fn all_arrived(&self) -> bool {
-        self.throughput() == self.geom.total_agents()
+        !self.open && self.throughput() == self.geom.total_agents()
     }
 
     /// True when fewer than `threshold` agents moved in each of the last
@@ -276,6 +442,11 @@ impl Metrics {
              ({MAX_GRIDLOCK_PATIENCE} steps)"
         );
         if self.all_arrived() {
+            return false;
+        }
+        // An empty open world is idle, not stuck: nothing has spawned yet
+        // (or everything drained), so zero movement is not gridlock.
+        if self.live_count == 0 {
             return false;
         }
         let window = patience.max(1) as usize;
@@ -500,6 +671,116 @@ mod tests {
     #[cfg(debug_assertions)]
     fn group_of_rejects_sentinel() {
         let _ = geom().group_of(0);
+    }
+
+    #[test]
+    fn flux_window_counts_crossing_events() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        assert_eq!(m.windowed_flux(4), None); // nothing observed yet
+        m.observe(&[0, 13, 1, 2, 15], &[0, 0, 1, 0, 1]); // 2 crossings
+        m.observe(&[0, 13, 1, 2, 15], &[0, 0, 1, 0, 1]); // 0
+        assert_eq!(m.windowed_flux(2), Some(1.0));
+        assert_eq!(m.windowed_flux(1), Some(0.0));
+        assert_eq!(m.windowed_flux(4), None); // window not yet observed
+        assert!((m.live_density() - 4.0 / 256.0).abs() < 1e-12);
+        assert_eq!(m.live_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the retained history")]
+    fn flux_window_beyond_retention_is_rejected() {
+        let m = Metrics::new(geom(), &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        let _ = m.windowed_flux(MAX_FLUX_WINDOW + 1);
+    }
+
+    #[test]
+    fn steady_state_needs_flow_and_settled_halves() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        // Zero-flux steps: fully observed window, but no flow → not steady.
+        for _ in 0..8 {
+            m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        }
+        assert!(!m.is_steady(0.5, 4));
+        // Ramp-up — all crossings in the recent half, older half quiet —
+        // is not steady no matter how loose the epsilon.
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        m.observe(&[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]); // quiet
+        m.observe(&[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]); // quiet
+        m.observe(&[0, 13, 1, 15, 15], &[0, 0, 1, 0, 1]); // agent 1 crosses
+        m.observe(&[0, 13, 13, 15, 15], &[0, 0, 1, 0, 1]); // agent 2 crosses
+        assert!(!m.is_steady(5.0, 4));
+        // Sustained flow — one crossing per half — settles even under a
+        // tight epsilon.
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        m.observe(&[0, 13, 1, 15, 15], &[0, 0, 1, 0, 1]); // agent 1 crosses
+        m.observe(&[0, 13, 1, 15, 15], &[0, 0, 1, 0, 1]); // quiet
+        m.observe(&[0, 13, 13, 15, 15], &[0, 0, 1, 0, 1]); // agent 2 crosses
+        m.observe(&[0, 13, 13, 15, 15], &[0, 0, 1, 0, 1]); // quiet
+        assert!(m.is_steady(0.1, 4));
+        // A window whose recent half is flowless is draining, not steady.
+        assert!(!m.is_steady(0.1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=")]
+    fn steady_window_of_one_is_rejected() {
+        let m = Metrics::new(geom(), &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        let _ = m.is_steady(0.5, 1);
+    }
+
+    #[test]
+    fn open_mode_recycles_slots_and_never_arrives() {
+        let g = geom(); // 2 + 2 slots
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        // Slot 3 starts dead (a pooled open-world slot).
+        let alive = vec![false, true, true, false, true];
+        m.enable_open(200, &alive);
+        assert_eq!(m.live_count(), 3);
+        assert!((m.live_density() - 3.0 / 200.0).abs() < 1e-12);
+        // Agent 1 crosses; the lifecycle drains it.
+        m.observe(&[0, 13, 1, 0, 15], &[0, 0, 1, 0, 1]);
+        assert_eq!(m.throughput(), 1);
+        m.note_despawn(1);
+        assert_eq!(m.live_count(), 2);
+        // Dead slots are invisible to observation: agent 1's stale
+        // position inside the band must not re-count.
+        m.observe(&[0, 13, 1, 0, 15], &[0, 0, 1, 0, 1]);
+        assert_eq!(m.throughput(), 1);
+        // Respawn into slot 1 back at the top; it can cross again, and the
+        // jump to the spawn cell is not counted as a move.
+        m.note_spawn(1, 0, 4);
+        let moves_before = m.total_moves;
+        m.observe(&[0, 0, 1, 0, 15], &[0, 4, 1, 0, 1]);
+        assert_eq!(m.total_moves, moves_before);
+        m.observe(&[0, 14, 1, 0, 15], &[0, 4, 1, 0, 1]);
+        assert_eq!(m.throughput(), 2, "recycled slot crossed again");
+        // Open worlds never "arrive", even past the slot-capacity count.
+        m.observe(&[0, 14, 14, 1, 1], &[0, 4, 1, 0, 1]);
+        assert!(m.throughput() >= 2);
+        assert!(!m.all_arrived());
+    }
+
+    #[test]
+    fn empty_open_world_is_not_gridlocked() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 0, 0, 0, 0], &[0, 0, 0, 0, 0]);
+        m.enable_open(256, &[false, false, false, false, false]);
+        assert_eq!(m.live_count(), 0);
+        for _ in 0..4 {
+            m.observe(&[0, 0, 0, 0, 0], &[0, 0, 0, 0, 0]);
+        }
+        // Nothing moved, but nothing exists: idle, not stuck.
+        assert!(!m.is_gridlocked(1, 2));
+        // The first spawn after the idle stretch must not inherit the
+        // zero-movement window: patience counts only steps with agents.
+        m.note_spawn(1, 0, 0);
+        assert!(!m.is_gridlocked(1, 2));
+        m.observe(&[0, 0, 0, 0, 0], &[0, 0, 0, 0, 0]); // one frozen live step
+        assert!(!m.is_gridlocked(1, 2));
+        m.observe(&[0, 0, 0, 0, 0], &[0, 0, 0, 0, 0]); // two in a row
+        assert!(m.is_gridlocked(1, 2));
     }
 
     #[test]

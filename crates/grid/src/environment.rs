@@ -87,6 +87,13 @@ impl EnvConfig {
     }
 }
 
+/// A group's pool of recyclable property slots. An ordered set so both
+/// engines share one deterministic reuse rule — `pop_first()` always
+/// yields the **smallest** free slot in O(log n) (a sorted `Vec` would
+/// memmove kilobytes per despawn at paper scale) — which is part of the
+/// cross-engine bit-identity contract for open-boundary worlds.
+pub type FreeSlots = std::collections::BTreeSet<u32>;
+
 /// The environment state: cell labels, agent indices, agent properties.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Environment {
@@ -111,6 +118,18 @@ pub struct Environment {
     /// the classic corridor convention "crossed = reached the opposite
     /// spawn band".
     pub targets: Option<Arc<Matrix<u8>>>,
+    /// Per-slot liveness (index 0 is the sentinel and always dead). Closed
+    /// worlds keep every slot alive for the whole run; open-boundary worlds
+    /// toggle flags through [`Environment::despawn`] /
+    /// [`Environment::spawn_from_free`].
+    pub alive: Vec<bool>,
+    /// Recyclable property slots per group; `pop_first()` always yields
+    /// the smallest free slot — the deterministic recycling order both
+    /// engines share.
+    pub free: Vec<FreeSlots>,
+    /// Live agents currently on the grid (≤ the slot capacity
+    /// [`Environment::total_agents`]).
+    pub live: usize,
 }
 
 impl Environment {
@@ -156,6 +175,8 @@ impl Environment {
             (n + 1) as u32,
             &mut rng_bot,
         );
+        let mut alive = vec![true; 2 * n + 1];
+        alive[0] = false;
         Self {
             mat,
             index,
@@ -164,6 +185,9 @@ impl Environment {
             group_sizes: vec![n, n],
             seed: cfg.seed,
             targets: None,
+            alive,
+            free: vec![FreeSlots::new(), FreeSlots::new()],
+            live: 2 * n,
         }
     }
 
@@ -252,11 +276,70 @@ impl Environment {
             .count()
     }
 
+    /// Live agents currently on the grid.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Whether slot `idx` currently holds a live agent.
+    #[inline]
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.alive[idx]
+    }
+
+    /// Remove the live agent in slot `idx` (group `g`) from the grid and
+    /// recycle its property slot: the cell it stood on becomes empty, the
+    /// slot joins the group's free pool (the smallest free slot is reused
+    /// first), and the live count drops. The slot's
+    /// row/col/id records are left in place — dead slots are simply not on
+    /// the grid, which is how both engines' kernels already treat them.
+    pub fn despawn(&mut self, g: Group, idx: usize) {
+        debug_assert!(self.alive[idx], "despawning a dead slot {idx}");
+        debug_assert_eq!(self.group_of(idx), g, "slot {idx} is not in group {g:?}");
+        let (r, c) = self.props.position(idx);
+        debug_assert_eq!(self.index.get(r as usize, c as usize), idx as u32);
+        self.mat.set(r as usize, c as usize, CELL_EMPTY);
+        self.index.set(r as usize, c as usize, 0);
+        self.alive[idx] = false;
+        self.live -= 1;
+        self.free[g.index()].insert(idx as u32);
+    }
+
+    /// Place a recycled (or never-used) slot of group `g` at the empty cell
+    /// `(r, c)`, returning the slot index, or `None` when the group has no
+    /// free slot. The smallest free slot is always chosen, so the spawn
+    /// order is deterministic and identical on both engines.
+    pub fn spawn_from_free(&mut self, g: Group, r: u16, c: u16) -> Option<u32> {
+        debug_assert_eq!(self.mat.get(r as usize, c as usize), CELL_EMPTY);
+        let idx = self.free[g.index()].pop_first()?;
+        self.mat.set(r as usize, c as usize, g.label());
+        self.index.set(r as usize, c as usize, idx);
+        self.props.place(idx as usize, g.label(), r, c);
+        self.alive[idx as usize] = true;
+        self.live += 1;
+        Some(idx)
+    }
+
     /// Verify the three matrices tell one consistent story; returns a
     /// description of the first inconsistency.
     pub fn check_consistency(&self) -> Result<(), String> {
         if self.n_groups() > MAX_GROUPS {
             return Err(format!("{} groups exceed MAX_GROUPS", self.n_groups()));
+        }
+        if self.alive.len() != self.total_agents() + 1 {
+            return Err(format!(
+                "liveness table holds {} slots for {} agents",
+                self.alive.len(),
+                self.total_agents() + 1
+            ));
+        }
+        if self.free.len() != self.n_groups() {
+            return Err(format!(
+                "{} free lists for {} groups",
+                self.free.len(),
+                self.n_groups()
+            ));
         }
         let mut seen = vec![false; self.total_agents() + 1];
         for (r, c, v) in self.index.iter_cells() {
@@ -273,6 +356,9 @@ impl Environment {
             }
             if seen[idx] {
                 return Err(format!("agent {idx} appears in two cells"));
+            }
+            if !self.alive[idx] {
+                return Err(format!("dead slot {idx} occupies cell ({r},{c})"));
             }
             seen[idx] = true;
             let in_range = Group::from_label(label)
@@ -297,8 +383,41 @@ impl Environment {
                 return Err(format!("agent {idx}: index range disagrees with label"));
             }
         }
-        if let Some(missing) = (1..=self.total_agents()).find(|&i| !seen[i]) {
-            return Err(format!("agent {missing} not present in the index matrix"));
+        if let Some(missing) = (1..=self.total_agents()).find(|&i| self.alive[i] && !seen[i]) {
+            return Err(format!(
+                "live agent {missing} not present in the index matrix"
+            ));
+        }
+        if self.live != self.alive.iter().filter(|&&a| a).count() {
+            return Err(format!(
+                "live count {} disagrees with the liveness table",
+                self.live
+            ));
+        }
+        // The free pools are exactly the dead slots, each in its own
+        // group's pool (the set ordering makes smallest-first reuse
+        // canonical, so there is no order to verify).
+        let mut free_seen = vec![false; self.total_agents() + 1];
+        for (g, list) in self.free.iter().enumerate() {
+            for &slot in list {
+                let idx = slot as usize;
+                if idx == 0 || idx > self.total_agents() {
+                    return Err(format!("free list holds out-of-range slot {idx}"));
+                }
+                if self.alive[idx] {
+                    return Err(format!("live slot {idx} listed as free"));
+                }
+                if self.group_of(idx).index() != g {
+                    return Err(format!("slot {idx} in the wrong group's free list ({g})"));
+                }
+                if free_seen[idx] {
+                    return Err(format!("slot {idx} listed as free twice"));
+                }
+                free_seen[idx] = true;
+            }
+        }
+        if let Some(orphan) = (1..=self.total_agents()).find(|&i| !self.alive[i] && !free_seen[i]) {
+            return Err(format!("dead slot {orphan} is in no free list"));
         }
         Ok(())
     }
@@ -401,6 +520,63 @@ mod tests {
         // But a wall with a stale index entry is corruption.
         env.index.set(8, 8, 3);
         assert!(env.check_consistency().is_err());
+    }
+
+    #[test]
+    fn despawn_and_spawn_recycle_slots_smallest_first() {
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 3));
+        assert_eq!(env.live_count(), 6);
+        // Drain two top agents (slots 1 and 2).
+        for idx in [2usize, 1] {
+            env.despawn(Group::TOP, idx);
+        }
+        assert_eq!(env.live_count(), 4);
+        assert!(!env.is_alive(1) && !env.is_alive(2));
+        // The pool is ordered: the smallest slot pops first.
+        assert_eq!(env.free[0].iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        env.check_consistency().expect("consistent after despawn");
+        // Their cells emptied.
+        let (r, c) = env.props.position(1);
+        assert_eq!(env.mat.get(r as usize, c as usize), CELL_EMPTY);
+        // Spawn reuses slot 1 first, at the requested cell.
+        let idx = env.spawn_from_free(Group::TOP, 8, 8).expect("slot free");
+        assert_eq!(idx, 1);
+        assert_eq!(env.mat.get(8, 8), CELL_TOP);
+        assert_eq!(env.index.get(8, 8), 1);
+        assert_eq!(env.props.position(1), (8, 8));
+        assert!(env.is_alive(1));
+        assert_eq!(env.live_count(), 5);
+        env.check_consistency().expect("consistent after spawn");
+        // One more spawn drains the pool; the next returns None.
+        assert_eq!(env.spawn_from_free(Group::TOP, 9, 9), Some(2));
+        assert_eq!(env.spawn_from_free(Group::TOP, 10, 10), None);
+    }
+
+    #[test]
+    fn consistency_rejects_lifecycle_corruption() {
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 3));
+        // A dead slot still sitting on the grid is corruption.
+        env.alive[1] = false;
+        env.free[0].insert(1);
+        assert!(env
+            .check_consistency()
+            .unwrap_err()
+            .contains("dead slot 1 occupies"));
+        // A live slot listed as free is corruption.
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 3));
+        env.free[1].insert(4);
+        assert!(env
+            .check_consistency()
+            .unwrap_err()
+            .contains("live slot 4 listed as free"));
+        // A despawned slot missing from every free list is corruption.
+        let mut env = Environment::new(&EnvConfig::small(16, 16, 3));
+        env.despawn(Group::TOP, 1);
+        env.free[0].clear();
+        assert!(env
+            .check_consistency()
+            .unwrap_err()
+            .contains("in no free list"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use pedsim_core::metrics::lane_index;
 use simt::exec::pool::WorkerPool;
 
 use crate::job::{EngineSel, Job, JobError};
-use crate::report::{BatchReport, RunResult};
+use crate::report::{BatchReport, RunResult, FLUX_REPORT_WINDOW};
 
 /// Runs job lists on a persistent thread pool.
 ///
@@ -89,12 +89,18 @@ pub fn execute(job: &Job) -> RunResult {
         .map_or_else(|| "corridor".to_string(), |s| s.name().to_string());
     // The scenario's population sum is authoritative: the EnvConfig record
     // only mirrors group 0 and would misreport asymmetric or multi-group
-    // worlds as `agents_per_side * 2`.
-    let agents = job
-        .cfg
-        .scenario
-        .as_ref()
-        .map_or_else(|| job.cfg.env.total_agents(), |s| s.total_agents());
+    // worlds as `agents_per_side * 2`. Open worlds start empty, so their
+    // meaningful size is the recyclable slot capacity.
+    let agents = job.cfg.scenario.as_ref().map_or_else(
+        || job.cfg.env.total_agents(),
+        |s| {
+            if s.is_open() {
+                s.total_capacity()
+            } else {
+                s.total_agents()
+            }
+        },
+    );
     match &job.engine {
         EngineSel::Cpu => finish(job, world, agents, CpuEngine::new(job.cfg.clone())),
         EngineSel::Gpu(device) => finish(
@@ -124,6 +130,8 @@ fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> 
         steps: engine.steps_done(),
         stop,
         throughput: metrics.map(|m| m.throughput()),
+        flux: metrics.and_then(|m| m.windowed_flux(FLUX_REPORT_WINDOW)),
+        live: metrics.map(|m| m.live_count()),
         total_moves: metrics.map(|m| m.total_moves),
         lane_index: metrics
             .is_some()

@@ -58,7 +58,7 @@ pub mod report;
 pub use batch::Batch;
 pub use job::{EngineSel, Job, JobError};
 pub use pedsim_core::engine::{InvalidStopCondition, StopCondition, StopReason};
-pub use report::{BatchReport, RunResult};
+pub use report::{BatchReport, RunResult, FLUX_REPORT_WINDOW};
 
 /// The commonly-used surface of the runner.
 pub mod prelude {

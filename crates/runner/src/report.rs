@@ -5,6 +5,11 @@ use std::time::Duration;
 
 use pedsim_core::engine::StopReason;
 
+/// The sliding window (steps) behind [`RunResult::flux`]: long enough to
+/// smooth single-step noise, short enough that smoke-scale runs observe
+/// it fully. Must stay ≤ `pedsim_core::metrics::MAX_FLUX_WINDOW`.
+pub const FLUX_REPORT_WINDOW: u64 = 64;
+
 /// Outcome of one completed job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -25,7 +30,16 @@ pub struct RunResult {
     /// Why the run stopped.
     pub stop: StopReason,
     /// Agents that reached their target (`None` when metrics were off).
+    /// Open-boundary worlds count crossing *events* (recycled slots may
+    /// cross repeatedly).
     pub throughput: Option<usize>,
+    /// Mean crossings per step over the final [`FLUX_REPORT_WINDOW`]
+    /// steps (`None` when metrics were off or the run was shorter than
+    /// the window) — the open-boundary worlds' flux reading.
+    pub flux: Option<f64>,
+    /// Agents live on the grid when the run stopped (`None` when metrics
+    /// were off). Equals the population for closed worlds.
+    pub live: Option<usize>,
     /// Total cell changes over the run (`None` when metrics were off).
     pub total_moves: Option<u64>,
     /// Lane-formation index of the final configuration (`None` when
@@ -62,6 +76,8 @@ impl RunResult {
         push_raw_field(&mut o, "steps", &self.steps.to_string());
         push_str_field(&mut o, "stop", self.stop.name());
         push_raw_field(&mut o, "throughput", &opt_num(self.throughput));
+        push_raw_field(&mut o, "flux", &self.flux.map_or("null".into(), json_f64));
+        push_raw_field(&mut o, "live", &opt_num(self.live));
         push_raw_field(&mut o, "moves", &opt_num(self.total_moves));
         push_raw_field(
             &mut o,
@@ -97,6 +113,8 @@ pub struct BatchReport {
     pub arrived: usize,
     /// Jobs that stopped with [`StopReason::Gridlocked`].
     pub gridlocked: usize,
+    /// Jobs that stopped with [`StopReason::SteadyState`].
+    pub steady: usize,
     /// Jobs that ran out their step budget.
     pub exhausted: usize,
     /// Sum of per-job wall times (CPU-seconds of simulation).
@@ -131,6 +149,7 @@ impl BatchReport {
             mean_steps,
             arrived: count(StopReason::AllArrived),
             gridlocked: count(StopReason::Gridlocked),
+            steady: count(StopReason::SteadyState),
             exhausted: count(StopReason::StepBudget),
             wall_total,
             wall_max,
@@ -177,7 +196,7 @@ impl BatchReport {
     fn render_json(&self, timing: bool) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v1\",");
+        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v2\",");
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"aggregate\": {{");
         let _ = writeln!(s, "    \"agents_total\": {},", self.agents_total);
@@ -187,8 +206,9 @@ impl BatchReport {
         let _ = writeln!(s, "    \"mean_steps\": {},", json_f64(self.mean_steps));
         let _ = write!(
             s,
-            "    \"stops\": {{\"all_arrived\": {}, \"gridlocked\": {}, \"step_budget\": {}}}",
-            self.arrived, self.gridlocked, self.exhausted
+            "    \"stops\": {{\"all_arrived\": {}, \"gridlocked\": {}, \"steady_state\": {}, \
+             \"step_budget\": {}}}",
+            self.arrived, self.gridlocked, self.steady, self.exhausted
         );
         if timing {
             let _ = writeln!(s, ",");
@@ -280,6 +300,8 @@ mod tests {
             steps: 100,
             stop,
             throughput: Some(40),
+            flux: Some(0.5),
+            live: Some(40),
             total_moves: Some(1_000),
             lane_index: Some(0.25),
             wall: Duration::from_millis(seed),

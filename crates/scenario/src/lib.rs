@@ -14,9 +14,16 @@
 //! * [`registry`] — ready-made worlds: `paper_corridor` (the paper's
 //!   geometry, bit-identical to the legacy `EnvConfig` path), `doorway`,
 //!   `pillar_hall`, `crossing`, `four_way_crossing`, `t_junction_merge`,
-//!   and `asymmetric_corridor`;
+//!   `asymmetric_corridor`, and the open-boundary `open_corridor` /
+//!   `open_crossing`;
 //! * [`sweep`] — registry-world × population × seed grids, the input
 //!   enumeration for `pedsim-runner` batches.
+//!
+//! Worlds may be **open-boundary**: a group with a [`scenario::SourceDesc`]
+//! receives a deterministic Poisson-like inflow, and every target region
+//! becomes a sink that removes arriving agents and recycles their property
+//! slots — the continuous bi-directional streams the paper's corridor
+//! models, at sustained densities instead of one transient.
 //!
 //! A scenario knows how to *materialise* itself
 //! ([`Scenario::build_environment`]) and how agents *route* through it
@@ -35,5 +42,5 @@ pub mod scenario;
 pub mod sweep;
 
 pub use region::Region;
-pub use scenario::{GroupDesc, Scenario, ScenarioBuilder, ScenarioError};
+pub use scenario::{GroupDesc, Scenario, ScenarioBuilder, ScenarioError, SourceDesc};
 pub use sweep::SweepPoint;

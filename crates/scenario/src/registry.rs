@@ -1,6 +1,7 @@
 //! Ready-made scenarios.
 //!
-//! Seven canonical worlds, each exercising one routing/grouping regime:
+//! Nine canonical worlds, each exercising one routing/grouping/boundary
+//! regime:
 //!
 //! * [`paper_corridor`] — exactly the paper's evaluation geometry
 //!   (obstacle-free bi-directional corridor, edge spawn bands). Takes the
@@ -23,6 +24,13 @@
 //!   ends and merging down a single stem toward a shared exit.
 //! * [`asymmetric_corridor`] — the paper corridor with uneven group
 //!   populations (exercising the explicit per-group index ranges).
+//! * [`open_corridor`] — the paper corridor with **open boundaries**: both
+//!   edge bands are Poisson-like inflow sources, both targets are sinks,
+//!   and the corridor carries two continuous opposing streams at a
+//!   sustained density (the fundamental-diagram workload; cf. dynamic
+//!   navigation fields for bidirectional corridor flow, arXiv:1705.03569).
+//! * [`open_crossing`] — two continuous orthogonal streams crossing
+//!   mid-plaza, open boundaries on both.
 
 use pedsim_grid::cell::Group;
 use pedsim_grid::EnvConfig;
@@ -40,6 +48,8 @@ pub fn names() -> &'static [&'static str] {
         "four_way_crossing",
         "t_junction_merge",
         "asymmetric_corridor",
+        "open_corridor",
+        "open_crossing",
     ]
 }
 
@@ -171,17 +181,25 @@ fn four_way_band(side: usize, per_group: usize) -> usize {
 /// west (2, right), east (3, left); each spawn band excludes the plaza
 /// corners so the four regions stay disjoint.
 pub fn four_way_crossing(side: usize, per_group: usize) -> Scenario {
-    let s = four_way_band(side, per_group);
+    four_way_crossing_mixed(side, [per_group; 4])
+}
+
+/// [`four_way_crossing`] with one explicit population per stream (north,
+/// south, west, east). Sweeps use this to split an odd nominal population
+/// exactly instead of rounding every stream down.
+pub fn four_way_crossing_mixed(side: usize, per_group: [usize; 4]) -> Scenario {
+    let largest = per_group.iter().copied().max().unwrap_or(0);
+    let s = four_way_band(side, largest);
     let span = side - 2 * s;
     let north = Region::rect(0, s, s, span);
     let south = Region::rect(side - s, s, s, span);
     let west = Region::rect(s, 0, span, s);
     let east = Region::rect(s, side - s, span, s);
     Scenario::builder("four_way_crossing", side, side)
-        .group(north.clone(), south.clone(), per_group)
-        .group(south, north, per_group)
-        .group(west.clone(), east.clone(), per_group)
-        .group(east, west, per_group)
+        .group(north.clone(), south.clone(), per_group[0])
+        .group(south, north, per_group[1])
+        .group(west.clone(), east.clone(), per_group[2])
+        .group(east, west, per_group[3])
         .build()
         .expect("four-way crossing geometry is always valid")
 }
@@ -252,6 +270,69 @@ pub fn asymmetric_corridor(width: usize, height: usize, top: usize, bottom: usiz
         .population(Group::BOTTOM, bottom)
         .build()
         .expect("asymmetric corridor geometry is always valid")
+}
+
+/// The paper corridor with open boundaries: both edge bands feed a
+/// continuous Poisson-like inflow of `rate` agents per step per group, and
+/// both target bands are sinks that remove arriving agents. Each group
+/// holds `capacity_per_side` recyclable property slots (the most agents of
+/// that group ever live at once); the corridor starts empty and fills
+/// toward the inflow/outflow equilibrium. Obstacle-free with full-width
+/// opposite-edge targets, so it routes by the row-table fast path — the
+/// open-boundary lifecycle on the paper's exact corridor geometry.
+pub fn open_corridor(width: usize, height: usize, capacity_per_side: usize, rate: f64) -> Scenario {
+    assert!(rate >= 0.0, "inflow rate must be non-negative");
+    // The band is the inflow's footprint, not a resident population: size
+    // it so the per-cell spawn probability stays ≤ 0.25 (4× headroom for
+    // congested steps), one row minimum, a quarter of the corridor at
+    // most. Slot capacity is independent — the pool lives off-grid.
+    let s = ((rate * 4.0 / width.max(1) as f64).ceil() as usize).clamp(1, (height / 4).max(1));
+    assert!(
+        s * 2 <= height,
+        "open corridor of {height} rows cannot fit inflow bands of {s} rows"
+    );
+    let top = Region::row_band(0, s, width);
+    let bottom = Region::row_band(height - s, s, width);
+    Scenario::builder("open_corridor", width, height)
+        .spawn(Group::TOP, top.clone())
+        .spawn(Group::BOTTOM, bottom.clone())
+        .target(Group::TOP, bottom.clone())
+        .target(Group::BOTTOM, top.clone())
+        .population(Group::TOP, 0)
+        .population(Group::BOTTOM, 0)
+        .capacity(Group::TOP, capacity_per_side)
+        .capacity(Group::BOTTOM, capacity_per_side)
+        .source(Group::TOP, top, rate)
+        .source(Group::BOTTOM, bottom, rate)
+        .build()
+        .expect("open corridor geometry is always valid")
+}
+
+/// Two continuous orthogonal streams on a `side × side` plaza with open
+/// boundaries: group 0 flows top→bottom, group 1 left→right, each fed at
+/// `rate` agents per step from its edge band and drained at the opposite
+/// edge. Same geometry as [`crossing`], so the streams intersect mid-grid
+/// at a sustained density instead of one transient wave.
+pub fn open_crossing(side: usize, capacity_per_stream: usize, rate: f64) -> Scenario {
+    let s = (1..side / 2)
+        .find(|&s| (s * (side - s)) as f64 * 0.6 >= capacity_per_stream as f64)
+        .unwrap_or(side / 2)
+        .max(2);
+    let top = Region::rect(0, s, s, side - s);
+    let left = Region::rect(s, 0, side - s, s);
+    Scenario::builder("open_crossing", side, side)
+        .spawn(Group::TOP, top.clone())
+        .target(Group::TOP, Region::row_band(side - s, s, side))
+        .spawn(Group::BOTTOM, left.clone())
+        .target(Group::BOTTOM, Region::col_band(side - s, s, side))
+        .population(Group::TOP, 0)
+        .population(Group::BOTTOM, 0)
+        .capacity(Group::TOP, capacity_per_stream)
+        .capacity(Group::BOTTOM, capacity_per_stream)
+        .source(Group::TOP, top, rate)
+        .source(Group::BOTTOM, left, rate)
+        .build()
+        .expect("open crossing geometry is always valid")
 }
 
 #[cfg(test)]
@@ -372,7 +453,40 @@ mod tests {
 
     #[test]
     fn registry_names_cover_all_constructors() {
-        assert_eq!(names().len(), 7);
+        assert_eq!(names().len(), 9);
+    }
+
+    #[test]
+    fn open_corridor_is_open_on_the_fast_path() {
+        let s = open_corridor(32, 32, 60, 1.5);
+        assert!(s.is_open());
+        assert!(s.uses_row_fast_path());
+        assert_eq!(s.total_agents(), 0);
+        assert_eq!(s.total_capacity(), 120);
+        assert_eq!(s.capacities(), vec![60, 60]);
+        let src = s.source(Group::TOP).expect("top source");
+        assert!((src.rate - 1.5).abs() < 1e-12);
+        // Sources sit on the groups' own spawn bands, away from their sinks.
+        assert!(src.region.contains(0, 5));
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        assert_eq!(env.live_count(), 0);
+        assert_eq!(env.free[0].len(), 60);
+        // Smallest slot pops first.
+        assert_eq!(env.free[0].first(), Some(&1));
+        assert_eq!(env.free[1].first(), Some(&61));
+    }
+
+    #[test]
+    fn open_crossing_streams_are_orthogonal_and_open() {
+        let s = open_crossing(32, 50, 2.0);
+        assert!(s.is_open());
+        assert_eq!(s.group(Group::BOTTOM).heading, Heading::Right);
+        assert_eq!(s.distance_data().kind, DistanceKind::Grid);
+        let env = s.build_environment();
+        env.check_consistency().expect("consistent");
+        assert_eq!(env.live_count(), 0);
+        assert_eq!(env.total_agents(), 100);
     }
 
     #[test]

@@ -57,6 +57,25 @@ pub enum ScenarioError {
     },
     /// Every cell of a group's target region is walled off.
     TargetWalled(usize),
+    /// A group's slot capacity is smaller than its initial population.
+    CapacityBelowPopulation {
+        /// The group whose capacity is too small.
+        group: usize,
+        /// Declared slot capacity.
+        capacity: usize,
+        /// Initial population.
+        population: usize,
+    },
+    /// A source region's inflow rate is negative, NaN, or infinite.
+    InvalidSourceRate(usize),
+    /// A source region overlaps a wall or the group's own target region
+    /// (agents would despawn the step after they appear).
+    SourceOverlap {
+        /// What the source collides with.
+        with: &'static str,
+        /// The shared cell.
+        cell: (u16, u16),
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -90,26 +109,73 @@ impl std::fmt::Display for ScenarioError {
                 "group {group} spawn region holds {capacity} cells, cannot seat {agents} agents"
             ),
             Self::TargetWalled(g) => write!(f, "every group-{g} target cell is a wall"),
+            Self::CapacityBelowPopulation {
+                group,
+                capacity,
+                population,
+            } => write!(
+                f,
+                "group {group} capacity {capacity} cannot hold its initial \
+                 population of {population}"
+            ),
+            Self::InvalidSourceRate(g) => {
+                write!(f, "group {g} source rate must be finite and non-negative")
+            }
+            Self::SourceOverlap { with, cell } => {
+                write!(
+                    f,
+                    "source region overlaps {with} at ({}, {})",
+                    cell.0, cell.1
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ScenarioError {}
 
+/// A per-group inflow source: new agents of the group appear inside
+/// `region` at a Poisson-like rate, making the world *open-boundary*.
+///
+/// Each step, every empty source cell flips an independent coin with
+/// probability `rate / region.len()`, so the expected inflow over the
+/// whole region is `rate` agents per step (less when the region is
+/// congested or the group's slot pool is exhausted). The draws are keyed
+/// by the Philox `(seed, stream, counter)` scheme — one dedicated stream
+/// per group, one counter range per step — so both engines produce the
+/// identical arrival sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceDesc {
+    /// Cells where agents appear, enumerated in the deterministic spawn
+    /// order.
+    pub region: Region,
+    /// Expected arrivals per step across the whole region.
+    pub rate: f64,
+}
+
 /// One directional group of a scenario: where it spawns, where it is
 /// headed, and how many agents it fields.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupDesc {
     /// Spawn region (cells enumerated in the deterministic placement
     /// order).
     pub spawn: Region,
     /// Target region (arrival cells; may overlap other groups' targets).
     pub target: Region,
-    /// Agents this group fields. Groups may be asymmetric.
+    /// Agents this group fields initially. Groups may be asymmetric.
     pub population: usize,
     /// Travel direction — the forward-priority anchor. Derived from the
     /// spawn→target displacement unless overridden in the builder.
     pub heading: Heading,
+    /// Property-slot capacity: the most agents of this group that can be
+    /// live at once. Equals `population` unless raised in the builder;
+    /// open-boundary worlds size it above the initial population so the
+    /// inflow has slots to recycle into.
+    pub capacity: usize,
+    /// Inflow source (open-boundary worlds). Any group carrying a source
+    /// makes the whole scenario open: every group's target region then
+    /// acts as a sink that removes arriving agents.
+    pub source: Option<SourceDesc>,
 }
 
 /// A declarative simulation world: geometry, interior obstacles, and one
@@ -216,9 +282,34 @@ impl Scenario {
         self.groups[0].population
     }
 
-    /// Total population over all groups.
+    /// Total initial population over all groups.
     pub fn total_agents(&self) -> usize {
         self.groups.iter().map(|g| g.population).sum()
+    }
+
+    /// Per-group slot capacities, in index order (equal to the populations
+    /// for closed worlds).
+    pub fn capacities(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.capacity).collect()
+    }
+
+    /// Total slot capacity over all groups — the size of the property
+    /// table both engines allocate.
+    pub fn total_capacity(&self) -> usize {
+        self.groups.iter().map(|g| g.capacity).sum()
+    }
+
+    /// Group `g`'s inflow source, when it has one.
+    pub fn source(&self, g: Group) -> Option<&SourceDesc> {
+        self.groups[g.index()].source.as_ref()
+    }
+
+    /// Whether this is an open-boundary world: at least one group carries
+    /// an inflow source. In an open world every group's target region is a
+    /// sink — arriving agents are removed from the grid and their slots
+    /// recycled — and runs are measured by flux, not arrival.
+    pub fn is_open(&self) -> bool {
+        self.groups.iter().any(|g| g.source.is_some())
     }
 
     /// Placement/kernel seed.
@@ -327,10 +418,13 @@ impl Scenario {
     /// keep the exact streams the classic corridor uses), target bitmask
     /// attached.
     pub fn build_environment(&self) -> Environment {
-        let total = self.total_agents();
+        let total = self.total_capacity();
         let mut mat = Matrix::filled(self.height, self.width, CELL_EMPTY);
         let mut index = Matrix::filled(self.height, self.width, 0u32);
         let mut props = PropertyTable::new(total);
+        let mut alive = vec![false; total + 1];
+        let mut free: Vec<pedsim_grid::environment::FreeSlots> =
+            Vec::with_capacity(self.groups.len());
         for &(r, c) in &self.walls {
             mat.set(r as usize, c as usize, CELL_WALL);
         }
@@ -349,16 +443,32 @@ impl Scenario {
                 first_index,
                 &mut rng,
             );
-            first_index += group.population as u32;
+            for slot in first_index..first_index + group.population as u32 {
+                alive[slot as usize] = true;
+            }
+            // Slots beyond the initial population start dead with the group
+            // label pre-assigned (kernels read labels through an immutable
+            // table), queued for recycling smallest-first.
+            let spare_lo = first_index + group.population as u32;
+            let spare_hi = first_index + group.capacity as u32;
+            for slot in spare_lo..spare_hi {
+                props.id[slot as usize] = Group::new(gi).label();
+            }
+            free.push((spare_lo..spare_hi).collect());
+            first_index = spare_hi;
         }
+        let live = self.total_agents();
         Environment {
             mat,
             index,
             props,
             spawn_rows: self.groups[0].spawn.row_extent(),
-            group_sizes: self.populations(),
+            group_sizes: self.capacities(),
             seed: self.seed,
             targets: Some(Arc::new(self.target_mask())),
+            alive,
+            free,
+            live,
         }
     }
 }
@@ -371,6 +481,8 @@ struct GroupSlot {
     target: Option<Region>,
     population: Option<usize>,
     heading: Option<Heading>,
+    capacity: Option<usize>,
+    source: Option<SourceDesc>,
 }
 
 /// Builder for [`Scenario`] (validates on [`ScenarioBuilder::build`]).
@@ -440,6 +552,23 @@ impl ScenarioBuilder {
     /// spawn→target centroid displacement).
     pub fn heading(mut self, g: Group, heading: Heading) -> Self {
         self.slot_mut(g).heading = Some(heading);
+        self
+    }
+
+    /// Raise group `g`'s property-slot capacity above its initial
+    /// population (open-boundary worlds size the pool the inflow recycles
+    /// into; closed worlds leave it at the population).
+    pub fn capacity(mut self, g: Group, slots: usize) -> Self {
+        self.slot_mut(g).capacity = Some(slots);
+        self
+    }
+
+    /// Attach an inflow source to group `g`: agents of the group appear
+    /// inside `region` at an expected `rate` per step (see [`SourceDesc`]).
+    /// Any source makes the scenario open-boundary — every group's target
+    /// region then despawns arriving agents.
+    pub fn source(mut self, g: Group, region: Region, rate: f64) -> Self {
+        self.slot_mut(g).source = Some(SourceDesc { region, rate });
         self
     }
 
@@ -544,12 +673,57 @@ impl ScenarioBuilder {
             let heading = slot
                 .heading
                 .unwrap_or_else(|| derive_heading(&spawn, &target));
+            let capacity = slot.capacity.unwrap_or(population);
+            if capacity < population {
+                return Err(ScenarioError::CapacityBelowPopulation {
+                    group: gi,
+                    capacity,
+                    population,
+                });
+            }
+            if let Some(source) = &slot.source {
+                if !source.rate.is_finite() || source.rate < 0.0 {
+                    return Err(ScenarioError::InvalidSourceRate(gi));
+                }
+                if let Some(&cell) = source.region.cells().iter().find(|c| !in_bounds(c)) {
+                    return Err(ScenarioError::OutOfBounds {
+                        what: "source",
+                        cell,
+                    });
+                }
+                if let Some(&cell) = source
+                    .region
+                    .cells()
+                    .iter()
+                    .find(|&&(r, c)| walls.binary_search(&(r, c)).is_ok())
+                {
+                    return Err(ScenarioError::SourceOverlap {
+                        with: "a wall",
+                        cell,
+                    });
+                }
+                // A source cell inside the group's own sink would despawn
+                // its arrivals the step after they appear.
+                if let Some(&cell) = source
+                    .region
+                    .cells()
+                    .iter()
+                    .find(|&&(r, c)| target.contains(r, c))
+                {
+                    return Err(ScenarioError::SourceOverlap {
+                        with: "the group's own target region",
+                        cell,
+                    });
+                }
+            }
             earlier_spawns.extend(spawn.cells().iter().copied());
             groups.push(GroupDesc {
                 spawn,
                 target,
                 population,
                 heading,
+                capacity,
+                source: slot.source.clone(),
             });
         }
         Ok(Scenario {

@@ -18,10 +18,16 @@ use crate::scenario::Scenario;
 /// agents per group, using each world's canonical interior parameters
 /// (doorway gap = side/6, pillar spacing = side/8, both floored to sane
 /// minima). Multi-group and asymmetric worlds split `per_side` so every
-/// world fields roughly `2 × per_side` agents in total: the four-way
-/// plaza runs `per_side / 2` per stream, the T-junction `per_side` per
-/// stream, and the asymmetric corridor a 2:1 `per_side` vs `per_side / 2`
-/// mix. Returns `None` for unknown names; see [`registry::names`].
+/// world fields exactly `2 × per_side` agents in total: the four-way
+/// plaza splits `2 × per_side` across its four streams (remainder
+/// distributed, one per axis, so odd `per_side` stays exact), the
+/// T-junction runs `per_side` per stream, and the asymmetric corridor a
+/// 2:1 `per_side` vs `per_side / 2` mix (a deliberate 1.5× exception —
+/// the uneven split *is* the workload). Open-boundary worlds interpret
+/// `per_side` as the per-group slot capacity and feed an inflow of
+/// `per_side / side` agents per step per group, so the steady live
+/// population lands near the closed worlds' density. Returns `None` for
+/// unknown names; see [`registry::names`].
 pub fn build_world(name: &str, side: usize, per_side: usize) -> Option<Scenario> {
     match name {
         "paper_corridor" => Some(registry::paper_corridor(&EnvConfig::small(
@@ -35,7 +41,10 @@ pub fn build_world(name: &str, side: usize, per_side: usize) -> Option<Scenario>
             (side / 8).max(4),
         )),
         "crossing" => Some(registry::crossing(side, per_side)),
-        "four_way_crossing" => Some(registry::four_way_crossing(side, (per_side / 2).max(1))),
+        "four_way_crossing" => Some(registry::four_way_crossing_mixed(
+            side,
+            four_way_split(per_side),
+        )),
         "t_junction_merge" => Some(registry::t_junction_merge(side, per_side)),
         "asymmetric_corridor" => Some(registry::asymmetric_corridor(
             side,
@@ -43,8 +52,39 @@ pub fn build_world(name: &str, side: usize, per_side: usize) -> Option<Scenario>
             per_side,
             (per_side / 2).max(1),
         )),
+        "open_corridor" => Some(registry::open_corridor(
+            side,
+            side,
+            per_side.max(1),
+            open_world_rate(side, per_side),
+        )),
+        "open_crossing" => Some(registry::open_crossing(
+            side,
+            per_side.max(1),
+            open_world_rate(side, per_side),
+        )),
         _ => None,
     }
+}
+
+/// Split a nominal `2 × per_side` total exactly across the four plaza
+/// streams: every stream gets `per_side / 2`, and an odd `per_side`'s two
+/// leftover agents go one to each axis (north and west). The invariant
+/// `sum == 2 × per_side` holds for every `per_side ≥ 1` — rounding every
+/// stream down used to drop two agents per odd `per_side`, so sweep rows
+/// at the same nominal population compared different crowd sizes.
+pub fn four_way_split(per_side: usize) -> [usize; 4] {
+    let q = per_side / 2;
+    let r = per_side % 2;
+    [q + r, q, q + r, q]
+}
+
+/// The canonical sweep inflow for open worlds: `per_side / side` agents
+/// per step per group. Transit takes ≈ `side` steps, so the steady live
+/// population per group settles near `per_side` — the same density axis
+/// the closed worlds sweep.
+fn open_world_rate(side: usize, per_side: usize) -> f64 {
+    (per_side.max(1) as f64 / side.max(1) as f64).max(0.25)
 }
 
 /// One cell of a sweep grid: a world at a population and a seed.
@@ -94,16 +134,52 @@ mod tests {
         for &name in registry::names() {
             let s = build_world(name, 48, 60).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name(), name);
-            // Every world fields roughly 2 × per_side agents in total (the
-            // four-way plaza splits per_side across stream pairs; the
-            // asymmetric corridor runs a 2:1 mix).
+            // Every closed world fields exactly 2 × per_side agents in
+            // total (the asymmetric corridor's 2:1 mix is deliberate);
+            // open worlds start empty and hold 2 × per_side recyclable
+            // slots instead.
             let expected_total = match name {
                 "asymmetric_corridor" => 90,
+                "open_corridor" | "open_crossing" => 0,
                 _ => 120,
             };
             assert_eq!(s.total_agents(), expected_total, "{name}");
+            if s.is_open() {
+                assert_eq!(s.total_capacity(), 120, "{name}");
+            }
         }
         assert!(build_world("no_such_world", 48, 60).is_none());
+    }
+
+    #[test]
+    fn four_way_split_is_exact_for_odd_populations() {
+        // The old `per_side / 2` split dropped two agents whenever
+        // per_side was odd, so sweep rows at the same nominal population
+        // compared different crowd sizes across worlds.
+        for per_side in 1..=64 {
+            let split = four_way_split(per_side);
+            assert_eq!(
+                split.iter().sum::<usize>(),
+                2 * per_side,
+                "split {split:?} for per_side {per_side}"
+            );
+            let s = build_world("four_way_crossing", 48, per_side).expect("registry world");
+            assert_eq!(s.total_agents(), 2 * per_side, "per_side {per_side}");
+        }
+    }
+
+    #[test]
+    fn open_worlds_carry_sources_for_every_group() {
+        for name in ["open_corridor", "open_crossing"] {
+            let s = build_world(name, 32, 24).expect("registry world");
+            assert!(s.is_open(), "{name}");
+            for g in 0..s.n_groups() {
+                let src = s
+                    .source(pedsim_grid::cell::Group::new(g))
+                    .unwrap_or_else(|| panic!("{name} group {g} has no source"));
+                assert!(src.rate > 0.0);
+            }
+        }
     }
 
     #[test]

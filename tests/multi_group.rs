@@ -193,13 +193,14 @@ mod placement_properties {
     proptest! {
         #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
-        /// For every registry world: the N spawn regions are pairwise
-        /// disjoint and disjoint from walls, and the built environment
-        /// seats each group's agents only inside its own spawn region.
+        /// For every registry world (open-boundary ones included): the N
+        /// spawn regions are pairwise disjoint and disjoint from walls,
+        /// and the built environment seats each group's initial agents
+        /// only inside its own spawn region.
         #[test]
         fn spawn_regions_stay_disjoint_and_respected(
             seed in 0u64..1000,
-            world_idx in 0usize..7,
+            world_idx in 0usize..9,
             per in 4usize..20,
         ) {
             let name = registry::names()[world_idx];
@@ -220,12 +221,17 @@ mod placement_properties {
                 let group = Group::new(g);
                 let start = env.group_start(group);
                 for i in start..start + env.group_size(group) {
+                    // Every slot (live or pooled) carries its group label;
+                    // only live slots have a grid position to check.
+                    prop_assert_eq!(env.props.id[i], group.label());
+                    if !env.is_alive(i) {
+                        continue;
+                    }
                     let (r, c) = env.props.position(i);
                     prop_assert!(
                         scenario.spawn(group).contains(r, c),
                         "{name}: agent {i} of group {g} spawned outside its region at ({r},{c})"
                     );
-                    prop_assert_eq!(env.props.id[i], group.label());
                 }
             }
         }
