@@ -1,0 +1,92 @@
+//! Step throughput of the unified engine pipeline: per-stage wall time,
+//! steps/second, and CPU-vs-GPU ratios on closed and open registry
+//! worlds.
+//!
+//! ```text
+//! cargo run -p pedsim-bench --release --bin step_throughput -- \
+//!     [--paper|--smoke] [--workers N]
+//! ```
+//!
+//! Writes `results/step_throughput_<scale>.{csv,json}` plus the repo-root
+//! `BENCH_step_throughput.json` perf-trajectory record, and prints a
+//! Markdown table. Exits non-zero when the smoke-scale measurement does
+//! not cover both engines and every pipeline stage.
+
+use pedsim_bench::report;
+use pedsim_bench::scale::{arg_value, Scale};
+use pedsim_bench::step_throughput as st;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args_or_exit(&args);
+    // Default to one worker: replicas racing for cores would pollute the
+    // per-stage wall clocks this harness exists to record.
+    let workers = arg_value(&args, "--workers")
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(1);
+    let cfg = st::StConfig::for_scale(scale);
+    let base = std::path::Path::new(".");
+
+    eprintln!(
+        "step_throughput [{}]: {side}x{side} closed+open corridors, both engines, \
+         {} steps x {} repeats, on {workers} workers…",
+        scale.label(),
+        cfg.steps,
+        cfg.repeats,
+        side = cfg.side,
+    );
+
+    let t0 = std::time::Instant::now();
+    let rows = st::run(&cfg, workers);
+    let elapsed = t0.elapsed();
+
+    println!("\n## Step throughput ({} scale)\n", scale.label());
+    let table = st::table(&rows);
+    print!("{}", table.markdown());
+    println!();
+    for ratio in st::ratios(&rows) {
+        println!(
+            "{}: CPU spends {:.2}x the GPU pipeline's wall time per step",
+            ratio.world, ratio.total
+        );
+    }
+
+    let name = format!("step_throughput_{}", scale.label());
+    match table.save_csv(base, &name) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write {name}.csv: {e}"),
+    }
+    let json = st::to_json(scale, &cfg, &rows);
+    match report::save_json(base, &name, &json) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write {name}.json: {e}"),
+    }
+    let bench_path = base.join("BENCH_step_throughput.json");
+    let record_written = match std::fs::write(&bench_path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {}", bench_path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", bench_path.display());
+            false
+        }
+    };
+    eprintln!("wall: {:.2}s on {workers} workers", elapsed.as_secs_f64());
+
+    let ok = st::covers_both_engines_and_all_stages(&rows);
+    println!(
+        "\nmeasurement {}",
+        if ok {
+            "covers both engines and every pipeline stage"
+        } else {
+            "is INCOMPLETE: an engine or stage reported no time"
+        },
+    );
+    // The coverage check is the CI acceptance gate at smoke scale; larger
+    // scales only report. A failed record write must also fail the gate —
+    // otherwise CI would validate whatever stale record is lying around.
+    if (!ok || !record_written) && scale == Scale::Smoke {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`fundamental_diagram`] — the open corridor's flux/density curve
 //!   across an inflow ladder (steady-state stop, windowed flux), seeding
 //!   the repo-root `BENCH_fundamental_diagram.json` perf trajectory;
+//! * [`step_throughput`] — per-stage wall time and steps/second of the
+//!   unified engine pipeline on both engines (closed + open worlds),
+//!   seeding the repo-root `BENCH_step_throughput.json` perf trajectory;
 //! * [`report`] — Markdown/CSV/JSON emitters (the MATLAB-plotting
 //!   substitute);
 //! * [`scale`] — the `--paper` / default / `--smoke` protocol scales.
@@ -35,6 +38,7 @@ pub mod fig6;
 pub mod fundamental_diagram;
 pub mod report;
 pub mod scale;
+pub mod step_throughput;
 pub mod sweep;
 pub mod table1;
 

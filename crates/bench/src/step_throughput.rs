@@ -1,0 +1,455 @@
+//! Step throughput of the unified engine pipeline: per-stage wall time,
+//! steps/second, and the CPU-vs-GPU ratio — the repo's perf trajectory.
+//!
+//! The paper's headline result is per-kernel speedup of the four-stage
+//! pipeline; the unified `StepCore` now times every stage of **both**
+//! engines through one code path, so that comparison is measurable
+//! end-to-end instead of modelled. This harness runs a closed and an open
+//! registry world on both engines, aggregates the per-stage
+//! [`pedsim_core::engine::StepTimings`] that `pedsim_runner` surfaces on
+//! every [`RunResult`](pedsim_runner::RunResult), and writes
+//! `results/step_throughput_<scale>.{csv,json}` plus the repo-root
+//! `BENCH_step_throughput.json` record that every subsequent optimisation
+//! PR is judged against.
+//!
+//! Every number here is wall-clock and therefore non-deterministic; the
+//! record captures *shape* (which stages dominate, how far apart the
+//! engines sit), not bit-stable bytes.
+
+use std::collections::BTreeSet;
+
+use pedsim_core::engine::Stage;
+use pedsim_core::prelude::*;
+use pedsim_runner::{Batch, Job};
+use pedsim_scenario::registry;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Step-throughput protocol parameters.
+#[derive(Debug, Clone)]
+pub struct StConfig {
+    /// Grid side (square worlds).
+    pub side: usize,
+    /// Initial agents per side of the closed corridor.
+    pub closed_per_side: usize,
+    /// Recyclable slot capacity per side of the open corridor.
+    pub open_capacity: usize,
+    /// Open-corridor inflow rate (expected arrivals per step per group).
+    pub open_rate: f64,
+    /// Steps per replica (a pure step budget — timing runs never stop
+    /// early, so every replica times exactly this many steps).
+    pub steps: u64,
+    /// Repeats per (world, engine); timings aggregate across them.
+    pub repeats: u64,
+    /// Base seed; repeat `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl StConfig {
+    /// Protocol for `scale`.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            // The paper's geometry at its mid population (25,600 agents on
+            // 480×480). The step budget is a timing sample, not the
+            // paper's 25,000-step evaluation budget — per-stage means
+            // stabilise within a few hundred steps.
+            Scale::Paper => Self {
+                side: 480,
+                closed_per_side: 12_800,
+                open_capacity: 10_000,
+                open_rate: 16.0,
+                steps: 400,
+                repeats: 2,
+                seed: 9_300,
+            },
+            Scale::Default => Self {
+                side: 96,
+                closed_per_side: 600,
+                open_capacity: 500,
+                open_rate: 4.0,
+                steps: 300,
+                repeats: 2,
+                seed: 9_300,
+            },
+            Scale::Smoke => Self {
+                side: 32,
+                closed_per_side: 30,
+                open_capacity: 40,
+                open_rate: 2.0,
+                steps: 120,
+                repeats: 1,
+                seed: 9_300,
+            },
+        }
+    }
+
+    /// The measured worlds: one closed, one open registry scenario.
+    pub fn worlds(&self) -> [(&'static str, bool); 2] {
+        [("paper_corridor", false), ("open_corridor", true)]
+    }
+
+    fn scenario(&self, world: &str, seed: u64) -> Scenario {
+        match world {
+            "paper_corridor" => registry::paper_corridor(
+                &EnvConfig::small(self.side, self.side, self.closed_per_side).with_seed(seed),
+            ),
+            "open_corridor" => {
+                registry::open_corridor(self.side, self.side, self.open_capacity, self.open_rate)
+                    .with_seed(seed)
+            }
+            other => panic!("unknown step-throughput world {other:?}"),
+        }
+    }
+
+    /// The job list: every world × engine × repeat, ACO model (the
+    /// heavier pipeline — pheromone scan and update on every stage pass),
+    /// stopping on the pure step budget.
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (world, _) in self.worlds() {
+            for k in 0..self.repeats {
+                let cfg =
+                    SimConfig::from_scenario(self.scenario(world, self.seed + k), ModelKind::aco());
+                let stop = StopCondition::Steps(self.steps);
+                jobs.push(Job::cpu(format!("{world}/cpu"), cfg.clone(), stop.clone()));
+                jobs.push(Job::gpu(format!("{world}/gpu"), cfg, stop));
+            }
+        }
+        jobs
+    }
+}
+
+/// One (world, engine) cell of the measurement (repeats aggregated).
+#[derive(Debug, Clone)]
+pub struct StRow {
+    /// Registry world name.
+    pub world: &'static str,
+    /// Whether the world runs the open-boundary lifecycle.
+    pub open: bool,
+    /// Engine name (`"cpu"` / `"gpu"`).
+    pub engine: &'static str,
+    /// Agents (population for closed worlds, slot capacity for open).
+    pub agents: usize,
+    /// Total steps timed across repeats.
+    pub steps: u64,
+    /// Simulated steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Mean milliseconds per step per stage ([`Stage::ALL`] order).
+    pub stage_ms: [f64; Stage::COUNT],
+    /// Mean milliseconds per step across all stages.
+    pub total_ms: f64,
+}
+
+/// CPU-over-GPU time ratio for one world (how much slower the reference
+/// engine is per stage; > 1 means the GPU pipeline wins).
+#[derive(Debug, Clone)]
+pub struct StRatio {
+    /// Registry world name.
+    pub world: &'static str,
+    /// Total-pipeline ratio.
+    pub total: f64,
+    /// Per-stage ratios ([`Stage::ALL`] order; 0 when the GPU stage
+    /// measured zero time).
+    pub stages: [f64; Stage::COUNT],
+}
+
+/// Run the measurement on `workers` pool threads (1 for clean timings —
+/// concurrent replicas contend for cores) and aggregate per world/engine.
+pub fn run(cfg: &StConfig, workers: usize) -> Vec<StRow> {
+    let report = Batch::new(workers).run(&cfg.jobs());
+    let mut rows = Vec::new();
+    for (world, open) in cfg.worlds() {
+        for engine in ["cpu", "gpu"] {
+            let label = format!("{world}/{engine}");
+            let results: Vec<_> = report.with_label(&label).collect();
+            if results.is_empty() {
+                continue;
+            }
+            let steps: u64 = results.iter().map(|r| r.steps).sum();
+            let wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+            let mut stage_ms = [0.0; Stage::COUNT];
+            for stage in Stage::ALL {
+                let secs: f64 = results
+                    .iter()
+                    .map(|r| r.stages.of(stage).as_secs_f64())
+                    .sum();
+                stage_ms[stage.index()] = if steps == 0 {
+                    0.0
+                } else {
+                    secs * 1e3 / steps as f64
+                };
+            }
+            rows.push(StRow {
+                world,
+                open,
+                engine,
+                agents: results[0].agents,
+                steps,
+                steps_per_sec: if wall > 0.0 { steps as f64 / wall } else { 0.0 },
+                stage_ms,
+                total_ms: stage_ms.iter().sum(),
+            });
+        }
+    }
+    rows
+}
+
+/// Pair each world's CPU and GPU rows into time ratios.
+pub fn ratios(rows: &[StRow]) -> Vec<StRatio> {
+    let worlds: BTreeSet<&'static str> = rows.iter().map(|r| r.world).collect();
+    worlds
+        .into_iter()
+        .filter_map(|world| {
+            let cpu = rows
+                .iter()
+                .find(|r| r.world == world && r.engine == "cpu")?;
+            let gpu = rows
+                .iter()
+                .find(|r| r.world == world && r.engine == "gpu")?;
+            let ratio = |c: f64, g: f64| if g > 0.0 { c / g } else { 0.0 };
+            let mut stages = [0.0; Stage::COUNT];
+            for (i, slot) in stages.iter_mut().enumerate() {
+                *slot = ratio(cpu.stage_ms[i], gpu.stage_ms[i]);
+            }
+            Some(StRatio {
+                world,
+                total: ratio(cpu.total_ms, gpu.total_ms),
+                stages,
+            })
+        })
+        .collect()
+}
+
+/// The smoke acceptance gate: every world was measured on **both**
+/// engines, every replica ran its full budget, and every stage that does
+/// real work reported non-zero time — the kernel stages everywhere, the
+/// metrics stage (tracking is on), and the lifecycle stage on open
+/// worlds (a silently-unconstructed lifecycle must fail the gate, not
+/// ship a zero column).
+pub fn covers_both_engines_and_all_stages(rows: &[StRow]) -> bool {
+    let worlds: BTreeSet<&'static str> = rows.iter().map(|r| r.world).collect();
+    !worlds.is_empty()
+        && worlds.iter().all(|w| {
+            ["cpu", "gpu"].iter().all(|e| {
+                rows.iter().any(|r| {
+                    r.world == *w
+                        && r.engine == *e
+                        && r.steps > 0
+                        && Stage::KERNELS.iter().all(|s| r.stage_ms[s.index()] > 0.0)
+                        && r.stage_ms[Stage::Metrics.index()] > 0.0
+                        && (!r.open || r.stage_ms[Stage::Lifecycle.index()] > 0.0)
+                })
+            })
+        })
+}
+
+/// Render the measurement as a table (Markdown/CSV).
+pub fn table(rows: &[StRow]) -> Table {
+    let mut headers = vec![
+        "world".to_string(),
+        "engine".to_string(),
+        "agents".to_string(),
+        "steps".to_string(),
+        "steps_per_sec".to_string(),
+    ];
+    headers.extend(Stage::ALL.iter().map(|s| format!("{}_ms", s.name())));
+    headers.push("total_ms".to_string());
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut row = vec![
+            r.world.to_string(),
+            r.engine.to_string(),
+            r.agents.to_string(),
+            r.steps.to_string(),
+            format!("{:.1}", r.steps_per_sec),
+        ];
+        row.extend(r.stage_ms.iter().map(|ms| format!("{ms:.4}")));
+        row.push(format!("{:.4}", r.total_ms));
+        t.push_row(row);
+    }
+    t
+}
+
+fn stages_object(values: &[f64; Stage::COUNT], precision: usize) -> String {
+    let mut s = String::from("{");
+    for stage in Stage::ALL {
+        if s.len() > 1 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "\"{}\": {:.precision$}",
+            stage.name(),
+            values[stage.index()]
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// JSON for `results/step_throughput_<scale>.json` and the repo-root
+/// `BENCH_step_throughput.json`: per-stage breakdowns for both engines
+/// plus CPU-over-GPU ratios, per world.
+pub fn to_json(scale: Scale, cfg: &StConfig, rows: &[StRow]) -> String {
+    let ratios = ratios(rows);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"step_throughput\",\n");
+    s.push_str("  \"schema\": \"pedsim.step_throughput.v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
+    s.push_str(&format!("  \"side\": {},\n", cfg.side));
+    s.push_str(&format!("  \"steps_per_replica\": {},\n", cfg.steps));
+    s.push_str(&format!("  \"repeats\": {},\n", cfg.repeats));
+    s.push_str("  \"worlds\": [\n");
+    let worlds = cfg.worlds();
+    let present: Vec<_> = worlds
+        .iter()
+        .filter(|(w, _)| rows.iter().any(|r| r.world == *w))
+        .collect();
+    for (wi, (world, open)) in present.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"world\": \"{world}\", \"open\": {open}, \"engines\": [\n"
+        ));
+        let engine_rows: Vec<_> = rows.iter().filter(|r| r.world == *world).collect();
+        for (i, r) in engine_rows.iter().enumerate() {
+            let comma = if i + 1 < engine_rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "      {{\"engine\": \"{}\", \"agents\": {}, \"steps\": {}, \
+                 \"steps_per_sec\": {:.1}, \"total_ms_per_step\": {:.4}, \
+                 \"stages_ms_per_step\": {}}}{comma}\n",
+                r.engine,
+                r.agents,
+                r.steps,
+                r.steps_per_sec,
+                r.total_ms,
+                stages_object(&r.stage_ms, 4),
+            ));
+        }
+        s.push_str("    ]");
+        if let Some(ratio) = ratios.iter().find(|x| x.world == *world) {
+            s.push_str(&format!(
+                ", \"cpu_over_gpu\": {{\"total\": {:.3}, \"stages\": {}}}",
+                ratio.total,
+                stages_object(&ratio.stages, 3),
+            ));
+        }
+        let comma = if wi + 1 < present.len() { "," } else { "" };
+        s.push_str(&format!("}}{comma}\n"));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_protocol_is_small_and_jobs_cover_both_engines_and_worlds() {
+        let cfg = StConfig::for_scale(Scale::Smoke);
+        assert!(cfg.steps <= 200);
+        let jobs = cfg.jobs();
+        assert_eq!(jobs.len(), cfg.worlds().len() * 2 * cfg.repeats as usize);
+        for job in &jobs {
+            assert!(job.validate().is_ok());
+        }
+        for (world, open) in cfg.worlds() {
+            for engine in ["cpu", "gpu"] {
+                let label = format!("{world}/{engine}");
+                let matched: Vec<_> = jobs.iter().filter(|j| j.label == label).collect();
+                assert_eq!(matched.len(), cfg.repeats as usize, "{label}");
+                for j in matched {
+                    assert_eq!(j.engine.name(), engine);
+                    let s = j.cfg.scenario.as_ref().expect("registry world");
+                    assert_eq!(s.is_open(), open);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_run_covers_all_stages_and_yields_ratios() {
+        let cfg = StConfig {
+            side: 24,
+            closed_per_side: 16,
+            open_capacity: 12,
+            open_rate: 1.5,
+            steps: 25,
+            repeats: 1,
+            seed: 1,
+        };
+        let rows = run(&cfg, 2);
+        assert_eq!(rows.len(), 4, "2 worlds x 2 engines");
+        assert!(covers_both_engines_and_all_stages(&rows));
+        for r in &rows {
+            assert_eq!(r.steps, cfg.steps);
+            assert!(r.steps_per_sec > 0.0, "{}/{} untimed", r.world, r.engine);
+            assert!(r.total_ms > 0.0);
+            // Open worlds exercise the lifecycle stage for real.
+            if r.open {
+                assert!(r.stage_ms[Stage::Lifecycle.index()] > 0.0);
+            }
+        }
+        let ratios = ratios(&rows);
+        assert_eq!(ratios.len(), 2);
+        for x in &ratios {
+            assert!(x.total > 0.0, "{}: no total ratio", x.world);
+        }
+        let json = to_json(Scale::Smoke, &cfg, &rows);
+        assert!(json.contains("\"bench\": \"step_throughput\""));
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\":", stage.name())));
+        }
+        assert!(json.contains("\"cpu\"") && json.contains("\"gpu\""));
+        assert!(json.contains("cpu_over_gpu"));
+    }
+
+    #[test]
+    fn coverage_gate_rejects_missing_engines_and_idle_stages() {
+        assert!(!covers_both_engines_and_all_stages(&[]));
+        let row = |engine: &'static str| StRow {
+            world: "paper_corridor",
+            open: false,
+            engine,
+            agents: 10,
+            steps: 5,
+            steps_per_sec: 1.0,
+            stage_ms: [1.0; Stage::COUNT],
+            total_ms: 6.0,
+        };
+        // GPU row missing.
+        assert!(!covers_both_engines_and_all_stages(&[row("cpu")]));
+        // Both present: covered.
+        assert!(covers_both_engines_and_all_stages(&[
+            row("cpu"),
+            row("gpu")
+        ]));
+        // A zero kernel stage breaks coverage.
+        let mut dead = row("gpu");
+        dead.stage_ms[Stage::Tour.index()] = 0.0;
+        assert!(!covers_both_engines_and_all_stages(&[row("cpu"), dead]));
+        // An open world with an idle lifecycle stage breaks coverage; a
+        // closed world is allowed a zero lifecycle column.
+        let open_row = |engine: &'static str, lifecycle_ms: f64| {
+            let mut r = row(engine);
+            r.world = "open_corridor";
+            r.open = true;
+            r.stage_ms[Stage::Lifecycle.index()] = lifecycle_ms;
+            r
+        };
+        assert!(covers_both_engines_and_all_stages(&[
+            open_row("cpu", 0.01),
+            open_row("gpu", 0.01),
+        ]));
+        assert!(!covers_both_engines_and_all_stages(&[
+            open_row("cpu", 0.01),
+            open_row("gpu", 0.0),
+        ]));
+        let mut closed_idle = row("gpu");
+        closed_idle.stage_ms[Stage::Lifecycle.index()] = 0.0;
+        assert!(covers_both_engines_and_all_stages(&[
+            row("cpu"),
+            closed_idle
+        ]));
+    }
+}

@@ -6,6 +6,10 @@
 //! keying as the virtual-GPU kernels, so this engine's trajectory is
 //! bit-identical to `GpuEngine`'s for the same configuration — the
 //! strongest possible form of the paper's CPU-vs-GPU consistency check.
+//!
+//! Step orchestration (sequencing, counting, per-stage timing, metrics,
+//! lifecycle) lives in the shared [`StepCore`]; this file only implements
+//! the four kernel stages over the host matrices ([`StageBackend`]).
 
 use pedsim_grid::cell::{Group, CELL_EMPTY, CELL_WALL, NEIGHBOR_OFFSETS};
 use pedsim_grid::property::NO_FUTURE;
@@ -19,10 +23,18 @@ use crate::model::{lem_scan_row, lem_select, ScanRow};
 use crate::params::{ModelKind, SimConfig};
 
 use super::lifecycle::{LifecycleWorld, OpenLifecycle};
+use super::pipeline::{Stage, StageBackend, StepCore, StepTimings};
 use super::{build_world, swap_model, Engine, ModelSwapError, KERNEL_MOVE, KERNEL_TOUR};
 
 /// The sequential reference engine.
 pub struct CpuEngine {
+    core: StepCore,
+    backend: CpuBackend,
+}
+
+/// The CPU engine's kernel-stage executor: the host-side world state the
+/// four stages loop over.
+struct CpuBackend {
     cfg: SimConfig,
     geom: Geometry,
     env: Environment,
@@ -34,10 +46,6 @@ pub struct CpuEngine {
     pher_next: Option<PheromoneField>,
     dist: std::sync::Arc<DistanceData>,
     seed: u64,
-    step_no: u64,
-    metrics: Option<Metrics>,
-    /// Open-boundary despawn/spawn phases (open scenarios only).
-    lifecycle: Option<OpenLifecycle>,
 }
 
 /// The lifecycle's view of the CPU engine's world: the host environment
@@ -78,6 +86,7 @@ impl CpuEngine {
         let (env, dist) = build_world(&cfg);
         let geom =
             Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
+        let core = StepCore::for_world(&cfg, &env, geom);
         let n = env.total_agents();
         let groups = env.n_groups();
         let (pher, pher_next) = match cfg.model {
@@ -97,61 +106,50 @@ impl CpuEngine {
             ),
             ModelKind::Lem(_) => (None, None),
         };
-        let lifecycle = cfg
-            .scenario
-            .as_deref()
-            .and_then(|s| OpenLifecycle::from_scenario(s, geom, env.targets.clone()));
-        let metrics = cfg.track_metrics.then(|| {
-            let mut m =
-                Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col);
-            if lifecycle.is_some() {
-                let passable = env.width() * env.height() - env.mat.count(CELL_WALL);
-                m.enable_open(passable, &env.alive);
-            }
-            m
-        });
         let (h, w) = (env.height(), env.width());
         let seed = cfg.env.seed;
         Self {
-            cfg,
-            geom,
-            mat_next: Matrix::filled(h, w, CELL_EMPTY),
-            index_next: Matrix::filled(h, w, 0u32),
-            scan: ScanMatrix::new(n),
-            tour: TourLengths::new(n),
-            pher,
-            pher_next,
-            dist,
-            seed,
-            step_no: 0,
-            metrics,
-            lifecycle,
-            env,
+            core,
+            backend: CpuBackend {
+                cfg,
+                geom,
+                mat_next: Matrix::filled(h, w, CELL_EMPTY),
+                index_next: Matrix::filled(h, w, 0u32),
+                scan: ScanMatrix::new(n),
+                tour: TourLengths::new(n),
+                pher,
+                pher_next,
+                dist,
+                seed,
+                env,
+            },
         }
     }
 
     /// Borrow the current environment state.
     pub fn environment(&self) -> &Environment {
-        &self.env
+        &self.backend.env
     }
 
     /// Replace the model parameters mid-run (the panic-alarm extension).
     /// A model-*variant* change is a typed error — a LEM run has no
     /// pheromone substrate to become an ACO run.
     pub fn set_model(&mut self, model: ModelKind) -> Result<(), ModelSwapError> {
-        swap_model(&mut self.cfg.model, model)
+        swap_model(&mut self.backend.cfg.model, model)
     }
 
     /// Borrow the pheromone field (ACO only).
     pub fn pheromone(&self) -> Option<&PheromoneField> {
-        self.pher.as_ref()
+        self.backend.pher.as_ref()
     }
 
     /// Borrow accumulated tour lengths.
     pub fn tour_lengths(&self) -> &TourLengths {
-        &self.tour
+        &self.backend.tour
     }
+}
 
+impl CpuBackend {
     fn stage_init(&mut self) {
         // Supporting kernel (§IV.e): clear scan + FUTURE.
         self.scan.clear();
@@ -196,9 +194,9 @@ impl CpuEngine {
         }
     }
 
-    fn stage_tour(&mut self) {
+    fn stage_tour(&mut self, step_no: u64) {
         // §IV.c: every agent picks its future cell.
-        let salt = self.step_no * 4 + KERNEL_TOUR;
+        let salt = step_no * 4 + KERNEL_TOUR;
         let n = self.geom.total_agents();
         for i in 1..=n {
             // Dead slots (open-boundary recycling pool) are not on the
@@ -233,9 +231,9 @@ impl CpuEngine {
         }
     }
 
-    fn stage_movement(&mut self) {
+    fn stage_movement(&mut self, step_no: u64) {
         // §IV.d: scatter-to-gather movement + pheromone update.
-        let salt = self.step_no * 4 + KERNEL_MOVE;
+        let salt = step_no * 4 + KERNEL_MOVE;
         let (h, w) = (self.geom.height, self.geom.width);
         let aco = match self.cfg.model {
             ModelKind::Aco(p) => Some(p),
@@ -340,45 +338,65 @@ impl CpuEngine {
     }
 }
 
+impl StageBackend for CpuBackend {
+    fn run_stage(&mut self, stage: Stage, step_no: u64) {
+        match stage {
+            Stage::Init => self.stage_init(),
+            Stage::InitialCalc => self.stage_initial_calc(),
+            Stage::Tour => self.stage_tour(step_no),
+            Stage::Movement => self.stage_movement(step_no),
+            Stage::Lifecycle | Stage::Metrics => unreachable!("core-driven stage"),
+        }
+    }
+
+    fn observe(&self, metrics: &mut Metrics) {
+        metrics.observe(&self.env.props.row, &self.env.props.col);
+    }
+
+    fn run_lifecycle(
+        &mut self,
+        lifecycle: &OpenLifecycle,
+        step: u64,
+        metrics: Option<&mut Metrics>,
+    ) {
+        let mut world = CpuWorld {
+            env: &mut self.env,
+            tour: &mut self.tour,
+        };
+        lifecycle.run_step(&mut world, step, metrics);
+    }
+}
+
 impl Engine for CpuEngine {
     fn step(&mut self) {
-        self.stage_init();
-        self.stage_initial_calc();
-        self.stage_tour();
-        self.stage_movement();
-        self.step_no += 1;
-        if let Some(m) = self.metrics.as_mut() {
-            m.observe(&self.env.props.row, &self.env.props.col);
-        }
-        // Open-boundary phases: sinks drain arrivals (already counted by
-        // the observation above), sources feed the next step.
-        if let Some(lc) = &self.lifecycle {
-            let mut world = CpuWorld {
-                env: &mut self.env,
-                tour: &mut self.tour,
-            };
-            lc.run_step(&mut world, self.step_no, self.metrics.as_mut());
-        }
+        self.core.step(&mut self.backend);
     }
 
     fn steps_done(&self) -> u64 {
-        self.step_no
+        self.core.steps_done()
     }
 
     fn metrics(&self) -> Option<&Metrics> {
-        self.metrics.as_ref()
+        self.core.metrics()
+    }
+
+    fn step_timings(&self) -> &StepTimings {
+        self.core.timings()
     }
 
     fn model(&self) -> ModelKind {
-        self.cfg.model
+        self.backend.cfg.model
     }
 
     fn mat_snapshot(&self) -> Matrix<u8> {
-        self.env.mat.clone()
+        self.backend.env.mat.clone()
     }
 
     fn positions(&self) -> (Vec<u16>, Vec<u16>) {
-        (self.env.props.row.clone(), self.env.props.col.clone())
+        (
+            self.backend.env.props.row.clone(),
+            self.backend.env.props.col.clone(),
+        )
     }
 }
 

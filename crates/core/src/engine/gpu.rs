@@ -8,12 +8,17 @@
 //! launch run concurrently on the worker pool; under
 //! `ExecPolicy::Sequential` the same kernels run on one host thread (used
 //! by tests to pin down scheduling independence).
+//!
+//! Step orchestration (sequencing, counting, per-stage timing, metrics,
+//! lifecycle) lives in the shared [`StepCore`]; this file only maps each
+//! kernel [`Stage`] to its launch ([`StageBackend`]) and accumulates the
+//! launch stats into the [`KernelReport`].
 
 use std::time::Duration;
 
 use pedsim_grid::cell::{Group, CELL_EMPTY};
 use pedsim_grid::{Environment, Matrix};
-use simt::exec::LaunchConfig;
+use simt::exec::{BlockKernel, LaunchConfig, LaunchStats};
 use simt::profile::KernelProfile;
 use simt::{Device, Dim2};
 
@@ -22,6 +27,7 @@ use crate::metrics::{Geometry, Metrics};
 use crate::params::{ModelKind, SimConfig};
 
 use super::lifecycle::{LifecycleWorld, OpenLifecycle};
+use super::pipeline::{Stage, StageBackend, StepCore, StepTimings};
 use super::{build_world, swap_model, Engine, ModelSwapError};
 
 /// The open-boundary lifecycle drives the device state directly: the
@@ -75,17 +81,32 @@ pub struct KernelReport {
     pub profile: [KernelProfile; 4],
 }
 
+impl KernelReport {
+    /// Fold one launch's stats into kernel slot `k` — the single
+    /// accounting path every stage launch goes through (previously four
+    /// copy-pasted blocks in `GpuEngine::step`).
+    fn record(&mut self, k: usize, stats: &LaunchStats) {
+        self.time[k] += stats.duration;
+        if let Some(p) = stats.profile {
+            self.profile[k] = self.profile[k].merged(p);
+        }
+    }
+}
+
 /// The data-driven engine on the virtual GPU.
 pub struct GpuEngine {
+    core: StepCore,
+    backend: GpuBackend,
+}
+
+/// The GPU engine's kernel-stage executor: device, device-resident world
+/// state, and the per-kernel launch report.
+struct GpuBackend {
     cfg: SimConfig,
     geom: Geometry,
     device: Device,
     state: DeviceState,
     spawn_rows: usize,
-    step_no: u64,
-    metrics: Option<Metrics>,
-    /// Open-boundary despawn/spawn phases (open scenarios only).
-    lifecycle: Option<OpenLifecycle>,
     report: KernelReport,
 }
 
@@ -97,78 +118,71 @@ impl GpuEngine {
         let (env, dist) = build_world(&cfg);
         let geom =
             Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
+        let core = StepCore::for_world(&cfg, &env, geom);
         let state = DeviceState::upload(&env, &dist, cfg.model, cfg.checked);
-        let lifecycle = cfg
-            .scenario
-            .as_deref()
-            .and_then(|s| OpenLifecycle::from_scenario(s, geom, env.targets.clone()));
-        let metrics = cfg.track_metrics.then(|| {
-            let mut m =
-                Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col);
-            if lifecycle.is_some() {
-                let passable = env.width() * env.height() - env.mat.count(pedsim_grid::CELL_WALL);
-                m.enable_open(passable, &env.alive);
-            }
-            m
-        });
         Self {
-            cfg,
-            geom,
-            device,
-            state,
-            spawn_rows: env.spawn_rows,
-            step_no: 0,
-            metrics,
-            lifecycle,
-            report: KernelReport::default(),
+            core,
+            backend: GpuBackend {
+                cfg,
+                geom,
+                device,
+                state,
+                spawn_rows: env.spawn_rows,
+                report: KernelReport::default(),
+            },
         }
     }
 
     /// The device this engine launches on.
     pub fn device(&self) -> &Device {
-        &self.device
+        &self.backend.device
     }
 
     /// Replace the model parameters mid-run (the panic-alarm extension).
     /// A model-*variant* change is a typed error — a LEM run has no
     /// pheromone substrate to become an ACO run.
     pub fn set_model(&mut self, model: ModelKind) -> Result<(), ModelSwapError> {
-        swap_model(&mut self.cfg.model, model)
+        swap_model(&mut self.backend.cfg.model, model)
     }
 
     /// Cumulative per-kernel timing and profiles.
     pub fn report(&self) -> &KernelReport {
-        &self.report
+        &self.backend.report
     }
 
     /// The scenario geometry.
     pub fn geometry(&self) -> Geometry {
-        self.geom
+        self.backend.geom
     }
 
     /// Download the full environment for inspection/validation.
     pub fn download_environment(&self) -> Environment {
-        self.state.download(self.spawn_rows, self.cfg.env.seed)
+        self.backend
+            .state
+            .download(self.backend.spawn_rows, self.backend.cfg.env.seed)
     }
 
     /// Current pheromone fields, one matrix per group in index order (ACO
     /// only).
     pub fn pheromone_snapshot(&self) -> Option<Vec<Matrix<f32>>> {
-        let p = self.state.pher.as_ref()?;
-        let cur = self.state.cur;
+        let st = &self.backend.state;
+        let p = st.pher.as_ref()?;
+        let cur = st.cur;
         Some(
             p.fields
                 .iter()
-                .map(|f| Matrix::from_vec(self.state.h, self.state.w, f[cur].as_slice().to_vec()))
+                .map(|f| Matrix::from_vec(st.h, st.w, f[cur].as_slice().to_vec()))
                 .collect(),
         )
     }
 
     /// Accumulated tour lengths (sentinel at 0).
     pub fn tour_snapshot(&self) -> Vec<f32> {
-        self.state.tour.as_slice().to_vec()
+        self.backend.state.tour.as_slice().to_vec()
     }
+}
 
+impl GpuBackend {
     fn cfg_cells(&self, seed: u64, salt: u64) -> LaunchConfig {
         LaunchConfig::tiled_over(
             Dim2::new(self.state.w as u32, self.state.h as u32),
@@ -184,167 +198,187 @@ impl GpuEngine {
             .with_seed(seed)
             .with_salt(salt)
     }
+
+    /// Launch one kernel and fold its stats into report slot `k`.
+    /// Associated (not `&mut self`) so the kernel may keep borrowing
+    /// `self.state` while the report is written.
+    fn launch_counted<K: BlockKernel>(
+        device: &Device,
+        report: &mut KernelReport,
+        k: usize,
+        cfg: &LaunchConfig,
+        kernel: &K,
+        what: &str,
+    ) {
+        let stats = device
+            .launch(cfg, kernel)
+            .unwrap_or_else(|e| panic!("{what} launch: {e:?}"));
+        report.record(k, &stats);
+    }
+}
+
+impl StageBackend for GpuBackend {
+    fn run_stage(&mut self, stage: Stage, step_no: u64) {
+        let seed = self.cfg.env.seed;
+        let base = step_no * 4;
+        let st = &self.state;
+        let cur = st.cur;
+        let nxt = 1 - cur;
+        match stage {
+            Stage::Init => {
+                // Kernel 1: supporting init (§IV.e).
+                st.scan_val.begin_epoch();
+                st.scan_idx.begin_epoch();
+                st.future_row.begin_epoch();
+                st.future_col.begin_epoch();
+                let init = InitKernel {
+                    rows: st.n + 1,
+                    scan_val: st.scan_val.view(),
+                    scan_idx: st.scan_idx.view(),
+                    future_row: st.future_row.view(),
+                    future_col: st.future_col.view(),
+                };
+                let lcfg = self.cfg_rows(st.n + 1, seed, base);
+                Self::launch_counted(&self.device, &mut self.report, 0, &lcfg, &init, "init");
+            }
+            Stage::InitialCalc => {
+                // Kernel 2: initial calculation (§IV.b).
+                st.scan_val.begin_epoch();
+                st.scan_idx.begin_epoch();
+                st.front.begin_epoch();
+                st.front_k.begin_epoch();
+                let pher_slices = st.pher.as_ref().map(|p| p.slices(cur));
+                let calc = InitialCalcKernel {
+                    w: st.w,
+                    h: st.h,
+                    mat_in: st.mat[cur].as_slice(),
+                    index_in: st.index[cur].as_slice(),
+                    dist: st.dist_ref(),
+                    pher_in: pher_slices.as_deref(),
+                    model: self.cfg.model,
+                    scan_val: st.scan_val.view(),
+                    scan_idx: st.scan_idx.view(),
+                    front: st.front.view(),
+                    front_k: st.front_k.view(),
+                };
+                let lcfg = self.cfg_cells(seed, base + 1);
+                Self::launch_counted(
+                    &self.device,
+                    &mut self.report,
+                    1,
+                    &lcfg,
+                    &calc,
+                    "initial_calc",
+                );
+            }
+            Stage::Tour => {
+                // Kernel 3: tour construction (§IV.c).
+                st.future_row.begin_epoch();
+                st.future_col.begin_epoch();
+                let tour = TourKernel {
+                    n: st.n,
+                    alive: &st.alive,
+                    scan_val: st.scan_val.as_slice(),
+                    scan_idx: st.scan_idx.as_slice(),
+                    front: st.front.as_slice(),
+                    front_k: st.front_k.as_slice(),
+                    row: st.row.as_slice(),
+                    col: st.col.as_slice(),
+                    future_row: st.future_row.view(),
+                    future_col: st.future_col.view(),
+                    model: self.cfg.model,
+                };
+                let lcfg = self.cfg_rows(st.n, seed, base + 2);
+                Self::launch_counted(&self.device, &mut self.report, 2, &lcfg, &tour, "tour");
+            }
+            Stage::Movement => {
+                // Kernel 4: agent movement (§IV.d).
+                st.mat[nxt].begin_epoch();
+                st.index[nxt].begin_epoch();
+                st.row.begin_epoch();
+                st.col.begin_epoch();
+                st.tour.begin_epoch();
+                if let Some(p) = st.pher.as_ref() {
+                    p.begin_epoch(nxt);
+                }
+                let aco = match self.cfg.model {
+                    ModelKind::Aco(p) => Some(p),
+                    ModelKind::Lem(_) => None,
+                };
+                let pher_slices = st.pher.as_ref().map(|p| p.slices(cur));
+                let pher_views = st.pher.as_ref().map(|p| p.views(nxt));
+                let mv = MovementKernel {
+                    w: st.w,
+                    h: st.h,
+                    mat_in: st.mat[cur].as_slice(),
+                    index_in: st.index[cur].as_slice(),
+                    future_row: st.future_row.as_slice(),
+                    future_col: st.future_col.as_slice(),
+                    id: &st.id,
+                    row: st.row.view(),
+                    col: st.col.view(),
+                    tour: st.tour.view(),
+                    mat_out: st.mat[nxt].view(),
+                    index_out: st.index[nxt].view(),
+                    pher_in: pher_slices.as_deref(),
+                    pher_out: pher_views.as_deref(),
+                    aco,
+                };
+                let lcfg = self.cfg_cells(seed, base + 3);
+                Self::launch_counted(&self.device, &mut self.report, 3, &lcfg, &mv, "movement");
+                self.state.cur = nxt;
+            }
+            Stage::Lifecycle | Stage::Metrics => unreachable!("core-driven stage"),
+        }
+    }
+
+    fn observe(&self, metrics: &mut Metrics) {
+        metrics.observe(self.state.row.as_slice(), self.state.col.as_slice());
+    }
+
+    fn run_lifecycle(
+        &mut self,
+        lifecycle: &OpenLifecycle,
+        step: u64,
+        metrics: Option<&mut Metrics>,
+    ) {
+        // Open-boundary phases on the host side of the synchronous step:
+        // sinks drain arrivals (already counted by the metrics
+        // observation), sources feed the next launch.
+        lifecycle.run_step(&mut self.state, step, metrics);
+    }
 }
 
 impl Engine for GpuEngine {
     fn step(&mut self) {
-        let seed = self.cfg.env.seed;
-        let base = self.step_no * 4;
-        let st = &self.state;
-        let cur = st.cur;
-        let nxt = 1 - cur;
-
-        // Kernel 1: supporting init (§IV.e).
-        st.scan_val.begin_epoch();
-        st.scan_idx.begin_epoch();
-        st.future_row.begin_epoch();
-        st.future_col.begin_epoch();
-        let init = InitKernel {
-            rows: st.n + 1,
-            scan_val: st.scan_val.view(),
-            scan_idx: st.scan_idx.view(),
-            future_row: st.future_row.view(),
-            future_col: st.future_col.view(),
-        };
-        let stats = self
-            .device
-            .launch(&self.cfg_rows(st.n + 1, seed, base), &init)
-            .expect("init launch");
-        self.report.time[0] += stats.duration;
-        if let Some(p) = stats.profile {
-            self.report.profile[0] = self.report.profile[0].merged(p);
-        }
-
-        // Kernel 2: initial calculation (§IV.b).
-        st.scan_val.begin_epoch();
-        st.scan_idx.begin_epoch();
-        st.front.begin_epoch();
-        st.front_k.begin_epoch();
-        let pher_slices = st.pher.as_ref().map(|p| p.slices(cur));
-        let calc = InitialCalcKernel {
-            w: st.w,
-            h: st.h,
-            mat_in: st.mat[cur].as_slice(),
-            index_in: st.index[cur].as_slice(),
-            dist: st.dist_ref(),
-            pher_in: pher_slices.as_deref(),
-            model: self.cfg.model,
-            scan_val: st.scan_val.view(),
-            scan_idx: st.scan_idx.view(),
-            front: st.front.view(),
-            front_k: st.front_k.view(),
-        };
-        let stats = self
-            .device
-            .launch(&self.cfg_cells(seed, base + 1), &calc)
-            .expect("initial_calc launch");
-        self.report.time[1] += stats.duration;
-        if let Some(p) = stats.profile {
-            self.report.profile[1] = self.report.profile[1].merged(p);
-        }
-
-        // Kernel 3: tour construction (§IV.c).
-        st.future_row.begin_epoch();
-        st.future_col.begin_epoch();
-        let tour = TourKernel {
-            n: st.n,
-            alive: &st.alive,
-            scan_val: st.scan_val.as_slice(),
-            scan_idx: st.scan_idx.as_slice(),
-            front: st.front.as_slice(),
-            front_k: st.front_k.as_slice(),
-            row: st.row.as_slice(),
-            col: st.col.as_slice(),
-            future_row: st.future_row.view(),
-            future_col: st.future_col.view(),
-            model: self.cfg.model,
-        };
-        let stats = self
-            .device
-            .launch(&self.cfg_rows(st.n, seed, base + 2), &tour)
-            .expect("tour launch");
-        self.report.time[2] += stats.duration;
-        if let Some(p) = stats.profile {
-            self.report.profile[2] = self.report.profile[2].merged(p);
-        }
-
-        // Kernel 4: agent movement (§IV.d).
-        st.mat[nxt].begin_epoch();
-        st.index[nxt].begin_epoch();
-        st.row.begin_epoch();
-        st.col.begin_epoch();
-        st.tour.begin_epoch();
-        if let Some(p) = st.pher.as_ref() {
-            p.begin_epoch(nxt);
-        }
-        let aco = match self.cfg.model {
-            ModelKind::Aco(p) => Some(p),
-            ModelKind::Lem(_) => None,
-        };
-        let pher_views = st.pher.as_ref().map(|p| p.views(nxt));
-        let mv = MovementKernel {
-            w: st.w,
-            h: st.h,
-            mat_in: st.mat[cur].as_slice(),
-            index_in: st.index[cur].as_slice(),
-            future_row: st.future_row.as_slice(),
-            future_col: st.future_col.as_slice(),
-            id: &st.id,
-            row: st.row.view(),
-            col: st.col.view(),
-            tour: st.tour.view(),
-            mat_out: st.mat[nxt].view(),
-            index_out: st.index[nxt].view(),
-            pher_in: pher_slices.as_deref(),
-            pher_out: pher_views.as_deref(),
-            aco,
-        };
-        let stats = self
-            .device
-            .launch(&self.cfg_cells(seed, base + 3), &mv)
-            .expect("movement launch");
-        self.report.time[3] += stats.duration;
-        if let Some(p) = stats.profile {
-            self.report.profile[3] = self.report.profile[3].merged(p);
-        }
-
-        self.state.cur = nxt;
-        self.step_no += 1;
-        if let Some(m) = self.metrics.as_mut() {
-            m.observe(self.state.row.as_slice(), self.state.col.as_slice());
-        }
-        // Open-boundary phases on the host side of the synchronous step:
-        // sinks drain arrivals (already counted above), sources feed the
-        // next launch.
-        if let Some(lc) = &self.lifecycle {
-            lc.run_step(&mut self.state, self.step_no, self.metrics.as_mut());
-        }
+        self.core.step(&mut self.backend);
     }
 
     fn steps_done(&self) -> u64 {
-        self.step_no
+        self.core.steps_done()
     }
 
     fn metrics(&self) -> Option<&Metrics> {
-        self.metrics.as_ref()
+        self.core.metrics()
+    }
+
+    fn step_timings(&self) -> &StepTimings {
+        self.core.timings()
     }
 
     fn model(&self) -> ModelKind {
-        self.cfg.model
+        self.backend.cfg.model
     }
 
     fn mat_snapshot(&self) -> Matrix<u8> {
-        Matrix::from_vec(
-            self.state.h,
-            self.state.w,
-            self.state.mat[self.state.cur].as_slice().to_vec(),
-        )
+        let st = &self.backend.state;
+        Matrix::from_vec(st.h, st.w, st.mat[st.cur].as_slice().to_vec())
     }
 
     fn positions(&self) -> (Vec<u16>, Vec<u16>) {
         (
-            self.state.row.as_slice().to_vec(),
-            self.state.col.as_slice().to_vec(),
+            self.backend.state.row.as_slice().to_vec(),
+            self.backend.state.col.as_slice().to_vec(),
         )
     }
 }
@@ -403,6 +437,12 @@ mod tests {
         e.run(5);
         let r = e.report();
         assert!(r.time.iter().all(|t| *t > Duration::ZERO));
+        // The unified core times the same four kernel stages; its wall
+        // clock wraps the launch, so it can only read higher.
+        let t = e.step_timings();
+        for (stage, k) in Stage::KERNELS.into_iter().zip(0..4) {
+            assert!(t.of(stage) >= r.time[k], "{} under-timed", stage.name());
+        }
     }
 
     #[test]

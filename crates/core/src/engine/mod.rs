@@ -16,6 +16,7 @@
 pub mod cpu;
 pub mod gpu;
 pub(crate) mod lifecycle;
+pub mod pipeline;
 pub mod stop;
 
 use std::sync::Arc;
@@ -26,6 +27,7 @@ use crate::metrics::Metrics;
 use crate::params::{ModelKind, SimConfig};
 
 pub use lifecycle::source_stream;
+pub use pipeline::{Stage, StepTimings};
 pub use stop::{InvalidStopCondition, StopCondition, StopReason};
 
 /// Why a mid-run model swap was rejected: the model *variant* changed. A
@@ -98,6 +100,11 @@ pub trait Engine {
     /// Metrics, when tracking is enabled.
     fn metrics(&self) -> Option<&Metrics>;
 
+    /// Cumulative per-stage wall-clock timings of the unified step
+    /// pipeline (see [`pipeline::StepTimings`]) — reported identically by
+    /// both engines.
+    fn step_timings(&self) -> &StepTimings;
+
     /// The movement model in use.
     fn model(&self) -> ModelKind;
 
@@ -115,22 +122,35 @@ pub trait Engine {
         }
     }
 
-    /// Run until `cond` is satisfied, returning why the run stopped.
+    /// Run until `cond` is satisfied, returning why the run stopped, or a
+    /// typed [`InvalidStopCondition`] when the condition could never be
+    /// evaluated on this engine — checked **at entry**, before any step
+    /// runs. A metric-based condition (`AllArrived` / `Gridlocked` /
+    /// `SteadyState`) on an engine built with `track_metrics` off is
+    /// rejected here instead of panicking deep inside
+    /// [`StopCondition::check`] mid-run.
     ///
     /// The condition is checked before the first step and after every
     /// subsequent one, so a condition already satisfied at entry performs
-    /// zero steps. Metric-based conditions (`AllArrived`, `Gridlocked`)
-    /// require `track_metrics`; callers that cannot guarantee eventual
-    /// arrival should compose a [`StopCondition::Steps`] cap via
+    /// zero steps. Callers that cannot guarantee eventual arrival should
+    /// compose a [`StopCondition::Steps`] cap via
     /// [`StopCondition::arrived_or_steps`] or
     /// [`StopCondition::settled_or_steps`] — an unsatisfiable condition
     /// loops forever.
-    fn run_until(&mut self, cond: &StopCondition) -> StopReason {
+    fn try_run_until(&mut self, cond: &StopCondition) -> Result<StopReason, InvalidStopCondition> {
+        cond.validate_for(self.metrics().is_some())?;
         loop {
             if let Some(reason) = cond.check(self.steps_done(), self.metrics()) {
-                return reason;
+                return Ok(reason);
             }
             self.step();
         }
+    }
+
+    /// [`Engine::try_run_until`], panicking at entry (with the typed
+    /// error's message) on a condition this engine can never evaluate.
+    fn run_until(&mut self, cond: &StopCondition) -> StopReason {
+        self.try_run_until(cond)
+            .unwrap_or_else(|e| panic!("invalid stop condition: {e}"))
     }
 }

@@ -1,0 +1,366 @@
+//! The unified step-pipeline core both engines drive.
+//!
+//! Before this module existed, `CpuEngine::step` and `GpuEngine::step`
+//! each hand-rolled the same orchestration: run the four kernels in
+//! order, bump the step counter, observe metrics, run the open-boundary
+//! lifecycle. Only the GPU engine measured its stages. [`StepCore`] owns
+//! that orchestration exactly once — engines shrink to backend-specific
+//! stage executors behind [`StageBackend`] — and times **every** stage of
+//! **both** engines into a [`StepTimings`] report exposed through
+//! [`super::Engine::step_timings`]. That per-stage record is the paper's
+//! per-kernel speedup instrument generalised to the whole pipeline: the
+//! `step_throughput` bench harness turns it into the repo's perf
+//! trajectory, and every future optimisation PR is judged against it.
+//!
+//! Ordering is part of the trajectory contract and is pinned here: the
+//! four kernel stages in §IV order, then the metrics observation, then
+//! the lifecycle phases (sinks drain arrivals *after* they were counted;
+//! sources feed the next step). Timing instrumentation never reorders or
+//! skips work, so trajectories through the core are bit-identical to the
+//! pre-refactor engines — asserted by the golden hashes in
+//! `tests/multi_group.rs`.
+
+use std::time::{Duration, Instant};
+
+use crate::metrics::Metrics;
+
+use super::lifecycle::OpenLifecycle;
+
+/// One phase of the unified step pipeline.
+///
+/// The first four variants are the paper's kernels (§IV.b–e) executed by
+/// the backend; the last two are the shared post-step tail the core runs
+/// itself. Declaration order is the stable report order, not the
+/// execution order of the tail (metrics are observed before the
+/// lifecycle runs, so sinks drain arrivals that were already counted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Supporting initialisation (§IV.e): clear the scan matrix and the
+    /// FUTURE buffers.
+    Init,
+    /// Initial calculation (§IV.b): score each occupied cell's
+    /// neighbourhood and record front-cell status.
+    InitialCalc,
+    /// Tour construction (§IV.c): every agent picks its future cell.
+    Tour,
+    /// Agent movement (§IV.d): scatter-to-gather conflict resolution and
+    /// the pheromone update.
+    Movement,
+    /// Open-boundary lifecycle (sinks drain, sources feed) — a no-op on
+    /// closed worlds, still timed so the report covers every stage.
+    Lifecycle,
+    /// Metrics observation of the post-step positions — a no-op with
+    /// `track_metrics` off, still timed.
+    Metrics,
+}
+
+impl Stage {
+    /// Number of stages (the length of [`Stage::ALL`]).
+    pub const COUNT: usize = 6;
+
+    /// Every stage, in stable report order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Init,
+        Stage::InitialCalc,
+        Stage::Tour,
+        Stage::Movement,
+        Stage::Lifecycle,
+        Stage::Metrics,
+    ];
+
+    /// The four backend-executed kernel stages, in execution order.
+    pub const KERNELS: [Stage; 4] = [
+        Stage::Init,
+        Stage::InitialCalc,
+        Stage::Tour,
+        Stage::Movement,
+    ];
+
+    /// Dense index into per-stage arrays ([`Stage::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Init => 0,
+            Stage::InitialCalc => 1,
+            Stage::Tour => 2,
+            Stage::Movement => 3,
+            Stage::Lifecycle => 4,
+            Stage::Metrics => 5,
+        }
+    }
+
+    /// Stable lower-case name for reports and JSON serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Init => "init",
+            Stage::InitialCalc => "initial_calc",
+            Stage::Tour => "tour",
+            Stage::Movement => "movement",
+            Stage::Lifecycle => "lifecycle",
+            Stage::Metrics => "metrics",
+        }
+    }
+}
+
+/// Cumulative per-stage wall-clock timings of an engine's step pipeline.
+///
+/// Accumulated by [`StepCore`] around every stage of every step, on both
+/// engines, through one code path — so CPU and GPU numbers are directly
+/// comparable (the paper's per-kernel speedup table, measured rather than
+/// modelled). Wall-clock readings are inherently non-deterministic; they
+/// never feed back into the simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepTimings {
+    time: [Duration; Stage::COUNT],
+    steps: u64,
+}
+
+impl StepTimings {
+    /// Cumulative wall time spent in `stage` so far.
+    pub fn of(&self, stage: Stage) -> Duration {
+        self.time[stage.index()]
+    }
+
+    /// Steps the pipeline has completed while timing.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Cumulative wall time across all stages.
+    pub fn total(&self) -> Duration {
+        self.time.iter().sum()
+    }
+
+    /// Mean seconds per step spent in `stage` (0 before the first step).
+    pub fn per_step_secs(&self, stage: Stage) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.of(stage).as_secs_f64() / self.steps as f64
+        }
+    }
+
+    fn record(&mut self, stage: Stage, d: Duration) {
+        self.time[stage.index()] += d;
+    }
+}
+
+/// The backend half of an engine: executes the four kernel stages over
+/// its own world representation and adapts that world to the shared
+/// post-step tail. Everything else — sequencing, counting, timing,
+/// metrics, lifecycle — lives in [`StepCore`].
+pub(crate) trait StageBackend {
+    /// Execute one kernel stage of step `step_no` (0-based). Only ever
+    /// called with members of [`Stage::KERNELS`], in that order.
+    fn run_stage(&mut self, stage: Stage, step_no: u64);
+
+    /// Feed the post-step agent positions to the metrics observer.
+    fn observe(&self, metrics: &mut Metrics);
+
+    /// Run the open-boundary phases over the backend's world (`step` is
+    /// the 1-based count of completed steps).
+    fn run_lifecycle(
+        &mut self,
+        lifecycle: &OpenLifecycle,
+        step: u64,
+        metrics: Option<&mut Metrics>,
+    );
+}
+
+/// The shared engine core: step counting, stage sequencing, per-stage
+/// timing, and the metrics/lifecycle tail, owned once for both engines.
+pub(crate) struct StepCore {
+    step_no: u64,
+    metrics: Option<Metrics>,
+    lifecycle: Option<OpenLifecycle>,
+    timings: StepTimings,
+}
+
+impl StepCore {
+    /// Build the core for a configured world: compile the open-boundary
+    /// lifecycle when the scenario has one, and construct metrics when
+    /// tracking is on — the construction logic both engines previously
+    /// duplicated. `geom` is the engine's capacity-sized geometry (the
+    /// same instance its kernels use, so core and backend cannot drift).
+    pub fn for_world(
+        cfg: &crate::params::SimConfig,
+        env: &pedsim_grid::Environment,
+        geom: crate::metrics::Geometry,
+    ) -> Self {
+        use pedsim_grid::cell::CELL_WALL;
+
+        let lifecycle = cfg
+            .scenario
+            .as_deref()
+            .and_then(|s| OpenLifecycle::from_scenario(s, geom, env.targets.clone()));
+        let metrics = cfg.track_metrics.then(|| {
+            let mut m =
+                Metrics::with_targets(geom, env.targets.clone(), &env.props.row, &env.props.col);
+            if lifecycle.is_some() {
+                let passable = env.width() * env.height() - env.mat.count(CELL_WALL);
+                m.enable_open(passable, &env.alive);
+            }
+            m
+        });
+        Self {
+            step_no: 0,
+            metrics,
+            lifecycle,
+            timings: StepTimings::default(),
+        }
+    }
+
+    /// Steps completed so far.
+    pub fn steps_done(&self) -> u64 {
+        self.step_no
+    }
+
+    /// Metrics, when tracking is enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
+    /// The cumulative per-stage timing report.
+    pub fn timings(&self) -> &StepTimings {
+        &self.timings
+    }
+
+    /// Advance one step: the four kernel stages in §IV order, then the
+    /// metrics observation, then the lifecycle phases — each timed.
+    pub fn step<B: StageBackend>(&mut self, backend: &mut B) {
+        for stage in Stage::KERNELS {
+            let t0 = Instant::now();
+            backend.run_stage(stage, self.step_no);
+            self.timings.record(stage, t0.elapsed());
+        }
+        self.step_no += 1;
+        // Metrics before lifecycle: sinks drain arrivals that the
+        // observation has already counted.
+        let t0 = Instant::now();
+        if let Some(m) = self.metrics.as_mut() {
+            backend.observe(m);
+        }
+        self.timings.record(Stage::Metrics, t0.elapsed());
+        let t0 = Instant::now();
+        if let Some(lc) = &self.lifecycle {
+            backend.run_lifecycle(lc, self.step_no, self.metrics.as_mut());
+        }
+        self.timings.record(Stage::Lifecycle, t0.elapsed());
+        // One source of truth for the step count: the report mirrors the
+        // engine's counter instead of keeping its own.
+        self.timings.steps = self.step_no;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::cpu::{cpu_engine_small, CpuEngine};
+    use crate::engine::gpu::GpuEngine;
+    use crate::engine::Engine;
+    use crate::params::{ModelKind, SimConfig};
+    use pedsim_scenario::registry;
+    use simt::Device;
+
+    #[test]
+    fn stage_indices_match_report_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "init",
+                "initial_calc",
+                "tour",
+                "movement",
+                "lifecycle",
+                "metrics"
+            ]
+        );
+    }
+
+    fn assert_monotone_and_covering(e: &mut dyn Engine, label: &str) {
+        e.run(6);
+        let first = e.step_timings().clone();
+        assert_eq!(first.steps(), 6, "{label}: steps counted");
+        for stage in Stage::KERNELS {
+            assert!(
+                first.of(stage) > Duration::ZERO,
+                "{label}: kernel stage {} reported zero time",
+                stage.name()
+            );
+        }
+        assert!(
+            first.of(Stage::Metrics) > Duration::ZERO,
+            "{label}: metrics stage untimed"
+        );
+        e.run(6);
+        let second = e.step_timings().clone();
+        assert_eq!(second.steps(), 12);
+        // Monotone: cumulative time never decreases for any stage, and
+        // kernel stages strictly grew (they did real work again).
+        for stage in Stage::ALL {
+            assert!(
+                second.of(stage) >= first.of(stage),
+                "{label}: stage {} went backwards",
+                stage.name()
+            );
+        }
+        for stage in Stage::KERNELS {
+            assert!(
+                second.of(stage) > first.of(stage),
+                "{label}: kernel stage {} did not accumulate",
+                stage.name()
+            );
+        }
+        assert!(second.total() >= first.total());
+        assert!(second.per_step_secs(Stage::Movement) > 0.0);
+    }
+
+    #[test]
+    fn cpu_timings_are_monotone_and_cover_every_stage() {
+        let mut e = cpu_engine_small(24, 24, 20, ModelKind::lem(), 3);
+        assert_monotone_and_covering(&mut e, "cpu");
+    }
+
+    #[test]
+    fn gpu_timings_are_monotone_and_cover_every_stage() {
+        let env = pedsim_grid::EnvConfig::small(24, 24, 20).with_seed(3);
+        let cfg = SimConfig::new(env, ModelKind::lem());
+        let mut e = GpuEngine::new(cfg, Device::sequential());
+        assert_monotone_and_covering(&mut e, "gpu");
+    }
+
+    #[test]
+    fn open_worlds_time_the_lifecycle_stage_on_both_engines() {
+        let scenario = registry::open_corridor(24, 24, 20, 2.0).with_seed(5);
+        let cfg = SimConfig::from_scenario(scenario, ModelKind::lem());
+        let mut cpu = CpuEngine::new(cfg.clone());
+        let mut gpu = GpuEngine::new(cfg, Device::sequential());
+        cpu.run(30);
+        gpu.run(30);
+        for (label, t) in [("cpu", cpu.step_timings()), ("gpu", gpu.step_timings())] {
+            assert!(
+                t.of(Stage::Lifecycle) > Duration::ZERO,
+                "{label}: lifecycle stage untimed on an open world"
+            );
+            for stage in Stage::ALL {
+                assert!(t.total() >= t.of(stage));
+            }
+        }
+    }
+
+    #[test]
+    fn timings_do_not_perturb_trajectories() {
+        // The timing instrumentation must be observation-only: two runs of
+        // the same configuration produce identical trajectories no matter
+        // what the clock reads.
+        let mut a = cpu_engine_small(24, 24, 16, ModelKind::aco(), 11);
+        let mut b = cpu_engine_small(24, 24, 16, ModelKind::aco(), 11);
+        a.run(25);
+        b.run(25);
+        assert_eq!(a.mat_snapshot(), b.mat_snapshot());
+        assert_eq!(a.positions(), b.positions());
+    }
+}

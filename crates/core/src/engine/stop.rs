@@ -42,6 +42,16 @@ pub enum InvalidStopCondition {
     /// A `SteadyState` epsilon that is negative, NaN, or infinite — the
     /// flux-variation comparison could never be meaningful.
     InvalidEpsilon,
+    /// A metric-based condition on a run whose engine was built with
+    /// `track_metrics` off — it could never fire, and evaluating it
+    /// mid-run used to panic deep inside [`StopCondition::check`].
+    /// Caught by [`StopCondition::validate_for`] at `run_until` entry
+    /// (and at batch construction) instead.
+    RequiresMetrics {
+        /// Stable name of the offending condition
+        /// ([`crate::engine::StopReason::name`] vocabulary).
+        condition: &'static str,
+    },
 }
 
 impl std::fmt::Display for InvalidStopCondition {
@@ -60,6 +70,11 @@ impl std::fmt::Display for InvalidStopCondition {
             Self::InvalidEpsilon => {
                 write!(f, "steady-state epsilon must be finite and non-negative")
             }
+            Self::RequiresMetrics { condition } => write!(
+                f,
+                "stop condition {condition:?} requires metrics: build the \
+                 engine with SimConfig::track_metrics on"
+            ),
         }
     }
 }
@@ -187,6 +202,34 @@ impl StopCondition {
             StopCondition::FirstOf(conds) => conds.iter().try_for_each(StopCondition::validate),
             _ => Ok(()),
         }
+    }
+
+    /// The first metric-dependent member (recursively through
+    /// [`StopCondition::FirstOf`]), by stable stop-reason name — `None`
+    /// when the condition reads only `steps_done`.
+    pub fn requires_metrics(&self) -> Option<&'static str> {
+        match self {
+            StopCondition::Steps(_) => None,
+            StopCondition::AllArrived => Some(StopReason::AllArrived.name()),
+            StopCondition::Gridlocked { .. } => Some(StopReason::Gridlocked.name()),
+            StopCondition::SteadyState { .. } => Some(StopReason::SteadyState.name()),
+            StopCondition::FirstOf(conds) => conds.iter().find_map(StopCondition::requires_metrics),
+        }
+    }
+
+    /// [`StopCondition::validate`] plus the engine-capability check: with
+    /// `track_metrics` off, a metric-based member could never fire, so the
+    /// run would either loop forever or panic mid-step. Engines call this
+    /// at `run_until` entry and the batch runner at job validation — the
+    /// same typed-error-at-the-door pattern as the parameter checks.
+    pub fn validate_for(&self, track_metrics: bool) -> Result<(), InvalidStopCondition> {
+        self.validate()?;
+        if !track_metrics {
+            if let Some(condition) = self.requires_metrics() {
+                return Err(InvalidStopCondition::RequiresMetrics { condition });
+            }
+        }
+        Ok(())
     }
 
     /// Whether the condition is satisfied for an engine that has run
@@ -337,6 +380,56 @@ mod tests {
         m.observe(&[0, 13, 13, 15, 15], &[0, 0, 1, 0, 1]); // agent 2 crosses
         m.observe(&[0, 13, 13, 15, 15], &[0, 0, 1, 0, 1]);
         assert_eq!(c.check(4, Some(&m)), Some(StopReason::SteadyState));
+    }
+
+    #[test]
+    fn validate_for_flags_metric_conditions_on_metrics_off_runs() {
+        // Pure step-budget conditions never need metrics.
+        assert_eq!(StopCondition::Steps(10).validate_for(false), Ok(()));
+        assert_eq!(StopCondition::Steps(10).requires_metrics(), None);
+        // Every metric-based condition is rejected, by stable name, also
+        // when nested inside FirstOf.
+        let cases: [(StopCondition, &str); 4] = [
+            (StopCondition::AllArrived, "all_arrived"),
+            (
+                StopCondition::Gridlocked {
+                    threshold: 1,
+                    patience: 4,
+                },
+                "gridlocked",
+            ),
+            (
+                StopCondition::SteadyState {
+                    epsilon: 0.5,
+                    window: 8,
+                },
+                "steady_state",
+            ),
+            (StopCondition::arrived_or_steps(100), "all_arrived"),
+        ];
+        for (cond, name) in cases {
+            assert_eq!(cond.requires_metrics(), Some(name));
+            assert_eq!(
+                cond.validate_for(false),
+                Err(InvalidStopCondition::RequiresMetrics { condition: name })
+            );
+            // With metrics on, the same condition is fine.
+            assert_eq!(cond.validate_for(true), Ok(()));
+        }
+        let msg = StopCondition::AllArrived
+            .validate_for(false)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("track_metrics"), "{msg}");
+        // Parameter errors still take precedence over the metrics check.
+        let bad_params = StopCondition::SteadyState {
+            epsilon: -1.0,
+            window: 8,
+        };
+        assert_eq!(
+            bad_params.validate_for(false),
+            Err(InvalidStopCondition::InvalidEpsilon)
+        );
     }
 
     #[test]

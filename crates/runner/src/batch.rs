@@ -137,6 +137,7 @@ fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> 
             .is_some()
             .then(|| lane_index(&engine.mat_snapshot())),
         wall,
+        stages: engine.step_timings().clone(),
     }
 }
 
@@ -251,6 +252,30 @@ mod tests {
     }
 
     #[test]
+    fn replica_panic_reaches_caller_and_pool_survives() {
+        // Job validation catches bad stop conditions up front, but a
+        // replica can still panic inside a worker (here: a world whose
+        // spawn bands cannot hold the population panics during engine
+        // construction). The batch re-raises the panic on the calling
+        // thread after the remaining jobs drain, and the pool survives
+        // for the next batch.
+        let env = EnvConfig::small(8, 8, 1_000).with_seed(1);
+        let bad = Job::gpu(
+            "boom",
+            SimConfig::new(env, ModelKind::lem()),
+            StopCondition::Steps(5),
+        );
+        let batch = Batch::new(2);
+        assert!(bad.validate().is_ok(), "the run description itself is fine");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.run(&[bad]);
+        }));
+        assert!(caught.is_err(), "worker panic must re-raise on the caller");
+        let ok = corridor_job("ok", 1, 50);
+        assert_eq!(batch.run(&[ok]).jobs, 1);
+    }
+
+    #[test]
     fn asymmetric_world_reports_true_population() {
         // The EnvConfig record mirrors only group 0; the report must count
         // the scenario's full (uneven) population.
@@ -270,9 +295,11 @@ mod tests {
     }
 
     #[test]
-    fn job_panic_reaches_caller_and_batch_survives() {
-        // A job whose stop condition needs metrics on a metrics-off
-        // engine panics inside the worker; the batch re-raises it here.
+    fn metric_stop_without_metrics_is_a_typed_error_not_a_worker_panic() {
+        // This used to be the documented "caller bug" failure mode: the
+        // condition was evaluated mid-run and panicked deep inside
+        // StopCondition::check on a worker thread. Job validation now
+        // rejects the description before any worker starts.
         let env = EnvConfig::small(16, 16, 4).with_seed(1);
         let bad = Job::gpu(
             "bad",
@@ -280,11 +307,18 @@ mod tests {
             StopCondition::AllArrived,
         );
         let batch = Batch::new(2);
+        let err = batch.try_run(std::slice::from_ref(&bad)).unwrap_err();
+        assert!(
+            matches!(err, crate::job::JobError::InvalidStop { ref label, .. } if label == "bad")
+        );
+        assert!(err.to_string().contains("track_metrics"), "{err}");
+        // run() still panics on the *calling* thread with the typed
+        // message, and the pool survives for the next batch.
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             batch.run(&[bad]);
         }));
-        assert!(caught.is_err());
-        // The pool drained cleanly; the next batch runs normally.
+        let panic_msg = *caught.unwrap_err().downcast::<String>().expect("string");
+        assert!(panic_msg.contains("track_metrics"), "{panic_msg}");
         let ok = corridor_job("ok", 1, 50);
         assert_eq!(batch.run(&[ok]).jobs, 1);
     }

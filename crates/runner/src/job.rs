@@ -126,10 +126,12 @@ impl Job {
     /// Check the job's run description without executing it — the batch
     /// runner validates every job up front so a misconfigured stop
     /// condition surfaces as a typed error on the calling thread, never a
-    /// worker panic mid-batch.
+    /// worker panic mid-batch. Covers both the condition's parameters and
+    /// its fit with this job's engine configuration: a metric-based stop
+    /// on a `track_metrics`-off config can never fire.
     pub fn validate(&self) -> Result<(), JobError> {
         self.stop
-            .validate()
+            .validate_for(self.cfg.track_metrics)
             .map_err(|source| JobError::InvalidStop {
                 label: self.label.clone(),
                 source,
@@ -175,5 +177,31 @@ mod tests {
         let err = bad.validate().unwrap_err();
         assert!(matches!(err, JobError::InvalidStop { ref label, .. } if label == "too-patient"));
         assert!(err.to_string().contains("gridlock patience"));
+    }
+
+    #[test]
+    fn validate_flags_metric_stop_on_metrics_off_config() {
+        // The old failure mode was a documented "caller bug" panic deep in
+        // StopCondition::check, raised on a worker thread mid-batch; the
+        // job check now rejects the description up front.
+        let cfg = SimConfig::new(EnvConfig::small(16, 16, 4), ModelKind::lem()).with_metrics(false);
+        for stop in [
+            StopCondition::AllArrived,
+            StopCondition::settled_or_steps(100, 1, 8),
+            StopCondition::steady_or_steps(100, 0.5, 8),
+        ] {
+            let job = Job::cpu("dark", cfg.clone(), stop);
+            let err = job.validate().unwrap_err();
+            assert!(err.to_string().contains("track_metrics"), "{err}");
+        }
+        // A pure step budget needs no metrics; metrics-on configs accept
+        // metric-based stops as before.
+        assert!(Job::cpu("ok", cfg.clone(), StopCondition::Steps(10))
+            .validate()
+            .is_ok());
+        let tracked = SimConfig::new(EnvConfig::small(16, 16, 4), ModelKind::lem());
+        assert!(Job::cpu("ok", tracked, StopCondition::AllArrived)
+            .validate()
+            .is_ok());
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use pedsim_core::engine::StopReason;
+use pedsim_core::engine::{Stage, StepTimings, StopReason};
 
 /// The sliding window (steps) behind [`RunResult::flux`]: long enough to
 /// smooth single-step noise, short enough that smoke-scale runs observe
@@ -49,6 +49,11 @@ pub struct RunResult {
     /// result extraction excluded). Non-deterministic; excluded from
     /// [`BatchReport::to_json`].
     pub wall: Duration,
+    /// Per-stage wall-clock totals from the engine's unified step
+    /// pipeline (both engines report through the same surface).
+    /// Non-deterministic; excluded from [`BatchReport::to_json`],
+    /// serialized as `stages_s` by [`BatchReport::to_json_with_timing`].
+    pub stages: StepTimings,
 }
 
 impl RunResult {
@@ -86,6 +91,20 @@ impl RunResult {
         );
         if timing {
             push_raw_field(&mut o, "wall_s", &json_f64(self.wall.as_secs_f64()));
+            let mut stages = String::from("{");
+            for stage in Stage::ALL {
+                if stages.len() > 1 {
+                    stages.push_str(", ");
+                }
+                let _ = write!(
+                    stages,
+                    "\"{}\": {}",
+                    stage.name(),
+                    json_f64(self.stages.of(stage).as_secs_f64())
+                );
+            }
+            stages.push('}');
+            push_raw_field(&mut o, "stages_s", &stages);
         }
         o.push('}');
         o
@@ -196,7 +215,7 @@ impl BatchReport {
     fn render_json(&self, timing: bool) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v2\",");
+        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v3\",");
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"aggregate\": {{");
         let _ = writeln!(s, "    \"agents_total\": {},", self.agents_total);
@@ -305,6 +324,7 @@ mod tests {
             total_moves: Some(1_000),
             lane_index: Some(0.25),
             wall: Duration::from_millis(seed),
+            stages: StepTimings::default(),
         }
     }
 
@@ -346,7 +366,17 @@ mod tests {
         let rev = BatchReport::from_results(rev_results);
         assert_eq!(fwd.to_json(), rev.to_json());
         assert!(!fwd.to_json().contains("wall"));
-        assert!(fwd.to_json_with_timing().contains("wall_total_s"));
+        assert!(!fwd.to_json().contains("stages_s"));
+        let timed = fwd.to_json_with_timing();
+        assert!(timed.contains("wall_total_s"));
+        // Every pipeline stage is serialized per result in timing mode.
+        for stage in Stage::ALL {
+            assert!(
+                timed.contains(&format!("\"{}\":", stage.name())),
+                "stage {} missing from timing JSON",
+                stage.name()
+            );
+        }
     }
 
     #[test]
