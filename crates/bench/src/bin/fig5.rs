@@ -8,6 +8,7 @@
 
 use pedsim_bench::scale::{arg_value, Scale};
 use pedsim_bench::{fig5, Table};
+use pedsim_obs::log_summary;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +16,7 @@ fn main() {
     let part = arg_value(&args, "--part").unwrap_or_else(|| "all".into());
     let cfg = fig5::Fig5Config::for_scale(scale);
 
-    eprintln!(
+    log_summary!(
         "fig5 [{}]: {}x{} grid, {} steps, populations {:?} — timing both engines…",
         scale.label(),
         cfg.side,
@@ -30,7 +31,7 @@ fn main() {
         println!("\n## {title} ({} scale)\n", scale.label());
         print!("{}", table.markdown());
         match table.save_csv(base, name) {
-            Ok(p) => eprintln!("wrote {}", p.display()),
+            Ok(p) => log_summary!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write {name}.csv: {e}"),
         }
     };

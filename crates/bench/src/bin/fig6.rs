@@ -11,6 +11,7 @@
 
 use pedsim_bench::scale::{arg_value, Scale};
 use pedsim_bench::{fig6, Table};
+use pedsim_obs::log_summary;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,13 +24,13 @@ fn main() {
         println!("\n## {title} ({} scale)\n", scale.label());
         print!("{}", table.markdown());
         match table.save_csv(base, name) {
-            Ok(p) => eprintln!("wrote {}", p.display()),
+            Ok(p) => log_summary!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write {name}.csv: {e}"),
         }
     };
 
     if part == "a" || part == "all" {
-        eprintln!(
+        log_summary!(
             "fig6a [{}]: {}x{}, {} steps, {} repeats, {} densities…",
             scale.label(),
             cfg.side,
@@ -58,7 +59,7 @@ fn main() {
     }
 
     if part == "b" || part == "all" {
-        eprintln!(
+        log_summary!(
             "fig6b [{}]: CPU vs GPU ACO sweep ({} densities x {} repeats, both engines)…",
             scale.label(),
             cfg.densities.len(),

@@ -3,17 +3,23 @@
 //!
 //! ```text
 //! cargo run -p pedsim-bench --release --bin fundamental_diagram -- \
-//!     [--paper|--smoke] [--workers N]
+//!     [--paper|--smoke] [--workers N] [--journal PATH] \
+//!     [--registry PATH | --no-registry]
 //! ```
 //!
 //! Writes `results/fundamental_diagram_<scale>.{csv,json}` plus the
-//! repo-root `BENCH_fundamental_diagram.json` perf-trajectory record, and
+//! repo-root `BENCH_fundamental_diagram.json` perf-trajectory record,
+//! appends one provenance-stamped row per replica to the results
+//! registry (and, with `--journal`, one JSONL record per replica), and
 //! prints a Markdown table. Exits non-zero when the smoke-scale curve
-//! fails the rises-then-saturates sanity check.
+//! fails the rises-then-saturates sanity check. Progress chatter honors
+//! `PEDSIM_LOG` (off/summary/verbose).
 
 use pedsim_bench::fundamental_diagram as fd;
+use pedsim_bench::observe::{self, Sinks};
 use pedsim_bench::report;
 use pedsim_bench::scale::{arg_value, Scale};
+use pedsim_obs::log_summary;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,10 +31,11 @@ fn main() {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
+    let sinks = Sinks::from_args(&args);
     let cfg = fd::FdConfig::for_scale(scale);
     let base = std::path::Path::new(".");
 
-    eprintln!(
+    log_summary!(
         "fundamental_diagram [{}]: open {side}x{side} corridor, {} rates x {} repeats, \
          budget {} steps, flux window {}, on {workers} workers…",
         scale.label(),
@@ -40,8 +47,17 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let rows = fd::run(&cfg, workers);
+    let batch = fd::run_report(&cfg, workers);
     let elapsed = t0.elapsed();
+    let rows = fd::aggregate(&cfg, &batch);
+
+    let sinks_ok = match observe::emit(&sinks, "fundamental_diagram", scale, &batch) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("could not record observability sinks: {e}");
+            false
+        }
+    };
 
     println!("\n## Fundamental diagram ({} scale)\n", scale.label());
     let table = fd::table(&rows);
@@ -49,19 +65,19 @@ fn main() {
 
     let name = format!("fundamental_diagram_{}", scale.label());
     match table.save_csv(base, &name) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
+        Ok(p) => log_summary!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write {name}.csv: {e}"),
     }
     match report::save_json(base, &name, &fd::to_json(scale, &cfg, &rows)) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
+        Ok(p) => log_summary!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write {name}.json: {e}"),
     }
     let bench_path = base.join("BENCH_fundamental_diagram.json");
     match std::fs::write(&bench_path, fd::to_bench_json(scale, &cfg, &rows)) {
-        Ok(()) => eprintln!("wrote {}", bench_path.display()),
+        Ok(()) => log_summary!("wrote {}", bench_path.display()),
         Err(e) => eprintln!("could not write {}: {e}", bench_path.display()),
     }
-    eprintln!("wall: {:.2}s on {workers} workers", elapsed.as_secs_f64());
+    log_summary!("wall: {:.2}s on {workers} workers", elapsed.as_secs_f64());
 
     let ok = fd::curve_rises_then_saturates(&rows);
     println!(
@@ -76,8 +92,10 @@ fn main() {
     );
     // The shape check is the CI acceptance gate, calibrated for the smoke
     // ladder; research-scale ladders may legitimately sit entirely in
-    // free flow or entirely congested, so larger scales only report.
-    if !ok && scale == Scale::Smoke {
+    // free flow or entirely congested, so larger scales only report. A
+    // failed sink write also fails the gate — a bench whose registry row
+    // never landed must not pass.
+    if (!ok || !sinks_ok) && scale == Scale::Smoke {
         std::process::exit(1);
     }
 }

@@ -4,17 +4,23 @@
 //!
 //! ```text
 //! cargo run -p pedsim-bench --release --bin step_throughput -- \
-//!     [--paper|--smoke] [--workers N]
+//!     [--paper|--smoke] [--workers N] [--journal PATH] \
+//!     [--registry PATH | --no-registry]
 //! ```
 //!
 //! Writes `results/step_throughput_<scale>.{csv,json}` plus the repo-root
-//! `BENCH_step_throughput.json` perf-trajectory record, and prints a
+//! `BENCH_step_throughput.json` perf-trajectory record, appends one
+//! provenance-stamped row per replica to the results registry (and,
+//! with `--journal`, one JSONL record per replica), and prints a
 //! Markdown table. Exits non-zero when the smoke-scale measurement does
-//! not cover both engines and every pipeline stage.
+//! not cover both engines and every pipeline stage. Progress chatter
+//! honors `PEDSIM_LOG` (off/summary/verbose).
 
+use pedsim_bench::observe::{self, Sinks};
 use pedsim_bench::report;
 use pedsim_bench::scale::{arg_value, Scale};
 use pedsim_bench::step_throughput as st;
+use pedsim_obs::log_summary;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,10 +30,11 @@ fn main() {
     let workers = arg_value(&args, "--workers")
         .and_then(|w| w.parse().ok())
         .unwrap_or(1);
+    let sinks = Sinks::from_args(&args);
     let cfg = st::StConfig::for_scale(scale);
     let base = std::path::Path::new(".");
 
-    eprintln!(
+    log_summary!(
         "step_throughput [{}]: {side}x{side} closed+open corridors, both engines, \
          {} steps x {} repeats, on {workers} workers…",
         scale.label(),
@@ -37,8 +44,17 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let rows = st::run(&cfg, workers);
+    let batch = st::run_report(&cfg, workers);
     let elapsed = t0.elapsed();
+    let rows = st::aggregate(&cfg, &batch);
+
+    let sinks_ok = match observe::emit(&sinks, "step_throughput", scale, &batch) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("could not record observability sinks: {e}");
+            false
+        }
+    };
 
     println!("\n## Step throughput ({} scale)\n", scale.label());
     let table = st::table(&rows);
@@ -53,18 +69,18 @@ fn main() {
 
     let name = format!("step_throughput_{}", scale.label());
     match table.save_csv(base, &name) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
+        Ok(p) => log_summary!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write {name}.csv: {e}"),
     }
     let json = st::to_json(scale, &cfg, &rows);
     match report::save_json(base, &name, &json) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
+        Ok(p) => log_summary!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write {name}.json: {e}"),
     }
     let bench_path = base.join("BENCH_step_throughput.json");
     let record_written = match std::fs::write(&bench_path, &json) {
         Ok(()) => {
-            eprintln!("wrote {}", bench_path.display());
+            log_summary!("wrote {}", bench_path.display());
             true
         }
         Err(e) => {
@@ -72,7 +88,7 @@ fn main() {
             false
         }
     };
-    eprintln!("wall: {:.2}s on {workers} workers", elapsed.as_secs_f64());
+    log_summary!("wall: {:.2}s on {workers} workers", elapsed.as_secs_f64());
 
     let ok = st::covers_both_engines_and_all_stages(&rows);
     println!(
@@ -84,9 +100,10 @@ fn main() {
         },
     );
     // The coverage check is the CI acceptance gate at smoke scale; larger
-    // scales only report. A failed record write must also fail the gate —
-    // otherwise CI would validate whatever stale record is lying around.
-    if (!ok || !record_written) && scale == Scale::Smoke {
+    // scales only report. A failed record or sink write must also fail
+    // the gate — otherwise CI would validate whatever stale record is
+    // lying around.
+    if (!ok || !record_written || !sinks_ok) && scale == Scale::Smoke {
         std::process::exit(1);
     }
 }

@@ -19,7 +19,7 @@
 use std::time::Duration;
 
 use pedsim_core::prelude::*;
-use pedsim_runner::{Batch, Job, FLUX_REPORT_WINDOW};
+use pedsim_runner::{Batch, BatchReport, Job, FLUX_REPORT_WINDOW};
 use pedsim_scenario::registry;
 
 use crate::report::{f3, Table};
@@ -128,14 +128,32 @@ pub struct FdRow {
     pub steady: usize,
     /// Replicas at this rate.
     pub replicas: usize,
+    /// Mean per-row directional band count at stop (lane formation).
+    pub bands: f64,
+    /// Mean group segregation index at stop, in `[0, 1]`.
+    pub segregation: f64,
+    /// Mean gridlock early-warning gauge at stop, in `[0, 1]` (0 when no
+    /// replica ran long enough to measure it).
+    pub gridlock_risk: f64,
     /// Simulated steps per wall-clock second (all replicas at this rate;
     /// non-deterministic — excluded from the deterministic JSON).
     pub steps_per_sec: f64,
 }
 
-/// Run the sweep on `workers` pool threads and aggregate per rate.
+/// Run the sweep on `workers` pool threads, returning the raw
+/// per-replica report — the journal/registry emitters consume this
+/// before [`aggregate`] collapses it into the curve.
+pub fn run_report(cfg: &FdConfig, workers: usize) -> BatchReport {
+    Batch::new(workers).run(&cfg.jobs())
+}
+
+/// [`run_report`] + [`aggregate`] in one call.
 pub fn run(cfg: &FdConfig, workers: usize) -> Vec<FdRow> {
-    let report = Batch::new(workers).run(&cfg.jobs());
+    aggregate(cfg, &run_report(cfg, workers))
+}
+
+/// Aggregate a finished sweep per rate.
+pub fn aggregate(cfg: &FdConfig, report: &BatchReport) -> Vec<FdRow> {
     let cells = (cfg.side * cfg.side) as f64;
     cfg.rates
         .iter()
@@ -174,6 +192,9 @@ pub fn run(cfg: &FdConfig, workers: usize) -> Vec<FdRow> {
                 steps,
                 steady,
                 replicas: rows.len(),
+                bands: mean(rows.iter().filter_map(|r| r.bands).collect()),
+                segregation: mean(rows.iter().filter_map(|r| r.segregation).collect()),
+                gridlock_risk: mean(rows.iter().filter_map(|r| r.gridlock_risk).collect()),
                 steps_per_sec: if wall.is_zero() {
                     0.0
                 } else {
@@ -215,6 +236,9 @@ pub fn table(rows: &[FdRow]) -> Table {
         "live",
         "mean_steps",
         "steady",
+        "bands",
+        "segregation",
+        "gridlock_risk",
         "steps_per_sec",
     ]);
     for r in rows {
@@ -225,6 +249,9 @@ pub fn table(rows: &[FdRow]) -> Table {
             f3(r.live),
             f3(r.steps),
             format!("{}/{}", r.steady, r.replicas),
+            f3(r.bands),
+            f3(r.segregation),
+            f3(r.gridlock_risk),
             format!("{:.0}", r.steps_per_sec),
         ]);
     }
@@ -244,8 +271,18 @@ pub fn to_json(scale: Scale, cfg: &FdConfig, rows: &[FdRow]) -> String {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         s.push_str(&format!(
             "    {{\"rate\": {}, \"flux\": {}, \"density\": {}, \"live\": {}, \
-             \"mean_steps\": {}, \"steady\": {}, \"replicas\": {}}}{comma}\n",
-            r.rate, r.flux, r.density, r.live, r.steps, r.steady, r.replicas
+             \"mean_steps\": {}, \"steady\": {}, \"replicas\": {}, \"bands\": {}, \
+             \"segregation\": {}, \"gridlock_risk\": {}}}{comma}\n",
+            r.rate,
+            r.flux,
+            r.density,
+            r.live,
+            r.steps,
+            r.steady,
+            r.replicas,
+            r.bands,
+            r.segregation,
+            r.gridlock_risk
         ));
     }
     s.push_str("  ]\n}\n");
@@ -310,6 +347,9 @@ mod tests {
                     steps: 0.0,
                     steady: 0,
                     replicas: 1,
+                    bands: 0.0,
+                    segregation: 0.0,
+                    gridlock_risk: 0.0,
                     steps_per_sec: 0.0,
                 })
                 .collect()

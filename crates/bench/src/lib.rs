@@ -22,7 +22,12 @@
 //!   seeding the repo-root `BENCH_step_throughput.json` perf trajectory;
 //! * [`report`] — Markdown/CSV/JSON emitters (the MATLAB-plotting
 //!   substitute);
-//! * [`scale`] — the `--paper` / default / `--smoke` protocol scales.
+//! * [`scale`] — the `--paper` / default / `--smoke` protocol scales;
+//! * [`observe`] — the `--journal` / `--registry` sinks: per-replica
+//!   JSONL records and provenance-stamped rows for the append-only
+//!   results registry;
+//! * [`registry_query`] — KPI queries over the registry and the CI
+//!   regression gate behind the `registry_query` binary.
 //!
 //! Binaries `fig5`, `fig6`, `table1`, `ablation`, `sweep` drive these and
 //! write `results/*.csv` / `results/*.json` next to a Markdown rendition
@@ -36,6 +41,8 @@ pub mod ablation;
 pub mod fig5;
 pub mod fig6;
 pub mod fundamental_diagram;
+pub mod observe;
+pub mod registry_query;
 pub mod report;
 pub mod scale;
 pub mod step_throughput;

@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 
 use pedsim_core::engine::Stage;
 use pedsim_core::prelude::*;
-use pedsim_runner::{Batch, Job};
+use pedsim_runner::{Batch, BatchReport, Job};
 use pedsim_scenario::registry;
 
 use crate::report::Table;
@@ -155,9 +155,20 @@ pub struct StRatio {
 }
 
 /// Run the measurement on `workers` pool threads (1 for clean timings —
-/// concurrent replicas contend for cores) and aggregate per world/engine.
+/// concurrent replicas contend for cores), returning the raw per-replica
+/// report — the journal/registry emitters consume this before
+/// [`aggregate`] collapses it into the table.
+pub fn run_report(cfg: &StConfig, workers: usize) -> BatchReport {
+    Batch::new(workers).run(&cfg.jobs())
+}
+
+/// [`run_report`] + [`aggregate`] in one call.
 pub fn run(cfg: &StConfig, workers: usize) -> Vec<StRow> {
-    let report = Batch::new(workers).run(&cfg.jobs());
+    aggregate(cfg, &run_report(cfg, workers))
+}
+
+/// Aggregate a finished measurement per (world, engine) cell.
+pub fn aggregate(cfg: &StConfig, report: &BatchReport) -> Vec<StRow> {
     let mut rows = Vec::new();
     for (world, open) in cfg.worlds() {
         for engine in ["cpu", "gpu"] {

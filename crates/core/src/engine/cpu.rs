@@ -339,7 +339,9 @@ impl CpuBackend {
 }
 
 impl StageBackend for CpuBackend {
-    fn run_stage(&mut self, stage: Stage, step_no: u64) {
+    fn run_stage(&mut self, stage: Stage, step_no: u64, _rec: &mut pedsim_obs::Recorder) {
+        // The CPU has no launch machinery to report; its kernel counters
+        // stay at the zeros the core pre-registered.
         match stage {
             Stage::Init => self.stage_init(),
             Stage::InitialCalc => self.stage_initial_calc(),
@@ -382,6 +384,10 @@ impl Engine for CpuEngine {
 
     fn step_timings(&self) -> &StepTimings {
         self.core.timings()
+    }
+
+    fn telemetry(&self) -> &pedsim_obs::Recorder {
+        self.core.recorder()
     }
 
     fn model(&self) -> ModelKind {

@@ -79,6 +79,12 @@ pub struct KernelReport {
     pub time: [Duration; 4],
     /// Cumulative profiles per kernel (empty unless the device profiles).
     pub profile: [KernelProfile; 4],
+    /// Launches issued per kernel (one per step per kernel).
+    pub launches: [u64; 4],
+    /// Cumulative blocks launched per kernel.
+    pub blocks: [u64; 4],
+    /// Cumulative threads launched per kernel.
+    pub threads: [u64; 4],
 }
 
 impl KernelReport {
@@ -87,6 +93,9 @@ impl KernelReport {
     /// copy-pasted blocks in `GpuEngine::step`).
     fn record(&mut self, k: usize, stats: &LaunchStats) {
         self.time[k] += stats.duration;
+        self.launches[k] += 1;
+        self.blocks[k] += stats.blocks as u64;
+        self.threads[k] += stats.threads;
         if let Some(p) = stats.profile {
             self.profile[k] = self.profile[k].merged(p);
         }
@@ -199,26 +208,31 @@ impl GpuBackend {
             .with_salt(salt)
     }
 
-    /// Launch one kernel and fold its stats into report slot `k`.
-    /// Associated (not `&mut self`) so the kernel may keep borrowing
-    /// `self.state` while the report is written.
+    /// Launch one kernel and fold its stats into report slot `k` and the
+    /// telemetry recorder. Associated (not `&mut self`) so the kernel may
+    /// keep borrowing `self.state` while the report is written.
     fn launch_counted<K: BlockKernel>(
         device: &Device,
         report: &mut KernelReport,
+        rec: &mut pedsim_obs::Recorder,
         k: usize,
         cfg: &LaunchConfig,
         kernel: &K,
         what: &str,
     ) {
+        use super::pipeline::{KERNEL_BLOCK_KEYS, KERNEL_LAUNCH_KEYS, KERNEL_THREAD_KEYS};
         let stats = device
             .launch(cfg, kernel)
             .unwrap_or_else(|e| panic!("{what} launch: {e:?}"));
         report.record(k, &stats);
+        rec.inc(KERNEL_LAUNCH_KEYS[k], 1);
+        rec.inc(KERNEL_BLOCK_KEYS[k], stats.blocks as u64);
+        rec.inc(KERNEL_THREAD_KEYS[k], stats.threads);
     }
 }
 
 impl StageBackend for GpuBackend {
-    fn run_stage(&mut self, stage: Stage, step_no: u64) {
+    fn run_stage(&mut self, stage: Stage, step_no: u64, rec: &mut pedsim_obs::Recorder) {
         let seed = self.cfg.env.seed;
         let base = step_no * 4;
         let st = &self.state;
@@ -239,7 +253,7 @@ impl StageBackend for GpuBackend {
                     future_col: st.future_col.view(),
                 };
                 let lcfg = self.cfg_rows(st.n + 1, seed, base);
-                Self::launch_counted(&self.device, &mut self.report, 0, &lcfg, &init, "init");
+                Self::launch_counted(&self.device, &mut self.report, rec, 0, &lcfg, &init, "init");
             }
             Stage::InitialCalc => {
                 // Kernel 2: initial calculation (§IV.b).
@@ -265,6 +279,7 @@ impl StageBackend for GpuBackend {
                 Self::launch_counted(
                     &self.device,
                     &mut self.report,
+                    rec,
                     1,
                     &lcfg,
                     &calc,
@@ -289,7 +304,7 @@ impl StageBackend for GpuBackend {
                     model: self.cfg.model,
                 };
                 let lcfg = self.cfg_rows(st.n, seed, base + 2);
-                Self::launch_counted(&self.device, &mut self.report, 2, &lcfg, &tour, "tour");
+                Self::launch_counted(&self.device, &mut self.report, rec, 2, &lcfg, &tour, "tour");
             }
             Stage::Movement => {
                 // Kernel 4: agent movement (§IV.d).
@@ -325,7 +340,15 @@ impl StageBackend for GpuBackend {
                     aco,
                 };
                 let lcfg = self.cfg_cells(seed, base + 3);
-                Self::launch_counted(&self.device, &mut self.report, 3, &lcfg, &mv, "movement");
+                Self::launch_counted(
+                    &self.device,
+                    &mut self.report,
+                    rec,
+                    3,
+                    &lcfg,
+                    &mv,
+                    "movement",
+                );
                 self.state.cur = nxt;
             }
             Stage::Lifecycle | Stage::Metrics => unreachable!("core-driven stage"),
@@ -364,6 +387,10 @@ impl Engine for GpuEngine {
 
     fn step_timings(&self) -> &StepTimings {
         self.core.timings()
+    }
+
+    fn telemetry(&self) -> &pedsim_obs::Recorder {
+        self.core.recorder()
     }
 
     fn model(&self) -> ModelKind {

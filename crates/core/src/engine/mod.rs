@@ -27,7 +27,9 @@ use crate::metrics::Metrics;
 use crate::params::{ModelKind, SimConfig};
 
 pub use lifecycle::source_stream;
-pub use pipeline::{Stage, StepTimings};
+pub use pipeline::{
+    Stage, StepTimings, KERNEL_BLOCK_KEYS, KERNEL_LAUNCH_KEYS, KERNEL_THREAD_KEYS, STEPS_KEY,
+};
 pub use stop::{InvalidStopCondition, StopCondition, StopReason};
 
 /// Why a mid-run model swap was rejected: the model *variant* changed. A
@@ -104,6 +106,14 @@ pub trait Engine {
     /// pipeline (see [`pipeline::StepTimings`]) — reported identically by
     /// both engines.
     fn step_timings(&self) -> &StepTimings;
+
+    /// The engine's telemetry recorder: per-stage duration histograms,
+    /// kernel-launch counters, physics gauges, and the ring-buffered
+    /// event log, fed by the unified step pipeline. Both engines expose
+    /// the **same key vocabulary** — counters a backend has no machinery
+    /// for (e.g. kernel launches on the CPU) are pre-registered at zero,
+    /// so consumers never branch on the engine kind.
+    fn telemetry(&self) -> &pedsim_obs::Recorder;
 
     /// The movement model in use.
     fn model(&self) -> ModelKind;

@@ -22,9 +22,47 @@
 
 use std::time::{Duration, Instant};
 
-use crate::metrics::Metrics;
+use pedsim_obs::Recorder;
+
+use crate::metrics::{Metrics, GRIDLOCK_WARNING_WINDOW};
 
 use super::lifecycle::OpenLifecycle;
+
+/// Telemetry counter keys for per-kernel launch counts, indexed like
+/// [`Stage::KERNELS`]. Registered at zero on **both** engines by
+/// [`StepCore`], so CPU and GPU telemetry always share one shape; only
+/// the GPU backend increments them.
+pub const KERNEL_LAUNCH_KEYS: [&str; 4] = [
+    "kernel.init.launches",
+    "kernel.initial_calc.launches",
+    "kernel.tour.launches",
+    "kernel.movement.launches",
+];
+
+/// Telemetry counter keys for cumulative blocks launched per kernel
+/// (see [`KERNEL_LAUNCH_KEYS`]).
+pub const KERNEL_BLOCK_KEYS: [&str; 4] = [
+    "kernel.init.blocks",
+    "kernel.initial_calc.blocks",
+    "kernel.tour.blocks",
+    "kernel.movement.blocks",
+];
+
+/// Telemetry counter keys for cumulative threads launched per kernel
+/// (see [`KERNEL_LAUNCH_KEYS`]).
+pub const KERNEL_THREAD_KEYS: [&str; 4] = [
+    "kernel.init.threads",
+    "kernel.initial_calc.threads",
+    "kernel.tour.threads",
+    "kernel.movement.threads",
+];
+
+/// Telemetry counter key for completed pipeline steps.
+pub const STEPS_KEY: &str = "pipeline.steps";
+
+/// The gauge level at which the gridlock early warning fires a
+/// telemetry event (and re-arms once the gauge falls back below).
+pub const GRIDLOCK_EVENT_THRESHOLD: f64 = 0.5;
 
 /// One phase of the unified step pipeline.
 ///
@@ -99,6 +137,18 @@ impl Stage {
             Stage::Metrics => "metrics",
         }
     }
+
+    /// Telemetry histogram key for this stage's per-step wall time.
+    pub fn ns_key(self) -> &'static str {
+        match self {
+            Stage::Init => "stage.init_ns",
+            Stage::InitialCalc => "stage.initial_calc_ns",
+            Stage::Tour => "stage.tour_ns",
+            Stage::Movement => "stage.movement_ns",
+            Stage::Lifecycle => "stage.lifecycle_ns",
+            Stage::Metrics => "stage.metrics_ns",
+        }
+    }
 }
 
 /// Cumulative per-stage wall-clock timings of an engine's step pipeline.
@@ -150,8 +200,11 @@ impl StepTimings {
 /// metrics, lifecycle — lives in [`StepCore`].
 pub(crate) trait StageBackend {
     /// Execute one kernel stage of step `step_no` (0-based). Only ever
-    /// called with members of [`Stage::KERNELS`], in that order.
-    fn run_stage(&mut self, stage: Stage, step_no: u64);
+    /// called with members of [`Stage::KERNELS`], in that order. `rec`
+    /// is the engine's telemetry recorder; backends with launch machinery
+    /// (the GPU) feed their per-kernel launch statistics into it, the CPU
+    /// has nothing to add (its keys stay pre-registered at zero).
+    fn run_stage(&mut self, stage: Stage, step_no: u64, rec: &mut Recorder);
 
     /// Feed the post-step agent positions to the metrics observer.
     fn observe(&self, metrics: &mut Metrics);
@@ -173,6 +226,10 @@ pub(crate) struct StepCore {
     metrics: Option<Metrics>,
     lifecycle: Option<OpenLifecycle>,
     timings: StepTimings,
+    recorder: Recorder,
+    /// Whether the gridlock early-warning event has fired and not yet
+    /// re-armed (the gauge is still above the threshold).
+    warned: bool,
 }
 
 impl StepCore {
@@ -201,11 +258,23 @@ impl StepCore {
             }
             m
         });
+        // Pre-register the full launch-counter vocabulary so both
+        // engines expose identical telemetry keys; the CPU backend never
+        // touches them and reports zeros.
+        let mut recorder = Recorder::new();
+        recorder.ensure_counter(STEPS_KEY);
+        for k in 0..4 {
+            recorder.ensure_counter(KERNEL_LAUNCH_KEYS[k]);
+            recorder.ensure_counter(KERNEL_BLOCK_KEYS[k]);
+            recorder.ensure_counter(KERNEL_THREAD_KEYS[k]);
+        }
         Self {
             step_no: 0,
             metrics,
             lifecycle,
             timings: StepTimings::default(),
+            recorder,
+            warned: false,
         }
     }
 
@@ -224,13 +293,30 @@ impl StepCore {
         &self.timings
     }
 
+    /// The engine's telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Record a stage duration into both the timing report and the
+    /// telemetry histogram.
+    fn time_stage(&mut self, stage: Stage, d: Duration) {
+        self.timings.record(stage, d);
+        self.recorder.observe_ns(
+            stage.ns_key(),
+            d.as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
+    }
+
     /// Advance one step: the four kernel stages in §IV order, then the
-    /// metrics observation, then the lifecycle phases — each timed.
+    /// metrics observation, then the lifecycle phases — each timed and
+    /// recorded. Telemetry is strictly observe-only: nothing here feeds
+    /// back into the simulation, so trajectories are unchanged.
     pub fn step<B: StageBackend>(&mut self, backend: &mut B) {
         for stage in Stage::KERNELS {
             let t0 = Instant::now();
-            backend.run_stage(stage, self.step_no);
-            self.timings.record(stage, t0.elapsed());
+            backend.run_stage(stage, self.step_no, &mut self.recorder);
+            self.time_stage(stage, t0.elapsed());
         }
         self.step_no += 1;
         // Metrics before lifecycle: sinks drain arrivals that the
@@ -239,15 +325,34 @@ impl StepCore {
         if let Some(m) = self.metrics.as_mut() {
             backend.observe(m);
         }
-        self.timings.record(Stage::Metrics, t0.elapsed());
+        self.time_stage(Stage::Metrics, t0.elapsed());
         let t0 = Instant::now();
         if let Some(lc) = &self.lifecycle {
             backend.run_lifecycle(lc, self.step_no, self.metrics.as_mut());
         }
-        self.timings.record(Stage::Lifecycle, t0.elapsed());
+        self.time_stage(Stage::Lifecycle, t0.elapsed());
         // One source of truth for the step count: the report mirrors the
         // engine's counter instead of keeping its own.
         self.timings.steps = self.step_no;
+        self.recorder.inc(STEPS_KEY, 1);
+        // Deterministic physics gauges (post-lifecycle state, matching
+        // what the next step starts from).
+        if let Some(m) = &self.metrics {
+            self.recorder
+                .set_gauge("sim.throughput", m.throughput() as f64);
+            self.recorder
+                .set_gauge("sim.total_moves", m.total_moves as f64);
+            self.recorder.set_gauge("sim.live", m.live_count() as f64);
+            if let Some(risk) = m.gridlock_warning(GRIDLOCK_WARNING_WINDOW) {
+                self.recorder.set_gauge("sim.gridlock_risk", risk);
+                if risk >= GRIDLOCK_EVENT_THRESHOLD && !self.warned {
+                    self.recorder.event(self.step_no, "gridlock.warning", risk);
+                    self.warned = true;
+                } else if risk < GRIDLOCK_EVENT_THRESHOLD {
+                    self.warned = false;
+                }
+            }
+        }
     }
 }
 
@@ -349,6 +454,46 @@ mod tests {
                 assert!(t.total() >= t.of(stage));
             }
         }
+    }
+
+    #[test]
+    fn telemetry_shape_is_engine_independent() {
+        let mut cpu = cpu_engine_small(24, 24, 20, ModelKind::lem(), 3);
+        let env = pedsim_grid::EnvConfig::small(24, 24, 20).with_seed(3);
+        let mut gpu = GpuEngine::new(SimConfig::new(env, ModelKind::lem()), Device::sequential());
+        cpu.run(8);
+        gpu.run(8);
+        let (tc, tg) = (cpu.telemetry(), gpu.telemetry());
+        // Identical counter vocabulary on both engines.
+        let keys = |r: &pedsim_obs::Recorder| r.counters().map(|(k, _)| k).collect::<Vec<_>>();
+        assert_eq!(keys(tc), keys(tg));
+        assert_eq!(tc.counter(STEPS_KEY), 8);
+        assert_eq!(tg.counter(STEPS_KEY), 8);
+        for k in 0..4 {
+            // CPU: applicable-but-zero; GPU: one launch per step.
+            assert_eq!(tc.counter(KERNEL_LAUNCH_KEYS[k]), 0);
+            assert!(tc.has_counter(KERNEL_THREAD_KEYS[k]));
+            assert_eq!(tg.counter(KERNEL_LAUNCH_KEYS[k]), 8);
+            assert!(tg.counter(KERNEL_BLOCK_KEYS[k]) >= 8);
+            assert!(tg.counter(KERNEL_THREAD_KEYS[k]) > 0);
+        }
+        // The launch counters agree with the GPU's own kernel report.
+        let report = gpu.report();
+        for k in 0..4 {
+            assert_eq!(tg.counter(KERNEL_LAUNCH_KEYS[k]), report.launches[k]);
+            assert_eq!(tg.counter(KERNEL_BLOCK_KEYS[k]), report.blocks[k]);
+            assert_eq!(tg.counter(KERNEL_THREAD_KEYS[k]), report.threads[k]);
+        }
+        // Per-stage histograms cover every stage on both engines, and the
+        // deterministic gauges agree because the trajectories agree.
+        for t in [tc, tg] {
+            for stage in Stage::ALL {
+                assert_eq!(t.histogram(stage.ns_key()).expect("timed").count(), 8);
+            }
+        }
+        assert_eq!(tc.gauge("sim.throughput"), tg.gauge("sim.throughput"));
+        assert_eq!(tc.gauge("sim.total_moves"), tg.gauge("sim.total_moves"));
+        assert_eq!(tc.gauge("sim.live"), Some(40.0));
     }
 
     #[test]

@@ -60,9 +60,10 @@ pub mod prelude {
     pub use crate::engine::{
         Engine, InvalidStopCondition, ModelSwapError, StopCondition, StopReason,
     };
-    pub use crate::metrics::{lane_index, Geometry, Metrics};
+    pub use crate::metrics::{band_count, lane_index, segregation_index, Geometry, Metrics};
     pub use crate::params::{AcoParams, LemParams, ModelKind, SimConfig};
     pub use crate::validate::engines_agree;
     pub use pedsim_grid::{EnvConfig, Environment};
+    pub use pedsim_obs::{Histogram, Recorder};
     pub use pedsim_scenario::{registry as scenarios, Region, Scenario, ScenarioBuilder};
 }

@@ -31,6 +31,12 @@ pub const MAX_GRIDLOCK_PATIENCE: u64 = 256;
 /// [`MAX_GRIDLOCK_PATIENCE`].
 pub const MAX_FLUX_WINDOW: u64 = 256;
 
+/// Window (steps) over which the engines' telemetry evaluates
+/// [`Metrics::gridlock_warning`] each step — matched to the runner's
+/// flux report window so the live gauge and the batch report read the
+/// same trend.
+pub const GRIDLOCK_WARNING_WINDOW: u64 = 64;
+
 /// Static scenario geometry the metrics need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Geometry {
@@ -163,6 +169,10 @@ pub struct Metrics {
     /// New crossings observed in each of the last ≤ [`MAX_FLUX_WINDOW`]
     /// steps (the sliding window behind [`Metrics::windowed_flux`]).
     crossed_recent: VecDeque<u32>,
+    /// Live-agent count after each of the last ≤ [`MAX_FLUX_WINDOW`]
+    /// observed steps (the density trend behind
+    /// [`Metrics::gridlock_warning`]).
+    live_recent: VecDeque<u32>,
     /// Per-slot liveness (index 0 unused). Closed worlds keep every slot
     /// live; open-boundary engines report lifecycle events through
     /// [`Metrics::note_spawn`] / [`Metrics::note_despawn`].
@@ -208,6 +218,7 @@ impl Metrics {
             steps: 0,
             moved_recent: VecDeque::with_capacity(MAX_GRIDLOCK_PATIENCE as usize),
             crossed_recent: VecDeque::with_capacity(MAX_FLUX_WINDOW as usize),
+            live_recent: VecDeque::with_capacity(MAX_FLUX_WINDOW as usize),
             live,
             live_count: n,
             passable_cells: geom.width * geom.height,
@@ -276,6 +287,10 @@ impl Metrics {
             self.crossed_recent.pop_front();
         }
         self.crossed_recent.push_back(crossings);
+        if self.live_recent.len() == MAX_FLUX_WINDOW as usize {
+            self.live_recent.pop_front();
+        }
+        self.live_recent.push_back(self.live_count as u32);
         self.total_moves += moved as u64;
         self.steps += 1;
     }
@@ -381,6 +396,87 @@ impl Metrics {
         let recent_mean = recent as f64 / half as f64;
         let older_mean = older as f64 / (window - half) as f64;
         (recent_mean - older_mean).abs() <= epsilon
+    }
+
+    /// Least-squares slope per step of the last `window` entries of a
+    /// ring, `None` until the window is fully observed. `window` must be
+    /// 2..=[`MAX_FLUX_WINDOW`] (asserted; one point has no slope).
+    fn ring_slope(ring: &VecDeque<u32>, window: u64) -> Option<f64> {
+        assert!(
+            (2..=MAX_FLUX_WINDOW).contains(&window),
+            "trend window {window} outside 2..={MAX_FLUX_WINDOW}"
+        );
+        let window = window as usize;
+        if ring.len() < window {
+            return None;
+        }
+        // x = 0..window in chronological order; slope = Σ(x-x̄)(y-ȳ)/Σ(x-x̄)².
+        let x_mean = (window as f64 - 1.0) / 2.0;
+        let y_mean = ring
+            .iter()
+            .rev()
+            .take(window)
+            .map(|&y| f64::from(y))
+            .sum::<f64>()
+            / window as f64;
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (x, &y) in ring.iter().skip(ring.len() - window).enumerate() {
+            let dx = x as f64 - x_mean;
+            num += dx * (f64::from(y) - y_mean);
+            den += dx * dx;
+        }
+        Some(num / den)
+    }
+
+    /// Least-squares slope of per-step crossings over the last `window`
+    /// observed steps (crossings per step²): negative while throughput
+    /// decays, positive while flow builds. `None` until `window` steps
+    /// have been observed; `window` must be 2..=[`MAX_FLUX_WINDOW`]
+    /// (asserted).
+    pub fn flux_slope(&self, window: u64) -> Option<f64> {
+        Self::ring_slope(&self.crossed_recent, window)
+    }
+
+    /// Least-squares slope of the live-agent count over the last
+    /// `window` observed steps (agents per step): positive while an open
+    /// world accumulates more pedestrians than it drains. `None` until
+    /// `window` steps have been observed; `window` must be
+    /// 2..=[`MAX_FLUX_WINDOW`] (asserted).
+    pub fn density_slope(&self, window: u64) -> Option<f64> {
+        Self::ring_slope(&self.live_recent, window)
+    }
+
+    /// Gridlock early-warning gauge in `[0, 1]`: how strongly the recent
+    /// window looks like congestion onset — flux *falling* while live
+    /// density *rises*. The two normalized trends (projected loss or
+    /// growth over a window, relative to the window mean, clamped to
+    /// `[0, 1]`) are combined by geometric mean, so **both** signals must
+    /// be present: free flow ramp-up (flux and density rising) and
+    /// drain-out (both falling) stay near 0, unlike either slope alone.
+    /// Full gridlock also reads 0 — flux is flat at zero by then; this
+    /// gauge is the *early* warning, [`Metrics::is_gridlocked`] the
+    /// postmortem. `None` until `window` steps have been observed;
+    /// `window` must be 2..=[`MAX_FLUX_WINDOW`] (asserted).
+    pub fn gridlock_warning(&self, window: u64) -> Option<f64> {
+        const EPS: f64 = 1e-9;
+        let flux_slope = self.flux_slope(window)?;
+        let density_slope = self.density_slope(window)?;
+        let w = window.max(1) as f64;
+        let mean_flux = self.windowed_flux(window).unwrap_or(0.0);
+        let mean_live = self
+            .live_recent
+            .iter()
+            .rev()
+            .take(window as usize)
+            .map(|&l| f64::from(l))
+            .sum::<f64>()
+            / w;
+        // Projected relative flux loss over one window...
+        let loss = ((-flux_slope).max(0.0) * w / (mean_flux + EPS)).min(1.0);
+        // ...and projected relative density growth over one window.
+        let growth = (density_slope.max(0.0) * w / (mean_live + EPS)).min(1.0);
+        Some((loss * growth).sqrt())
     }
 
     /// Agents of group `g` that have reached their target.
@@ -498,6 +594,100 @@ pub fn lane_index(mat: &Matrix<u8>) -> f64 {
     } else {
         acc / cols as f64
     }
+}
+
+/// Per-row band count of a configuration: scanning each row in column
+/// order, count the maximal runs of same-group agents among the occupied
+/// cells (empty gaps and walls do not break a run — lanes survive
+/// spacing), then average over rows with at least one agent. In a
+/// corridor with vertical lanes every row cuts across the lanes, so this
+/// estimates the number of lanes; 0 on an empty grid, 1 when each
+/// populated row holds a single group.
+pub fn band_count(mat: &Matrix<u8>) -> f64 {
+    let mut acc = 0.0f64;
+    let mut rows = 0usize;
+    for r in 0..mat.height() {
+        let mut bands = 0u32;
+        let mut prev: Option<Group> = None;
+        for c in 0..mat.width() {
+            let label = mat.get(r, c);
+            if label == CELL_EMPTY || label == CELL_WALL {
+                continue;
+            }
+            if let Some(g) = Group::from_label(label) {
+                if prev != Some(g) {
+                    bands += 1;
+                    prev = Some(g);
+                }
+            }
+        }
+        if bands > 0 {
+            acc += f64::from(bands);
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        0.0
+    } else {
+        acc / rows as f64
+    }
+}
+
+/// Group segregation index of a configuration in `[0, 1]`: for each
+/// agent with at least one occupied 8-neighbor, the fraction of those
+/// neighbors sharing its group, rescaled against the two-group mixing
+/// floor (`((f - 0.5) * 2).max(0)`) and averaged over the contributing
+/// agents. 0 for a well-mixed crowd (or no agent has neighbors), 1 when
+/// every agent sits in a single-group cluster. Complements
+/// [`lane_index`]: this is orientation-free local order, lanes or not.
+pub fn segregation_index(mat: &Matrix<u8>) -> f64 {
+    let mut acc = 0.0f64;
+    let mut agents = 0usize;
+    for r in 0..mat.height() {
+        for c in 0..mat.width() {
+            let Some(g) = group_at(mat, r as i64, c as i64) else {
+                continue;
+            };
+            let mut same = 0usize;
+            let mut occupied = 0usize;
+            for dr in -1i64..=1 {
+                for dc in -1i64..=1 {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    if let Some(ng) = group_at(mat, r as i64 + dr, c as i64 + dc) {
+                        occupied += 1;
+                        if ng == g {
+                            same += 1;
+                        }
+                    }
+                }
+            }
+            if occupied > 0 {
+                let frac = same as f64 / occupied as f64;
+                acc += ((frac - 0.5) * 2.0).max(0.0);
+                agents += 1;
+            }
+        }
+    }
+    if agents == 0 {
+        0.0
+    } else {
+        acc / agents as f64
+    }
+}
+
+/// The group occupying `(r, c)`, if any (out-of-bounds, empty, and wall
+/// cells hold no group).
+fn group_at(mat: &Matrix<u8>, r: i64, c: i64) -> Option<Group> {
+    if r < 0 || c < 0 || r as usize >= mat.height() || c as usize >= mat.width() {
+        return None;
+    }
+    let label = mat.get(r as usize, c as usize);
+    if label == CELL_EMPTY || label == CELL_WALL {
+        return None;
+    }
+    Group::from_label(label)
 }
 
 #[cfg(test)]
@@ -823,5 +1013,181 @@ mod tests {
             mix.set(r as usize, 0, r + 1);
         }
         assert_eq!(lane_index(&mix), 0.0);
+    }
+
+    #[test]
+    fn flux_window_exactly_at_retention_boundary() {
+        // `window == MAX_FLUX_WINDOW` is legal (the assert is strictly
+        // `>`); it answers None until exactly MAX_FLUX_WINDOW steps have
+        // been observed and Some from then on.
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        for _ in 0..(MAX_FLUX_WINDOW - 1) {
+            m.observe(&[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        }
+        assert_eq!(m.windowed_flux(MAX_FLUX_WINDOW), None);
+        // Step MAX_FLUX_WINDOW: agent 1 crosses — the window is full and
+        // contains exactly one crossing.
+        m.observe(&[0, 13, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        let flux = m.windowed_flux(MAX_FLUX_WINDOW).expect("window observed");
+        assert!((flux - 1.0 / MAX_FLUX_WINDOW as f64).abs() < 1e-12);
+        assert!(m.gridlock_warning(MAX_FLUX_WINDOW).is_some());
+    }
+
+    #[test]
+    fn flux_ring_wraparound_forgets_old_crossings() {
+        // A burst of crossings older than the ring must vanish from the
+        // windowed view once MAX_FLUX_WINDOW quiet steps displace it.
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        m.observe(&[0, 13, 1, 2, 15], &[0, 0, 1, 0, 1]); // 2 crossings
+        assert_eq!(m.windowed_flux(1), Some(2.0));
+        for _ in 0..MAX_FLUX_WINDOW {
+            m.observe(&[0, 13, 1, 2, 15], &[0, 0, 1, 0, 1]); // quiet
+        }
+        // The ring holds exactly MAX_FLUX_WINDOW quiet steps now; the
+        // burst has been evicted even at the widest legal window.
+        assert_eq!(m.windowed_flux(MAX_FLUX_WINDOW), Some(0.0));
+        assert_eq!(m.steps, MAX_FLUX_WINDOW + 1);
+    }
+
+    #[test]
+    fn empty_open_world_trends_are_flat_not_absent() {
+        let g = geom();
+        let mut m = Metrics::new(g, &[0, 0, 0, 0, 0], &[0, 0, 0, 0, 0]);
+        m.enable_open(256, &[false, false, false, false, false]);
+        assert_eq!(m.gridlock_warning(4), None, "window not yet observed");
+        for _ in 0..4 {
+            m.observe(&[0, 0, 0, 0, 0], &[0, 0, 0, 0, 0]);
+        }
+        // Nothing lives, nothing flows: every trend is exactly flat and
+        // the warning gauge reads 0, not NaN and not a false alarm.
+        assert_eq!(m.flux_slope(4), Some(0.0));
+        assert_eq!(m.density_slope(4), Some(0.0));
+        assert_eq!(m.gridlock_warning(4), Some(0.0));
+        assert_eq!(m.windowed_flux(4), Some(0.0));
+    }
+
+    #[test]
+    fn gridlock_warning_requires_falling_flux_and_rising_density() {
+        let g = geom();
+        let freeze = |m: &mut Metrics| m.observe(&[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+
+        // Congestion onset: crossings decay while the live count climbs.
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        m.enable_open(256, &[false, true, true, false, true]);
+        m.observe(&[0, 13, 1, 0, 15], &[0, 0, 1, 0, 1]); // crossing, 3 live
+        m.note_spawn(3, 15, 0);
+        freeze(&mut m); // quiet, 4 live
+        let w = m.gridlock_warning(2).expect("window observed");
+        assert!(w > 0.0, "onset must raise the warning, got {w}");
+        assert!(w <= 1.0);
+        assert!(m.flux_slope(2).unwrap() < 0.0);
+        assert!(m.density_slope(2).unwrap() > 0.0);
+
+        // Drain-out: flux decays but density falls too — no warning.
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        m.enable_open(256, &[false, true, true, true, true]);
+        m.observe(&[0, 13, 1, 2, 15], &[0, 0, 1, 0, 1]); // 2 crossings
+        m.note_despawn(1);
+        m.note_despawn(3);
+        freeze(&mut m); // quiet, 2 live
+        assert_eq!(m.gridlock_warning(2), Some(0.0));
+
+        // Ramp-up: flux *and* density rising — no warning either.
+        let mut m = Metrics::new(g, &[0, 0, 1, 15, 15], &[0, 0, 1, 0, 1]);
+        m.enable_open(256, &[false, true, true, false, true]);
+        freeze(&mut m); // quiet, 3 live
+        m.note_spawn(3, 15, 0);
+        m.observe(&[0, 13, 1, 0, 15], &[0, 0, 1, 0, 1]); // crossing, 4 live
+        assert_eq!(m.gridlock_warning(2), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=")]
+    fn trend_window_of_one_is_rejected() {
+        let m = Metrics::new(geom(), &[0, 5, 5, 10, 10], &[0, 1, 2, 1, 2]);
+        let _ = m.gridlock_warning(1);
+    }
+
+    #[test]
+    fn band_count_on_a_hand_built_two_lane_corridor() {
+        // Two clean vertical lanes: columns 0-1 top group, columns 2-3
+        // bottom group. Every row cuts across 2 bands.
+        let mut two_lanes = Matrix::filled(4, 4, CELL_EMPTY);
+        for r in 0..4 {
+            two_lanes.set(r, 0, CELL_TOP);
+            two_lanes.set(r, 1, CELL_TOP);
+            two_lanes.set(r, 2, CELL_BOTTOM);
+            two_lanes.set(r, 3, CELL_BOTTOM);
+        }
+        assert!((band_count(&two_lanes) - 2.0).abs() < 1e-12);
+
+        // Gaps inside a lane do not split the band...
+        two_lanes.set(1, 1, CELL_EMPTY);
+        assert!((band_count(&two_lanes) - 2.0).abs() < 1e-12);
+        // ...and a wall does not either (lanes survive spacing).
+        two_lanes.set(2, 1, CELL_WALL);
+        assert!((band_count(&two_lanes) - 2.0).abs() < 1e-12);
+
+        // Perfect per-cell mixing maximizes the band count.
+        let mut mix = Matrix::filled(4, 4, CELL_EMPTY);
+        for r in 0..4 {
+            for c in 0..4 {
+                mix.set(r, c, if c % 2 == 0 { CELL_TOP } else { CELL_BOTTOM });
+            }
+        }
+        assert!((band_count(&mix) - 4.0).abs() < 1e-12);
+
+        // Empty grid: zero bands.
+        assert_eq!(band_count(&Matrix::filled(4, 4, CELL_EMPTY)), 0.0);
+    }
+
+    #[test]
+    fn segregation_index_on_a_hand_built_two_lane_corridor() {
+        // The same two-lane picture: interior agents see mostly their own
+        // group, only the lane boundary mixes — high but not 1.
+        let mut two_lanes = Matrix::filled(4, 4, CELL_EMPTY);
+        for r in 0..4 {
+            for c in 0..4 {
+                two_lanes.set(r, c, if c < 2 { CELL_TOP } else { CELL_BOTTOM });
+            }
+        }
+        let seg = segregation_index(&two_lanes);
+        assert!(seg > 0.3, "two lanes should read ordered, got {seg}");
+        assert!(seg < 1.0, "the lane boundary still mixes");
+
+        // Fully separated clusters read exactly 1.
+        let mut split = Matrix::filled(4, 4, CELL_EMPTY);
+        split.set(0, 0, CELL_TOP);
+        split.set(0, 1, CELL_TOP);
+        split.set(3, 2, CELL_BOTTOM);
+        split.set(3, 3, CELL_BOTTOM);
+        assert!((segregation_index(&split) - 1.0).abs() < 1e-12);
+
+        // A perfect checkerboard of groups reads 0 (every neighbor
+        // fraction is at or below the mixing floor).
+        let mut checker = Matrix::filled(4, 4, CELL_EMPTY);
+        for r in 0..4 {
+            for c in 0..4 {
+                checker.set(
+                    r,
+                    c,
+                    if (r + c) % 2 == 0 {
+                        CELL_TOP
+                    } else {
+                        CELL_BOTTOM
+                    },
+                );
+            }
+        }
+        assert_eq!(segregation_index(&checker), 0.0);
+
+        // No neighbors at all → no contributing agents → 0.
+        let mut lone = Matrix::filled(4, 4, CELL_EMPTY);
+        lone.set(0, 0, CELL_TOP);
+        lone.set(3, 3, CELL_BOTTOM);
+        assert_eq!(segregation_index(&lone), 0.0);
+        assert_eq!(segregation_index(&Matrix::filled(2, 2, CELL_EMPTY)), 0.0);
     }
 }

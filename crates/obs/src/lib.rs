@@ -1,0 +1,45 @@
+//! # pedsim-obs — structured run telemetry and the results registry
+//!
+//! The observability layer the rest of the workspace reports through,
+//! in three connected pieces:
+//!
+//! * [`recorder`] — a lightweight, zero-dependency telemetry recorder
+//!   ([`Recorder`]: counters, gauges, fixed-bucket histograms, a
+//!   ring-buffered event log) that the unified engine pipeline feeds
+//!   per-stage timings and kernel-launch stats into. CPU and GPU engines
+//!   report through this one surface, so their telemetry always has the
+//!   same shape (zeros where a backend has nothing to report);
+//! * [`journal`] — a deterministic JSONL sink: one [`journal::Record`]
+//!   per replica, keys in a stable order fixed by construction, with
+//!   every wall-clock reading isolated in a trailing `"wall"` object so
+//!   the rest of a line is byte-reproducible across runs and worker
+//!   counts ([`journal::canonical`] strips the wall object for
+//!   comparisons);
+//! * [`registry`] — the append-only `results/registry.csv`: one row per
+//!   benchmark measurement, keyed by config hash + commit + scale with
+//!   full provenance, plus the per-KPI tolerance table and the
+//!   regression check (`registry_query --check`) CI gates on.
+//!
+//! Supporting modules: [`log`] (the `PEDSIM_LOG` off/summary/verbose
+//! switch every bench binary honors), [`provenance`] (commit discovery),
+//! and [`hash`] (the stable FNV-1a hasher behind scenario config hashes).
+//!
+//! ## Determinism convention
+//!
+//! Counters and gauges hold *simulation* quantities (launch counts,
+//! spawn totals, physics observables) and must be bit-reproducible for
+//! equal configurations. Histograms hold *wall-clock* durations and are
+//! inherently noisy. The journal and registry encode that split
+//! structurally: deterministic fields first, wall-clock fields in a
+//! clearly delimited tail that tooling can strip.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod journal;
+pub mod log;
+pub mod provenance;
+pub mod recorder;
+pub mod registry;
+
+pub use recorder::{Event, Histogram, Recorder};

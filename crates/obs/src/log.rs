@@ -1,0 +1,101 @@
+//! The `PEDSIM_LOG` verbosity switch.
+//!
+//! Benchmark and sweep binaries used to write progress chatter to
+//! stderr unconditionally. They now route it through this module, which
+//! reads `PEDSIM_LOG` (once per query — the binaries are short-lived):
+//!
+//! * `off` / `0` / `none` — silence everything but genuine errors;
+//! * `summary` / `1` — per-phase progress lines (the default, matching
+//!   the binaries' historical behavior);
+//! * `verbose` / `2` / `debug` — per-job and per-replica detail.
+//!
+//! Use the [`log_summary!`](crate::log_summary) /
+//! [`log_verbose!`](crate::log_verbose) macros from binaries; genuine
+//! error messages should stay on plain `eprintln!` so `PEDSIM_LOG=off`
+//! can never hide a failure.
+
+/// Logging verbosity, ordered so `>=` comparisons read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No progress output at all.
+    Off,
+    /// Per-phase progress lines (default).
+    Summary,
+    /// Per-job / per-replica detail.
+    Verbose,
+}
+
+impl Level {
+    /// Parse a `PEDSIM_LOG` value. Unrecognized strings fall back to
+    /// [`Level::Summary`] — a typo should not silence a run.
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "verbose" | "debug" | "2" => Level::Verbose,
+            _ => Level::Summary,
+        }
+    }
+
+    /// The level selected by the `PEDSIM_LOG` environment variable
+    /// ([`Level::Summary`] when unset).
+    pub fn from_env() -> Level {
+        match std::env::var("PEDSIM_LOG") {
+            Ok(v) => Level::parse(&v),
+            Err(_) => Level::Summary,
+        }
+    }
+}
+
+/// Whether summary-level progress output is enabled.
+pub fn summary_enabled() -> bool {
+    Level::from_env() >= Level::Summary
+}
+
+/// Whether verbose-level progress output is enabled.
+pub fn verbose_enabled() -> bool {
+    Level::from_env() >= Level::Verbose
+}
+
+/// `eprintln!` gated on [`summary_enabled`].
+#[macro_export]
+macro_rules! log_summary {
+    ($($arg:tt)*) => {
+        if $crate::log::summary_enabled() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// `eprintln!` gated on [`verbose_enabled`].
+#[macro_export]
+macro_rules! log_verbose {
+    ($($arg:tt)*) => {
+        if $crate::log::verbose_enabled() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_covers_aliases_and_defaults() {
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("NONE"), Level::Off);
+        assert_eq!(Level::parse("0"), Level::Off);
+        assert_eq!(Level::parse("summary"), Level::Summary);
+        assert_eq!(Level::parse("1"), Level::Summary);
+        assert_eq!(Level::parse("verbose"), Level::Verbose);
+        assert_eq!(Level::parse("DEBUG"), Level::Verbose);
+        assert_eq!(Level::parse("2"), Level::Verbose);
+        assert_eq!(Level::parse("garbage"), Level::Summary);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Off < Level::Summary);
+        assert!(Level::Summary < Level::Verbose);
+    }
+}

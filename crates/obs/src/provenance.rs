@@ -1,0 +1,62 @@
+//! Commit provenance for registry rows.
+//!
+//! Registry records are compared *across commits*, so every row carries
+//! the commit it was measured at. Discovery order:
+//!
+//! 1. `PEDSIM_COMMIT` — explicit override for odd environments;
+//! 2. `GITHUB_SHA` — set by CI;
+//! 3. `git rev-parse HEAD` in the current directory;
+//! 4. the literal `"unknown"` (rows stay parseable outside a checkout).
+//!
+//! The value is truncated to 12 hex characters — plenty of uniqueness,
+//! fixed column width.
+
+use std::process::Command;
+
+/// Width commits are truncated to in registry rows.
+pub const COMMIT_WIDTH: usize = 12;
+
+/// The current commit identifier (see module docs for discovery order).
+pub fn commit() -> String {
+    for var in ["PEDSIM_COMMIT", "GITHUB_SHA"] {
+        if let Ok(v) = std::env::var(var) {
+            let v = v.trim().to_owned();
+            if !v.is_empty() {
+                return truncate(&v);
+            }
+        }
+    }
+    if let Ok(out) = Command::new("git").args(["rev-parse", "HEAD"]).output() {
+        if out.status.success() {
+            if let Ok(sha) = String::from_utf8(out.stdout) {
+                let sha = sha.trim();
+                if !sha.is_empty() {
+                    return truncate(sha);
+                }
+            }
+        }
+    }
+    "unknown".to_owned()
+}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(COMMIT_WIDTH).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_is_short_and_non_empty() {
+        let c = commit();
+        assert!(!c.is_empty());
+        assert!(c.len() <= COMMIT_WIDTH || c == "unknown");
+    }
+
+    #[test]
+    fn truncate_caps_width() {
+        assert_eq!(truncate("abcdef0123456789"), "abcdef012345");
+        assert_eq!(truncate("abc"), "abc");
+    }
+}

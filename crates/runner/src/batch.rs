@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 use pedsim_core::engine::cpu::CpuEngine;
 use pedsim_core::engine::gpu::GpuEngine;
 use pedsim_core::engine::Engine;
-use pedsim_core::metrics::lane_index;
+use pedsim_core::metrics::{band_count, lane_index, segregation_index};
 use simt::exec::pool::WorkerPool;
 
 use crate::job::{EngineSel, Job, JobError};
@@ -112,6 +112,28 @@ pub fn execute(job: &Job) -> RunResult {
     }
 }
 
+/// Fingerprint the job's world configuration: the scenario's own hash
+/// when one is set, otherwise a hash over every `EnvConfig` field of
+/// the classic corridor. Stable across commits for equal configurations
+/// — the registry's provenance key.
+fn config_fingerprint(job: &Job) -> u64 {
+    match &job.cfg.scenario {
+        Some(s) => s.config_hash(),
+        None => {
+            let env = &job.cfg.env;
+            pedsim_obs::hash::Fnv64::new()
+                .str("classic_corridor")
+                .usize(env.width)
+                .usize(env.height)
+                .usize(env.agents_per_side)
+                .u64(env.spawn_rows.map_or(u64::MAX, |r| r as u64))
+                .f64(env.spawn_fill)
+                .u64(env.seed)
+                .finish()
+        }
+    }
+}
+
 fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> RunResult {
     // Time the simulation loop alone: engine construction (world
     // materialisation, upload) and result extraction stay outside, per
@@ -120,11 +142,14 @@ fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> 
     let stop = engine.run_until(&job.stop);
     let wall = t0.elapsed();
     let metrics = engine.metrics();
+    // One snapshot serves all three order parameters.
+    let mat = metrics.is_some().then(|| engine.mat_snapshot());
     RunResult {
         label: job.label.clone(),
         world,
         model: engine.model().name().to_string(),
         engine: job.engine.name(),
+        config: config_fingerprint(job),
         seed: job.cfg.env.seed,
         agents,
         steps: engine.steps_done(),
@@ -133,9 +158,10 @@ fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> 
         flux: metrics.and_then(|m| m.windowed_flux(FLUX_REPORT_WINDOW)),
         live: metrics.map(|m| m.live_count()),
         total_moves: metrics.map(|m| m.total_moves),
-        lane_index: metrics
-            .is_some()
-            .then(|| lane_index(&engine.mat_snapshot())),
+        lane_index: mat.as_ref().map(lane_index),
+        bands: mat.as_ref().map(band_count),
+        segregation: mat.as_ref().map(segregation_index),
+        gridlock_risk: metrics.and_then(|m| m.gridlock_warning(FLUX_REPORT_WINDOW)),
         wall,
         stages: engine.step_timings().clone(),
     }

@@ -21,6 +21,13 @@ pub struct RunResult {
     pub model: String,
     /// Engine name (`"cpu"` / `"gpu"`).
     pub engine: &'static str,
+    /// World-configuration fingerprint ([`Scenario::config_hash`] for
+    /// scenario worlds, an `EnvConfig` field hash for the classic
+    /// corridor). Stable across commits for equal configurations;
+    /// rendered as 16 lower-hex chars in JSON and registry rows.
+    ///
+    /// [`Scenario::config_hash`]: pedsim_scenario::Scenario::config_hash
+    pub config: u64,
     /// Replica seed.
     pub seed: u64,
     /// Total agents simulated.
@@ -45,6 +52,16 @@ pub struct RunResult {
     /// Lane-formation index of the final configuration (`None` when
     /// metrics were off).
     pub lane_index: Option<f64>,
+    /// Mean per-row directional band count of the final configuration
+    /// (`None` when metrics were off).
+    pub bands: Option<f64>,
+    /// Group segregation index of the final configuration, in `[0, 1]`
+    /// (`None` when metrics were off).
+    pub segregation: Option<f64>,
+    /// Gridlock early-warning gauge over the final
+    /// [`FLUX_REPORT_WINDOW`] steps, in `[0, 1]` (`None` when metrics
+    /// were off or the run was shorter than the window).
+    pub gridlock_risk: Option<f64>,
     /// Wall time of the simulation loop alone (engine construction and
     /// result extraction excluded). Non-deterministic; excluded from
     /// [`BatchReport::to_json`].
@@ -76,6 +93,7 @@ impl RunResult {
         push_str_field(&mut o, "world", &self.world);
         push_str_field(&mut o, "model", &self.model);
         push_str_field(&mut o, "engine", self.engine);
+        push_str_field(&mut o, "config", &pedsim_obs::hash::hex(self.config));
         push_raw_field(&mut o, "seed", &self.seed.to_string());
         push_raw_field(&mut o, "agents", &self.agents.to_string());
         push_raw_field(&mut o, "steps", &self.steps.to_string());
@@ -88,6 +106,17 @@ impl RunResult {
             &mut o,
             "lane_index",
             &self.lane_index.map_or("null".into(), json_f64),
+        );
+        push_raw_field(&mut o, "bands", &self.bands.map_or("null".into(), json_f64));
+        push_raw_field(
+            &mut o,
+            "segregation",
+            &self.segregation.map_or("null".into(), json_f64),
+        );
+        push_raw_field(
+            &mut o,
+            "gridlock_risk",
+            &self.gridlock_risk.map_or("null".into(), json_f64),
         );
         if timing {
             push_raw_field(&mut o, "wall_s", &json_f64(self.wall.as_secs_f64()));
@@ -108,6 +137,102 @@ impl RunResult {
         }
         o.push('}');
         o
+    }
+
+    fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Simulation steps per wall-clock second (0 for a zero-length or
+    /// unstarted run).
+    pub fn steps_per_sec(&self) -> f64 {
+        let secs = self.wall_secs();
+        if secs > 0.0 && self.steps > 0 {
+            self.steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Render as one journal [`Record`] (schema `pedsim.run.v1`): the
+    /// deterministic body carries identity, provenance, and the physics
+    /// observables; wall-clock timings land in the stripped `wall` tail,
+    /// so [`pedsim_obs::journal::canonical`] of this record is
+    /// byte-reproducible across repeat runs.
+    ///
+    /// [`Record`]: pedsim_obs::journal::Record
+    pub fn journal_record(&self) -> pedsim_obs::journal::Record {
+        let mut r = pedsim_obs::journal::Record::new("pedsim.run.v1");
+        r.str_field("label", &self.label);
+        r.str_field("world", &self.world);
+        r.str_field("model", &self.model);
+        r.str_field("engine", self.engine);
+        r.str_field("config", &pedsim_obs::hash::hex(self.config));
+        r.u64_field("seed", self.seed);
+        r.u64_field("agents", self.agents as u64);
+        r.u64_field("steps", self.steps);
+        r.str_field("stop", self.stop.name());
+        r.raw_field("throughput", &opt_num(self.throughput));
+        r.opt_f64_field("flux", self.flux);
+        r.raw_field("live", &opt_num(self.live));
+        r.raw_field("moves", &opt_num(self.total_moves));
+        r.opt_f64_field("lane_index", self.lane_index);
+        r.opt_f64_field("bands", self.bands);
+        r.opt_f64_field("segregation", self.segregation);
+        r.opt_f64_field("gridlock_risk", self.gridlock_risk);
+        r.wall_f64("wall_s", self.wall_secs());
+        for stage in Stage::ALL {
+            r.wall_f64(
+                &format!("{}_s", stage.name()),
+                self.stages.of(stage).as_secs_f64(),
+            );
+        }
+        r
+    }
+
+    /// Render as one results-registry [`Row`] under the given benchmark
+    /// name, scale preset, and commit. Wall KPIs (steps/sec, per-stage
+    /// ms/step) are derived from this result's timings; the flux column
+    /// is 0 when the run was shorter than the report window.
+    ///
+    /// [`Row`]: pedsim_obs::registry::Row
+    pub fn registry_row(
+        &self,
+        bench: &str,
+        scale: &str,
+        commit: &str,
+    ) -> pedsim_obs::registry::Row {
+        let per_step_ms = |secs: f64| {
+            if self.steps > 0 {
+                secs * 1e3 / self.steps as f64
+            } else {
+                0.0
+            }
+        };
+        let mut stage_ms = [0.0; 6];
+        for (slot, stage) in stage_ms.iter_mut().zip(Stage::ALL) {
+            *slot = per_step_ms(self.stages.of(stage).as_secs_f64());
+        }
+        pedsim_obs::registry::Row {
+            schema: pedsim_obs::registry::SCHEMA.to_owned(),
+            config: pedsim_obs::hash::hex(self.config),
+            commit: commit.to_owned(),
+            scale: scale.to_owned(),
+            bench: bench.to_owned(),
+            world: self.world.clone(),
+            engine: self.engine.to_owned(),
+            model: self.model.clone(),
+            seed: self.seed,
+            agents: self.agents as u64,
+            steps: self.steps,
+            flux: self.flux.unwrap_or(0.0),
+            bands: self.bands,
+            segregation: self.segregation,
+            gridlock_risk: self.gridlock_risk,
+            steps_per_sec: self.steps_per_sec(),
+            total_ms_per_step: per_step_ms(self.wall_secs()),
+            stage_ms,
+        }
     }
 }
 
@@ -215,7 +340,7 @@ impl BatchReport {
     fn render_json(&self, timing: bool) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v3\",");
+        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v4\",");
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"aggregate\": {{");
         let _ = writeln!(s, "    \"agents_total\": {},", self.agents_total);
@@ -314,6 +439,7 @@ mod tests {
             world: "paper_corridor".into(),
             model: "LEM".into(),
             engine: "gpu",
+            config: 0x00c0_ffee_00c0_ffee,
             seed,
             agents: 40,
             steps: 100,
@@ -323,6 +449,9 @@ mod tests {
             live: Some(40),
             total_moves: Some(1_000),
             lane_index: Some(0.25),
+            bands: Some(2.0),
+            segregation: Some(0.75),
+            gridlock_risk: Some(0.0),
             wall: Duration::from_millis(seed),
             stages: StepTimings::default(),
         }
@@ -393,6 +522,50 @@ mod tests {
         assert_eq!(r.jobs, 0);
         assert_eq!(r.mean_steps, 0.0);
         assert!(r.to_json().contains("\"results\": [\n  ]"));
+    }
+
+    #[test]
+    fn journal_record_isolates_wall_and_renders_provenance() {
+        let mut r = result("a", 1, StopReason::AllArrived);
+        r.wall = Duration::from_millis(250);
+        let line = r.journal_record().line();
+        assert!(line.contains("\"schema\": \"pedsim.run.v1\""));
+        assert!(line.contains("\"config\": \"00c0ffee00c0ffee\""));
+        assert!(line.contains("\"bands\": 2"));
+        assert!(line.contains("\"wall\": {\"wall_s\": 0.25"));
+        // The canonical body is wall-free and byte-stable against
+        // timing noise.
+        let canon = pedsim_obs::journal::canonical(&line);
+        assert!(!canon.contains("wall"));
+        let mut noisy = result("a", 1, StopReason::AllArrived);
+        noisy.wall = Duration::from_secs(9);
+        assert_eq!(
+            canon,
+            pedsim_obs::journal::canonical(&noisy.journal_record().line())
+        );
+    }
+
+    #[test]
+    fn registry_row_derives_per_step_kpis() {
+        let mut r = result("a", 1, StopReason::AllArrived);
+        r.wall = Duration::from_millis(200); // 100 steps in 0.2 s
+        let row = r.registry_row("step_throughput", "smoke", "abc123abc123");
+        assert_eq!(row.config, "00c0ffee00c0ffee");
+        assert_eq!(row.commit, "abc123abc123");
+        assert_eq!(row.seed, 1);
+        assert_eq!(row.steps_per_sec, 500.0);
+        assert_eq!(row.total_ms_per_step, 2.0);
+        assert_eq!(row.stage_ms, [0.0; 6]);
+        // Rows round-trip through the registry CSV.
+        let parsed = pedsim_obs::registry::Row::parse(&row.csv_line()).expect("parse");
+        assert_eq!(parsed, row);
+        // A zero-length run divides by nothing.
+        let mut z = result("z", 1, StopReason::AllArrived);
+        z.steps = 0;
+        z.wall = Duration::ZERO;
+        let zrow = z.registry_row("b", "smoke", "c");
+        assert_eq!(zrow.steps_per_sec, 0.0);
+        assert_eq!(zrow.total_ms_per_step, 0.0);
     }
 
     #[test]

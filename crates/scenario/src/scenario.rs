@@ -317,6 +317,49 @@ impl Scenario {
         self.seed
     }
 
+    /// A stable 64-bit fingerprint of everything that determines this
+    /// scenario's trajectory: geometry, walls, every group's regions,
+    /// population, heading, capacity, inflow source, and the seed. Equal
+    /// scenarios hash equal **across commits and platforms** (fixed
+    /// FNV-1a, never `std::hash`), which is what lets the results
+    /// registry compare rows recorded weeks apart. The name participates
+    /// too — two differently-named but otherwise identical worlds are
+    /// different experiments.
+    pub fn config_hash(&self) -> u64 {
+        let mut h = pedsim_obs::hash::Fnv64::new()
+            .str(&self.name)
+            .usize(self.width)
+            .usize(self.height)
+            .u64(self.seed)
+            .usize(self.walls.len());
+        for &(r, c) in &self.walls {
+            h = h.u64(u64::from(r) << 16 | u64::from(c));
+        }
+        h = h.usize(self.groups.len());
+        for g in &self.groups {
+            h = h
+                .usize(g.population)
+                .usize(g.capacity)
+                .u64(g.heading.forward_index() as u64);
+            for region in [&g.spawn, &g.target] {
+                h = h.usize(region.cells().len());
+                for &(r, c) in region.cells() {
+                    h = h.u64(u64::from(r) << 16 | u64::from(c));
+                }
+            }
+            match &g.source {
+                None => h = h.u64(0),
+                Some(s) => {
+                    h = h.u64(1).f64(s.rate).usize(s.region.cells().len());
+                    for &(r, c) in s.region.cells() {
+                        h = h.u64(u64::from(r) << 16 | u64::from(c));
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Builder-style seed change (scenario validity is seed-independent).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -967,5 +1010,39 @@ mod tests {
         assert_eq!(ec.width, 16);
         assert_eq!(ec.seed, 77);
         assert_eq!(ec.spawn_rows, Some(3));
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_separates_experiments() {
+        let a = corridor();
+        // Equal descriptions fingerprint equal, including across clones.
+        assert_eq!(a.config_hash(), corridor().config_hash());
+        assert_eq!(a.config_hash(), a.clone().config_hash());
+        // Every trajectory-relevant knob moves the fingerprint.
+        assert_ne!(a.config_hash(), corridor().with_seed(6).config_hash());
+        let renamed = Scenario::builder("other", 16, 16)
+            .spawn(Group::TOP, Region::row_band(0, 3, 16))
+            .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+            .target(Group::TOP, Region::row_band(13, 3, 16))
+            .target(Group::BOTTOM, Region::row_band(0, 3, 16))
+            .agents_per_side(20)
+            .seed(5)
+            .build()
+            .expect("valid");
+        assert_ne!(a.config_hash(), renamed.config_hash());
+        let walled = Scenario::builder("t", 16, 16)
+            .wall_cell(8, 8)
+            .spawn(Group::TOP, Region::row_band(0, 3, 16))
+            .spawn(Group::BOTTOM, Region::row_band(13, 3, 16))
+            .target(Group::TOP, Region::row_band(13, 3, 16))
+            .target(Group::BOTTOM, Region::row_band(0, 3, 16))
+            .agents_per_side(20)
+            .seed(5)
+            .build()
+            .expect("valid");
+        assert_ne!(a.config_hash(), walled.config_hash());
+        // An inflow source changes the experiment too.
+        let open = crate::registry::open_corridor(16, 16, 20, 1.0).with_seed(5);
+        assert_ne!(open.config_hash(), open.with_seed(9).config_hash());
     }
 }

@@ -7,6 +7,7 @@
 
 pub use pedsim_core as core;
 pub use pedsim_grid as grid;
+pub use pedsim_obs as obs;
 pub use pedsim_runner as runner;
 pub use pedsim_scenario as scenario;
 pub use pedsim_stats as stats;
