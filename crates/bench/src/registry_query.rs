@@ -1,8 +1,9 @@
 //! KPI queries over the results registry — the CI regression gate.
 //!
 //! `registry_query` reads `results/registry.csv`, groups rows into
-//! series (same bench, scale, world, engine, model, and config
-//! fingerprint), and diffs the newest measurement of each series
+//! series (same bench, scale, world, engine, backend, thread count,
+//! model, and config fingerprint), and diffs the newest measurement of
+//! each series
 //! against the mean of its up-to-`last - 1` predecessors under the KPI
 //! tolerance table ([`pedsim_obs::registry::tolerance_for`]). With
 //! `--check`, any regression turns into a non-zero exit — the perf gate
@@ -51,6 +52,8 @@ mod tests {
             bench: "step_throughput".to_owned(),
             world: "paper_corridor".to_owned(),
             engine: "gpu".to_owned(),
+            backend: "simt".to_owned(),
+            threads: 1,
             model: "ACO".to_owned(),
             seed: 9_300,
             agents: 60,

@@ -15,10 +15,17 @@
 //! Every number here is wall-clock and therefore non-deterministic; the
 //! record captures *shape* (which stages dominate, how far apart the
 //! engines sit), not bit-stable bytes.
+//!
+//! The **scale ladder** rides alongside the world×engine matrix: the
+//! classic corridor at growing grid sides (96 → 1024 → 4096; roughly
+//! 10³ → 10⁵ → 10⁶ agents, the larger rungs behind the default/paper
+//! scales) swept across every backend-registry configuration
+//! ([`LADDER_BACKENDS`]). Ladder rows land in the same JSON record and
+//! registry, keyed by backend and thread count.
 
 use std::collections::BTreeSet;
 
-use pedsim_core::engine::Stage;
+use pedsim_core::engine::{Backend, Stage};
 use pedsim_core::prelude::*;
 use pedsim_runner::{Batch, BatchReport, Job};
 use pedsim_scenario::registry;
@@ -255,6 +262,224 @@ pub fn covers_both_engines_and_all_stages(rows: &[StRow]) -> bool {
         })
 }
 
+/// One rung of the scale ladder: a square classic-corridor world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderRung {
+    /// Grid side.
+    pub side: usize,
+    /// Agents per side (total population is twice this).
+    pub per_side: usize,
+    /// Steps per replica (pure step budget).
+    pub steps: u64,
+}
+
+/// The backend-registry configurations the ladder sweeps, in report
+/// order: the scalar reference, the pooled backend at 1/2/4 workers,
+/// and the virtual-GPU engine.
+pub const LADDER_BACKENDS: &[(&str, usize)] = &[
+    ("scalar", 1),
+    ("pooled", 1),
+    ("pooled", 2),
+    ("pooled", 4),
+    ("simt", 1),
+];
+
+/// Seed shared by every ladder replica.
+pub const LADDER_SEED: u64 = 9_700;
+
+/// The rungs measured at `scale`. Every scale climbs from the smoke
+/// rung; the 10⁵-agent rung needs `default`, the 10⁶-agent rung
+/// `--paper` (minutes per backend on one core).
+pub fn ladder_rungs(scale: Scale) -> Vec<LadderRung> {
+    let mut rungs = vec![LadderRung {
+        side: 96,
+        per_side: 400,
+        steps: 40,
+    }];
+    if scale != Scale::Smoke {
+        rungs.push(LadderRung {
+            side: 1024,
+            per_side: 50_000,
+            steps: 10,
+        });
+    }
+    if scale == Scale::Paper {
+        rungs.push(LadderRung {
+            side: 4096,
+            per_side: 500_000,
+            steps: 3,
+        });
+    }
+    rungs
+}
+
+/// Canonical ladder job label: `ladder/s<side>/<backend>/t<threads>`.
+pub fn ladder_label(side: usize, backend: &str, threads: usize) -> String {
+    format!("ladder/s{side}/{backend}/t{threads}")
+}
+
+/// The ladder job list over explicit rungs: every rung × backend
+/// configuration (restricted to `only` when given), LEM on the classic
+/// corridor with metrics off — the ladder times the kernel pipeline,
+/// not the observables. One replica per cell: the registry accumulates
+/// repeats across runs, and a 10⁶-agent rung cannot afford in-process
+/// repetition.
+pub fn ladder_jobs_for(rungs: &[LadderRung], only: Option<(&str, usize)>) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for rung in rungs {
+        for &(backend, threads) in LADDER_BACKENDS {
+            if let Some((b, t)) = only {
+                if b != backend || t != threads {
+                    continue;
+                }
+            }
+            let env = EnvConfig::small(rung.side, rung.side, rung.per_side).with_seed(LADDER_SEED);
+            let cfg = SimConfig::from_scenario(registry::paper_corridor(&env), ModelKind::lem())
+                .with_metrics(false);
+            jobs.push(Job::backend(
+                ladder_label(rung.side, backend, threads),
+                cfg,
+                Backend::named(backend, threads),
+                StopCondition::Steps(rung.steps),
+            ));
+        }
+    }
+    jobs
+}
+
+/// [`ladder_jobs_for`] over the rungs of `scale`.
+pub fn ladder_jobs(scale: Scale, only: Option<(&str, usize)>) -> Vec<Job> {
+    ladder_jobs_for(&ladder_rungs(scale), only)
+}
+
+/// One (rung, backend configuration) cell of the ladder.
+#[derive(Debug, Clone)]
+pub struct LadderRow {
+    /// Grid side of the rung.
+    pub side: usize,
+    /// Total agents simulated.
+    pub agents: usize,
+    /// Backend registry key.
+    pub backend: &'static str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Steps timed.
+    pub steps: u64,
+    /// Simulated steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Mean milliseconds per step in the movement stage (the conflict-
+    /// resolution kernel the pooled backend parallelises).
+    pub movement_ms: f64,
+    /// Mean milliseconds per step across all stages.
+    pub total_ms: f64,
+}
+
+/// Aggregate a finished ladder batch into per-cell rows (report order:
+/// rung-major, then [`LADDER_BACKENDS`] order).
+pub fn aggregate_ladder(rungs: &[LadderRung], report: &BatchReport) -> Vec<LadderRow> {
+    let mut out = Vec::new();
+    for rung in rungs {
+        for &(backend, threads) in LADDER_BACKENDS {
+            let label = ladder_label(rung.side, backend, threads);
+            let results: Vec<_> = report.with_label(&label).collect();
+            if results.is_empty() {
+                continue;
+            }
+            let steps: u64 = results.iter().map(|r| r.steps).sum();
+            let wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+            let movement: f64 = results
+                .iter()
+                .map(|r| r.stages.of(Stage::Movement).as_secs_f64())
+                .sum();
+            let total: f64 = results
+                .iter()
+                .map(|r| {
+                    Stage::ALL
+                        .iter()
+                        .map(|s| r.stages.of(*s).as_secs_f64())
+                        .sum::<f64>()
+                })
+                .sum();
+            let per_step_ms = |secs: f64| {
+                if steps == 0 {
+                    0.0
+                } else {
+                    secs * 1e3 / steps as f64
+                }
+            };
+            out.push(LadderRow {
+                side: rung.side,
+                agents: results[0].agents,
+                backend,
+                threads,
+                steps,
+                steps_per_sec: if wall > 0.0 { steps as f64 / wall } else { 0.0 },
+                movement_ms: per_step_ms(movement),
+                total_ms: per_step_ms(total),
+            });
+        }
+    }
+    out
+}
+
+/// Movement-stage speedup of the widest pooled configuration over the
+/// scalar reference, per rung: `(side, scalar_movement_ms /
+/// pooled_movement_ms)`. Rungs missing either cell are skipped. On a
+/// single-core host this honestly reports ≈1× or below — the pooled
+/// backend buys nothing without cores to spend.
+pub fn ladder_speedups(rows: &[LadderRow]) -> Vec<(usize, f64)> {
+    let widest = LADDER_BACKENDS
+        .iter()
+        .filter(|(b, _)| *b == "pooled")
+        .map(|&(_, t)| t)
+        .max()
+        .unwrap_or(1);
+    let sides: BTreeSet<usize> = rows.iter().map(|r| r.side).collect();
+    sides
+        .into_iter()
+        .filter_map(|side| {
+            let scalar = rows
+                .iter()
+                .find(|r| r.side == side && r.backend == "scalar")?;
+            let pooled = rows
+                .iter()
+                .find(|r| r.side == side && r.backend == "pooled" && r.threads == widest)?;
+            if pooled.movement_ms > 0.0 {
+                Some((side, scalar.movement_ms / pooled.movement_ms))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Render the ladder as a table (Markdown/CSV).
+pub fn ladder_table(rows: &[LadderRow]) -> Table {
+    let mut t = Table::new(vec![
+        "side".to_string(),
+        "agents".to_string(),
+        "backend".to_string(),
+        "threads".to_string(),
+        "steps".to_string(),
+        "steps_per_sec".to_string(),
+        "movement_ms".to_string(),
+        "total_ms".to_string(),
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.side.to_string(),
+            r.agents.to_string(),
+            r.backend.to_string(),
+            r.threads.to_string(),
+            r.steps.to_string(),
+            format!("{:.1}", r.steps_per_sec),
+            format!("{:.4}", r.movement_ms),
+            format!("{:.4}", r.total_ms),
+        ]);
+    }
+    t
+}
+
 /// Render the measurement as a table (Markdown/CSV).
 pub fn table(rows: &[StRow]) -> Table {
     let mut headers = vec![
@@ -300,13 +525,14 @@ fn stages_object(values: &[f64; Stage::COUNT], precision: usize) -> String {
 
 /// JSON for `results/step_throughput_<scale>.json` and the repo-root
 /// `BENCH_step_throughput.json`: per-stage breakdowns for both engines
-/// plus CPU-over-GPU ratios, per world.
-pub fn to_json(scale: Scale, cfg: &StConfig, rows: &[StRow]) -> String {
+/// plus CPU-over-GPU ratios, per world, and the backend scale ladder
+/// (v2) with its per-rung movement speedups.
+pub fn to_json(scale: Scale, cfg: &StConfig, rows: &[StRow], ladder: &[LadderRow]) -> String {
     let ratios = ratios(rows);
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"step_throughput\",\n");
-    s.push_str("  \"schema\": \"pedsim.step_throughput.v1\",\n");
+    s.push_str("  \"schema\": \"pedsim.step_throughput.v2\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     s.push_str(&format!("  \"side\": {},\n", cfg.side));
     s.push_str(&format!("  \"steps_per_replica\": {},\n", cfg.steps));
@@ -346,6 +572,33 @@ pub fn to_json(scale: Scale, cfg: &StConfig, rows: &[StRow]) -> String {
         }
         let comma = if wi + 1 < present.len() { "," } else { "" };
         s.push_str(&format!("}}{comma}\n"));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ladder\": [\n");
+    for (i, r) in ladder.iter().enumerate() {
+        let comma = if i + 1 < ladder.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"side\": {}, \"agents\": {}, \"backend\": \"{}\", \"threads\": {}, \
+             \"steps\": {}, \"steps_per_sec\": {:.1}, \"movement_ms_per_step\": {:.4}, \
+             \"total_ms_per_step\": {:.4}}}{comma}\n",
+            r.side,
+            r.agents,
+            r.backend,
+            r.threads,
+            r.steps,
+            r.steps_per_sec,
+            r.movement_ms,
+            r.total_ms,
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ladder_movement_speedup\": [\n");
+    let speedups = ladder_speedups(ladder);
+    for (i, (side, x)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"side\": {side}, \"pooled_over_scalar\": {x:.3}}}{comma}\n"
+        ));
     }
     s.push_str("  ]\n}\n");
     s
@@ -406,13 +659,76 @@ mod tests {
         for x in &ratios {
             assert!(x.total > 0.0, "{}: no total ratio", x.world);
         }
-        let json = to_json(Scale::Smoke, &cfg, &rows);
+        let json = to_json(Scale::Smoke, &cfg, &rows, &[]);
         assert!(json.contains("\"bench\": \"step_throughput\""));
+        assert!(json.contains("\"schema\": \"pedsim.step_throughput.v2\""));
         for stage in Stage::ALL {
             assert!(json.contains(&format!("\"{}\":", stage.name())));
         }
         assert!(json.contains("\"cpu\"") && json.contains("\"gpu\""));
         assert!(json.contains("cpu_over_gpu"));
+        assert!(json.contains("\"ladder\": ["));
+    }
+
+    #[test]
+    fn ladder_jobs_cover_every_backend_and_validate() {
+        let jobs = ladder_jobs(Scale::Smoke, None);
+        assert_eq!(jobs.len(), LADDER_BACKENDS.len());
+        for job in &jobs {
+            assert!(job.validate().is_ok(), "{}", job.label);
+        }
+        // Every label is distinct and names its backend configuration.
+        let labels: BTreeSet<&str> = jobs.iter().map(|j| j.label.as_str()).collect();
+        assert_eq!(labels.len(), jobs.len());
+        for &(backend, threads) in LADDER_BACKENDS {
+            let label = ladder_label(96, backend, threads);
+            let job = jobs.iter().find(|j| j.label == label).expect("cell");
+            assert_eq!(job.engine.backend_sel(), (backend, threads));
+        }
+        // Larger scales add rungs without dropping the smoke rung.
+        assert_eq!(
+            ladder_jobs(Scale::Default, None).len(),
+            2 * LADDER_BACKENDS.len()
+        );
+        assert_eq!(
+            ladder_jobs(Scale::Paper, None).len(),
+            3 * LADDER_BACKENDS.len()
+        );
+        // `only` restricts to one backend configuration per rung.
+        let pooled4 = ladder_jobs(Scale::Default, Some(("pooled", 4)));
+        assert_eq!(pooled4.len(), 2);
+        assert!(pooled4.iter().all(|j| j.label.ends_with("pooled/t4")));
+    }
+
+    #[test]
+    fn tiny_ladder_run_aggregates_and_reports_speedups() {
+        let rungs = [LadderRung {
+            side: 24,
+            per_side: 20,
+            steps: 10,
+        }];
+        let jobs = ladder_jobs_for(&rungs, None);
+        let report = Batch::new(1).run(&jobs);
+        let rows = aggregate_ladder(&rungs, &report);
+        assert_eq!(rows.len(), LADDER_BACKENDS.len());
+        for r in &rows {
+            assert_eq!(r.steps, 10);
+            assert_eq!(r.agents, 40);
+            assert!(
+                r.steps_per_sec > 0.0,
+                "{}/t{} untimed",
+                r.backend,
+                r.threads
+            );
+            assert!(r.movement_ms > 0.0);
+        }
+        let speedups = ladder_speedups(&rows);
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, 24);
+        assert!(speedups[0].1 > 0.0);
+        let json = to_json(Scale::Smoke, &StConfig::for_scale(Scale::Smoke), &[], &rows);
+        assert!(json.contains("\"backend\": \"pooled\""));
+        assert!(json.contains("ladder_movement_speedup"));
     }
 
     #[test]

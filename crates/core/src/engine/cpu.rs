@@ -48,14 +48,16 @@ struct CpuBackend {
     seed: u64,
 }
 
-/// The lifecycle's view of the CPU engine's world: the host environment
-/// plus the tour lengths (a recycled slot starts a fresh tour).
-struct CpuWorld<'a> {
-    env: &'a mut Environment,
-    tour: &'a mut TourLengths,
+/// The lifecycle's view of a host-side engine's world: the host
+/// environment plus the tour lengths (a recycled slot starts a fresh
+/// tour). Shared by every backend that keeps its state in an
+/// [`Environment`] — the scalar engine here and the pooled engine.
+pub(crate) struct HostWorld<'a> {
+    pub(crate) env: &'a mut Environment,
+    pub(crate) tour: &'a mut TourLengths,
 }
 
-impl LifecycleWorld for CpuWorld<'_> {
+impl LifecycleWorld for HostWorld<'_> {
     fn is_alive(&self, i: usize) -> bool {
         self.env.is_alive(i)
     }
@@ -361,7 +363,7 @@ impl StageBackend for CpuBackend {
         step: u64,
         metrics: Option<&mut Metrics>,
     ) {
-        let mut world = CpuWorld {
+        let mut world = HostWorld {
             env: &mut self.env,
             tour: &mut self.tour,
         };

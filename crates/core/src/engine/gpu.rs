@@ -117,6 +117,15 @@ struct GpuBackend {
     state: DeviceState,
     spawn_rows: usize,
     report: KernelReport,
+    /// Launch geometry for the per-cell kernels (initial-calc, movement),
+    /// built once — per step only the salt changes. Rebuilding these in
+    /// the launch path showed up as per-step overhead in the
+    /// `initial_calc` stage profile.
+    lc_cells: LaunchConfig,
+    /// Launch geometry for the per-row init kernel (`n + 1` rows).
+    lc_init: LaunchConfig,
+    /// Launch geometry for the per-agent tour kernel (`n` rows).
+    lc_tour: LaunchConfig,
 }
 
 impl GpuEngine {
@@ -129,6 +138,12 @@ impl GpuEngine {
             Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
         let core = StepCore::for_world(&cfg, &env, geom);
         let state = DeviceState::upload(&env, &dist, cfg.model, cfg.checked);
+        let seed = cfg.env.seed;
+        let lc_cells =
+            LaunchConfig::tiled_over(Dim2::new(state.w as u32, state.h as u32), Dim2::square(16))
+                .with_seed(seed);
+        let lc_init = GpuBackend::rows_config(state.n + 1).with_seed(seed);
+        let lc_tour = GpuBackend::rows_config(state.n).with_seed(seed);
         Self {
             core,
             backend: GpuBackend {
@@ -138,6 +153,9 @@ impl GpuEngine {
                 state,
                 spawn_rows: env.spawn_rows,
                 report: KernelReport::default(),
+                lc_cells,
+                lc_init,
+                lc_tour,
             },
         }
     }
@@ -192,20 +210,10 @@ impl GpuEngine {
 }
 
 impl GpuBackend {
-    fn cfg_cells(&self, seed: u64, salt: u64) -> LaunchConfig {
-        LaunchConfig::tiled_over(
-            Dim2::new(self.state.w as u32, self.state.h as u32),
-            Dim2::square(16),
-        )
-        .with_seed(seed)
-        .with_salt(salt)
-    }
-
-    fn cfg_rows(&self, rows: usize, seed: u64, salt: u64) -> LaunchConfig {
+    /// 1-D launch geometry covering `rows` items in 256-thread blocks.
+    fn rows_config(rows: usize) -> LaunchConfig {
         let blocks = (rows as u32).div_ceil(256).max(1);
         LaunchConfig::new(Dim2::new(blocks, 1), Dim2::new(256, 1))
-            .with_seed(seed)
-            .with_salt(salt)
     }
 
     /// Launch one kernel and fold its stats into report slot `k` and the
@@ -233,7 +241,6 @@ impl GpuBackend {
 
 impl StageBackend for GpuBackend {
     fn run_stage(&mut self, stage: Stage, step_no: u64, rec: &mut pedsim_obs::Recorder) {
-        let seed = self.cfg.env.seed;
         let base = step_no * 4;
         let st = &self.state;
         let cur = st.cur;
@@ -252,7 +259,7 @@ impl StageBackend for GpuBackend {
                     future_row: st.future_row.view(),
                     future_col: st.future_col.view(),
                 };
-                let lcfg = self.cfg_rows(st.n + 1, seed, base);
+                let lcfg = self.lc_init.with_salt(base);
                 Self::launch_counted(&self.device, &mut self.report, rec, 0, &lcfg, &init, "init");
             }
             Stage::InitialCalc => {
@@ -275,7 +282,7 @@ impl StageBackend for GpuBackend {
                     front: st.front.view(),
                     front_k: st.front_k.view(),
                 };
-                let lcfg = self.cfg_cells(seed, base + 1);
+                let lcfg = self.lc_cells.with_salt(base + 1);
                 Self::launch_counted(
                     &self.device,
                     &mut self.report,
@@ -303,7 +310,7 @@ impl StageBackend for GpuBackend {
                     future_col: st.future_col.view(),
                     model: self.cfg.model,
                 };
-                let lcfg = self.cfg_rows(st.n, seed, base + 2);
+                let lcfg = self.lc_tour.with_salt(base + 2);
                 Self::launch_counted(&self.device, &mut self.report, rec, 2, &lcfg, &tour, "tour");
             }
             Stage::Movement => {
@@ -339,7 +346,7 @@ impl StageBackend for GpuBackend {
                     pher_out: pher_views.as_deref(),
                     aco,
                 };
-                let lcfg = self.cfg_cells(seed, base + 3);
+                let lcfg = self.lc_cells.with_salt(base + 3);
                 Self::launch_counted(
                     &self.device,
                     &mut self.report,

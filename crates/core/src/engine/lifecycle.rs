@@ -52,7 +52,7 @@ struct SourceRuntime {
 }
 
 /// The compiled lifecycle of one open scenario.
-pub(crate) struct OpenLifecycle {
+pub struct OpenLifecycle {
     geom: Geometry,
     targets: Arc<Matrix<u8>>,
     sources: Vec<SourceRuntime>,
@@ -62,7 +62,7 @@ pub(crate) struct OpenLifecycle {
 /// The mutable world surface the lifecycle drives — implemented over the
 /// CPU engine's [`pedsim_grid::Environment`] and the GPU engine's
 /// device-state buffers, so one copy of the phase logic serves both.
-pub(crate) trait LifecycleWorld {
+pub trait LifecycleWorld {
     /// Whether slot `i` holds a live agent.
     fn is_alive(&self, i: usize) -> bool;
     /// Current position of slot `i`.

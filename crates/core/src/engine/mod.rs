@@ -1,22 +1,29 @@
 //! Simulation engines.
 //!
-//! Two engines implement the identical model:
+//! Three engines implement the identical model, selectable at runtime
+//! through the backend [`registry`]:
 //!
-//! * [`cpu::CpuEngine`] — the single-threaded reference (the paper's
-//!   "sequential counterpart running on a single threaded CPU");
-//! * [`gpu::GpuEngine`] — the data-driven kernel pipeline on the `simt`
-//!   virtual GPU (sequential or parallel execution policy).
+//! * [`cpu::CpuEngine`] (`scalar`) — the single-threaded reference (the
+//!   paper's "sequential counterpart running on a single threaded CPU");
+//! * [`pooled::PooledEngine`] (`pooled`) — the tile-parallel pooled CPU
+//!   engine: host-side row bands on a `simt` worker pool with
+//!   conflict-free movement claims;
+//! * [`gpu::GpuEngine`] (`simt`) — the data-driven kernel pipeline on the
+//!   `simt` virtual GPU (sequential or parallel execution policy).
 //!
-//! Both consume counter-based randomness keyed by `(seed, entity id, step
+//! All consume counter-based randomness keyed by `(seed, entity id, step
 //! salt)`, so for equal configurations their trajectories are
-//! **bit-identical** — asserted by `validate::engines_agree` and the
-//! integration tests, and then relaxed into the paper's statistical
-//! CPU-vs-GPU comparison for Figure 6b.
+//! **bit-identical** — asserted by `validate::engines_agree`, the
+//! cross-backend golden parity tests, and the integration tests, and then
+//! relaxed into the paper's statistical CPU-vs-GPU comparison for
+//! Figure 6b.
 
 pub mod cpu;
 pub mod gpu;
-pub(crate) mod lifecycle;
+pub mod lifecycle;
 pub mod pipeline;
+pub mod pooled;
+pub mod registry;
 pub mod stop;
 
 use std::sync::Arc;
@@ -28,8 +35,10 @@ use crate::params::{ModelKind, SimConfig};
 
 pub use lifecycle::source_stream;
 pub use pipeline::{
-    Stage, StepTimings, KERNEL_BLOCK_KEYS, KERNEL_LAUNCH_KEYS, KERNEL_THREAD_KEYS, STEPS_KEY,
+    Stage, StageBackend, StepCore, StepTimings, KERNEL_BLOCK_KEYS, KERNEL_LAUNCH_KEYS,
+    KERNEL_THREAD_KEYS, STEPS_KEY,
 };
+pub use registry::{Backend, EngineBackend, UnknownBackend, BACKENDS};
 pub use stop::{InvalidStopCondition, StopCondition, StopReason};
 
 /// Why a mid-run model swap was rejected: the model *variant* changed. A
@@ -162,5 +171,42 @@ pub trait Engine {
     fn run_until(&mut self, cond: &StopCondition) -> StopReason {
         self.try_run_until(cond)
             .unwrap_or_else(|e| panic!("invalid stop condition: {e}"))
+    }
+}
+
+/// Boxed engines delegate, so registry-built `Box<dyn Engine>` values run
+/// through the same generic call sites (e.g. the runner's `finish`) as
+/// concrete engines.
+impl<T: Engine + ?Sized> Engine for Box<T> {
+    fn step(&mut self) {
+        (**self).step();
+    }
+
+    fn steps_done(&self) -> u64 {
+        (**self).steps_done()
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        (**self).metrics()
+    }
+
+    fn step_timings(&self) -> &StepTimings {
+        (**self).step_timings()
+    }
+
+    fn telemetry(&self) -> &pedsim_obs::Recorder {
+        (**self).telemetry()
+    }
+
+    fn model(&self) -> ModelKind {
+        (**self).model()
+    }
+
+    fn mat_snapshot(&self) -> Matrix<u8> {
+        (**self).mat_snapshot()
+    }
+
+    fn positions(&self) -> (Vec<u16>, Vec<u16>) {
+        (**self).positions()
     }
 }

@@ -198,7 +198,13 @@ impl StepTimings {
 /// its own world representation and adapts that world to the shared
 /// post-step tail. Everything else — sequencing, counting, timing,
 /// metrics, lifecycle — lives in [`StepCore`].
-pub(crate) trait StageBackend {
+///
+/// This trait is the extension point of the backend registry
+/// ([`crate::engine::registry`]): a new execution strategy implements the
+/// four kernel stages here, pairs itself with a [`StepCore`], and
+/// registers an [`crate::engine::registry::EngineBackend`] descriptor —
+/// neither existing engine needs to change.
+pub trait StageBackend {
     /// Execute one kernel stage of step `step_no` (0-based). Only ever
     /// called with members of [`Stage::KERNELS`], in that order. `rec`
     /// is the engine's telemetry recorder; backends with launch machinery
@@ -220,8 +226,8 @@ pub(crate) trait StageBackend {
 }
 
 /// The shared engine core: step counting, stage sequencing, per-stage
-/// timing, and the metrics/lifecycle tail, owned once for both engines.
-pub(crate) struct StepCore {
+/// timing, and the metrics/lifecycle tail, owned once for every backend.
+pub struct StepCore {
     step_no: u64,
     metrics: Option<Metrics>,
     lifecycle: Option<OpenLifecycle>,

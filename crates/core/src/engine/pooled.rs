@@ -1,0 +1,828 @@
+//! The tile-parallel pooled CPU backend (`pooled` in the backend
+//! registry).
+//!
+//! A multi-threaded host engine on the `simt` [`WorkerPool`]: the grid is
+//! partitioned into contiguous row bands ([`band_ranges`]) and the four
+//! kernel stages run band-parallel with **conflict-free claims** — every
+//! output slot is written by exactly one task, so no locks are held in
+//! any hot loop.
+//!
+//! ## The claim protocol (movement)
+//!
+//! The scalar reference resolves movement per cell with
+//! [`gather_winner`]: scan the 8 neighbours in slot order, collect the
+//! agents whose FUTURE is this cell, draw one with the *cell's* RNG
+//! stream. The pooled backend reaches the identical answer in three
+//! barrier-separated phases, seeded from the dormant atomic-CAS movement
+//! variant (`kernels/movement_atomic.rs`) but with the tie-break made
+//! deterministic:
+//!
+//! 1. **Claim** (parallel over agents): each mover ORs one bit into its
+//!    target cell's claim byte — bit `k` means "the agent standing at
+//!    `target + NEIGHBOR_OFFSETS[k]` wants in". `fetch_or` is commutative,
+//!    so the byte is schedule-independent (unlike the CAS kernel, where
+//!    the *first* claimant wins and the winner depends on thread timing).
+//! 2. **Resolve** (parallel over row bands): each cell decodes its claim
+//!    byte — the set bits, read in ascending order, are exactly the
+//!    candidate list `gather_winner` builds in slot order, and the winner
+//!    is drawn with the same `(seed, cell, salt)` stream. An occupied
+//!    cell instead decodes its agent's *target* cell to learn whether the
+//!    agent left. Each cell writes only its own `mat`/`index`/pheromone
+//!    slots.
+//! 3. **Apply** (parallel over row bands): arrival cells write their
+//!    winner's position/tour slots — each agent wins at most one cell, so
+//!    these writes are agent-unique.
+//!
+//! Because every draw uses the same stream as the scalar engine and every
+//! candidate list is bit-equal, trajectories are **bit-identical to
+//! `scalar` at every thread count** — asserted by the cross-backend
+//! golden parity tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use pedsim_grid::cell::{Group, CELL_EMPTY, CELL_WALL, NEIGHBOR_OFFSETS};
+use pedsim_grid::property::NO_FUTURE;
+use pedsim_grid::scan::{ScanMatrix, TourLengths, SCAN_INVALID};
+use pedsim_grid::{DistanceData, EnvConfig, Environment, Matrix, PheromoneField};
+use philox::StreamRng;
+use simt::exec::pool::WorkerPool;
+
+use crate::metrics::{Geometry, Metrics};
+use crate::model::Arrival;
+use crate::model::{aco_scan_row, aco_select, front_status, lem_scan_row, lem_select, ScanRow};
+use crate::params::{ModelKind, SimConfig};
+
+use super::cpu::HostWorld;
+use super::lifecycle::OpenLifecycle;
+use super::pipeline::{Stage, StageBackend, StepCore, StepTimings};
+use super::{build_world, swap_model, Engine, ModelSwapError, KERNEL_MOVE, KERNEL_TOUR};
+
+/// Band oversubscription factor: bands per worker, so a straggler band
+/// cannot serialise the stage.
+const BANDS_PER_WORKER: usize = 4;
+
+/// Split `0..n` into exactly `parts.max(1)` contiguous ranges covering
+/// every index exactly once (sizes differ by at most one; trailing ranges
+/// may be empty when `parts > n`). This is the tile partition every
+/// pooled stage dispatches over — the partition proptest pins the
+/// exactly-once property.
+pub fn band_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Inverse of [`NEIGHBOR_OFFSETS`]: the slot `k` with
+/// `NEIGHBOR_OFFSETS[k] == (dr, dc)`.
+#[inline]
+fn offset_slot(dr: i64, dc: i64) -> usize {
+    match (dr, dc) {
+        (1, 0) => 0,
+        (1, -1) => 1,
+        (1, 1) => 2,
+        (0, -1) => 3,
+        (0, 1) => 4,
+        (-1, 0) => 5,
+        (-1, -1) => 6,
+        (-1, 1) => 7,
+        _ => unreachable!("future cell is not a neighbour: ({dr},{dc})"),
+    }
+}
+
+/// A raw scatter handle over a mutable slice, for disjoint writes from
+/// pool tasks (the host-side analogue of `simt::memory::ScatterView`,
+/// without the per-slot flag machinery — disjointness here is structural:
+/// cell slots are owned by the band holding the cell, agent slots by the
+/// unique cell their agent wins).
+#[derive(Clone, Copy)]
+struct Scatter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: tasks write disjoint slots (see the struct docs); the barrier
+// at the end of every `WorkerPool::run` orders writes before any
+// subsequent read.
+unsafe impl<T: Send> Sync for Scatter<'_, T> {}
+unsafe impl<T: Send> Send for Scatter<'_, T> {}
+
+impl<'a, T: Copy> Scatter<'a, T> {
+    fn new(s: &'a mut [T]) -> Self {
+        Self {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            _life: std::marker::PhantomData,
+        }
+    }
+
+    /// Write slot `i`.
+    ///
+    /// SAFETY: `i` must be in bounds and written by at most one concurrent
+    /// task; no concurrent task may read slot `i` (except the writer).
+    #[inline]
+    unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = v }
+    }
+
+    /// Read slot `i`.
+    ///
+    /// SAFETY: `i` must be in bounds and, within the current phase, only
+    /// ever written by the task performing this read.
+    #[inline]
+    unsafe fn read(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+}
+
+/// The tile-parallel pooled engine.
+pub struct PooledEngine {
+    core: StepCore,
+    backend: PooledBackend,
+}
+
+/// The pooled engine's kernel-stage executor: the same host-side world
+/// the scalar backend loops over, plus the worker pool and the per-cell
+/// claim bytes.
+struct PooledBackend {
+    cfg: SimConfig,
+    geom: Geometry,
+    env: Environment,
+    mat_next: Matrix<u8>,
+    index_next: Matrix<u32>,
+    scan: ScanMatrix,
+    tour: TourLengths,
+    pher: Option<PheromoneField>,
+    pher_next: Option<PheromoneField>,
+    dist: Arc<DistanceData>,
+    seed: u64,
+    pool: WorkerPool,
+    /// One claim byte per cell: bit `k` set means the agent at
+    /// `cell + NEIGHBOR_OFFSETS[k]` targets this cell.
+    claims: Vec<AtomicU8>,
+}
+
+impl PooledEngine {
+    /// Build the engine with `threads` pool workers (runs the
+    /// data-preparation stage, like the other backends).
+    pub fn new(cfg: SimConfig, threads: usize) -> Self {
+        let (env, dist) = build_world(&cfg);
+        let geom =
+            Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
+        let core = StepCore::for_world(&cfg, &env, geom);
+        let n = env.total_agents();
+        let groups = env.n_groups();
+        let (pher, pher_next) = match cfg.model {
+            ModelKind::Aco(p) => (
+                Some(PheromoneField::with_groups(
+                    env.height(),
+                    env.width(),
+                    p.tau0,
+                    groups,
+                )),
+                Some(PheromoneField::with_groups(
+                    env.height(),
+                    env.width(),
+                    p.tau0,
+                    groups,
+                )),
+            ),
+            ModelKind::Lem(_) => (None, None),
+        };
+        let (h, w) = (env.height(), env.width());
+        let seed = cfg.env.seed;
+        Self {
+            core,
+            backend: PooledBackend {
+                cfg,
+                geom,
+                mat_next: Matrix::filled(h, w, CELL_EMPTY),
+                index_next: Matrix::filled(h, w, 0u32),
+                scan: ScanMatrix::new(n),
+                tour: TourLengths::new(n),
+                pher,
+                pher_next,
+                dist,
+                seed,
+                pool: WorkerPool::new(threads),
+                claims: (0..h * w).map(|_| AtomicU8::new(0)).collect(),
+                env,
+            },
+        }
+    }
+
+    /// Number of pool worker threads.
+    pub fn threads(&self) -> usize {
+        self.backend.pool.workers()
+    }
+
+    /// Borrow the current environment state.
+    pub fn environment(&self) -> &Environment {
+        &self.backend.env
+    }
+
+    /// Replace the model parameters mid-run (the panic-alarm extension).
+    pub fn set_model(&mut self, model: ModelKind) -> Result<(), ModelSwapError> {
+        swap_model(&mut self.backend.cfg.model, model)
+    }
+
+    /// Borrow the pheromone field (ACO only).
+    pub fn pheromone(&self) -> Option<&PheromoneField> {
+        self.backend.pher.as_ref()
+    }
+
+    /// Borrow accumulated tour lengths.
+    pub fn tour_lengths(&self) -> &TourLengths {
+        &self.backend.tour
+    }
+}
+
+impl PooledBackend {
+    /// Bands to dispatch per stage.
+    fn parts(&self) -> usize {
+        self.pool.workers() * BANDS_PER_WORKER
+    }
+
+    fn stage_init(&mut self) {
+        // Supporting kernel (§IV.e): clear scan + FUTURE, band-parallel
+        // fills (each band owns a contiguous slice of each array).
+        let parts = self.parts();
+        let sv = Scatter::new(&mut self.scan.vals);
+        let si = Scatter::new(&mut self.scan.idxs);
+        let fr = Scatter::new(&mut self.env.props.future_row);
+        let fc = Scatter::new(&mut self.env.props.future_col);
+        let vb = band_ranges(sv.len, parts);
+        let fb = band_ranges(fr.len, parts);
+        self.pool.run(parts, &|b| {
+            for i in vb[b].clone() {
+                // SAFETY: band-disjoint slots.
+                unsafe {
+                    sv.write(i, 0.0);
+                    si.write(i, SCAN_INVALID);
+                }
+            }
+            for i in fb[b].clone() {
+                // SAFETY: band-disjoint slots.
+                unsafe {
+                    fr.write(i, NO_FUTURE);
+                    fc.write(i, NO_FUTURE);
+                }
+            }
+        });
+    }
+
+    fn stage_initial_calc(&mut self) {
+        // §IV.b over row bands: writes are keyed by the cell's agent, and
+        // every agent stands on exactly one cell.
+        let (h, w) = (self.geom.height, self.geom.width);
+        let parts = self.parts();
+        let mat = &self.env.mat;
+        let index = &self.env.index;
+        let dist = self.dist.dist_ref();
+        let model = self.cfg.model;
+        let pher = self.pher.as_ref();
+        let sv = Scatter::new(&mut self.scan.vals);
+        let si = Scatter::new(&mut self.scan.idxs);
+        let front = Scatter::new(&mut self.env.props.front);
+        let front_k = Scatter::new(&mut self.env.props.front_k);
+        let bands = band_ranges(h, parts);
+        self.pool.run(parts, &|b| {
+            let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
+            for r in bands[b].clone() {
+                for c in 0..w {
+                    let a = index.get(r, c);
+                    if a == 0 {
+                        continue;
+                    }
+                    let label = mat.get(r, c);
+                    let g = Group::from_label(label).expect("indexed cell has group label");
+                    let row: ScanRow = match model {
+                        ModelKind::Lem(p) => {
+                            lem_scan_row(&occ, dist, g, r as i64, c as i64, p.scan_range)
+                        }
+                        ModelKind::Aco(p) => {
+                            let tf = pher.expect("ACO has pheromone").of(g);
+                            let tau = |rr: i64, cc: i64| tf.get_or(rr, cc, 0.0);
+                            aco_scan_row(&occ, &tau, dist, &p, g, r as i64, c as i64)
+                        }
+                    };
+                    let ai = a as usize;
+                    for slot in 0..8 {
+                        // SAFETY: agent-unique slots (one agent per cell).
+                        unsafe {
+                            sv.write(ai * 8 + slot, row.vals[slot]);
+                            si.write(ai * 8 + slot, row.idxs[slot]);
+                        }
+                    }
+                    let fk = dist.front_k(g, r as i64, c as i64);
+                    // SAFETY: agent-unique slots.
+                    unsafe {
+                        front.write(ai, front_status(&occ, fk, r as i64, c as i64));
+                        front_k.write(ai, fk as u8);
+                    }
+                }
+            }
+        });
+    }
+
+    fn stage_tour(&mut self, step_no: u64) {
+        // §IV.c over agent bands: each agent writes only its own FUTURE
+        // slots, with its own RNG stream.
+        let salt = step_no * 4 + KERNEL_TOUR;
+        let n = self.geom.total_agents();
+        let parts = self.parts();
+        let seed = self.seed;
+        let model = self.cfg.model;
+        let scan = &self.scan;
+        let alive = &self.env.alive;
+        let props = &mut self.env.props;
+        let front = &props.front;
+        let front_k = &props.front_k;
+        let prow = &props.row;
+        let pcol = &props.col;
+        let fr = Scatter::new(&mut props.future_row);
+        let fc = Scatter::new(&mut props.future_col);
+        let bands = band_ranges(n, parts);
+        self.pool.run(parts, &|b| {
+            for i in bands[b].clone() {
+                let a = i + 1;
+                if !alive[a] {
+                    continue;
+                }
+                let mut rng = StreamRng::with_offset(seed, a as u64, salt << 4);
+                let row = ScanRow {
+                    vals: scan.row_vals(a).try_into().expect("8 slots"),
+                    idxs: scan.row_idxs(a).try_into().expect("8 slots"),
+                };
+                let k = match model {
+                    ModelKind::Lem(p) => {
+                        lem_select(&row, front[a], front_k[a] as usize, &p, &mut rng)
+                    }
+                    ModelKind::Aco(p) => {
+                        aco_select(&row, front[a], front_k[a] as usize, &p, &mut rng)
+                    }
+                };
+                // SAFETY: agent-unique slots.
+                unsafe {
+                    match k {
+                        Some(k) => {
+                            let (dr, dc) = NEIGHBOR_OFFSETS[k];
+                            fr.write(a, (i64::from(prow[a]) + dr) as u16);
+                            fc.write(a, (i64::from(pcol[a]) + dc) as u16);
+                        }
+                        None => {
+                            fr.write(a, NO_FUTURE);
+                            fc.write(a, NO_FUTURE);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Decode the winner at `(r, c)` from the claim bytes — the parallel
+    /// equivalent of [`gather_winner`]: the set bits of the claim byte,
+    /// in ascending order, are the slot-ordered candidate list, and the
+    /// draw uses the identical cell-keyed stream.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn claimed_winner(
+        mat: &Matrix<u8>,
+        index: &Matrix<u32>,
+        claims: &[AtomicU8],
+        seed: u64,
+        counter_base: u64,
+        w: usize,
+        r: usize,
+        c: usize,
+    ) -> Option<Arrival> {
+        if mat.get(r, c) != CELL_EMPTY {
+            return None;
+        }
+        let lin = r * w + c;
+        let mut bits = claims[lin].load(Ordering::Relaxed);
+        if bits == 0 {
+            return None;
+        }
+        let count = bits.count_ones();
+        let pick = if count == 1 {
+            0
+        } else {
+            let mut rng = StreamRng::with_offset(seed, lin as u64, counter_base);
+            rng.bounded_u32(count) as usize
+        };
+        for _ in 0..pick {
+            bits &= bits - 1;
+        }
+        let k = bits.trailing_zeros() as usize;
+        let (dr, dc) = NEIGHBOR_OFFSETS[k];
+        let (nr, nc) = ((r as i64 + dr) as usize, (c as i64 + dc) as usize);
+        Some(Arrival {
+            agent: index.get(nr, nc),
+            from_k: k,
+        })
+    }
+
+    fn stage_movement(&mut self, step_no: u64) {
+        // §IV.d in three barrier-separated phases (module docs).
+        let salt = step_no * 4 + KERNEL_MOVE;
+        let counter_base = salt << 4;
+        let (h, w) = (self.geom.height, self.geom.width);
+        let n = self.geom.total_agents();
+        let parts = self.parts();
+        let aco = match self.cfg.model {
+            ModelKind::Aco(p) => Some(p),
+            ModelKind::Lem(_) => None,
+        };
+
+        // Phase 1: reset + register claims (fetch_or is commutative, so
+        // the claim bytes are schedule-independent).
+        {
+            let claims = &self.claims;
+            let cell_bands = band_ranges(h * w, parts);
+            self.pool.run(parts, &|b| {
+                for i in cell_bands[b].clone() {
+                    claims[i].store(0, Ordering::Relaxed);
+                }
+            });
+            let props = &self.env.props;
+            let agent_bands = band_ranges(n, parts);
+            self.pool.run(parts, &|b| {
+                for i in agent_bands[b].clone() {
+                    let a = i + 1;
+                    let fr = props.future_row[a];
+                    if fr == NO_FUTURE {
+                        continue;
+                    }
+                    let fc = props.future_col[a];
+                    let k = offset_slot(
+                        i64::from(props.row[a]) - i64::from(fr),
+                        i64::from(props.col[a]) - i64::from(fc),
+                    );
+                    claims[fr as usize * w + fc as usize].fetch_or(1 << k, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Phase 2: resolve — every cell writes its own mat/index (and
+        // pheromone) slots only, so row bands cannot conflict.
+        {
+            let mat = &self.env.mat;
+            let index = &self.env.index;
+            let props = &self.env.props;
+            let tour = &self.tour;
+            let claims = &self.claims;
+            let seed = self.seed;
+            let mat_out = Scatter::new(self.mat_next.as_mut_slice());
+            let idx_out = Scatter::new(self.index_next.as_mut_slice());
+            let pin = self.pher.as_ref();
+            let pouts: Vec<Scatter<'_, f32>> = match self.pher_next.as_mut() {
+                Some(p) => p
+                    .planes_mut()
+                    .iter_mut()
+                    .map(|m| Scatter::new(m.as_mut_slice()))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let bands = band_ranges(h, parts);
+            self.pool.run(parts, &|b| {
+                for r in bands[b].clone() {
+                    for c in 0..w {
+                        let lin = r * w + c;
+                        let arrival =
+                            Self::claimed_winner(mat, index, claims, seed, counter_base, w, r, c);
+                        let own = index.get(r, c);
+                        let (new_label, new_index) = if let Some(arr) = arrival {
+                            (props.id[arr.agent as usize], arr.agent)
+                        } else if own != 0 && props.future_row[own as usize] != NO_FUTURE {
+                            // Our agent wants to leave: decode its target
+                            // cell to learn whether it won there.
+                            let fr = props.future_row[own as usize] as usize;
+                            let fc = props.future_col[own as usize] as usize;
+                            let wins = Self::claimed_winner(
+                                mat,
+                                index,
+                                claims,
+                                seed,
+                                counter_base,
+                                w,
+                                fr,
+                                fc,
+                            )
+                            .is_some_and(|a| a.agent == own);
+                            if wins {
+                                (CELL_EMPTY, 0)
+                            } else {
+                                (mat.get(r, c), own)
+                            }
+                        } else {
+                            (mat.get(r, c), own)
+                        };
+                        // SAFETY: cell-unique slots within this band.
+                        unsafe {
+                            mat_out.write(lin, new_label);
+                            idx_out.write(lin, new_index);
+                        }
+
+                        if let (Some(p), Some(pin)) = (aco, pin) {
+                            let deposit: Option<(usize, f32)> = arrival.map(|arr| {
+                                let a = arr.agent as usize;
+                                let l_new = tour.get(a) + arr.step_len();
+                                let g = Group::from_label(props.id[a])
+                                    .expect("arrival has a group label");
+                                (g.index(), p.q / l_new)
+                            });
+                            for (gi, pout) in pouts.iter().enumerate() {
+                                let g = Group::new(gi);
+                                let dep = match deposit {
+                                    Some((dg, amount)) if dg == gi => amount,
+                                    _ => 0.0,
+                                };
+                                let next = PheromoneField::fused_update(
+                                    pin.of(g).get(r, c),
+                                    p.tau0,
+                                    p.rho,
+                                    dep,
+                                );
+                                // SAFETY: cell-unique slot.
+                                unsafe { pout.write(lin, next) };
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Phase 3: apply — arrival cells update their winner's slots;
+        // each agent wins at most one cell, so the writes (and the
+        // read-modify-write of the tour) are agent-unique.
+        {
+            let index = &self.env.index;
+            let index_next = &self.index_next;
+            let props = &mut self.env.props;
+            let prow = Scatter::new(&mut props.row);
+            let pcol = Scatter::new(&mut props.col);
+            let tours = Scatter::new(&mut self.tour.len);
+            let track_tour = aco.is_some();
+            let bands = band_ranges(h, parts);
+            self.pool.run(parts, &|b| {
+                for r in bands[b].clone() {
+                    for c in 0..w {
+                        let a = index_next.get(r, c);
+                        if a != 0 && index.get(r, c) != a {
+                            let ai = a as usize;
+                            // SAFETY: agent-unique slots; only this task
+                            // reads/writes index `ai` this phase.
+                            unsafe {
+                                let (or, oc) = (prow.read(ai), pcol.read(ai));
+                                let dr = (r as i64 - i64::from(or)).unsigned_abs();
+                                let dc = (c as i64 - i64::from(oc)).unsigned_abs();
+                                let step_len = if dr + dc == 2 {
+                                    std::f32::consts::SQRT_2
+                                } else {
+                                    1.0
+                                };
+                                prow.write(ai, r as u16);
+                                pcol.write(ai, c as u16);
+                                if track_tour {
+                                    tours.write(ai, tours.read(ai) + step_len);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        std::mem::swap(&mut self.env.mat, &mut self.mat_next);
+        std::mem::swap(&mut self.env.index, &mut self.index_next);
+        if aco.is_some() {
+            std::mem::swap(&mut self.pher, &mut self.pher_next);
+        }
+    }
+}
+
+impl StageBackend for PooledBackend {
+    fn run_stage(&mut self, stage: Stage, step_no: u64, _rec: &mut pedsim_obs::Recorder) {
+        // Like the scalar backend, no launch machinery to report: the
+        // kernel counters stay at the zeros the core pre-registered.
+        match stage {
+            Stage::Init => self.stage_init(),
+            Stage::InitialCalc => self.stage_initial_calc(),
+            Stage::Tour => self.stage_tour(step_no),
+            Stage::Movement => self.stage_movement(step_no),
+            Stage::Lifecycle | Stage::Metrics => unreachable!("core-driven stage"),
+        }
+    }
+
+    fn observe(&self, metrics: &mut Metrics) {
+        metrics.observe(&self.env.props.row, &self.env.props.col);
+    }
+
+    fn run_lifecycle(
+        &mut self,
+        lifecycle: &OpenLifecycle,
+        step: u64,
+        metrics: Option<&mut Metrics>,
+    ) {
+        let mut world = HostWorld {
+            env: &mut self.env,
+            tour: &mut self.tour,
+        };
+        lifecycle.run_step(&mut world, step, metrics);
+    }
+}
+
+impl Engine for PooledEngine {
+    fn step(&mut self) {
+        self.core.step(&mut self.backend);
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.core.steps_done()
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        self.core.metrics()
+    }
+
+    fn step_timings(&self) -> &StepTimings {
+        self.core.timings()
+    }
+
+    fn telemetry(&self) -> &pedsim_obs::Recorder {
+        self.core.recorder()
+    }
+
+    fn model(&self) -> ModelKind {
+        self.backend.cfg.model
+    }
+
+    fn mat_snapshot(&self) -> Matrix<u8> {
+        self.backend.env.mat.clone()
+    }
+
+    fn positions(&self) -> (Vec<u16>, Vec<u16>) {
+        (
+            self.backend.env.props.row.clone(),
+            self.backend.env.props.col.clone(),
+        )
+    }
+}
+
+/// Convenience: build a pooled engine for a small classic corridor.
+pub fn pooled_engine_small(
+    width: usize,
+    height: usize,
+    per_side: usize,
+    model: ModelKind,
+    seed: u64,
+    threads: usize,
+) -> PooledEngine {
+    let env = EnvConfig::small(width, height, per_side).with_seed(seed);
+    PooledEngine::new(SimConfig::new(env, model).with_checked(true), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::cpu::cpu_engine_small;
+    use crate::model::gather_winner;
+
+    #[test]
+    fn offset_slot_inverts_neighbor_offsets() {
+        for (k, &(dr, dc)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+            assert_eq!(offset_slot(dr, dc), k);
+        }
+    }
+
+    #[test]
+    fn band_ranges_cover_exactly_once() {
+        for (n, parts) in [(0, 3), (5, 8), (7, 1), (100, 7), (16, 16)] {
+            let bands = band_ranges(n, parts);
+            assert_eq!(bands.len(), parts.max(1));
+            let mut next = 0;
+            for b in &bands {
+                assert_eq!(b.start, next, "gap/overlap at {b:?} (n={n}, parts={parts})");
+                next = b.end;
+            }
+            assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn claimed_winner_matches_gather_winner() {
+        // Drive the scalar engine a few steps, then at each state compare
+        // the claim decode against gather_winner on every cell.
+        let mut e = cpu_engine_small(24, 24, 40, ModelKind::lem(), 13);
+        for step in 0..12u64 {
+            e.step();
+            let env = e.environment();
+            let (h, w) = (env.mat.height(), env.mat.width());
+            // Rebuild what the next step's tour stage would see is not
+            // available here; instead synthesise futures: every agent
+            // "wants" its current cell's northern neighbour when empty.
+            let mut props = env.props.clone();
+            for a in 1..props.row.len() {
+                let (r, c) = (props.row[a], props.col[a]);
+                if r > 0 && env.mat.get(r as usize - 1, c as usize) == CELL_EMPTY {
+                    props.future_row[a] = r - 1;
+                    props.future_col[a] = c;
+                } else {
+                    props.future_row[a] = NO_FUTURE;
+                    props.future_col[a] = NO_FUTURE;
+                }
+            }
+            // Claims from the synthesised futures.
+            let claims: Vec<AtomicU8> = (0..h * w).map(|_| AtomicU8::new(0)).collect();
+            for a in 1..props.row.len() {
+                if props.future_row[a] == NO_FUTURE {
+                    continue;
+                }
+                let (fr, fc) = (props.future_row[a] as usize, props.future_col[a] as usize);
+                let k = offset_slot(
+                    i64::from(props.row[a]) - fr as i64,
+                    i64::from(props.col[a]) - fc as i64,
+                );
+                claims[fr * w + fc].fetch_or(1 << k, Ordering::Relaxed);
+            }
+            let occ = |r: i64, c: i64| env.mat.get_or(r, c, CELL_WALL);
+            let idx = |r: i64, c: i64| env.index.get_or(r, c, 0);
+            let fut = |a: u32| (props.future_row[a as usize], props.future_col[a as usize]);
+            let counter_base = (step * 4 + KERNEL_MOVE) << 4;
+            for r in 0..h {
+                for c in 0..w {
+                    let mut rng =
+                        StreamRng::with_offset(env.seed, (r * w + c) as u64, counter_base);
+                    let reference = gather_winner(&occ, &idx, &fut, r as i64, c as i64, &mut rng);
+                    let decoded = PooledBackend::claimed_winner(
+                        &env.mat,
+                        &env.index,
+                        &claims,
+                        env.seed,
+                        counter_base,
+                        w,
+                        r,
+                        c,
+                    );
+                    assert_eq!(decoded, reference, "cell ({r},{c}) at step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_matches_scalar_closed_world() {
+        for model in [ModelKind::lem(), ModelKind::aco()] {
+            let mut scalar = cpu_engine_small(32, 32, 60, model, 5);
+            scalar.run(40);
+            for threads in [1, 2, 4] {
+                let mut pooled = pooled_engine_small(32, 32, 60, model, 5, threads);
+                pooled.run(40);
+                assert_eq!(
+                    scalar.mat_snapshot(),
+                    pooled.mat_snapshot(),
+                    "{} diverged at {threads} threads",
+                    model.name()
+                );
+                assert_eq!(scalar.positions(), pooled.positions());
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_consistency_and_progress() {
+        let mut e = pooled_engine_small(32, 32, 30, ModelKind::lem(), 42, 3);
+        e.run(100);
+        e.environment().check_consistency().expect("consistent");
+        let m = e.metrics().expect("metrics on");
+        assert!(m.total_moves > 0, "nobody moved");
+        assert!(m.throughput() > 0, "no crossings");
+    }
+
+    #[test]
+    fn pooled_pheromone_matches_scalar() {
+        let mut scalar = cpu_engine_small(24, 24, 30, ModelKind::aco(), 9);
+        let mut pooled = pooled_engine_small(24, 24, 30, ModelKind::aco(), 9, 4);
+        scalar.run(25);
+        pooled.run(25);
+        let (sp, pp) = (scalar.pheromone().unwrap(), pooled.pheromone().unwrap());
+        for g in 0..sp.groups() {
+            let g = Group::new(g);
+            assert_eq!(sp.of(g).as_slice(), pp.of(g).as_slice());
+        }
+        assert_eq!(scalar.tour_lengths(), pooled.tour_lengths());
+    }
+}

@@ -68,6 +68,16 @@ impl BlockKernel for InitialCalcKernel<'_> {
             .map(|planes| ctx.load_multi_tile(planes, dims, 1, 0.0f32));
         ctx.sync();
         let (w, h) = (self.w, self.h);
+        // Hoist the per-array handles out of the thread loop: each agent
+        // property is its own flat array (SoA), so the hot loop indexes
+        // plain locals instead of re-reading kernel struct fields.
+        let index_in = self.index_in;
+        let dist = self.dist;
+        let model = self.model;
+        let scan_val = self.scan_val;
+        let scan_idx = self.scan_idx;
+        let front = self.front;
+        let front_k = self.front_k;
         ctx.threads(|t| {
             let (r, c) = t.global_rc();
             if (r as usize) < h && (c as usize) < w {
@@ -78,25 +88,25 @@ impl BlockKernel for InitialCalcKernel<'_> {
                 // instead routes them to scan row 0 — same warp timing,
                 // same effect).
                 if let Some(g) = Group::from_label(label) {
-                    let a = self.index_in[r as usize * w + c as usize] as usize;
+                    let a = index_in[r as usize * w + c as usize] as usize;
                     t.note_global_loads(1);
                     debug_assert!(a > 0, "occupied cell must be indexed");
-                    let row = match self.model {
-                        ModelKind::Lem(p) => lem_scan_row(&occ, self.dist, g, ri, ci, p.scan_range),
+                    let row = match model {
+                        ModelKind::Lem(p) => lem_scan_row(&occ, dist, g, ri, ci, p.scan_range),
                         ModelKind::Aco(p) => {
                             let tile = pher_tile.as_ref().expect("ACO pheromone tile");
                             let which = g.index();
                             let tau = |rr: i64, cc: i64| tile.get(which, rr, cc);
-                            aco_scan_row(&occ, &tau, self.dist, &p, g, ri, ci)
+                            aco_scan_row(&occ, &tau, dist, &p, g, ri, ci)
                         }
                     };
                     for s in 0..8 {
-                        self.scan_val.write(a * 8 + s, row.vals[s]);
-                        self.scan_idx.write(a * 8 + s, row.idxs[s]);
+                        scan_val.write(a * 8 + s, row.vals[s]);
+                        scan_idx.write(a * 8 + s, row.idxs[s]);
                     }
-                    let fk = self.dist.front_k(g, ri, ci);
-                    self.front.write(a, front_status(&occ, fk, ri, ci));
-                    self.front_k.write(a, fk as u8);
+                    let fk = dist.front_k(g, ri, ci);
+                    front.write(a, front_status(&occ, fk, ri, ci));
+                    front_k.write(a, fk as u8);
                     t.note_global_stores(18);
                     t.note_shared_loads(9);
                     t.alu(32);

@@ -65,6 +65,12 @@ impl BlockKernel for MovementKernel<'_> {
         let idx_tile = ctx.load_tile(self.index_in, dims, MOVEMENT_HALO, 0u32);
         ctx.sync();
         let (w, h) = (self.w, self.h);
+        // Hoist the SoA agent-property arrays into locals: the hot loop
+        // indexes flat slices directly instead of re-reading kernel
+        // struct fields per thread.
+        let future_row = self.future_row;
+        let future_col = self.future_col;
+        let id = self.id;
         ctx.threads(|t| {
             let (r, c) = t.global_rc();
             if (r as usize) >= h || (c as usize) >= w {
@@ -74,7 +80,7 @@ impl BlockKernel for MovementKernel<'_> {
             let lin = r as usize * w + c as usize;
             let occ = |rr: i64, cc: i64| mat_tile.get(rr, cc);
             let idx = |rr: i64, cc: i64| idx_tile.get(rr, cc);
-            let fut = |a: u32| (self.future_row[a as usize], self.future_col[a as usize]);
+            let fut = |a: u32| (future_row[a as usize], future_col[a as usize]);
             let mut rng = t.rng_for(lin as u64);
             let arrival = gather_winner(&occ, &idx, &fut, ri, ci, &mut rng);
             let own = idx(ri, ci);
@@ -86,7 +92,7 @@ impl BlockKernel for MovementKernel<'_> {
             let mut deposit: Option<(usize, f32)> = None;
             if let Some(arr) = arrival {
                 let a = arr.agent as usize;
-                self.mat_out.write(lin, self.id[a]);
+                self.mat_out.write(lin, id[a]);
                 self.index_out.write(lin, arr.agent);
                 self.row.write(a, r as u16);
                 self.col.write(a, c as u16);
@@ -95,13 +101,15 @@ impl BlockKernel for MovementKernel<'_> {
                     // Exclusive RMW: only this thread touches slot `a`.
                     let l_new = self.tour.read(a) + arr.step_len();
                     self.tour.write(a, l_new);
-                    let g = Group::from_label(self.id[a]).expect("arrival has a group label");
+                    let g = Group::from_label(id[a]).expect("arrival has a group label");
                     deposit = Some((g.index(), p.q / l_new));
                     t.note_global_stores(1);
                 }
-            } else if own != 0 && fut(own).0 != NO_FUTURE {
-                // Occupied, and our agent wants to leave: recompute its
-                // target cell's gather with the *target's* stream.
+            } else if own != 0 && future_row[own as usize] != NO_FUTURE {
+                // SoA probe: FUTURE ROW alone decides staying vs moving,
+                // so the column array is only touched when the agent
+                // actually leaves. Recompute its target cell's gather with
+                // the *target's* stream.
                 let (fr, fc) = fut(own);
                 let (fri, fci) = (i64::from(fr), i64::from(fc));
                 let tlin = (fr as usize) * w + fc as usize;

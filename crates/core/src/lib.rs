@@ -57,8 +57,10 @@ pub mod validate;
 pub mod prelude {
     pub use crate::engine::cpu::CpuEngine;
     pub use crate::engine::gpu::GpuEngine;
+    pub use crate::engine::pooled::PooledEngine;
     pub use crate::engine::{
-        Engine, InvalidStopCondition, ModelSwapError, StopCondition, StopReason,
+        Backend, Engine, EngineBackend, InvalidStopCondition, ModelSwapError, StopCondition,
+        StopReason, UnknownBackend,
     };
     pub use crate::metrics::{band_count, lane_index, segregation_index, Geometry, Metrics};
     pub use crate::params::{AcoParams, LemParams, ModelKind, SimConfig};

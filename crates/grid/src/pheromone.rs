@@ -64,6 +64,13 @@ impl PheromoneField {
         &self.fields
     }
 
+    /// Mutable access to every group plane at once (parallel backends
+    /// split the planes into per-band scatter targets).
+    #[inline]
+    pub fn planes_mut(&mut self) -> &mut [Matrix<f32>] {
+        &mut self.fields
+    }
+
     /// Apply eq. (3) everywhere: `τ ← max(τ0·floor?, (1−ρ)·τ)`.
     ///
     /// The floor keeps unvisited cells selectable, playing the role of the

@@ -4,15 +4,17 @@
 //! measurement, across commits, forever — benchmarks *append*, nothing
 //! rewrites. Each row carries full provenance (config hash, commit,
 //! scale, world, engine, model, seed) alongside its KPIs, so any two
-//! rows can be compared knowing exactly what was measured.
+//! rows can be compared knowing exactly what was measured — including,
+//! since v2, the backend registry key and thread count that executed it.
 //!
 //! The column layout mirrors the journal's determinism split: the first
 //! [`DETERMINISTIC_COLUMNS`] columns are byte-reproducible for equal
 //! configurations; the remaining columns are wall-clock KPIs.
 //!
 //! [`check`] implements the CI gate: group rows into series by
-//! [`Row::series_key`] (same bench, scale, world, engine, model, and
-//! config hash — i.e. "the same measurement, repeated"), compare the
+//! [`Row::series_key`] (same bench, scale, world, engine, backend,
+//! thread count, model, and config hash — i.e. "the same measurement,
+//! repeated"), compare the
 //! newest row of each series against the mean of its predecessors, and
 //! flag any drift beyond the KPI's tolerance ([`tolerance_for`]).
 
@@ -21,18 +23,20 @@ use std::fs::OpenOptions;
 use std::io::{self, Write as _};
 use std::path::Path;
 
-/// Schema tag carried in every row's first column.
-pub const SCHEMA: &str = "pedsim.registry.v1";
+/// Schema tag carried in every row's first column. v2 added the
+/// `backend`/`threads` provenance columns after `engine`; v1 rows in an
+/// append-only file simply fail to parse and are skipped by [`load`].
+pub const SCHEMA: &str = "pedsim.registry.v2";
 
 /// Number of leading columns that are deterministic (byte-reproducible
 /// for equal configurations). The rest are wall-clock KPIs.
-pub const DETERMINISTIC_COLUMNS: usize = 15;
+pub const DETERMINISTIC_COLUMNS: usize = 17;
 
 /// The registry header. Column order is fixed; new columns may only be
 /// appended (with a schema bump) so old rows stay parseable.
-pub const HEADER: &str = "schema,config,commit,scale,bench,world,engine,model,seed,agents,steps,\
-flux,bands,segregation,gridlock_risk,steps_per_sec,total_ms_per_step,init_ms,initial_calc_ms,\
-tour_ms,movement_ms,lifecycle_ms,metrics_ms";
+pub const HEADER: &str = "schema,config,commit,scale,bench,world,engine,backend,threads,model,\
+seed,agents,steps,flux,bands,segregation,gridlock_risk,steps_per_sec,total_ms_per_step,init_ms,\
+initial_calc_ms,tour_ms,movement_ms,lifecycle_ms,metrics_ms";
 
 /// Total column count.
 pub const COLUMNS: usize = DETERMINISTIC_COLUMNS + 8;
@@ -54,6 +58,11 @@ pub struct Row {
     pub world: String,
     /// Engine (`cpu` / `gpu`).
     pub engine: String,
+    /// Backend registry key executing the measurement (`scalar` /
+    /// `pooled` / `simt`).
+    pub backend: String,
+    /// Worker-thread count of the executing backend.
+    pub threads: u64,
     /// Movement model (`pso` / `aco`).
     pub model: String,
     /// Base seed of the measurement.
@@ -100,6 +109,8 @@ impl Row {
             self.bench.clone(),
             self.world.clone(),
             self.engine.clone(),
+            self.backend.clone(),
+            self.threads.to_string(),
             self.model.clone(),
             self.seed.to_string(),
             self.agents.to_string(),
@@ -142,7 +153,7 @@ impl Row {
             }
         };
         let mut stage_ms = [0.0; 6];
-        for (slot, col) in stage_ms.iter_mut().zip(&cols[17..23]) {
+        for (slot, col) in stage_ms.iter_mut().zip(&cols[19..25]) {
             *slot = f(col)?;
         }
         Some(Row {
@@ -153,16 +164,18 @@ impl Row {
             bench: cols[4].to_owned(),
             world: cols[5].to_owned(),
             engine: cols[6].to_owned(),
-            model: cols[7].to_owned(),
-            seed: cols[8].parse().ok()?,
-            agents: cols[9].parse().ok()?,
-            steps: cols[10].parse().ok()?,
-            flux: f(cols[11])?,
-            bands: opt(cols[12])?,
-            segregation: opt(cols[13])?,
-            gridlock_risk: opt(cols[14])?,
-            steps_per_sec: f(cols[15])?,
-            total_ms_per_step: f(cols[16])?,
+            backend: cols[7].to_owned(),
+            threads: cols[8].parse().ok()?,
+            model: cols[9].to_owned(),
+            seed: cols[10].parse().ok()?,
+            agents: cols[11].parse().ok()?,
+            steps: cols[12].parse().ok()?,
+            flux: f(cols[13])?,
+            bands: opt(cols[14])?,
+            segregation: opt(cols[15])?,
+            gridlock_risk: opt(cols[16])?,
+            steps_per_sec: f(cols[17])?,
+            total_ms_per_step: f(cols[18])?,
             stage_ms,
         })
     }
@@ -173,8 +186,15 @@ impl Row {
     /// whole point, and the seed is part of the config fingerprint.
     pub fn series_key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/{}",
-            self.bench, self.scale, self.world, self.engine, self.model, self.config
+            "{}/{}/{}/{}/{}/t{}/{}/{}",
+            self.bench,
+            self.scale,
+            self.world,
+            self.engine,
+            self.backend,
+            self.threads,
+            self.model,
+            self.config
         )
     }
 }
@@ -427,6 +447,8 @@ mod tests {
             bench: "step_throughput".to_owned(),
             world: "paper_corridor".to_owned(),
             engine: "cpu".to_owned(),
+            backend: "scalar".to_owned(),
+            threads: 1,
             model: "pso".to_owned(),
             seed: 42,
             agents: 64,

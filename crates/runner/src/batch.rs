@@ -109,6 +109,14 @@ pub fn execute(job: &Job) -> RunResult {
             agents,
             GpuEngine::new(job.cfg.clone(), device.clone()),
         ),
+        EngineSel::Backend(b) => {
+            // Validation resolves the name first; a direct execute() call
+            // on an unvalidated job panics with the typed message.
+            let engine = b
+                .build(job.cfg.clone())
+                .unwrap_or_else(|e| panic!("job {:?}: {e}", job.label));
+            finish(job, world, agents, engine)
+        }
     }
 }
 
@@ -144,11 +152,14 @@ fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> 
     let metrics = engine.metrics();
     // One snapshot serves all three order parameters.
     let mat = metrics.is_some().then(|| engine.mat_snapshot());
+    let (backend, threads) = job.engine.backend_sel();
     RunResult {
         label: job.label.clone(),
         world,
         model: engine.model().name().to_string(),
         engine: job.engine.name(),
+        backend,
+        threads,
         config: config_fingerprint(job),
         seed: job.cfg.env.seed,
         agents,

@@ -1,6 +1,6 @@
 //! Job descriptions: one independent replica per [`Job`].
 
-use pedsim_core::engine::{InvalidStopCondition, StopCondition};
+use pedsim_core::engine::{Backend, InvalidStopCondition, StopCondition, UnknownBackend};
 use pedsim_core::params::SimConfig;
 use simt::Device;
 
@@ -18,12 +18,22 @@ pub enum JobError {
         /// What is wrong with the condition.
         source: InvalidStopCondition,
     },
+    /// The job names a backend the registry does not know.
+    UnknownBackend {
+        /// The offending job's label.
+        label: String,
+        /// The registry's typed lookup error (lists the known names).
+        source: UnknownBackend,
+    },
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::InvalidStop { label, source } => {
+                write!(f, "job {label:?}: {source}")
+            }
+            Self::UnknownBackend { label, source } => {
                 write!(f, "job {label:?}: {source}")
             }
         }
@@ -34,6 +44,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::InvalidStop { source, .. } => Some(source),
+            Self::UnknownBackend { source, .. } => Some(source),
         }
     }
 }
@@ -54,14 +65,34 @@ pub enum EngineSel {
     Cpu,
     /// The virtual-GPU engine on the given device.
     Gpu(Device),
+    /// A registry backend selected by name (`scalar` / `pooled` / `simt`),
+    /// resolved at validation time — an unknown name is a typed
+    /// [`JobError::UnknownBackend`], never a worker panic.
+    Backend(Backend),
 }
 
 impl EngineSel {
-    /// Stable name for reports ("cpu" / "gpu").
+    /// Stable name for reports ("cpu" / "gpu", or the registry key for
+    /// [`EngineSel::Backend`] jobs).
     pub fn name(&self) -> &'static str {
         match self {
             EngineSel::Cpu => "cpu",
             EngineSel::Gpu(_) => "gpu",
+            // Resolve to the registry's static name; validation catches
+            // unknown names before any report is written.
+            EngineSel::Backend(b) => b.resolve().map_or("unknown", |d| d.name),
+        }
+    }
+
+    /// Backend provenance for results: the registry key and thread count
+    /// actually executing this job. The legacy selectors map onto their
+    /// registry equivalents (`Cpu` → `scalar`/1, `Gpu` → `simt` with the
+    /// device's worker count).
+    pub fn backend_sel(&self) -> (&'static str, usize) {
+        match self {
+            EngineSel::Cpu => ("scalar", 1),
+            EngineSel::Gpu(device) => ("simt", device.worker_count()),
+            EngineSel::Backend(b) => (b.resolve().map_or("unknown", |d| d.name), b.threads),
         }
     }
 }
@@ -123,6 +154,21 @@ impl Job {
         }
     }
 
+    /// A job on a registry backend selected by name and thread count.
+    pub fn backend(
+        label: impl Into<String>,
+        cfg: SimConfig,
+        backend: Backend,
+        stop: StopCondition,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            cfg,
+            engine: EngineSel::Backend(backend),
+            stop,
+        }
+    }
+
     /// Check the job's run description without executing it — the batch
     /// runner validates every job up front so a misconfigured stop
     /// condition surfaces as a typed error on the calling thread, never a
@@ -135,7 +181,14 @@ impl Job {
             .map_err(|source| JobError::InvalidStop {
                 label: self.label.clone(),
                 source,
-            })
+            })?;
+        if let EngineSel::Backend(b) = &self.engine {
+            b.resolve().map_err(|source| JobError::UnknownBackend {
+                label: self.label.clone(),
+                source,
+            })?;
+        }
+        Ok(())
     }
 }
 
@@ -154,6 +207,41 @@ mod tests {
         assert_eq!(c.engine.name(), "cpu");
         let d = Job::on_device("d", cfg, Device::parallel(), StopCondition::Steps(1));
         assert_eq!(d.engine.name(), "gpu");
+    }
+
+    #[test]
+    fn backend_jobs_resolve_and_report_provenance() {
+        let cfg = SimConfig::new(EnvConfig::small(16, 16, 4), ModelKind::lem());
+        let j = Job::backend(
+            "p",
+            cfg.clone(),
+            Backend::pooled(4),
+            StopCondition::Steps(1),
+        );
+        assert_eq!(j.engine.name(), "pooled");
+        assert_eq!(j.engine.backend_sel(), ("pooled", 4));
+        assert!(j.validate().is_ok());
+        // The legacy selectors map onto their registry equivalents.
+        assert_eq!(EngineSel::Cpu.backend_sel(), ("scalar", 1));
+        let (name, _) = Job::gpu("g", cfg, StopCondition::Steps(1))
+            .engine
+            .backend_sel();
+        assert_eq!(name, "simt");
+    }
+
+    #[test]
+    fn unknown_backend_is_a_typed_job_error() {
+        let cfg = SimConfig::new(EnvConfig::small(16, 16, 4), ModelKind::lem());
+        let j = Job::backend(
+            "mystery",
+            cfg,
+            Backend::named("cuda", 2),
+            StopCondition::Steps(1),
+        );
+        let err = j.validate().unwrap_err();
+        assert!(matches!(err, JobError::UnknownBackend { ref label, .. } if label == "mystery"));
+        let msg = err.to_string();
+        assert!(msg.contains("cuda") && msg.contains("scalar"), "{msg}");
     }
 
     #[test]

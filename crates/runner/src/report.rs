@@ -21,6 +21,13 @@ pub struct RunResult {
     pub model: String,
     /// Engine name (`"cpu"` / `"gpu"`).
     pub engine: &'static str,
+    /// Backend registry key actually executing the job (`"scalar"` /
+    /// `"pooled"` / `"simt"`); the legacy engine selectors map onto
+    /// their registry equivalents.
+    pub backend: &'static str,
+    /// Worker-thread count of the executing backend (1 for sequential
+    /// backends).
+    pub threads: usize,
     /// World-configuration fingerprint ([`Scenario::config_hash`] for
     /// scenario worlds, an `EnvConfig` field hash for the classic
     /// corridor). Stable across commits for equal configurations;
@@ -76,12 +83,14 @@ pub struct RunResult {
 impl RunResult {
     /// Canonical ordering key: results sort by it so a report is
     /// independent of completion *and* submission order.
-    fn key(&self) -> (&str, &str, &str, &str, u64, usize) {
+    fn key(&self) -> (&str, &str, &str, &str, &str, usize, u64, usize) {
         (
             &self.label,
             &self.world,
             &self.model,
             self.engine,
+            self.backend,
+            self.threads,
             self.seed,
             self.agents,
         )
@@ -93,6 +102,8 @@ impl RunResult {
         push_str_field(&mut o, "world", &self.world);
         push_str_field(&mut o, "model", &self.model);
         push_str_field(&mut o, "engine", self.engine);
+        push_str_field(&mut o, "backend", self.backend);
+        push_raw_field(&mut o, "threads", &self.threads.to_string());
         push_str_field(&mut o, "config", &pedsim_obs::hash::hex(self.config));
         push_raw_field(&mut o, "seed", &self.seed.to_string());
         push_raw_field(&mut o, "agents", &self.agents.to_string());
@@ -167,6 +178,8 @@ impl RunResult {
         r.str_field("world", &self.world);
         r.str_field("model", &self.model);
         r.str_field("engine", self.engine);
+        r.str_field("backend", self.backend);
+        r.u64_field("threads", self.threads as u64);
         r.str_field("config", &pedsim_obs::hash::hex(self.config));
         r.u64_field("seed", self.seed);
         r.u64_field("agents", self.agents as u64);
@@ -221,6 +234,8 @@ impl RunResult {
             bench: bench.to_owned(),
             world: self.world.clone(),
             engine: self.engine.to_owned(),
+            backend: self.backend.to_owned(),
+            threads: self.threads as u64,
             model: self.model.clone(),
             seed: self.seed,
             agents: self.agents as u64,
@@ -239,7 +254,8 @@ impl RunResult {
 /// Aggregate over a finished batch, with results in canonical order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
-    /// Per-replica results, sorted by label/world/model/engine/seed.
+    /// Per-replica results, sorted by label/world/model/engine/backend/
+    /// threads/seed.
     pub results: Vec<RunResult>,
     /// Number of jobs executed.
     pub jobs: usize,
@@ -340,7 +356,7 @@ impl BatchReport {
     fn render_json(&self, timing: bool) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v4\",");
+        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v5\",");
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"aggregate\": {{");
         let _ = writeln!(s, "    \"agents_total\": {},", self.agents_total);
@@ -439,6 +455,8 @@ mod tests {
             world: "paper_corridor".into(),
             model: "LEM".into(),
             engine: "gpu",
+            backend: "simt",
+            threads: 1,
             config: 0x00c0_ffee_00c0_ffee,
             seed,
             agents: 40,

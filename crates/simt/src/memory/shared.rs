@@ -52,22 +52,27 @@ impl<T: Copy> Tile<T> {
         let w = (inner.x + 2 * halo) as usize;
         let mut data = Vec::with_capacity(w * h);
         let mut loads = 0u64;
+        // In-bounds column span of the tile, clamped once per launch
+        // geometry instead of bounds-checking every element: interior rows
+        // become one slice copy (fully-interior tiles — every block but the
+        // grid rim — take the memcpy path for the whole row).
+        let c_lo = base_c.clamp(0, i64::from(src_dim.x)) as usize;
+        let c_hi = (base_c + w as i64).clamp(0, i64::from(src_dim.x)) as usize;
+        // Clamped so a tile entirely outside the columns (c_lo == c_hi,
+        // which takes the all-fill row path) cannot underflow the fills.
+        let left_fill = (c_lo as i64 - base_c).clamp(0, w as i64) as usize;
+        let right_fill = w - left_fill - (c_hi - c_lo);
         for dr in 0..h as i64 {
             let r = base_r + dr;
-            if r < 0 || r >= i64::from(src_dim.y) {
+            if r < 0 || r >= i64::from(src_dim.y) || c_lo == c_hi {
                 data.extend(std::iter::repeat_n(fill, w));
                 continue;
             }
             let row_off = r as usize * src_dim.x as usize;
-            for dc in 0..w as i64 {
-                let c = base_c + dc;
-                if c < 0 || c >= i64::from(src_dim.x) {
-                    data.push(fill);
-                } else {
-                    data.push(src[row_off + c as usize]);
-                    loads += 1;
-                }
-            }
+            data.extend(std::iter::repeat_n(fill, left_fill));
+            data.extend_from_slice(&src[row_off + c_lo..row_off + c_hi]);
+            data.extend(std::iter::repeat_n(fill, right_fill));
+            loads += (c_hi - c_lo) as u64;
         }
         (
             Self {
