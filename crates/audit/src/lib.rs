@@ -1,0 +1,681 @@
+//! # pedsim-audit — workspace soundness lints
+//!
+//! The repo's golden-test contract is bit-identical trajectories across
+//! engines, backends, and thread counts, and the pooled backend rests on a
+//! small set of `unsafe` scatter primitives whose correctness is a matter
+//! of *stated invariants*. This crate turns the conventions guarding both
+//! into machine-checked lints:
+//!
+//! | lint | requirement | scope |
+//! |------|-------------|-------|
+//! | `safety-comment`   | every `unsafe` block/impl/fn carries a `// SAFETY:` comment within the preceding lines | all non-vendor code |
+//! | `wall-clock`       | no `Instant::now`/`SystemTime` in engine crates (timing belongs to `StepTimings`/`LaunchStats`) | engine crate `src/` |
+//! | `thread-spawn`     | no ad-hoc threads in engine crates (`WorkerPool` is the one spawn site) | engine crate `src/` |
+//! | `hash-container`   | no `HashMap`/`HashSet` in deterministic paths (iteration order is not stable) | engine + scenario `src/` |
+//! | `static-mut`       | no `static mut` anywhere | all non-vendor code |
+//! | `atomic-ordering`  | every atomic `Ordering::*` use is justified by an `ordering:` comment nearby | `crates/core` + `crates/simt` `src/` |
+//!
+//! Findings can be suppressed with a pragma on the same line or the line
+//! above: `// audit:allow(lint-name, reason)`. A pragma must name a known
+//! lint and give a non-empty reason (`malformed-allow` otherwise), and a
+//! pragma that suppresses nothing is itself a finding (`unused-allow`), so
+//! stale suppressions cannot accumulate.
+//!
+//! The scanner is textual but not naive: string literals (including raw
+//! strings), char literals, and comments are stripped before pattern
+//! matching, and `#[cfg(test)]` items plus `tests/` files are exempt from
+//! the determinism lints (test code may spawn threads and hash freely —
+//! the golden tests are what they exist to defend).
+//!
+//! The `pedsim-audit` binary walks every workspace `.rs` file (skipping
+//! `crates/vendor`, `target`, and lint `fixtures/`), prints findings
+//! deterministically sorted, optionally journals them as JSONL through
+//! `pedsim-obs`, and exits non-zero on any finding. See DESIGN.md §14 for
+//! the catalog rationale and the two documented wall-clock exemptions.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The atomic `Ordering` variants (so `cmp::Ordering::Less` never trips
+/// the atomic lint).
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many preceding lines a `SAFETY:` comment may sit above its
+/// `unsafe` (covers a doc-comment contract above an `unsafe fn`).
+const SAFETY_WINDOW: usize = 8;
+
+/// How many preceding lines an `ordering:` comment may sit above an
+/// atomic op (one rationale comment may cover a short run of operations,
+/// e.g. a counter-merge loop).
+const ORDERING_WINDOW: usize = 16;
+
+/// Crates whose `src/` trees are deterministic engine code: no wall
+/// clock, no ad-hoc threads, no hash containers.
+const ENGINE_SRC: [&str; 4] = [
+    "crates/core/src/",
+    "crates/simt/src/",
+    "crates/grid/src/",
+    "crates/philox/src/",
+];
+
+/// `hash-container` additionally covers scenario compilation (worlds must
+/// compile identically run-to-run).
+const HASH_EXTRA_SRC: [&str; 1] = ["crates/scenario/src/"];
+
+/// `atomic-ordering` covers the two crates holding the unsafe
+/// concurrency core.
+const ATOMIC_SRC: [&str; 2] = ["crates/core/src/", "crates/simt/src/"];
+
+/// The two sanctioned wall-clock sites: `StepTimings` accumulation in the
+/// shared step pipeline, and `LaunchStats` duration in the virtual
+/// device's launcher. Justified in DESIGN.md §14.
+const WALL_CLOCK_EXEMPT: [&str; 2] = [
+    "crates/core/src/engine/pipeline.rs",
+    "crates/simt/src/exec/mod.rs",
+];
+
+/// The one sanctioned spawn site: the persistent `WorkerPool`.
+const THREAD_SPAWN_EXEMPT: [&str; 1] = ["crates/simt/src/exec/pool.rs"];
+
+/// Every lint name the pragma parser accepts.
+pub const LINT_NAMES: [&str; 6] = [
+    "safety-comment",
+    "wall-clock",
+    "thread-spawn",
+    "hash-container",
+    "static-mut",
+    "atomic-ordering",
+];
+
+/// One audit finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Lint name (`safety-comment`, …, or `unused-allow`/`malformed-allow`).
+    pub lint: String,
+    /// What the lint requires.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.lint, self.message, self.snippet
+        )
+    }
+}
+
+/// A whole-workspace audit result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files: usize,
+    /// `audit:allow` pragmas that suppressed a finding.
+    pub allows_used: usize,
+}
+
+/// One source line after lexical stripping.
+#[derive(Debug, Default, Clone)]
+struct Line {
+    /// Code with comments removed and string/char literal *contents*
+    /// blanked (quotes kept so token boundaries survive).
+    code: String,
+    /// Concatenated comment text on this line (line, block, and doc).
+    comment: String,
+    /// The raw source line (for snippets).
+    raw: String,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Normal,
+    /// Inside `/* */`, with nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string.
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Strip `text` into per-line code/comment channels. Handles nested block
+/// comments, escapes, raw strings, and the char-literal/lifetime
+/// ambiguity (`'a'` vs `'a`).
+fn strip(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Normal;
+    for raw in text.lines() {
+        let mut line = Line {
+            raw: raw.to_owned(),
+            ..Line::default()
+        };
+        let b: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < b.len() {
+            match mode {
+                Mode::Block(ref mut depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        *depth -= 1;
+                        i += 2;
+                        if *depth == 0 {
+                            mode = Mode::Normal;
+                        }
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        *depth += 1;
+                        i += 2;
+                    } else {
+                        line.comment.push(b[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if b[i] == '\\' {
+                        i += 2; // skip the escaped char (may run off end: line continuation)
+                    } else if b[i] == '"' {
+                        line.code.push('"');
+                        mode = Mode::Normal;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if b[i] == '"' {
+                        let n = hashes as usize;
+                        let tail: String = b[i + 1..].iter().take(n).collect();
+                        if tail.len() == n && tail.chars().all(|c| c == '#') {
+                            line.code.push('"');
+                            for _ in 0..n {
+                                line.code.push('#');
+                            }
+                            mode = Mode::Normal;
+                            i += 1 + n;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                Mode::Normal => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        // Line comment (doc or not): rest of line.
+                        line.comment.extend(&b[i + 2..]);
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if c == 'r'
+                        && !prev_is_ident(&b, i)
+                        && raw_string_hashes(&b, i + 1).is_some()
+                    {
+                        let hashes = raw_string_hashes(&b, i + 1).expect("checked");
+                        line.code.push('r');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        line.code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i += 2 + hashes as usize;
+                    } else if c == '\'' && !prev_is_ident(&b, i) {
+                        // Char literal vs lifetime: a literal is '\…' or 'x'.
+                        if b.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: scan to the closing quote.
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1;
+                            }
+                            line.code.push_str("''");
+                            i = (j + 1).min(b.len());
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("''");
+                            i += 3;
+                        } else {
+                            // A lifetime; keep the tick as code.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Is the char before index `i` part of an identifier (so `r`/`'` there
+/// cannot start a raw string / char literal)?
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// If `b[start..]` is `#*"` (zero or more hashes then a quote), the hash
+/// count — i.e. an `r`-prefixed raw string begins here.
+fn raw_string_hashes(b: &[char], start: usize) -> Option<u32> {
+    let mut n = 0;
+    let mut i = start;
+    while b.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    (b.get(i) == Some(&'"')).then_some(n)
+}
+
+/// Mark lines inside `#[cfg(test)]` items (the attribute, the item
+/// header, and everything to the item's closing brace).
+fn mark_test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // When inside a test item, the depth above which we remain test code.
+    let mut test_floor: Option<i64> = None;
+    // A `#[cfg(test)]` was seen and its item has not opened a brace yet.
+    let mut pending = false;
+    for (idx, line) in lines.iter().enumerate() {
+        if line.code.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        if pending || test_floor.is_some() {
+            in_test[idx] = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        test_floor = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_floor.is_some_and(|f| depth <= f) {
+                        test_floor = None;
+                    }
+                }
+                // `#[cfg(test)] use …;` — a brace-less item ends the
+                // pending state at its semicolon.
+                ';' if pending && test_floor.is_none() => pending = false,
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+/// Find word-boundary occurrences of `word` in `code`.
+fn has_word(code: &str, word: &str) -> bool {
+    let b: Vec<char> = code.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    let mut i = 0;
+    while i + w.len() <= b.len() {
+        if b[i..i + w.len()] == w[..] {
+            let before_ok = i == 0 || (!b[i - 1].is_alphanumeric() && b[i - 1] != '_');
+            let after = b.get(i + w.len());
+            let after_ok = after.is_none_or(|c| !c.is_alphanumeric() && *c != '_');
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Does `code` use an atomic memory ordering (`Ordering::Relaxed` …)?
+fn has_atomic_ordering(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("Ordering::") {
+        let tail = &rest[pos + "Ordering::".len()..];
+        if ATOMIC_ORDERINGS
+            .iter()
+            .any(|v| tail.starts_with(v) && !rest[..pos].ends_with("cmp::"))
+        {
+            return true;
+        }
+        rest = &rest[pos + "Ordering::".len()..];
+    }
+    false
+}
+
+fn in_scope(relpath: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| relpath.starts_with(p))
+}
+
+/// Is this file test code as a whole (an integration-test tree)?
+fn is_test_file(relpath: &str) -> bool {
+    relpath.starts_with("tests/") || relpath.contains("/tests/")
+}
+
+/// An `audit:allow` pragma parsed out of a comment.
+struct Allow {
+    line: usize,
+    lint: String,
+    reason_ok: bool,
+    used: bool,
+}
+
+/// Parse every `audit:allow(lint, reason)` pragma in the comments. A
+/// pragma must open the comment (`// audit:allow(…)`) — mentioning the
+/// syntax mid-sentence in documentation does not create one.
+fn parse_allows(lines: &[Line]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut rest = line.comment.trim_start();
+        while rest.starts_with("audit:allow(") {
+            rest = &rest["audit:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let body = &rest[..close];
+            rest = rest[close + 1..].trim_start();
+            let (lint, reason) = match body.split_once(',') {
+                Some((l, r)) => (l.trim(), r.trim()),
+                None => (body.trim(), ""),
+            };
+            out.push(Allow {
+                line: idx + 1,
+                lint: lint.to_owned(),
+                reason_ok: !reason.is_empty(),
+                used: false,
+            });
+        }
+    }
+    out
+}
+
+/// Lint one file's source. `relpath` decides which lints are in scope and
+/// must be repo-relative with forward slashes.
+pub fn lint_source(relpath: &str, text: &str) -> Vec<Finding> {
+    lint_source_counted(relpath, text).0
+}
+
+/// As [`lint_source`], also returning how many pragmas suppressed
+/// something (the binary reports the workspace total).
+pub fn lint_source_counted(relpath: &str, text: &str) -> (Vec<Finding>, usize) {
+    let lines = strip(text);
+    let in_test_item = mark_test_lines(&lines);
+    let file_is_test = is_test_file(relpath);
+    let mut allows = parse_allows(&lines);
+    let mut findings = Vec::new();
+
+    let push = |findings: &mut Vec<Finding>,
+                allows: &mut Vec<Allow>,
+                lineno: usize,
+                lint: &str,
+                message: String,
+                snippet: &str| {
+        // A matching pragma on this line or the line above suppresses.
+        for a in allows.iter_mut() {
+            if a.lint == lint && a.reason_ok && (a.line == lineno || a.line + 1 == lineno) {
+                a.used = true;
+                return;
+            }
+        }
+        findings.push(Finding {
+            file: relpath.to_owned(),
+            line: lineno,
+            lint: lint.to_owned(),
+            message,
+            snippet: snippet.trim().chars().take(160).collect(),
+        });
+    };
+
+    let comment_nearby = |idx: usize, window: usize, needle: &str| {
+        let lo = idx.saturating_sub(window);
+        lines[lo..=idx]
+            .iter()
+            .any(|l| l.comment.to_ascii_lowercase().contains(needle))
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        let test_code = file_is_test || in_test_item[idx];
+
+        // safety-comment: everywhere, tests included — an unchecked
+        // `unsafe` in a test can corrupt the very state the test pins.
+        if has_word(code, "unsafe") && !comment_nearby(idx, SAFETY_WINDOW, "safety:") {
+            push(
+                &mut findings,
+                &mut allows,
+                lineno,
+                "safety-comment",
+                format!("`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines"),
+                &line.raw,
+            );
+        }
+
+        // static-mut: everywhere.
+        if code.contains("static mut ") {
+            push(
+                &mut findings,
+                &mut allows,
+                lineno,
+                "static-mut",
+                "`static mut` is never sound here; use an atomic or interior mutability".to_owned(),
+                &line.raw,
+            );
+        }
+
+        if test_code {
+            continue; // determinism lints stop at test code
+        }
+
+        // wall-clock: engine crates, minus the two sanctioned timing sites.
+        if in_scope(relpath, &ENGINE_SRC)
+            && !WALL_CLOCK_EXEMPT.contains(&relpath)
+            && (code.contains("Instant::now") || code.contains("SystemTime"))
+        {
+            push(
+                &mut findings,
+                &mut allows,
+                lineno,
+                "wall-clock",
+                "wall clock in an engine crate: timing belongs to StepTimings/LaunchStats"
+                    .to_owned(),
+                &line.raw,
+            );
+        }
+
+        // thread-spawn: engine crates, minus the WorkerPool.
+        if in_scope(relpath, &ENGINE_SRC)
+            && !THREAD_SPAWN_EXEMPT.contains(&relpath)
+            && (code.contains("thread::spawn")
+                || code.contains("thread::Builder")
+                || code.contains("thread::scope"))
+        {
+            push(
+                &mut findings,
+                &mut allows,
+                lineno,
+                "thread-spawn",
+                "ad-hoc thread in an engine crate: all parallelism goes through WorkerPool"
+                    .to_owned(),
+                &line.raw,
+            );
+        }
+
+        // hash-container: engine + scenario crates.
+        if (in_scope(relpath, &ENGINE_SRC) || in_scope(relpath, &HASH_EXTRA_SRC))
+            && (has_word(code, "HashMap") || has_word(code, "HashSet"))
+        {
+            push(
+                &mut findings,
+                &mut allows,
+                lineno,
+                "hash-container",
+                "HashMap/HashSet in a deterministic path: iteration order is unstable; \
+                 use BTreeMap/BTreeSet or a Vec"
+                    .to_owned(),
+                &line.raw,
+            );
+        }
+
+        // atomic-ordering: the concurrency core.
+        if in_scope(relpath, &ATOMIC_SRC)
+            && has_atomic_ordering(code)
+            && !comment_nearby(idx, ORDERING_WINDOW, "ordering")
+        {
+            push(
+                &mut findings,
+                &mut allows,
+                lineno,
+                "atomic-ordering",
+                format!(
+                    "atomic Ordering without an `ordering:` rationale comment within \
+                     {ORDERING_WINDOW} lines"
+                ),
+                &line.raw,
+            );
+        }
+    }
+
+    // Pragma hygiene.
+    let mut used = 0;
+    for a in &allows {
+        if !a.reason_ok || !LINT_NAMES.contains(&a.lint.as_str()) {
+            findings.push(Finding {
+                file: relpath.to_owned(),
+                line: a.line,
+                lint: "malformed-allow".to_owned(),
+                message: format!(
+                    "audit:allow must name a known lint and give a reason, got `{}`",
+                    a.lint
+                ),
+                snippet: lines[a.line - 1].raw.trim().chars().take(160).collect(),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                file: relpath.to_owned(),
+                line: a.line,
+                lint: "unused-allow".to_owned(),
+                message: format!("audit:allow({}) suppresses nothing — remove it", a.lint),
+                snippet: lines[a.line - 1].raw.trim().chars().take(160).collect(),
+            });
+        } else {
+            used += 1;
+        }
+    }
+
+    findings.sort();
+    (findings, used)
+}
+
+/// Directories the walker never descends into.
+const SKIP_DIRS: [&str; 6] = [
+    "target",
+    ".git",
+    "vendor",
+    "fixtures",
+    "results",
+    "node_modules",
+];
+
+/// Collect every workspace `.rs` file under `root`, sorted, repo-relative.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Audit every workspace `.rs` file under `root`.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        let (findings, used) = lint_source_counted(&rel, &text);
+        report.findings.extend(findings);
+        report.allows_used += used;
+        report.files += 1;
+    }
+    report.findings.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_blanks_strings_and_comments() {
+        let lines = strip("let s = \"unsafe Ordering::Relaxed\"; // unsafe here\nlet c = 'x';");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe here"));
+        assert_eq!(lines[1].code, "let c = '';");
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_lifetimes() {
+        let lines = strip("let r = r#\"static mut\"#;\nfn f<'a>(x: &'a u32) -> &'a u32 { x }");
+        assert!(!lines[0].code.contains("static mut"));
+        assert!(lines[1].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn stripper_handles_nested_block_comments() {
+        let lines = strip("/* a /* nested */ still comment */ let x = 1;");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("nested"));
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let lines = strip(src);
+        let marks = mark_test_lines(&lines);
+        assert_eq!(marks, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn word_boundaries_hold() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafe_op_in_unsafe_fn", "unsafe"));
+        assert!(!has_word("AssertUnwindSafe", "unsafe"));
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_atomic() {
+        assert!(has_atomic_ordering("x.load(Ordering::Relaxed)"));
+        assert!(!has_atomic_ordering(
+            "match o { cmp::Ordering::Less => {} }"
+        ));
+        assert!(!has_atomic_ordering("Ordering::Less"));
+    }
+}

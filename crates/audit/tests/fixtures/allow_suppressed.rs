@@ -1,0 +1,6 @@
+//! Fixture: a violation suppressed by a justified pragma is clean.
+
+pub fn stamp() -> std::time::Instant {
+    // audit:allow(wall-clock, fixture demonstrating pragma suppression)
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Violating fixture: an atomic store with no rationale comment.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn set(a: &AtomicU32) {
+    a.store(1, Ordering::Release);
+}

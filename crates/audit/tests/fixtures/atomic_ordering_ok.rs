@@ -1,0 +1,18 @@
+//! Clean fixture: the ordering choice is documented, and `cmp::Ordering`
+//! never trips the atomic lint.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn set(a: &AtomicU32) {
+    // ordering: release — publishes the preceding writes to the acquirer.
+    a.store(1, Ordering::Release);
+}
+
+pub fn sign(x: i32) -> &'static str {
+    match x.cmp(&0) {
+        CmpOrdering::Less => "neg",
+        CmpOrdering::Equal => "zero",
+        CmpOrdering::Greater => "pos",
+    }
+}

@@ -1,0 +1,11 @@
+//! Violating fixture: hash container in a deterministic path.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,6 @@
+//! Violating fixture: pragmas must name a known lint and give a reason.
+
+pub fn stamp() -> std::time::Instant {
+    // audit:allow(wall-clock)
+    std::time::Instant::now()
+}

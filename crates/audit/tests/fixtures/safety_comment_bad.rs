@@ -1,0 +1,5 @@
+//! Violating fixture: `unsafe` with no SAFETY comment anywhere nearby.
+
+pub fn deref(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+//! Clean fixture: every `unsafe` carries a SAFETY comment.
+
+pub fn deref(p: *const u32) -> u32 {
+    // SAFETY: callers pass a pointer derived from a live reference.
+    unsafe { *p }
+}
+
+/// Read slot `i` without bounds checking.
+///
+/// SAFETY: `i` must be in bounds of the allocation behind `p`.
+pub unsafe fn get(p: *const u32, i: usize) -> u32 {
+    // SAFETY: in bounds per this function's contract.
+    unsafe { *p.add(i) }
+}

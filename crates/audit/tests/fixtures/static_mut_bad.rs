@@ -1,0 +1,8 @@
+//! Violating fixture: `static mut` global state.
+
+static mut COUNTER: u64 = 0;
+
+pub fn bump() {
+    // SAFETY: none — this is exactly the pattern the lint forbids.
+    unsafe { COUNTER += 1 }
+}

@@ -1,0 +1,10 @@
+//! Clean fixture: atomics instead of `static mut`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    // ordering: relaxed — a standalone counter with no dependent reads.
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+//! Violating fixture: ad-hoc thread in an engine crate.
+
+pub fn fire() {
+    std::thread::spawn(|| {});
+}

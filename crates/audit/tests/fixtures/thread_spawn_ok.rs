@@ -1,0 +1,13 @@
+//! Clean fixture: querying parallelism is fine; spawning is not done.
+
+pub fn cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_spawn() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -1,0 +1,4 @@
+//! Violating fixture: a pragma that suppresses nothing is itself flagged.
+
+// audit:allow(wall-clock, stale suppression kept after the code moved)
+pub fn nothing() {}

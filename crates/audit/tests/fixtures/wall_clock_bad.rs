@@ -1,0 +1,5 @@
+//! Violating fixture: wall clock in an engine crate.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Clean fixture: no wall clock in code. A mention of Instant::now() in
+//! a comment or a string must not trip the lint.
+
+pub fn describe() -> &'static str {
+    "timing goes through StepTimings, never Instant::now"
+}

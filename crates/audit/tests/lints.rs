@@ -1,0 +1,146 @@
+//! Fixture-file tests: one violating and one clean fixture per lint,
+//! plus pragma suppression, unused-pragma, and malformed-pragma cases.
+//!
+//! Fixtures live under `tests/fixtures/` (a directory the workspace
+//! walker skips, so the deliberate violations cannot fail the real
+//! audit). Each fixture is linted under a synthetic engine-crate path so
+//! path-scoped lints apply.
+
+use pedsim_audit::{lint_source, lint_source_counted};
+
+/// Lint a fixture as if it lived in the pooled backend's directory (in
+/// scope for every path-scoped lint).
+fn lint_as_engine(text: &str) -> Vec<pedsim_audit::Finding> {
+    lint_source("crates/core/src/engine/fixture.rs", text)
+}
+
+fn lints_of(findings: &[pedsim_audit::Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.lint.as_str()).collect()
+}
+
+#[test]
+fn safety_comment_fixtures() {
+    let bad = lint_as_engine(include_str!("fixtures/safety_comment_bad.rs"));
+    assert_eq!(lints_of(&bad), ["safety-comment"], "{bad:#?}");
+    let ok = lint_as_engine(include_str!("fixtures/safety_comment_ok.rs"));
+    assert!(ok.is_empty(), "{ok:#?}");
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let bad = lint_as_engine(include_str!("fixtures/wall_clock_bad.rs"));
+    assert_eq!(lints_of(&bad), ["wall-clock"], "{bad:#?}");
+    let ok = lint_as_engine(include_str!("fixtures/wall_clock_ok.rs"));
+    assert!(ok.is_empty(), "{ok:#?}");
+}
+
+#[test]
+fn wall_clock_scope_is_path_based() {
+    // The same violating source is clean outside the engine crates
+    // (bench code times things on purpose) and inside the sanctioned
+    // StepTimings site.
+    let text = include_str!("fixtures/wall_clock_bad.rs");
+    assert!(lint_source("crates/bench/src/fixture.rs", text).is_empty());
+    assert!(lint_source("crates/core/src/engine/pipeline.rs", text).is_empty());
+}
+
+#[test]
+fn thread_spawn_fixtures() {
+    let bad = lint_as_engine(include_str!("fixtures/thread_spawn_bad.rs"));
+    assert_eq!(lints_of(&bad), ["thread-spawn"], "{bad:#?}");
+    // The clean fixture spawns inside #[cfg(test)] — exempt.
+    let ok = lint_as_engine(include_str!("fixtures/thread_spawn_ok.rs"));
+    assert!(ok.is_empty(), "{ok:#?}");
+    // The WorkerPool file is the one sanctioned spawn site.
+    let pool = lint_source(
+        "crates/simt/src/exec/pool.rs",
+        include_str!("fixtures/thread_spawn_bad.rs"),
+    );
+    assert!(pool.is_empty(), "{pool:#?}");
+}
+
+#[test]
+fn hash_container_fixtures() {
+    let bad = lint_as_engine(include_str!("fixtures/hash_container_bad.rs"));
+    assert_eq!(
+        lints_of(&bad),
+        ["hash-container", "hash-container", "hash-container"]
+    );
+    let ok = lint_as_engine(include_str!("fixtures/hash_container_ok.rs"));
+    assert!(ok.is_empty(), "{ok:#?}");
+    // Scenario compilation is in scope too.
+    let scen = lint_source(
+        "crates/scenario/src/fixture.rs",
+        include_str!("fixtures/hash_container_bad.rs"),
+    );
+    assert!(!scen.is_empty());
+}
+
+#[test]
+fn static_mut_fixtures() {
+    let bad = lint_as_engine(include_str!("fixtures/static_mut_bad.rs"));
+    assert_eq!(lints_of(&bad), ["static-mut"], "{bad:#?}");
+    let ok = lint_as_engine(include_str!("fixtures/static_mut_ok.rs"));
+    assert!(ok.is_empty(), "{ok:#?}");
+    // static-mut applies outside engine crates too.
+    let anywhere = lint_source(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/static_mut_bad.rs"),
+    );
+    assert_eq!(lints_of(&anywhere), ["static-mut"]);
+}
+
+#[test]
+fn atomic_ordering_fixtures() {
+    let bad = lint_as_engine(include_str!("fixtures/atomic_ordering_bad.rs"));
+    assert_eq!(lints_of(&bad), ["atomic-ordering"], "{bad:#?}");
+    let ok = lint_as_engine(include_str!("fixtures/atomic_ordering_ok.rs"));
+    assert!(ok.is_empty(), "{ok:#?}");
+    // Out of scope outside core/simt: grid has no atomics policy.
+    let grid = lint_source(
+        "crates/grid/src/fixture.rs",
+        include_str!("fixtures/atomic_ordering_bad.rs"),
+    );
+    assert!(grid.is_empty(), "{grid:#?}");
+}
+
+#[test]
+fn allow_pragma_suppresses_and_is_counted() {
+    let (findings, used) = lint_source_counted(
+        "crates/core/src/engine/fixture.rs",
+        include_str!("fixtures/allow_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(used, 1);
+}
+
+#[test]
+fn unused_allow_is_flagged() {
+    let findings = lint_as_engine(include_str!("fixtures/unused_allow.rs"));
+    assert_eq!(lints_of(&findings), ["unused-allow"], "{findings:#?}");
+}
+
+#[test]
+fn malformed_allow_is_flagged_and_does_not_suppress() {
+    let findings = lint_as_engine(include_str!("fixtures/malformed_allow.rs"));
+    let mut lints = lints_of(&findings);
+    lints.sort_unstable();
+    assert_eq!(lints, ["malformed-allow", "wall-clock"], "{findings:#?}");
+}
+
+#[test]
+fn test_files_skip_determinism_lints_but_not_safety() {
+    // A tests/ path: spawning and hashing are fine, naked unsafe is not.
+    let src = "fn f() { std::thread::spawn(|| {}); }\n\
+               fn g(p: *const u32) -> u32 { unsafe { *p } }\n";
+    let findings = lint_source("crates/simt/tests/fixture.rs", src);
+    assert_eq!(lints_of(&findings), ["safety-comment"], "{findings:#?}");
+}
+
+#[test]
+fn findings_are_sorted_and_anchored() {
+    let bad = lint_as_engine(include_str!("fixtures/safety_comment_bad.rs"));
+    assert_eq!(bad[0].file, "crates/core/src/engine/fixture.rs");
+    assert_eq!(bad[0].line, 4);
+    assert!(bad[0].snippet.contains("unsafe"));
+}

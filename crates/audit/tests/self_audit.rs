@@ -1,0 +1,37 @@
+//! The acceptance gate, run as a plain test: the whole workspace must be
+//! lint-clean, so `cargo test` fails the moment anyone adds an
+//! unannotated `unsafe`, an ad-hoc thread, or an undocumented atomic to
+//! the engine crates.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = pedsim_audit::audit_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files > 50,
+        "walker found too few files: {}",
+        report.files
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace has {} audit finding(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let a = pedsim_audit::workspace_files(&root).expect("walk");
+    let b = pedsim_audit::workspace_files(&root).expect("walk");
+    assert_eq!(a, b);
+    assert!(a.windows(2).all(|w| w[0] < w[1]), "paths not sorted/unique");
+}

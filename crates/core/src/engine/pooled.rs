@@ -99,15 +99,59 @@ fn offset_slot(dr: i64, dc: i64) -> usize {
     }
 }
 
+/// Write-set tracker for the `audit-runtime` tile-race detector: one
+/// owner word per slot, `0` = unwritten this phase, `1` = host thread,
+/// `b + 2` = pool block `b`. A [`Scatter`] lives for exactly one phase,
+/// so "written twice while this Scatter exists" is precisely the
+/// structural-disjointness violation the SAFETY contracts rule out.
+#[cfg(feature = "audit-runtime")]
+struct WriteSet {
+    owners: Vec<std::sync::atomic::AtomicU32>,
+}
+
+#[cfg(feature = "audit-runtime")]
+impl WriteSet {
+    fn new(len: usize) -> Self {
+        Self {
+            owners: (0..len)
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect(),
+        }
+    }
+
+    /// Record a write to slot `i`, panicking if any task already wrote it
+    /// during this Scatter's phase.
+    fn note(&self, i: usize) {
+        let me = match simt::exec::pool::current_block() {
+            Some(b) => b as u32 + 2,
+            None => 1,
+        };
+        // ordering: relaxed — the swap is an atomic claim; detection only
+        // needs each slot's own modification order, not cross-slot order.
+        let prev = self.owners[i].swap(me, Ordering::Relaxed);
+        if prev != 0 {
+            panic!(
+                "tile race: slot {i} written by task {} after task {} in the same phase",
+                me.wrapping_sub(2),
+                prev.wrapping_sub(2),
+            );
+        }
+    }
+}
+
 /// A raw scatter handle over a mutable slice, for disjoint writes from
 /// pool tasks (the host-side analogue of `simt::memory::ScatterView`,
 /// without the per-slot flag machinery — disjointness here is structural:
 /// cell slots are owned by the band holding the cell, agent slots by the
-/// unique cell their agent wins).
-#[derive(Clone, Copy)]
+/// unique cell their agent wins). Under `audit-runtime` every write is
+/// checked against a per-phase [`WriteSet`] instead of being trusted.
+#[cfg_attr(not(feature = "audit-runtime"), derive(Clone, Copy))]
+#[cfg_attr(feature = "audit-runtime", derive(Clone))]
 struct Scatter<'a, T> {
     ptr: *mut T,
     len: usize,
+    #[cfg(feature = "audit-runtime")]
+    ws: Arc<WriteSet>,
     _life: std::marker::PhantomData<&'a mut [T]>,
 }
 
@@ -122,6 +166,8 @@ impl<'a, T: Copy> Scatter<'a, T> {
         Self {
             ptr: s.as_mut_ptr(),
             len: s.len(),
+            #[cfg(feature = "audit-runtime")]
+            ws: Arc::new(WriteSet::new(s.len())),
             _life: std::marker::PhantomData,
         }
     }
@@ -133,6 +179,8 @@ impl<'a, T: Copy> Scatter<'a, T> {
     #[inline]
     unsafe fn write(&self, i: usize, v: T) {
         debug_assert!(i < self.len);
+        #[cfg(feature = "audit-runtime")]
+        self.ws.note(i);
         unsafe { *self.ptr.add(i) = v }
     }
 
@@ -172,6 +220,31 @@ struct PooledBackend {
     /// One claim byte per cell: bit `k` set means the agent at
     /// `cell + NEIGHBOR_OFFSETS[k]` targets this cell.
     claims: Vec<AtomicU8>,
+    /// When set, every stage launch permutes its band issue order with a
+    /// Philox schedule keyed by `(seed, launch_counter)` — the
+    /// interleaving explorer's handle into this backend. `None` (the
+    /// default) dispatches bands in natural order.
+    schedule_seed: Option<u64>,
+    /// Monotonic launch counter keying the per-launch permutations.
+    launches: std::cell::Cell<u64>,
+}
+
+/// Run `f` over `0..parts` on the pool, optionally permuting the issue
+/// order with the schedule key. A free function (not a method) so stages
+/// can call it while holding field borrows of the backend.
+fn dispatch(
+    pool: &WorkerPool,
+    schedule: Option<(u64, u64)>,
+    parts: usize,
+    f: &(dyn Fn(usize) + Sync),
+) {
+    match schedule {
+        None => pool.run(parts, f),
+        Some((seed, launch)) => {
+            let perm = simt::exec::explore::permutation(seed, launch, parts);
+            simt::exec::explore::run_permuted(pool, &perm, f);
+        }
+    }
 }
 
 impl PooledEngine {
@@ -218,6 +291,8 @@ impl PooledEngine {
                 seed,
                 pool: WorkerPool::new(threads),
                 claims: (0..h * w).map(|_| AtomicU8::new(0)).collect(),
+                schedule_seed: None,
+                launches: std::cell::Cell::new(0),
                 env,
             },
         }
@@ -226,6 +301,16 @@ impl PooledEngine {
     /// Number of pool worker threads.
     pub fn threads(&self) -> usize {
         self.backend.pool.workers()
+    }
+
+    /// Permute every stage launch's band issue order with a Philox
+    /// schedule keyed on `seed` (or restore natural order with `None`).
+    ///
+    /// Trajectories are claimed to be schedule-independent; the
+    /// interleaving-exploration tests drive this knob over hundreds of
+    /// seeds and assert bit-identity against the scalar backend.
+    pub fn set_schedule_seed(&mut self, seed: Option<u64>) {
+        self.backend.schedule_seed = seed;
     }
 
     /// Borrow the current environment state.
@@ -255,17 +340,27 @@ impl PooledBackend {
         self.pool.workers() * BANDS_PER_WORKER
     }
 
+    /// Schedule key for the next launch, if permuted dispatch is on.
+    /// Call at the *top* of a phase, before taking field borrows.
+    fn next_schedule(&self) -> Option<(u64, u64)> {
+        let seed = self.schedule_seed?;
+        let launch = self.launches.get();
+        self.launches.set(launch + 1);
+        Some((seed, launch))
+    }
+
     fn stage_init(&mut self) {
         // Supporting kernel (§IV.e): clear scan + FUTURE, band-parallel
         // fills (each band owns a contiguous slice of each array).
         let parts = self.parts();
+        let schedule = self.next_schedule();
         let sv = Scatter::new(&mut self.scan.vals);
         let si = Scatter::new(&mut self.scan.idxs);
         let fr = Scatter::new(&mut self.env.props.future_row);
         let fc = Scatter::new(&mut self.env.props.future_col);
         let vb = band_ranges(sv.len, parts);
         let fb = band_ranges(fr.len, parts);
-        self.pool.run(parts, &|b| {
+        dispatch(&self.pool, schedule, parts, &|b| {
             for i in vb[b].clone() {
                 // SAFETY: band-disjoint slots.
                 unsafe {
@@ -288,6 +383,7 @@ impl PooledBackend {
         // every agent stands on exactly one cell.
         let (h, w) = (self.geom.height, self.geom.width);
         let parts = self.parts();
+        let schedule = self.next_schedule();
         let mat = &self.env.mat;
         let index = &self.env.index;
         let dist = self.dist.dist_ref();
@@ -298,7 +394,7 @@ impl PooledBackend {
         let front = Scatter::new(&mut self.env.props.front);
         let front_k = Scatter::new(&mut self.env.props.front_k);
         let bands = band_ranges(h, parts);
-        self.pool.run(parts, &|b| {
+        dispatch(&self.pool, schedule, parts, &|b| {
             let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
             for r in bands[b].clone() {
                 for c in 0..w {
@@ -343,6 +439,7 @@ impl PooledBackend {
         let salt = step_no * 4 + KERNEL_TOUR;
         let n = self.geom.total_agents();
         let parts = self.parts();
+        let schedule = self.next_schedule();
         let seed = self.seed;
         let model = self.cfg.model;
         let scan = &self.scan;
@@ -355,7 +452,7 @@ impl PooledBackend {
         let fr = Scatter::new(&mut props.future_row);
         let fc = Scatter::new(&mut props.future_col);
         let bands = band_ranges(n, parts);
-        self.pool.run(parts, &|b| {
+        dispatch(&self.pool, schedule, parts, &|b| {
             for i in bands[b].clone() {
                 let a = i + 1;
                 if !alive[a] {
@@ -412,6 +509,9 @@ impl PooledBackend {
             return None;
         }
         let lin = r * w + c;
+        // ordering: relaxed — the claim phase's end-of-launch barrier
+        // (the pool's state mutex) already published every fetch_or;
+        // within the resolve phase the byte is read-only.
         let mut bits = claims[lin].load(Ordering::Relaxed);
         if bits == 0 {
             return None;
@@ -450,16 +550,20 @@ impl PooledBackend {
         // Phase 1: reset + register claims (fetch_or is commutative, so
         // the claim bytes are schedule-independent).
         {
+            let reset_schedule = self.next_schedule();
+            let claim_schedule = self.next_schedule();
             let claims = &self.claims;
             let cell_bands = band_ranges(h * w, parts);
-            self.pool.run(parts, &|b| {
+            dispatch(&self.pool, reset_schedule, parts, &|b| {
                 for i in cell_bands[b].clone() {
+                    // ordering: relaxed — band-disjoint slots; the launch
+                    // barrier publishes the zeroes to the claim phase.
                     claims[i].store(0, Ordering::Relaxed);
                 }
             });
             let props = &self.env.props;
             let agent_bands = band_ranges(n, parts);
-            self.pool.run(parts, &|b| {
+            dispatch(&self.pool, claim_schedule, parts, &|b| {
                 for i in agent_bands[b].clone() {
                     let a = i + 1;
                     let fr = props.future_row[a];
@@ -471,6 +575,9 @@ impl PooledBackend {
                         i64::from(props.row[a]) - i64::from(fr),
                         i64::from(props.col[a]) - i64::from(fc),
                     );
+                    // ordering: relaxed — fetch_or commutes, so only the
+                    // final claim byte matters, and the launch barrier
+                    // publishes it before the resolve phase reads.
                     claims[fr as usize * w + fc as usize].fetch_or(1 << k, Ordering::Relaxed);
                 }
             });
@@ -479,6 +586,7 @@ impl PooledBackend {
         // Phase 2: resolve — every cell writes its own mat/index (and
         // pheromone) slots only, so row bands cannot conflict.
         {
+            let schedule = self.next_schedule();
             let mat = &self.env.mat;
             let index = &self.env.index;
             let props = &self.env.props;
@@ -497,7 +605,7 @@ impl PooledBackend {
                 None => Vec::new(),
             };
             let bands = band_ranges(h, parts);
-            self.pool.run(parts, &|b| {
+            dispatch(&self.pool, schedule, parts, &|b| {
                 for r in bands[b].clone() {
                     for c in 0..w {
                         let lin = r * w + c;
@@ -569,6 +677,7 @@ impl PooledBackend {
         // each agent wins at most one cell, so the writes (and the
         // read-modify-write of the tour) are agent-unique.
         {
+            let schedule = self.next_schedule();
             let index = &self.env.index;
             let index_next = &self.index_next;
             let props = &mut self.env.props;
@@ -577,7 +686,7 @@ impl PooledBackend {
             let tours = Scatter::new(&mut self.tour.len);
             let track_tour = aco.is_some();
             let bands = band_ranges(h, parts);
-            self.pool.run(parts, &|b| {
+            dispatch(&self.pool, schedule, parts, &|b| {
                 for r in bands[b].clone() {
                     for c in 0..w {
                         let a = index_next.get(r, c);
@@ -810,6 +919,117 @@ mod tests {
         let m = e.metrics().expect("metrics on");
         assert!(m.total_moves > 0, "nobody moved");
         assert!(m.throughput() > 0, "no crossings");
+    }
+
+    /// Seed a deliberate overlap into the tile partition and show the
+    /// interleaving explorer catches it: the overlapping rows become
+    /// last-writer-wins, so some permuted schedule must diverge.
+    #[test]
+    fn explorer_catches_seeded_band_overlap() {
+        use simt::exec::explore::{explore, permutation, run_permuted_serial};
+        let n = 64;
+        let parts = 8;
+        let mut bands = band_ranges(n, parts);
+        // The seeded fault: band 2 grows to also cover band 3's first row.
+        bands[2] = bands[2].start..bands[2].end + 1;
+        let err = explore(0..128u64, |seed| {
+            let mut owner = vec![usize::MAX; n];
+            let perm = permutation(seed, 0, parts);
+            run_permuted_serial(&perm, &mut |b| {
+                for i in bands[b].clone() {
+                    owner[i] = b;
+                }
+            });
+            owner
+        })
+        .expect_err("overlapping partition must be schedule-dependent");
+        assert!(err.agreed >= 1);
+
+        // The unmutated partition is schedule-independent.
+        let bands = band_ranges(n, parts);
+        explore(0..128u64, |seed| {
+            let mut owner = vec![usize::MAX; n];
+            let perm = permutation(seed, 0, parts);
+            run_permuted_serial(&perm, &mut |b| {
+                for i in bands[b].clone() {
+                    owner[i] = b;
+                }
+            });
+            owner
+        })
+        .expect("disjoint partition is schedule-independent");
+    }
+
+    /// The same seeded overlap, caught at runtime by the write-set race
+    /// detector: the doubly-owned slot panics on its second write, and
+    /// the pool re-raises on the launching thread.
+    #[cfg(feature = "audit-runtime")]
+    #[test]
+    fn detector_catches_seeded_band_overlap() {
+        let pool = WorkerPool::new(4);
+        let n = 64;
+        let parts = 8;
+        let mut bands = band_ranges(n, parts);
+        bands[2] = bands[2].start..bands[2].end + 1;
+        let mut data = vec![0u32; n];
+        let out = Scatter::new(&mut data);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(parts, &|b| {
+                for i in bands[b].clone() {
+                    // SAFETY: bounds hold; disjointness is deliberately
+                    // violated at one slot to exercise the detector.
+                    unsafe { out.write(i, b as u32) };
+                }
+            });
+        }));
+        let payload = res.expect_err("write-set detector must fire");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("tile race"), "unexpected panic: {msg}");
+    }
+
+    /// A clean run under the detector: disjoint bands never fire it.
+    #[cfg(feature = "audit-runtime")]
+    #[test]
+    fn detector_accepts_disjoint_bands() {
+        let pool = WorkerPool::new(4);
+        let n = 1000;
+        let parts = 16;
+        let bands = band_ranges(n, parts);
+        let mut data = vec![0u32; n];
+        let out = Scatter::new(&mut data);
+        pool.run(parts, &|b| {
+            for i in bands[b].clone() {
+                // SAFETY: band-disjoint slots.
+                unsafe { out.write(i, b as u32) };
+            }
+        });
+        drop(out);
+        for (i, v) in data.iter().enumerate() {
+            let owner = bands.iter().position(|r| r.contains(&i)).unwrap();
+            assert_eq!(*v, owner as u32, "slot {i}");
+        }
+    }
+
+    /// Permuted dispatch must not change trajectories: a handful of
+    /// schedule seeds here, hundreds in tests/audit_soundness.rs.
+    #[test]
+    fn schedule_permutation_preserves_trajectories() {
+        let mut reference = pooled_engine_small(24, 24, 40, ModelKind::lem(), 7, 4);
+        reference.run(30);
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let mut permuted = pooled_engine_small(24, 24, 40, ModelKind::lem(), 7, 4);
+            permuted.set_schedule_seed(Some(seed));
+            permuted.run(30);
+            assert_eq!(
+                reference.mat_snapshot(),
+                permuted.mat_snapshot(),
+                "schedule seed {seed} changed the trajectory"
+            );
+            assert_eq!(reference.positions(), permuted.positions());
+        }
     }
 
     #[test]

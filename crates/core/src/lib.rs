@@ -44,6 +44,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// Soundness gates (DESIGN.md §14): every unsafe operation inside an
+// unsafe fn needs its own block + SAFETY comment, and stale blocks fail
+// the build instead of rotting.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(unused_unsafe)]
 
 pub mod engine;
 pub mod extensions;

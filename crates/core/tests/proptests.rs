@@ -1,0 +1,51 @@
+//! Property-based tests for the pooled backend's tile partition.
+//!
+//! Every pooled stage dispatches over [`band_ranges`]; the SAFETY
+//! arguments for its raw scatter writes rest on the partition being a
+//! partition. These properties pin that down at every plausible thread
+//! count, not just the sizes the unit tests happen to pick.
+
+use pedsim_core::engine::pooled::band_ranges;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Pairwise-disjoint and exhaustive: every index in `0..n` falls in
+    /// exactly one band, for any element count and any part count a
+    /// worker-pool size could produce.
+    #[test]
+    fn bands_are_disjoint_and_exhaustive(n in 0usize..10_000, parts in 0usize..256) {
+        let bands = band_ranges(n, parts);
+        prop_assert_eq!(bands.len(), parts.max(1));
+        let mut covered = 0usize;
+        let mut cursor = 0usize;
+        for b in &bands {
+            // Contiguous ascending ranges cannot overlap each other or
+            // leave gaps; checking the chain checks both.
+            prop_assert_eq!(b.start, cursor, "gap or overlap at {:?}", b);
+            prop_assert!(b.end >= b.start);
+            covered += b.end - b.start;
+            cursor = b.end;
+        }
+        prop_assert_eq!(cursor, n);
+        prop_assert_eq!(covered, n);
+    }
+
+    /// Balance: band sizes differ by at most one, so no straggler band
+    /// can serialise a stage.
+    #[test]
+    fn bands_are_balanced(n in 0usize..10_000, parts in 1usize..256) {
+        let bands = band_ranges(n, parts);
+        let min = bands.iter().map(|b| b.len()).min().unwrap();
+        let max = bands.iter().map(|b| b.len()).max().unwrap();
+        prop_assert!(max - min <= 1, "band sizes vary by {} (n={}, parts={})", max - min, n, parts);
+    }
+
+    /// The partition is a pure function of `(n, parts)` — the same tile
+    /// layout on every host and every run.
+    #[test]
+    fn bands_are_deterministic(n in 0usize..10_000, parts in 0usize..256) {
+        prop_assert_eq!(band_ranges(n, parts), band_ranges(n, parts));
+    }
+}

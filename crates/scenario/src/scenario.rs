@@ -663,6 +663,7 @@ impl ScenarioBuilder {
         // Hash set of every earlier spawn cell keeps the pairwise
         // disjointness check O(total cells); regions reach ~10^4 cells at
         // paper scale and a linear-scan contains would go quadratic here.
+        // audit:allow(hash-container, membership-only set — never iterated, so hash order cannot reach any output)
         let mut earlier_spawns: std::collections::HashSet<(u16, u16)> = Default::default();
         for (gi, slot) in self.slots.iter().enumerate() {
             let spawn = slot.spawn.clone().ok_or(ScenarioError::MissingSpawn(gi))?;

@@ -1,6 +1,7 @@
 //! Kernel launch machinery: configs, policies, contexts, and the launcher.
 
 pub mod ctx;
+pub mod explore;
 pub mod pool;
 
 pub use ctx::{BlockCtx, ThreadCtx};

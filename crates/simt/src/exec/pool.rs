@@ -13,26 +13,74 @@
 //! substrate being reproduced.
 
 use std::panic::AssertUnwindSafe;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
+/// The pool's single lifetime-erasure site: a `NonNull` handle to the
+/// job closure whose scope contract lives here and nowhere else.
+///
+/// ## Scope contract
+///
+/// A `JobHandle` is created from the `&(dyn Fn(usize) + Sync)` passed to
+/// [`WorkerPool::run`] and is valid **only inside that call's lifetime**:
+///
+/// 1. `run` installs the handle under the state lock and then blocks on
+///    `done_cv` until every worker has decremented `active` to zero;
+/// 2. workers only obtain the handle by copying it out of the installed
+///    [`Job`] (under the same lock) and only call [`JobHandle::get`]
+///    between that copy and their `active` decrement;
+/// 3. `run` clears the job before returning, and the debug-mode
+///    `executing` counter asserts no worker is still inside the closure
+///    at that point.
+///
+/// Together these guarantee the referent outlives every dereference, so
+/// the erased lifetime is never actually exceeded.
+#[derive(Clone, Copy)]
+struct JobHandle {
+    f: NonNull<dyn Fn(usize) + Sync>,
+}
+
+impl JobHandle {
+    fn new(f: &(dyn Fn(usize) + Sync)) -> Self {
+        // SAFETY: lifetime erasure to `'static` for storage only; every
+        // dereference happens through `get`, whose contract (the scope
+        // contract above) keeps it inside the real borrow.
+        let f: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        Self {
+            f: NonNull::from(f),
+        }
+    }
+
+    /// Borrow the closure.
+    ///
+    /// SAFETY: the caller must be inside the scope-contract window above
+    /// (worker rule 2) — the installing `run` call is still blocked, so
+    /// the referent is alive.
+    unsafe fn get<'scope>(&self) -> &'scope (dyn Fn(usize) + Sync) {
+        // SAFETY: non-null by construction from a reference; liveness per
+        // this method's contract.
+        unsafe { self.f.as_ref() }
+    }
+}
+
+// SAFETY: the handle is a pointer to a `Sync` closure (`&dyn Fn + Sync`
+// is itself Send), moved to workers only inside the scope-contract
+// window during which the referent is kept alive by the blocked `run`.
+unsafe impl Send for JobHandle {}
+
 /// The job payload workers execute: a lifetime-erased `Fn(block_index)`.
 struct Job {
-    /// Type- and lifetime-erased closure pointer. Valid for the duration of
-    /// the `run` call that installed it (see SAFETY in [`WorkerPool::run`]).
-    f: *const (dyn Fn(usize) + Sync),
+    /// Handle to the job closure (see [`JobHandle`] for the contract).
+    f: JobHandle,
     /// Number of items (blocks) in the job.
     n: usize,
     /// Items claimed per cursor grab.
     chunk: usize,
 }
-
-// SAFETY: the raw pointer is only dereferenced while the installing `run`
-// call is blocked waiting for completion, which keeps the referent alive.
-unsafe impl Send for Job {}
 
 struct State {
     job: Option<Job>,
@@ -51,6 +99,26 @@ struct Shared {
     work_cv: Condvar,
     done_cv: Condvar,
     cursor: AtomicUsize,
+    /// Debug-mode check of the [`JobHandle`] scope contract: workers
+    /// currently *inside* the erased closure. Must be zero whenever
+    /// `run` observes `active == 0`.
+    #[cfg(debug_assertions)]
+    executing: AtomicUsize,
+}
+
+// The block index currently executing on this thread, when inside a
+// pool job. The pooled backend's write-set race detector uses this to
+// attribute scatter writes to tiles.
+#[cfg(feature = "audit-runtime")]
+thread_local! {
+    static CURRENT_BLOCK: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The block index the calling thread is currently executing for its
+/// pool, if any (`audit-runtime` builds only).
+#[cfg(feature = "audit-runtime")]
+pub fn current_block() -> Option<usize> {
+    CURRENT_BLOCK.with(|c| c.get())
 }
 
 /// A fixed-size pool of block-execution workers.
@@ -75,6 +143,8 @@ impl WorkerPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cursor: AtomicUsize::new(0),
+            #[cfg(debug_assertions)]
+            executing: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -113,23 +183,19 @@ impl WorkerPool {
         if n == 0 {
             return;
         }
-        // SAFETY: we erase the lifetime of `f` to store it in the shared
-        // state. The reference stays valid because this function does not
-        // return until all workers have finished the job and decremented
-        // `active`, after which no worker touches the pointer again.
-        let f_static: *const (dyn Fn(usize) + Sync) = unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
-                f as *const _,
-            )
-        };
+        // The one lifetime-erasure step; see `JobHandle` for the scope
+        // contract this function upholds by blocking until the job drains.
+        let handle = JobHandle::new(f);
         let chunk = (n / (self.workers * 4)).max(1);
         let mut st = self.shared.state.lock();
         while st.job.is_some() {
             self.shared.done_cv.wait(&mut st);
         }
+        // ordering: relaxed — the cursor reset is published to workers by
+        // the state-mutex release below, not by the atomic itself.
         self.shared.cursor.store(0, Ordering::Relaxed);
         st.job = Some(Job {
-            f: f_static,
+            f: handle,
             n,
             chunk,
         });
@@ -139,6 +205,16 @@ impl WorkerPool {
         while st.active > 0 {
             self.shared.done_cv.wait(&mut st);
         }
+        // JobHandle scope contract, rule 3 (debug builds): once `active`
+        // hit zero no worker may still be inside the erased closure.
+        // ordering: relaxed — the mutex acquired around each worker's
+        // `active` decrement ordered its `executing` updates before this.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.shared.executing.load(Ordering::Relaxed),
+            0,
+            "worker still inside the job closure after drain"
+        );
         st.job = None;
         let payload = st.panic.take();
         // Wake any launcher queued behind this job.
@@ -166,7 +242,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     let mut seen_generation = 0u64;
     loop {
-        let (f, n, chunk) = {
+        let (handle, n, chunk) = {
             let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
@@ -180,22 +256,38 @@ fn worker_loop(shared: &Shared) {
                 shared.work_cv.wait(&mut st);
             }
         };
-        // SAFETY: see `run` — the closure outlives the job execution.
-        let f = unsafe { &*f };
+        // SAFETY: scope-contract window (rule 2 on `JobHandle`) — the
+        // installing `run` call is still blocked on `done_cv` until this
+        // worker decrements `active` below, so the closure is alive.
+        let f = unsafe { handle.get() };
         loop {
+            // ordering: relaxed — the cursor is a pure claim ticket; item
+            // data was published by the state-mutex handoff, and claimed
+            // ranges never overlap regardless of ordering.
             let start = shared.cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= n {
                 break;
             }
             let end = (start + chunk).min(n);
+            // ordering: relaxed — `executing` is a debug-only counter read
+            // after the mutex-ordered drain; see the assert in `run`.
+            #[cfg(debug_assertions)]
+            shared.executing.fetch_add(1, Ordering::Relaxed);
             // Contain panics per chunk so one faulting block cannot hang
             // the pool: the chunk is abandoned, the first payload is kept
             // for the launching thread, and this worker keeps claiming.
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 for i in start..end {
+                    #[cfg(feature = "audit-runtime")]
+                    CURRENT_BLOCK.with(|c| c.set(Some(i)));
                     f(i);
                 }
             }));
+            #[cfg(feature = "audit-runtime")]
+            CURRENT_BLOCK.with(|c| c.set(None));
+            // ordering: relaxed — same debug-counter argument as above.
+            #[cfg(debug_assertions)]
+            shared.executing.fetch_sub(1, Ordering::Relaxed);
             if let Err(payload) = outcome {
                 let mut st = shared.state.lock();
                 if st.panic.is_none() {

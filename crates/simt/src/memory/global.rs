@@ -116,6 +116,8 @@ impl<T: Copy + Send + Sync> ScatterBuffer<T> {
     /// buffer. Unchecked buffers make this a no-op.
     pub fn begin_epoch(&self) {
         for f in self.flags.iter() {
+            // ordering: relaxed — the epoch reset happens in the host
+            // phase, before any launch; the launch hand-off synchronises.
             f.store(false, Ordering::Relaxed);
         }
     }
@@ -199,6 +201,8 @@ impl<T: Copy + Send + Sync> ScatterView<'_, T> {
     #[inline]
     pub fn write(&self, slot: usize, value: T) {
         if !self.flags.is_empty() {
+            // ordering: relaxed — the swap's atomicity alone decides the
+            // first writer; no other memory is published through the flag.
             let prev = self.flags[slot].swap(true, Ordering::Relaxed);
             assert!(
                 !prev,
@@ -236,6 +240,8 @@ impl AtomicBuffer {
     pub fn load_from(&self, src: &[u32]) {
         assert_eq!(src.len(), self.data.len());
         for (a, &v) in self.data.iter().zip(src) {
+            // ordering: relaxed — host-phase upload; the launch hand-off
+            // publishes it to worker threads.
             a.store(v, Ordering::Relaxed);
         }
     }
@@ -255,12 +261,15 @@ impl AtomicBuffer {
     /// Plain load.
     #[inline]
     pub fn load(&self, slot: usize) -> u32 {
+        // ordering: relaxed — mirrors a plain CUDA global load; any
+        // cross-thread protocol is built from the AcqRel RMWs below.
         self.data[slot].load(Ordering::Relaxed)
     }
 
     /// Plain store.
     #[inline]
     pub fn store(&self, slot: usize, value: u32) {
+        // ordering: relaxed — plain global store, same model as `load`.
         self.data[slot].store(value, Ordering::Relaxed);
     }
 
@@ -268,6 +277,9 @@ impl AtomicBuffer {
     /// return equals `expected`.
     #[inline]
     pub fn compare_and_swap(&self, slot: usize, expected: u32, new: u32) -> u32 {
+        // ordering: AcqRel on success so a winning claim publishes the
+        // claimant's prior writes and the reader of the claim sees them;
+        // Acquire on failure so a losing thread observes the winner's.
         match self.data[slot].compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
             Ok(prev) | Err(prev) => prev,
         }
@@ -276,6 +288,8 @@ impl AtomicBuffer {
     /// `atomicExch`.
     #[inline]
     pub fn exchange(&self, slot: usize, new: u32) -> u32 {
+        // ordering: AcqRel — exchange participates in the same
+        // claim-style protocols as `compare_and_swap`.
         self.data[slot].swap(new, Ordering::AcqRel)
     }
 
@@ -283,6 +297,7 @@ impl AtomicBuffer {
     pub fn to_vec(&self) -> Vec<u32> {
         self.data
             .iter()
+            // ordering: relaxed — host phase, no concurrent writers.
             .map(|a| a.load(Ordering::Relaxed))
             .collect()
     }

@@ -93,6 +93,11 @@ impl ProfileSink {
     }
 
     /// Add one block's local counters.
+    ///
+    /// ordering: relaxed throughout — each field is an independent event
+    /// counter with no cross-field invariant, and the launch's
+    /// end-of-job barrier (the pool's state mutex) publishes the totals
+    /// before `snapshot` can run.
     pub fn add(&self, p: &KernelProfile) {
         self.divergent_branches
             .fetch_add(p.divergent_branches, Ordering::Relaxed);
@@ -106,6 +111,7 @@ impl ProfileSink {
             .fetch_add(p.shared_loads, Ordering::Relaxed);
         self.shared_stores
             .fetch_add(p.shared_stores, Ordering::Relaxed);
+        // ordering: relaxed — same independent-counter argument as above.
         self.atomic_ops.fetch_add(p.atomic_ops, Ordering::Relaxed);
         self.barriers.fetch_add(p.barriers, Ordering::Relaxed);
         self.alu_ops.fetch_add(p.alu_ops, Ordering::Relaxed);
@@ -113,6 +119,9 @@ impl ProfileSink {
     }
 
     /// Snapshot the totals.
+    ///
+    /// ordering: relaxed — called after the launch has drained (host
+    /// phase), when no writer is live; the pool barrier ordered the adds.
     pub fn snapshot(&self) -> KernelProfile {
         KernelProfile {
             divergent_branches: self.divergent_branches.load(Ordering::Relaxed),
