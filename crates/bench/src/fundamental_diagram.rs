@@ -103,7 +103,7 @@ impl FdConfig {
                 let scenario =
                     registry::open_corridor(self.side, self.side, self.capacity_for(rate), rate)
                         .with_seed(seed);
-                let cfg = SimConfig::from_scenario(scenario, ModelKind::aco());
+                let cfg = SimConfig::from_scenario(&scenario, ModelKind::aco());
                 jobs.push(Job::gpu(format!("r{i:02}/{rate}"), cfg, stop.clone()));
             }
         }
@@ -142,14 +142,88 @@ pub struct FdRow {
 
 /// Run the sweep on `workers` pool threads, returning the raw
 /// per-replica report — the journal/registry emitters consume this
-/// before [`aggregate`] collapses it into the curve.
-pub fn run_report(cfg: &FdConfig, workers: usize) -> BatchReport {
-    Batch::new(workers).run(&cfg.jobs())
+/// before [`aggregate`] collapses it into the curve. `world_cache`
+/// toggles the batch executor's compiled-world cache; trajectories (and
+/// the deterministic report) are bit-identical either way, only `setup`
+/// timings move — which is exactly what the CI cache-identity check
+/// asserts.
+pub fn run_report(cfg: &FdConfig, workers: usize, world_cache: bool) -> BatchReport {
+    Batch::new(workers)
+        .with_world_cache(world_cache)
+        .run(&cfg.jobs())
 }
 
-/// [`run_report`] + [`aggregate`] in one call.
+/// [`run_report`] + [`aggregate`] in one call (world cache on).
 pub fn run(cfg: &FdConfig, workers: usize) -> Vec<FdRow> {
-    aggregate(cfg, &run_report(cfg, workers))
+    aggregate(cfg, &run_report(cfg, workers, true))
+}
+
+/// Replicas in the setup-amortization probe.
+pub const AMORTIZATION_REPLICAS: u64 = 12;
+
+/// Registry bench name for the probe's rows. Distinct from
+/// `fundamental_diagram` on purpose: probe replicas run 1 step and
+/// report no meaningful flux, so they must not join the physics series
+/// the flux gate checks.
+pub const AMORTIZATION_BENCH: &str = "fd_world_cache";
+
+/// The measured setup amortization of a cached ladder rung.
+#[derive(Debug, Clone, Copy)]
+pub struct SetupAmortization {
+    /// Probe replicas per arm.
+    pub replicas: u64,
+    /// Total world-acquisition seconds across the cold arm (every
+    /// replica compiles its world from scratch).
+    pub cold_setup_s: f64,
+    /// Total world-acquisition seconds across the cached arm (every
+    /// replica fetches the rung's compiled world from the cache).
+    pub cached_setup_s: f64,
+    /// `cold_setup_s / cached_setup_s`.
+    pub speedup: f64,
+}
+
+/// The probe job list: [`AMORTIZATION_REPLICAS`] replicas of the *top*
+/// ladder rung, all with the same seed — i.e. the same compiled world —
+/// each running a single step (the probe measures setup, not
+/// simulation).
+pub fn probe_jobs(cfg: &FdConfig) -> Vec<Job> {
+    let rate = *cfg.rates.last().expect("non-empty ladder");
+    let scenario = registry::open_corridor(cfg.side, cfg.side, cfg.capacity_for(rate), rate)
+        .with_seed(cfg.seed);
+    (0..AMORTIZATION_REPLICAS)
+        .map(|k| {
+            Job::gpu(
+                format!("cache_probe/{k}"),
+                SimConfig::from_scenario(&scenario, ModelKind::aco()),
+                StopCondition::Steps(1),
+            )
+        })
+        .collect()
+}
+
+/// Measure how the world cache amortizes flow-field compilation across
+/// the replicas of one ladder rung: a cold arm (cache off — every
+/// replica compiles), then a cached arm on a pre-filled cache (every
+/// replica fetches). Returns the measurement plus the cached arm's
+/// report, whose rows carry the hit-path `setup` timings for the
+/// results registry (under [`AMORTIZATION_BENCH`]).
+pub fn measure_amortization(cfg: &FdConfig, workers: usize) -> (SetupAmortization, BatchReport) {
+    let jobs = probe_jobs(cfg);
+    let cold = Batch::new(workers).with_world_cache(false).run(&jobs);
+    let batch = Batch::new(workers);
+    let _fill = batch.run(&jobs); // first pass pays the single compile
+    let warm = batch.run(&jobs); // every acquisition is now a cache hit
+    let cold_setup_s = cold.setup_total.as_secs_f64();
+    let cached_setup_s = warm.setup_total.as_secs_f64();
+    (
+        SetupAmortization {
+            replicas: AMORTIZATION_REPLICAS,
+            cold_setup_s,
+            cached_setup_s,
+            speedup: cold_setup_s / cached_setup_s.max(1e-9),
+        },
+        warm,
+    )
 }
 
 /// Aggregate a finished sweep per rate.
@@ -290,8 +364,14 @@ pub fn to_json(scale: Scale, cfg: &FdConfig, rows: &[FdRow]) -> String {
 }
 
 /// The repo-root perf-trajectory record (`BENCH_fundamental_diagram.json`):
-/// the flux/density curve plus the wall-clock steps/second series.
-pub fn to_bench_json(scale: Scale, cfg: &FdConfig, rows: &[FdRow]) -> String {
+/// the flux/density curve plus the wall-clock steps/second series, and —
+/// when measured — the world-cache setup amortization.
+pub fn to_bench_json(
+    scale: Scale,
+    cfg: &FdConfig,
+    rows: &[FdRow],
+    amortization: Option<&SetupAmortization>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"fundamental_diagram\",\n");
@@ -306,7 +386,15 @@ pub fn to_bench_json(scale: Scale, cfg: &FdConfig, rows: &[FdRow]) -> String {
             r.rate, r.flux, r.density, r.steps_per_sec
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ]");
+    if let Some(a) = amortization {
+        s.push_str(&format!(
+            ",\n  \"setup_amortization\": {{\"replicas\": {}, \"cold_setup_s\": {:.6}, \
+             \"cached_setup_s\": {:.6}, \"speedup\": {:.1}}}",
+            a.replicas, a.cold_setup_s, a.cached_setup_s, a.speedup
+        ));
+    }
+    s.push_str("\n}\n");
     s
 }
 
@@ -325,6 +413,26 @@ mod tests {
             let scenario = job.cfg.scenario.as_ref().expect("open world");
             assert!(scenario.is_open());
         }
+    }
+
+    #[test]
+    fn probe_replicas_share_one_compiled_world() {
+        let cfg = FdConfig::for_scale(Scale::Smoke);
+        let jobs = probe_jobs(&cfg);
+        assert_eq!(jobs.len(), AMORTIZATION_REPLICAS as usize);
+        // All replicas target the identical configuration (same seed!) —
+        // the full-key cache case — and distinct labels keep their
+        // report rows apart.
+        let fingerprint = pedsim_core::world::CompiledWorld::fingerprint_of(&jobs[0].cfg);
+        for job in &jobs {
+            assert!(job.validate().is_ok());
+            assert_eq!(
+                pedsim_core::world::CompiledWorld::fingerprint_of(&job.cfg),
+                fingerprint
+            );
+        }
+        let labels: std::collections::BTreeSet<_> = jobs.iter().map(|j| j.label.clone()).collect();
+        assert_eq!(labels.len(), jobs.len());
     }
 
     #[test]

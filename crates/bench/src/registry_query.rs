@@ -65,6 +65,7 @@ mod tests {
             steps_per_sec,
             total_ms_per_step: 1.0,
             stage_ms: [0.1; 6],
+            setup_s: 0.001,
         }
     }
 

@@ -116,8 +116,10 @@ impl StConfig {
         let mut jobs = Vec::new();
         for (world, _) in self.worlds() {
             for k in 0..self.repeats {
-                let cfg =
-                    SimConfig::from_scenario(self.scenario(world, self.seed + k), ModelKind::aco());
+                let cfg = SimConfig::from_scenario(
+                    &self.scenario(world, self.seed + k),
+                    ModelKind::aco(),
+                );
                 let stop = StopCondition::Steps(self.steps);
                 jobs.push(Job::cpu(format!("{world}/cpu"), cfg.clone(), stop.clone()));
                 jobs.push(Job::gpu(format!("{world}/gpu"), cfg, stop));
@@ -334,7 +336,7 @@ pub fn ladder_jobs_for(rungs: &[LadderRung], only: Option<(&str, usize)>) -> Vec
                 }
             }
             let env = EnvConfig::small(rung.side, rung.side, rung.per_side).with_seed(LADDER_SEED);
-            let cfg = SimConfig::from_scenario(registry::paper_corridor(&env), ModelKind::lem())
+            let cfg = SimConfig::from_scenario(&registry::paper_corridor(&env), ModelKind::lem())
                 .with_metrics(false);
             jobs.push(Job::backend(
                 ladder_label(rung.side, backend, threads),

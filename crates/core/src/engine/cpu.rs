@@ -24,7 +24,8 @@ use crate::params::{ModelKind, SimConfig};
 
 use super::lifecycle::{LifecycleWorld, OpenLifecycle};
 use super::pipeline::{Stage, StageBackend, StepCore, StepTimings};
-use super::{build_world, swap_model, Engine, ModelSwapError, KERNEL_MOVE, KERNEL_TOUR};
+use super::{swap_model, Engine, ModelSwapError, KERNEL_MOVE, KERNEL_TOUR};
+use crate::world::CompiledWorld;
 
 /// The sequential reference engine.
 pub struct CpuEngine {
@@ -83,11 +84,25 @@ impl LifecycleWorld for HostWorld<'_> {
 
 impl CpuEngine {
     /// Build the engine (runs the data-preparation stage, §IV.a — from the
-    /// attached scenario when present, else the classic corridor).
+    /// attached scenario when present, else the classic corridor). A thin
+    /// compile-then-construct wrapper over [`CpuEngine::from_world`].
     pub fn new(cfg: SimConfig) -> Self {
-        let (env, dist) = build_world(&cfg);
-        let geom =
-            Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
+        let world = CompiledWorld::compile(&cfg);
+        Self::from_world(&world, cfg)
+    }
+
+    /// Build per-replica engine state from an already compiled world —
+    /// the shared-artifact stage of the setup pipeline. Clones the placed
+    /// environment template and shares the distance planes; bit-identical
+    /// to [`CpuEngine::new`] on the same configuration.
+    pub fn from_world(world: &std::sync::Arc<CompiledWorld>, cfg: SimConfig) -> Self {
+        debug_assert!(
+            world.matches(&cfg),
+            "CompiledWorld was compiled from a different configuration"
+        );
+        let env = world.environment();
+        let dist = world.distance();
+        let geom = world.geometry();
         let core = StepCore::for_world(&cfg, &env, geom);
         let n = env.total_agents();
         let groups = env.n_groups();

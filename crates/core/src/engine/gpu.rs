@@ -28,7 +28,8 @@ use crate::params::{ModelKind, SimConfig};
 
 use super::lifecycle::{LifecycleWorld, OpenLifecycle};
 use super::pipeline::{Stage, StageBackend, StepCore, StepTimings};
-use super::{build_world, swap_model, Engine, ModelSwapError};
+use super::{swap_model, Engine, ModelSwapError};
+use crate::world::CompiledWorld;
 
 /// The open-boundary lifecycle drives the device state directly: the
 /// launches are synchronous, so between steps the buffers are in their
@@ -131,11 +132,29 @@ struct GpuBackend {
 impl GpuEngine {
     /// Build the engine on `device` (runs data preparation and upload —
     /// from the attached scenario when present, else the classic
-    /// corridor).
+    /// corridor). A thin compile-then-construct wrapper over
+    /// [`GpuEngine::from_world`].
     pub fn new(cfg: SimConfig, device: Device) -> Self {
-        let (env, dist) = build_world(&cfg);
-        let geom =
-            Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
+        let world = CompiledWorld::compile(&cfg);
+        Self::from_world(&world, cfg, device)
+    }
+
+    /// Build per-replica engine state on `device` from an already
+    /// compiled world: uploads a clone of the placed environment template
+    /// and the shared distance planes. Bit-identical to
+    /// [`GpuEngine::new`] on the same configuration.
+    pub fn from_world(
+        world: &std::sync::Arc<CompiledWorld>,
+        cfg: SimConfig,
+        device: Device,
+    ) -> Self {
+        debug_assert!(
+            world.matches(&cfg),
+            "CompiledWorld was compiled from a different configuration"
+        );
+        let env = world.environment();
+        let dist = world.distance();
+        let geom = world.geometry();
         let core = StepCore::for_world(&cfg, &env, geom);
         let state = DeviceState::upload(&env, &dist, cfg.model, cfg.checked);
         let seed = cfg.env.seed;

@@ -26,12 +26,10 @@ pub mod pooled;
 pub mod registry;
 pub mod stop;
 
-use std::sync::Arc;
-
-use pedsim_grid::{DistanceData, Environment, Matrix};
+use pedsim_grid::Matrix;
 
 use crate::metrics::Metrics;
-use crate::params::{ModelKind, SimConfig};
+use crate::params::ModelKind;
 
 pub use lifecycle::source_stream;
 pub use pipeline::{
@@ -78,21 +76,6 @@ pub(crate) fn swap_model(current: &mut ModelKind, model: ModelKind) -> Result<()
     }
     *current = model;
     Ok(())
-}
-
-/// Materialise the configured world: the declarative scenario when one is
-/// attached (walls, regions, row-fast-path or flow-field routing), else
-/// the paper's classic corridor from the `EnvConfig` alone. Both engines
-/// run the data-preparation stage through this single door so they always
-/// agree on the world they simulate.
-pub(crate) fn build_world(cfg: &SimConfig) -> (Environment, Arc<DistanceData>) {
-    match &cfg.scenario {
-        Some(s) => (s.build_environment(), s.distance_data()),
-        None => (
-            Environment::new(&cfg.env),
-            Arc::new(DistanceData::rows(cfg.env.height)),
-        ),
-    }
 }
 
 /// Salted kernel indices within a step: `salt = step * 4 + KERNEL_*`.

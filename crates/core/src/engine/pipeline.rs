@@ -446,7 +446,7 @@ mod tests {
     #[test]
     fn open_worlds_time_the_lifecycle_stage_on_both_engines() {
         let scenario = registry::open_corridor(24, 24, 20, 2.0).with_seed(5);
-        let cfg = SimConfig::from_scenario(scenario, ModelKind::lem());
+        let cfg = SimConfig::from_scenario(&scenario, ModelKind::lem());
         let mut cpu = CpuEngine::new(cfg.clone());
         let mut gpu = GpuEngine::new(cfg, Device::sequential());
         cpu.run(30);

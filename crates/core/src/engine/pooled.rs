@@ -56,7 +56,8 @@ use crate::params::{ModelKind, SimConfig};
 use super::cpu::HostWorld;
 use super::lifecycle::OpenLifecycle;
 use super::pipeline::{Stage, StageBackend, StepCore, StepTimings};
-use super::{build_world, swap_model, Engine, ModelSwapError, KERNEL_MOVE, KERNEL_TOUR};
+use super::{swap_model, Engine, ModelSwapError, KERNEL_MOVE, KERNEL_TOUR};
+use crate::world::CompiledWorld;
 
 /// Band oversubscription factor: bands per worker, so a straggler band
 /// cannot serialise the stage.
@@ -249,11 +250,28 @@ fn dispatch(
 
 impl PooledEngine {
     /// Build the engine with `threads` pool workers (runs the
-    /// data-preparation stage, like the other backends).
+    /// data-preparation stage, like the other backends). A thin
+    /// compile-then-construct wrapper over [`PooledEngine::from_world`].
     pub fn new(cfg: SimConfig, threads: usize) -> Self {
-        let (env, dist) = build_world(&cfg);
-        let geom =
-            Geometry::with_groups(env.width(), env.height(), env.spawn_rows, &env.group_sizes);
+        let world = CompiledWorld::compile(&cfg);
+        Self::from_world(&world, cfg, threads)
+    }
+
+    /// Build per-replica engine state with `threads` pool workers from an
+    /// already compiled world. Bit-identical to [`PooledEngine::new`] on
+    /// the same configuration.
+    pub fn from_world(
+        world: &std::sync::Arc<CompiledWorld>,
+        cfg: SimConfig,
+        threads: usize,
+    ) -> Self {
+        debug_assert!(
+            world.matches(&cfg),
+            "CompiledWorld was compiled from a different configuration"
+        );
+        let env = world.environment();
+        let dist = world.distance();
+        let geom = world.geometry();
         let core = StepCore::for_world(&cfg, &env, geom);
         let n = env.total_agents();
         let groups = env.n_groups();

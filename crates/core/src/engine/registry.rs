@@ -23,10 +23,13 @@
 //! [`pooled::PooledEngine`]: super::pooled::PooledEngine
 //! [`gpu::GpuEngine`]: super::gpu::GpuEngine
 
+use std::sync::Arc;
+
 use simt::exec::ExecPolicy;
 use simt::Device;
 
 use crate::params::SimConfig;
+use crate::world::CompiledWorld;
 
 use super::cpu::CpuEngine;
 use super::gpu::GpuEngine;
@@ -45,33 +48,60 @@ pub struct EngineBackend {
     /// Whether `threads` changes this backend's execution (parallel
     /// backends); serial backends ignore the thread count.
     pub parallel: bool,
-    /// Build an engine for `cfg` with `threads` workers.
-    pub build: fn(SimConfig, usize) -> Box<dyn Engine + Send>,
+    /// Build per-replica engine state over a shared compiled world with
+    /// `threads` workers — every backend flows through its engine's
+    /// `from_world` constructor, so there is exactly one setup path and
+    /// no backend-specific drift.
+    pub build: fn(&Arc<CompiledWorld>, SimConfig, usize) -> Box<dyn Engine + Send>,
 }
 
 impl EngineBackend {
-    /// Construct this backend's engine.
-    pub fn build(&self, cfg: SimConfig, threads: usize) -> Box<dyn Engine + Send> {
-        (self.build)(cfg, threads)
+    /// Construct this backend's engine from a shared compiled world.
+    pub fn build(
+        &self,
+        world: &Arc<CompiledWorld>,
+        cfg: SimConfig,
+        threads: usize,
+    ) -> Box<dyn Engine + Send> {
+        (self.build)(world, cfg, threads)
+    }
+
+    /// Compile-then-construct convenience for callers without a shared
+    /// world at hand.
+    pub fn build_cold(&self, cfg: SimConfig, threads: usize) -> Box<dyn Engine + Send> {
+        let world = CompiledWorld::compile(&cfg);
+        self.build(&world, cfg, threads)
     }
 }
 
-fn build_scalar(cfg: SimConfig, _threads: usize) -> Box<dyn Engine + Send> {
-    Box::new(CpuEngine::new(cfg))
+fn build_scalar(
+    world: &Arc<CompiledWorld>,
+    cfg: SimConfig,
+    _threads: usize,
+) -> Box<dyn Engine + Send> {
+    Box::new(CpuEngine::from_world(world, cfg))
 }
 
-fn build_pooled(cfg: SimConfig, threads: usize) -> Box<dyn Engine + Send> {
-    Box::new(PooledEngine::new(cfg, threads))
+fn build_pooled(
+    world: &Arc<CompiledWorld>,
+    cfg: SimConfig,
+    threads: usize,
+) -> Box<dyn Engine + Send> {
+    Box::new(PooledEngine::from_world(world, cfg, threads))
 }
 
-fn build_simt(cfg: SimConfig, threads: usize) -> Box<dyn Engine + Send> {
+fn build_simt(
+    world: &Arc<CompiledWorld>,
+    cfg: SimConfig,
+    threads: usize,
+) -> Box<dyn Engine + Send> {
     let policy = if threads <= 1 {
         ExecPolicy::Sequential
     } else {
         ExecPolicy::Parallel { workers: threads }
     };
     let device = Device::builder().policy(policy).build();
-    Box::new(GpuEngine::new(cfg, device))
+    Box::new(GpuEngine::from_world(world, cfg, device))
 }
 
 /// Every registered backend, in presentation order.
@@ -173,9 +203,20 @@ impl Backend {
         lookup(&self.name)
     }
 
-    /// Resolve and construct the engine.
+    /// Resolve and construct the engine (compiles the world itself; use
+    /// [`Backend::build_from_world`] to share a compiled artifact).
     pub fn build(&self, cfg: SimConfig) -> Result<Box<dyn Engine + Send>, UnknownBackend> {
-        Ok(self.resolve()?.build(cfg, self.threads))
+        Ok(self.resolve()?.build_cold(cfg, self.threads))
+    }
+
+    /// Resolve and construct the engine over a shared compiled world —
+    /// the runner's per-replica path.
+    pub fn build_from_world(
+        &self,
+        world: &Arc<CompiledWorld>,
+        cfg: SimConfig,
+    ) -> Result<Box<dyn Engine + Send>, UnknownBackend> {
+        Ok(self.resolve()?.build(world, cfg, self.threads))
     }
 }
 
@@ -215,9 +256,24 @@ mod tests {
     #[test]
     fn every_backend_builds_and_steps() {
         for b in BACKENDS {
-            let mut e = b.build(small_cfg(), 2);
+            let mut e = b.build_cold(small_cfg(), 2);
             e.run(3);
             assert_eq!(e.steps_done(), 3, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn all_backends_share_one_compiled_world_bit_for_bit() {
+        // One compilation serves every backend; trajectories match a
+        // backend that compiled its own world.
+        let world = CompiledWorld::compile(&small_cfg());
+        let mut reference = Backend::scalar().build(small_cfg()).expect("known");
+        reference.run(12);
+        for b in BACKENDS {
+            let mut e = b.build(&world, small_cfg(), 2);
+            e.run(12);
+            assert_eq!(e.mat_snapshot(), reference.mat_snapshot(), "{}", b.name);
+            assert_eq!(e.positions(), reference.positions(), "{}", b.name);
         }
     }
 

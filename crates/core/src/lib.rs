@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod model;
 pub mod params;
 pub mod validate;
+pub mod world;
 
 /// The commonly-used public surface.
 pub mod prelude {
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::metrics::{band_count, lane_index, segregation_index, Geometry, Metrics};
     pub use crate::params::{AcoParams, LemParams, ModelKind, SimConfig};
     pub use crate::validate::engines_agree;
+    pub use crate::world::{CacheStats, CompiledWorld, WorldCache};
     pub use pedsim_grid::{EnvConfig, Environment};
     pub use pedsim_obs::{Histogram, Recorder};
     pub use pedsim_scenario::{registry as scenarios, Region, Scenario, ScenarioBuilder};

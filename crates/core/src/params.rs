@@ -142,11 +142,23 @@ impl SimConfig {
     }
 
     /// A configuration over a declarative scenario with `model` and
-    /// metrics on. The `env` record is derived from the scenario.
-    pub fn from_scenario(scenario: pedsim_scenario::Scenario, model: ModelKind) -> Self {
+    /// metrics on. The `env` record is derived from the scenario. Takes
+    /// the scenario by reference — callers keep theirs; the clone shares
+    /// any already-computed distance field through the scenario's lazy
+    /// cache, so no flow-field work is repeated.
+    pub fn from_scenario(scenario: &pedsim_scenario::Scenario, model: ModelKind) -> Self {
+        Self::from_shared(std::sync::Arc::new(scenario.clone()), model)
+    }
+
+    /// A configuration over an already-shared scenario handle — the
+    /// zero-copy door used when many configurations reference one world.
+    pub fn from_shared(
+        scenario: std::sync::Arc<pedsim_scenario::Scenario>,
+        model: ModelKind,
+    ) -> Self {
         Self {
             env: scenario.env_config(),
-            scenario: Some(std::sync::Arc::new(scenario)),
+            scenario: Some(scenario),
             model,
             checked: false,
             track_metrics: true,
@@ -184,7 +196,7 @@ mod tests {
     fn from_scenario_mirrors_geometry() {
         let cfg = pedsim_grid::EnvConfig::small(32, 32, 40).with_seed(3);
         let sim = SimConfig::from_scenario(
-            pedsim_scenario::registry::paper_corridor(&cfg),
+            &pedsim_scenario::registry::paper_corridor(&cfg),
             ModelKind::lem(),
         );
         assert_eq!(sim.env.width, 32);

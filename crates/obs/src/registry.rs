@@ -24,9 +24,10 @@ use std::io::{self, Write as _};
 use std::path::Path;
 
 /// Schema tag carried in every row's first column. v2 added the
-/// `backend`/`threads` provenance columns after `engine`; v1 rows in an
+/// `backend`/`threads` provenance columns after `engine`; v3 appended
+/// the per-job `setup_s` world-acquisition timing. Older rows in an
 /// append-only file simply fail to parse and are skipped by [`load`].
-pub const SCHEMA: &str = "pedsim.registry.v2";
+pub const SCHEMA: &str = "pedsim.registry.v3";
 
 /// Number of leading columns that are deterministic (byte-reproducible
 /// for equal configurations). The rest are wall-clock KPIs.
@@ -36,10 +37,10 @@ pub const DETERMINISTIC_COLUMNS: usize = 17;
 /// appended (with a schema bump) so old rows stay parseable.
 pub const HEADER: &str = "schema,config,commit,scale,bench,world,engine,backend,threads,model,\
 seed,agents,steps,flux,bands,segregation,gridlock_risk,steps_per_sec,total_ms_per_step,init_ms,\
-initial_calc_ms,tour_ms,movement_ms,lifecycle_ms,metrics_ms";
+initial_calc_ms,tour_ms,movement_ms,lifecycle_ms,metrics_ms,setup_s";
 
 /// Total column count.
-pub const COLUMNS: usize = DETERMINISTIC_COLUMNS + 8;
+pub const COLUMNS: usize = DETERMINISTIC_COLUMNS + 9;
 
 /// One registry row. Field order matches the CSV column order.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +88,10 @@ pub struct Row {
     /// Mean wall milliseconds per step in each pipeline stage, in stage
     /// order (init, initial_calc, tour, movement, lifecycle, metrics).
     pub stage_ms: [f64; 6],
+    /// Wall seconds the job spent acquiring its compiled world (a cold
+    /// compile on a world-cache miss, a cache fetch on a hit). Per job,
+    /// not per step.
+    pub setup_s: f64,
 }
 
 fn csv_f64(v: f64) -> String {
@@ -123,6 +128,7 @@ impl Row {
             csv_f64(self.total_ms_per_step),
         ];
         cols.extend(self.stage_ms.iter().map(|&m| csv_f64(m)));
+        cols.push(csv_f64(self.setup_s));
         debug_assert_eq!(cols.len(), COLUMNS);
         cols.join(",")
     }
@@ -177,6 +183,7 @@ impl Row {
             steps_per_sec: f(cols[17])?,
             total_ms_per_step: f(cols[18])?,
             stage_ms,
+            setup_s: f(cols[25])?,
         })
     }
 
@@ -276,6 +283,7 @@ pub const KPIS: &[&str] = &[
     "movement_ms",
     "lifecycle_ms",
     "metrics_ms",
+    "setup_s",
 ];
 
 /// The tolerance table (documented in DESIGN.md §12). Wall-clock KPIs
@@ -298,6 +306,16 @@ pub fn tolerance_for(kpi: &str) -> Option<Tolerance> {
             rel: 0.25,
             abs: 0.2,
             direction: Direction::HigherIsBetter,
+        },
+        // Per-job world-acquisition time. The band is deliberately very
+        // wide: a series legitimately mixes cold compiles with cache hits
+        // (e.g. the CI ladder runs once uncached, once cached), so only a
+        // gross blow-up — compilation accidentally re-entering the replica
+        // path — should trip the gate.
+        "setup_s" => Tolerance {
+            rel: 3.0,
+            abs: 0.05,
+            direction: Direction::LowerIsBetter,
         },
         "bands" | "segregation" | "gridlock_risk" => Tolerance {
             rel: 0.0,
@@ -325,6 +343,7 @@ pub fn kpi_value(row: &Row, kpi: &str) -> Option<f64> {
         "movement_ms" => Some(row.stage_ms[3]),
         "lifecycle_ms" => Some(row.stage_ms[4]),
         "metrics_ms" => Some(row.stage_ms[5]),
+        "setup_s" => Some(row.setup_s),
         _ => None,
     }
 }
@@ -460,6 +479,7 @@ mod tests {
             steps_per_sec,
             total_ms_per_step: 0.8,
             stage_ms: [0.01, 0.2, 0.3, 0.2, 0.05, 0.04],
+            setup_s: 0.002,
         }
     }
 
@@ -561,6 +581,34 @@ mod tests {
         // Window = newest 2 rows: baseline 100, latest 100 -> pass.
         assert_eq!(out[0].baseline, Some(100.0));
         assert_eq!(out[0].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn setup_s_gate_tolerates_cache_mixes_but_flags_blowups() {
+        // A cached run following a cold run is a huge relative *drop* —
+        // always fine (LowerIsBetter).
+        let mut cold = row(100.0, None);
+        cold.setup_s = 0.04;
+        let mut warm = row(100.0, None);
+        warm.setup_s = 0.0001;
+        assert_eq!(
+            check(&[cold.clone(), warm.clone()], "setup_s", 5)[0].verdict,
+            Verdict::Pass
+        );
+        // The reverse order (cold appended after warm) stays inside the
+        // wide band thanks to the absolute floor.
+        assert_eq!(
+            check(&[warm.clone(), cold.clone()], "setup_s", 5)[0].verdict,
+            Verdict::Pass
+        );
+        // A gross blow-up — compilation re-entering the replica path —
+        // still trips the gate.
+        let mut blown = row(100.0, None);
+        blown.setup_s = 1.5;
+        assert_eq!(
+            check(&[cold, blown], "setup_s", 5)[0].verdict,
+            Verdict::Regression
+        );
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! The batch executor: a persistent worker pool running replica jobs.
+//! The batch executor: a persistent worker pool running replica jobs
+//! over shared compiled worlds.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pedsim_core::engine::cpu::CpuEngine;
 use pedsim_core::engine::gpu::GpuEngine;
 use pedsim_core::engine::Engine;
 use pedsim_core::metrics::{band_count, lane_index, segregation_index};
+use pedsim_core::world::{CacheStats, CompiledWorld, WorldCache};
 use simt::exec::pool::WorkerPool;
 
 use crate::job::{EngineSel, Job, JobError};
@@ -21,17 +24,31 @@ use crate::report::{BatchReport, RunResult, FLUX_REPORT_WINDOW};
 /// and a panicking replica is re-raised on the calling thread after the
 /// remaining jobs drain — the pool survives for the next batch.
 ///
+/// World compilation is hoisted out of the workers entirely: before any
+/// worker starts, the calling thread resolves each job's
+/// [`CompiledWorld`] through a batch-owned [`WorldCache`], so the
+/// replicas of one configuration share a single artifact (one placement,
+/// one flow-field Dijkstra) and repeated batches on the same executor —
+/// sweeps, the fundamental-diagram ladder — skip compilation on cache
+/// hits. The time each job spent acquiring its world is reported as the
+/// result's `setup` timing.
+///
 /// Results are written into per-job slots and aggregated in canonical
 /// order, so the report is identical for any worker count.
 pub struct Batch {
     pool: WorkerPool,
+    cache: WorldCache,
+    use_cache: bool,
 }
 
 impl Batch {
-    /// A batch executor with `workers` pool threads (≥ 1).
+    /// A batch executor with `workers` pool threads (≥ 1) and the world
+    /// cache enabled.
     pub fn new(workers: usize) -> Self {
         Self {
             pool: WorkerPool::new(workers),
+            cache: WorldCache::default(),
+            use_cache: true,
         }
     }
 
@@ -43,9 +60,31 @@ impl Batch {
         Self::new(workers)
     }
 
+    /// Builder: enable or disable the world cache. Disabled, every job
+    /// compiles its world cold — the control arm for cache-effect
+    /// measurements (trajectories are bit-identical either way; only
+    /// `setup` timings move).
+    pub fn with_world_cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
     /// Number of pool workers.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Cumulative world-cache traffic across every batch this executor
+    /// has run.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Publish the world-cache counters as recorder gauges (the
+    /// `pedsim-obs` telemetry hook; see
+    /// [`pedsim_core::world::WORLD_CACHE_GAUGES`]).
+    pub fn export_world_cache(&self, rec: &mut pedsim_obs::Recorder) {
+        self.cache.export(rec);
     }
 
     /// Execute every job and aggregate the report, validating each job's
@@ -59,9 +98,26 @@ impl Batch {
         for job in jobs {
             job.validate()?;
         }
+        // Resolve every job's world up front on the calling thread:
+        // compile-once semantics need no cross-worker coordination, and
+        // the per-job acquisition time (cache fetch vs. cold compile) is
+        // the job's `setup` timing.
+        let worlds: Vec<(Arc<CompiledWorld>, Duration)> = jobs
+            .iter()
+            .map(|job| {
+                let t0 = Instant::now();
+                let world = if self.use_cache {
+                    self.cache.get_or_compile(&job.cfg)
+                } else {
+                    CompiledWorld::compile(&job.cfg)
+                };
+                (world, t0.elapsed())
+            })
+            .collect();
         let slots: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         self.pool.run(jobs.len(), &|i| {
-            let result = execute(&jobs[i]);
+            let (world, setup) = &worlds[i];
+            let result = execute_with_world(&jobs[i], world, *setup);
             *slots[i].lock() = Some(result);
         });
         Ok(BatchReport::from_results(
@@ -80,9 +136,19 @@ impl Batch {
     }
 }
 
-/// Run one job to completion on the current thread.
+/// Run one job to completion on the current thread, compiling its world
+/// cold (no cache).
 pub fn execute(job: &Job) -> RunResult {
-    let world = job
+    let t0 = Instant::now();
+    let world = CompiledWorld::compile(&job.cfg);
+    execute_with_world(job, &world, t0.elapsed())
+}
+
+/// Run one job to completion on the current thread over an already
+/// compiled world. `setup` is the time the caller spent acquiring the
+/// world (cold compile or cache fetch) and is reported verbatim.
+pub fn execute_with_world(job: &Job, world: &Arc<CompiledWorld>, setup: Duration) -> RunResult {
+    let world_name = job
         .cfg
         .scenario
         .as_ref()
@@ -101,48 +167,33 @@ pub fn execute(job: &Job) -> RunResult {
             }
         },
     );
-    match &job.engine {
-        EngineSel::Cpu => finish(job, world, agents, CpuEngine::new(job.cfg.clone())),
-        EngineSel::Gpu(device) => finish(
-            job,
+    // Every selection flows through a `from_world` constructor, so the
+    // per-replica stage is one code path regardless of backend.
+    let engine: Box<dyn Engine + Send> = match &job.engine {
+        EngineSel::Cpu => Box::new(CpuEngine::from_world(world, job.cfg.clone())),
+        EngineSel::Gpu(device) => Box::new(GpuEngine::from_world(
             world,
-            agents,
-            GpuEngine::new(job.cfg.clone(), device.clone()),
-        ),
+            job.cfg.clone(),
+            device.clone(),
+        )),
         EngineSel::Backend(b) => {
             // Validation resolves the name first; a direct execute() call
             // on an unvalidated job panics with the typed message.
-            let engine = b
-                .build(job.cfg.clone())
-                .unwrap_or_else(|e| panic!("job {:?}: {e}", job.label));
-            finish(job, world, agents, engine)
+            b.build_from_world(world, job.cfg.clone())
+                .unwrap_or_else(|e| panic!("job {:?}: {e}", job.label))
         }
-    }
+    };
+    finish(job, world_name, agents, world.fingerprint(), setup, engine)
 }
 
-/// Fingerprint the job's world configuration: the scenario's own hash
-/// when one is set, otherwise a hash over every `EnvConfig` field of
-/// the classic corridor. Stable across commits for equal configurations
-/// — the registry's provenance key.
-fn config_fingerprint(job: &Job) -> u64 {
-    match &job.cfg.scenario {
-        Some(s) => s.config_hash(),
-        None => {
-            let env = &job.cfg.env;
-            pedsim_obs::hash::Fnv64::new()
-                .str("classic_corridor")
-                .usize(env.width)
-                .usize(env.height)
-                .usize(env.agents_per_side)
-                .u64(env.spawn_rows.map_or(u64::MAX, |r| r as u64))
-                .f64(env.spawn_fill)
-                .u64(env.seed)
-                .finish()
-        }
-    }
-}
-
-fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> RunResult {
+fn finish<E: Engine>(
+    job: &Job,
+    world: String,
+    agents: usize,
+    config: u64,
+    setup: Duration,
+    mut engine: E,
+) -> RunResult {
     // Time the simulation loop alone: engine construction (world
     // materialisation, upload) and result extraction stay outside, per
     // the paper's "time spent solely for simulation" protocol.
@@ -160,7 +211,7 @@ fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> 
         engine: job.engine.name(),
         backend,
         threads,
-        config: config_fingerprint(job),
+        config,
         seed: job.cfg.env.seed,
         agents,
         steps: engine.steps_done(),
@@ -173,6 +224,7 @@ fn finish<E: Engine>(job: &Job, world: String, agents: usize, mut engine: E) -> 
         bands: mat.as_ref().map(band_count),
         segregation: mat.as_ref().map(segregation_index),
         gridlock_risk: metrics.and_then(|m| m.gridlock_warning(FLUX_REPORT_WINDOW)),
+        setup,
         wall,
         stages: engine.step_timings().clone(),
     }
@@ -319,7 +371,7 @@ mod tests {
         let scenario = pedsim_scenario::registry::asymmetric_corridor(24, 24, 30, 10).with_seed(4);
         let job = Job::gpu(
             "asym",
-            SimConfig::from_scenario(scenario, ModelKind::lem()),
+            SimConfig::from_scenario(&scenario, ModelKind::lem()),
             StopCondition::arrived_or_steps(300),
         );
         let report = Batch::new(1).run(&[job]);

@@ -69,6 +69,12 @@ pub struct RunResult {
     /// [`FLUX_REPORT_WINDOW`] steps, in `[0, 1]` (`None` when metrics
     /// were off or the run was shorter than the window).
     pub gridlock_risk: Option<f64>,
+    /// Time spent acquiring this job's compiled world: a cold compile
+    /// (placement + flow fields) on a cache miss, a cache fetch on a hit.
+    /// Engine construction and the simulation loop are excluded.
+    /// Non-deterministic; excluded from [`BatchReport::to_json`],
+    /// serialized as `setup_s` by [`BatchReport::to_json_with_timing`].
+    pub setup: Duration,
     /// Wall time of the simulation loop alone (engine construction and
     /// result extraction excluded). Non-deterministic; excluded from
     /// [`BatchReport::to_json`].
@@ -130,6 +136,7 @@ impl RunResult {
             &self.gridlock_risk.map_or("null".into(), json_f64),
         );
         if timing {
+            push_raw_field(&mut o, "setup_s", &json_f64(self.setup.as_secs_f64()));
             push_raw_field(&mut o, "wall_s", &json_f64(self.wall.as_secs_f64()));
             let mut stages = String::from("{");
             for stage in Stage::ALL {
@@ -193,6 +200,7 @@ impl RunResult {
         r.opt_f64_field("bands", self.bands);
         r.opt_f64_field("segregation", self.segregation);
         r.opt_f64_field("gridlock_risk", self.gridlock_risk);
+        r.wall_f64("setup_s", self.setup.as_secs_f64());
         r.wall_f64("wall_s", self.wall_secs());
         for stage in Stage::ALL {
             r.wall_f64(
@@ -247,6 +255,7 @@ impl RunResult {
             steps_per_sec: self.steps_per_sec(),
             total_ms_per_step: per_step_ms(self.wall_secs()),
             stage_ms,
+            setup_s: self.setup.as_secs_f64(),
         }
     }
 }
@@ -277,6 +286,9 @@ pub struct BatchReport {
     pub steady: usize,
     /// Jobs that ran out their step budget.
     pub exhausted: usize,
+    /// Sum of per-job world-acquisition times (cold compiles plus cache
+    /// fetches) — the batch's total setup cost.
+    pub setup_total: Duration,
     /// Sum of per-job wall times (CPU-seconds of simulation).
     pub wall_total: Duration,
     /// Longest single job (the batch's wall-clock critical path).
@@ -298,6 +310,7 @@ impl BatchReport {
             steps_total as f64 / jobs as f64
         };
         let count = |reason: StopReason| results.iter().filter(|r| r.stop == reason).count();
+        let setup_total = results.iter().map(|r| r.setup).sum();
         let wall_total = results.iter().map(|r| r.wall).sum();
         let wall_max = results.iter().map(|r| r.wall).max().unwrap_or_default();
         Self {
@@ -311,6 +324,7 @@ impl BatchReport {
             gridlocked: count(StopReason::Gridlocked),
             steady: count(StopReason::SteadyState),
             exhausted: count(StopReason::StepBudget),
+            setup_total,
             wall_total,
             wall_max,
             results,
@@ -356,7 +370,7 @@ impl BatchReport {
     fn render_json(&self, timing: bool) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v5\",");
+        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v6\",");
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"aggregate\": {{");
         let _ = writeln!(s, "    \"agents_total\": {},", self.agents_total);
@@ -372,6 +386,11 @@ impl BatchReport {
         );
         if timing {
             let _ = writeln!(s, ",");
+            let _ = writeln!(
+                s,
+                "    \"setup_total_s\": {},",
+                json_f64(self.setup_total.as_secs_f64())
+            );
             let _ = writeln!(
                 s,
                 "    \"wall_total_s\": {},",
@@ -470,6 +489,7 @@ mod tests {
             bands: Some(2.0),
             segregation: Some(0.75),
             gridlock_risk: Some(0.0),
+            setup: Duration::from_micros(seed),
             wall: Duration::from_millis(seed),
             stages: StepTimings::default(),
         }
@@ -510,12 +530,17 @@ mod tests {
             result("a", 1, StopReason::AllArrived),
         ];
         rev_results[0].wall = Duration::from_secs(5); // timing noise
+        rev_results[0].setup = Duration::from_secs(2); // more timing noise
         let rev = BatchReport::from_results(rev_results);
         assert_eq!(fwd.to_json(), rev.to_json());
         assert!(!fwd.to_json().contains("wall"));
+        assert!(!fwd.to_json().contains("setup"));
         assert!(!fwd.to_json().contains("stages_s"));
         let timed = fwd.to_json_with_timing();
         assert!(timed.contains("wall_total_s"));
+        assert!(timed.contains("setup_total_s"));
+        assert!(timed.contains("\"setup_s\":"));
+        assert!(timed.contains("pedsim.batch_report.v6"));
         // Every pipeline stage is serialized per result in timing mode.
         for stage in Stage::ALL {
             assert!(
@@ -550,11 +575,13 @@ mod tests {
         assert!(line.contains("\"schema\": \"pedsim.run.v1\""));
         assert!(line.contains("\"config\": \"00c0ffee00c0ffee\""));
         assert!(line.contains("\"bands\": 2"));
-        assert!(line.contains("\"wall\": {\"wall_s\": 0.25"));
+        assert!(line.contains("\"wall\": {\"setup_s\": "));
+        assert!(line.contains("\"wall_s\": 0.25"));
         // The canonical body is wall-free and byte-stable against
         // timing noise.
         let canon = pedsim_obs::journal::canonical(&line);
         assert!(!canon.contains("wall"));
+        assert!(!canon.contains("setup"));
         let mut noisy = result("a", 1, StopReason::AllArrived);
         noisy.wall = Duration::from_secs(9);
         assert_eq!(
@@ -574,6 +601,8 @@ mod tests {
         assert_eq!(row.steps_per_sec, 500.0);
         assert_eq!(row.total_ms_per_step, 2.0);
         assert_eq!(row.stage_ms, [0.0; 6]);
+        // setup_s is a per-job timing, not per step.
+        assert_eq!(row.setup_s, 1e-6);
         // Rows round-trip through the registry CSV.
         let parsed = pedsim_obs::registry::Row::parse(&row.csv_line()).expect("parse");
         assert_eq!(parsed, row);

@@ -29,7 +29,7 @@ fn job_set() -> Vec<Job> {
     for point in sweep::grid(&worlds, 24, &[8, 16], &[1, 2, 3]) {
         for model in [ModelKind::lem(), ModelKind::aco()] {
             let label = format!("{}/n{}/{}", point.world, point.per_side * 2, model.name());
-            let cfg = SimConfig::from_scenario(point.scenario.clone(), model);
+            let cfg = SimConfig::from_scenario(&point.scenario, model);
             jobs.push(Job::gpu(
                 label,
                 cfg,
@@ -75,7 +75,7 @@ fn cpu_and_gpu_agree_on_multi_group_worlds_in_a_batch() {
         let scenario = sweep::build_world(world, 24, 12)
             .unwrap_or_else(|| panic!("{world} missing"))
             .with_seed(31);
-        let cfg = SimConfig::from_scenario(scenario, ModelKind::aco());
+        let cfg = SimConfig::from_scenario(&scenario, ModelKind::aco());
         let jobs = vec![
             Job::cpu("pair", cfg.clone(), StopCondition::Steps(30)),
             Job::gpu("pair", cfg, StopCondition::Steps(30)),
@@ -118,7 +118,7 @@ fn run_until_all_arrived_agrees_with_run_then_inspect() {
 
     // Legacy protocol: burn the whole budget, inspect afterwards.
     let mut blind = GpuEngine::new(
-        SimConfig::from_scenario(scenario.clone(), ModelKind::lem()),
+        SimConfig::from_scenario(&scenario, ModelKind::lem()),
         simt::Device::sequential(),
     );
     blind.run(budget);
@@ -131,7 +131,7 @@ fn run_until_all_arrived_agrees_with_run_then_inspect() {
 
     // Early termination: stop the moment the last agent arrives.
     let mut early = GpuEngine::new(
-        SimConfig::from_scenario(scenario, ModelKind::lem()),
+        SimConfig::from_scenario(&scenario, ModelKind::lem()),
         simt::Device::sequential(),
     );
     let reason = early.run_until(&StopCondition::arrived_or_steps(budget));

@@ -366,6 +366,46 @@ impl Scenario {
         self
     }
 
+    /// A stable 64-bit fingerprint of the *routing geometry* alone: the
+    /// exact inputs of [`Scenario::distance_data`] — extents, walls, each
+    /// group's target cells and heading — and nothing else. Two scenarios
+    /// with equal geometry hashes compute bit-identical distance fields
+    /// even when they differ by name, seed, population, capacity, spawn
+    /// regions, or inflow sources; the world cache uses this key to reuse
+    /// the expensive per-group Dijkstra across the seed-varied replicas
+    /// of a sweep rung. The covered inputs also fully determine
+    /// [`Scenario::uses_row_fast_path`], so the row-table/grid-field
+    /// choice can never diverge between producer and consumer.
+    pub fn geometry_hash(&self) -> u64 {
+        let mut h = pedsim_obs::hash::Fnv64::new()
+            .str("routing_geometry")
+            .usize(self.width)
+            .usize(self.height)
+            .usize(self.walls.len());
+        for &(r, c) in &self.walls {
+            h = h.u64(u64::from(r) << 16 | u64::from(c));
+        }
+        h = h.usize(self.groups.len());
+        for g in &self.groups {
+            h = h.u64(g.heading.forward_index() as u64);
+            h = h.usize(g.target.cells().len());
+            for &(r, c) in g.target.cells() {
+                h = h.u64(u64::from(r) << 16 | u64::from(c));
+            }
+        }
+        h.finish()
+    }
+
+    /// Pre-seed the lazy distance-field cache with an already computed
+    /// plane set. A no-op when a field is already cached. The caller must
+    /// only pass fields computed for an identical [`geometry_hash`] —
+    /// the world cache's field level upholds this by construction.
+    ///
+    /// [`geometry_hash`]: Scenario::geometry_hash
+    pub fn seed_distance_cache(&self, dist: Arc<DistanceData>) {
+        let _ = self.dist_cache.set(dist);
+    }
+
     /// Whether `(r, c)` is an interior wall cell.
     pub fn is_wall(&self, r: usize, c: usize) -> bool {
         r <= u16::MAX as usize
@@ -1045,5 +1085,43 @@ mod tests {
         // An inflow source changes the experiment too.
         let open = crate::registry::open_corridor(16, 16, 20, 1.0).with_seed(5);
         assert_ne!(open.config_hash(), open.with_seed(9).config_hash());
+    }
+
+    #[test]
+    fn geometry_hash_ignores_seed_and_population_but_tracks_routing() {
+        let a = crate::registry::open_corridor(16, 16, 20, 1.0).with_seed(5);
+        // Everything that does not feed the distance field leaves the
+        // geometry hash alone: seed, inflow rate, capacity.
+        assert_eq!(a.geometry_hash(), a.clone().with_seed(9).geometry_hash());
+        assert_eq!(
+            a.geometry_hash(),
+            crate::registry::open_corridor(16, 16, 10, 4.0).geometry_hash()
+        );
+        // ... while the full config hash distinguishes all of those.
+        assert_ne!(a.config_hash(), a.clone().with_seed(9).config_hash());
+        // Routing inputs do move it: extents, walls, targets.
+        assert_ne!(
+            a.geometry_hash(),
+            crate::registry::open_corridor(16, 20, 20, 1.0).geometry_hash()
+        );
+        assert_ne!(
+            corridor().geometry_hash(),
+            crate::registry::crossing(16, 10).geometry_hash()
+        );
+    }
+
+    #[test]
+    fn seeded_distance_cache_is_used_and_first_write_wins() {
+        let a = crate::registry::crossing(16, 10).with_seed(1);
+        let b = crate::registry::crossing(16, 10).with_seed(2);
+        assert_eq!(a.geometry_hash(), b.geometry_hash());
+        let field = a.distance_data();
+        b.seed_distance_cache(field.clone());
+        // The injected plane set is served as-is — no recompute.
+        assert!(Arc::ptr_eq(&field, &b.distance_data()));
+        // Seeding after a field exists is a no-op.
+        let other = corridor().distance_data();
+        b.seed_distance_cache(other);
+        assert!(Arc::ptr_eq(&field, &b.distance_data()));
     }
 }

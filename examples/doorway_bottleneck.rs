@@ -45,7 +45,7 @@ fn main() {
                 };
                 Job::gpu(
                     format!("gap{gap:03}/{}", model.name()),
-                    SimConfig::from_scenario(scenario, model),
+                    SimConfig::from_scenario(&scenario, model),
                     StopCondition::arrived_or_steps(steps),
                 )
             })

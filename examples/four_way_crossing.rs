@@ -36,7 +36,7 @@ fn main() {
                 let scenario = registry::four_way_crossing(side, per).with_seed(41);
                 Job::gpu(
                     format!("n{:04}/{}", per * 4, model.name()),
-                    SimConfig::from_scenario(scenario, model),
+                    SimConfig::from_scenario(&scenario, model),
                     StopCondition::settled_or_steps(steps, 2, 40),
                 )
             })
@@ -67,7 +67,7 @@ fn main() {
     let per = *per_groups.last().expect("at least one density");
     let scenario = registry::four_way_crossing(side, per).with_seed(41);
     let mut e = GpuEngine::new(
-        SimConfig::from_scenario(scenario, ModelKind::aco()),
+        SimConfig::from_scenario(&scenario, ModelKind::aco()),
         pedsim::simt::Device::parallel(),
     );
     e.run_until(&StopCondition::settled_or_steps(steps, 2, 40));

@@ -30,7 +30,7 @@ fn main() {
     );
 
     let scenario = registry::open_corridor(side, side, capacity, rate).with_seed(97);
-    let cfg = SimConfig::from_scenario(scenario, ModelKind::aco());
+    let cfg = SimConfig::from_scenario(&scenario, ModelKind::aco());
     let mut engine = GpuEngine::new(cfg, pedsim::simt::Device::parallel());
 
     // Ramp-up trace: the corridor starts empty and fills toward the

@@ -79,7 +79,7 @@ fn legacy_goldens_hold_on_every_backend() {
         (
             "doorway/lem",
             SimConfig::from_scenario(
-                registry::doorway(32, 32, 60, 5).with_seed(7),
+                &registry::doorway(32, 32, 60, 5).with_seed(7),
                 ModelKind::lem(),
             ),
             60,
@@ -104,7 +104,7 @@ fn all_registry_worlds_agree_across_backends() {
             .expect("registry world")
             .with_seed(11);
         for model in [ModelKind::lem(), ModelKind::aco()] {
-            let cfg = SimConfig::from_scenario(scenario.clone(), model).with_checked(true);
+            let cfg = SimConfig::from_scenario(&scenario, model).with_checked(true);
             assert_backends_agree(&format!("{name}/{}", model.name()), cfg, 30);
         }
     }

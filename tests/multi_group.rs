@@ -55,14 +55,14 @@ fn legacy_trajectories_match_pre_refactor_goldens() {
             ),
             (
                 "paper_corridor/lem",
-                SimConfig::from_scenario(registry::paper_corridor(&env), ModelKind::lem()),
+                SimConfig::from_scenario(&registry::paper_corridor(&env), ModelKind::lem()),
                 60,
                 0x8136e34d28a027bf,
             ),
             (
                 "doorway/lem",
                 SimConfig::from_scenario(
-                    registry::doorway(32, 32, 60, 5).with_seed(7),
+                    &registry::doorway(32, 32, 60, 5).with_seed(7),
                     ModelKind::lem(),
                 ),
                 60,
@@ -71,7 +71,7 @@ fn legacy_trajectories_match_pre_refactor_goldens() {
             (
                 "pillar_hall/aco",
                 SimConfig::from_scenario(
-                    registry::pillar_hall(48, 48, 120, 6).with_seed(9),
+                    &registry::pillar_hall(48, 48, 120, 6).with_seed(9),
                     ModelKind::aco(),
                 ),
                 40,
@@ -95,7 +95,7 @@ fn engines_agree_on_four_way_crossing() {
     for model in [ModelKind::lem(), ModelKind::aco()] {
         let scenario = registry::four_way_crossing(32, 40).with_seed(13);
         assert_eq!(scenario.n_groups(), 4);
-        let cfg = SimConfig::from_scenario(scenario, model).with_checked(true);
+        let cfg = SimConfig::from_scenario(&scenario, model).with_checked(true);
         assert_eq!(
             engines_agree(cfg, 40, 10, 4),
             None,
@@ -109,7 +109,7 @@ fn engines_agree_on_four_way_crossing() {
 fn engines_agree_on_t_junction_merge() {
     for model in [ModelKind::lem(), ModelKind::aco()] {
         let scenario = registry::t_junction_merge(32, 40).with_seed(19);
-        let cfg = SimConfig::from_scenario(scenario, model).with_checked(true);
+        let cfg = SimConfig::from_scenario(&scenario, model).with_checked(true);
         assert_eq!(
             engines_agree(cfg, 40, 10, 3),
             None,
@@ -125,7 +125,7 @@ fn engines_agree_on_asymmetric_corridor() {
     // `agents_per_side * 2` bookkeeping mis-grouped.
     let scenario = registry::asymmetric_corridor(32, 32, 70, 25).with_seed(29);
     assert!(scenario.uses_row_fast_path());
-    let cfg = SimConfig::from_scenario(scenario, ModelKind::aco()).with_checked(true);
+    let cfg = SimConfig::from_scenario(&scenario, ModelKind::aco()).with_checked(true);
     assert_eq!(engines_agree(cfg, 50, 10, 4), None);
 }
 
@@ -149,7 +149,7 @@ fn crossing_counts_its_orthogonal_stream_through_the_mask() {
             );
         }
     }
-    let cfg = SimConfig::from_scenario(scenario.clone(), ModelKind::aco());
+    let cfg = SimConfig::from_scenario(&scenario, ModelKind::aco());
     let mut e = CpuEngine::new(cfg);
     e.run(400);
     let m = e.metrics().expect("metrics");
@@ -172,7 +172,7 @@ fn crossing_counts_its_orthogonal_stream_through_the_mask() {
 #[test]
 fn four_way_streams_all_make_progress() {
     let scenario = registry::four_way_crossing(32, 30).with_seed(8);
-    let cfg = SimConfig::from_scenario(scenario, ModelKind::lem());
+    let cfg = SimConfig::from_scenario(&scenario, ModelKind::lem());
     let mut e = CpuEngine::new(cfg);
     e.run(300);
     let m = e.metrics().expect("metrics");

@@ -33,7 +33,7 @@ fn jobs() -> Vec<Job> {
         let open = registry::open_corridor(24, 24, 30, 1.5).with_seed(seed);
         jobs.push(Job::gpu(
             format!("open/s{seed}"),
-            SimConfig::from_scenario(open, ModelKind::aco()),
+            SimConfig::from_scenario(&open, ModelKind::aco()),
             StopCondition::Steps(40),
         ));
     }

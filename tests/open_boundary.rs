@@ -11,7 +11,7 @@ use pedsim::scenario::registry;
 
 fn open_corridor_cfg(seed: u64, model: ModelKind) -> SimConfig {
     let scenario = registry::open_corridor(32, 32, 40, 2.0).with_seed(seed);
-    SimConfig::from_scenario(scenario, model).with_checked(true)
+    SimConfig::from_scenario(&scenario, model).with_checked(true)
 }
 
 #[test]
@@ -30,7 +30,7 @@ fn engines_agree_on_open_corridor() {
 fn engines_agree_on_open_crossing() {
     for model in [ModelKind::lem(), ModelKind::aco()] {
         let scenario = registry::open_crossing(32, 40, 1.5).with_seed(23);
-        let cfg = SimConfig::from_scenario(scenario, model).with_checked(true);
+        let cfg = SimConfig::from_scenario(&scenario, model).with_checked(true);
         assert_eq!(
             engines_agree(cfg, 120, 10, 3),
             None,
@@ -68,7 +68,7 @@ fn open_corridor_reaches_a_flowing_population() {
 #[test]
 fn open_world_never_exceeds_capacity_and_all_arrived_never_fires() {
     let scenario = registry::open_corridor(24, 24, 12, 6.0).with_seed(9);
-    let cfg = SimConfig::from_scenario(scenario, ModelKind::lem()).with_checked(true);
+    let cfg = SimConfig::from_scenario(&scenario, ModelKind::lem()).with_checked(true);
     let mut e = CpuEngine::new(cfg);
     for _ in 0..150 {
         e.step();
@@ -94,7 +94,7 @@ fn open_world_never_exceeds_capacity_and_all_arrived_never_fires() {
 #[test]
 fn steady_state_stop_fires_on_a_warm_open_corridor() {
     let scenario = registry::open_corridor(24, 24, 60, 2.0).with_seed(3);
-    let cfg = SimConfig::from_scenario(scenario, ModelKind::aco());
+    let cfg = SimConfig::from_scenario(&scenario, ModelKind::aco());
     let mut e = CpuEngine::new(cfg);
     let reason = e.run_until(&StopCondition::steady_or_steps(1_500, 0.6, 64));
     // A free-flowing corridor settles well before the budget.
@@ -115,7 +115,7 @@ fn batch_with_sources_is_deterministic_across_worker_counts() {
                     .with_seed(seed);
                 Job::gpu(
                     format!("{world}/s{seed}"),
-                    SimConfig::from_scenario(scenario, ModelKind::lem()),
+                    SimConfig::from_scenario(&scenario, ModelKind::lem()),
                     StopCondition::steady_or_steps(220, 0.5, 32),
                 )
             })
@@ -167,7 +167,7 @@ mod recycling_properties {
                 registry::open_corridor(24, 24, 20, f64::from(rate))
             }
             .with_seed(seed);
-            let cfg = SimConfig::from_scenario(scenario, ModelKind::lem()).with_checked(true);
+            let cfg = SimConfig::from_scenario(&scenario, ModelKind::lem()).with_checked(true);
             let mut e = CpuEngine::new(cfg);
             for _ in 0..60 {
                 e.step();

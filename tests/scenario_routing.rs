@@ -45,7 +45,7 @@ fn assert_walls_respected(env: &Environment, scenario: &Scenario) {
 fn all_registry_scenarios_run_on_both_engines() {
     for scenario in registry_worlds(17) {
         for model in [ModelKind::lem(), ModelKind::aco()] {
-            let cfg = SimConfig::from_scenario(scenario.clone(), model).with_checked(true);
+            let cfg = SimConfig::from_scenario(&scenario, model).with_checked(true);
             let mut cpu = CpuEngine::new(cfg.clone());
             let mut gpu = GpuEngine::new(cfg, pedsim::simt::Device::parallel());
             cpu.run(40);
@@ -77,7 +77,7 @@ fn engines_agree_on_obstacle_scenarios() {
     // obstacles (grid flow-field routing), under the parallel policy.
     for (model, workers) in [(ModelKind::lem(), 4), (ModelKind::aco(), 3)] {
         let scenario = registry::doorway(32, 32, 80, 3).with_seed(23);
-        let cfg = SimConfig::from_scenario(scenario, model).with_checked(true);
+        let cfg = SimConfig::from_scenario(&scenario, model).with_checked(true);
         assert_eq!(
             engines_agree(cfg, 40, 10, workers),
             None,
@@ -86,7 +86,7 @@ fn engines_agree_on_obstacle_scenarios() {
         );
     }
     // And on the orthogonal-streams world (no walls, non-band targets).
-    let cfg = SimConfig::from_scenario(registry::crossing(28, 60).with_seed(5), ModelKind::aco())
+    let cfg = SimConfig::from_scenario(&registry::crossing(28, 60).with_seed(5), ModelKind::aco())
         .with_checked(true);
     assert_eq!(engines_agree(cfg, 30, 10, 4), None, "crossing diverged");
 }
@@ -100,7 +100,7 @@ fn paper_corridor_reproduces_legacy_trajectories_exactly() {
         let env_cfg = EnvConfig::small(40, 40, 150).with_seed(91);
         let legacy = SimConfig::new(env_cfg, model).with_checked(true);
         let scenic =
-            SimConfig::from_scenario(registry::paper_corridor(&env_cfg), model).with_checked(true);
+            SimConfig::from_scenario(&registry::paper_corridor(&env_cfg), model).with_checked(true);
 
         let mut legacy_gpu = GpuEngine::new(legacy.clone(), pedsim::simt::Device::parallel());
         let mut scenic_gpu = GpuEngine::new(scenic.clone(), pedsim::simt::Device::parallel());
@@ -126,7 +126,7 @@ fn paper_corridor_reproduces_legacy_trajectories_exactly() {
 
 #[test]
 fn crossing_streams_reach_their_targets() {
-    let cfg = SimConfig::from_scenario(registry::crossing(32, 60).with_seed(3), ModelKind::aco());
+    let cfg = SimConfig::from_scenario(&registry::crossing(32, 60).with_seed(3), ModelKind::aco());
     let mut e = GpuEngine::new(cfg, pedsim::simt::Device::parallel());
     e.run(400);
     let m = e.metrics().expect("metrics");
@@ -139,7 +139,7 @@ fn crossing_streams_reach_their_targets() {
 fn doorway_bottleneck_still_flows() {
     // A 2-cell doorway chokes but must not deadlock at moderate load.
     let cfg = SimConfig::from_scenario(
-        registry::doorway(32, 32, 40, 2).with_seed(7),
+        &registry::doorway(32, 32, 40, 2).with_seed(7),
         ModelKind::aco(),
     );
     let mut e = GpuEngine::new(cfg, pedsim::simt::Device::parallel());
@@ -173,7 +173,7 @@ mod properties {
                 registry::doorway(28, 28, 40, gap).with_seed(seed)
             };
             let model = if aco { ModelKind::aco() } else { ModelKind::lem() };
-            let cfg = SimConfig::from_scenario(scenario.clone(), model).with_checked(true);
+            let cfg = SimConfig::from_scenario(&scenario, model).with_checked(true);
             let mut e = CpuEngine::new(cfg);
             for _ in 0..15 {
                 e.step();
