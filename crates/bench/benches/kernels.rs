@@ -81,6 +81,7 @@ fn bench_kernels(c: &mut Criterion) {
                 id: &state.id,
                 row: state.row.view(),
                 col: state.col.view(),
+                pos: state.pos.view(),
                 tour: state.tour.view(),
                 mat_out: state.mat[1].view(),
                 index_out: state.index[1].view(),

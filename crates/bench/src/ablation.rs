@@ -124,6 +124,7 @@ pub fn movement_variants(side: usize, agents: usize, reps: usize) -> MovementAbl
             id: &state.id,
             row: state.row.view(),
             col: state.col.view(),
+            pos: state.pos.view(),
             tour: state.tour.view(),
             mat_out: state.mat[1].view(),
             index_out: state.index[1].view(),

@@ -179,11 +179,19 @@ fn main() {
 
     println!("\n## Backend scale ladder ({} scale)\n", scale.label());
     print!("{}", st::ladder_table(&ladder_rows).markdown());
-    for (side, x) in st::ladder_speedups(&ladder_rows) {
+    for (side, mode, x) in st::ladder_speedups(&ladder_rows) {
         println!(
-            "side {side}: pooled movement runs at {x:.2}x the scalar stage \
+            "side {side} [{mode}]: pooled movement runs at {x:.2}x the scalar stage \
              (gains beyond the banded kernels' single-thread advantage need real cores)",
         );
+    }
+    for (side, backend, threads, x) in st::sparse_speedups(&ladder_rows) {
+        println!("side {side}: {backend}/t{threads} steps {x:.2}x faster sparse than dense");
+    }
+    for (side, mode, threads, eff) in st::thread_scaling(&ladder_rows) {
+        if threads > 1 {
+            println!("side {side} [{mode}]: pooled t{threads} thread-scaling efficiency {eff:.2}");
+        }
     }
     log_summary!("wall: {:.2}s on {workers} workers", elapsed.as_secs_f64());
 

@@ -271,8 +271,18 @@ pub struct LadderRung {
     pub side: usize,
     /// Agents per side (total population is twice this).
     pub per_side: usize,
-    /// Steps per replica (pure step budget).
+    /// Measured steps per replica (pure step budget).
     pub steps: u64,
+    /// Untimed warmup steps discarded before the clock starts.
+    pub warmup: u64,
+}
+
+impl LadderRung {
+    /// Initial occupancy of this rung's world (`agents / cells`) — what
+    /// `IterationMode::Auto` resolves against.
+    pub fn occupancy(&self) -> f64 {
+        (self.per_side * 2) as f64 / (self.side * self.side) as f64
+    }
 }
 
 /// The backend-registry configurations the ladder sweeps, in report
@@ -286,46 +296,58 @@ pub const LADDER_BACKENDS: &[(&str, usize)] = &[
     ("simt", 1),
 ];
 
+/// The stage-traversal modes every ladder cell is measured under, in
+/// report order. Sweeping both pins the sparse-over-dense speedup as a
+/// first-class series instead of an anecdote.
+pub const LADDER_MODES: &[IterationMode] = &[IterationMode::Dense, IterationMode::Sparse];
+
 /// Seed shared by every ladder replica.
 pub const LADDER_SEED: u64 = 9_700;
 
 /// The rungs measured at `scale`. Every scale climbs from the smoke
 /// rung; the 10⁵-agent rung needs `default`, the 10⁶-agent rung
-/// `--paper` (minutes per backend on one core).
+/// `--paper` (minutes per backend on one core). The big rungs carry a
+/// warmup discard and enough measured steps that one slow first step
+/// (page faults, cold caches) cannot dominate the mean — at 10/3
+/// measured steps with no warmup they used to be noise traps.
 pub fn ladder_rungs(scale: Scale) -> Vec<LadderRung> {
     let mut rungs = vec![LadderRung {
         side: 96,
         per_side: 400,
         steps: 40,
+        warmup: 5,
     }];
     if scale != Scale::Smoke {
         rungs.push(LadderRung {
             side: 1024,
             per_side: 50_000,
-            steps: 10,
+            steps: 30,
+            warmup: 3,
         });
     }
     if scale == Scale::Paper {
         rungs.push(LadderRung {
             side: 4096,
             per_side: 500_000,
-            steps: 3,
+            steps: 10,
+            warmup: 2,
         });
     }
     rungs
 }
 
-/// Canonical ladder job label: `ladder/s<side>/<backend>/t<threads>`.
-pub fn ladder_label(side: usize, backend: &str, threads: usize) -> String {
-    format!("ladder/s{side}/{backend}/t{threads}")
+/// Canonical ladder job label:
+/// `ladder/s<side>/<backend>/t<threads>/<mode>`.
+pub fn ladder_label(side: usize, backend: &str, threads: usize, mode: IterationMode) -> String {
+    format!("ladder/s{side}/{backend}/t{threads}/{}", mode.name())
 }
 
 /// The ladder job list over explicit rungs: every rung × backend
-/// configuration (restricted to `only` when given), LEM on the classic
-/// corridor with metrics off — the ladder times the kernel pipeline,
-/// not the observables. One replica per cell: the registry accumulates
-/// repeats across runs, and a 10⁶-agent rung cannot afford in-process
-/// repetition.
+/// configuration × traversal mode (restricted to `only`'s backend
+/// configuration when given), LEM on the classic corridor with metrics
+/// off — the ladder times the kernel pipeline, not the observables. One
+/// replica per cell: the registry accumulates repeats across runs, and
+/// a 10⁶-agent rung cannot afford in-process repetition.
 pub fn ladder_jobs_for(rungs: &[LadderRung], only: Option<(&str, usize)>) -> Vec<Job> {
     let mut jobs = Vec::new();
     for rung in rungs {
@@ -335,15 +357,24 @@ pub fn ladder_jobs_for(rungs: &[LadderRung], only: Option<(&str, usize)>) -> Vec
                     continue;
                 }
             }
-            let env = EnvConfig::small(rung.side, rung.side, rung.per_side).with_seed(LADDER_SEED);
-            let cfg = SimConfig::from_scenario(&registry::paper_corridor(&env), ModelKind::lem())
-                .with_metrics(false);
-            jobs.push(Job::backend(
-                ladder_label(rung.side, backend, threads),
-                cfg,
-                Backend::named(backend, threads),
-                StopCondition::Steps(rung.steps),
-            ));
+            for &mode in LADDER_MODES {
+                let env =
+                    EnvConfig::small(rung.side, rung.side, rung.per_side).with_seed(LADDER_SEED);
+                let cfg =
+                    SimConfig::from_scenario(&registry::paper_corridor(&env), ModelKind::lem())
+                        .with_metrics(false)
+                        .with_iteration_mode(mode);
+                jobs.push(
+                    Job::backend(
+                        ladder_label(rung.side, backend, threads, mode),
+                        cfg,
+                        Backend::named(backend, threads),
+                        // Stop conditions count warmup steps too.
+                        StopCondition::Steps(rung.warmup + rung.steps),
+                    )
+                    .with_warmup(rung.warmup),
+                );
+            }
         }
     }
     jobs
@@ -354,21 +385,30 @@ pub fn ladder_jobs(scale: Scale, only: Option<(&str, usize)>) -> Vec<Job> {
     ladder_jobs_for(&ladder_rungs(scale), only)
 }
 
-/// One (rung, backend configuration) cell of the ladder.
+/// One (rung, backend configuration, traversal mode) cell of the
+/// ladder.
 #[derive(Debug, Clone)]
 pub struct LadderRow {
     /// Grid side of the rung.
     pub side: usize,
     /// Total agents simulated.
     pub agents: usize,
+    /// Initial occupancy (`agents / cells`) of the rung's world.
+    pub occupancy: f64,
     /// Backend registry key.
     pub backend: &'static str,
     /// Worker threads.
     pub threads: usize,
-    /// Steps timed.
+    /// Stage-traversal mode the cell ran under (`"dense"` / `"sparse"`).
+    pub mode: &'static str,
+    /// Untimed warmup steps discarded before measurement.
+    pub warmup: u64,
+    /// Steps timed (warmup excluded).
     pub steps: u64,
     /// Simulated steps per wall-clock second.
     pub steps_per_sec: f64,
+    /// Mean milliseconds per step per stage ([`Stage::ALL`] order).
+    pub stage_ms: [f64; Stage::COUNT],
     /// Mean milliseconds per step in the movement stage (the conflict-
     /// resolution kernel the pooled backend parallelises).
     pub movement_ms: f64,
@@ -377,77 +417,79 @@ pub struct LadderRow {
 }
 
 /// Aggregate a finished ladder batch into per-cell rows (report order:
-/// rung-major, then [`LADDER_BACKENDS`] order).
+/// rung-major, then [`LADDER_BACKENDS`], then [`LADDER_MODES`]).
 pub fn aggregate_ladder(rungs: &[LadderRung], report: &BatchReport) -> Vec<LadderRow> {
     let mut out = Vec::new();
     for rung in rungs {
         for &(backend, threads) in LADDER_BACKENDS {
-            let label = ladder_label(rung.side, backend, threads);
-            let results: Vec<_> = report.with_label(&label).collect();
-            if results.is_empty() {
-                continue;
-            }
-            let steps: u64 = results.iter().map(|r| r.steps).sum();
-            let wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
-            let movement: f64 = results
-                .iter()
-                .map(|r| r.stages.of(Stage::Movement).as_secs_f64())
-                .sum();
-            let total: f64 = results
-                .iter()
-                .map(|r| {
-                    Stage::ALL
-                        .iter()
-                        .map(|s| r.stages.of(*s).as_secs_f64())
-                        .sum::<f64>()
-                })
-                .sum();
-            let per_step_ms = |secs: f64| {
-                if steps == 0 {
-                    0.0
-                } else {
-                    secs * 1e3 / steps as f64
+            for &mode in LADDER_MODES {
+                let label = ladder_label(rung.side, backend, threads, mode);
+                let results: Vec<_> = report.with_label(&label).collect();
+                if results.is_empty() {
+                    continue;
                 }
-            };
-            out.push(LadderRow {
-                side: rung.side,
-                agents: results[0].agents,
-                backend,
-                threads,
-                steps,
-                steps_per_sec: if wall > 0.0 { steps as f64 / wall } else { 0.0 },
-                movement_ms: per_step_ms(movement),
-                total_ms: per_step_ms(total),
-            });
+                let steps: u64 = results.iter().map(|r| r.steps).sum();
+                let wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+                let per_step_ms = |secs: f64| {
+                    if steps == 0 {
+                        0.0
+                    } else {
+                        secs * 1e3 / steps as f64
+                    }
+                };
+                let mut stage_ms = [0.0; Stage::COUNT];
+                for stage in Stage::ALL {
+                    let secs: f64 = results
+                        .iter()
+                        .map(|r| r.stages.of(stage).as_secs_f64())
+                        .sum();
+                    stage_ms[stage.index()] = per_step_ms(secs);
+                }
+                out.push(LadderRow {
+                    side: rung.side,
+                    agents: results[0].agents,
+                    occupancy: rung.occupancy(),
+                    backend,
+                    threads,
+                    mode: mode.name(),
+                    warmup: rung.warmup,
+                    steps,
+                    steps_per_sec: if wall > 0.0 { steps as f64 / wall } else { 0.0 },
+                    stage_ms,
+                    movement_ms: stage_ms[Stage::Movement.index()],
+                    total_ms: stage_ms.iter().sum(),
+                });
+            }
         }
     }
     out
 }
 
 /// Movement-stage speedup of the widest pooled configuration over the
-/// scalar reference, per rung: `(side, scalar_movement_ms /
-/// pooled_movement_ms)`. Rungs missing either cell are skipped. On a
-/// single-core host this honestly reports ≈1× or below — the pooled
-/// backend buys nothing without cores to spend.
-pub fn ladder_speedups(rows: &[LadderRow]) -> Vec<(usize, f64)> {
+/// scalar reference, per `(side, mode)`: `(side, mode,
+/// scalar_movement_ms / pooled_movement_ms)`. Cells missing either side
+/// of the ratio are skipped. On a single-core host this honestly
+/// reports ≈1× or below — the pooled backend buys nothing without cores
+/// to spend.
+pub fn ladder_speedups(rows: &[LadderRow]) -> Vec<(usize, &'static str, f64)> {
     let widest = LADDER_BACKENDS
         .iter()
         .filter(|(b, _)| *b == "pooled")
         .map(|&(_, t)| t)
         .max()
         .unwrap_or(1);
-    let sides: BTreeSet<usize> = rows.iter().map(|r| r.side).collect();
-    sides
+    let cells: BTreeSet<(usize, &'static str)> = rows.iter().map(|r| (r.side, r.mode)).collect();
+    cells
         .into_iter()
-        .filter_map(|side| {
+        .filter_map(|(side, mode)| {
             let scalar = rows
                 .iter()
-                .find(|r| r.side == side && r.backend == "scalar")?;
-            let pooled = rows
-                .iter()
-                .find(|r| r.side == side && r.backend == "pooled" && r.threads == widest)?;
+                .find(|r| r.side == side && r.mode == mode && r.backend == "scalar")?;
+            let pooled = rows.iter().find(|r| {
+                r.side == side && r.mode == mode && r.backend == "pooled" && r.threads == widest
+            })?;
             if pooled.movement_ms > 0.0 {
-                Some((side, scalar.movement_ms / pooled.movement_ms))
+                Some((side, mode, scalar.movement_ms / pooled.movement_ms))
             } else {
                 None
             }
@@ -455,13 +497,81 @@ pub fn ladder_speedups(rows: &[LadderRow]) -> Vec<(usize, f64)> {
         .collect()
 }
 
+/// Total-step speedup of sparse over dense traversal, per `(side,
+/// backend, threads)` cell: `dense_total_ms / sparse_total_ms`. The
+/// tentpole series — O(live agents) stepping must beat the O(cells)
+/// sweep wherever occupancy is low, and by more as the grid grows.
+pub fn sparse_speedups(rows: &[LadderRow]) -> Vec<(usize, &'static str, usize, f64)> {
+    let cells: BTreeSet<(usize, &'static str, usize)> = rows
+        .iter()
+        .map(|r| (r.side, r.backend, r.threads))
+        .collect();
+    cells
+        .into_iter()
+        .filter_map(|(side, backend, threads)| {
+            let find = |mode: &str| {
+                rows.iter().find(|r| {
+                    r.side == side && r.backend == backend && r.threads == threads && r.mode == mode
+                })
+            };
+            let (dense, sparse) = (find("dense")?, find("sparse")?);
+            if sparse.total_ms > 0.0 {
+                Some((side, backend, threads, dense.total_ms / sparse.total_ms))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Pooled thread-scaling efficiency per `(side, mode, threads)`:
+/// `steps_per_sec(t) / (steps_per_sec(1) · t)`. 1.0 is perfect linear
+/// scaling; a flat thread curve reads as `1/t`. The dense rows were
+/// historically near-flat because row bands balanced *cells*, not
+/// agents — this series keeps that regression visible.
+pub fn thread_scaling(rows: &[LadderRow]) -> Vec<(usize, &'static str, usize, f64)> {
+    let mut out = Vec::new();
+    let cells: BTreeSet<(usize, &'static str)> = rows
+        .iter()
+        .filter(|r| r.backend == "pooled")
+        .map(|r| (r.side, r.mode))
+        .collect();
+    for (side, mode) in cells {
+        let sps = |threads: usize| {
+            rows.iter()
+                .find(|r| {
+                    r.side == side
+                        && r.mode == mode
+                        && r.backend == "pooled"
+                        && r.threads == threads
+                })
+                .map(|r| r.steps_per_sec)
+        };
+        let Some(base) = sps(1) else { continue };
+        if base <= 0.0 {
+            continue;
+        }
+        for &(backend, threads) in LADDER_BACKENDS {
+            if backend != "pooled" {
+                continue;
+            }
+            if let Some(v) = sps(threads) {
+                out.push((side, mode, threads, v / (base * threads as f64)));
+            }
+        }
+    }
+    out
+}
+
 /// Render the ladder as a table (Markdown/CSV).
 pub fn ladder_table(rows: &[LadderRow]) -> Table {
     let mut t = Table::new(vec![
         "side".to_string(),
         "agents".to_string(),
+        "occupancy".to_string(),
         "backend".to_string(),
         "threads".to_string(),
+        "mode".to_string(),
         "steps".to_string(),
         "steps_per_sec".to_string(),
         "movement_ms".to_string(),
@@ -471,8 +581,10 @@ pub fn ladder_table(rows: &[LadderRow]) -> Table {
         t.push_row(vec![
             r.side.to_string(),
             r.agents.to_string(),
+            format!("{:.4}", r.occupancy),
             r.backend.to_string(),
             r.threads.to_string(),
+            r.mode.to_string(),
             r.steps.to_string(),
             format!("{:.1}", r.steps_per_sec),
             format!("{:.4}", r.movement_ms),
@@ -527,14 +639,15 @@ fn stages_object(values: &[f64; Stage::COUNT], precision: usize) -> String {
 
 /// JSON for `results/step_throughput_<scale>.json` and the repo-root
 /// `BENCH_step_throughput.json`: per-stage breakdowns for both engines
-/// plus CPU-over-GPU ratios, per world, and the backend scale ladder
-/// (v2) with its per-rung movement speedups.
+/// plus CPU-over-GPU ratios, per world, and the backend scale ladder —
+/// v3 adds per-cell occupancy / traversal mode / per-stage timings and
+/// the sparse-over-dense and thread-scaling-efficiency derived series.
 pub fn to_json(scale: Scale, cfg: &StConfig, rows: &[StRow], ladder: &[LadderRow]) -> String {
     let ratios = ratios(rows);
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"step_throughput\",\n");
-    s.push_str("  \"schema\": \"pedsim.step_throughput.v2\",\n");
+    s.push_str("  \"schema\": \"pedsim.step_throughput.v3\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     s.push_str(&format!("  \"side\": {},\n", cfg.side));
     s.push_str(&format!("  \"steps_per_replica\": {},\n", cfg.steps));
@@ -580,26 +693,51 @@ pub fn to_json(scale: Scale, cfg: &StConfig, rows: &[StRow], ladder: &[LadderRow
     for (i, r) in ladder.iter().enumerate() {
         let comma = if i + 1 < ladder.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"side\": {}, \"agents\": {}, \"backend\": \"{}\", \"threads\": {}, \
-             \"steps\": {}, \"steps_per_sec\": {:.1}, \"movement_ms_per_step\": {:.4}, \
-             \"total_ms_per_step\": {:.4}}}{comma}\n",
+            "    {{\"side\": {}, \"agents\": {}, \"occupancy\": {:.4}, \"backend\": \"{}\", \
+             \"threads\": {}, \"iteration_mode\": \"{}\", \"warmup\": {}, \"steps\": {}, \
+             \"steps_per_sec\": {:.1}, \"movement_ms_per_step\": {:.4}, \
+             \"total_ms_per_step\": {:.4}, \"stages_ms_per_step\": {}}}{comma}\n",
             r.side,
             r.agents,
+            r.occupancy,
             r.backend,
             r.threads,
+            r.mode,
+            r.warmup,
             r.steps,
             r.steps_per_sec,
             r.movement_ms,
             r.total_ms,
+            stages_object(&r.stage_ms, 4),
         ));
     }
     s.push_str("  ],\n");
     s.push_str("  \"ladder_movement_speedup\": [\n");
     let speedups = ladder_speedups(ladder);
-    for (i, (side, x)) in speedups.iter().enumerate() {
+    for (i, (side, mode, x)) in speedups.iter().enumerate() {
         let comma = if i + 1 < speedups.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"side\": {side}, \"pooled_over_scalar\": {x:.3}}}{comma}\n"
+            "    {{\"side\": {side}, \"mode\": \"{mode}\", \"pooled_over_scalar\": {x:.3}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"sparse_over_dense\": [\n");
+    let sparse = sparse_speedups(ladder);
+    for (i, (side, backend, threads, x)) in sparse.iter().enumerate() {
+        let comma = if i + 1 < sparse.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"side\": {side}, \"backend\": \"{backend}\", \"threads\": {threads}, \
+             \"total_speedup\": {x:.3}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"thread_scaling_efficiency\": [\n");
+    let scaling = thread_scaling(ladder);
+    for (i, (side, mode, threads, eff)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"side\": {side}, \"mode\": \"{mode}\", \"threads\": {threads}, \
+             \"efficiency\": {eff:.3}}}{comma}\n"
         ));
     }
     s.push_str("  ]\n}\n");
@@ -663,7 +801,7 @@ mod tests {
         }
         let json = to_json(Scale::Smoke, &cfg, &rows, &[]);
         assert!(json.contains("\"bench\": \"step_throughput\""));
-        assert!(json.contains("\"schema\": \"pedsim.step_throughput.v2\""));
+        assert!(json.contains("\"schema\": \"pedsim.step_throughput.v3\""));
         for stage in Stage::ALL {
             assert!(json.contains(&format!("\"{}\":", stage.name())));
         }
@@ -674,32 +812,35 @@ mod tests {
 
     #[test]
     fn ladder_jobs_cover_every_backend_and_validate() {
+        let cells = LADDER_BACKENDS.len() * LADDER_MODES.len();
         let jobs = ladder_jobs(Scale::Smoke, None);
-        assert_eq!(jobs.len(), LADDER_BACKENDS.len());
+        assert_eq!(jobs.len(), cells);
         for job in &jobs {
             assert!(job.validate().is_ok(), "{}", job.label);
+            // Warmup rides inside the step budget, never on top of it.
+            assert!(job.warmup > 0, "{}", job.label);
+            assert_eq!(job.stop, StopCondition::Steps(job.warmup + 40));
         }
-        // Every label is distinct and names its backend configuration.
+        // Every label is distinct and names its backend configuration
+        // and traversal mode.
         let labels: BTreeSet<&str> = jobs.iter().map(|j| j.label.as_str()).collect();
         assert_eq!(labels.len(), jobs.len());
         for &(backend, threads) in LADDER_BACKENDS {
-            let label = ladder_label(96, backend, threads);
-            let job = jobs.iter().find(|j| j.label == label).expect("cell");
-            assert_eq!(job.engine.backend_sel(), (backend, threads));
+            for &mode in LADDER_MODES {
+                let label = ladder_label(96, backend, threads, mode);
+                let job = jobs.iter().find(|j| j.label == label).expect("cell");
+                assert_eq!(job.engine.backend_sel(), (backend, threads));
+                assert_eq!(job.cfg.iteration, mode);
+            }
         }
         // Larger scales add rungs without dropping the smoke rung.
-        assert_eq!(
-            ladder_jobs(Scale::Default, None).len(),
-            2 * LADDER_BACKENDS.len()
-        );
-        assert_eq!(
-            ladder_jobs(Scale::Paper, None).len(),
-            3 * LADDER_BACKENDS.len()
-        );
-        // `only` restricts to one backend configuration per rung.
+        assert_eq!(ladder_jobs(Scale::Default, None).len(), 2 * cells);
+        assert_eq!(ladder_jobs(Scale::Paper, None).len(), 3 * cells);
+        // `only` restricts to one backend configuration per rung; both
+        // modes stay.
         let pooled4 = ladder_jobs(Scale::Default, Some(("pooled", 4)));
-        assert_eq!(pooled4.len(), 2);
-        assert!(pooled4.iter().all(|j| j.label.ends_with("pooled/t4")));
+        assert_eq!(pooled4.len(), 2 * LADDER_MODES.len());
+        assert!(pooled4.iter().all(|j| j.label.contains("pooled/t4/")));
     }
 
     #[test]
@@ -708,29 +849,55 @@ mod tests {
             side: 24,
             per_side: 20,
             steps: 10,
+            warmup: 2,
         }];
         let jobs = ladder_jobs_for(&rungs, None);
         let report = Batch::new(1).run(&jobs);
         let rows = aggregate_ladder(&rungs, &report);
-        assert_eq!(rows.len(), LADDER_BACKENDS.len());
+        assert_eq!(rows.len(), LADDER_BACKENDS.len() * LADDER_MODES.len());
         for r in &rows {
+            // Warmup steps are discarded from the timed count.
             assert_eq!(r.steps, 10);
+            assert_eq!(r.warmup, 2);
             assert_eq!(r.agents, 40);
+            assert!((r.occupancy - 40.0 / (24.0 * 24.0)).abs() < 1e-12);
             assert!(
                 r.steps_per_sec > 0.0,
-                "{}/t{} untimed",
+                "{}/t{}/{} untimed",
                 r.backend,
-                r.threads
+                r.threads,
+                r.mode
             );
             assert!(r.movement_ms > 0.0);
+            assert_eq!(r.movement_ms, r.stage_ms[Stage::Movement.index()]);
         }
+        // One movement-speedup entry per mode; sparse-over-dense per
+        // backend configuration; pooled scaling per mode × thread count.
         let speedups = ladder_speedups(&rows);
-        assert_eq!(speedups.len(), 1);
-        assert_eq!(speedups[0].0, 24);
-        assert!(speedups[0].1 > 0.0);
+        assert_eq!(speedups.len(), LADDER_MODES.len());
+        for (side, _, x) in &speedups {
+            assert_eq!(*side, 24);
+            assert!(*x > 0.0);
+        }
+        let sparse = sparse_speedups(&rows);
+        assert_eq!(sparse.len(), LADDER_BACKENDS.len());
+        assert!(sparse.iter().all(|(_, _, _, x)| *x > 0.0));
+        let scaling = thread_scaling(&rows);
+        assert_eq!(scaling.len(), 3 * LADDER_MODES.len());
+        for (_, mode, threads, eff) in &scaling {
+            assert!(*eff > 0.0, "pooled t{threads} {mode} unmeasured");
+            if *threads == 1 {
+                assert!((eff - 1.0).abs() < 1e-12);
+            }
+        }
         let json = to_json(Scale::Smoke, &StConfig::for_scale(Scale::Smoke), &[], &rows);
         assert!(json.contains("\"backend\": \"pooled\""));
+        assert!(json.contains("\"iteration_mode\": \"sparse\""));
+        assert!(json.contains("\"occupancy\":"));
+        assert!(json.contains("\"stages_ms_per_step\":"));
         assert!(json.contains("ladder_movement_speedup"));
+        assert!(json.contains("sparse_over_dense"));
+        assert!(json.contains("thread_scaling_efficiency"));
     }
 
     #[test]

@@ -209,7 +209,7 @@ mod tests {
         let report = proto.run(2);
         assert_eq!(report.jobs, 16);
         let json = report.to_json();
-        assert!(json.contains("pedsim.batch_report.v6"));
+        assert!(json.contains("pedsim.batch_report.v7"));
         assert!(json.contains("paper_corridor"));
         assert_eq!(proto.summary_table(&report).rows.len(), 8);
     }

@@ -20,7 +20,7 @@ use philox::StreamRng;
 use crate::metrics::{Geometry, Metrics};
 use crate::model::{aco_scan_row, aco_select, front_status, gather_winner};
 use crate::model::{lem_scan_row, lem_select, ScanRow};
-use crate::params::{ModelKind, SimConfig};
+use crate::params::{IterationMode, ModelKind, SimConfig};
 
 use super::lifecycle::{LifecycleWorld, OpenLifecycle};
 use super::pipeline::{Stage, StageBackend, StepCore, StepTimings};
@@ -47,6 +47,12 @@ struct CpuBackend {
     pher_next: Option<PheromoneField>,
     dist: std::sync::Arc<DistanceData>,
     seed: u64,
+    /// Traversal mode, resolved from the configuration at build time
+    /// (`Auto` → initial occupancy vs the threshold).
+    mode: IterationMode,
+    /// Scratch list of resolved movers for the sparse movement pass:
+    /// `(slot, dst_row, dst_col, step_len)`.
+    winners: Vec<(u32, u16, u16, f32)>,
 }
 
 /// The lifecycle's view of a host-side engine's world: the host
@@ -56,6 +62,9 @@ struct CpuBackend {
 pub(crate) struct HostWorld<'a> {
     pub(crate) env: &'a mut Environment,
     pub(crate) tour: &'a mut TourLengths,
+    /// Sparse-mode row buckets to keep in lock-step with the liveness
+    /// table (`None` for dense backends and the scalar engine).
+    pub(crate) buckets: Option<&'a mut super::pooled::RowBuckets>,
 }
 
 impl LifecycleWorld for HostWorld<'_> {
@@ -73,11 +82,17 @@ impl LifecycleWorld for HostWorld<'_> {
 
     fn despawn(&mut self, g: Group, i: usize) {
         self.env.despawn(g, i);
+        if let Some(b) = self.buckets.as_deref_mut() {
+            b.remove(i as u32);
+        }
     }
 
     fn spawn(&mut self, g: Group, r: u16, c: u16) -> Option<u32> {
         let idx = self.env.spawn_from_free(g, r, c)?;
         self.tour.len[idx as usize] = 0.0;
+        if let Some(b) = self.buckets.as_deref_mut() {
+            b.insert(idx, r);
+        }
         Some(idx)
     }
 }
@@ -125,6 +140,7 @@ impl CpuEngine {
         };
         let (h, w) = (env.height(), env.width());
         let seed = cfg.env.seed;
+        let mode = cfg.iteration.resolve(env.live_count(), h * w);
         Self {
             core,
             backend: CpuBackend {
@@ -138,6 +154,8 @@ impl CpuEngine {
                 pher_next,
                 dist,
                 seed,
+                mode,
+                winners: Vec::new(),
                 env,
             },
         }
@@ -340,6 +358,7 @@ impl CpuBackend {
                     };
                     self.env.props.row[ai] = r as u16;
                     self.env.props.col[ai] = c as u16;
+                    self.env.pos[ai] = (r * w + c) as u32;
                     if aco.is_some() {
                         self.tour.add(ai, step_len);
                     }
@@ -353,16 +372,175 @@ impl CpuBackend {
             std::mem::swap(&mut self.pher, &mut self.pher_next);
         }
     }
+
+    // ---- sparse (agent-centric) stage variants ----------------------
+    //
+    // Byte-identical to the dense stages above: the per-cell Philox
+    // streams are keyed by cell linear index, so visiting only the cells
+    // live agents actually target consumes the exact draws the dense
+    // sweep would, and the slot-keyed writes (scan rows, futures,
+    // properties) land on the same slots with the same values.
+
+    fn stage_init_sparse(&mut self) {
+        // Only live slots are read downstream (sparse InitialCalc rewrites
+        // their scan rows; Tour rewrites their futures), so clearing the
+        // futures of live slots is the full contract — dead slots' stale
+        // records are never read by any sparse stage.
+        let n = self.geom.total_agents();
+        for i in 1..=n {
+            if self.env.alive[i] {
+                self.env.props.future_row[i] = NO_FUTURE;
+                self.env.props.future_col[i] = NO_FUTURE;
+            }
+        }
+    }
+
+    fn stage_initial_calc_sparse(&mut self) {
+        // One pass per live agent instead of per cell: the scan row and
+        // front status are slot-keyed, so iterating slots in ascending
+        // order writes exactly what the dense cell sweep writes.
+        let mat = &self.env.mat;
+        let dist = self.dist.dist_ref();
+        let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
+        let n = self.geom.total_agents();
+        for i in 1..=n {
+            if !self.env.alive[i] {
+                continue;
+            }
+            let (r, c) = (
+                self.env.props.row[i] as usize,
+                self.env.props.col[i] as usize,
+            );
+            let label = self.env.props.id[i];
+            let g = Group::from_label(label).expect("live slot has group label");
+            let row: ScanRow = match self.cfg.model {
+                ModelKind::Lem(p) => lem_scan_row(&occ, dist, g, r as i64, c as i64, p.scan_range),
+                ModelKind::Aco(p) => {
+                    let field = self.pher.as_ref().expect("ACO has pheromone");
+                    let tf = field.of(g);
+                    let tau = |rr: i64, cc: i64| tf.get_or(rr, cc, 0.0);
+                    aco_scan_row(&occ, &tau, dist, &p, g, r as i64, c as i64)
+                }
+            };
+            for slot in 0..8 {
+                self.scan.set(i, slot, row.vals[slot], row.idxs[slot]);
+            }
+            let fk = dist.front_k(g, r as i64, c as i64);
+            self.env.props.front[i] = front_status(&occ, fk, r as i64, c as i64);
+            self.env.props.front_k[i] = fk as u8;
+        }
+    }
+
+    fn stage_movement_sparse(&mut self, step_no: u64) {
+        // Resolve phase: each live agent with a future recomputes the
+        // winner at its *target* cell with that cell's own stream — the
+        // same draw the dense sweep makes there — and records itself when
+        // it wins. Every contested cell is resolved (identically) by each
+        // claimant; exactly the winner pushes.
+        let salt = step_no * 4 + KERNEL_MOVE;
+        let counter_base = salt << 4;
+        let w = self.geom.width;
+        let aco = match self.cfg.model {
+            ModelKind::Aco(p) => Some(p),
+            ModelKind::Lem(_) => None,
+        };
+        self.winners.clear();
+        {
+            let mat = &self.env.mat;
+            let index = &self.env.index;
+            let props = &self.env.props;
+            let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
+            let idx = |r: i64, c: i64| index.get_or(r, c, 0);
+            let fut = |a: u32| (props.future_row[a as usize], props.future_col[a as usize]);
+            let n = self.geom.total_agents();
+            for i in 1..=n {
+                if !self.env.alive[i] || props.future_row[i] == NO_FUTURE {
+                    continue;
+                }
+                let fr = i64::from(props.future_row[i]);
+                let fc = i64::from(props.future_col[i]);
+                let tlin = (fr as usize * w + fc as usize) as u64;
+                let mut trng = StreamRng::with_offset(self.seed, tlin, counter_base);
+                if let Some(arr) = gather_winner(&occ, &idx, &fut, fr, fc, &mut trng) {
+                    if arr.agent == i as u32 {
+                        self.winners
+                            .push((i as u32, fr as u16, fc as u16, arr.step_len()));
+                    }
+                }
+            }
+        }
+
+        // Pheromone phase (ACO): evaporate every cell of every plane, then
+        // overwrite the winners' destination cells on their group plane
+        // with the fused evaporate+deposit the dense sweep computes there.
+        // Runs before the apply phase so `tour` still holds L_k without
+        // this step's segment (l_new = L_k + step_len, as dense).
+        if let Some(p) = aco {
+            let pin = self.pher.as_ref().expect("ACO pheromone");
+            let pout = self.pher_next.as_mut().expect("ACO pheromone");
+            for gi in 0..pin.groups() {
+                let g = Group::new(gi);
+                let src = pin.of(g).as_slice();
+                let dst = pout.of_mut(g).as_mut_slice();
+                for (o, &i) in dst.iter_mut().zip(src) {
+                    *o = PheromoneField::fused_update(i, p.tau0, p.rho, 0.0);
+                }
+            }
+            for &(a, fr, fc, step_len) in &self.winners {
+                let ai = a as usize;
+                let l_new = self.tour.get(ai) + step_len;
+                let g = Group::from_label(self.env.props.id[ai]).expect("winner has group label");
+                let next = PheromoneField::fused_update(
+                    pin.of(g).get(fr as usize, fc as usize),
+                    p.tau0,
+                    p.rho,
+                    p.q / l_new,
+                );
+                pout.of_mut(g).set(fr as usize, fc as usize, next);
+            }
+        }
+
+        // Apply phase, in place: winners' source cells (all occupied at
+        // step start) and destination cells (all empty at step start) are
+        // disjoint sets, so clear-src/set-dst per winner is order-free and
+        // lands the exact grid the dense write-then-swap produces.
+        for &(a, fr, fc, step_len) in &self.winners {
+            let ai = a as usize;
+            let (or, oc) = self.env.props.position(ai);
+            self.env.mat.set(or as usize, oc as usize, CELL_EMPTY);
+            self.env.index.set(or as usize, oc as usize, 0);
+            self.env
+                .mat
+                .set(fr as usize, fc as usize, self.env.props.id[ai]);
+            self.env.index.set(fr as usize, fc as usize, a);
+            self.env.props.row[ai] = fr;
+            self.env.props.col[ai] = fc;
+            self.env.pos[ai] = fr as u32 * w as u32 + fc as u32;
+            if aco.is_some() {
+                self.tour.add(ai, step_len);
+            }
+        }
+
+        if aco.is_some() {
+            std::mem::swap(&mut self.pher, &mut self.pher_next);
+        }
+    }
 }
 
 impl StageBackend for CpuBackend {
     fn run_stage(&mut self, stage: Stage, step_no: u64, _rec: &mut pedsim_obs::Recorder) {
         // The CPU has no launch machinery to report; its kernel counters
         // stay at the zeros the core pre-registered.
+        let sparse = self.mode == IterationMode::Sparse;
         match stage {
+            Stage::Init if sparse => self.stage_init_sparse(),
             Stage::Init => self.stage_init(),
+            Stage::InitialCalc if sparse => self.stage_initial_calc_sparse(),
             Stage::InitialCalc => self.stage_initial_calc(),
+            // Tour is slot-keyed in both modes: the loop below already
+            // walks live slots in ascending order.
             Stage::Tour => self.stage_tour(step_no),
+            Stage::Movement if sparse => self.stage_movement_sparse(step_no),
             Stage::Movement => self.stage_movement(step_no),
             Stage::Lifecycle | Stage::Metrics => unreachable!("core-driven stage"),
         }
@@ -381,6 +559,7 @@ impl StageBackend for CpuBackend {
         let mut world = HostWorld {
             env: &mut self.env,
             tour: &mut self.tour,
+            buckets: None,
         };
         lifecycle.run_step(&mut world, step, metrics);
     }
@@ -409,6 +588,10 @@ impl Engine for CpuEngine {
 
     fn model(&self) -> ModelKind {
         self.backend.cfg.model
+    }
+
+    fn iteration_mode(&self) -> IterationMode {
+        self.backend.mode
     }
 
     fn mat_snapshot(&self) -> Matrix<u8> {
@@ -444,6 +627,52 @@ mod tests {
         let mut e = cpu_engine_small(32, 32, 30, model, 42);
         e.run(steps);
         e
+    }
+
+    #[test]
+    fn sparse_matches_dense_bit_for_bit() {
+        for model in [ModelKind::lem(), ModelKind::aco()] {
+            let env = EnvConfig::small(32, 32, 30).with_seed(42);
+            let base = SimConfig::new(env, model).with_checked(true);
+            let mut dense = CpuEngine::new(base.clone().with_iteration_mode(IterationMode::Dense));
+            let mut sparse =
+                CpuEngine::new(base.clone().with_iteration_mode(IterationMode::Sparse));
+            assert_eq!(dense.iteration_mode(), IterationMode::Dense);
+            assert_eq!(sparse.iteration_mode(), IterationMode::Sparse);
+            for step in 1..=40u64 {
+                dense.step();
+                sparse.step();
+                assert_eq!(
+                    dense.mat_snapshot(),
+                    sparse.mat_snapshot(),
+                    "{} diverged at step {step}",
+                    model.name()
+                );
+                assert_eq!(dense.positions(), sparse.positions());
+                sparse
+                    .environment()
+                    .check_consistency()
+                    .expect("sparse consistent");
+            }
+            if model.is_aco() {
+                assert_eq!(
+                    dense.pheromone().unwrap().of(Group::TOP).as_slice(),
+                    sparse.pheromone().unwrap().of(Group::TOP).as_slice(),
+                    "pheromone diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_sparse_on_corridor_occupancy() {
+        // 32×32 with 30+30 agents is ~6 % occupancy — Auto goes sparse.
+        let e = cpu_engine_small(32, 32, 30, ModelKind::lem(), 1);
+        assert_eq!(e.iteration_mode(), IterationMode::Sparse);
+        // Near-jammed world stays dense.
+        let env = EnvConfig::small(16, 16, 40).with_seed(1);
+        let e = CpuEngine::new(SimConfig::new(env, ModelKind::lem()));
+        assert_eq!(e.iteration_mode(), IterationMode::Dense);
     }
 
     #[test]

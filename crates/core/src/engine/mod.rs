@@ -110,6 +110,12 @@ pub trait Engine {
     /// The movement model in use.
     fn model(&self) -> ModelKind;
 
+    /// The traversal mode this engine resolved at build time (`Auto`
+    /// settles to `Dense` or `Sparse` against the world's initial
+    /// occupancy; explicit modes pass through). Recorded in bench and
+    /// run provenance.
+    fn iteration_mode(&self) -> crate::params::IterationMode;
+
     /// Snapshot of the environment matrix (cell labels).
     fn mat_snapshot(&self) -> Matrix<u8>;
 
@@ -183,6 +189,10 @@ impl<T: Engine + ?Sized> Engine for Box<T> {
 
     fn model(&self) -> ModelKind {
         (**self).model()
+    }
+
+    fn iteration_mode(&self) -> crate::params::IterationMode {
+        (**self).iteration_mode()
     }
 
     fn mat_snapshot(&self) -> Matrix<u8> {

@@ -180,6 +180,23 @@ impl StepTimings {
         self.time.iter().sum()
     }
 
+    /// Timings accumulated since `earlier`, a snapshot of this same
+    /// pipeline (per-stage saturating difference). Timing harnesses use
+    /// it to discard warmup steps: snapshot after the warmup phase, run
+    /// the measured phase, report the delta.
+    pub fn delta(&self, earlier: &StepTimings) -> StepTimings {
+        let mut out = StepTimings::default();
+        for (slot, (now, then)) in out
+            .time
+            .iter_mut()
+            .zip(self.time.iter().zip(earlier.time.iter()))
+        {
+            *slot = now.saturating_sub(*then);
+        }
+        out.steps = self.steps.saturating_sub(earlier.steps);
+        out
+    }
+
     /// Mean seconds per step spent in `stage` (0 before the first step).
     pub fn per_step_secs(&self, stage: Stage) -> f64 {
         if self.steps == 0 {
@@ -368,7 +385,7 @@ mod tests {
     use crate::engine::cpu::{cpu_engine_small, CpuEngine};
     use crate::engine::gpu::GpuEngine;
     use crate::engine::Engine;
-    use crate::params::{ModelKind, SimConfig};
+    use crate::params::{IterationMode, ModelKind, SimConfig};
     use pedsim_scenario::registry;
     use simt::Device;
 
@@ -466,7 +483,13 @@ mod tests {
     fn telemetry_shape_is_engine_independent() {
         let mut cpu = cpu_engine_small(24, 24, 20, ModelKind::lem(), 3);
         let env = pedsim_grid::EnvConfig::small(24, 24, 20).with_seed(3);
-        let mut gpu = GpuEngine::new(SimConfig::new(env, ModelKind::lem()), Device::sequential());
+        // Pin dense: the launch-count assertions below encode the dense
+        // one-launch-per-kernel-per-step contract (sparse movement issues
+        // decode+apply launches under the same kernel slot).
+        let mut gpu = GpuEngine::new(
+            SimConfig::new(env, ModelKind::lem()).with_iteration_mode(IterationMode::Dense),
+            Device::sequential(),
+        );
         cpu.run(8);
         gpu.run(8);
         let (tc, tg) = (cpu.telemetry(), gpu.telemetry());

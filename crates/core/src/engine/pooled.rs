@@ -50,8 +50,10 @@ use simt::exec::pool::WorkerPool;
 
 use crate::metrics::{Geometry, Metrics};
 use crate::model::Arrival;
-use crate::model::{aco_scan_row, aco_select, front_status, lem_scan_row, lem_select, ScanRow};
-use crate::params::{ModelKind, SimConfig};
+use crate::model::{
+    aco_scan_row, aco_select, front_status, gather_winner, lem_scan_row, lem_select, ScanRow,
+};
+use crate::params::{IterationMode, ModelKind, SimConfig};
 
 use super::cpu::HostWorld;
 use super::lifecycle::OpenLifecycle;
@@ -196,6 +198,169 @@ impl<'a, T: Copy> Scatter<'a, T> {
     }
 }
 
+/// Live agents bucketed by contiguous row bands — the sparse iteration
+/// surface of the pooled backend.
+///
+/// Each bucket holds the live slots whose current row falls inside its
+/// band; per-slot back-pointers make insert/remove/move O(1). Stage
+/// dispatch groups **buckets** into tasks balanced by *agent count*
+/// (via [`RowBuckets::task_groups`]), not by row count — at corridor
+/// occupancies most rows are empty, so row-balanced bands leave most
+/// workers idle (the flat-thread-scaling failure this replaces).
+///
+/// Maintenance is single-threaded and deterministic: the movement apply
+/// phase collects cross-band movers into per-task outboxes merged in
+/// task order, and the lifecycle inserts/removes slots in its own
+/// slot-ordered phases. Bucket membership never affects trajectories —
+/// every sparse-stage write is agent- or cell-keyed — so bucket order
+/// only has to be deterministic for reproducible *performance* and for
+/// the audit fixtures.
+pub(crate) struct RowBuckets {
+    rows_per_bucket: usize,
+    /// Bucket → live slots (deterministic maintenance order).
+    members: Vec<Vec<u32>>,
+    /// Slot → owning bucket (`u32::MAX` when dead / unbucketed).
+    slot_bucket: Vec<u32>,
+    /// Slot → index inside its bucket's member list.
+    slot_pos: Vec<u32>,
+}
+
+impl RowBuckets {
+    /// Buckets covering `height` rows in bands of roughly
+    /// `height / buckets_hint` rows, over `capacity + 1` slots.
+    pub(crate) fn new(height: usize, capacity: usize, buckets_hint: usize) -> Self {
+        let rows_per_bucket = height.div_ceil(buckets_hint.clamp(1, height.max(1))).max(1);
+        let n_buckets = height.div_ceil(rows_per_bucket).max(1);
+        Self {
+            rows_per_bucket,
+            members: vec![Vec::new(); n_buckets],
+            slot_bucket: vec![u32::MAX; capacity + 1],
+            slot_pos: vec![0; capacity + 1],
+        }
+    }
+
+    /// The bucket owning row `r`.
+    #[inline]
+    pub(crate) fn bucket_of_row(&self, r: usize) -> usize {
+        r / self.rows_per_bucket
+    }
+
+    /// Number of buckets.
+    pub(crate) fn n_buckets(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The live slots of bucket `b`.
+    #[inline]
+    pub(crate) fn members(&self, b: usize) -> &[u32] {
+        &self.members[b]
+    }
+
+    /// Total bucketed (live) slots.
+    pub(crate) fn len(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// Drop all membership and re-insert every live slot in ascending
+    /// slot order.
+    pub(crate) fn rebuild(&mut self, alive: &[bool], rows: &[u16]) {
+        for m in &mut self.members {
+            m.clear();
+        }
+        self.slot_bucket.fill(u32::MAX);
+        for (i, &a) in alive.iter().enumerate().skip(1) {
+            if a {
+                self.insert(i as u32, rows[i]);
+            }
+        }
+    }
+
+    /// Add a live slot standing on `row`.
+    pub(crate) fn insert(&mut self, slot: u32, row: u16) {
+        debug_assert_eq!(self.slot_bucket[slot as usize], u32::MAX);
+        let b = self.bucket_of_row(row as usize);
+        self.slot_bucket[slot as usize] = b as u32;
+        self.slot_pos[slot as usize] = self.members[b].len() as u32;
+        self.members[b].push(slot);
+    }
+
+    /// Remove a slot (despawn): O(1) swap-remove, fixing the back-pointer
+    /// of the member swapped into its place.
+    pub(crate) fn remove(&mut self, slot: u32) {
+        let b = self.slot_bucket[slot as usize] as usize;
+        debug_assert_ne!(b, u32::MAX as usize, "removing unbucketed slot {slot}");
+        let p = self.slot_pos[slot as usize] as usize;
+        self.members[b].swap_remove(p);
+        if let Some(&moved) = self.members[b].get(p) {
+            self.slot_pos[moved as usize] = p as u32;
+        }
+        self.slot_bucket[slot as usize] = u32::MAX;
+    }
+
+    /// Re-home a slot that moved to `row` — a no-op unless the move
+    /// crossed a band boundary (moves are ≤ 1 row per step, so this is
+    /// the incremental path: most steps touch nothing).
+    pub(crate) fn move_to(&mut self, slot: u32, row: u16) {
+        let b = self.bucket_of_row(row as usize);
+        if self.slot_bucket[slot as usize] as usize != b {
+            self.remove(slot);
+            self.insert(slot, row);
+        }
+    }
+
+    /// Partition the buckets into `parts` contiguous groups balanced by
+    /// **member count**: group `t` closes once the cumulative count
+    /// reaches `⌈(t+1)·total/parts⌉`. Trailing empty buckets may stay
+    /// unassigned (they contribute no agents).
+    pub(crate) fn task_groups(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        let parts = parts.max(1);
+        let total = self.len();
+        let mut out = Vec::with_capacity(parts);
+        let mut b = 0;
+        let mut acc = 0usize;
+        for t in 0..parts {
+            let start = b;
+            let target = ((t + 1) * total).div_ceil(parts);
+            while b < self.n_buckets() && acc < target {
+                acc += self.members[b].len();
+                b += 1;
+            }
+            out.push(start..b);
+        }
+        out
+    }
+
+    /// Cross-check the bucket structure against the liveness table: every
+    /// live slot bucketed exactly once, in the bucket its row maps to,
+    /// with a correct back-pointer; no dead slot bucketed.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn check_consistency(&self, alive: &[bool], rows: &[u16]) -> Result<(), String> {
+        let mut seen = vec![false; alive.len()];
+        for (b, m) in self.members.iter().enumerate() {
+            for (p, &slot) in m.iter().enumerate() {
+                let i = slot as usize;
+                if seen[i] {
+                    return Err(format!("slot {slot} bucketed twice"));
+                }
+                seen[i] = true;
+                if !alive[i] {
+                    return Err(format!("dead slot {slot} in bucket {b}"));
+                }
+                if self.bucket_of_row(rows[i] as usize) != b {
+                    return Err(format!("slot {slot} (row {}) in bucket {b}", rows[i]));
+                }
+                if self.slot_bucket[i] != b as u32 || self.slot_pos[i] != p as u32 {
+                    return Err(format!("slot {slot}: stale back-pointer"));
+                }
+            }
+        }
+        if let Some(missing) = (1..alive.len()).find(|&i| alive[i] && !seen[i]) {
+            return Err(format!("live slot {missing} not bucketed"));
+        }
+        Ok(())
+    }
+}
+
 /// The tile-parallel pooled engine.
 pub struct PooledEngine {
     core: StepCore,
@@ -228,6 +393,13 @@ struct PooledBackend {
     schedule_seed: Option<u64>,
     /// Monotonic launch counter keying the per-launch permutations.
     launches: std::cell::Cell<u64>,
+    /// Traversal mode, resolved from the configuration at build time.
+    mode: IterationMode,
+    /// Live agents bucketed by row band (`Some` iff sparse mode).
+    buckets: Option<RowBuckets>,
+    /// Sparse movement decode output, agent-keyed: the destination cell
+    /// (linear) the agent won this step, `u32::MAX` = stays put.
+    won: Vec<u32>,
 }
 
 /// Run `f` over `0..parts` on the pool, optionally permuting the issue
@@ -294,6 +466,16 @@ impl PooledEngine {
         };
         let (h, w) = (env.height(), env.width());
         let seed = cfg.env.seed;
+        let mode = cfg.iteration.resolve(env.live_count(), h * w);
+        let pool = WorkerPool::new(threads);
+        let buckets = (mode == IterationMode::Sparse).then(|| {
+            // Finer than the task count so count-balanced grouping has
+            // room to equalise (BANDS_PER_WORKER × 4 buckets per worker).
+            let hint = pool.workers() * BANDS_PER_WORKER * 4;
+            let mut b = RowBuckets::new(h, n, hint);
+            b.rebuild(&env.alive, &env.props.row);
+            b
+        });
         Self {
             core,
             backend: PooledBackend {
@@ -307,10 +489,13 @@ impl PooledEngine {
                 pher_next,
                 dist,
                 seed,
-                pool: WorkerPool::new(threads),
+                pool,
                 claims: (0..h * w).map(|_| AtomicU8::new(0)).collect(),
                 schedule_seed: None,
                 launches: std::cell::Cell::new(0),
+                mode,
+                buckets,
+                won: vec![u32::MAX; n + 1],
                 env,
             },
         }
@@ -701,6 +886,7 @@ impl PooledBackend {
             let props = &mut self.env.props;
             let prow = Scatter::new(&mut props.row);
             let pcol = Scatter::new(&mut props.col);
+            let ppos = Scatter::new(&mut self.env.pos);
             let tours = Scatter::new(&mut self.tour.len);
             let track_tour = aco.is_some();
             let bands = band_ranges(h, parts);
@@ -723,6 +909,7 @@ impl PooledBackend {
                                 };
                                 prow.write(ai, r as u16);
                                 pcol.write(ai, c as u16);
+                                ppos.write(ai, (r * w + c) as u32);
                                 if track_tour {
                                     tours.write(ai, tours.read(ai) + step_len);
                                 }
@@ -739,16 +926,352 @@ impl PooledBackend {
             std::mem::swap(&mut self.pher, &mut self.pher_next);
         }
     }
+
+    // ---- sparse (agent-centric) stage variants ----------------------
+    //
+    // Tasks iterate bucket groups of live agents (count-balanced via
+    // [`RowBuckets::task_groups`]) instead of row bands of cells. Every
+    // write is agent-keyed (each live agent sits in exactly one bucket,
+    // each bucket in exactly one task group) or lands on a globally
+    // unique cell (movement-apply: all winners' source cells were
+    // occupied and all destination cells empty at step start, so the two
+    // sets are disjoint and per-winner unique). Under `audit-runtime`
+    // the per-phase [`WriteSet`] checks exactly this — an overlapping
+    // bucket assignment double-writes an agent slot and panics.
+
+    fn stage_init_sparse(&mut self) {
+        // Only live slots are read downstream; clear their futures only.
+        let parts = self.parts();
+        let schedule = self.next_schedule();
+        let buckets = self.buckets.as_ref().expect("sparse mode has buckets");
+        let groups = buckets.task_groups(parts);
+        let fr = Scatter::new(&mut self.env.props.future_row);
+        let fc = Scatter::new(&mut self.env.props.future_col);
+        dispatch(&self.pool, schedule, parts, &|t| {
+            for bkt in groups[t].clone() {
+                for &a in buckets.members(bkt) {
+                    // SAFETY: agent-unique slots (bucket-disjoint tasks).
+                    unsafe {
+                        fr.write(a as usize, NO_FUTURE);
+                        fc.write(a as usize, NO_FUTURE);
+                    }
+                }
+            }
+        });
+    }
+
+    fn stage_initial_calc_sparse(&mut self) {
+        // One pass per live agent: scan rows and front status are
+        // agent-keyed, so bucket-disjoint tasks cannot conflict.
+        let parts = self.parts();
+        let schedule = self.next_schedule();
+        let buckets = self.buckets.as_ref().expect("sparse mode has buckets");
+        let groups = buckets.task_groups(parts);
+        let mat = &self.env.mat;
+        let dist = self.dist.dist_ref();
+        let model = self.cfg.model;
+        let pher = self.pher.as_ref();
+        let props = &mut self.env.props;
+        let prow = &props.row;
+        let pcol = &props.col;
+        let ids = &props.id;
+        let sv = Scatter::new(&mut self.scan.vals);
+        let si = Scatter::new(&mut self.scan.idxs);
+        let front = Scatter::new(&mut props.front);
+        let front_k = Scatter::new(&mut props.front_k);
+        dispatch(&self.pool, schedule, parts, &|t| {
+            let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
+            for bkt in groups[t].clone() {
+                for &a in buckets.members(bkt) {
+                    let ai = a as usize;
+                    let (r, c) = (prow[ai] as i64, pcol[ai] as i64);
+                    let g = Group::from_label(ids[ai]).expect("live slot has group label");
+                    let row: ScanRow = match model {
+                        ModelKind::Lem(p) => lem_scan_row(&occ, dist, g, r, c, p.scan_range),
+                        ModelKind::Aco(p) => {
+                            let tf = pher.expect("ACO has pheromone").of(g);
+                            let tau = |rr: i64, cc: i64| tf.get_or(rr, cc, 0.0);
+                            aco_scan_row(&occ, &tau, dist, &p, g, r, c)
+                        }
+                    };
+                    for slot in 0..8 {
+                        // SAFETY: agent-unique slots.
+                        unsafe {
+                            sv.write(ai * 8 + slot, row.vals[slot]);
+                            si.write(ai * 8 + slot, row.idxs[slot]);
+                        }
+                    }
+                    let fk = dist.front_k(g, r, c);
+                    // SAFETY: agent-unique slots.
+                    unsafe {
+                        front.write(ai, front_status(&occ, fk, r, c));
+                        front_k.write(ai, fk as u8);
+                    }
+                }
+            }
+        });
+    }
+
+    fn stage_tour_sparse(&mut self, step_no: u64) {
+        // Identical per-agent work to the dense tour, driven from the
+        // count-balanced bucket groups instead of capacity bands.
+        let salt = step_no * 4 + KERNEL_TOUR;
+        let parts = self.parts();
+        let schedule = self.next_schedule();
+        let buckets = self.buckets.as_ref().expect("sparse mode has buckets");
+        let groups = buckets.task_groups(parts);
+        let seed = self.seed;
+        let model = self.cfg.model;
+        let scan = &self.scan;
+        let props = &mut self.env.props;
+        let front = &props.front;
+        let front_k = &props.front_k;
+        let prow = &props.row;
+        let pcol = &props.col;
+        let fr = Scatter::new(&mut props.future_row);
+        let fc = Scatter::new(&mut props.future_col);
+        dispatch(&self.pool, schedule, parts, &|t| {
+            for bkt in groups[t].clone() {
+                for &a in buckets.members(bkt) {
+                    let a = a as usize;
+                    let mut rng = StreamRng::with_offset(seed, a as u64, salt << 4);
+                    let row = ScanRow {
+                        vals: scan.row_vals(a).try_into().expect("8 slots"),
+                        idxs: scan.row_idxs(a).try_into().expect("8 slots"),
+                    };
+                    let k = match model {
+                        ModelKind::Lem(p) => {
+                            lem_select(&row, front[a], front_k[a] as usize, &p, &mut rng)
+                        }
+                        ModelKind::Aco(p) => {
+                            aco_select(&row, front[a], front_k[a] as usize, &p, &mut rng)
+                        }
+                    };
+                    // SAFETY: agent-unique slots.
+                    unsafe {
+                        match k {
+                            Some(k) => {
+                                let (dr, dc) = NEIGHBOR_OFFSETS[k];
+                                fr.write(a, (i64::from(prow[a]) + dr) as u16);
+                                fc.write(a, (i64::from(pcol[a]) + dc) as u16);
+                            }
+                            None => {
+                                fr.write(a, NO_FUTURE);
+                                fc.write(a, NO_FUTURE);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn stage_movement_sparse(&mut self, step_no: u64) {
+        // Claim-free movement: each live agent recomputes the winner at
+        // its *target* cell with that cell's own stream (the identical
+        // draw the dense resolve makes there) and records whether it won;
+        // the apply phase then moves exactly the winners, in place.
+        let salt = step_no * 4 + KERNEL_MOVE;
+        let counter_base = salt << 4;
+        let w = self.geom.width;
+        let parts = self.parts();
+        let aco = match self.cfg.model {
+            ModelKind::Aco(p) => Some(p),
+            ModelKind::Lem(_) => None,
+        };
+        let groups = {
+            let buckets = self.buckets.as_ref().expect("sparse mode has buckets");
+            buckets.task_groups(parts)
+        };
+
+        // Pheromone evaporation sweep (ACO): the field itself is dense,
+        // so every plane evaporates band-parallel; the apply phase then
+        // overwrites the winners' destination slots with the fused
+        // evaporate+deposit value the dense resolve computes there.
+        if let Some(p) = aco {
+            let schedule = self.next_schedule();
+            let pin = self.pher.as_ref().expect("ACO pheromone");
+            let pouts: Vec<Scatter<'_, f32>> = self
+                .pher_next
+                .as_mut()
+                .expect("ACO pheromone")
+                .planes_mut()
+                .iter_mut()
+                .map(|m| Scatter::new(m.as_mut_slice()))
+                .collect();
+            let planes = pin.planes();
+            let cells = self.geom.height * w;
+            let cell_bands = band_ranges(cells, parts);
+            dispatch(&self.pool, schedule, parts, &|b| {
+                for (src, pout) in planes.iter().zip(&pouts) {
+                    let src = src.as_slice();
+                    for i in cell_bands[b].clone() {
+                        // SAFETY: band-disjoint slots.
+                        unsafe {
+                            pout.write(i, PheromoneField::fused_update(src[i], p.tau0, p.rho, 0.0));
+                        }
+                    }
+                }
+            });
+        }
+
+        // Decode phase: agent-keyed writes into `won`.
+        {
+            let schedule = self.next_schedule();
+            let buckets = self.buckets.as_ref().expect("sparse mode has buckets");
+            let mat = &self.env.mat;
+            let index = &self.env.index;
+            let props = &self.env.props;
+            let seed = self.seed;
+            let won = Scatter::new(&mut self.won);
+            dispatch(&self.pool, schedule, parts, &|t| {
+                let occ = |r: i64, c: i64| mat.get_or(r, c, CELL_WALL);
+                let idx = |r: i64, c: i64| index.get_or(r, c, 0);
+                let fut = |a: u32| (props.future_row[a as usize], props.future_col[a as usize]);
+                for bkt in groups[t].clone() {
+                    for &a in buckets.members(bkt) {
+                        let ai = a as usize;
+                        let fr = props.future_row[ai];
+                        let dst = if fr == NO_FUTURE {
+                            u32::MAX
+                        } else {
+                            let fc = props.future_col[ai];
+                            let tlin = fr as usize * w + fc as usize;
+                            let mut trng = StreamRng::with_offset(seed, tlin as u64, counter_base);
+                            match gather_winner(
+                                &occ,
+                                &idx,
+                                &fut,
+                                i64::from(fr),
+                                i64::from(fc),
+                                &mut trng,
+                            ) {
+                                Some(arr) if arr.agent == a => tlin as u32,
+                                _ => u32::MAX,
+                            }
+                        };
+                        // SAFETY: agent-unique slot — each live agent sits
+                        // in exactly one bucket and each bucket in exactly
+                        // one task group (the audit fixture seeds the
+                        // violation of precisely this).
+                        unsafe { won.write(ai, dst) };
+                    }
+                }
+            });
+        }
+
+        // Apply phase, in place: winners' source cells (occupied at step
+        // start) and destination cells (empty at step start) are disjoint
+        // per-winner-unique sets, so the grid writes cannot conflict;
+        // property/tour writes are agent-keyed. Cross-band movers go to
+        // per-task outboxes, merged serially in task order below.
+        let outboxes: Vec<std::sync::Mutex<Vec<(u32, u16)>>> = (0..parts)
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        {
+            let schedule = self.next_schedule();
+            let buckets = self.buckets.as_ref().expect("sparse mode has buckets");
+            let won = &self.won;
+            let ids = &self.env.props.id;
+            let mat = Scatter::new(self.env.mat.as_mut_slice());
+            let index = Scatter::new(self.env.index.as_mut_slice());
+            let prow = Scatter::new(&mut self.env.props.row);
+            let pcol = Scatter::new(&mut self.env.props.col);
+            let ppos = Scatter::new(&mut self.env.pos);
+            let tours = Scatter::new(&mut self.tour.len);
+            let pin = self.pher.as_ref();
+            let pouts: Vec<Scatter<'_, f32>> = match self.pher_next.as_mut() {
+                Some(p) => p
+                    .planes_mut()
+                    .iter_mut()
+                    .map(|m| Scatter::new(m.as_mut_slice()))
+                    .collect(),
+                None => Vec::new(),
+            };
+            dispatch(&self.pool, schedule, parts, &|t| {
+                let mut moved: Vec<(u32, u16)> = Vec::new();
+                for bkt in groups[t].clone() {
+                    for &a in buckets.members(bkt) {
+                        let ai = a as usize;
+                        let dst = won[ai];
+                        if dst == u32::MAX {
+                            continue;
+                        }
+                        let (nr, nc) = ((dst as usize / w) as u16, (dst as usize % w) as u16);
+                        // SAFETY: `prow`/`pcol`/`ppos`/`tours` slots are
+                        // agent-unique; `mat`/`index` writes land on this
+                        // winner's own source and destination cells, which
+                        // are globally unique across winners (see phase
+                        // comment).
+                        unsafe {
+                            let (or_, oc_) = (prow.read(ai), pcol.read(ai));
+                            let src = or_ as usize * w + oc_ as usize;
+                            let dr = (i64::from(nr) - i64::from(or_)).unsigned_abs();
+                            let dc = (i64::from(nc) - i64::from(oc_)).unsigned_abs();
+                            let step_len = if dr + dc == 2 {
+                                std::f32::consts::SQRT_2
+                            } else {
+                                1.0
+                            };
+                            if let (Some(p), Some(pin)) = (aco, pin) {
+                                let l_new = tours.read(ai) + step_len;
+                                let g = Group::from_label(ids[ai]).expect("winner has group label");
+                                let next = PheromoneField::fused_update(
+                                    pin.of(g).as_slice()[dst as usize],
+                                    p.tau0,
+                                    p.rho,
+                                    p.q / l_new,
+                                );
+                                pouts[g.index()].write(dst as usize, next);
+                                tours.write(ai, l_new);
+                            }
+                            mat.write(src, CELL_EMPTY);
+                            index.write(src, 0);
+                            mat.write(dst as usize, ids[ai]);
+                            index.write(dst as usize, a);
+                            prow.write(ai, nr);
+                            pcol.write(ai, nc);
+                            ppos.write(ai, dst);
+                        }
+                        if buckets.bucket_of_row(nr as usize) != bkt {
+                            moved.push((a, nr));
+                        }
+                    }
+                }
+                if !moved.is_empty() {
+                    // One uncontended lock per task, outside the hot loop.
+                    *outboxes[t].lock().expect("outbox poisoned") = moved;
+                }
+            });
+        }
+
+        // Serial maintenance: merge the outboxes in task order (a fixed,
+        // schedule-independent order) and flip the pheromone planes.
+        let buckets = self.buckets.as_mut().expect("sparse mode has buckets");
+        for outbox in outboxes {
+            for (a, nr) in outbox.into_inner().expect("outbox poisoned") {
+                buckets.move_to(a, nr);
+            }
+        }
+        if aco.is_some() {
+            std::mem::swap(&mut self.pher, &mut self.pher_next);
+        }
+    }
 }
 
 impl StageBackend for PooledBackend {
     fn run_stage(&mut self, stage: Stage, step_no: u64, _rec: &mut pedsim_obs::Recorder) {
         // Like the scalar backend, no launch machinery to report: the
         // kernel counters stay at the zeros the core pre-registered.
+        let sparse = self.mode == IterationMode::Sparse;
         match stage {
+            Stage::Init if sparse => self.stage_init_sparse(),
             Stage::Init => self.stage_init(),
+            Stage::InitialCalc if sparse => self.stage_initial_calc_sparse(),
             Stage::InitialCalc => self.stage_initial_calc(),
+            Stage::Tour if sparse => self.stage_tour_sparse(step_no),
             Stage::Tour => self.stage_tour(step_no),
+            Stage::Movement if sparse => self.stage_movement_sparse(step_no),
             Stage::Movement => self.stage_movement(step_no),
             Stage::Lifecycle | Stage::Metrics => unreachable!("core-driven stage"),
         }
@@ -767,8 +1290,14 @@ impl StageBackend for PooledBackend {
         let mut world = HostWorld {
             env: &mut self.env,
             tour: &mut self.tour,
+            buckets: self.buckets.as_mut(),
         };
         lifecycle.run_step(&mut world, step, metrics);
+        #[cfg(debug_assertions)]
+        if let Some(b) = &self.buckets {
+            b.check_consistency(&self.env.alive, &self.env.props.row)
+                .expect("buckets consistent after lifecycle");
+        }
     }
 }
 
@@ -795,6 +1324,10 @@ impl Engine for PooledEngine {
 
     fn model(&self) -> ModelKind {
         self.backend.cfg.model
+    }
+
+    fn iteration_mode(&self) -> IterationMode {
+        self.backend.mode
     }
 
     fn mat_snapshot(&self) -> Matrix<u8> {
@@ -1028,6 +1561,168 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             let owner = bands.iter().position(|r| r.contains(&i)).unwrap();
             assert_eq!(*v, owner as u32, "slot {i}");
+        }
+    }
+
+    /// A populated bucket structure for the sparse-partition fixtures:
+    /// 16 rows in 8 two-row buckets, 48 live slots laid out round-robin
+    /// over the rows, so every bucket holds exactly 6 members.
+    fn seeded_buckets() -> RowBuckets {
+        let mut buckets = RowBuckets::new(16, 48, 8);
+        for slot in 1..=48u32 {
+            buckets.insert(slot, (slot % 16) as u16);
+        }
+        buckets
+    }
+
+    #[test]
+    fn bucket_task_groups_cover_every_bucket_exactly_once() {
+        let mut buckets = seeded_buckets();
+        assert_eq!(buckets.n_buckets(), 8);
+        assert_eq!(buckets.len(), 48);
+        for parts in [1usize, 3, 4, 8, 16] {
+            let groups = buckets.task_groups(parts);
+            assert_eq!(groups.len(), parts);
+            let mut next = 0;
+            for g in &groups {
+                assert_eq!(g.start, next, "gap/overlap at {g:?} (parts={parts})");
+                next = g.end;
+            }
+            assert!(next <= buckets.n_buckets());
+            // Unassigned trailing buckets must be empty.
+            let stragglers: usize = (next..buckets.n_buckets())
+                .map(|b| buckets.members(b).len())
+                .sum();
+            assert_eq!(stragglers, 0, "non-empty bucket left unassigned");
+            // Count-balance: no group exceeds its proportional target.
+            for (t, g) in groups.iter().enumerate() {
+                let count: usize = g.clone().map(|b| buckets.members(b).len()).sum();
+                let cap = (t + 1) * buckets.len() / parts + 6;
+                assert!(count <= cap, "group {t} holds {count} members");
+            }
+        }
+        // Churn keeps the partition sound: drain one bucket entirely and
+        // re-home a couple of slots across band boundaries.
+        for slot in [16u32, 32, 48] {
+            buckets.remove(slot);
+        }
+        buckets.move_to(1, 15);
+        buckets.move_to(2, 0);
+        let alive: Vec<bool> = (0..49)
+            .map(|s| s != 0 && s != 16 && s != 32 && s != 48)
+            .collect();
+        let mut rows = vec![0u16; 49];
+        for slot in 1..=48u32 {
+            rows[slot as usize] = (slot % 16) as u16;
+        }
+        rows[1] = 15;
+        rows[2] = 0;
+        buckets
+            .check_consistency(&alive, &rows)
+            .expect("consistent");
+        let groups = buckets.task_groups(4);
+        let covered: usize = groups
+            .iter()
+            .flat_map(|g| g.clone())
+            .map(|b| buckets.members(b).len())
+            .sum();
+        assert_eq!(covered, buckets.len(), "member lost by the partition");
+    }
+
+    /// Seed a deliberate overlap into the sparse *bucket* partition —
+    /// the agent-centric analogue of the band overlap below — and show
+    /// the interleaving explorer catches it: the twice-assigned bucket's
+    /// agent slots become last-writer-wins, so some permuted schedule
+    /// must diverge. The unmutated partition is schedule-independent.
+    #[test]
+    fn explorer_catches_seeded_bucket_overlap() {
+        use simt::exec::explore::{explore, permutation, run_permuted_serial};
+        let buckets = seeded_buckets();
+        let parts = 4;
+        let scatter = |groups: &[std::ops::Range<usize>]| {
+            explore(0..128u64, |seed| {
+                let mut owner = vec![usize::MAX; 49];
+                let perm = permutation(seed, 0, parts);
+                run_permuted_serial(&perm, &mut |t| {
+                    for b in groups[t].clone() {
+                        for &a in buckets.members(b) {
+                            owner[a as usize] = t;
+                        }
+                    }
+                });
+                owner
+            })
+        };
+
+        let mut groups = buckets.task_groups(parts);
+        // The seeded fault: group 1 re-covers group 0's last bucket.
+        groups[1] = groups[1].start - 1..groups[1].end;
+        let err = scatter(&groups).expect_err("overlapping bucket groups are schedule-dependent");
+        assert!(err.agreed >= 1);
+
+        let groups = buckets.task_groups(parts);
+        scatter(&groups).expect("disjoint bucket groups are schedule-independent");
+    }
+
+    /// The same seeded bucket overlap, caught at runtime by the
+    /// write-set race detector guarding the sparse stages' agent-keyed
+    /// scatters: the twice-assigned bucket's agent slot is written by
+    /// two tasks in one phase, so the second write panics and the pool
+    /// re-raises on the launching thread.
+    #[cfg(feature = "audit-runtime")]
+    #[test]
+    fn detector_catches_seeded_bucket_overlap() {
+        let pool = WorkerPool::new(4);
+        let buckets = seeded_buckets();
+        let parts = 4;
+        let mut groups = buckets.task_groups(parts);
+        groups[1] = groups[1].start - 1..groups[1].end;
+        let mut data = vec![u32::MAX; 49];
+        let out = Scatter::new(&mut data);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(parts, &|t| {
+                for b in groups[t].clone() {
+                    for &a in buckets.members(b) {
+                        // SAFETY: bounds hold; agent-uniqueness is
+                        // deliberately violated at one bucket to exercise
+                        // the detector.
+                        unsafe { out.write(a as usize, t as u32) };
+                    }
+                }
+            });
+        }));
+        let payload = res.expect_err("write-set detector must fire");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("tile race"), "unexpected panic: {msg}");
+    }
+
+    /// A clean sparse scatter under the detector: disjoint bucket groups
+    /// write each live agent slot exactly once and never fire it.
+    #[cfg(feature = "audit-runtime")]
+    #[test]
+    fn detector_accepts_disjoint_bucket_groups() {
+        let pool = WorkerPool::new(4);
+        let buckets = seeded_buckets();
+        let parts = 4;
+        let groups = buckets.task_groups(parts);
+        let mut data = vec![u32::MAX; 49];
+        let out = Scatter::new(&mut data);
+        pool.run(parts, &|t| {
+            for b in groups[t].clone() {
+                for &a in buckets.members(b) {
+                    // SAFETY: agent-unique slots (bucket-disjoint groups).
+                    unsafe { out.write(a as usize, t as u32) };
+                }
+            }
+        });
+        drop(out);
+        for slot in 1..=48usize {
+            let b = buckets.bucket_of_row(slot % 16);
+            let owner = groups.iter().position(|g| g.contains(&b)).unwrap();
+            assert_eq!(data[slot], owner as u32, "slot {slot}");
         }
     }
 

@@ -43,6 +43,10 @@ pub struct MovementKernel<'a> {
     pub row: ScatterView<'a, u16>,
     /// Agent columns (written for winners).
     pub col: ScatterView<'a, u16>,
+    /// Agent→cell position index (written for winners — kept in lock-step
+    /// with `row`/`col` so the sparse traversal mode can find any agent's
+    /// cell in O(1)).
+    pub pos: ScatterView<'a, u32>,
     /// Tour lengths (exclusive read-modify-write for winners).
     pub tour: ScatterView<'a, f32>,
     /// Next cell labels (every cell written once).
@@ -96,7 +100,8 @@ impl BlockKernel for MovementKernel<'_> {
                 self.index_out.write(lin, arr.agent);
                 self.row.write(a, r as u16);
                 self.col.write(a, c as u16);
-                t.note_global_stores(4);
+                self.pos.write(a, lin as u32);
+                t.note_global_stores(5);
                 if let Some(p) = self.aco {
                     // Exclusive RMW: only this thread touches slot `a`.
                     let l_new = self.tour.read(a) + arr.step_len();
@@ -225,6 +230,7 @@ mod tests {
         state.index[1].begin_epoch();
         state.row.begin_epoch();
         state.col.begin_epoch();
+        state.pos.begin_epoch();
         state.tour.begin_epoch();
         if let Some(p) = state.pher.as_ref() {
             p.begin_epoch(1);
@@ -244,6 +250,7 @@ mod tests {
             id: &state.id,
             row: state.row.view(),
             col: state.col.view(),
+            pos: state.pos.view(),
             tour: state.tour.view(),
             mat_out: state.mat[1].view(),
             index_out: state.index[1].view(),

@@ -1,0 +1,389 @@
+//! Agent-centric (sparse) kernel variants: one thread per **live agent**
+//! instead of one per environment cell, driven by a host-maintained live
+//! slot list in ascending slot order.
+//!
+//! Byte-identical to the dense per-cell kernels: the movement streams are
+//! keyed by *cell* linear index, so visiting only the cells live agents
+//! actually target consumes exactly the draws the dense sweep would make
+//! there, and every write is slot- or cell-keyed with the same value the
+//! dense kernel computes. See DESIGN.md §16 for the equivalence argument.
+//!
+//! The movement phase splits into two launches because the dense kernel's
+//! cell-ownership trick (every cell decides its own fate) has no sparse
+//! analogue:
+//!
+//! * [`SparseMoveDecodeKernel`] — each live agent recomputes the gather
+//!   at its *target* cell with that cell's stream and records whether it
+//!   won (`won[a] = target lin`, else `u32::MAX`);
+//! * [`SparseMoveApplyKernel`] — each winner clears its source cell and
+//!   claims its destination **in place** on the current `mat`/`index`
+//!   side. Sources (all occupied at step start) and destinations (all
+//!   empty at step start) are disjoint, per-winner-unique sets, so the
+//!   in-place writes are conflict-free — the checked buffers enforce it.
+//!
+//! ACO adds a dense [`EvaporationKernel`] sweep (the field itself stays
+//! O(cells) — evaporation touches every cell by definition) whose
+//! destination entries the apply kernel then overwrites with the fused
+//! evaporate+deposit value, computed from the *pre-step* field exactly as
+//! the dense movement kernel does.
+
+use pedsim_grid::cell::{Group, CELL_EMPTY, CELL_WALL};
+use pedsim_grid::property::NO_FUTURE;
+use pedsim_grid::{DistRef, PheromoneField};
+use simt::exec::{BlockCtx, BlockKernel};
+use simt::memory::ScatterView;
+
+use crate::model::{aco_scan_row, front_status, gather_winner, lem_scan_row};
+use crate::params::{AcoParams, ModelKind};
+
+/// The sparse supporting kernel (§IV.e): clear the FUTURE fields of live
+/// slots only. Dead slots' stale records are never read by any sparse
+/// stage (the tour kernel is alive-masked, the decode kernel walks the
+/// live list), and the scan matrix needs no clear at all — the sparse
+/// calc kernel rewrites every live row before the tour kernel reads it.
+pub struct SparseInitKernel<'a> {
+    /// Live agent slots, ascending.
+    pub live: &'a [u32],
+    /// FUTURE ROW to reset.
+    pub future_row: ScatterView<'a, u16>,
+    /// FUTURE COLUMN to reset.
+    pub future_col: ScatterView<'a, u16>,
+}
+
+impl BlockKernel for SparseInitKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let live = self.live;
+        ctx.threads(|t| {
+            let i = t.global_linear();
+            if i < live.len() {
+                let a = live[i] as usize;
+                self.future_row.write(a, NO_FUTURE);
+                self.future_col.write(a, NO_FUTURE);
+                t.note_global_stores(2);
+            }
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "init_sparse"
+    }
+}
+
+/// The sparse initial-calculation kernel (§IV.b): one thread per live
+/// agent scores its own neighbourhood from global memory (no shared
+/// tiles — at sparse occupancies the 8-neighbourhood reads of the live
+/// agents touch far fewer cells than a tiled sweep loads).
+pub struct SparseCalcKernel<'a> {
+    /// Environment width.
+    pub w: usize,
+    /// Environment height.
+    pub h: usize,
+    /// Live agent slots, ascending.
+    pub live: &'a [u32],
+    /// Current cell labels (global reads, wall outside).
+    pub mat_in: &'a [u8],
+    /// Agent rows (read).
+    pub row: &'a [u16],
+    /// Agent columns (read).
+    pub col: &'a [u16],
+    /// Agent labels (read).
+    pub id: &'a [u8],
+    /// Constant-memory distance field.
+    pub dist: DistRef<'a>,
+    /// Current pheromone fields (ACO), per group.
+    pub pher_in: Option<&'a [&'a [f32]]>,
+    /// Movement model.
+    pub model: ModelKind,
+    /// Scan values out.
+    pub scan_val: ScatterView<'a, f32>,
+    /// Scan indices out.
+    pub scan_idx: ScatterView<'a, u8>,
+    /// FRONT CELL status out.
+    pub front: ScatterView<'a, u8>,
+    /// FRONT CELL neighbour slot out.
+    pub front_k: ScatterView<'a, u8>,
+}
+
+impl BlockKernel for SparseCalcKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let (w, h) = (self.w, self.h);
+        let live = self.live;
+        let mat_in = self.mat_in;
+        let dist = self.dist;
+        let model = self.model;
+        let occ = move |rr: i64, cc: i64| {
+            if rr < 0 || cc < 0 || rr >= h as i64 || cc >= w as i64 {
+                CELL_WALL
+            } else {
+                mat_in[rr as usize * w + cc as usize]
+            }
+        };
+        ctx.threads(|t| {
+            let i = t.global_linear();
+            if i >= live.len() {
+                return;
+            }
+            let a = live[i] as usize;
+            let (r, c) = (i64::from(self.row[a]), i64::from(self.col[a]));
+            let g = Group::from_label(self.id[a]).expect("live slot has group label");
+            let row = match model {
+                ModelKind::Lem(p) => lem_scan_row(&occ, dist, g, r, c, p.scan_range),
+                ModelKind::Aco(p) => {
+                    let planes = self.pher_in.expect("ACO pheromone planes");
+                    let plane = planes[g.index()];
+                    let tau = |rr: i64, cc: i64| {
+                        if rr < 0 || cc < 0 || rr >= h as i64 || cc >= w as i64 {
+                            0.0
+                        } else {
+                            plane[rr as usize * w + cc as usize]
+                        }
+                    };
+                    aco_scan_row(&occ, &tau, dist, &p, g, r, c)
+                }
+            };
+            for s in 0..8 {
+                self.scan_val.write(a * 8 + s, row.vals[s]);
+                self.scan_idx.write(a * 8 + s, row.idxs[s]);
+            }
+            let fk = dist.front_k(g, r, c);
+            self.front.write(a, front_status(&occ, fk, r, c));
+            self.front_k.write(a, fk as u8);
+            t.note_global_loads(11);
+            t.note_global_stores(18);
+            t.alu(32);
+        });
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        22
+    }
+
+    fn name(&self) -> &'static str {
+        "initial_calc_sparse"
+    }
+}
+
+/// Sparse movement, phase 1: each live agent with a future recomputes the
+/// winner at its target cell — with the *target cell's* Philox stream, the
+/// same draw the dense sweep makes there — and records the outcome in the
+/// agent-keyed `won` buffer (`target lin` on a win, `u32::MAX` otherwise).
+/// Every live slot is written exactly once per launch, so stale entries
+/// from the previous step are never read by the apply phase.
+pub struct SparseMoveDecodeKernel<'a> {
+    /// Environment width.
+    pub w: usize,
+    /// Environment height.
+    pub h: usize,
+    /// Live agent slots, ascending.
+    pub live: &'a [u32],
+    /// Current cell labels (global reads, wall outside).
+    pub mat_in: &'a [u8],
+    /// Current agent indices (global reads, 0 outside).
+    pub index_in: &'a [u32],
+    /// FUTURE ROW (read).
+    pub future_row: &'a [u16],
+    /// FUTURE COLUMN (read).
+    pub future_col: &'a [u16],
+    /// Per-agent outcome: destination linear index, `u32::MAX` = stay.
+    pub won: ScatterView<'a, u32>,
+}
+
+impl BlockKernel for SparseMoveDecodeKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let (w, h) = (self.w, self.h);
+        let live = self.live;
+        let mat_in = self.mat_in;
+        let index_in = self.index_in;
+        let future_row = self.future_row;
+        let future_col = self.future_col;
+        let occ = move |rr: i64, cc: i64| {
+            if rr < 0 || cc < 0 || rr >= h as i64 || cc >= w as i64 {
+                CELL_WALL
+            } else {
+                mat_in[rr as usize * w + cc as usize]
+            }
+        };
+        let idx = move |rr: i64, cc: i64| {
+            if rr < 0 || cc < 0 || rr >= h as i64 || cc >= w as i64 {
+                0
+            } else {
+                index_in[rr as usize * w + cc as usize]
+            }
+        };
+        let fut = move |a: u32| (future_row[a as usize], future_col[a as usize]);
+        ctx.threads(|t| {
+            let i = t.global_linear();
+            if i >= live.len() {
+                return;
+            }
+            let a = live[i];
+            let fr = future_row[a as usize];
+            if fr == NO_FUTURE {
+                self.won.write(a as usize, u32::MAX);
+                return;
+            }
+            let fc = future_col[a as usize];
+            let tlin = fr as usize * w + fc as usize;
+            let mut rng = t.rng_for(tlin as u64);
+            let wins = gather_winner(&occ, &idx, &fut, i64::from(fr), i64::from(fc), &mut rng)
+                .is_some_and(|arr| arr.agent == a);
+            self.won
+                .write(a as usize, if wins { tlin as u32 } else { u32::MAX });
+            t.note_global_loads(20);
+            t.note_global_stores(1);
+            t.alu(24);
+        });
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        24
+    }
+
+    fn name(&self) -> &'static str {
+        "movement_decode_sparse"
+    }
+}
+
+/// Sparse movement, phase 2: winners apply their move **in place** on the
+/// current `mat`/`index` side. Each winner's source cell was occupied and
+/// its destination empty at step start, so across winners the {source} and
+/// {destination} sets are disjoint and per-winner unique — every cell slot
+/// is written at most once per launch (checked buffers enforce this), and
+/// no ping-pong swap happens in sparse mode.
+pub struct SparseMoveApplyKernel<'a> {
+    /// Environment width.
+    pub w: usize,
+    /// Live agent slots, ascending.
+    pub live: &'a [u32],
+    /// Per-agent outcome from the decode phase.
+    pub won: &'a [u32],
+    /// Agent labels (read).
+    pub id: &'a [u8],
+    /// Agent rows (winner-owned writes).
+    pub row: ScatterView<'a, u16>,
+    /// Agent columns (winner-owned writes).
+    pub col: ScatterView<'a, u16>,
+    /// Agent→cell position index (read own slot, winner-owned writes).
+    pub pos: ScatterView<'a, u32>,
+    /// Cell labels, current side, updated in place.
+    pub mat: ScatterView<'a, u8>,
+    /// Agent indices, current side, updated in place.
+    pub index: ScatterView<'a, u32>,
+    /// Tour lengths (exclusive RMW for winners, ACO only).
+    pub tour: ScatterView<'a, f32>,
+    /// **Pre-step** pheromone planes (ACO): the deposit is fused from the
+    /// un-evaporated value, exactly as the dense kernel computes it.
+    pub pher_in: Option<&'a [&'a [f32]]>,
+    /// Next pheromone planes (ACO), already evaporated by
+    /// [`EvaporationKernel`]; winners overwrite their destination entry.
+    pub pher_out: Option<&'a [ScatterView<'a, f32>]>,
+    /// ACO parameters (None for LEM runs).
+    pub aco: Option<AcoParams>,
+}
+
+impl BlockKernel for SparseMoveApplyKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let w = self.w;
+        let live = self.live;
+        let won = self.won;
+        ctx.threads(|t| {
+            let i = t.global_linear();
+            if i >= live.len() {
+                return;
+            }
+            let a = live[i] as usize;
+            let dst = won[a];
+            if dst == u32::MAX {
+                return;
+            }
+            let src = self.pos.read(a);
+            let (dr, dc) = ((dst as usize / w) as u16, (dst as usize % w) as u16);
+            let (sr, sc) = ((src as usize / w) as u16, (src as usize % w) as u16);
+            self.mat.write(src as usize, CELL_EMPTY);
+            self.index.write(src as usize, 0);
+            self.mat.write(dst as usize, self.id[a]);
+            self.index.write(dst as usize, a as u32);
+            self.row.write(a, dr);
+            self.col.write(a, dc);
+            self.pos.write(a, dst);
+            t.note_global_loads(3);
+            t.note_global_stores(7);
+            if let (Some(p), Some(pin), Some(pout)) = (self.aco, self.pher_in, self.pher_out) {
+                let diagonal = sr != dr && sc != dc;
+                let step_len = if diagonal {
+                    std::f32::consts::SQRT_2
+                } else {
+                    1.0
+                };
+                // Exclusive RMW: only this thread touches slot `a`.
+                let l_new = self.tour.read(a) + step_len;
+                self.tour.write(a, l_new);
+                let g = Group::from_label(self.id[a]).expect("winner has a group label");
+                let next = PheromoneField::fused_update(
+                    pin[g.index()][dst as usize],
+                    p.tau0,
+                    p.rho,
+                    p.q / l_new,
+                );
+                pout[g.index()].write(dst as usize, next);
+                t.note_global_loads(2);
+                t.note_global_stores(2);
+            }
+            t.alu(16);
+        });
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        26
+    }
+
+    fn name(&self) -> &'static str {
+        "movement_apply_sparse"
+    }
+}
+
+/// Dense evaporation sweep for sparse ACO steps: `τ ← fused(τ, τ₀, ρ, 0)`
+/// over every cell of every group plane. The field is a per-cell substrate
+/// — evaporation is O(cells) in any traversal — so this is the one dense
+/// launch a sparse ACO step keeps.
+pub struct EvaporationKernel<'a> {
+    /// Environment width.
+    pub w: usize,
+    /// Environment height.
+    pub h: usize,
+    /// Current pheromone planes, per group.
+    pub pher_in: &'a [&'a [f32]],
+    /// Next pheromone planes, per group.
+    pub pher_out: &'a [ScatterView<'a, f32>],
+    /// ACO parameters (τ₀ floor and evaporation rate ρ).
+    pub params: AcoParams,
+}
+
+impl BlockKernel for EvaporationKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let (w, h) = (self.w, self.h);
+        let p = self.params;
+        ctx.threads(|t| {
+            let (r, c) = t.global_rc();
+            if (r as usize) >= h || (c as usize) >= w {
+                return;
+            }
+            let lin = r as usize * w + c as usize;
+            for (plane_in, plane_out) in self.pher_in.iter().zip(self.pher_out.iter()) {
+                let next = PheromoneField::fused_update(plane_in[lin], p.tau0, p.rho, 0.0);
+                plane_out.write(lin, next);
+            }
+            t.note_global_loads(self.pher_in.len() as u64);
+            t.note_global_stores(self.pher_in.len() as u64);
+            t.alu(4 * self.pher_in.len() as u64);
+        });
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        12
+    }
+
+    fn name(&self) -> &'static str {
+        "pheromone_evaporate"
+    }
+}

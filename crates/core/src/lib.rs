@@ -69,7 +69,7 @@ pub mod prelude {
         StopReason, UnknownBackend,
     };
     pub use crate::metrics::{band_count, lane_index, segregation_index, Geometry, Metrics};
-    pub use crate::params::{AcoParams, LemParams, ModelKind, SimConfig};
+    pub use crate::params::{AcoParams, IterationMode, LemParams, ModelKind, SimConfig};
     pub use crate::validate::engines_agree;
     pub use crate::world::{CacheStats, CompiledWorld, WorldCache};
     pub use pedsim_grid::{EnvConfig, Environment};

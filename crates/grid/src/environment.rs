@@ -130,6 +130,15 @@ pub struct Environment {
     /// Live agents currently on the grid (≤ the slot capacity
     /// [`Environment::total_agents`]).
     pub live: usize,
+    /// Agent→cell position index: `pos[i] == row[i]·width + col[i]` for
+    /// **every** slot, dead ones included (a dead slot keeps the linear
+    /// position it last stood on, mirroring how `props.row`/`props.col`
+    /// are left in place on despawn). This is the sparse iteration
+    /// surface: the agent-centric stages walk live slots and read their
+    /// cells through `pos` instead of sweeping the grid, so the invariant
+    /// `index[pos[i]] == i` for live `i` is part of
+    /// [`Environment::check_consistency`].
+    pub pos: Vec<u32>,
 }
 
 impl Environment {
@@ -177,6 +186,7 @@ impl Environment {
         );
         let mut alive = vec![true; 2 * n + 1];
         alive[0] = false;
+        let pos = Self::derive_pos(&props, cfg.width);
         Self {
             mat,
             index,
@@ -188,7 +198,18 @@ impl Environment {
             alive,
             free: vec![FreeSlots::new(), FreeSlots::new()],
             live: 2 * n,
+            pos,
         }
+    }
+
+    /// Derive the agent→cell position index from a property table: one
+    /// `row·width + col` entry per slot (slot 0 is the sentinel and maps
+    /// to cell 0). Constructors use this once; every later `row`/`col`
+    /// write maintains the index in place.
+    pub fn derive_pos(props: &PropertyTable, width: usize) -> Vec<u32> {
+        (0..props.row.len())
+            .map(|i| props.row[i] as u32 * width as u32 + props.col[i] as u32)
+            .collect()
     }
 
     /// Environment width.
@@ -313,9 +334,11 @@ impl Environment {
     pub fn spawn_from_free(&mut self, g: Group, r: u16, c: u16) -> Option<u32> {
         debug_assert_eq!(self.mat.get(r as usize, c as usize), CELL_EMPTY);
         let idx = self.free[g.index()].pop_first()?;
+        let w = self.width() as u32;
         self.mat.set(r as usize, c as usize, g.label());
         self.index.set(r as usize, c as usize, idx);
         self.props.place(idx as usize, g.label(), r, c);
+        self.pos[idx as usize] = r as u32 * w + c as u32;
         self.alive[idx as usize] = true;
         self.live += 1;
         Some(idx)
@@ -340,6 +363,32 @@ impl Environment {
                 self.free.len(),
                 self.n_groups()
             ));
+        }
+        if self.pos.len() != self.total_agents() + 1 {
+            return Err(format!(
+                "position index holds {} slots for {} agents",
+                self.pos.len(),
+                self.total_agents() + 1
+            ));
+        }
+        let w = self.width() as u32;
+        for i in 0..=self.total_agents() {
+            let expect = self.props.row[i] as u32 * w + self.props.col[i] as u32;
+            if self.pos[i] != expect {
+                return Err(format!(
+                    "slot {i}: position index {} != row·w+col {expect}",
+                    self.pos[i]
+                ));
+            }
+            if i > 0 && self.alive[i] {
+                let (r, c) = (self.pos[i] / w, self.pos[i] % w);
+                if self.index.get(r as usize, c as usize) != i as u32 {
+                    return Err(format!(
+                        "live slot {i}: index[pos] = {} at ({r},{c})",
+                        self.index.get(r as usize, c as usize)
+                    ));
+                }
+            }
         }
         let mut seen = vec![false; self.total_agents() + 1];
         for (r, c, v) in self.index.iter_cells() {

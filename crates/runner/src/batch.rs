@@ -194,6 +194,13 @@ fn finish<E: Engine>(
     setup: Duration,
     mut engine: E,
 ) -> RunResult {
+    // Untimed warmup: run the discard steps, then snapshot the pipeline
+    // clocks so the reported timings cover the measured phase only.
+    if job.warmup > 0 {
+        engine.run(job.warmup);
+    }
+    let warm_stages = engine.step_timings().clone();
+    let warm_steps = engine.steps_done();
     // Time the simulation loop alone: engine construction (world
     // materialisation, upload) and result extraction stay outside, per
     // the paper's "time spent solely for simulation" protocol.
@@ -211,10 +218,11 @@ fn finish<E: Engine>(
         engine: job.engine.name(),
         backend,
         threads,
+        mode: engine.iteration_mode().name(),
         config,
         seed: job.cfg.env.seed,
         agents,
-        steps: engine.steps_done(),
+        steps: engine.steps_done() - warm_steps,
         stop,
         throughput: metrics.map(|m| m.throughput()),
         flux: metrics.and_then(|m| m.windowed_flux(FLUX_REPORT_WINDOW)),
@@ -226,7 +234,7 @@ fn finish<E: Engine>(
         gridlock_risk: metrics.and_then(|m| m.gridlock_warning(FLUX_REPORT_WINDOW)),
         setup,
         wall,
-        stages: engine.step_timings().clone(),
+        stages: engine.step_timings().delta(&warm_stages),
     }
 }
 

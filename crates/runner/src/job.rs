@@ -114,6 +114,13 @@ pub struct Job {
     pub engine: EngineSel,
     /// When this replica is done.
     pub stop: StopCondition,
+    /// Untimed warmup steps executed before the measured loop starts.
+    /// The reported `steps`, `wall`, and `stages` cover the measured
+    /// phase only; caches are hot and allocators settled by the time the
+    /// clock starts. Step-counting stop conditions see the engine's
+    /// *total* step count, so a warmup-`w` job stopping on
+    /// [`StopCondition::Steps`]`(w + n)` measures exactly `n` steps.
+    pub warmup: u64,
 }
 
 impl Job {
@@ -125,6 +132,7 @@ impl Job {
             cfg,
             engine: EngineSel::Gpu(Device::sequential()),
             stop,
+            warmup: 0,
         }
     }
 
@@ -141,6 +149,7 @@ impl Job {
             cfg,
             engine: EngineSel::Gpu(device),
             stop,
+            warmup: 0,
         }
     }
 
@@ -151,6 +160,7 @@ impl Job {
             cfg,
             engine: EngineSel::Cpu,
             stop,
+            warmup: 0,
         }
     }
 
@@ -166,7 +176,16 @@ impl Job {
             cfg,
             engine: EngineSel::Backend(backend),
             stop,
+            warmup: 0,
         }
+    }
+
+    /// Builder: run `steps` untimed warmup steps before the measured
+    /// loop (see [`Job::warmup`]). Remember that step-counting stop
+    /// conditions count warmup steps too.
+    pub fn with_warmup(mut self, steps: u64) -> Self {
+        self.warmup = steps;
+        self
     }
 
     /// Check the job's run description without executing it — the batch

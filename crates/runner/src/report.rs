@@ -28,6 +28,9 @@ pub struct RunResult {
     /// Worker-thread count of the executing backend (1 for sequential
     /// backends).
     pub threads: usize,
+    /// Stage-traversal mode the engine resolved at build time (`"dense"`
+    /// / `"sparse"`; an `Auto` configuration reports what it settled to).
+    pub mode: &'static str,
     /// World-configuration fingerprint ([`Scenario::config_hash`] for
     /// scenario worlds, an `EnvConfig` field hash for the classic
     /// corridor). Stable across commits for equal configurations;
@@ -89,7 +92,7 @@ pub struct RunResult {
 impl RunResult {
     /// Canonical ordering key: results sort by it so a report is
     /// independent of completion *and* submission order.
-    fn key(&self) -> (&str, &str, &str, &str, &str, usize, u64, usize) {
+    fn key(&self) -> (&str, &str, &str, &str, &str, usize, &str, u64, usize) {
         (
             &self.label,
             &self.world,
@@ -97,6 +100,7 @@ impl RunResult {
             self.engine,
             self.backend,
             self.threads,
+            self.mode,
             self.seed,
             self.agents,
         )
@@ -110,6 +114,7 @@ impl RunResult {
         push_str_field(&mut o, "engine", self.engine);
         push_str_field(&mut o, "backend", self.backend);
         push_raw_field(&mut o, "threads", &self.threads.to_string());
+        push_str_field(&mut o, "mode", self.mode);
         push_str_field(&mut o, "config", &pedsim_obs::hash::hex(self.config));
         push_raw_field(&mut o, "seed", &self.seed.to_string());
         push_raw_field(&mut o, "agents", &self.agents.to_string());
@@ -187,6 +192,7 @@ impl RunResult {
         r.str_field("engine", self.engine);
         r.str_field("backend", self.backend);
         r.u64_field("threads", self.threads as u64);
+        r.str_field("mode", self.mode);
         r.str_field("config", &pedsim_obs::hash::hex(self.config));
         r.u64_field("seed", self.seed);
         r.u64_field("agents", self.agents as u64);
@@ -370,7 +376,7 @@ impl BatchReport {
     fn render_json(&self, timing: bool) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v6\",");
+        let _ = writeln!(s, "  \"schema\": \"pedsim.batch_report.v7\",");
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"aggregate\": {{");
         let _ = writeln!(s, "    \"agents_total\": {},", self.agents_total);
@@ -476,6 +482,7 @@ mod tests {
             engine: "gpu",
             backend: "simt",
             threads: 1,
+            mode: "sparse",
             config: 0x00c0_ffee_00c0_ffee,
             seed,
             agents: 40,
@@ -540,7 +547,7 @@ mod tests {
         assert!(timed.contains("wall_total_s"));
         assert!(timed.contains("setup_total_s"));
         assert!(timed.contains("\"setup_s\":"));
-        assert!(timed.contains("pedsim.batch_report.v6"));
+        assert!(timed.contains("pedsim.batch_report.v7"));
         // Every pipeline stage is serialized per result in timing mode.
         for stage in Stage::ALL {
             assert!(

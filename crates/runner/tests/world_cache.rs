@@ -112,7 +112,7 @@ fn setup_timing_is_timed_only_never_deterministic() {
     );
     assert!(timed.contains("\"setup_total_s\":"));
     assert!(timed.contains("\"setup_s\":"));
-    assert!(timed.contains("\"schema\": \"pedsim.batch_report.v6\""));
+    assert!(timed.contains("\"schema\": \"pedsim.batch_report.v7\""));
     assert_eq!(report.results.len(), jobs.len());
     for r in &report.results {
         assert!(

@@ -541,6 +541,7 @@ impl Scenario {
             first_index = spare_hi;
         }
         let live = self.total_agents();
+        let pos = Environment::derive_pos(&props, self.width);
         Environment {
             mat,
             index,
@@ -552,6 +553,7 @@ impl Scenario {
             alive,
             free,
             live,
+            pos,
         }
     }
 }

@@ -70,6 +70,42 @@ fn pooled_is_schedule_independent_across_300_interleavings() {
     }
 }
 
+/// Both stage-traversal modes, explicitly: the dense cell sweep and the
+/// sparse bucket-group iteration each survive 100 permuted schedules
+/// bit-identically. Under `--features audit-runtime` this is the
+/// whole-engine acceptance case for the sparse agent-keyed scatters —
+/// every bucket-group write of every permuted run passes the write-set
+/// race detector.
+#[test]
+fn both_iteration_modes_are_schedule_independent() {
+    use pedsim::core::engine::pooled::PooledEngine;
+    let cfg = |mode: IterationMode| {
+        let env = EnvConfig::small(20, 20, 24).with_seed(77);
+        SimConfig::new(env, ModelKind::lem())
+            .with_checked(true)
+            .with_iteration_mode(mode)
+    };
+    let mut scalar = cpu_engine_small(20, 20, 24, ModelKind::lem(), 77);
+    scalar.run(15);
+    let golden = trajectory_hash(&scalar);
+    for mode in [IterationMode::Dense, IterationMode::Sparse] {
+        let explored = explore(0..100u64, |seed| {
+            let mut pooled = PooledEngine::new(cfg(mode), 3);
+            assert_eq!(pooled.iteration_mode(), mode);
+            pooled.set_schedule_seed(Some(seed));
+            pooled.run(15);
+            trajectory_hash(&pooled)
+        })
+        .unwrap_or_else(|d| panic!("{}: schedule divergence: {d}", mode.name()));
+        assert_eq!(
+            explored,
+            golden,
+            "{}: permuted pooled trajectories diverged from scalar",
+            mode.name()
+        );
+    }
+}
+
 /// The knob itself is inert: permuted dispatch equals natural dispatch,
 /// and switching the seed off mid-run restores natural order cleanly.
 #[test]

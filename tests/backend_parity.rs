@@ -32,28 +32,44 @@ fn trajectory_hash(e: &impl Engine) -> u64 {
     fnv1a(bytes)
 }
 
-/// Run `cfg` for `steps` on every registry backend × thread count and
-/// return the scalar hash after asserting every other cell matches it.
+/// Run `cfg` for `steps` on every registry backend × thread count ×
+/// stage-traversal mode and return the scalar dense hash after
+/// asserting every other cell matches it. Sparse stepping is required
+/// to be a pure traversal-order optimisation: the O(live-agents) loops
+/// must reproduce the O(cells) sweep byte for byte on every backend.
 fn assert_backends_agree(name: &str, cfg: SimConfig, steps: u64) -> u64 {
-    let mut scalar = Backend::scalar().build(cfg.clone()).expect("scalar");
+    let mut scalar = Backend::scalar()
+        .build(cfg.clone().with_iteration_mode(IterationMode::Dense))
+        .expect("scalar");
     scalar.run(steps);
     let golden = trajectory_hash(&scalar);
-    for threads in [1usize, 2, 4] {
-        let mut pooled = Backend::pooled(threads).build(cfg.clone()).expect("pooled");
-        pooled.run(steps);
+    for mode in [IterationMode::Dense, IterationMode::Sparse] {
+        let cfg = cfg.clone().with_iteration_mode(mode);
+        let tag = mode.name();
+        let mut scalar = Backend::scalar().build(cfg.clone()).expect("scalar");
+        scalar.run(steps);
         assert_eq!(
-            trajectory_hash(&pooled),
+            trajectory_hash(&scalar),
             golden,
-            "{name}: pooled/t{threads} diverged from scalar"
+            "{name}: scalar/{tag} diverged from scalar/dense"
+        );
+        for threads in [1usize, 2, 4] {
+            let mut pooled = Backend::pooled(threads).build(cfg.clone()).expect("pooled");
+            pooled.run(steps);
+            assert_eq!(
+                trajectory_hash(&pooled),
+                golden,
+                "{name}: pooled/t{threads}/{tag} diverged from scalar/dense"
+            );
+        }
+        let mut simt = Backend::simt().build(cfg).expect("simt");
+        simt.run(steps);
+        assert_eq!(
+            trajectory_hash(&simt),
+            golden,
+            "{name}: simt/{tag} diverged from scalar/dense"
         );
     }
-    let mut simt = Backend::simt().build(cfg).expect("simt");
-    simt.run(steps);
-    assert_eq!(
-        trajectory_hash(&simt),
-        golden,
-        "{name}: simt diverged from scalar"
-    );
     golden
 }
 
